@@ -1,0 +1,50 @@
+//! Micro-benchmarks: centralized engine — index build and BM25 query
+//! throughput (the Figure 7 baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdk_corpus::{CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig};
+use hdk_ir::CentralizedEngine;
+use std::hint::black_box;
+
+fn collection() -> hdk_corpus::Collection {
+    CollectionGenerator::new(GeneratorConfig {
+        num_docs: 2_000,
+        vocab_size: 10_000,
+        avg_doc_len: 80,
+        ..GeneratorConfig::default()
+    })
+    .generate()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let coll = collection();
+    let mut g = c.benchmark_group("bm25/build");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(coll.len() as u64));
+    g.bench_function("index_2k_docs", |b| {
+        b.iter(|| CentralizedEngine::build(black_box(&coll)))
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let coll = collection();
+    let engine = CentralizedEngine::build(&coll);
+    let log = QueryLog::generate(&coll, &QueryLogConfig {
+        num_queries: 100,
+        ..QueryLogConfig::default()
+    });
+    let mut g = c.benchmark_group("bm25/query");
+    g.throughput(Throughput::Elements(log.len() as u64));
+    g.bench_function("top20_batch", |b| {
+        b.iter(|| {
+            for q in &log.queries {
+                black_box(engine.search(&q.terms, 20));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

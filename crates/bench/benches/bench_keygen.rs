@@ -1,0 +1,65 @@
+//! Micro-benchmarks: local HDK computation — the per-peer cost of the
+//! iterative key generation (Section 3.1).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdk_core::window_keys::{candidate_postings, single_term_postings};
+use hdk_core::Key;
+use hdk_corpus::{CollectionGenerator, DocId, GeneratorConfig};
+use hdk_text::TermId;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+type KeygenSetup = (Vec<(DocId, Vec<TermId>)>, HashSet<TermId>, HashSet<Key>);
+
+fn setup() -> KeygenSetup {
+    let coll = CollectionGenerator::new(GeneratorConfig {
+        num_docs: 500,
+        vocab_size: 8_000,
+        avg_doc_len: 80,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let docs: Vec<(DocId, Vec<TermId>)> =
+        coll.iter().map(|(d, t)| (d, t.to_vec())).collect();
+    // Treat the 200 most frequent terms as NDK singles (realistic shape).
+    let stats = hdk_corpus::FrequencyStats::compute(&coll);
+    let mut by_freq: Vec<(u64, TermId)> =
+        stats.iter().map(|(t, cf, _)| (cf, t)).collect();
+    by_freq.sort_unstable_by_key(|&(cf, _)| std::cmp::Reverse(cf));
+    let ndk1: HashSet<TermId> = by_freq.iter().take(200).map(|&(_, t)| t).collect();
+    let ndk_prev: HashSet<Key> = ndk1.iter().map(|&t| Key::single(t)).collect();
+    (docs, ndk1, ndk_prev)
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let (docs, ndk1, ndk_prev) = setup();
+    let tokens: u64 = docs.iter().map(|(_, t)| t.len() as u64).sum();
+    let mut g = c.benchmark_group("keygen");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(tokens));
+
+    g.bench_function("single_terms_500_docs", |b| {
+        b.iter(|| {
+            single_term_postings(
+                docs.iter().map(|(d, t)| (*d, t.as_slice())),
+                black_box(&HashSet::new()),
+            )
+        })
+    });
+    g.bench_function("pairs_w20_500_docs", |b| {
+        b.iter(|| {
+            candidate_postings(
+                docs.iter().map(|(d, t)| (*d, t.as_slice())),
+                20,
+                2,
+                black_box(&ndk1),
+                black_box(&ndk_prev),
+                false,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_keygen);
+criterion_main!(benches);

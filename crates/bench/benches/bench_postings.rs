@@ -1,0 +1,51 @@
+//! Micro-benchmarks: posting-list codec and merge operations — what
+//! actually travels over the simulated wire.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdk_corpus::DocId;
+use hdk_ir::{codec, Posting, PostingList};
+use std::hint::black_box;
+
+fn list(n: u32, stride: u32) -> PostingList {
+    PostingList::from_sorted(
+        (0..n)
+            .map(|i| Posting {
+                doc: DocId(i * stride),
+                tf: 1 + i % 7,
+                doc_len: 80 + i % 40,
+            })
+            .collect(),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let dense = list(10_000, 1);
+    let sparse = list(10_000, 97);
+    let mut g = c.benchmark_group("postings/codec");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("encode_dense", |b| b.iter(|| codec::encode(black_box(&dense))));
+    g.bench_function("encode_sparse", |b| b.iter(|| codec::encode(black_box(&sparse))));
+    let enc = codec::encode(&dense);
+    g.bench_function("decode_dense", |b| {
+        b.iter(|| codec::decode(black_box(enc.clone())).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let a = list(5_000, 2);
+    let b_ = list(5_000, 3);
+    let mut g = c.benchmark_group("postings/merge");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("union", |b| b.iter(|| black_box(&a).union(black_box(&b_))));
+    g.bench_function("intersect", |b| {
+        b.iter(|| black_box(&a).intersect(black_box(&b_)))
+    });
+    g.bench_function("truncate_top_400", |b| {
+        b.iter(|| black_box(&a).truncate_top_k(400, |p| f64::from(p.tf)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_merge);
+criterion_main!(benches);

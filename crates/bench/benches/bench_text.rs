@@ -1,0 +1,73 @@
+//! Micro-benchmarks: text pipeline throughput (tokenizer, stemmer, full
+//! analyzer, window enumeration).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hdk_text::{stem, tokenize, window, Analyzer, TermId};
+use std::hint::black_box;
+
+const SAMPLE: &str = "Peer-to-peer retrieval engines theoretically offer the \
+possibility to cope with web-scale document collections by distributing the \
+indexing and querying load over large networks of collaborating peers. \
+However, while P2P distribution results in smaller resource consumption at \
+the level of individual peers, there is an ongoing debate about the overall \
+scalability of P2P web search because of the claimed unacceptable bandwidth \
+consumption induced by retrieval from very large document collections.";
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("text/tokenize");
+    g.throughput(Throughput::Bytes(SAMPLE.len() as u64));
+    g.bench_function("paragraph", |b| {
+        b.iter(|| tokenize(black_box(SAMPLE)).count())
+    });
+    g.finish();
+}
+
+fn bench_stemmer(c: &mut Criterion) {
+    let words: Vec<String> = tokenize(SAMPLE).collect();
+    let mut g = c.benchmark_group("text/porter");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("paragraph_words", |b| {
+        b.iter(|| {
+            for w in &words {
+                black_box(stem(w));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("text/analyzer");
+    g.throughput(Throughput::Bytes(SAMPLE.len() as u64));
+    g.bench_function("full_pipeline", |b| {
+        b.iter_batched(
+            Analyzer::new,
+            |mut a| a.analyze(black_box(SAMPLE)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_windows(c: &mut Criterion) {
+    let tokens: Vec<TermId> = (0..10_000u32).map(|i| TermId(i % 500)).collect();
+    let mut g = c.benchmark_group("text/windows");
+    g.throughput(Throughput::Elements(tokens.len() as u64));
+    g.bench_function("context_events_w20", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            window::for_each_context(black_box(&tokens), 20, |prefix, _| n += prefix.len());
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenizer,
+    bench_stemmer,
+    bench_analyzer,
+    bench_windows
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: routing substrate — P-Grid trie (the paper's layer) vs a
+//! Chord ring.
+//!
+//! The paper's posting-level results are substrate-independent by design
+//! (Section 4 analyzes postings, not hops). This run verifies that claim
+//! empirically — identical posting counts on both overlays — and reports
+//! what *does* differ: routing hops per message.
+
+use hdk_bench::report::{fnum, Table};
+use hdk_bench::{figures, runner, ExperimentProfile};
+use hdk_core::{HdkNetwork, OverlayKind};
+use hdk_corpus::{partition_documents, CollectionGenerator};
+use hdk_p2p::MsgKind;
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    let docs = profile.docs_per_peer * 8;
+    let collection = CollectionGenerator::new(profile.generator_config(docs)).generate();
+    let partitions = partition_documents(docs, 8, profile.seed);
+    let (central, log) = figures::centralized_and_log(&profile, &collection);
+
+    let mut t = Table::new(
+        "ablate_overlay",
+        &[
+            "overlay",
+            "stored_per_peer",
+            "retr_per_query",
+            "overlap_top20",
+            "avg_hops_insert",
+            "avg_hops_lookup",
+        ],
+    );
+    for (name, overlay) in [("pgrid", OverlayKind::PGrid), ("chord", OverlayKind::Chord)] {
+        let net = HdkNetwork::build(
+            &collection,
+            &partitions,
+            profile.hdk_config(profile.dfmax_values[0]),
+            overlay,
+        );
+        let m = runner::measure_system(&net, &central, &log);
+        let s = net.snapshot();
+        let ins = s.kind(MsgKind::IndexInsert);
+        let look = s.kind(MsgKind::QueryLookup);
+        t.row(&[
+            name.to_owned(),
+            fnum(m.stored_per_peer),
+            fnum(m.retrieval_per_query),
+            fnum(m.overlap_top20),
+            fnum(ins.hops as f64 / ins.messages.max(1) as f64),
+            fnum(look.hops as f64 / look.messages.max(1) as f64),
+        ]);
+        eprintln!("[ablate_overlay] {name} done");
+    }
+    println!("Ablation — overlay substrate (fixed {docs}-doc collection, 8 peers)\n");
+    t.emit();
+}

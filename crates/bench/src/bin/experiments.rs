@@ -1,0 +1,43 @@
+//! Runs the complete evaluation: one growth sweep feeding every figure,
+//! plus both tables — the full Section 5 of the paper in one command.
+//!
+//! ```text
+//! cargo run -p hdk-bench --release --bin experiments
+//! cargo run -p hdk-bench --release --bin experiments -- --scale 4
+//! ```
+
+use hdk_bench::{figures, run_growth_sweep, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+
+    println!("Table 1 — collection statistics\n");
+    figures::table1(&profile).emit();
+    println!("Table 2 — parameters used in experiments\n");
+    figures::table2(&profile).emit();
+
+    let points = run_growth_sweep(&profile);
+
+    println!("Figure 3 — stored postings per peer (index size)\n");
+    figures::fig3(&points).emit();
+    println!("Figure 4 — inserted postings per peer (indexing costs)\n");
+    figures::fig4(&points).emit();
+    println!("Figure 5 — ratio between inserted IS and D\n");
+    figures::fig5(&points).emit();
+    println!("Figure 6 — number of retrieved postings per query\n");
+    figures::fig6(&points).emit();
+    println!("Figure 7 — top-20 overlap with BM25 relevance scheme [%]\n");
+    figures::fig7(&points).emit();
+
+    println!("Figure 8 — estimated total generated traffic (postings/month)\n");
+    let (table, model) = figures::fig8(&points, 1.5e6);
+    table.emit();
+    println!(
+        "traffic ratio ST/HDK at 653,546 docs (paper: ~20): {:.1}",
+        model.ratio(653_546.0)
+    );
+    println!(
+        "traffic ratio ST/HDK at 1e9 docs (paper: ~42): {:.1}",
+        model.ratio(1e9)
+    );
+}

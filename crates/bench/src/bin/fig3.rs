@@ -1,0 +1,12 @@
+//! Figure 3 of the paper — see `hdk_bench::figures::fig3`.
+
+use hdk_bench::{figures, run_growth_sweep, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    let points = run_growth_sweep(&profile);
+    println!("{}\n", TITLE);
+    figures::fig3(&points).emit();
+}
+
+const TITLE: &str = "Figure 3 — stored postings per peer (index size)";

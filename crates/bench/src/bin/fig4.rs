@@ -1,0 +1,12 @@
+//! Figure 4 of the paper — see `hdk_bench::figures::fig4`.
+
+use hdk_bench::{figures, run_growth_sweep, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    let points = run_growth_sweep(&profile);
+    println!("{}\n", TITLE);
+    figures::fig4(&points).emit();
+}
+
+const TITLE: &str = "Figure 4 — inserted postings per peer (indexing costs)";

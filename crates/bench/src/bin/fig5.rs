@@ -1,0 +1,12 @@
+//! Figure 5 of the paper — see `hdk_bench::figures::fig5`.
+
+use hdk_bench::{figures, run_growth_sweep, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    let points = run_growth_sweep(&profile);
+    println!("{}\n", TITLE);
+    figures::fig5(&points).emit();
+}
+
+const TITLE: &str = "Figure 5 — ratio between inserted IS and D";

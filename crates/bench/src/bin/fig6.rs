@@ -1,0 +1,12 @@
+//! Figure 6 of the paper — see `hdk_bench::figures::fig6`.
+
+use hdk_bench::{figures, run_growth_sweep, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    let points = run_growth_sweep(&profile);
+    println!("{}\n", TITLE);
+    figures::fig6(&points).emit();
+}
+
+const TITLE: &str = "Figure 6 — number of retrieved postings per query";

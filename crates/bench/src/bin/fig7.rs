@@ -1,0 +1,12 @@
+//! Figure 7 of the paper — see `hdk_bench::figures::fig7`.
+
+use hdk_bench::{figures, run_growth_sweep, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    let points = run_growth_sweep(&profile);
+    println!("{}\n", TITLE);
+    figures::fig7(&points).emit();
+}
+
+const TITLE: &str = "Figure 7 — top-20 overlap with BM25 relevance scheme [%]";

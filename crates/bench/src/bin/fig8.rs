@@ -1,0 +1,42 @@
+//! Figure 8 — estimated total generated traffic (indexing monthly plus
+//! 1.5e6 queries/month), extrapolated to 1e9 documents.
+//!
+//! Runs a reduced growth sweep to *measure* the model coefficients
+//! (postings per document for ST/HDK, per-query retrieval volumes), then
+//! evaluates the analytic model of `hdk_model::traffic` — exactly the
+//! paper's procedure, which extrapolates from its measured prototype runs.
+
+use hdk_bench::{figures, run_growth_sweep, ExperimentProfile};
+
+fn main() {
+    let mut profile = ExperimentProfile::from_args();
+    // The calibration needs only the largest point plus one smaller one
+    // (to confirm the ST slope); trim the sweep accordingly.
+    if profile.peers_sweep.len() > 2 {
+        let last = *profile.peers_sweep.last().unwrap();
+        let first = profile.peers_sweep[0];
+        profile.peers_sweep = vec![first, last];
+    }
+    let points = run_growth_sweep(&profile);
+    println!("Figure 8 — estimated total generated traffic (postings/month)\n");
+    let (table, model) = figures::fig8(&points, 1.5e6);
+    table.emit();
+    println!("calibrated coefficients (measured on this run):");
+    println!("  ST postings/doc            = {:.1} (paper: ~130)", model.st_postings_per_doc);
+    println!("  HDK postings/doc           = {:.1} (paper: ~5290)", model.hdk_postings_per_doc);
+    println!(
+        "  ST retrieval/query/doc     = {:.5}",
+        model.st_retrieval_per_query_per_doc
+    );
+    println!(
+        "  HDK retrieval/query        = {:.1} (bounded by nk*DFmax)",
+        model.hdk_retrieval_per_query
+    );
+    println!(
+        "  crossover (HDK wins above) = {:.0} documents",
+        model.crossover_docs()
+    );
+    println!(
+        "\npaper reference points: ratio ~20 at 653,546 docs; ~42 at 1e9 docs"
+    );
+}

@@ -1,0 +1,9 @@
+//! Table 1 — collection statistics (synthetic Wikipedia substitute).
+
+use hdk_bench::{figures, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    println!("Table 1 — collection statistics\n");
+    figures::table1(&profile).emit();
+}

@@ -1,0 +1,9 @@
+//! Table 2 — experiment parameters (this run vs the paper).
+
+use hdk_bench::{figures, ExperimentProfile};
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    println!("Table 2 — parameters used in experiments\n");
+    figures::table2(&profile).emit();
+}

@@ -1,0 +1,145 @@
+//! Section 4 numbers — Zipf fit, Theorems 1–3, and the Section 4.2
+//! retrieval-cost formulas, evaluated on the generated collection.
+//!
+//! Reproduces the paper's worked example: "the maximal estimated value for
+//! IS2/D is 12.16 (a1 = 1.5 is fitted from true frequency distribution,
+//! and Pf,1 = 0.8) and the estimated value for IS3/D is 11.35 (a2 = 0.9
+//! and Pf,2 = 0.257)".
+
+use hdk_bench::{report::Table, ExperimentProfile};
+use hdk_core::window_keys::candidate_postings;
+use hdk_core::Key;
+use hdk_corpus::{CollectionGenerator, FrequencyStats};
+use hdk_model::{
+    expected_keys_for_avg_size, fit_rank_frequency, index_size_ratio, keys_for_query,
+    p_frequent, p_very_frequent, retrieval_traffic_bound, FitOptions,
+};
+use hdk_text::TermId;
+use std::collections::HashSet;
+
+/// Fits the Zipf skew of the 2-term-key frequency distribution (the
+/// paper's `a2`, fitted "from true frequency distribution" of `K2`): pair
+/// occurrences are counted over windows of `w` on a document sample, their
+/// collection frequencies ranked, and the power law fitted as for terms.
+fn fit_pair_skew(
+    collection: &hdk_corpus::Collection,
+    w: usize,
+    sample_docs: usize,
+) -> hdk_model::ZipfFit {
+    let all_terms: HashSet<TermId> = (0..collection.vocab().len() as u32).map(TermId).collect();
+    let all_singles: HashSet<Key> = all_terms.iter().map(|&t| Key::single(t)).collect();
+    let pairs = candidate_postings(
+        collection.iter().take(sample_docs),
+        w,
+        2,
+        &all_terms,
+        &all_singles,
+        false,
+    );
+    let mut freqs: Vec<u64> = pairs
+        .values()
+        .map(|pl| pl.postings().iter().map(|p| u64::from(p.tf)).sum())
+        .collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let rf: Vec<(usize, u64)> = freqs.into_iter().enumerate().map(|(i, f)| (i + 1, f)).collect();
+    fit_rank_frequency(&rf, FitOptions::until_hapax(&rf))
+}
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    let collection =
+        CollectionGenerator::new(profile.generator_config(profile.max_docs())).generate();
+    let stats = FrequencyStats::compute(&collection);
+    let rf = stats.rank_frequency();
+    let d = stats.sample_size() as f64;
+
+    println!("Section 4.1 — Zipf fit and occurrence probabilities\n");
+    let fit_full = fit_rank_frequency(&rf, FitOptions::default());
+    let fit_hapax = fit_rank_frequency(&rf, FitOptions::until_hapax(&rf));
+    let mut t = Table::new("theory_zipf_fit", &["fit", "skew_a", "scale_C", "r2", "points"]);
+    t.row(&[
+        "all ranks".to_owned(),
+        format!("{:.3}", fit_full.skew),
+        format!("{:.1}", fit_full.scale),
+        format!("{:.4}", fit_full.r_squared),
+        fit_full.points.to_string(),
+    ]);
+    t.row(&[
+        "to hapax T' (as in proofs)".to_owned(),
+        format!("{:.3}", fit_hapax.skew),
+        format!("{:.1}", fit_hapax.scale),
+        format!("{:.4}", fit_hapax.r_squared),
+        fit_hapax.points.to_string(),
+    ]);
+    t.emit();
+
+    // Thresholds: Fr = DFmax (Corollary 1 makes rare keys discriminative),
+    // Ff from the profile. Theorems need a > 1; use the hapax-range fit
+    // when it qualifies, else the full fit, else the paper's 1.5.
+    let a = [fit_hapax.skew, fit_full.skew, 1.5]
+        .into_iter()
+        .find(|&a| a > 1.01)
+        .expect("1.5 qualifies");
+    let ff = profile.ff as f64;
+    let fr = f64::from(profile.dfmax_values[0]);
+    let scale = fit_hapax.scale.max(ff + 1.0);
+    println!("with a = {a:.3}, Fr = {fr}, Ff = {ff}:\n");
+    let pvf = p_very_frequent(ff, scale, a);
+    let pf1 = p_frequent(fr, ff, a);
+    println!("  Theorem 1: P_vf = {pvf:.4}   (grows with collection size; these terms are dropped)");
+    println!("  Theorem 2: P_f,1 = {pf1:.4}  (constant in collection size; paper example: 0.8)");
+
+    println!("\nTheorem 3 — index-size bounds IS_s/D (w = {}):\n", profile.window);
+    let mut t3 = Table::new(
+        "theory_theorem3",
+        &["s", "P_f_used", "IS_s/D_bound", "IS_s_bound_postings"],
+    );
+    // Paper example values alongside this collection's.
+    t3.row(&[
+        "2 (paper: Pf=0.8 -> 12.16)".to_owned(),
+        format!("{pf1:.4}"),
+        format!("{:.3}", index_size_ratio(pf1, profile.window, 2)),
+        format!("{:.3e}", index_size_ratio(pf1, profile.window, 2) * d),
+    ]);
+    // For size 3 the paper fits a separate skew a2 on 2-term-key
+    // frequencies (a2 = 0.9 -> Pf,2 = 0.257). We measure the K2
+    // distribution on a document sample the same way.
+    t3.row(&[
+        "3 (paper: Pf,2=0.257 -> 11.35)".to_owned(),
+        "0.257".to_owned(),
+        format!("{:.3}", index_size_ratio(0.257, profile.window, 3)),
+        format!("{:.3e}", index_size_ratio(0.257, profile.window, 3) * d),
+    ]);
+    let pair_fit = fit_pair_skew(&collection, profile.window, 400);
+    // Theorem 2 needs a > 1; like the paper (whose a2 = 0.9 also falls
+    // below 1, making the zipfian Pf,2 formula inapplicable verbatim),
+    // fall back to the published Pf,2 when the fit is sub-unit.
+    let pf2 = if pair_fit.skew > 1.01 {
+        p_frequent(fr, ff, pair_fit.skew)
+    } else {
+        0.257
+    };
+    t3.row(&[
+        format!("3 (measured a2={:.3}, r2={:.2})", pair_fit.skew, pair_fit.r_squared),
+        format!("{pf2:.4}"),
+        format!("{:.3}", index_size_ratio(pf2, profile.window, 3)),
+        format!("{:.3e}", index_size_ratio(pf2, profile.window, 3) * d),
+    ]);
+    t3.emit();
+
+    println!("Section 4.2 — retrieval cost\n");
+    let mut t4 = Table::new("theory_retrieval_cost", &["|q|", "nk", "bound_nk_x_DFmax"]);
+    let dfmax = profile.dfmax_values[0];
+    for q in 1..=8 {
+        t4.row(&[
+            q.to_string(),
+            keys_for_query(q, profile.smax).to_string(),
+            retrieval_traffic_bound(q, profile.smax, dfmax).to_string(),
+        ]);
+    }
+    t4.emit();
+    println!(
+        "average web query (paper: 2.3 terms): nk ~ {:.2} (paper: 3.92)",
+        expected_keys_for_avg_size(2.3)
+    );
+}

@@ -1,0 +1,302 @@
+//! Table builders: one function per paper table/figure, consuming the
+//! sweep measurements. Binaries stay one-liners and `experiments` composes
+//! everything.
+
+use crate::profile::ExperimentProfile;
+use crate::report::{fnum, Table};
+use crate::runner::PointMeasurement;
+use hdk_corpus::{CollectionGenerator, QueryLog};
+use hdk_ir::CentralizedEngine;
+
+/// Table 1 — collection statistics (paper: Wikipedia; here: the synthetic
+/// substitute at the sweep's final size, plus the paper's own numbers for
+/// side-by-side comparison).
+pub fn table1(profile: &ExperimentProfile) -> Table {
+    let collection =
+        CollectionGenerator::new(profile.generator_config(profile.max_docs())).generate();
+    let s = collection.stats();
+    let mut t = Table::new(
+        "table1_collection_stats",
+        &["statistic", "this_run", "paper_wikipedia"],
+    );
+    t.row(&[
+        "total number of documents M".to_owned(),
+        s.num_documents.to_string(),
+        "653,546".to_owned(),
+    ]);
+    t.row(&[
+        "size in words D".to_owned(),
+        s.sample_size.to_string(),
+        "~147 million (225 x M)".to_owned(),
+    ]);
+    t.row(&[
+        "average document size".to_owned(),
+        format!("{:.1}", s.avg_doc_len),
+        "225 words".to_owned(),
+    ]);
+    t.row(&[
+        "vocabulary size |T|".to_owned(),
+        s.vocab_size.to_string(),
+        "(not reported)".to_owned(),
+    ]);
+    t
+}
+
+/// Table 2 — experiment parameters, this run vs the paper.
+pub fn table2(profile: &ExperimentProfile) -> Table {
+    let mut t = Table::new("table2_parameters", &["parameter", "this_run", "paper"]);
+    let peers = profile
+        .peers_sweep
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let dfmax = profile
+        .dfmax_values
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" and ");
+    t.row(&["number of peers N".to_owned(), peers, "4, 8, ..., 28".to_owned()]);
+    t.row(&[
+        "documents per peer".to_owned(),
+        profile.docs_per_peer.to_string(),
+        "5,000".to_owned(),
+    ]);
+    t.row(&[
+        "words per peer l".to_owned(),
+        (profile.docs_per_peer * profile.avg_doc_len).to_string(),
+        "1,123,000".to_owned(),
+    ]);
+    t.row(&["DFmax".to_owned(), dfmax, "400 and 500".to_owned()]);
+    t.row(&["Ff".to_owned(), profile.ff.to_string(), "100,000".to_owned()]);
+    t.row(&["w".to_owned(), profile.window.to_string(), "20".to_owned()]);
+    t.row(&["smax".to_owned(), profile.smax.to_string(), "3".to_owned()]);
+    t.row(&[
+        "queries".to_owned(),
+        profile.num_queries.to_string(),
+        "3,000 (>20 hits, 2-8 terms)".to_owned(),
+    ]);
+    t
+}
+
+/// Figure 3 — stored postings per peer (index size) vs collection size.
+pub fn fig3(points: &[PointMeasurement]) -> Table {
+    let mut headers = vec!["docs".to_owned(), "ST".to_owned()];
+    for (dfmax, _) in &points[0].hdk {
+        headers.push(format!("HDK_DFmax={dfmax}"));
+    }
+    let mut t = Table::new(
+        "fig3_stored_postings_per_peer",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for p in points {
+        let mut row = vec![p.docs.to_string(), fnum(p.st.stored_per_peer)];
+        for (_, m) in &p.hdk {
+            row.push(fnum(m.stored_per_peer));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Figure 4 — inserted postings per peer (indexing cost) vs collection size.
+pub fn fig4(points: &[PointMeasurement]) -> Table {
+    let mut headers = vec!["docs".to_owned(), "ST".to_owned()];
+    for (dfmax, _) in &points[0].hdk {
+        headers.push(format!("HDK_DFmax={dfmax}"));
+    }
+    let mut t = Table::new(
+        "fig4_inserted_postings_per_peer",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for p in points {
+        let mut row = vec![p.docs.to_string(), fnum(p.st.inserted_per_peer)];
+        for (_, m) in &p.hdk {
+            row.push(fnum(m.inserted_per_peer));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Figure 5 — `IS_s / D` ratios vs collection size (for the first
+/// configured DFmax, as in the paper's single-threshold plot).
+pub fn fig5(points: &[PointMeasurement]) -> Table {
+    let dfmax = points[0].hdk[0].0;
+    let mut t = Table::new(
+        "fig5_is_over_d",
+        &["docs", "IS1/D", "IS2/D", "IS3/D", "IS/D"],
+    );
+    for p in points {
+        let m = &p
+            .hdk
+            .iter()
+            .find(|(d, _)| *d == dfmax)
+            .expect("dfmax present at every point")
+            .1;
+        t.row(&[
+            p.docs.to_string(),
+            fnum(m.is_ratios[0]),
+            fnum(m.is_ratios[1]),
+            fnum(m.is_ratios[2]),
+            fnum(m.is_ratio_total),
+        ]);
+    }
+    t
+}
+
+/// Figure 6 — retrieved postings per query vs collection size.
+pub fn fig6(points: &[PointMeasurement]) -> Table {
+    let mut headers = vec!["docs".to_owned(), "ST".to_owned()];
+    for (dfmax, _) in &points[0].hdk {
+        headers.push(format!("HDK_DFmax={dfmax}"));
+    }
+    let mut t = Table::new(
+        "fig6_retrieved_postings_per_query",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for p in points {
+        let mut row = vec![p.docs.to_string(), fnum(p.st.retrieval_per_query)];
+        for (_, m) in &p.hdk {
+            row.push(fnum(m.retrieval_per_query));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Figure 7 — top-20 overlap with the centralized BM25 engine, percent.
+pub fn fig7(points: &[PointMeasurement]) -> Table {
+    let mut headers = vec!["docs".to_owned(), "ST".to_owned()];
+    for (dfmax, _) in &points[0].hdk {
+        headers.push(format!("HDK_DFmax={dfmax}"));
+    }
+    let mut t = Table::new(
+        "fig7_top20_overlap_pct",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for p in points {
+        let mut row = vec![p.docs.to_string(), fnum(p.st.overlap_top20)];
+        for (_, m) in &p.hdk {
+            row.push(fnum(m.overlap_top20));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Figure 8 — estimated total (indexing + retrieval) traffic per month vs
+/// collection size, using a [`hdk_model::TrafficModel`] calibrated from
+/// the sweep's largest point, alongside the paper-calibrated model.
+pub fn fig8(points: &[PointMeasurement], queries_per_period: f64) -> (Table, hdk_model::TrafficModel) {
+    let last = points.last().expect("sweep has points");
+    let (_, hdk) = &last.hdk[0];
+    let measured = hdk_model::TrafficModel {
+        st_postings_per_doc: last.st.postings_per_doc,
+        hdk_postings_per_doc: hdk.postings_per_doc,
+        st_retrieval_per_query_per_doc: last.st.retrieval_per_query / last.docs as f64,
+        hdk_retrieval_per_query: hdk.retrieval_per_query,
+        queries_per_period,
+    };
+    let paper = hdk_model::TrafficModel::paper_calibration();
+    let mut t = Table::new(
+        "fig8_total_traffic",
+        &[
+            "docs",
+            "ST_measured_model",
+            "HDK_measured_model",
+            "ratio_measured",
+            "ratio_paper_model",
+        ],
+    );
+    for exp in 5..=9 {
+        for mant in [1.0, 2.0, 5.0] {
+            let m = mant * 10f64.powi(exp);
+            t.row(&[
+                format!("{m:.0e}"),
+                fnum(measured.st_total(m)),
+                fnum(measured.hdk_total(m)),
+                fnum(measured.ratio(m)),
+                fnum(paper.ratio(m)),
+            ]);
+        }
+    }
+    (t, measured)
+}
+
+/// Helper for binaries needing a query log + centralized engine at one
+/// collection size (ablations).
+pub fn centralized_and_log(
+    profile: &ExperimentProfile,
+    collection: &hdk_corpus::Collection,
+) -> (CentralizedEngine, QueryLog) {
+    let central = CentralizedEngine::build(collection);
+    let log = QueryLog::generate_filtered(collection, &profile.querylog_config(), |terms| {
+        central.count_hits(terms)
+    });
+    (central, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::SystemMeasurement;
+
+    fn fake_point(docs: usize) -> PointMeasurement {
+        let m = SystemMeasurement {
+            stored_per_peer: docs as f64,
+            inserted_per_peer: docs as f64 * 1.5,
+            is_ratios: [0.9, 2.0, 0.5, 0.0],
+            is_ratio_total: 3.4,
+            postings_per_doc: 130.0,
+            retrieval_per_query: docs as f64 * 0.15,
+            lookups_per_query: 3.9,
+            overlap_top20: 80.0,
+            queries: 10,
+        };
+        PointMeasurement {
+            peers: docs / 100,
+            docs,
+            sample_size: docs as u64 * 80,
+            st: m.clone(),
+            hdk: vec![(30, m.clone()), (40, m)],
+        }
+    }
+
+    #[test]
+    fn figure_tables_have_one_row_per_point() {
+        let points = vec![fake_point(400), fake_point(800)];
+        for t in [
+            fig3(&points),
+            fig4(&points),
+            fig5(&points),
+            fig6(&points),
+            fig7(&points),
+        ] {
+            assert_eq!(t.len(), 2);
+        }
+    }
+
+    #[test]
+    fn fig8_calibrates_from_last_point() {
+        let points = vec![fake_point(400), fake_point(800)];
+        let (t, model) = fig8(&points, 1.5e6);
+        assert!(!t.is_empty());
+        assert!((model.st_postings_per_doc - 130.0).abs() < 1e-9);
+        assert!((model.st_retrieval_per_query_per_doc - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_tables_build() {
+        let p = ExperimentProfile {
+            peers_sweep: vec![2],
+            docs_per_peer: 60,
+            vocab_size: 1_000,
+            avg_doc_len: 30,
+            ..ExperimentProfile::default()
+        };
+        assert!(!table2(&p).is_empty());
+        assert!(!table1(&p).is_empty());
+    }
+}

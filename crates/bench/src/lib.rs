@@ -1,0 +1,25 @@
+//! Experiment harness reproducing the evaluation of Podnar et al.
+//! (ICDE 2007): every table and figure, plus the ablations listed in
+//! `DESIGN.md`.
+//!
+//! Structure:
+//!
+//! * [`profile`] — the experiment configuration (scaled-down defaults plus
+//!   CLI overrides; `--help` on any binary prints the knobs),
+//! * [`report`] — aligned-TSV table output (stdout + `target/experiments/`),
+//! * [`runner`] — the shared network-growth sweep that measures everything
+//!   Figures 3–7 plot.
+//!
+//! Binaries (`cargo run -p hdk-bench --release --bin <name>`): `table1`,
+//! `table2`, `fig3`–`fig8`, `theory`, `experiments` (all of the above in
+//! one run), `ablate_window`, `ablate_redundancy`, `ablate_dfmax`,
+//! `ablate_overlay`.
+
+pub mod figures;
+pub mod profile;
+pub mod report;
+pub mod runner;
+
+pub use profile::ExperimentProfile;
+pub use report::Table;
+pub use runner::{run_growth_sweep, PointMeasurement, SystemMeasurement};

@@ -1,0 +1,151 @@
+//! Table output: aligned text to stdout, TSV to `target/experiments/`.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple experiment-result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a file-name-friendly `name` and column headers.
+    pub fn new<S: Into<String>>(name: S, headers: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (any `Display` values).
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row<D: Display>(&mut self, cells: &[D]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `target/experiments/<name>.tsv`.
+    /// File-system errors are reported to stderr but never fatal (the
+    /// stdout copy is the deliverable).
+    pub fn emit(&self) {
+        print!("{}", self.render());
+        println!();
+        if let Err(e) = self.write_tsv() {
+            eprintln!("note: could not write TSV for {}: {e}", self.name);
+        }
+    }
+
+    /// Writes the TSV file, returning its path.
+    pub fn write_tsv(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/experiments");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.tsv", self.name));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Formats a float compactly for tables (3 significant decimals, plain).
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1e7 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("test", &["a", "longheader"]);
+        t.row(&["1", "2"]);
+        t.row(&["333", "4"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("longheader"));
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1.23456), "1.235");
+        assert_eq!(fnum(1234.0), "1234");
+        assert_eq!(fnum(2.5e9), "2.500e9");
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut t = Table::new("unit_test_tsv", &["x", "y"]);
+        t.row(&[1, 2]);
+        let path = t.write_tsv().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x\ty\n1\t2\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

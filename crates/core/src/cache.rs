@@ -1,0 +1,220 @@
+//! Query-side key-lookup cache.
+//!
+//! The paper's related work (Reynolds & Vahdat \[15\], Suel et al. \[17\])
+//! lists caching among the standard techniques "to reduce search costs for
+//! multi-term queries"; the HDK model makes it unusually effective because
+//! every cached posting list is small (bounded by `DFmax`) and keys repeat
+//! heavily across queries (popular terms and term pairs).
+//!
+//! [`QueryCache`] is an LRU map from [`Key`] to its [`KeyLookup`] response,
+//! owned by the *querying* peer. Hits skip the DHT round-trip entirely — no
+//! messages, no postings on the wire. The cache is invalidated wholesale
+//! when the index changes: it remembers the network's *epoch* (bumped by
+//! `add_documents` / `join_peer`) and self-clears on mismatch, so stale
+//! postings can never be served.
+
+use crate::global_index::KeyLookup;
+use crate::key::Key;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Hit/miss counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered locally.
+    pub hits: u64,
+    /// Lookups that went to the network.
+    pub misses: u64,
+    /// Postings that did *not* travel thanks to hits.
+    pub postings_saved: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// `None` values cache *absence* — sound because any index change
+    /// bumps the epoch and clears the cache.
+    map: HashMap<Key, (Option<KeyLookup>, u64)>,
+    clock: u64,
+    epoch: u64,
+    stats: CacheStats,
+}
+
+/// A bounded LRU cache of key-lookup responses.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl QueryCache {
+    /// Cache holding at most `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache needs capacity");
+        Self {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Looks up `key`, first locally, then via `fetch` (charged to the
+    /// network). `epoch` is the index epoch the caller observed; an epoch
+    /// change empties the cache before anything is served.
+    pub fn get_or_fetch(
+        &self,
+        epoch: u64,
+        key: Key,
+        fetch: impl FnOnce() -> Option<KeyLookup>,
+    ) -> Option<KeyLookup> {
+        let mut inner = self.inner.lock();
+        if inner.epoch != epoch {
+            inner.map.clear();
+            inner.epoch = epoch;
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some((cached, stamp)) = inner.map.get_mut(&key) {
+            *stamp = clock;
+            let result = cached.clone();
+            inner.stats.hits += 1;
+            inner.stats.postings_saved +=
+                result.as_ref().map_or(0, |l| l.postings.len() as u64);
+            return result;
+        }
+        inner.stats.misses += 1;
+        // Fetch outside the borrow of the map entry but inside the lock:
+        // lookups of the same key from one peer are serialized, which is
+        // what a real per-peer cache does.
+        let fetched = fetch();
+        if inner.map.len() >= self.capacity {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, s))| *s) {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(key, (fetched.clone(), clock));
+        fetched
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdk_corpus::DocId;
+    use hdk_ir::{Posting, PostingList};
+    use hdk_text::TermId;
+
+    fn lookup(df: u32) -> KeyLookup {
+        KeyLookup {
+            postings: PostingList::from_sorted(vec![Posting {
+                doc: DocId(df),
+                tf: 1,
+                doc_len: 10,
+            }]),
+            df,
+            is_ndk: false,
+        }
+    }
+
+    fn key(t: u32) -> Key {
+        Key::single(TermId(t))
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let cache = QueryCache::new(8);
+        let mut fetches = 0;
+        for _ in 0..3 {
+            let got = cache.get_or_fetch(0, key(1), || {
+                fetches += 1;
+                Some(lookup(5))
+            });
+            assert_eq!(got.unwrap().df, 5);
+        }
+        assert_eq!(fetches, 1);
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.postings_saved, 2);
+    }
+
+    #[test]
+    fn negative_results_are_cached_too() {
+        // Absence is epoch-stable (any index change clears the cache), so
+        // repeated probes of a missing key stay local.
+        let cache = QueryCache::new(8);
+        let mut fetches = 0;
+        for _ in 0..3 {
+            let got = cache.get_or_fetch(0, key(2), || {
+                fetches += 1;
+                None
+            });
+            assert!(got.is_none());
+        }
+        assert_eq!(fetches, 1);
+        // ...until the epoch moves.
+        let mut refetched = false;
+        cache.get_or_fetch(1, key(2), || {
+            refetched = true;
+            None
+        });
+        assert!(refetched);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = QueryCache::new(2);
+        cache.get_or_fetch(0, key(1), || Some(lookup(1)));
+        cache.get_or_fetch(0, key(2), || Some(lookup(2)));
+        // Touch key 1 so key 2 is the LRU.
+        cache.get_or_fetch(0, key(1), || unreachable!("hit expected"));
+        cache.get_or_fetch(0, key(3), || Some(lookup(3)));
+        assert_eq!(cache.len(), 2);
+        // Key 1 survived (recently used)...
+        cache.get_or_fetch(0, key(1), || panic!("key 1 must still be cached"));
+        // ...and key 2 was the eviction victim.
+        let mut fetched2 = false;
+        cache.get_or_fetch(0, key(2), || {
+            fetched2 = true;
+            Some(lookup(2))
+        });
+        assert!(fetched2);
+    }
+
+    #[test]
+    fn epoch_change_invalidates() {
+        let cache = QueryCache::new(4);
+        cache.get_or_fetch(0, key(1), || Some(lookup(1)));
+        assert_eq!(cache.len(), 1);
+        let mut fetched = false;
+        cache.get_or_fetch(1, key(1), || {
+            fetched = true;
+            Some(lookup(9))
+        });
+        assert!(fetched, "epoch bump must clear the cache");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = QueryCache::new(0);
+    }
+}

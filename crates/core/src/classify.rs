@@ -1,0 +1,101 @@
+//! Discriminative / non-discriminative classification (Definitions 3–5).
+
+/// Classification of a key by its *global* document frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyClass {
+    /// `df <= DFmax` — discriminative key (DK, Definition 3). Full posting
+    /// list stored.
+    Discriminative,
+    /// `df > DFmax` — non-discriminative key (NDK, Definition 4). Posting
+    /// list truncated to its top-`DFmax` elements; the key is a candidate
+    /// for expansion into larger keys.
+    NonDiscriminative,
+}
+
+/// Classifies by document frequency (Definition 3/4: DKs "appear in at most
+/// `DFmax` documents").
+#[inline]
+pub fn classify(df: u32, dfmax: u32) -> KeyClass {
+    if df <= dfmax {
+        KeyClass::Discriminative
+    } else {
+        KeyClass::NonDiscriminative
+    }
+}
+
+impl KeyClass {
+    /// Convenience predicate.
+    pub fn is_discriminative(self) -> bool {
+        matches!(self, KeyClass::Discriminative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use hdk_text::TermId;
+    use std::collections::HashMap;
+
+    #[test]
+    fn boundary_is_inclusive() {
+        // Definition 3: "appear in AT MOST DFmax documents".
+        assert!(classify(400, 400).is_discriminative());
+        assert!(!classify(401, 400).is_discriminative());
+        assert!(classify(0, 400).is_discriminative());
+        assert!(classify(1, 1).is_discriminative());
+        assert!(!classify(2, 1).is_discriminative());
+    }
+
+    /// Brute-force check of the subsumption property on a toy collection:
+    /// any key containing a DK is a DK; any key contained in an NDK is an
+    /// NDK (Section 3.1). This validates that plain df-threshold
+    /// classification really has the structure the redundancy filter and
+    /// the retrieval lattice walk rely on.
+    #[test]
+    fn subsumption_property_brute_force() {
+        // 6 docs over terms 0..4; df computed per *document* (windows
+        // irrelevant at this granularity: df(k) counts docs whose term set
+        // includes k, and a superset key can only match fewer docs).
+        let docs: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![0, 2, 3],
+            vec![1, 2, 3],
+            vec![0, 1, 2, 3],
+            vec![2, 3],
+        ];
+        let dfmax = 2;
+        let mut df: HashMap<Key, u32> = HashMap::new();
+        // Enumerate all keys of size 1..=3 over the doc term sets.
+        for terms in &docs {
+            let n = terms.len();
+            for mask in 1u32..(1 << n) {
+                if mask.count_ones() > 3 {
+                    continue;
+                }
+                let subset: Vec<TermId> = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| TermId(terms[i]))
+                    .collect();
+                if let Some(k) = Key::from_terms(&subset) {
+                    *df.entry(k).or_insert(0) += 1;
+                }
+            }
+        }
+        for (k, &kdf) in &df {
+            for sub in k.immediate_sub_keys() {
+                let sub_df = df[&sub];
+                // df is antitone in key size.
+                assert!(sub_df >= kdf, "{sub:?} df {sub_df} < {k:?} df {kdf}");
+                // Superset of a DK is a DK.
+                if classify(sub_df, dfmax).is_discriminative() {
+                    assert!(
+                        classify(kdf, dfmax).is_discriminative(),
+                        "superset {k:?} of DK {sub:?} must be DK"
+                    );
+                }
+            }
+        }
+    }
+}

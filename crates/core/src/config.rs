@@ -1,0 +1,150 @@
+//! Model parameters (paper, Table 2 and Section 3.1).
+
+use crate::key::MAX_KEY_SIZE;
+
+/// Parameters of the HDK indexing/retrieval model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdkConfig {
+    /// `DFmax` — document-frequency threshold separating discriminative
+    /// from non-discriminative keys (Definition 3/4). Also the truncation
+    /// depth for NDK posting lists.
+    pub dfmax: u32,
+    /// `smax` — maximal key size considered (size filtering, paper uses 3).
+    pub smax: usize,
+    /// `w` — proximity window size (paper uses 20).
+    pub window: usize,
+    /// `Ff` — collection-frequency threshold above which terms are *very
+    /// frequent* and excluded from the key vocabulary entirely (Section 4.1:
+    /// "we are removing an increasing number of very frequent terms [...]
+    /// following the common practice [...] of removing stop words").
+    pub ff: u64,
+    /// Definition 5 verbatim: require *all* strict sub-keys to be
+    /// non-discriminative before accepting a key as intrinsically
+    /// discriminative. The paper's practical generator (size-(s-1) NDK
+    /// extended by an NDK term) is the default (`false`); `true` adds the
+    /// full local check (ablation `ablate_redundancy` compares them).
+    pub exact_intrinsic: bool,
+    /// Redundancy filtering on/off. `false` indexes every discriminative
+    /// key (not just intrinsic ones) — the ablation showing why
+    /// Definition 5 matters for index size.
+    pub redundancy_filtering: bool,
+}
+
+impl HdkConfig {
+    /// The paper's experimental parameters (Table 2), `DFmax = 400`
+    /// variant: `DFmax=400, smax=3, w=20, Ff=100,000`.
+    pub fn paper_dfmax_400() -> Self {
+        Self {
+            dfmax: 400,
+            smax: 3,
+            window: 20,
+            ff: 100_000,
+            exact_intrinsic: false,
+            redundancy_filtering: true,
+        }
+    }
+
+    /// Table 2 with `DFmax = 500`.
+    pub fn paper_dfmax_500() -> Self {
+        Self {
+            dfmax: 500,
+            ..Self::paper_dfmax_400()
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn validate(&self) {
+        assert!(self.dfmax >= 1, "DFmax must be at least 1");
+        assert!(
+            (1..=MAX_KEY_SIZE).contains(&self.smax),
+            "smax must be in 1..={MAX_KEY_SIZE}, got {}",
+            self.smax
+        );
+        assert!(self.window >= 2, "window must admit at least a pair");
+        assert!(self.ff >= 1, "Ff must be at least 1");
+    }
+
+    /// Scales the collection-dependent thresholds for a collection whose
+    /// sample size is `sample_size` tokens, keeping the *ratios* the paper
+    /// used: the paper ran `Ff = 100,000` against roughly 31 million tokens
+    /// (28 peers x 1.123M words), i.e. `Ff ≈ D / 315`, and
+    /// `DFmax = 400..500` against 140k documents, i.e. `DFmax ≈ M / 300`.
+    pub fn scaled_for(sample_size: u64, num_docs: usize) -> Self {
+        let ff = (sample_size / 315).max(50);
+        let dfmax = (num_docs as u32 / 300).max(8);
+        Self {
+            dfmax,
+            smax: 3,
+            window: 20,
+            ff,
+            exact_intrinsic: false,
+            redundancy_filtering: true,
+        }
+    }
+}
+
+impl Default for HdkConfig {
+    /// Laptop-scale defaults for tests and examples: like
+    /// [`HdkConfig::scaled_for`] a few-thousand-document collection.
+    fn default() -> Self {
+        Self {
+            dfmax: 40,
+            smax: 3,
+            window: 20,
+            ff: 10_000,
+            exact_intrinsic: false,
+            redundancy_filtering: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_table2() {
+        let c = HdkConfig::paper_dfmax_400();
+        assert_eq!(c.dfmax, 400);
+        assert_eq!(c.smax, 3);
+        assert_eq!(c.window, 20);
+        assert_eq!(c.ff, 100_000);
+        assert_eq!(HdkConfig::paper_dfmax_500().dfmax, 500);
+        c.validate();
+    }
+
+    #[test]
+    fn default_validates() {
+        HdkConfig::default().validate();
+    }
+
+    #[test]
+    fn scaling_preserves_paper_ratios() {
+        // At the paper's own scale the scaled config recovers Table 2
+        // within rounding.
+        let c = HdkConfig::scaled_for(31_400_000, 140_000);
+        assert!((90_000..=110_000).contains(&c.ff), "ff {}", c.ff);
+        assert!((400..=500).contains(&c.dfmax), "dfmax {}", c.dfmax);
+    }
+
+    #[test]
+    fn scaling_has_floors() {
+        let c = HdkConfig::scaled_for(100, 10);
+        assert!(c.dfmax >= 1);
+        assert!(c.ff >= 1);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "smax")]
+    fn oversized_smax_rejected() {
+        let c = HdkConfig {
+            smax: MAX_KEY_SIZE + 1,
+            ..HdkConfig::default()
+        };
+        c.validate();
+    }
+}

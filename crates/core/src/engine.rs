@@ -1,0 +1,529 @@
+//! The HDK network engine: N peers collaboratively building the global
+//! index over a structured overlay.
+//!
+//! Orchestrates the iterative protocol of Section 3.1 in bulk-synchronous
+//! rounds (one per key size): peers compute and insert their local key
+//! postings in parallel, then the hosting peers sweep their index fractions
+//! and the resulting "key became globally non-discriminative" notifications
+//! are delivered before the next round. Everything that crosses peer
+//! boundaries is metered.
+
+use crate::config::HdkConfig;
+use crate::global_index::GlobalIndex;
+use crate::local_indexer::LocalPeer;
+use crate::stats::BuildReport;
+use hdk_corpus::{Collection, DocId, FrequencyStats};
+use hdk_p2p::{ChordRing, Overlay, PGrid, PeerId, TrafficSnapshot};
+use hdk_text::TermId;
+use std::collections::HashSet;
+
+/// Which routing substrate to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlayKind {
+    /// P-Grid binary trie (the paper's substrate).
+    #[default]
+    PGrid,
+    /// Chord-style consistent-hashing ring.
+    Chord,
+}
+
+impl OverlayKind {
+    fn build(self, peer_ids: Vec<PeerId>) -> Box<dyn Overlay> {
+        match self {
+            OverlayKind::PGrid => Box::new(PGrid::new(peer_ids)),
+            OverlayKind::Chord => Box::new(ChordRing::new(peer_ids)),
+        }
+    }
+}
+
+/// A fully built HDK retrieval network.
+pub struct HdkNetwork {
+    pub(crate) config: HdkConfig,
+    pub(crate) index: GlobalIndex,
+    peers: Vec<LocalPeer>,
+    pub(crate) num_docs: usize,
+    pub(crate) avg_doc_len: f64,
+    sample_size: u64,
+    rounds_run: usize,
+    /// Bumped whenever the index content changes (`add_documents`,
+    /// `join_peer`); query caches key their validity to this.
+    epoch: u64,
+    /// Very-frequent terms excluded from the key vocabulary, fixed at
+    /// build time (the paper, too, derives its stop set during
+    /// preprocessing; periodic full rebuilds would refresh it).
+    excluded: HashSet<TermId>,
+}
+
+impl HdkNetwork {
+    /// Builds the network: distributes `collection` over the peers
+    /// according to `partitions` (one document-id set per peer), runs the
+    /// full iterative indexing protocol, and returns the ready network.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or empty partition list.
+    pub fn build(
+        collection: &Collection,
+        partitions: &[Vec<DocId>],
+        config: HdkConfig,
+        overlay: OverlayKind,
+    ) -> Self {
+        config.validate();
+        assert!(!partitions.is_empty(), "need at least one peer");
+
+        // Very frequent terms (f_D > Ff) leave the key vocabulary entirely
+        // (Section 4.1). The paper applies this as a preprocessing step
+        // with collection-level statistics; we do the same.
+        let stats = FrequencyStats::compute(collection);
+        let excluded: HashSet<TermId> = stats.very_frequent_terms(config.ff).into_iter().collect();
+
+        let peer_ids: Vec<PeerId> = (0..partitions.len() as u64).map(PeerId).collect();
+        let peers: Vec<LocalPeer> = partitions
+            .iter()
+            .zip(&peer_ids)
+            .map(|(docs, &id)| {
+                LocalPeer::new(
+                    id,
+                    docs.iter()
+                        .map(|&d| (d, collection.doc(d).tokens.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let index = GlobalIndex::new(overlay.build(peer_ids), config.dfmax);
+        let coll_stats = collection.stats();
+        let mut network = Self {
+            config,
+            index,
+            peers,
+            num_docs: coll_stats.num_documents,
+            avg_doc_len: coll_stats.avg_doc_len,
+            sample_size: coll_stats.sample_size as u64,
+            rounds_run: 0,
+            epoch: 0,
+            excluded,
+        };
+        network.run_session();
+        network
+    }
+
+    /// Indexes additional documents without rebuilding: the paper's growth
+    /// scenario ("peers joining the network and increasing the document
+    /// collection") executed incrementally. Each document is assigned to an
+    /// existing peer; the iterative protocol re-runs, with previously
+    /// indexed documents only re-examined for keys that *newly* became
+    /// non-discriminative — the end state is identical to a full rebuild
+    /// over the enlarged collection (covered by tests), while only the
+    /// incremental postings travel.
+    ///
+    /// # Panics
+    /// Panics on unknown peers, already-indexed document ids, or empty
+    /// documents.
+    pub fn add_documents(&mut self, additions: Vec<(PeerId, hdk_corpus::Document)>) {
+        if additions.is_empty() {
+            return;
+        }
+        let mut grouped: std::collections::HashMap<PeerId, Vec<(DocId, Vec<TermId>)>> =
+            std::collections::HashMap::new();
+        for (peer, doc) in additions {
+            assert!(!doc.is_empty(), "cannot index an empty document {}", doc.id);
+            self.num_docs += 1;
+            self.sample_size += doc.len() as u64;
+            grouped.entry(peer).or_default().push((doc.id, doc.tokens));
+        }
+        self.avg_doc_len = self.sample_size as f64 / self.num_docs as f64;
+        self.epoch += 1;
+        for (peer_id, docs) in grouped {
+            let peer = self
+                .peers
+                .iter_mut()
+                .find(|p| p.id == peer_id)
+                .unwrap_or_else(|| panic!("unknown peer {peer_id}"));
+            peer.add_documents(docs);
+        }
+        self.run_session();
+    }
+
+    /// Runs rounds 1..=smax of the protocol over the peers' pending
+    /// documents (the whole collection on the first call; additions on
+    /// later calls).
+    fn run_session(&mut self) {
+        for round in 1..=self.config.smax {
+            let config = &self.config;
+            let excluded = &self.excluded;
+            let index = &self.index;
+            let collect_keys = !config.redundancy_filtering;
+            // Peers compute and insert in parallel; the DHT is thread-safe
+            // and posting-list merging is order-independent, so the final
+            // index state is deterministic. Each thread returns the keys it
+            // inserted (for the no-redundancy ablation) and the keys whose
+            // insert acknowledgement reported "already non-discriminative"
+            // (late-joiner feedback in incremental sessions).
+            type RoundResult = (Vec<crate::key::Key>, Vec<crate::key::Key>);
+            let per_peer: Vec<RoundResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .peers
+                    .iter()
+                    .map(|peer| {
+                        scope.spawn(move || {
+                            let batch = peer.compute_round(round, config, excluded);
+                            let mut inserted =
+                                Vec::with_capacity(if collect_keys { batch.len() } else { 0 });
+                            let mut already_ndk = Vec::new();
+                            for (key, postings) in batch {
+                                if !postings.is_empty() {
+                                    if collect_keys {
+                                        inserted.push(key);
+                                    }
+                                    if index.insert(peer.id, key, postings) {
+                                        already_ndk.push(key);
+                                    }
+                                }
+                            }
+                            (inserted, already_ndk)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("indexing thread panicked"))
+                    .collect()
+            });
+            self.rounds_run = round;
+            // End-of-round sweep + notification delivery.
+            let mut notifications = self.index.classify_round(round);
+            if round == self.config.smax {
+                // Final round: NDKs of size smax stay truncated; nothing to
+                // expand (size filtering, Definition 6).
+                break;
+            }
+            for (peer, (inserted, already_ndk)) in self.peers.iter_mut().zip(per_peer) {
+                let mut keys = notifications.remove(&peer.id).unwrap_or_default();
+                if self.config.redundancy_filtering {
+                    // Only NDKs are expanded (redundancy filtering,
+                    // Definition 5): keys containing a DK are derivable.
+                    keys.extend(already_ndk);
+                } else {
+                    // Ablation mode: expand *every* inserted key, indexing
+                    // all discriminative keys instead of only intrinsic
+                    // ones — the configuration Definition 5 exists to avoid.
+                    keys.extend(inserted);
+                }
+                keys.sort_unstable();
+                keys.dedup();
+                peer.receive_notifications(round, &keys);
+            }
+            // Stop early when no peer has anything to expand at the next
+            // size (cumulative frontier empty everywhere).
+            if self
+                .peers
+                .iter()
+                .all(|p| p.ndk_keys(round).is_empty())
+            {
+                break;
+            }
+        }
+        for peer in &mut self.peers {
+            peer.finish_session();
+        }
+    }
+
+    /// A new peer joins the running network with its own documents — the
+    /// paper's growth model in full: the overlay splits a region for the
+    /// peer, the affected index fraction migrates to it (maintenance
+    /// traffic), and the peer's documents are indexed incrementally.
+    /// Returns the migration volume.
+    ///
+    /// # Panics
+    /// Panics if the peer already exists or a document id is taken.
+    pub fn join_peer(
+        &mut self,
+        peer: PeerId,
+        docs: Vec<hdk_corpus::Document>,
+    ) -> hdk_p2p::MigrationStats {
+        assert!(
+            self.peers.iter().all(|p| p.id != peer),
+            "{peer} already in the network"
+        );
+        let stats = self.index.add_peer(peer);
+        self.epoch += 1;
+        self.peers.push(LocalPeer::new(peer, Vec::new()));
+        self.add_documents(docs.into_iter().map(|d| (peer, d)).collect());
+        stats
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &HdkConfig {
+        &self.config
+    }
+
+    /// Index epoch: increments on every content change, so query caches
+    /// can detect staleness (see [`crate::cache::QueryCache`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The global index (read access for measurements/ablations).
+    pub fn index(&self) -> &GlobalIndex {
+        &self.index
+    }
+
+    /// Number of peers.
+    pub fn num_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Number of indexed documents (`M`).
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Collection sample size (`D`, total term occurrences).
+    pub fn sample_size(&self) -> u64 {
+        self.sample_size
+    }
+
+    /// Indexing rounds actually executed (can stop early when every key is
+    /// discriminative).
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Current traffic counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        self.index.snapshot()
+    }
+
+    /// Aggregated build statistics for the experiment harness.
+    pub fn build_report(&self) -> BuildReport {
+        BuildReport {
+            num_peers: self.num_peers(),
+            num_docs: self.num_docs,
+            sample_size: self.sample_size,
+            rounds: self.rounds_run,
+            inserted_by_size: self.index.inserted_by_size(),
+            stored_per_peer: self.index.stored_postings_per_peer(),
+            counts: self.index.index_counts(),
+            traffic: self.snapshot(),
+        }
+    }
+
+    /// The peers (inspection).
+    pub fn peers(&self) -> &[LocalPeer] {
+        &self.peers
+    }
+}
+
+impl std::fmt::Debug for HdkNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HdkNetwork")
+            .field("peers", &self.peers.len())
+            .field("docs", &self.num_docs)
+            .field("dfmax", &self.config.dfmax)
+            .field("rounds", &self.rounds_run)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use hdk_corpus::{partition_documents, CollectionGenerator, GeneratorConfig};
+
+    fn small_collection() -> Collection {
+        CollectionGenerator::new(GeneratorConfig {
+            num_docs: 400,
+            vocab_size: 3_000,
+            avg_doc_len: 60,
+            num_topics: 40,
+            topic_vocab: 60,
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    fn build(dfmax: u32) -> HdkNetwork {
+        let c = small_collection();
+        let parts = partition_documents(c.len(), 4, 11);
+        HdkNetwork::build(
+            &c,
+            &parts,
+            HdkConfig {
+                dfmax,
+                ff: 2_000,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        )
+    }
+
+    #[test]
+    fn builds_and_produces_multi_size_keys() {
+        let n = build(25);
+        let counts = n.index().index_counts();
+        assert!(counts.hdk_keys[0] > 0, "no single-term HDKs");
+        assert!(counts.ndk_keys[0] > 0, "no single-term NDKs");
+        assert!(
+            counts.hdk_keys[1] + counts.ndk_keys[1] > 0,
+            "no 2-term keys generated"
+        );
+        assert_eq!(n.rounds_run(), 3);
+    }
+
+    #[test]
+    fn hdk_posting_lists_bounded_by_dfmax_after_classification() {
+        let n = build(25);
+        let mut violations = 0;
+        for p in 0..n.num_peers() {
+            n.index().stored_postings_per_peer(); // touch API
+            let _ = p;
+        }
+        let counts = n.index().index_counts();
+        // Every NDK list is truncated to DFmax.
+        for s in 0..3 {
+            if counts.ndk_keys[s] > 0 {
+                let avg = counts.ndk_postings[s] as f64 / counts.ndk_keys[s] as f64;
+                if avg > 25.0 + 1e-9 {
+                    violations += 1;
+                }
+            }
+        }
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn single_peer_network_works() {
+        let c = small_collection();
+        let parts = partition_documents(c.len(), 1, 3);
+        let n = HdkNetwork::build(
+            &c,
+            &parts,
+            HdkConfig {
+                dfmax: 30,
+                ff: 2_000,
+                ..HdkConfig::default()
+            },
+            OverlayKind::Chord,
+        );
+        assert_eq!(n.num_peers(), 1);
+        assert!(n.index().index_counts().total_keys() > 0);
+    }
+
+    #[test]
+    fn deterministic_across_builds_despite_parallelism() {
+        let a = build(25);
+        let b = build(25);
+        assert_eq!(a.index().index_counts(), b.index().index_counts());
+        assert_eq!(a.index().inserted_by_size(), b.index().inserted_by_size());
+        assert_eq!(
+            a.index().stored_postings_per_peer(),
+            b.index().stored_postings_per_peer()
+        );
+        // Spot-check one key's stored entry.
+        let probe = Key::single(hdk_text::TermId(10));
+        let ea = a.index().peek(probe);
+        let eb = b.index().peek(probe);
+        match (ea, eb) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.df, y.df);
+                assert_eq!(x.postings, y.postings);
+                assert_eq!(x.is_ndk, y.is_ndk);
+            }
+            (None, None) => {}
+            _ => panic!("one build indexed the probe key, the other did not"),
+        }
+    }
+
+    #[test]
+    fn larger_dfmax_stores_fewer_multi_term_keys() {
+        let small = build(15);
+        let large = build(60);
+        let ks = small.index().index_counts();
+        let kl = large.index().index_counts();
+        // With a larger DFmax more singles are discriminative, so fewer
+        // keys need expansion (paper: "HDK indexing is approaching
+        // single-term indexing" as DFmax grows).
+        assert!(
+            kl.hdk_keys[1] + kl.ndk_keys[1] < ks.hdk_keys[1] + ks.ndk_keys[1],
+            "expected fewer 2-term keys at larger DFmax ({} vs {})",
+            kl.hdk_keys[1] + kl.ndk_keys[1],
+            ks.hdk_keys[1] + ks.ndk_keys[1],
+        );
+    }
+
+    #[test]
+    fn smax_one_stops_after_single_terms() {
+        let c = small_collection();
+        let parts = partition_documents(c.len(), 2, 5);
+        let n = HdkNetwork::build(
+            &c,
+            &parts,
+            HdkConfig {
+                dfmax: 25,
+                smax: 1,
+                ff: 2_000,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        let counts = n.index().index_counts();
+        assert_eq!(counts.hdk_keys[1] + counts.ndk_keys[1], 0);
+        assert_eq!(n.rounds_run(), 1);
+    }
+
+    #[test]
+    fn disabling_redundancy_filtering_inflates_the_index() {
+        // Definition 5's purpose: without redundancy filtering every
+        // discriminative key is indexed (not only intrinsic ones), so the
+        // key count explodes. Tiny scale + small window keeps this fast.
+        let c = CollectionGenerator::new(GeneratorConfig {
+            num_docs: 120,
+            vocab_size: 1_000,
+            avg_doc_len: 40,
+            num_topics: 12,
+            topic_vocab: 40,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let parts = partition_documents(c.len(), 2, 3);
+        let base = HdkConfig {
+            dfmax: 10,
+            ff: 1_000,
+            window: 8,
+            ..HdkConfig::default()
+        };
+        let with = HdkNetwork::build(&c, &parts, base.clone(), OverlayKind::PGrid);
+        let without = HdkNetwork::build(
+            &c,
+            &parts,
+            HdkConfig {
+                redundancy_filtering: false,
+                ..base
+            },
+            OverlayKind::PGrid,
+        );
+        let kw = with.index().index_counts().total_keys();
+        let ko = without.index().index_counts().total_keys();
+        assert!(
+            ko > kw,
+            "no-redundancy index ({ko} keys) must exceed filtered index ({kw} keys)"
+        );
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let n = build(25);
+        let r = n.build_report();
+        assert_eq!(r.num_peers, 4);
+        assert_eq!(r.num_docs, 400);
+        // Inserted postings (meter) == inserted postings (size counters).
+        let meter_total: u64 = r.traffic.inserted_by_peer.iter().sum();
+        let size_total: u64 = r.inserted_by_size.iter().sum();
+        assert_eq!(meter_total, size_total);
+        // Stored <= inserted (truncation can only shrink).
+        let stored: u64 = r.stored_per_peer.iter().sum();
+        assert!(stored <= size_total);
+        assert_eq!(stored, r.counts.total_postings());
+    }
+}

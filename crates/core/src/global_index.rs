@@ -1,0 +1,500 @@
+//! The global key-to-document index in the structured P2P network.
+//!
+//! Stores, for every key that peers computed locally, the merged global
+//! posting list and the running *global* document frequency. At the end of
+//! each indexing round, hosting peers sweep their fraction of the index
+//! (Section 3.1, "Computing the global index"):
+//!
+//! * keys with `df <= DFmax` stay discriminative — full posting list kept;
+//! * keys with `df > DFmax` become NDKs — their lists are truncated to the
+//!   top-`DFmax` "best elements", and every peer that contributed the key
+//!   is notified so it can expand the key in the next round.
+//!
+//! The sweep runs locally at each hosting peer (free), while inserts,
+//! lookups and notifications travel over the metered DHT.
+
+use crate::classify::{classify, KeyClass};
+use crate::key::{Key, MAX_KEY_SIZE};
+use hdk_ir::{Posting, PostingList};
+use hdk_p2p::{Dht, Overlay, PeerId, TrafficSnapshot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// State stored in the DHT per key.
+#[derive(Debug, Clone)]
+pub struct KeyEntry {
+    /// The key itself (guards against 64-bit hash collisions and lets local
+    /// sweeps know key sizes).
+    pub key: Key,
+    /// Merged posting list: full for DKs, top-`DFmax` for NDKs.
+    pub postings: PostingList,
+    /// True global document frequency (keeps counting past truncation).
+    pub df: u32,
+    /// Peers that inserted postings for this key (notification targets).
+    pub contributors: Vec<PeerId>,
+    /// Set once the end-of-round sweep marked the key non-discriminative.
+    pub is_ndk: bool,
+    /// Documents already counted in `df`, kept only once the stored list
+    /// is truncated (while the list is complete it *is* the doc set).
+    /// Needed so incremental sessions never double-count a document.
+    pub seen_docs: Option<std::collections::HashSet<u32>>,
+}
+
+/// Result of a retrieval-time key lookup.
+#[derive(Debug, Clone)]
+pub struct KeyLookup {
+    /// Stored postings (full for HDK, truncated for NDK).
+    pub postings: PostingList,
+    /// Global document frequency.
+    pub df: u32,
+    /// Whether the key is non-discriminative.
+    pub is_ndk: bool,
+}
+
+/// Per-posting quality used for NDK truncation: a saturating function of
+/// `tf` (the paper keeps the "top-DFmax best elements"; any monotone
+/// relevance proxy serves — this one is BM25's tf saturation with `k1=1.2`).
+fn posting_quality(p: &Posting) -> f64 {
+    f64::from(p.tf) / (f64::from(p.tf) + 1.2)
+}
+
+/// The global index.
+pub struct GlobalIndex {
+    dht: Dht<KeyEntry>,
+    dfmax: u32,
+    /// Postings inserted per key size (`IS_s` of Figure 5; slot `s-1`).
+    inserted_by_size: [AtomicU64; MAX_KEY_SIZE],
+}
+
+impl GlobalIndex {
+    /// Creates an empty index over `overlay` with threshold `dfmax`.
+    pub fn new(overlay: Box<dyn Overlay>, dfmax: u32) -> Self {
+        Self {
+            dht: Dht::new(overlay),
+            dfmax,
+            inserted_by_size: Default::default(),
+        }
+    }
+
+    /// The configured `DFmax`.
+    pub fn dfmax(&self) -> u32 {
+        self.dfmax
+    }
+
+    /// The underlying overlay.
+    pub fn overlay(&self) -> &dyn Overlay {
+        self.dht.overlay()
+    }
+
+    /// Peer `from` inserts its local postings for `key`. Posting and byte
+    /// volumes are metered; the merged entry accumulates global `df`
+    /// (counting distinct documents exactly, even across incremental
+    /// sessions). Returns whether the key is currently non-discriminative
+    /// — the insert acknowledgement carries this back to the inserting
+    /// peer for free, so late joiners learn NDK status without an extra
+    /// notification round-trip.
+    pub fn insert(&self, from: PeerId, key: Key, postings: PostingList) -> bool {
+        let n = postings.len() as u64;
+        let bytes = hdk_ir::codec::encoded_len(&postings) as u64;
+        self.inserted_by_size[key.size() - 1].fetch_add(n, Ordering::Relaxed);
+        let dfmax = self.dfmax as usize;
+        self.dht.upsert(
+            from,
+            key.dht_hash(),
+            n,
+            bytes,
+            || KeyEntry {
+                key,
+                postings: PostingList::new(),
+                df: 0,
+                contributors: Vec::new(),
+                is_ndk: false,
+                seen_docs: None,
+            },
+            |entry| {
+                debug_assert_eq!(entry.key, key, "DHT hash collision");
+                let new_docs = match &mut entry.seen_docs {
+                    Some(seen) => postings.docs().filter(|d| seen.insert(d.0)).count(),
+                    None => postings
+                        .docs()
+                        .filter(|&d| !entry.postings.contains_doc(d))
+                        .count(),
+                };
+                entry.df += new_docs as u32;
+                entry.postings = entry.postings.union(&postings);
+                if entry.is_ndk {
+                    entry.postings = entry.postings.truncate_top_k(dfmax, posting_quality);
+                }
+                if !entry.contributors.contains(&from) {
+                    entry.contributors.push(from);
+                }
+                entry.is_ndk
+            },
+        )
+    }
+
+    /// End-of-round classification sweep over all keys of `size`: marks
+    /// NDKs, truncates their lists, meters one notification per
+    /// contributor, and returns the keys-to-expand per peer.
+    ///
+    /// Keys already swept in a previous call keep their state (inserts only
+    /// happen for the round's size, so re-sweeping is idempotent).
+    pub fn classify_round(&self, size: usize) -> HashMap<PeerId, Vec<Key>> {
+        let dfmax = self.dfmax;
+        let mut notifications: HashMap<PeerId, Vec<Key>> = HashMap::new();
+        for peer_index in 0..self.dht.overlay().len() {
+            self.dht.for_each_local_mut(peer_index, |_, entry| {
+                if entry.key.size() != size || entry.is_ndk {
+                    return;
+                }
+                if classify(entry.df, dfmax) == KeyClass::NonDiscriminative {
+                    entry.is_ndk = true;
+                    // The stored list is still complete at transition time;
+                    // remember its documents so later (incremental) inserts
+                    // keep `df` exact after truncation.
+                    entry.seen_docs = Some(entry.postings.docs().map(|d| d.0).collect());
+                    entry.postings =
+                        entry.postings.truncate_top_k(dfmax as usize, posting_quality);
+                    for &peer in &entry.contributors {
+                        notifications.entry(peer).or_default().push(entry.key);
+                    }
+                }
+            });
+        }
+        // Meter the notification messages (key-sized payload, no postings).
+        for (&peer, keys) in &notifications {
+            for key in keys {
+                self.dht.notify(peer, 0, 4 * key.size() as u64 + 2);
+            }
+        }
+        // Canonical order for determinism downstream.
+        for keys in notifications.values_mut() {
+            keys.sort_unstable();
+        }
+        notifications
+    }
+
+    /// Retrieval-time lookup of one key by peer `from`. Metered: the
+    /// request routes to the responsible peer; the response carries the
+    /// stored postings back.
+    pub fn lookup(&self, from: PeerId, key: Key) -> Option<KeyLookup> {
+        self.dht.lookup(from, key.dht_hash(), |entry| match entry {
+            Some(e) => {
+                debug_assert_eq!(e.key, key, "DHT hash collision");
+                let postings = e.postings.clone();
+                let n = postings.len() as u64;
+                let bytes = hdk_ir::codec::encoded_len(&postings) as u64;
+                (
+                    Some(KeyLookup {
+                        postings,
+                        df: e.df,
+                        is_ndk: e.is_ndk,
+                    }),
+                    n,
+                    bytes,
+                )
+            }
+            None => (None, 0, 8),
+        })
+    }
+
+    /// Unmetered inspection (tests, ablations, stored-size measurements).
+    pub fn peek(&self, key: Key) -> Option<KeyEntry> {
+        self.dht.peek(key.dht_hash(), |e| e.cloned())
+    }
+
+    /// Stored postings per hosting peer — Figure 3's quantity.
+    pub fn stored_postings_per_peer(&self) -> Vec<u64> {
+        (0..self.dht.overlay().len())
+            .map(|p| {
+                let mut total = 0u64;
+                self.dht
+                    .for_each_local(p, |_, e| total += e.postings.len() as u64);
+                total
+            })
+            .collect()
+    }
+
+    /// Inserted postings per key size (`IS_s`, Figure 5). Slot `s-1`.
+    pub fn inserted_by_size(&self) -> [u64; MAX_KEY_SIZE] {
+        let mut out = [0u64; MAX_KEY_SIZE];
+        for (i, a) in self.inserted_by_size.iter().enumerate() {
+            out[i] = a.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Counts of stored keys and postings, split HDK/NDK and by size.
+    pub fn index_counts(&self) -> IndexCounts {
+        let mut counts = IndexCounts::default();
+        for p in 0..self.dht.overlay().len() {
+            self.dht.for_each_local(p, |_, e| {
+                let s = e.key.size() - 1;
+                if e.is_ndk {
+                    counts.ndk_keys[s] += 1;
+                    counts.ndk_postings[s] += e.postings.len() as u64;
+                } else {
+                    counts.hdk_keys[s] += 1;
+                    counts.hdk_postings[s] += e.postings.len() as u64;
+                }
+            });
+        }
+        counts
+    }
+
+    /// Traffic so far.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        self.dht.snapshot()
+    }
+
+    /// Admits a new peer to the overlay, migrating the index entries it
+    /// becomes responsible for (metered as maintenance).
+    pub fn add_peer(&mut self, peer: PeerId) -> hdk_p2p::MigrationStats {
+        self.dht.add_peer(peer, |entry| {
+            (
+                entry.postings.len() as u64,
+                hdk_ir::codec::encoded_len(&entry.postings) as u64,
+            )
+        })
+    }
+}
+
+impl std::fmt::Debug for GlobalIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalIndex")
+            .field("dfmax", &self.dfmax)
+            .field("dht", &self.dht)
+            .finish()
+    }
+}
+
+/// Stored-index composition, by key size (slot `s-1`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexCounts {
+    /// Number of stored highly-discriminative keys.
+    pub hdk_keys: [u64; MAX_KEY_SIZE],
+    /// Postings stored under HDKs.
+    pub hdk_postings: [u64; MAX_KEY_SIZE],
+    /// Number of stored non-discriminative keys.
+    pub ndk_keys: [u64; MAX_KEY_SIZE],
+    /// Postings stored under NDKs (each <= DFmax).
+    pub ndk_postings: [u64; MAX_KEY_SIZE],
+}
+
+impl IndexCounts {
+    /// Total stored postings.
+    pub fn total_postings(&self) -> u64 {
+        self.hdk_postings.iter().sum::<u64>() + self.ndk_postings.iter().sum::<u64>()
+    }
+
+    /// Total stored keys.
+    pub fn total_keys(&self) -> u64 {
+        self.hdk_keys.iter().sum::<u64>() + self.ndk_keys.iter().sum::<u64>()
+    }
+}
+
+impl std::fmt::Display for IndexCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} keys / {} postings (",
+            self.total_keys(),
+            self.total_postings()
+        )?;
+        let mut first = true;
+        for s in 0..MAX_KEY_SIZE {
+            let total = self.hdk_keys[s] + self.ndk_keys[s];
+            if total == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(
+                f,
+                "size {}: {} HDK + {} NDK",
+                s + 1,
+                self.hdk_keys[s],
+                self.ndk_keys[s]
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdk_corpus::DocId;
+    use hdk_p2p::PGrid;
+    use hdk_text::TermId;
+
+    fn index(peers: u64, dfmax: u32) -> GlobalIndex {
+        GlobalIndex::new(
+            Box::new(PGrid::new((0..peers).map(PeerId).collect())),
+            dfmax,
+        )
+    }
+
+    fn list(docs: &[u32]) -> PostingList {
+        PostingList::from_unsorted(
+            docs.iter()
+                .map(|&d| Posting {
+                    doc: DocId(d),
+                    tf: 1 + d % 3,
+                    doc_len: 80,
+                })
+                .collect(),
+        )
+    }
+
+    fn key(terms: &[u32]) -> Key {
+        Key::from_terms(&terms.iter().map(|&t| TermId(t)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn insert_accumulates_df_and_contributors() {
+        let idx = index(4, 10);
+        idx.insert(PeerId(0), key(&[1]), list(&[0, 1, 2]));
+        idx.insert(PeerId(1), key(&[1]), list(&[5, 6]));
+        let e = idx.peek(key(&[1])).unwrap();
+        assert_eq!(e.df, 5);
+        assert_eq!(e.postings.len(), 5);
+        assert_eq!(e.contributors.len(), 2);
+        assert!(!e.is_ndk);
+    }
+
+    #[test]
+    fn classify_marks_and_truncates_ndk() {
+        let idx = index(4, 3);
+        idx.insert(PeerId(0), key(&[1]), list(&[0, 1, 2, 3, 4]));
+        idx.insert(PeerId(1), key(&[2]), list(&[0, 1]));
+        let notes = idx.classify_round(1);
+        // Key {1} has df 5 > 3 -> NDK, truncated to 3; key {2} stays DK.
+        let e1 = idx.peek(key(&[1])).unwrap();
+        assert!(e1.is_ndk);
+        assert_eq!(e1.postings.len(), 3);
+        assert_eq!(e1.df, 5, "true df survives truncation");
+        let e2 = idx.peek(key(&[2])).unwrap();
+        assert!(!e2.is_ndk);
+        assert_eq!(e2.postings.len(), 2);
+        // Only the contributor of {1} is notified.
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[&PeerId(0)], vec![key(&[1])]);
+    }
+
+    #[test]
+    fn classification_is_idempotent() {
+        let idx = index(2, 2);
+        idx.insert(PeerId(0), key(&[7]), list(&[0, 1, 2, 3]));
+        let first = idx.classify_round(1);
+        assert_eq!(first.len(), 1);
+        let second = idx.classify_round(1);
+        assert!(second.is_empty(), "already-swept keys must not re-notify");
+    }
+
+    #[test]
+    fn sweep_only_touches_requested_size() {
+        let idx = index(2, 1);
+        idx.insert(PeerId(0), key(&[1]), list(&[0, 1]));
+        idx.insert(PeerId(0), key(&[1, 2]), list(&[0, 1]));
+        let notes = idx.classify_round(2);
+        assert_eq!(notes[&PeerId(0)], vec![key(&[1, 2])]);
+        // The single {1} is still unswept.
+        assert!(!idx.peek(key(&[1])).unwrap().is_ndk);
+    }
+
+    #[test]
+    fn lookup_meters_and_returns_state() {
+        let idx = index(4, 2);
+        idx.insert(PeerId(0), key(&[3]), list(&[0, 1, 2, 3]));
+        idx.classify_round(1);
+        let before = idx.snapshot();
+        let found = idx.lookup(PeerId(2), key(&[3])).unwrap();
+        assert!(found.is_ndk);
+        assert_eq!(found.postings.len(), 2);
+        assert_eq!(found.df, 4);
+        let after = idx.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.kind(hdk_p2p::MsgKind::QueryLookup).messages, 1);
+        assert_eq!(d.kind(hdk_p2p::MsgKind::QueryResponse).postings, 2);
+        assert!(idx.lookup(PeerId(2), key(&[99])).is_none());
+    }
+
+    #[test]
+    fn is_counters_track_sizes() {
+        let idx = index(2, 10);
+        idx.insert(PeerId(0), key(&[1]), list(&[0, 1]));
+        idx.insert(PeerId(0), key(&[1, 2]), list(&[0, 1, 2]));
+        idx.insert(PeerId(1), key(&[1, 2, 3]), list(&[4]));
+        let by_size = idx.inserted_by_size();
+        assert_eq!(by_size[0], 2);
+        assert_eq!(by_size[1], 3);
+        assert_eq!(by_size[2], 1);
+    }
+
+    #[test]
+    fn index_counts_split_correctly() {
+        let idx = index(2, 2);
+        idx.insert(PeerId(0), key(&[1]), list(&[0, 1, 2, 3])); // -> NDK
+        idx.insert(PeerId(0), key(&[2]), list(&[0])); // -> HDK
+        idx.insert(PeerId(0), key(&[2, 3]), list(&[0, 1])); // -> HDK size 2
+        idx.classify_round(1);
+        idx.classify_round(2);
+        let c = idx.index_counts();
+        assert_eq!(c.ndk_keys[0], 1);
+        assert_eq!(c.ndk_postings[0], 2); // truncated to DFmax=2
+        assert_eq!(c.hdk_keys[0], 1);
+        assert_eq!(c.hdk_keys[1], 1);
+        assert_eq!(c.total_keys(), 3);
+        assert_eq!(c.total_postings(), 5);
+        let stored: u64 = idx.stored_postings_per_peer().iter().sum();
+        assert_eq!(stored, c.total_postings());
+    }
+
+    #[test]
+    fn df_stays_exact_after_truncation() {
+        // Once an entry is NDK (truncated), further inserts must neither
+        // lose df (docs dropped from the stored list) nor double-count
+        // docs re-announced by the same peer.
+        let idx = index(2, 2);
+        idx.insert(PeerId(0), key(&[5]), list(&[0, 1, 2, 3]));
+        idx.classify_round(1);
+        assert_eq!(idx.peek(key(&[5])).unwrap().df, 4);
+        // New docs from another peer: df grows by exactly 2.
+        idx.insert(PeerId(1), key(&[5]), list(&[7, 8]));
+        let e = idx.peek(key(&[5])).unwrap();
+        assert_eq!(e.df, 6);
+        assert_eq!(e.postings.len(), 2, "stored list stays truncated");
+        // Re-announcing already-counted docs (including ones truncated out
+        // of the stored list) must not change df.
+        idx.insert(PeerId(1), key(&[5]), list(&[0, 7]));
+        assert_eq!(idx.peek(key(&[5])).unwrap().df, 6);
+    }
+
+    #[test]
+    fn insert_reports_ndk_state() {
+        let idx = index(2, 2);
+        assert!(!idx.insert(PeerId(0), key(&[6]), list(&[0, 1, 2])));
+        idx.classify_round(1);
+        // A later insert (e.g. a joining peer) learns the NDK state from
+        // the acknowledgement.
+        assert!(idx.insert(PeerId(1), key(&[6]), list(&[9])));
+    }
+
+    #[test]
+    fn truncation_keeps_highest_tf() {
+        let idx = index(2, 2);
+        let pl = PostingList::from_unsorted(vec![
+            Posting { doc: DocId(0), tf: 1, doc_len: 10 },
+            Posting { doc: DocId(1), tf: 9, doc_len: 10 },
+            Posting { doc: DocId(2), tf: 5, doc_len: 10 },
+        ]);
+        idx.insert(PeerId(0), key(&[4]), pl);
+        idx.classify_round(1);
+        let e = idx.peek(key(&[4])).unwrap();
+        let docs: Vec<u32> = e.postings.docs().map(|d| d.0).collect();
+        assert_eq!(docs, [1, 2]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Distributed content-based ranking.
+//!
+//! The querying peer merges the posting lists retrieved for the query's
+//! keys ("simple set union", Section 3.2) and ranks the union locally.
+//! Postings are self-contained — `(doc, tf, doc_len)` — and each key's
+//! global `df` arrives with the lookup response, so the peer can compute a
+//! BM25-family score without further round-trips. This mirrors the ALVIS
+//! distributed ranking the prototype integrates (\[10\]).
+//!
+//! Scoring: each retrieved key `k` contributes
+//! `idf(df_global(k)) · tf_sat(tf, dl)` to every document on its list. For
+//! a single-term index (the ST baseline: all keys are single terms with
+//! full lists) this *is* BM25, so the baseline reproduces the centralized
+//! ranking exactly. Multi-term keys act as high-idf evidence of
+//! co-occurrence, the HDK analogue of matching several query terms.
+
+use crate::global_index::KeyLookup;
+use crate::key::Key;
+use hdk_corpus::DocId;
+use hdk_ir::{top_k, Bm25, SearchResult};
+use std::collections::HashMap;
+
+/// Ranks the union of the retrieved posting lists.
+///
+/// `num_docs` is the global collection size `M` and `avg_doc_len` the
+/// global average document length, both known to every peer (coarse
+/// collection statistics are cheap to disseminate and the paper assumes
+/// global df knowledge for ranking).
+pub fn rank_union(
+    fetched: &[(Key, KeyLookup)],
+    num_docs: usize,
+    avg_doc_len: f64,
+    k: usize,
+) -> Vec<SearchResult> {
+    let bm25 = Bm25::default();
+    let mut acc: HashMap<DocId, f64> = HashMap::new();
+    for (_, lookup) in fetched {
+        let df = lookup.df as usize;
+        for p in lookup.postings.postings() {
+            *acc.entry(p.doc).or_insert(0.0) +=
+                bm25.score(p.tf, p.doc_len, avg_doc_len, df, num_docs);
+        }
+    }
+    top_k(
+        acc.into_iter().map(|(doc, score)| SearchResult { doc, score }),
+        k,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdk_ir::{Posting, PostingList};
+    use hdk_text::TermId;
+
+    fn lookup(df: u32, docs: &[(u32, u32)]) -> KeyLookup {
+        KeyLookup {
+            postings: PostingList::from_unsorted(
+                docs.iter()
+                    .map(|&(d, tf)| Posting {
+                        doc: DocId(d),
+                        tf,
+                        doc_len: 100,
+                    })
+                    .collect(),
+            ),
+            df,
+            is_ndk: false,
+        }
+    }
+
+    fn key(terms: &[u32]) -> Key {
+        Key::from_terms(&terms.iter().map(|&t| TermId(t)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn rare_key_outweighs_common_key() {
+        let fetched = vec![
+            (key(&[1]), lookup(1000, &[(0, 3)])),
+            (key(&[2]), lookup(5, &[(1, 3)])),
+        ];
+        let res = rank_union(&fetched, 10_000, 100.0, 10);
+        assert_eq!(res[0].doc, DocId(1), "doc matching the rarer key wins");
+    }
+
+    #[test]
+    fn documents_on_multiple_lists_accumulate() {
+        let fetched = vec![
+            (key(&[1]), lookup(50, &[(0, 2), (1, 2)])),
+            (key(&[2]), lookup(50, &[(1, 2)])),
+        ];
+        let res = rank_union(&fetched, 10_000, 100.0, 10);
+        assert_eq!(res[0].doc, DocId(1));
+        assert!(res[0].score > res[1].score);
+    }
+
+    #[test]
+    fn matches_centralized_bm25_for_single_terms() {
+        // Same inputs through hdk_ir's Bm25 directly.
+        let bm = Bm25::default();
+        let fetched = vec![(key(&[7]), lookup(30, &[(3, 4)]))];
+        let res = rank_union(&fetched, 5_000, 120.0, 1);
+        let expected = bm.score(4, 100, 120.0, 30, 5_000);
+        assert!((res[0].score - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fetch_empty_results() {
+        let res = rank_union(&[], 100, 10.0, 5);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let fetched = vec![(
+            key(&[1]),
+            lookup(10, &(0..50u32).map(|d| (d, 1 + d % 4)).collect::<Vec<_>>()),
+        )];
+        let res = rank_union(&fetched, 1_000, 100.0, 20);
+        assert_eq!(res.len(), 20);
+        // Descending scores.
+        for w in res.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

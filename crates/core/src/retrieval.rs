@@ -1,0 +1,310 @@
+//! Query processing: mapping a query onto HDKs/NDKs in the key lattice and
+//! retrieving their postings (Section 3.2).
+//!
+//! The query is treated "as a document collection consisting of a unique
+//! document" and the indexing mechanism's logic identifies, "in the lattice
+//! of query term combinations, the term sets corresponding to global HDKs
+//! or NDKs". The walk exploits the subsumption properties:
+//!
+//! * a *discriminative* subset prunes all its supersets (their answer sets
+//!   are contained in the subset's list — redundancy, Definition 5);
+//! * an *absent* subset (never co-occurring within any window) prunes its
+//!   supersets too (proximity filtering is monotone);
+//! * only *non-discriminative* subsets are expanded, exactly like the
+//!   indexing-side candidate generation.
+//!
+//! Worst case (every subset present and non-discriminative) the walk
+//! issues `nk = Σ_s C(|q|, s)` lookups for `s ≤ smax` — the bound of
+//! Section 4.2; in practice pruning keeps it far lower.
+
+use crate::engine::HdkNetwork;
+use crate::global_index::KeyLookup;
+use crate::key::Key;
+use crate::ranking::rank_union;
+use hdk_ir::SearchResult;
+use hdk_p2p::PeerId;
+use hdk_text::TermId;
+use std::collections::HashSet;
+
+/// Outcome of one query: ranked results plus the traffic it cost.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Top-k documents, descending BM25-family score.
+    pub results: Vec<SearchResult>,
+    /// Key lookups issued (`nk` of Section 4.2).
+    pub lookups: u32,
+    /// Postings transferred to the querying peer (Figure 6's y-axis).
+    pub postings_fetched: u64,
+}
+
+impl HdkNetwork {
+    /// Executes `query` from peer `from`, returning the top `k` documents
+    /// and the query's cost.
+    pub fn query(&self, from: PeerId, query: &[TermId], k: usize) -> QueryOutcome {
+        self.query_with(query, k, |key, lookups, postings| {
+            *lookups += 1;
+            let result = self.index.lookup(from, key);
+            if let Some(l) = &result {
+                *postings += l.postings.len() as u64;
+            }
+            result
+        })
+    }
+
+    /// Like [`HdkNetwork::query`] but consults a per-peer
+    /// [`QueryCache`](crate::cache::QueryCache) first. Cache hits cost no
+    /// messages and no postings; only misses appear in the returned
+    /// [`QueryOutcome`] and in the traffic meters. The cache self-clears
+    /// when the index epoch changed (after `add_documents` / `join_peer`).
+    pub fn query_cached(
+        &self,
+        from: PeerId,
+        query: &[TermId],
+        k: usize,
+        cache: &crate::cache::QueryCache,
+    ) -> QueryOutcome {
+        let epoch = self.epoch();
+        self.query_with(query, k, |key, lookups, postings| {
+            cache.get_or_fetch(epoch, key, || {
+                *lookups += 1;
+                let result = self.index.lookup(from, key);
+                if let Some(l) = &result {
+                    *postings += l.postings.len() as u64;
+                }
+                result
+            })
+        })
+    }
+
+    /// The shared lattice walk; `look` resolves one key and accounts its
+    /// cost into the two counters it receives.
+    fn query_with<F>(&self, query: &[TermId], k: usize, mut look: F) -> QueryOutcome
+    where
+        F: FnMut(Key, &mut u32, &mut u64) -> Option<KeyLookup>,
+    {
+        let mut terms: Vec<TermId> = query.to_vec();
+        terms.sort_unstable();
+        terms.dedup();
+
+        let mut fetched: Vec<(Key, KeyLookup)> = Vec::new();
+        let mut lookups = 0u32;
+        let mut postings_fetched = 0u64;
+
+        // Level 1: singles.
+        let mut ndk_singles: Vec<TermId> = Vec::new();
+        for &t in &terms {
+            let key = Key::single(t);
+            match look(key, &mut lookups, &mut postings_fetched) {
+                Some(l) => {
+                    if l.is_ndk {
+                        ndk_singles.push(t);
+                    }
+                    fetched.push((key, l));
+                }
+                None => {
+                    // Very frequent (excluded from the key vocabulary) or
+                    // absent from the collection: contributes nothing and,
+                    // being outside the vocabulary, forms no multi-term
+                    // keys either.
+                }
+            }
+        }
+
+        // Levels 2..=smax: expand non-discriminative keys with further
+        // non-discriminative query terms, exactly like indexing-side
+        // generation — so every key that *could* be in the index is probed
+        // and nothing else.
+        let mut frontier: Vec<Key> = ndk_singles.iter().map(|&t| Key::single(t)).collect();
+        for _size in 2..=self.config.smax {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut candidates: HashSet<Key> = HashSet::new();
+            for key in &frontier {
+                for &t in &ndk_singles {
+                    if let Some(c) = key.extend(t) {
+                        candidates.insert(c);
+                    }
+                }
+            }
+            let mut next_frontier: Vec<Key> = Vec::new();
+            let mut ordered: Vec<Key> = candidates.into_iter().collect();
+            ordered.sort_unstable(); // deterministic lookup order
+            for key in ordered {
+                if let Some(l) = look(key, &mut lookups, &mut postings_fetched) {
+                    if l.is_ndk {
+                        next_frontier.push(key);
+                    }
+                    fetched.push((key, l));
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        let results = rank_union(&fetched, self.num_docs, self.avg_doc_len, k);
+        QueryOutcome {
+            results,
+            lookups,
+            postings_fetched,
+        }
+    }
+
+    /// The worst-case number of key lookups for a query of `q_len` distinct
+    /// terms (Section 4.2): `2^|q| - 1` when `|q| <= smax`, otherwise
+    /// `Σ_{s=1..smax} C(|q|, s)`.
+    pub fn max_lookups(&self, q_len: usize) -> u64 {
+        let smax = self.config.smax.min(q_len);
+        (1..=smax).map(|s| binomial(q_len, s)).sum()
+    }
+}
+
+/// Binomial coefficient (small arguments only: `|q| <= 8` in web queries).
+fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1u64;
+    let mut den = 1u64;
+    for i in 0..k {
+        num *= (n - i) as u64;
+        den *= (i + 1) as u64;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HdkConfig;
+    use crate::engine::OverlayKind;
+    use hdk_corpus::{partition_documents, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig};
+
+    fn network(dfmax: u32) -> (hdk_corpus::Collection, HdkNetwork) {
+        let c = CollectionGenerator::new(GeneratorConfig {
+            num_docs: 500,
+            vocab_size: 3_000,
+            avg_doc_len: 60,
+            num_topics: 40,
+            topic_vocab: 60,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let parts = partition_documents(c.len(), 4, 11);
+        let n = HdkNetwork::build(
+            &c,
+            &parts,
+            HdkConfig {
+                dfmax,
+                ff: 3_000,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        (c, n)
+    }
+
+    #[test]
+    fn queries_return_ranked_results() {
+        let (c, n) = network(25);
+        let log = QueryLog::generate(&c, &QueryLogConfig {
+            num_queries: 40,
+            ..QueryLogConfig::default()
+        });
+        let mut nonempty = 0;
+        for q in &log.queries {
+            let out = n.query(PeerId(0), &q.terms, 20);
+            if !out.results.is_empty() {
+                nonempty += 1;
+                for w in out.results.windows(2) {
+                    assert!(w[0].score >= w[1].score);
+                }
+            }
+        }
+        // Queries are sampled from document windows, so they match.
+        assert!(nonempty >= 38, "only {nonempty}/40 queries had results");
+    }
+
+    #[test]
+    fn lookups_bounded_by_lattice_size() {
+        let (c, n) = network(25);
+        let log = QueryLog::generate(&c, &QueryLogConfig {
+            num_queries: 60,
+            ..QueryLogConfig::default()
+        });
+        for q in &log.queries {
+            let out = n.query(PeerId(1), &q.terms, 20);
+            assert!(
+                u64::from(out.lookups) <= n.max_lookups(q.terms.len()),
+                "query of {} terms used {} lookups > bound {}",
+                q.terms.len(),
+                out.lookups,
+                n.max_lookups(q.terms.len())
+            );
+        }
+    }
+
+    #[test]
+    fn per_key_transfer_bounded_by_dfmax_for_ndks() {
+        // Total fetched <= lookups * max(DFmax, largest HDK list); since
+        // every HDK list is also <= DFmax by definition, the bound is
+        // lookups * DFmax (Section 4.2's nk * DFmax).
+        let (c, n) = network(25);
+        let log = QueryLog::generate(&c, &QueryLogConfig {
+            num_queries: 60,
+            ..QueryLogConfig::default()
+        });
+        for q in &log.queries {
+            let out = n.query(PeerId(2), &q.terms, 20);
+            assert!(
+                out.postings_fetched <= u64::from(out.lookups) * u64::from(n.config().dfmax),
+                "fetched {} > nk*DFmax {}",
+                out.postings_fetched,
+                u64::from(out.lookups) * u64::from(n.config().dfmax)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_terms_yield_empty() {
+        let (_, n) = network(25);
+        let out = n.query(PeerId(0), &[TermId(2_999_999)], 10);
+        assert!(out.results.is_empty());
+        assert_eq!(out.postings_fetched, 0);
+    }
+
+    #[test]
+    fn duplicate_query_terms_collapse() {
+        let (c, n) = network(25);
+        let log = QueryLog::generate(&c, &QueryLogConfig {
+            num_queries: 5,
+            ..QueryLogConfig::default()
+        });
+        let q = &log.queries[0].terms;
+        let mut doubled = q.clone();
+        doubled.extend(q.iter().copied());
+        let a = n.query(PeerId(0), q, 10);
+        let b = n.query(PeerId(0), &doubled, 10);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.lookups, b.lookups);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(8, 3), 56);
+        assert_eq!(binomial(8, 1), 8);
+        assert_eq!(binomial(3, 3), 1);
+        assert_eq!(binomial(2, 3), 0);
+        assert_eq!(binomial(0, 0), 1);
+    }
+
+    #[test]
+    fn max_lookups_matches_paper_formulas() {
+        let (_, n) = network(25);
+        // smax = 3: |q| = 2 -> 2^2 - 1 = 3; |q| = 3 -> 2^3 - 1 = 7;
+        // |q| = 8 -> C(8,1)+C(8,2)+C(8,3) = 8+28+56 = 92.
+        assert_eq!(n.max_lookups(2), 3);
+        assert_eq!(n.max_lookups(3), 7);
+        assert_eq!(n.max_lookups(8), 92);
+    }
+}

@@ -1,0 +1,99 @@
+//! Build-time statistics consumed by the experiment harness.
+
+use crate::global_index::IndexCounts;
+use crate::key::MAX_KEY_SIZE;
+use hdk_p2p::TrafficSnapshot;
+
+/// Everything Figures 3–5 need, measured (not estimated) from one build.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Number of peers `N`.
+    pub num_peers: usize,
+    /// Number of documents `M`.
+    pub num_docs: usize,
+    /// Sample size `D` (total term occurrences).
+    pub sample_size: u64,
+    /// Indexing rounds executed.
+    pub rounds: usize,
+    /// Postings inserted into the global index per key size (`IS_s`).
+    pub inserted_by_size: [u64; MAX_KEY_SIZE],
+    /// Postings stored at each peer after truncation (Figure 3).
+    pub stored_per_peer: Vec<u64>,
+    /// Stored-index composition.
+    pub counts: IndexCounts,
+    /// Full traffic counters at the end of the build.
+    pub traffic: TrafficSnapshot,
+}
+
+impl BuildReport {
+    /// Mean stored postings per peer — Figure 3's y-axis.
+    pub fn avg_stored_per_peer(&self) -> f64 {
+        if self.stored_per_peer.is_empty() {
+            return 0.0;
+        }
+        self.stored_per_peer.iter().sum::<u64>() as f64 / self.stored_per_peer.len() as f64
+    }
+
+    /// Mean inserted postings per peer — Figure 4's y-axis.
+    pub fn avg_inserted_per_peer(&self) -> f64 {
+        self.inserted_by_size.iter().sum::<u64>() as f64 / self.num_peers.max(1) as f64
+    }
+
+    /// `IS_s / D` — Figure 5's y-axis for key size `s` (1-based).
+    pub fn is_ratio(&self, s: usize) -> f64 {
+        assert!((1..=MAX_KEY_SIZE).contains(&s));
+        self.inserted_by_size[s - 1] as f64 / self.sample_size.max(1) as f64
+    }
+
+    /// `IS / D` — total inserted postings over sample size.
+    pub fn is_ratio_total(&self) -> f64 {
+        self.inserted_by_size.iter().sum::<u64>() as f64 / self.sample_size.max(1) as f64
+    }
+
+    /// Inserted postings per document (the paper quotes "5290 postings per
+    /// document by the HDK indexing" vs "130 postings per document" for ST).
+    pub fn postings_per_doc(&self) -> f64 {
+        self.inserted_by_size.iter().sum::<u64>() as f64 / self.num_docs.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BuildReport {
+        BuildReport {
+            num_peers: 4,
+            num_docs: 100,
+            sample_size: 10_000,
+            rounds: 3,
+            inserted_by_size: [10_000, 20_000, 5_000, 0],
+            stored_per_peer: vec![4_000, 6_000, 5_000, 5_000],
+            counts: IndexCounts::default(),
+            traffic: TrafficSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let r = report();
+        assert!((r.avg_stored_per_peer() - 5_000.0).abs() < 1e-9);
+        assert!((r.avg_inserted_per_peer() - 8_750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios() {
+        let r = report();
+        assert!((r.is_ratio(1) - 1.0).abs() < 1e-12);
+        assert!((r.is_ratio(2) - 2.0).abs() < 1e-12);
+        assert!((r.is_ratio(3) - 0.5).abs() < 1e-12);
+        assert!((r.is_ratio_total() - 3.5).abs() < 1e-12);
+        assert!((r.postings_per_doc() - 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ratio_rejects_zero_size() {
+        let _ = report().is_ratio(0);
+    }
+}

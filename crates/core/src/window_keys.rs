@@ -1,0 +1,396 @@
+//! Local key-candidate generation from document windows.
+//!
+//! Implements the per-peer, per-iteration candidate computation of
+//! Section 3.1: size-1 keys are all (non-very-frequent) terms; size-`s`
+//! candidates are built by extending a locally present, globally
+//! non-discriminative key of size `s-1` with a non-discriminative term
+//! co-occurring in the same window of size `w` (proximity filtering).
+//!
+//! The generation scans each document once, visiting every *context event*
+//! — a new right-most token plus the up-to-`w-1` tokens preceding it — the
+//! same incremental counting used in the paper's proof of Theorem 3, so no
+//! co-occurrence is counted twice.
+
+use crate::key::Key;
+use hdk_corpus::DocId;
+use hdk_ir::{Posting, PostingList};
+use hdk_text::{window::for_each_context, TermId};
+use std::collections::{HashMap, HashSet};
+
+/// Computes the local size-1 key postings of a peer: one key per distinct
+/// non-excluded term, postings `(doc, tf, doc_len)`.
+///
+/// `excluded` is the very-frequent-term set (`f_D(t) > Ff`), which never
+/// enters the key vocabulary (Section 4.1).
+pub fn single_term_postings<'a, I>(
+    docs: I,
+    excluded: &HashSet<TermId>,
+) -> HashMap<Key, PostingList>
+where
+    I: IntoIterator<Item = (DocId, &'a [TermId])>,
+{
+    let mut acc: HashMap<Key, Vec<Posting>> = HashMap::new();
+    for (doc, tokens) in docs {
+        let doc_len = tokens.len() as u32;
+        let mut tf: HashMap<TermId, u32> = HashMap::new();
+        for &t in tokens {
+            if !excluded.contains(&t) {
+                *tf.entry(t).or_insert(0) += 1;
+            }
+        }
+        for (t, f) in tf {
+            acc.entry(Key::single(t)).or_default().push(Posting {
+                doc,
+                tf: f,
+                doc_len,
+            });
+        }
+    }
+    acc.into_iter()
+        .map(|(k, v)| (k, PostingList::from_unsorted(v)))
+        .collect()
+}
+
+/// Computes local size-`s` candidates (`s >= 2`).
+///
+/// For every context event `(prefix, t)` with `t` a globally
+/// non-discriminative term (`ndk1`), every `(s-1)`-subset `S` of the
+/// distinct non-discriminative terms in `prefix` such that `Key(S)` is a
+/// known NDK of size `s-1` (`ndk_prev`) yields the candidate `S ∪ {t}`.
+///
+/// When `exact_intrinsic` is set, Definition 5 is enforced verbatim: every
+/// other immediate sub-key (the ones containing `t`) must also be in
+/// `ndk_prev`. The default (paper variant) only requires the generating
+/// sub-key to be non-discriminative.
+///
+/// Key `tf` in a document counts context events, the positional-index
+/// counting of Theorem 3.
+pub fn candidate_postings<'a, I>(
+    docs: I,
+    window: usize,
+    s: usize,
+    ndk1: &HashSet<TermId>,
+    ndk_prev: &HashSet<Key>,
+    exact_intrinsic: bool,
+) -> HashMap<Key, PostingList>
+where
+    I: IntoIterator<Item = (DocId, &'a [TermId])>,
+{
+    candidate_postings_filtered(docs, window, s, ndk1, ndk_prev, exact_intrinsic, None)
+}
+
+/// Candidate generation restricted to *novel* combinations.
+///
+/// Incremental indexing (documents added after an initial build) must not
+/// re-insert postings the peer already published. For previously indexed
+/// documents, only combinations that were impossible before are generated:
+/// the generating sub-key or the new term must come from `novelty`
+/// (the keys/terms that became non-discriminative since the last run).
+/// Passing `None` generates everything (the initial-build behaviour).
+#[allow(clippy::too_many_arguments)]
+pub fn candidate_postings_filtered<'a, I>(
+    docs: I,
+    window: usize,
+    s: usize,
+    ndk1: &HashSet<TermId>,
+    ndk_prev: &HashSet<Key>,
+    exact_intrinsic: bool,
+    novelty: Option<(&HashSet<TermId>, &HashSet<Key>)>,
+) -> HashMap<Key, PostingList>
+where
+    I: IntoIterator<Item = (DocId, &'a [TermId])>,
+{
+    assert!(s >= 2, "candidate generation starts at size 2");
+    let mut acc: HashMap<Key, Vec<Posting>> = HashMap::new();
+    let mut prefix_ndk: Vec<TermId> = Vec::with_capacity(window);
+    for (doc, tokens) in docs {
+        let doc_len = tokens.len() as u32;
+        let mut per_doc: HashMap<Key, u32> = HashMap::new();
+        for_each_context(tokens, window, |prefix, t| {
+            if !ndk1.contains(&t) {
+                return;
+            }
+            let t_is_new = novelty.map(|(new1, _)| new1.contains(&t));
+            // Distinct non-discriminative terms in the prefix, excluding t.
+            prefix_ndk.clear();
+            for &p in prefix {
+                if p != t && ndk1.contains(&p) && !prefix_ndk.contains(&p) {
+                    prefix_ndk.push(p);
+                }
+            }
+            for_each_combination(&prefix_ndk, s - 1, |subset| {
+                let sub_key = Key::from_terms(subset).expect("subset is small and non-empty");
+                if !ndk_prev.contains(&sub_key) {
+                    return;
+                }
+                if let (Some((_, new_prev)), Some(false)) = (novelty, t_is_new) {
+                    // Old document, old term: the sub-key must be novel,
+                    // otherwise this combination was generated before.
+                    if !new_prev.contains(&sub_key) {
+                        return;
+                    }
+                }
+                let Some(candidate) = sub_key.extend(t) else {
+                    return;
+                };
+                if exact_intrinsic
+                    && !candidate
+                        .immediate_sub_keys()
+                        .all(|sub| ndk_prev.contains(&sub))
+                {
+                    return;
+                }
+                *per_doc.entry(candidate).or_insert(0) += 1;
+            });
+        });
+        for (k, tf) in per_doc {
+            acc.entry(k).or_default().push(Posting { doc, tf, doc_len });
+        }
+    }
+    acc.into_iter()
+        .map(|(k, v)| (k, PostingList::from_unsorted(v)))
+        .collect()
+}
+
+/// Visits every `k`-subset of `items` (items are distinct by construction).
+fn for_each_combination<F: FnMut(&[TermId])>(items: &[TermId], k: usize, mut f: F) {
+    let n = items.len();
+    if k == 0 || k > n {
+        return;
+    }
+    match k {
+        1 => {
+            for &a in items {
+                f(&[a]);
+            }
+        }
+        2 => {
+            for i in 0..n {
+                for j in i + 1..n {
+                    f(&[items[i], items[j]]);
+                }
+            }
+        }
+        3 => {
+            for i in 0..n {
+                for j in i + 1..n {
+                    for l in j + 1..n {
+                        f(&[items[i], items[j], items[l]]);
+                    }
+                }
+            }
+        }
+        _ => {
+            // General recursive case (smax <= MAX_KEY_SIZE keeps this cold).
+            let mut idx: Vec<usize> = (0..k).collect();
+            let mut buf: Vec<TermId> = idx.iter().map(|&i| items[i]).collect();
+            loop {
+                f(&buf);
+                // Advance the combination odometer.
+                let mut i = k;
+                loop {
+                    if i == 0 {
+                        return;
+                    }
+                    i -= 1;
+                    if idx[i] != i + n - k {
+                        break;
+                    }
+                    if i == 0 {
+                        return;
+                    }
+                }
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                for (j, &ii) in idx.iter().enumerate() {
+                    buf[j] = items[ii];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    fn doc(id: u32, tokens: &[u32]) -> (DocId, Vec<TermId>) {
+        (DocId(id), tokens.iter().map(|&x| TermId(x)).collect())
+    }
+
+    fn run_singles(
+        docs: &[(DocId, Vec<TermId>)],
+        excluded: &[u32],
+    ) -> HashMap<Key, PostingList> {
+        let ex: HashSet<TermId> = excluded.iter().map(|&x| TermId(x)).collect();
+        single_term_postings(docs.iter().map(|(d, v)| (*d, v.as_slice())), &ex)
+    }
+
+    #[test]
+    fn singles_count_tf_and_len() {
+        let docs = vec![doc(0, &[1, 2, 1]), doc(1, &[2])];
+        let map = run_singles(&docs, &[]);
+        let k1 = &map[&Key::single(t(1))];
+        assert_eq!(k1.len(), 1);
+        assert_eq!(k1.postings()[0].tf, 2);
+        assert_eq!(k1.postings()[0].doc_len, 3);
+        let k2 = &map[&Key::single(t(2))];
+        assert_eq!(k2.len(), 2);
+    }
+
+    #[test]
+    fn singles_respect_exclusion() {
+        let docs = vec![doc(0, &[1, 2])];
+        let map = run_singles(&docs, &[2]);
+        assert!(map.contains_key(&Key::single(t(1))));
+        assert!(!map.contains_key(&Key::single(t(2))));
+    }
+
+    fn run_pairs(
+        docs: &[(DocId, Vec<TermId>)],
+        w: usize,
+        ndk: &[u32],
+    ) -> HashMap<Key, PostingList> {
+        let ndk1: HashSet<TermId> = ndk.iter().map(|&x| TermId(x)).collect();
+        let ndk_prev: HashSet<Key> = ndk1.iter().map(|&x| Key::single(x)).collect();
+        candidate_postings(
+            docs.iter().map(|(d, v)| (*d, v.as_slice())),
+            w,
+            2,
+            &ndk1,
+            &ndk_prev,
+            false,
+        )
+    }
+
+    #[test]
+    fn pairs_need_window_cooccurrence() {
+        // 1 and 2 are 4 positions apart: in window 5 yes, window 3 no.
+        let docs = vec![doc(0, &[1, 9, 9, 9, 2])];
+        let wide = run_pairs(&docs, 5, &[1, 2]);
+        assert!(wide.contains_key(&Key::from_terms(&[t(1), t(2)]).unwrap()));
+        let narrow = run_pairs(&docs, 3, &[1, 2]);
+        assert!(narrow.is_empty());
+    }
+
+    #[test]
+    fn pairs_only_from_ndk_terms() {
+        let docs = vec![doc(0, &[1, 2, 3])];
+        let map = run_pairs(&docs, 10, &[1, 2]);
+        // Pair {1,2} allowed; pairs with 3 are not (3 is discriminative).
+        assert_eq!(map.len(), 1);
+        assert!(map.contains_key(&Key::from_terms(&[t(1), t(2)]).unwrap()));
+    }
+
+    #[test]
+    fn pair_tf_counts_context_events() {
+        // "1 2 1 2": events: (1,2)@pos1, (2,1)@pos2 -> {1,2} again,
+        // (1,2)@pos3 and (?)... prefix windows: pos1 prefix [1] -> {1,2};
+        // pos2 prefix [1,2] -> {2,1}={1,2}; pos3 prefix [2,1]... t=2,
+        // prefix distinct NDK excl t = [1] -> {1,2}. Total tf = 3... but
+        // pos2: t=1, prefix [1,2] minus t -> [2] -> {1,2}. So 3 events.
+        let docs = vec![doc(0, &[1, 2, 1, 2])];
+        let map = run_pairs(&docs, 4, &[1, 2]);
+        let pl = &map[&Key::from_terms(&[t(1), t(2)]).unwrap()];
+        assert_eq!(pl.postings()[0].tf, 3);
+    }
+
+    #[test]
+    fn triples_extend_ndk_pairs_only() {
+        let docs = [doc(0, &[1, 2, 3]), doc(1, &[1, 2, 3])];
+        let ndk1: HashSet<TermId> = [t(1), t(2), t(3)].into_iter().collect();
+        // Only {1,2} is a known NDK pair; {1,3}/{2,3} are (say) HDKs.
+        let ndk_prev: HashSet<Key> = [Key::from_terms(&[t(1), t(2)]).unwrap()]
+            .into_iter()
+            .collect();
+        let map = candidate_postings(
+            docs.iter().map(|(d, v)| (*d, v.as_slice())),
+            10,
+            3,
+            &ndk1,
+            &ndk_prev,
+            false,
+        );
+        // Candidate {1,2,3} generated from NDK pair {1,2} + new term 3.
+        assert_eq!(map.len(), 1);
+        let key = Key::from_terms(&[t(1), t(2), t(3)]).unwrap();
+        assert_eq!(map[&key].len(), 2);
+    }
+
+    #[test]
+    fn exact_intrinsic_requires_all_subkeys_ndk() {
+        let docs = [doc(0, &[1, 2, 3])];
+        let ndk1: HashSet<TermId> = [t(1), t(2), t(3)].into_iter().collect();
+        let only_12: HashSet<Key> = [Key::from_terms(&[t(1), t(2)]).unwrap()]
+            .into_iter()
+            .collect();
+        // Practical variant generates {1,2,3}; exact mode must refuse it
+        // because {1,3} and {2,3} are not NDKs.
+        let strict = candidate_postings(
+            docs.iter().map(|(d, v)| (*d, v.as_slice())),
+            10,
+            3,
+            &ndk1,
+            &only_12,
+            true,
+        );
+        assert!(strict.is_empty());
+        // With all three pairs NDK, exact mode accepts.
+        let all_pairs: HashSet<Key> = [
+            Key::from_terms(&[t(1), t(2)]).unwrap(),
+            Key::from_terms(&[t(1), t(3)]).unwrap(),
+            Key::from_terms(&[t(2), t(3)]).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let ok = candidate_postings(
+            docs.iter().map(|(d, v)| (*d, v.as_slice())),
+            10,
+            3,
+            &ndk1,
+            &all_pairs,
+            true,
+        );
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn combinations_enumerate_exactly() {
+        let items: Vec<TermId> = (0..5).map(TermId).collect();
+        let mut count = 0;
+        for_each_combination(&items, 2, |s| {
+            assert_eq!(s.len(), 2);
+            assert!(s[0].0 < s[1].0);
+            count += 1;
+        });
+        assert_eq!(count, 10);
+        count = 0;
+        for_each_combination(&items, 3, |_| count += 1);
+        assert_eq!(count, 10);
+        count = 0;
+        for_each_combination(&items, 4, |s| {
+            assert!(s.windows(2).all(|w| w[0].0 < w[1].0));
+            count += 1;
+        });
+        assert_eq!(count, 5);
+        count = 0;
+        for_each_combination(&items, 6, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn duplicate_prefix_terms_counted_once_per_event() {
+        // Prefix [1,1] for new token 2: subset {1} considered once.
+        let docs = vec![doc(0, &[1, 1, 2])];
+        let map = run_pairs(&docs, 5, &[1, 2]);
+        let pl = &map[&Key::from_terms(&[t(1), t(2)]).unwrap()];
+        // Event at pos2 only (pos1: t=1 prefix [1] -> p==t skipped).
+        assert_eq!(pl.postings()[0].tf, 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Incremental indexing must be indistinguishable from a full rebuild.
+//!
+//! The paper's growth model adds peers/documents over time; our engine
+//! supports that without rebuilding. These tests check the strong
+//! equivalence: after `add_documents`, the global index (key population,
+//! classifications, dfs, posting lists) and all query answers are
+//! *identical* to building the enlarged collection from scratch —
+//! including the cross-session subtleties (keys flipping to NDK late,
+//! old documents contributing new combinations, no double-counted dfs).
+
+use hdk_core::{HdkConfig, HdkNetwork, Key, OverlayKind};
+use hdk_corpus::{
+    partition_documents, Collection, CollectionGenerator, DocId, GeneratorConfig, QueryLog,
+    QueryLogConfig,
+};
+use hdk_p2p::PeerId;
+use proptest::prelude::*;
+use hdk_text::{TermId, Vocabulary};
+
+fn config(dfmax: u32) -> HdkConfig {
+    HdkConfig {
+        dfmax,
+        // No very-frequent exclusion: the incremental engine freezes the
+        // exclusion set at build time, so equality with a rebuild is only
+        // exact when the set cannot change.
+        ff: u64::MAX,
+        ..HdkConfig::default()
+    }
+}
+
+/// Builds the full network in one shot and incrementally (prefix first,
+/// remainder via `add_documents`), with identical peer assignments.
+fn build_both(
+    collection: &Collection,
+    peers: usize,
+    split_at: usize,
+    dfmax: u32,
+) -> (HdkNetwork, HdkNetwork) {
+    let partitions = partition_documents(collection.len(), peers, 31);
+    let full = HdkNetwork::build(collection, &partitions, config(dfmax), OverlayKind::PGrid);
+
+    let old_parts: Vec<Vec<DocId>> = partitions
+        .iter()
+        .map(|p| p.iter().copied().filter(|d| d.index() < split_at).collect())
+        .collect();
+    let prefix = collection.prefix(split_at);
+    let mut incremental =
+        HdkNetwork::build(&prefix, &old_parts, config(dfmax), OverlayKind::PGrid);
+    let mut additions = Vec::new();
+    for (peer_idx, part) in partitions.iter().enumerate() {
+        for &d in part.iter().filter(|d| d.index() >= split_at) {
+            additions.push((PeerId(peer_idx as u64), collection.doc(d).clone()));
+        }
+    }
+    incremental.add_documents(additions);
+    (full, incremental)
+}
+
+fn assert_networks_equal(full: &HdkNetwork, incremental: &HdkNetwork, collection: &Collection) {
+    assert_eq!(full.num_docs(), incremental.num_docs());
+    assert_eq!(full.sample_size(), incremental.sample_size());
+    let (cf, ci) = (
+        full.index().index_counts(),
+        incremental.index().index_counts(),
+    );
+    assert_eq!(cf, ci, "index composition diverged");
+    assert_eq!(
+        full.index().stored_postings_per_peer(),
+        incremental.index().stored_postings_per_peer()
+    );
+
+    // Spot-check entries across the vocabulary: df, class, postings.
+    for t in (0..collection.vocab().len() as u32).step_by(7) {
+        let key = Key::single(TermId(t));
+        match (full.index().peek(key), incremental.index().peek(key)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.df, b.df, "df diverged for {key:?}");
+                assert_eq!(a.is_ndk, b.is_ndk, "class diverged for {key:?}");
+                assert_eq!(a.postings, b.postings, "postings diverged for {key:?}");
+            }
+            (a, b) => panic!(
+                "presence diverged for {key:?}: full={} incr={}",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+
+    // Queries agree bit-for-bit.
+    let log = QueryLog::generate(collection, &QueryLogConfig {
+        num_queries: 40,
+        ..QueryLogConfig::default()
+    });
+    for q in &log.queries {
+        let a = full.query(PeerId(0), &q.terms, 20);
+        let b = incremental.query(PeerId(0), &q.terms, 20);
+        assert_eq!(a.results, b.results, "results diverged for {:?}", q.terms);
+        assert_eq!(
+            a.postings_fetched, b.postings_fetched,
+            "retrieval traffic diverged for {:?}",
+            q.terms
+        );
+    }
+}
+
+#[test]
+fn incremental_equals_rebuild_on_generated_collection() {
+    let collection = CollectionGenerator::new(GeneratorConfig {
+        num_docs: 450,
+        vocab_size: 3_000,
+        avg_doc_len: 50,
+        num_topics: 30,
+        topic_vocab: 50,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let (full, incremental) = build_both(&collection, 4, 300, 12);
+    assert_networks_equal(&full, &incremental, &collection);
+}
+
+#[test]
+fn incremental_in_multiple_waves() {
+    let collection = CollectionGenerator::new(GeneratorConfig {
+        num_docs: 360,
+        vocab_size: 2_500,
+        avg_doc_len: 45,
+        num_topics: 25,
+        topic_vocab: 50,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let partitions = partition_documents(collection.len(), 3, 8);
+    let full = HdkNetwork::build(&collection, &partitions, config(10), OverlayKind::PGrid);
+
+    // Three waves: 0..120, 120..240, 240..360.
+    let wave_parts = |lo: usize, hi: usize| -> Vec<Vec<DocId>> {
+        partitions
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .copied()
+                    .filter(|d| (lo..hi).contains(&d.index()))
+                    .collect()
+            })
+            .collect()
+    };
+    let mut net = HdkNetwork::build(
+        &collection.prefix(120),
+        &wave_parts(0, 120),
+        config(10),
+        OverlayKind::PGrid,
+    );
+    for (lo, hi) in [(120, 240), (240, 360)] {
+        let mut additions = Vec::new();
+        for (peer_idx, part) in partitions.iter().enumerate() {
+            for &d in part.iter().filter(|d| (lo..hi).contains(&d.index())) {
+                additions.push((PeerId(peer_idx as u64), collection.doc(d).clone()));
+            }
+        }
+        net.add_documents(additions);
+    }
+    assert_networks_equal(&full, &net, &collection);
+}
+
+#[test]
+fn adding_zero_documents_is_a_noop() {
+    let collection = CollectionGenerator::new(GeneratorConfig {
+        num_docs: 100,
+        vocab_size: 1_000,
+        avg_doc_len: 30,
+        num_topics: 10,
+        topic_vocab: 30,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let partitions = partition_documents(collection.len(), 2, 4);
+    let mut net = HdkNetwork::build(&collection, &partitions, config(10), OverlayKind::PGrid);
+    let before = net.index().index_counts();
+    net.add_documents(Vec::new());
+    assert_eq!(net.index().index_counts(), before);
+}
+
+// Randomized equivalence over tiny collections — the same check as the
+// deterministic tests above but across arbitrary document contents,
+// split points and thresholds.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_equals_rebuild_prop(
+        token_docs in prop::collection::vec(
+            prop::collection::vec(0u32..12, 3..20),
+            6..20,
+        ),
+        dfmax in 1u32..4,
+        split_frac in 0.2f64..0.8,
+    ) {
+        let mut vocab = Vocabulary::new();
+        for t in 0..12 {
+            vocab.intern(&format!("w{t}"));
+        }
+        let docs: Vec<hdk_corpus::Document> = token_docs
+            .iter()
+            .enumerate()
+            .map(|(i, toks)| hdk_corpus::Document {
+                id: DocId(i as u32),
+                tokens: toks.iter().map(|&t| TermId(t)).collect(),
+            })
+            .collect();
+        let collection = Collection::new(docs, vocab);
+        let split = ((collection.len() as f64 * split_frac) as usize).clamp(1, collection.len() - 1);
+        let (full, incremental) = build_both(&collection, 2, split, dfmax);
+
+        prop_assert_eq!(
+            full.index().index_counts(),
+            incremental.index().index_counts()
+        );
+        prop_assert_eq!(
+            full.index().stored_postings_per_peer(),
+            incremental.index().stored_postings_per_peer()
+        );
+        // Check every single-term entry plus every stored multi-term key.
+        for t in 0..12u32 {
+            let key = Key::single(TermId(t));
+            let a = full.index().peek(key);
+            let b = incremental.index().peek(key);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    prop_assert_eq!(x.df, y.df);
+                    prop_assert_eq!(x.is_ndk, y.is_ndk);
+                    prop_assert_eq!(x.postings, y.postings);
+                }
+                _ => prop_assert!(false, "presence diverged for term {}", t),
+            }
+        }
+    }
+}

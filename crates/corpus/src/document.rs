@@ -1,0 +1,75 @@
+//! Documents and document identifiers.
+
+use hdk_text::TermId;
+use std::fmt;
+
+/// Global document identifier, unique across the whole collection `D`
+/// (peers index *fractions* of `D`, but document identity is global — the
+/// global index stores document references, paper Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The raw index, usable directly as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A document: its id and the analyzed token sequence in document order
+/// (order is preserved because proximity filtering needs windows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Global identifier.
+    pub id: DocId,
+    /// Interned tokens in document order.
+    pub tokens: Vec<TermId>,
+}
+
+impl Document {
+    /// Document length in term occurrences.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True for a document whose analysis removed every token.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Distinct terms of the document, sorted.
+    pub fn distinct_terms(&self) -> Vec<TermId> {
+        let mut terms = self.tokens.clone();
+        terms.sort_unstable();
+        terms.dedup();
+        terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_terms_sorted_dedup() {
+        let d = Document {
+            id: DocId(3),
+            tokens: vec![TermId(5), TermId(1), TermId(5), TermId(2)],
+        };
+        assert_eq!(d.distinct_terms(), vec![TermId(1), TermId(2), TermId(5)]);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DocId(12).to_string(), "d12");
+    }
+}

@@ -1,0 +1,78 @@
+//! Random distribution of documents over peers.
+//!
+//! The paper distributes its Wikipedia subset "randomly [...] over the
+//! peers", with a constant number of documents per peer (Table 2: 5,000),
+//! reflecting the use-case assumption that collection growth is absorbed by
+//! adding peers.
+
+use crate::document::DocId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly partitions documents `0..num_docs` into `num_peers` disjoint
+/// sets of (near-)equal size: sizes differ by at most one.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `num_peers == 0`.
+pub fn partition_documents(num_docs: usize, num_peers: usize, seed: u64) -> Vec<Vec<DocId>> {
+    assert!(num_peers > 0, "need at least one peer");
+    let mut ids: Vec<u32> = (0..num_docs as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let mut parts: Vec<Vec<DocId>> = (0..num_peers)
+        .map(|p| Vec::with_capacity(num_docs / num_peers + usize::from(p < num_docs % num_peers)))
+        .collect();
+    for (i, id) in ids.into_iter().enumerate() {
+        parts[i % num_peers].push(DocId(id));
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn covers_all_docs_disjointly() {
+        let parts = partition_documents(103, 4, 7);
+        let mut seen = HashSet::new();
+        for p in &parts {
+            for d in p {
+                assert!(seen.insert(*d), "{d} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), 103);
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let parts = partition_documents(103, 4, 7);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(partition_documents(50, 3, 9), partition_documents(50, 3, 9));
+        assert_ne!(partition_documents(50, 3, 9), partition_documents(50, 3, 10));
+    }
+
+    #[test]
+    fn more_peers_than_docs() {
+        let parts = partition_documents(2, 5, 1);
+        let nonempty = parts.iter().filter(|p| !p.is_empty()).count();
+        assert_eq!(nonempty, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn zero_peers_rejected() {
+        let _ = partition_documents(10, 0, 0);
+    }
+}

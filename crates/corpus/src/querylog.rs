@@ -1,0 +1,292 @@
+//! Synthetic query log matching the paper's Wikipedia-log statistics.
+//!
+//! The paper extracts 3,000 queries from a real two-month Wikipedia query
+//! log, keeping queries that "have produced more than 20 hits from the
+//! indexed collection"; the retained queries "contain on average 3.02 terms,
+//! with a minimum of 2 and maximum of 8 terms" (single-term queries are
+//! excluded because their traffic is bounded by construction).
+//!
+//! This generator reproduces those three properties against any collection:
+//! query terms are sampled from *document windows* (so multi-term queries
+//! consist of genuinely co-occurring terms, like real queries about a
+//! topic), sizes follow a clipped geometric-like distribution with mean
+//! ~3.0, and a hit-count filter retains only queries with at least
+//! `min_hits` (disjunctive) hits.
+
+use crate::collection::Collection;
+use crate::stats::FrequencyStats;
+use hdk_text::TermId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A query: a set of distinct terms (order carries no meaning, as in the
+/// paper's model where a query is a term set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Position in the log.
+    pub id: u32,
+    /// Distinct query terms.
+    pub terms: Vec<TermId>,
+}
+
+impl Query {
+    /// Query size `|q|`.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the query has no terms (never produced by the generator).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Configuration of the query generator.
+#[derive(Debug, Clone)]
+pub struct QueryLogConfig {
+    /// Number of queries to produce (paper: 3,000).
+    pub num_queries: usize,
+    /// Minimum query size (paper: 2 — single-term queries excluded).
+    pub min_terms: usize,
+    /// Maximum query size (paper: 8).
+    pub max_terms: usize,
+    /// Window from which co-occurring query terms are sampled.
+    pub window: usize,
+    /// Minimum number of (disjunctive) hits for a query to be kept
+    /// (paper: more than 20).
+    pub min_hits: usize,
+    /// Seed for the query sampler.
+    pub seed: u64,
+}
+
+impl Default for QueryLogConfig {
+    fn default() -> Self {
+        Self {
+            num_queries: 300,
+            min_terms: 2,
+            max_terms: 8,
+            window: 20,
+            min_hits: 20,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Size distribution over 2..=8 with mean ~3.0, mimicking the paper's log
+/// (mean 3.02). Index 0 is size 2.
+const SIZE_WEIGHTS: [f64; 7] = [0.42, 0.30, 0.13, 0.08, 0.04, 0.02, 0.01];
+
+/// A generated query log.
+#[derive(Debug, Clone)]
+pub struct QueryLog {
+    /// The queries, in generation order.
+    pub queries: Vec<Query>,
+}
+
+impl QueryLog {
+    /// Generates a log without hit filtering (useful for unit tests and for
+    /// collections without an index at hand).
+    pub fn generate(collection: &Collection, config: &QueryLogConfig) -> Self {
+        Self::generate_filtered(collection, config, |_| usize::MAX)
+    }
+
+    /// Generates a log keeping only queries for which `hits` reports at
+    /// least [`QueryLogConfig::min_hits`]. `hits` receives the candidate
+    /// term set and returns the number of matching documents (the paper
+    /// filters on hits against the indexed collection).
+    pub fn generate_filtered<F>(collection: &Collection, config: &QueryLogConfig, hits: F) -> Self
+    where
+        F: Fn(&[TermId]) -> usize,
+    {
+        assert!(config.min_terms >= 2, "paper excludes single-term queries");
+        assert!(config.max_terms >= config.min_terms);
+        assert!(!collection.is_empty(), "cannot sample queries from an empty collection");
+        let stats = FrequencyStats::compute(collection);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut queries = Vec::with_capacity(config.num_queries);
+        // Bounded attempts so a degenerate collection terminates gracefully
+        // with fewer queries rather than spinning.
+        let max_attempts = config.num_queries.saturating_mul(200).max(10_000);
+        let mut attempts = 0usize;
+        while queries.len() < config.num_queries && attempts < max_attempts {
+            attempts += 1;
+            let size = sample_size(&mut rng, config);
+            let Some(terms) = sample_terms(collection, &stats, &mut rng, size, config.window)
+            else {
+                continue;
+            };
+            if hits(&terms) >= config.min_hits {
+                queries.push(Query {
+                    id: queries.len() as u32,
+                    terms,
+                });
+            }
+        }
+        Self { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Mean query size (the paper reports 3.02 for its log).
+    pub fn avg_terms(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.queries.iter().map(Query::len).sum();
+        total as f64 / self.queries.len() as f64
+    }
+}
+
+/// Draws a query size from the clipped distribution.
+fn sample_size(rng: &mut StdRng, config: &QueryLogConfig) -> usize {
+    let lo = config.min_terms;
+    let hi = config.max_terms;
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, w) in SIZE_WEIGHTS.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return (2 + i).clamp(lo, hi);
+        }
+    }
+    hi.min(8)
+}
+
+/// Samples `size` distinct terms from one random window of one random
+/// document, weighting choices towards informative (lower-frequency) terms
+/// as real users do. Returns `None` if the window has too few distinct terms.
+fn sample_terms(
+    collection: &Collection,
+    stats: &FrequencyStats,
+    rng: &mut StdRng,
+    size: usize,
+    window: usize,
+) -> Option<Vec<TermId>> {
+    let doc = collection.doc(crate::document::DocId(
+        rng.gen_range(0..collection.len()) as u32,
+    ));
+    if doc.is_empty() {
+        return None;
+    }
+    let start = rng.gen_range(0..doc.tokens.len());
+    let end = (start + window).min(doc.tokens.len());
+    let mut distinct: Vec<TermId> = doc.tokens[start..end].to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if distinct.len() < size {
+        return None;
+    }
+    // Weighted sampling without replacement (Efraimidis–Spirakis): weight
+    // 1/sqrt(cf) biases towards informative terms without excluding heads.
+    let mut keyed: Vec<(f64, TermId)> = distinct
+        .into_iter()
+        .map(|t| {
+            let w = 1.0 / (stats.cf(t) as f64).sqrt();
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            (u.powf(1.0 / w), t)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+    let mut terms: Vec<TermId> = keyed.into_iter().take(size).map(|(_, t)| t).collect();
+    terms.sort_unstable();
+    Some(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CollectionGenerator, GeneratorConfig};
+    use std::collections::HashSet;
+
+    fn coll() -> Collection {
+        CollectionGenerator::new(GeneratorConfig {
+            num_docs: 300,
+            vocab_size: 3_000,
+            avg_doc_len: 60,
+            num_topics: 30,
+            topic_vocab: 60,
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn sizes_within_bounds_and_mean_near_three() {
+        let c = coll();
+        let log = QueryLog::generate(&c, &QueryLogConfig {
+            num_queries: 500,
+            ..QueryLogConfig::default()
+        });
+        assert_eq!(log.len(), 500);
+        for q in &log.queries {
+            assert!((2..=8).contains(&q.len()), "size {}", q.len());
+            let set: HashSet<_> = q.terms.iter().collect();
+            assert_eq!(set.len(), q.len(), "duplicate terms in query");
+        }
+        let avg = log.avg_terms();
+        assert!((2.6..=3.6).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn terms_exist_in_collection() {
+        let c = coll();
+        let log = QueryLog::generate(&c, &QueryLogConfig::default());
+        let vocab_len = c.vocab().len() as u32;
+        for q in &log.queries {
+            for t in &q.terms {
+                assert!(t.0 < vocab_len);
+            }
+        }
+    }
+
+    #[test]
+    fn hit_filter_is_respected() {
+        let c = coll();
+        // A filter that rejects everything yields an empty log (bounded).
+        let log = QueryLog::generate_filtered(
+            &c,
+            &QueryLogConfig {
+                num_queries: 10,
+                ..QueryLogConfig::default()
+            },
+            |_| 0,
+        );
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = coll();
+        let cfg = QueryLogConfig::default();
+        let a = QueryLog::generate(&c, &cfg);
+        let b = QueryLog::generate(&c, &cfg);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn query_terms_cooccur_in_some_document_window() {
+        let c = coll();
+        let cfg = QueryLogConfig {
+            num_queries: 50,
+            ..QueryLogConfig::default()
+        };
+        let log = QueryLog::generate(&c, &cfg);
+        // By construction every query is sampled from a single window, so
+        // there must exist a document containing all its terms.
+        for q in &log.queries {
+            let found = c.iter().any(|(_, toks)| {
+                let set: HashSet<_> = toks.iter().collect();
+                q.terms.iter().all(|t| set.contains(t))
+            });
+            assert!(found, "query {:?} has no supporting document", q.terms);
+        }
+    }
+}

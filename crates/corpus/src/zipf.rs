@@ -1,0 +1,161 @@
+//! Finite-vocabulary Zipf distribution.
+//!
+//! Term frequency distributions in large text collections are well
+//! approximated by the Zipf family `z(r) = C · r^{-a}` (paper, Section 4.1,
+//! following Baayen's *Word Frequency Distributions*). The generator samples
+//! term ranks from this law; the analysis code in `hdk-model` fits `a` and
+//! `C` back from generated text, closing the loop.
+
+use rand::Rng;
+
+/// Sampler over ranks `1..=n` with probability proportional to `r^{-a}`.
+///
+/// Sampling uses inversion on the precomputed CDF (binary search), which is
+/// exact for a finite vocabulary and costs `O(log n)` per draw.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[i] = P(rank <= i + 1)`.
+    cdf: Vec<f64>,
+    skew: f64,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with skew `a`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `a` is not finite and positive.
+    pub fn new(n: usize, a: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty vocabulary");
+        assert!(a.is_finite() && a > 0.0, "Zipf skew must be positive, got {a}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += (r as f64).powf(-a);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        // Guard against floating point drift at the tail.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf, skew: a }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (the constructor rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The configured skew `a`.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Probability of rank `r` (1-based).
+    pub fn pmf(&self, r: usize) -> f64 {
+        assert!((1..=self.len()).contains(&r), "rank {r} out of range");
+        let hi = self.cdf[r - 1];
+        let lo = if r >= 2 { self.cdf[r - 2] } else { 0.0 };
+        hi - lo
+    }
+
+    /// Draws a rank in `0..n` (0-based, so it can index a vocabulary array;
+    /// rank 0 is the most frequent term).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.3);
+        let total: f64 = (1..=100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn pmf_is_decreasing() {
+        let z = Zipf::new(50, 1.0);
+        for r in 1..50 {
+            assert!(z.pmf(r) > z.pmf(r + 1));
+        }
+    }
+
+    #[test]
+    fn samples_cover_head_heavily() {
+        let z = Zipf::new(1000, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With a = 1.5 and n = 1000 the top-10 ranks carry ~78% of the mass
+        // (sum of r^-1.5 for r<=10 over the partial zeta to 1000).
+        let frac = head as f64 / n as f64;
+        assert!((0.75..0.82).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = [0usize; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 1..=20 {
+            let expected = z.pmf(r);
+            let observed = counts[r - 1] as f64 / n as f64;
+            assert!(
+                (expected - observed).abs() < 0.01,
+                "rank {r}: expected {expected:.4}, observed {observed:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let z = Zipf::new(500, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_rank_distribution() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_vocab_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

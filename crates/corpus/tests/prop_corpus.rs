@@ -1,0 +1,72 @@
+//! Property tests for the corpus substrate: partitioning, Zipf sampling,
+//! and query-log bounds.
+
+use hdk_corpus::{partition_documents, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn partition_is_a_balanced_cover(
+        docs in 0usize..500,
+        peers in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let parts = partition_documents(docs, peers, seed);
+        prop_assert_eq!(parts.len(), peers);
+        let mut seen = HashSet::new();
+        for p in &parts {
+            for d in p {
+                prop_assert!(seen.insert(d.0), "doc {d} assigned twice");
+                prop_assert!((d.0 as usize) < docs);
+            }
+        }
+        prop_assert_eq!(seen.len(), docs);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let (min, max) = (
+            *sizes.iter().min().unwrap(),
+            *sizes.iter().max().unwrap(),
+        );
+        prop_assert!(max - min <= 1, "unbalanced: {sizes:?}");
+    }
+
+    #[test]
+    fn partition_deterministic_in_seed(
+        docs in 1usize..200,
+        peers in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        prop_assert_eq!(
+            partition_documents(docs, peers, seed),
+            partition_documents(docs, peers, seed)
+        );
+    }
+
+    #[test]
+    fn zipf_pmf_is_a_decreasing_distribution(
+        n in 1usize..2_000,
+        skew_milli in 200u32..2_500,
+    ) {
+        let a = f64::from(skew_milli) / 1_000.0;
+        let z = Zipf::new(n, a);
+        let total: f64 = (1..=n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "pmf sums to {total}");
+        for r in 1..n {
+            prop_assert!(z.pmf(r) >= z.pmf(r + 1));
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(
+        n in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        let z = Zipf::new(n, 1.2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Posting-list wire format: delta + LEB128 varint encoding.
+//!
+//! The traffic meters in `hdk-p2p` count *postings* (the unit of the paper's
+//! analysis) and *bytes*. Bytes come from this codec: doc ids are
+//! gap-encoded (strictly ascending, so gaps are positive) and every integer
+//! is LEB128-varint encoded, the standard compression for document-ordered
+//! posting lists.
+
+use crate::posting::{Posting, PostingList};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hdk_corpus::DocId;
+
+/// Encodes a posting list. Layout: `varint(len)` then, per posting,
+/// `varint(doc_gap) varint(tf) varint(doc_len)`; the first gap is
+/// `doc_id + 1` so the encoding never emits a zero gap.
+pub fn encode(list: &PostingList) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + list.len() * 5);
+    put_varint(&mut buf, list.len() as u64);
+    let mut prev: i64 = -1;
+    for p in list.postings() {
+        let gap = i64::from(p.doc.0) - prev;
+        debug_assert!(gap > 0);
+        put_varint(&mut buf, gap as u64);
+        put_varint(&mut buf, u64::from(p.tf));
+        put_varint(&mut buf, u64::from(p.doc_len));
+        prev = i64::from(p.doc.0);
+    }
+    buf.freeze()
+}
+
+/// Decodes a posting list produced by [`encode`].
+///
+/// Returns `None` on truncated or malformed input.
+pub fn decode(mut bytes: Bytes) -> Option<PostingList> {
+    let len = get_varint(&mut bytes)? as usize;
+    let mut postings = Vec::with_capacity(len.min(1 << 20));
+    let mut prev: i64 = -1;
+    for _ in 0..len {
+        let gap = get_varint(&mut bytes)? as i64;
+        if gap <= 0 {
+            return None;
+        }
+        let doc = prev + gap;
+        let tf = get_varint(&mut bytes)? as u32;
+        let doc_len = get_varint(&mut bytes)? as u32;
+        postings.push(Posting {
+            doc: DocId(u32::try_from(doc).ok()?),
+            tf,
+            doc_len,
+        });
+        prev = doc;
+    }
+    Some(PostingList::from_sorted(postings))
+}
+
+/// Size in bytes of the encoded form without materializing it.
+pub fn encoded_len(list: &PostingList) -> usize {
+    let mut n = varint_len(list.len() as u64);
+    let mut prev: i64 = -1;
+    for p in list.postings() {
+        let gap = i64::from(p.doc.0) - prev;
+        n += varint_len(gap as u64) + varint_len(u64::from(p.tf)) + varint_len(u64::from(p.doc_len));
+        prev = i64::from(p.doc.0);
+    }
+    n
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(bytes: &mut Bytes) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !bytes.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = bytes.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+fn varint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(docs: &[(u32, u32)]) -> PostingList {
+        PostingList::from_unsorted(
+            docs.iter()
+                .map(|&(d, tf)| Posting {
+                    doc: DocId(d),
+                    tf,
+                    doc_len: 50 + d,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let l = list(&[(0, 1), (1, 3), (100, 2), (1000, 1)]);
+        assert_eq!(decode(encode(&l)).unwrap(), l);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let l = PostingList::new();
+        assert_eq!(decode(encode(&l)).unwrap(), l);
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        for l in [
+            list(&[]),
+            list(&[(0, 1)]),
+            list(&[(7, 1), (128, 300), (16384, 2)]),
+        ] {
+            assert_eq!(encoded_len(&l), encode(&l).len());
+        }
+    }
+
+    #[test]
+    fn gap_encoding_beats_flat_u32s() {
+        let dense = list(&(0..1000u32).map(|d| (d, 1)).collect::<Vec<_>>());
+        let encoded = encode(&dense);
+        // Flat encoding would need 12 bytes/posting; dense gaps need ~3.
+        assert!(encoded.len() < 1000 * 5, "encoded {} bytes", encoded.len());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let l = list(&[(1, 1), (2, 2), (3, 3)]);
+        let full = encode(&l);
+        for cut in 1..full.len() {
+            assert!(
+                decode(full.slice(..cut)).is_none(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_length_is_rejected() {
+        // Claims 1M postings but contains none.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1_000_000);
+        assert!(decode(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn varint_len_boundaries() {
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(16383), 2);
+        assert_eq!(varint_len(16384), 3);
+        assert_eq!(varint_len(u64::MAX), 10);
+    }
+}

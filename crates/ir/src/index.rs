@@ -1,0 +1,187 @@
+//! Single-term inverted index with document statistics.
+//!
+//! This is the classic index the paper calls the "naïve approach" when
+//! distributed (Figure 1, top) and the structure behind the centralized
+//! BM25 comparator. It maps every term to the posting list of documents
+//! containing it and keeps the per-document lengths BM25 normalizes by.
+
+use crate::posting::{Posting, PostingList};
+use hdk_corpus::{Collection, DocId};
+use hdk_text::TermId;
+use std::collections::HashMap;
+
+/// An inverted index over a (fraction of a) collection.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    lists: HashMap<TermId, PostingList>,
+    doc_len: HashMap<DocId, u32>,
+    total_len: u64,
+}
+
+impl InvertedIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes a whole collection.
+    pub fn build(collection: &Collection) -> Self {
+        let mut idx = Self::new();
+        for (doc, tokens) in collection.iter() {
+            idx.add_document(doc, tokens);
+        }
+        idx
+    }
+
+    /// Adds one document. Documents must be distinct; tokens are the
+    /// analyzed term sequence.
+    ///
+    /// # Panics
+    /// Panics if `doc` was already added.
+    pub fn add_document(&mut self, doc: DocId, tokens: &[TermId]) {
+        let len = tokens.len() as u32;
+        assert!(
+            self.doc_len.insert(doc, len).is_none(),
+            "document {doc} indexed twice"
+        );
+        self.total_len += u64::from(len);
+        let mut tf: HashMap<TermId, u32> = HashMap::new();
+        for &t in tokens {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        // Deterministic insertion order is irrelevant here: list order is
+        // by doc id and docs arrive in ascending id order per builder.
+        for (t, f) in tf {
+            let list = self.lists.entry(t).or_default();
+            let posting = Posting {
+                doc,
+                tf: f,
+                doc_len: len,
+            };
+            if list.postings().last().is_none_or(|p| p.doc < doc) {
+                list.push(posting);
+            } else {
+                *list = list.union(&PostingList::from_sorted(vec![posting]));
+            }
+        }
+    }
+
+    /// Posting list for a term (empty if the term is unknown).
+    pub fn postings(&self, t: TermId) -> Option<&PostingList> {
+        self.lists.get(&t)
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, t: TermId) -> usize {
+        self.lists.get(&t).map_or(0, PostingList::len)
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Average document length (BM25's `avgdl`).
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_len.len() as f64
+        }
+    }
+
+    /// Length of one document, if indexed.
+    pub fn doc_len(&self, doc: DocId) -> Option<u32> {
+        self.doc_len.get(&doc).copied()
+    }
+
+    /// Number of distinct terms.
+    pub fn vocab_size(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of postings — the paper's "index size" unit
+    /// (single-term indexing produces "on average 130 postings per
+    /// Wikipedia document").
+    pub fn num_postings(&self) -> usize {
+        self.lists.values().map(PostingList::len).sum()
+    }
+
+    /// Iterates `(term, posting list)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &PostingList)> {
+        self.lists.iter().map(|(&t, l)| (t, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdk_corpus::{CollectionGenerator, GeneratorConfig};
+
+    fn sample() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(DocId(0), &[TermId(1), TermId(2), TermId(1)]);
+        idx.add_document(DocId(1), &[TermId(2)]);
+        idx.add_document(DocId(2), &[TermId(3), TermId(1)]);
+        idx
+    }
+
+    #[test]
+    fn df_and_postings() {
+        let idx = sample();
+        assert_eq!(idx.df(TermId(1)), 2);
+        assert_eq!(idx.df(TermId(2)), 2);
+        assert_eq!(idx.df(TermId(3)), 1);
+        assert_eq!(idx.df(TermId(9)), 0);
+        let l = idx.postings(TermId(1)).unwrap();
+        assert_eq!(l.postings()[0].tf, 2);
+        assert_eq!(l.postings()[0].doc_len, 3);
+    }
+
+    #[test]
+    fn doc_statistics() {
+        let idx = sample();
+        assert_eq!(idx.num_docs(), 3);
+        assert_eq!(idx.doc_len(DocId(0)), Some(3));
+        assert!((idx.avg_doc_len() - 2.0).abs() < 1e-12);
+        assert_eq!(idx.num_postings(), 5);
+        assert_eq!(idx.vocab_size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "indexed twice")]
+    fn duplicate_doc_rejected() {
+        let mut idx = sample();
+        idx.add_document(DocId(0), &[TermId(1)]);
+    }
+
+    #[test]
+    fn build_from_collection_counts_everything() {
+        let c = CollectionGenerator::new(GeneratorConfig {
+            num_docs: 100,
+            vocab_size: 1000,
+            avg_doc_len: 30,
+            num_topics: 10,
+            topic_vocab: 40,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.num_docs(), 100);
+        // Sum of tf over all postings equals the sample size.
+        let tf_total: u64 = idx
+            .iter()
+            .flat_map(|(_, l)| l.postings().iter().map(|p| u64::from(p.tf)))
+            .sum();
+        assert_eq!(tf_total, c.stats().sample_size as u64);
+    }
+
+    #[test]
+    fn out_of_order_documents_merge_correctly() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document(DocId(5), &[TermId(1)]);
+        idx.add_document(DocId(2), &[TermId(1)]);
+        let docs: Vec<u32> = idx.postings(TermId(1)).unwrap().docs().map(|d| d.0).collect();
+        assert_eq!(docs, [2, 5]);
+    }
+}

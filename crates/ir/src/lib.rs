@@ -1,0 +1,30 @@
+//! Centralized IR substrate.
+//!
+//! The paper compares its P2P engine against "a centralized engine with
+//! BM25 relevance computation scheme which is currently considered as one of
+//! the top performing relevance schemes" (Terrier, Section 5). This crate is
+//! that comparator, built from scratch:
+//!
+//! * [`posting`] — postings and sorted posting lists,
+//! * [`codec`] — delta + varint posting-list compression (what travels over
+//!   the simulated wire in `hdk-p2p`),
+//! * [`index`] — a single-term inverted index with document statistics,
+//! * [`bm25`] — the Okapi BM25 weighting scheme,
+//! * [`ranker`] — deterministic top-k selection,
+//! * [`engine`] — the centralized search engine (the Figure 7 baseline),
+//! * [`overlap`] — the top-k overlap metric of Figure 7.
+
+pub mod bm25;
+pub mod codec;
+pub mod engine;
+pub mod index;
+pub mod overlap;
+pub mod posting;
+pub mod ranker;
+
+pub use bm25::Bm25;
+pub use engine::CentralizedEngine;
+pub use index::InvertedIndex;
+pub use overlap::top_k_overlap;
+pub use posting::{Posting, PostingList};
+pub use ranker::{top_k, SearchResult};

@@ -1,0 +1,85 @@
+//! Top-k overlap between two ranked result lists (Figure 7's metric).
+//!
+//! The paper lacks relevance judgments for its query set, so it measures
+//! "the overlap on top-20 documents retrieved by the HDK-based system and
+//! the centralized search engine". The metric is set overlap of the two
+//! top-k document sets, expressed as a percentage of `k` (or of the shorter
+//! attainable list when fewer than `k` documents match).
+
+use crate::ranker::SearchResult;
+use std::collections::HashSet;
+
+/// Percentage (0–100) of common documents among the top `k` of both lists.
+///
+/// The denominator is `min(k, max(|a|, |b|))`: if both engines can only
+/// return 5 documents, agreeing on all 5 is 100% overlap; an empty pair of
+/// lists has 100% overlap by convention (both agree nothing matches).
+pub fn top_k_overlap(a: &[SearchResult], b: &[SearchResult], k: usize) -> f64 {
+    let a_top: HashSet<_> = a.iter().take(k).map(|r| r.doc).collect();
+    let b_top: HashSet<_> = b.iter().take(k).map(|r| r.doc).collect();
+    let denom = k.min(a_top.len().max(b_top.len()));
+    if denom == 0 {
+        return 100.0;
+    }
+    let common = a_top.intersection(&b_top).count();
+    100.0 * common as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdk_corpus::DocId;
+
+    fn res(docs: &[u32]) -> Vec<SearchResult> {
+        docs.iter()
+            .enumerate()
+            .map(|(i, &d)| SearchResult {
+                doc: DocId(d),
+                score: 100.0 - i as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_lists_full_overlap() {
+        let a = res(&[1, 2, 3, 4]);
+        assert_eq!(top_k_overlap(&a, &a, 4), 100.0);
+    }
+
+    #[test]
+    fn disjoint_lists_zero_overlap() {
+        let a = res(&[1, 2]);
+        let b = res(&[3, 4]);
+        assert_eq!(top_k_overlap(&a, &b, 2), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = res(&[1, 2, 3, 4]);
+        let b = res(&[3, 4, 5, 6]);
+        assert_eq!(top_k_overlap(&a, &b, 4), 50.0);
+    }
+
+    #[test]
+    fn only_top_k_counts() {
+        let a = res(&[1, 2, 3, 4]);
+        let b = res(&[9, 8, 1, 2]);
+        // top-2 of a = {1,2}; top-2 of b = {9,8} -> no overlap.
+        assert_eq!(top_k_overlap(&a, &b, 2), 0.0);
+    }
+
+    #[test]
+    fn short_lists_use_attainable_denominator() {
+        let a = res(&[1, 2, 3]);
+        let b = res(&[1, 2, 3]);
+        // k = 20 but only 3 docs exist; agreement on all 3 is 100%.
+        assert_eq!(top_k_overlap(&a, &b, 20), 100.0);
+    }
+
+    #[test]
+    fn empty_lists_agree() {
+        assert_eq!(top_k_overlap(&[], &[], 20), 100.0);
+        let a = res(&[1]);
+        assert_eq!(top_k_overlap(&a, &[], 20), 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Postings and posting lists.
+//!
+//! A posting records that a document contains an indexing feature (a term,
+//! or in `hdk-core` a key) together with the within-document frequency and
+//! the document length — everything the BM25 ranker needs, so ranking can
+//! happen wherever the posting list lands (the essence of the paper's
+//! distributed ranking: postings are self-contained).
+
+use hdk_corpus::DocId;
+
+/// A single posting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// Feature frequency within the document (for a multi-term key: the
+    /// number of windows of the document containing the key).
+    pub tf: u32,
+    /// Document length in tokens (denormalized so scoring needs no second
+    /// round-trip — see module docs).
+    pub doc_len: u32,
+}
+
+/// A posting list sorted by ascending document id with unique documents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingList {
+    postings: Vec<Posting>,
+}
+
+impl PostingList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from possibly unsorted postings; duplicates (same doc) merge
+    /// by summing `tf` and keeping the first `doc_len`.
+    pub fn from_unsorted(mut postings: Vec<Posting>) -> Self {
+        postings.sort_unstable_by_key(|p| p.doc);
+        let mut out: Vec<Posting> = Vec::with_capacity(postings.len());
+        for p in postings {
+            match out.last_mut() {
+                Some(last) if last.doc == p.doc => last.tf += p.tf,
+                _ => out.push(p),
+            }
+        }
+        Self { postings: out }
+    }
+
+    /// Builds from postings already sorted by strictly-ascending doc id.
+    ///
+    /// # Panics
+    /// Panics (debug) if the invariant is violated.
+    pub fn from_sorted(postings: Vec<Posting>) -> Self {
+        debug_assert!(
+            postings.windows(2).all(|w| w[0].doc < w[1].doc),
+            "postings must be strictly sorted by doc"
+        );
+        Self { postings }
+    }
+
+    /// Appends a posting with a doc id greater than every current one.
+    pub fn push(&mut self, p: Posting) {
+        if let Some(last) = self.postings.last() {
+            assert!(last.doc < p.doc, "push must keep doc ids ascending");
+        }
+        self.postings.push(p);
+    }
+
+    /// Number of postings — the document frequency of the feature.
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// True when no document contains the feature.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// The postings, ascending by doc.
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Set-union with another list; on common documents, `tf`s add (the
+    /// lists describe the same feature observed on different peers, whose
+    /// document sets are disjoint in the paper's setting, but the merge is
+    /// total anyway).
+    pub fn union(&self, other: &PostingList) -> PostingList {
+        let (a, b) = (&self.postings, &other.postings);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].doc.cmp(&b[j].doc) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(Posting {
+                        doc: a[i].doc,
+                        tf: a[i].tf + b[j].tf,
+                        doc_len: a[i].doc_len,
+                    });
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        PostingList { postings: out }
+    }
+
+    /// Set-intersection (documents containing both features).
+    pub fn intersect(&self, other: &PostingList) -> PostingList {
+        let (a, b) = (&self.postings, &other.postings);
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].doc.cmp(&b[j].doc) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(Posting {
+                        doc: a[i].doc,
+                        tf: a[i].tf.min(b[j].tf),
+                        doc_len: a[i].doc_len,
+                    });
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PostingList { postings: out }
+    }
+
+    /// Keeps the `k` postings with the highest `quality` (used for the
+    /// top-`DFmax` truncation of NDK posting lists, Section 3.1: "posting
+    /// lists for NDKs are truncated to their top-DFmax best elements").
+    /// Result is re-sorted by doc id. Ties break towards smaller doc ids,
+    /// keeping truncation deterministic.
+    pub fn truncate_top_k<F: Fn(&Posting) -> f64>(&self, k: usize, quality: F) -> PostingList {
+        if self.postings.len() <= k {
+            return self.clone();
+        }
+        let mut scored: Vec<(f64, Posting)> =
+            self.postings.iter().map(|p| (quality(p), *p)).collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("quality scores are finite")
+                .then(a.1.doc.cmp(&b.1.doc))
+        });
+        scored.truncate(k);
+        let mut kept: Vec<Posting> = scored.into_iter().map(|(_, p)| p).collect();
+        kept.sort_unstable_by_key(|p| p.doc);
+        PostingList { postings: kept }
+    }
+
+    /// Iterates documents only.
+    pub fn docs(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.postings.iter().map(|p| p.doc)
+    }
+
+    /// Binary-searches for a document.
+    pub fn contains_doc(&self, doc: DocId) -> bool {
+        self.postings.binary_search_by_key(&doc, |p| p.doc).is_ok()
+    }
+}
+
+impl FromIterator<Posting> for PostingList {
+    fn from_iter<I: IntoIterator<Item = Posting>>(iter: I) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(doc: u32, tf: u32) -> Posting {
+        Posting {
+            doc: DocId(doc),
+            tf,
+            doc_len: 100,
+        }
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_merges() {
+        let l = PostingList::from_unsorted(vec![p(5, 1), p(1, 2), p(5, 3)]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.postings()[0].doc, DocId(1));
+        assert_eq!(l.postings()[1].tf, 4);
+    }
+
+    #[test]
+    fn union_merges_and_sums() {
+        let a = PostingList::from_unsorted(vec![p(1, 1), p(3, 1)]);
+        let b = PostingList::from_unsorted(vec![p(2, 1), p(3, 2)]);
+        let u = a.union(&b);
+        let docs: Vec<u32> = u.docs().map(|d| d.0).collect();
+        assert_eq!(docs, [1, 2, 3]);
+        assert_eq!(u.postings()[2].tf, 3);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = PostingList::from_unsorted(vec![p(1, 1), p(9, 2)]);
+        assert_eq!(a.union(&PostingList::new()), a);
+        assert_eq!(PostingList::new().union(&a), a);
+    }
+
+    #[test]
+    fn intersect_keeps_common_docs() {
+        let a = PostingList::from_unsorted(vec![p(1, 2), p(3, 5), p(7, 1)]);
+        let b = PostingList::from_unsorted(vec![p(3, 1), p(7, 4), p(8, 1)]);
+        let i = a.intersect(&b);
+        let docs: Vec<u32> = i.docs().map(|d| d.0).collect();
+        assert_eq!(docs, [3, 7]);
+        assert_eq!(i.postings()[0].tf, 1); // min
+    }
+
+    #[test]
+    fn truncate_keeps_best_by_quality() {
+        let l = PostingList::from_unsorted(vec![p(1, 1), p(2, 9), p(3, 5)]);
+        let t = l.truncate_top_k(2, |p| f64::from(p.tf));
+        let docs: Vec<u32> = t.docs().map(|d| d.0).collect();
+        assert_eq!(docs, [2, 3]);
+    }
+
+    #[test]
+    fn truncate_noop_when_short() {
+        let l = PostingList::from_unsorted(vec![p(1, 1)]);
+        assert_eq!(l.truncate_top_k(5, |p| f64::from(p.tf)), l);
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut l = PostingList::new();
+        l.push(p(1, 1));
+        l.push(p(2, 1));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn push_rejects_regression() {
+        let mut l = PostingList::new();
+        l.push(p(5, 1));
+        l.push(p(5, 1));
+    }
+}

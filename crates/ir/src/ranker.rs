@@ -1,0 +1,136 @@
+//! Deterministic top-k selection.
+//!
+//! The paper evaluates "high-end ranking as typical users are often
+//! interested only in the top 20 results" (Figure 7). Overlap comparison
+//! between two engines is only meaningful when each engine's own ranking is
+//! deterministic, so ties break by ascending document id everywhere.
+
+use hdk_corpus::DocId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One ranked search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// The document.
+    pub doc: DocId,
+    /// Relevance score (BM25 in both engines).
+    pub score: f64,
+}
+
+/// Wrapper ordering results as a min-heap root (worst of the current top-k):
+/// smaller score first; equal scores put the *larger* doc id first so it is
+/// evicted first, giving deterministic tie-breaks toward smaller ids.
+#[derive(Debug, PartialEq)]
+struct HeapEntry(SearchResult);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the root is the weakest entry.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .expect("scores are finite")
+            .then_with(|| self.0.doc.cmp(&other.0.doc))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Selects the `k` highest-scoring results from `scores`, descending score,
+/// ties broken by ascending doc id. Runs in `O(n log k)`.
+pub fn top_k<I: IntoIterator<Item = SearchResult>>(scores: I, k: usize) -> Vec<SearchResult> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for r in scores {
+        debug_assert!(r.score.is_finite(), "non-finite score for {}", r.doc);
+        if heap.len() < k {
+            heap.push(HeapEntry(r));
+        } else if let Some(root) = heap.peek() {
+            let beats = r.score > root.0.score
+                || (r.score == root.0.score && r.doc < root.0.doc);
+            if beats {
+                heap.pop();
+                heap.push(HeapEntry(r));
+            }
+        }
+    }
+    let mut out: Vec<SearchResult> = heap.into_iter().map(|e| e.0).collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.doc.cmp(&b.doc))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(doc: u32, score: f64) -> SearchResult {
+        SearchResult {
+            doc: DocId(doc),
+            score,
+        }
+    }
+
+    #[test]
+    fn selects_highest() {
+        let out = top_k(vec![r(1, 0.5), r(2, 2.0), r(3, 1.0), r(4, 3.0)], 2);
+        assert_eq!(out.iter().map(|x| x.doc.0).collect::<Vec<_>>(), [4, 2]);
+    }
+
+    #[test]
+    fn fewer_results_than_k() {
+        let out = top_k(vec![r(9, 1.0)], 5);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn ties_break_by_doc_id() {
+        let out = top_k(vec![r(7, 1.0), r(3, 1.0), r(5, 1.0)], 2);
+        assert_eq!(out.iter().map(|x| x.doc.0).collect::<Vec<_>>(), [3, 5]);
+    }
+
+    #[test]
+    fn k_zero_empty() {
+        assert!(top_k(vec![r(1, 1.0)], 0).is_empty());
+    }
+
+    #[test]
+    fn order_of_input_is_irrelevant() {
+        let mut a = vec![r(1, 0.1), r(2, 5.0), r(3, 5.0), r(4, 2.0), r(5, 0.7)];
+        let fwd = top_k(a.clone(), 3);
+        a.reverse();
+        let rev = top_k(a, 3);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn large_input_matches_full_sort() {
+        let results: Vec<SearchResult> = (0..500u32)
+            .map(|i| r(i, f64::from((i * 7919) % 101)))
+            .collect();
+        let fast = top_k(results.clone(), 20);
+        let mut slow = results;
+        slow.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        slow.truncate(20);
+        assert_eq!(fast, slow);
+    }
+}

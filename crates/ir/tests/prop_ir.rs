@@ -1,0 +1,128 @@
+//! Property tests for the IR substrate: codec round-trips, posting-list
+//! algebra, and top-k selection.
+
+use hdk_corpus::DocId;
+use hdk_ir::{codec, top_k, Posting, PostingList, SearchResult};
+use proptest::prelude::*;
+
+fn arb_posting_list() -> impl Strategy<Value = PostingList> {
+    prop::collection::btree_map(0u32..5_000, (1u32..100, 1u32..2_000), 0..200).prop_map(|m| {
+        PostingList::from_sorted(
+            m.into_iter()
+                .map(|(doc, (tf, doc_len))| Posting {
+                    doc: DocId(doc),
+                    tf,
+                    doc_len,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip(list in arb_posting_list()) {
+        let encoded = codec::encode(&list);
+        prop_assert_eq!(encoded.len(), codec::encoded_len(&list));
+        let decoded = codec::decode(encoded).expect("well-formed");
+        prop_assert_eq!(decoded, list);
+    }
+
+    #[test]
+    fn union_is_commutative_and_contains_both(
+        a in arb_posting_list(),
+        b in arb_posting_list(),
+    ) {
+        let ab = a.union(&b);
+        let ba = b.union(&a);
+        // Same doc sets either way (tf merge is symmetric except doc_len,
+        // which comes from the left; compare docs + tf).
+        let docs_ab: Vec<(u32, u32)> = ab.postings().iter().map(|p| (p.doc.0, p.tf)).collect();
+        let docs_ba: Vec<(u32, u32)> = ba.postings().iter().map(|p| (p.doc.0, p.tf)).collect();
+        prop_assert_eq!(docs_ab, docs_ba);
+        for p in a.postings() {
+            prop_assert!(ab.docs().any(|d| d == p.doc));
+        }
+        for p in b.postings() {
+            prop_assert!(ab.docs().any(|d| d == p.doc));
+        }
+        prop_assert!(ab.len() <= a.len() + b.len());
+    }
+
+    #[test]
+    fn union_with_self_preserves_docs(a in arb_posting_list()) {
+        let aa = a.union(&a);
+        prop_assert_eq!(aa.len(), a.len());
+        let docs_a: Vec<u32> = a.docs().map(|d| d.0).collect();
+        let docs_aa: Vec<u32> = aa.docs().map(|d| d.0).collect();
+        prop_assert_eq!(docs_a, docs_aa);
+    }
+
+    #[test]
+    fn intersect_is_subset_of_both(
+        a in arb_posting_list(),
+        b in arb_posting_list(),
+    ) {
+        let i = a.intersect(&b);
+        for p in i.postings() {
+            prop_assert!(a.docs().any(|d| d == p.doc));
+            prop_assert!(b.docs().any(|d| d == p.doc));
+        }
+        prop_assert!(i.len() <= a.len().min(b.len()));
+    }
+
+    #[test]
+    fn truncate_keeps_k_best(list in arb_posting_list(), k in 0usize..50) {
+        let t = list.truncate_top_k(k, |p| f64::from(p.tf));
+        prop_assert_eq!(t.len(), list.len().min(k));
+        if list.len() > k && k > 0 {
+            // No dropped posting outranks a kept one (quality is tf; ties
+            // break deterministically by doc id, so tf ties may span the
+            // cut, but a strictly better tf never gets dropped).
+            let kept_min = t.postings().iter().map(|p| p.tf).min().unwrap_or(0);
+            let dropped_max = list
+                .postings()
+                .iter()
+                .filter(|p| !t.docs().any(|d| d == p.doc))
+                .map(|p| p.tf)
+                .max()
+                .unwrap_or(0);
+            prop_assert!(
+                kept_min >= dropped_max,
+                "dropped tf {dropped_max} beats kept tf {kept_min}"
+            );
+        }
+        // Result stays sorted by doc.
+        let docs: Vec<u32> = t.docs().map(|d| d.0).collect();
+        let mut sorted = docs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(docs, sorted);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort(
+        scores in prop::collection::vec((0u32..10_000, 0u32..1_000), 0..300),
+        k in 0usize..40,
+    ) {
+        // Dedup docs to keep semantics unambiguous.
+        let mut seen = std::collections::HashSet::new();
+        let results: Vec<SearchResult> = scores
+            .into_iter()
+            .filter(|(d, _)| seen.insert(*d))
+            .map(|(d, s)| SearchResult {
+                doc: DocId(d),
+                score: f64::from(s) / 7.0,
+            })
+            .collect();
+        let fast = top_k(results.clone(), k);
+        let mut slow = results;
+        slow.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        slow.truncate(k);
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,25 @@
+//! Scalability analysis (paper, Section 4).
+//!
+//! The paper's central theoretical claim is that the HDK index grows
+//! *linearly* with the collection while retrieval traffic stays *bounded*.
+//! This crate implements the full analysis:
+//!
+//! * [`zipf_fit`] — fits the Zipf skew `a` and scale `C(l)` to measured
+//!   rank-frequency data (the paper fits `a1 = 1.5` on its collection),
+//! * [`theorems`] — Theorems 1–3: the very-frequent / frequent term
+//!   occurrence probabilities and the positional index-size bound
+//!   `IS_s(D) = D · P²_{f,s-1} · C(w-1, s-1)`,
+//! * [`retrieval_cost`] — Section 4.2: the `nk` key-count formulas and the
+//!   `nk · DFmax` traffic bound,
+//! * [`traffic`] — the Figure 8 total-traffic extrapolation comparing the
+//!   HDK and single-term approaches up to a billion documents.
+
+pub mod retrieval_cost;
+pub mod theorems;
+pub mod traffic;
+pub mod zipf_fit;
+
+pub use retrieval_cost::{expected_keys_for_avg_size, keys_for_query, retrieval_traffic_bound};
+pub use theorems::{index_size_bound, index_size_ratio, p_frequent, p_very_frequent};
+pub use traffic::TrafficModel;
+pub use zipf_fit::{fit_rank_frequency, FitOptions, ZipfFit};

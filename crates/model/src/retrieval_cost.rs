@@ -1,0 +1,71 @@
+//! Retrieval-cost analysis (paper, Section 4.2).
+//!
+//! A query of `|q|` terms maps onto at most
+//! `nk = 2^{|q|} - 1` keys when `|q| <= smax`, and
+//! `nk = Σ_{s=1..smax} C(|q|, s)` otherwise. Since every retrieved posting
+//! list is bounded by `DFmax`, per-query traffic is bounded by
+//! `nk · DFmax` — *independent of collection size*, the property Figure 6
+//! demonstrates empirically.
+
+use crate::theorems::binomial;
+
+/// `nk` — the number of keys a query of `q_len` distinct terms maps to,
+/// given the size-filtering bound `smax`.
+pub fn keys_for_query(q_len: usize, smax: usize) -> u64 {
+    let cap = smax.min(q_len);
+    (1..=cap).map(|s| binomial(q_len, s)).sum()
+}
+
+/// The paper's headline estimate: for an *average* query size `avg_q`
+/// (2.3 in the Wikipedia log), `nk ≈ 2^{avg_q} - 1 ≈ 3.92`.
+pub fn expected_keys_for_avg_size(avg_q: f64) -> f64 {
+    2f64.powf(avg_q) - 1.0
+}
+
+/// Upper bound on per-query retrieval traffic in postings:
+/// `nk · DFmax` (Section 4.2).
+pub fn retrieval_traffic_bound(q_len: usize, smax: usize, dfmax: u32) -> u64 {
+    keys_for_query(q_len, smax) * u64::from(dfmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_queries_full_lattice() {
+        // |q| <= smax: nk = 2^|q| - 1.
+        assert_eq!(keys_for_query(1, 3), 1);
+        assert_eq!(keys_for_query(2, 3), 3);
+        assert_eq!(keys_for_query(3, 3), 7);
+    }
+
+    #[test]
+    fn large_queries_truncated_lattice() {
+        // |q| > smax: sum of binomials.
+        assert_eq!(keys_for_query(4, 3), 4 + 6 + 4);
+        assert_eq!(keys_for_query(8, 3), 8 + 28 + 56);
+    }
+
+    #[test]
+    fn papers_wikipedia_estimate() {
+        // "the average size of a query is 2.3 in the Wikipedia query log,
+        // and nk ≈ 3.92".
+        let nk = expected_keys_for_avg_size(2.3);
+        assert!((nk - 3.92).abs() < 0.01, "nk = {nk}");
+    }
+
+    #[test]
+    fn traffic_bound_scales_with_dfmax() {
+        assert_eq!(retrieval_traffic_bound(2, 3, 400), 3 * 400);
+        assert_eq!(retrieval_traffic_bound(3, 3, 500), 7 * 500);
+        // Figure 6's regime: bounded regardless of collection size.
+        assert_eq!(retrieval_traffic_bound(8, 3, 400), 92 * 400);
+    }
+
+    #[test]
+    fn zero_terms_zero_keys() {
+        assert_eq!(keys_for_query(0, 3), 0);
+        assert_eq!(retrieval_traffic_bound(0, 3, 400), 0);
+    }
+}

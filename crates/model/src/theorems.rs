@@ -1,0 +1,182 @@
+//! Theorems 1–3 of the paper (Section 4.1 and Appendix).
+//!
+//! The key-vocabulary analysis rests on classifying *occurrences* by term
+//! frequency: very frequent (`f > Ff`), frequent (`Fr < f <= Ff`), and rare
+//! (`f <= Fr`). Under the Zipf model `z(r) = C(l) · r^{-a}`:
+//!
+//! * **Theorem 1**: the probability mass of very frequent terms depends on
+//!   the sample size `l` through `C(l)` — it *grows* with the collection,
+//!   which is why very frequent terms are excluded like stop words;
+//! * **Theorem 2**: the probability mass of frequent terms is a constant of
+//!   the collection — independent of `l`;
+//! * **Theorem 3**: the positional index size for keys of size `s` is
+//!   `IS_s(D) = D · P²_{f,s-1} · C(w-1, s-1)` — *linear in `D`*, the
+//!   paper's core scalability result.
+
+/// Theorem 1: probability of very-frequent-term occurrences,
+/// `P_vf(l) = (1 - (Ff/C(l))^{(a-1)/a}) / (1 - (1/C(l))^{(a-1)/a})`.
+///
+/// `scale` is `C(l)` (the fitted frequency of rank 1 at sample size `l`),
+/// `ff` is the very-frequent threshold `Ff`, `skew` is `a > 1`.
+pub fn p_very_frequent(ff: f64, scale: f64, skew: f64) -> f64 {
+    assert!(skew > 1.0, "Theorem 1 needs a > 1, got {skew}");
+    assert!(ff >= 1.0 && scale > ff, "need 1 <= Ff < C(l)");
+    let e = (skew - 1.0) / skew;
+    let num = 1.0 - (ff / scale).powf(e);
+    let den = 1.0 - (1.0 / scale).powf(e);
+    (num / den).clamp(0.0, 1.0)
+}
+
+/// Theorem 2: probability of frequent-term occurrences,
+/// `P_f = (1 - (Fr/Ff)^{(a-1)/a}) / (1 - (1/Ff)^{(a-1)/a})` — independent
+/// of the sample size.
+pub fn p_frequent(fr: f64, ff: f64, skew: f64) -> f64 {
+    assert!(skew > 1.0, "Theorem 2 needs a > 1, got {skew}");
+    assert!(fr >= 1.0 && ff >= fr, "need 1 <= Fr <= Ff");
+    let e = (skew - 1.0) / skew;
+    let num = 1.0 - (fr / ff).powf(e);
+    let den = 1.0 - (1.0 / ff).powf(e);
+    (num / den).clamp(0.0, 1.0)
+}
+
+/// Theorem 3: upper bound on the positional index size for keys of size
+/// `s >= 2`: `IS_s(D) = D · P²_{f,s-1} · C(w-1, s-1)`, where `p_f_prev` is
+/// the frequent-key occurrence probability for keys of size `s-1`.
+pub fn index_size_bound(d: f64, p_f_prev: f64, w: usize, s: usize) -> f64 {
+    assert!(s >= 2, "Theorem 3 covers key sizes >= 2");
+    assert!(w >= s, "window must fit the key");
+    assert!((0.0..=1.0).contains(&p_f_prev), "P_f is a probability");
+    d * p_f_prev * p_f_prev * binomial(w - 1, s - 1) as f64
+}
+
+/// The constant `c = IS_s(D) / D` of Theorem 3 — the paper's headline:
+/// "the key-based index size grows linearly with the collection size".
+pub fn index_size_ratio(p_f_prev: f64, w: usize, s: usize) -> f64 {
+    index_size_bound(1.0, p_f_prev, w, s)
+}
+
+/// Binomial coefficient for the window-combinatorics factor.
+pub(crate) fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1u64;
+    let mut den = 1u64;
+    for i in 0..k {
+        num *= (n - i) as u64;
+        den *= (i + 1) as u64;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked numbers (Section 5, discussion of Figure 5):
+    /// `a1 = 1.5`, `P_{f,1} = 0.8`, `w = 20` give `IS_2/D = 12.16`;
+    /// `a2 = 0.9`, `P_{f,2} = 0.257` give `IS_3/D = 11.35`.
+    #[test]
+    fn papers_worked_examples() {
+        let is2 = index_size_ratio(0.8, 20, 2);
+        assert!((is2 - 12.16).abs() < 1e-9, "IS2/D = {is2}");
+        let is3 = index_size_ratio(0.257, 20, 3);
+        assert!((is3 - 11.35).abs() < 0.06, "IS3/D = {is3}");
+    }
+
+    /// Theorem 2's point: `P_f` does not mention `C(l)` at all, so it is
+    /// constant in the sample size. We also verify it is monotone in the
+    /// bracket `[Fr, Ff]`.
+    #[test]
+    fn p_frequent_independent_of_sample_size() {
+        let p = p_frequent(1_000.0, 100_000.0, 1.5);
+        assert!((0.0..=1.0).contains(&p));
+        // Widening the bracket raises the mass.
+        assert!(p_frequent(500.0, 100_000.0, 1.5) > p);
+        assert!(p_frequent(1_000.0, 200_000.0, 1.5) > p);
+        // Degenerate bracket carries no mass.
+        assert!(p_frequent(100_000.0, 100_000.0, 1.5) < 1e-12);
+    }
+
+    /// Theorem 1's point: `P_vf` *does* depend on `C(l)` and grows with it
+    /// (more sample -> more mass above any fixed `Ff`).
+    #[test]
+    fn p_very_frequent_grows_with_scale() {
+        let small = p_very_frequent(100_000.0, 1.0e6, 1.5);
+        let large = p_very_frequent(100_000.0, 1.0e8, 1.5);
+        assert!(
+            large > small,
+            "P_vf must grow with C(l): {small} vs {large}"
+        );
+        assert!((0.0..=1.0).contains(&small));
+        assert!((0.0..=1.0).contains(&large));
+    }
+
+    /// Empirical cross-check of Theorem 2 on generated collections of
+    /// different sizes: the measured frequent-term mass stays (nearly)
+    /// constant while the very-frequent mass moves.
+    #[test]
+    fn p_frequent_empirically_stable_across_sample_sizes() {
+        use hdk_corpus::{CollectionGenerator, FrequencyStats, GeneratorConfig};
+        let mass = |docs: usize| -> (f64, f64) {
+            let c = CollectionGenerator::new(GeneratorConfig {
+                num_docs: docs,
+                vocab_size: 5_000,
+                skew: 1.4,
+                avg_doc_len: 60,
+                topic_mix: 0.2,
+                num_topics: 30,
+                topic_vocab: 60,
+                ..GeneratorConfig::default()
+            })
+            .generate();
+            let stats = FrequencyStats::compute(&c);
+            let d = stats.sample_size() as f64;
+            // Fixed *relative* thresholds scale with the sample as the
+            // theorems assume fixed absolute Ff against growing C(l); we
+            // check the frequent bracket [Fr, Ff] keeps constant mass when
+            // both thresholds are constants (paper's setting).
+            let (fr, ff) = (8u64, 400u64);
+            let mut f_mass = 0u64;
+            let mut vf_mass = 0u64;
+            for (_, cf, _) in stats.iter() {
+                if cf > ff {
+                    vf_mass += cf;
+                } else if cf > fr {
+                    f_mass += cf;
+                }
+            }
+            (f_mass as f64 / d, vf_mass as f64 / d)
+        };
+        let (f1, vf1) = mass(250);
+        let (f2, vf2) = mass(1_000);
+        // Frequent mass roughly stable (Theorem 2)...
+        assert!(
+            (f1 - f2).abs() < 0.22,
+            "frequent mass moved too much: {f1} vs {f2}"
+        );
+        // ...while very-frequent mass grows with the sample (Theorem 1).
+        assert!(vf2 > vf1, "very-frequent mass should grow: {vf1} vs {vf2}");
+    }
+
+    #[test]
+    fn index_size_linear_in_d() {
+        let a = index_size_bound(1.0e6, 0.5, 20, 2);
+        let b = index_size_bound(2.0e6, 0.5, 20, 2);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_window_factors() {
+        assert_eq!(binomial(19, 1), 19);
+        assert_eq!(binomial(19, 2), 171);
+        assert_eq!(binomial(19, 3), 969);
+    }
+
+    #[test]
+    #[should_panic(expected = "a > 1")]
+    fn theorem1_needs_skew_above_one() {
+        let _ = p_very_frequent(10.0, 100.0, 0.9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Total-traffic extrapolation (Figure 8).
+//!
+//! The paper plots "the predicted generated traffic associated with both
+//! indexing and retrieval comparing the naïve single-term and HDK-based
+//! approach", assuming monthly indexing and a monthly query load of
+//! 1.5·10⁶ (the true load of the Wikipedia log). Per month and collection
+//! size `M`:
+//!
+//! ```text
+//! T_st(M)  = M · p_st  + Q · r_st · M     (retrieval grows with M)
+//! T_hdk(M) = M · p_hdk + Q · r_hdk        (retrieval bounded)
+//! ```
+//!
+//! where `p_*` are postings inserted per document and `r_*` per-query
+//! retrieval postings (`r_st` per document, because ST posting lists grow
+//! linearly). The four coefficients are *measured* by the experiment
+//! harness and fed into this model; [`TrafficModel::paper_calibration`]
+//! carries the paper's own published coefficients for comparison.
+
+/// Calibrated monthly-traffic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficModel {
+    /// Postings inserted per document, single-term indexing (paper: ~130).
+    pub st_postings_per_doc: f64,
+    /// Postings inserted per document, HDK indexing (paper: ~5290).
+    pub hdk_postings_per_doc: f64,
+    /// Retrieval postings per query *per document* for ST (the slope of
+    /// Figure 6's ST line).
+    pub st_retrieval_per_query_per_doc: f64,
+    /// Retrieval postings per query for HDK (Figure 6's flat line,
+    /// ~`nk · DFmax`).
+    pub hdk_retrieval_per_query: f64,
+    /// Queries per indexing period (paper: 1.5e6 per month).
+    pub queries_per_period: f64,
+}
+
+impl TrafficModel {
+    /// The paper's own calibration: 130 and 5290 postings per document;
+    /// ST per-query traffic read off Figure 6 (~2.2e4 postings at 140k
+    /// documents) and the HDK flat line near `nk·DFmax ≈ 3.92 · 400`.
+    pub fn paper_calibration() -> Self {
+        Self {
+            st_postings_per_doc: 130.0,
+            hdk_postings_per_doc: 5_290.0,
+            st_retrieval_per_query_per_doc: 2.2e4 / 140_000.0,
+            hdk_retrieval_per_query: 3.92 * 400.0,
+            queries_per_period: 1.5e6,
+        }
+    }
+
+    /// Total single-term traffic (postings) for a collection of `m`
+    /// documents over one period.
+    pub fn st_total(&self, m: f64) -> f64 {
+        m * self.st_postings_per_doc
+            + self.queries_per_period * self.st_retrieval_per_query_per_doc * m
+    }
+
+    /// Total HDK traffic (postings) for `m` documents over one period.
+    pub fn hdk_total(&self, m: f64) -> f64 {
+        m * self.hdk_postings_per_doc + self.queries_per_period * self.hdk_retrieval_per_query
+    }
+
+    /// Traffic ratio ST / HDK — the paper reports ≈20 at full-Wikipedia
+    /// size (653,546 documents) and ≈42 at 10⁹ documents.
+    pub fn ratio(&self, m: f64) -> f64 {
+        self.st_total(m) / self.hdk_total(m)
+    }
+
+    /// The collection size above which HDK generates less total traffic
+    /// (the crossover; below it, HDK's indexing overhead dominates).
+    /// Closed form from `T_st(M) = T_hdk(M)`: both totals are affine in
+    /// `M`; they cross at `M* = Q·r_hdk / (slope_st - slope_hdk)`. Returns
+    /// `f64::INFINITY` when ST's per-document traffic never overtakes
+    /// HDK's (query load too small for HDK to pay off — the usage-model
+    /// dependence the paper's conclusion discusses).
+    pub fn crossover_docs(&self) -> f64 {
+        let slope_st = self.st_postings_per_doc
+            + self.queries_per_period * self.st_retrieval_per_query_per_doc;
+        let slope_gap = slope_st - self.hdk_postings_per_doc;
+        if slope_gap <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.queries_per_period * self.hdk_retrieval_per_query / slope_gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratio_at_wikipedia_scale() {
+        // Paper: "for the whole Wikipedia collection (653,546 documents),
+        // the HDK approach would generate 20 times less traffic". Our
+        // re-derivation from the published coefficients lands in the same
+        // band (the paper's own fit constants are not all published).
+        let m = TrafficModel::paper_calibration();
+        let r = m.ratio(653_546.0);
+        assert!((15.0..35.0).contains(&r), "ratio at 653k docs = {r}");
+    }
+
+    #[test]
+    fn paper_ratio_at_billion_docs() {
+        // Paper: "for 1 billion documents the ratio is around 42".
+        let m = TrafficModel::paper_calibration();
+        let r = m.ratio(1.0e9);
+        assert!((35.0..50.0).contains(&r), "ratio at 1e9 docs = {r}");
+    }
+
+    #[test]
+    fn ratio_grows_with_collection_size() {
+        let m = TrafficModel::paper_calibration();
+        let mut prev = 0.0;
+        for &docs in &[1e5, 1e6, 1e7, 1e8, 1e9] {
+            let r = m.ratio(docs);
+            assert!(r > prev, "ratio must grow: {r} after {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn st_total_is_linear_hdk_total_is_affine() {
+        let m = TrafficModel::paper_calibration();
+        let st_ratio = m.st_total(2e6) / m.st_total(1e6);
+        assert!((st_ratio - 2.0).abs() < 1e-9);
+        // HDK has a constant query term, so doubling M less than doubles
+        // total traffic at small M.
+        let hdk_ratio = m.hdk_total(2e5) / m.hdk_total(1e5);
+        assert!(hdk_ratio < 2.0);
+    }
+
+    #[test]
+    fn crossover_far_below_paper_scale() {
+        // With the paper's coefficients the query load dominates: HDK pays
+        // off after only ~10k documents, far below the 653k-document
+        // Wikipedia scale — matching Figure 8 where the HDK line sits
+        // below ST over essentially the whole plotted range.
+        let m = TrafficModel::paper_calibration();
+        let x = m.crossover_docs();
+        assert!(x > 0.0 && x < 100_000.0, "crossover {x}");
+        // At the crossover the totals match.
+        let diff = (m.st_total(x) - m.hdk_total(x)).abs();
+        assert!(diff / m.st_total(x) < 1e-9);
+        // Above it, HDK is strictly cheaper.
+        assert!(m.hdk_total(x * 10.0) < m.st_total(x * 10.0));
+    }
+
+    #[test]
+    fn crossover_infinite_when_queries_are_scarce() {
+        // With almost no queries, HDK's larger indexing cost is never
+        // amortized — the trade-off the paper discusses ("the planned
+        // frequency of indexing and querying" must inform the parameters).
+        let m = TrafficModel {
+            queries_per_period: 1_000.0,
+            ..TrafficModel::paper_calibration()
+        };
+        assert!(m.crossover_docs().is_infinite());
+        assert!(m.hdk_total(1e9) > m.st_total(1e9));
+    }
+}

@@ -1,0 +1,179 @@
+//! Zipf parameter estimation from rank-frequency data.
+//!
+//! "Zipf law constitutes a parametric function family that provides good
+//! fitting function candidates for the approximation between the term
+//! frequencies and term ranks" (Section 4.1, after Baayen). We fit
+//! `z(r) = C · r^{-a}` by ordinary least squares in log-log space, the
+//! standard estimator for the skew `a` and scale `C(l)`; the paper reports
+//! `a1 = 1.5` "fitted from true frequency distribution".
+
+/// Result of a fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfFit {
+    /// Skew `a` (the paper's `a`; positive).
+    pub skew: f64,
+    /// Scale `C(l)` — the fitted frequency of rank 1.
+    pub scale: f64,
+    /// Coefficient of determination of the log-log regression.
+    pub r_squared: f64,
+    /// Number of (rank, frequency) points used.
+    pub points: usize,
+}
+
+/// Fit options: which rank range to use.
+#[derive(Debug, Clone, Copy)]
+pub struct FitOptions {
+    /// Lowest rank included (1-based). Skipping the first few ranks is
+    /// common because the extreme head deviates from the power law.
+    pub min_rank: usize,
+    /// Highest rank included (inclusive); `usize::MAX` = all. The hapax
+    /// tail flattens the curve, so fits usually stop at the first
+    /// frequency-1 rank, as the paper's proofs do (they integrate to `T'`).
+    pub max_rank: usize,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        Self {
+            min_rank: 1,
+            max_rank: usize::MAX,
+        }
+    }
+}
+
+impl FitOptions {
+    /// Stops the fit at the first hapax legomenon, mirroring the `T'`
+    /// truncation in the paper's proofs.
+    pub fn until_hapax(rank_freq: &[(usize, u64)]) -> Self {
+        let max_rank = rank_freq
+            .iter()
+            .find(|&&(_, f)| f <= 1)
+            .map(|&(r, _)| r.saturating_sub(1))
+            .unwrap_or(usize::MAX)
+            .max(2);
+        Self {
+            min_rank: 1,
+            max_rank,
+        }
+    }
+}
+
+/// Fits `z(r) = C · r^{-a}` to `(rank, frequency)` pairs (rank 1-based,
+/// frequency descending as produced by
+/// `hdk_corpus::FrequencyStats::rank_frequency`).
+///
+/// # Panics
+/// Panics if fewer than two usable points remain after range filtering.
+pub fn fit_rank_frequency(rank_freq: &[(usize, u64)], options: FitOptions) -> ZipfFit {
+    let pts: Vec<(f64, f64)> = rank_freq
+        .iter()
+        .filter(|&&(r, f)| r >= options.min_rank && r <= options.max_rank && f > 0)
+        .map(|&(r, f)| ((r as f64).ln(), (f as f64).ln()))
+        .collect();
+    assert!(pts.len() >= 2, "need at least two points to fit, got {}", pts.len());
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate rank range");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    // R^2.
+    let mean_y = sy / n;
+    let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = pts
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    ZipfFit {
+        skew: -slope,
+        scale: intercept.exp(),
+        r_squared,
+        points: pts.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic exact power-law data must be recovered exactly.
+    #[test]
+    fn recovers_exact_power_law() {
+        let a = 1.5;
+        let c = 1.0e6;
+        let data: Vec<(usize, u64)> = (1..=500)
+            .map(|r| (r, (c * (r as f64).powf(-a)).round() as u64))
+            .collect();
+        let fit = fit_rank_frequency(&data, FitOptions::default());
+        assert!((fit.skew - a).abs() < 0.02, "skew {}", fit.skew);
+        assert!((fit.scale / c - 1.0).abs() < 0.05, "scale {}", fit.scale);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn range_options_are_respected() {
+        let data: Vec<(usize, u64)> = (1..=100)
+            .map(|r| (r, (1e5 * (r as f64).powf(-1.0)).round() as u64))
+            .collect();
+        let fit = fit_rank_frequency(
+            &data,
+            FitOptions {
+                min_rank: 10,
+                max_rank: 50,
+            },
+        );
+        assert_eq!(fit.points, 41);
+        assert!((fit.skew - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn until_hapax_cuts_the_tail() {
+        let mut data: Vec<(usize, u64)> = (1..=50)
+            .map(|r| (r, (1e4 * (r as f64).powf(-1.2)).round() as u64))
+            .collect();
+        // Append a hapax tail.
+        for r in 51..=200 {
+            data.push((r, 1));
+        }
+        let opts = FitOptions::until_hapax(&data);
+        assert!(opts.max_rank <= 51, "max_rank {}", opts.max_rank);
+        let fit = fit_rank_frequency(&data, opts);
+        assert!((fit.skew - 1.2).abs() < 0.05, "skew {}", fit.skew);
+    }
+
+    #[test]
+    fn generated_corpus_is_zipfian() {
+        use hdk_corpus::{CollectionGenerator, FrequencyStats, GeneratorConfig};
+        let c = CollectionGenerator::new(GeneratorConfig {
+            num_docs: 500,
+            vocab_size: 5_000,
+            skew: 1.2,
+            avg_doc_len: 80,
+            topic_mix: 0.3,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let stats = FrequencyStats::compute(&c);
+        let rf = stats.rank_frequency();
+        let fit = fit_rank_frequency(&rf, FitOptions::until_hapax(&rf));
+        // The topic mixture flattens the pure 1.2 slightly; the paper's own
+        // collection fits anywhere between 0.9 and 1.5 depending on range.
+        assert!(
+            (0.6..=1.6).contains(&fit.skew),
+            "implausible skew {} (r2 {})",
+            fit.skew,
+            fit.r_squared
+        );
+        assert!(fit.r_squared > 0.8, "poor fit r2 {}", fit.r_squared);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn too_few_points_rejected() {
+        let _ = fit_rank_frequency(&[(1, 10)], FitOptions::default());
+    }
+}

@@ -1,0 +1,32 @@
+//! Structured P2P substrate.
+//!
+//! The paper runs on "a structured P2P network" — concretely the P-Grid
+//! layer (Section 5: "our prototype retrieval engine built on top of the
+//! P-Grid P2P layer"). This crate simulates that substrate in-process with
+//! *exact accounting of transmitted postings*, the unit in which the paper
+//! states every scalability result ("we [...] merely analyze the number of
+//! postings the network needs to absorb and transmit", Section 4).
+//!
+//! Two interchangeable overlays implement the [`Overlay`] trait:
+//!
+//! * [`pgrid::PGrid`] — a binary-trie overlay in the style of P-Grid
+//!   (prefix-partitioned key space, prefix-correcting routing),
+//! * [`ring::ChordRing`] — a consistent-hashing ring with finger tables,
+//!
+//! so experiments can show the HDK results are independent of the routing
+//! substrate. The [`dht::Dht`] storage layer runs on either and meters all
+//! traffic through [`transport::TrafficMeter`].
+
+pub mod dht;
+pub mod id;
+pub mod overlay;
+pub mod pgrid;
+pub mod ring;
+pub mod transport;
+
+pub use dht::{Dht, MigrationStats};
+pub use id::{hash_bytes, hash_u64s, KeyHash, PeerId};
+pub use overlay::{Overlay, RouteResult};
+pub use pgrid::PGrid;
+pub use ring::ChordRing;
+pub use transport::{MsgKind, TrafficMeter, TrafficSnapshot};

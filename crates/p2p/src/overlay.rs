@@ -1,0 +1,101 @@
+//! The overlay abstraction shared by both routing substrates.
+//!
+//! An overlay answers two questions: *which peer is responsible for a key*
+//! (the DHT contract used by the global index, paper Section 3: "keys and
+//! associated posting lists [...] are allocated to `P_i` by the Distributed
+//! Hash Table built by the P2P network") and *how many hops does a message
+//! take to get there* (routing cost, excluded from the paper's posting
+//! counts but reported separately by our meters).
+
+use crate::id::{KeyHash, PeerId};
+
+/// Result of routing a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteResult {
+    /// The peer responsible for the key.
+    pub responsible: PeerId,
+    /// Overlay hops from the originator to the responsible peer.
+    pub hops: u32,
+}
+
+/// A structured overlay over a fixed peer population.
+pub trait Overlay: Send + Sync {
+    /// All peers, in a stable order. The position of a peer in this slice is
+    /// its *peer index*, used by storage and metering arrays.
+    fn peers(&self) -> &[PeerId];
+
+    /// Index of `peer` in [`Overlay::peers`].
+    fn peer_index(&self, peer: PeerId) -> usize;
+
+    /// The peer responsible for `key`.
+    fn responsible(&self, key: KeyHash) -> PeerId;
+
+    /// Routes from `from` to the peer responsible for `key`, counting hops.
+    /// Implementations must agree with [`Overlay::responsible`].
+    fn route(&self, from: PeerId, key: KeyHash) -> RouteResult;
+
+    /// Admits a new peer. The peer is appended to [`Overlay::peers`] (so
+    /// existing peer indices stay stable) and takes over part of the key
+    /// space; [`crate::dht::Dht::add_peer`] migrates the affected keys.
+    ///
+    /// # Panics
+    /// Panics if the peer is already a member.
+    fn join(&mut self, peer: PeerId);
+
+    /// Number of peers.
+    fn len(&self) -> usize {
+        self.peers().len()
+    }
+
+    /// True for an empty overlay (never constructed in practice).
+    fn is_empty(&self) -> bool {
+        self.peers().is_empty()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::id::hash_u64s;
+
+    /// Exercises the contract every overlay must satisfy.
+    pub fn check_overlay_contract<O: Overlay>(overlay: &O) {
+        let peers = overlay.peers();
+        assert!(!peers.is_empty());
+        // peer_index is the inverse of peers().
+        for (i, &p) in peers.iter().enumerate() {
+            assert_eq!(overlay.peer_index(p), i);
+        }
+        // Every key routes to its responsible peer from every origin, and
+        // a peer reaches its own keys in zero hops.
+        for k in 0..200u64 {
+            let key = KeyHash(hash_u64s(&[k]));
+            let owner = overlay.responsible(key);
+            for &from in peers.iter().take(8) {
+                let r = overlay.route(from, key);
+                assert_eq!(r.responsible, owner, "route/responsible disagree");
+                if from == owner {
+                    assert_eq!(r.hops, 0, "self-route must be free");
+                }
+            }
+        }
+    }
+
+    /// Checks that responsibility spreads over many peers (load balance).
+    pub fn check_balance<O: Overlay>(overlay: &O, keys: u64, max_skew: f64) {
+        let n = overlay.len();
+        let mut counts = vec![0usize; n];
+        for k in 0..keys {
+            let key = KeyHash(hash_u64s(&[k, 0xdead]));
+            counts[overlay.peer_index(overlay.responsible(key))] += 1;
+        }
+        let expected = keys as f64 / n as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(
+            max <= expected * max_skew,
+            "max load {max} exceeds {max_skew}x the mean {expected}"
+        );
+        let nonempty = counts.iter().filter(|&&c| c > 0).count();
+        assert_eq!(nonempty, n, "some peers own no keys");
+    }
+}

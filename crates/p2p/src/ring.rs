@@ -1,0 +1,208 @@
+//! Chord-style consistent-hashing ring with finger tables.
+//!
+//! The alternative routing substrate (the paper's related work, e.g.
+//! ODISSEA \[17\] and the analyses in \[7, 20\], assume Chord-like DHTs). A key
+//! is owned by its *successor*: the first peer whose ring position is `>=`
+//! the key position, wrapping around. Routing greedily follows the closest
+//! preceding finger, giving `O(log N)` hops.
+
+use crate::id::{hash_u64s, KeyHash, PeerId};
+use crate::overlay::{Overlay, RouteResult};
+
+/// A static Chord ring over a fixed peer set.
+#[derive(Debug)]
+pub struct ChordRing {
+    /// Peers in input order (stable external indexing).
+    peers: Vec<PeerId>,
+    /// `(ring position, index into peers)`, sorted by position.
+    ring: Vec<(u64, usize)>,
+    /// `fingers[i][k]` = ring-slot index of the peer owning position
+    /// `pos_i + 2^k` (deduplicated).
+    fingers: Vec<Vec<usize>>,
+}
+
+impl ChordRing {
+    /// Builds the ring. Ring positions are derived from peer ids by
+    /// hashing, so positions are deterministic.
+    ///
+    /// # Panics
+    /// Panics on an empty peer set or duplicate peers.
+    pub fn new(peers: Vec<PeerId>) -> Self {
+        assert!(!peers.is_empty(), "ring needs at least one peer");
+        let (ring, fingers) = Self::build_tables(&peers);
+        Self {
+            peers,
+            ring,
+            fingers,
+        }
+    }
+
+    fn build_tables(peers: &[PeerId]) -> (Vec<(u64, usize)>, Vec<Vec<usize>>) {
+        let mut ring: Vec<(u64, usize)> = peers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (hash_u64s(&[p.0, 0xC0FFEE]), i))
+            .collect();
+        ring.sort_unstable();
+        for w in ring.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "ring position collision");
+        }
+        let mut fingers = vec![Vec::new(); ring.len()];
+        for (slot, &(pos, _)) in ring.iter().enumerate() {
+            let mut table = Vec::with_capacity(64);
+            for k in 0..64u32 {
+                let target = pos.wrapping_add(1u64 << k);
+                let succ = Self::successor_slot(&ring, target);
+                if succ != slot && table.last() != Some(&succ) {
+                    table.push(succ);
+                }
+            }
+            table.dedup();
+            fingers[slot] = table;
+        }
+        (ring, fingers)
+    }
+
+    /// Slot of the first ring entry with position `>= target` (wrapping).
+    fn successor_slot(ring: &[(u64, usize)], target: u64) -> usize {
+        let i = ring.partition_point(|&(pos, _)| pos < target);
+        if i == ring.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// Clockwise distance from `a` to `b` on the ring.
+    #[inline]
+    fn dist(a: u64, b: u64) -> u64 {
+        b.wrapping_sub(a)
+    }
+
+    fn slot_of_peer(&self, peer: PeerId) -> usize {
+        let idx = self.peer_index(peer);
+        self.ring
+            .iter()
+            .position(|&(_, i)| i == idx)
+            .expect("peer is on the ring")
+    }
+}
+
+impl Overlay for ChordRing {
+    fn peers(&self) -> &[PeerId] {
+        &self.peers
+    }
+
+    fn peer_index(&self, peer: PeerId) -> usize {
+        self.peers
+            .iter()
+            .position(|&p| p == peer)
+            .expect("unknown peer")
+    }
+
+    fn responsible(&self, key: KeyHash) -> PeerId {
+        let slot = Self::successor_slot(&self.ring, key.0);
+        self.peers[self.ring[slot].1]
+    }
+
+    fn join(&mut self, peer: PeerId) {
+        assert!(
+            !self.peers.contains(&peer),
+            "{peer} is already on the ring"
+        );
+        self.peers.push(peer);
+        // A join moves the new peer's arc from its successor; fingers are
+        // rebuilt (the simulation equivalent of Chord's stabilization).
+        let (ring, fingers) = Self::build_tables(&self.peers);
+        self.ring = ring;
+        self.fingers = fingers;
+    }
+
+    fn route(&self, from: PeerId, key: KeyHash) -> RouteResult {
+        let target_slot = Self::successor_slot(&self.ring, key.0);
+        let mut cur = self.slot_of_peer(from);
+        let mut hops = 0u32;
+        while cur != target_slot {
+            let cur_pos = self.ring[cur].0;
+            let key_dist = Self::dist(cur_pos, key.0);
+            // Closest preceding finger: the finger that gets furthest
+            // towards the key without passing it.
+            let mut next = None;
+            let mut best = 0u64;
+            for &f in &self.fingers[cur] {
+                let d = Self::dist(cur_pos, self.ring[f].0);
+                if d > 0 && d <= key_dist && d > best {
+                    best = d;
+                    next = Some(f);
+                }
+            }
+            let next = next.unwrap_or_else(|| (cur + 1) % self.ring.len());
+            debug_assert_ne!(next, cur, "routing made no progress");
+            cur = next;
+            hops += 1;
+            // In a ring of n peers a correct greedy route never exceeds n.
+            debug_assert!(hops as usize <= self.ring.len());
+        }
+        RouteResult {
+            responsible: self.peers[self.ring[target_slot].1],
+            hops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::test_support::{check_balance, check_overlay_contract};
+
+    fn peers(n: u64) -> Vec<PeerId> {
+        (0..n).map(PeerId).collect()
+    }
+
+    #[test]
+    fn contract_small_and_medium() {
+        for n in [1, 2, 3, 8, 28, 64] {
+            let ring = ChordRing::new(peers(n));
+            check_overlay_contract(&ring);
+        }
+    }
+
+    #[test]
+    fn balanced_ownership() {
+        let ring = ChordRing::new(peers(28));
+        check_balance(&ring, 20_000, 3.0);
+    }
+
+    #[test]
+    fn hops_logarithmic() {
+        let ring = ChordRing::new(peers(128));
+        let mut total_hops = 0u64;
+        let mut routes = 0u64;
+        for k in 0..2_000u64 {
+            let key = KeyHash(hash_u64s(&[k, 7]));
+            let from = PeerId(k % 128);
+            total_hops += u64::from(ring.route(from, key).hops);
+            routes += 1;
+        }
+        let avg = total_hops as f64 / routes as f64;
+        // log2(128) = 7; greedy Chord averages ~log2(n)/2.
+        assert!(avg <= 8.0, "average hops {avg}");
+        assert!(avg >= 1.0, "suspiciously low average hops {avg}");
+    }
+
+    #[test]
+    fn single_peer_owns_everything() {
+        let ring = ChordRing::new(peers(1));
+        for k in 0..50u64 {
+            let key = KeyHash(hash_u64s(&[k]));
+            assert_eq!(ring.responsible(key), PeerId(0));
+            assert_eq!(ring.route(PeerId(0), key).hops, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn empty_rejected() {
+        let _ = ChordRing::new(vec![]);
+    }
+}

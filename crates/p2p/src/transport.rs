@@ -1,0 +1,285 @@
+//! Traffic accounting.
+//!
+//! The paper's entire scalability argument is phrased in *transmitted
+//! postings* (Section 4: "we analyze the indexing and retrieval costs in
+//! terms of the number of transmitted postings [...] because these make the
+//! dominant part of the generated traffic"). [`TrafficMeter`] counts, per
+//! message category: messages, postings, payload bytes, and overlay hops —
+//! plus per-peer posting counters feeding Figures 3–4 (per-peer inserted /
+//! retrieved volumes).
+//!
+//! Counters are atomic so peers can index in parallel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Message categories, matching the cost split in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// A peer inserts locally computed keys + postings into the global
+    /// index (indexing cost, Figure 4).
+    IndexInsert,
+    /// The global index notifies an inserting peer that a key became
+    /// globally non-discriminative (triggers key expansion, Section 3.1).
+    IndexNotify,
+    /// A query lookup request travelling to the responsible peer.
+    QueryLookup,
+    /// Postings returned to the querying peer (retrieval cost, Figure 6).
+    QueryResponse,
+    /// Overlay maintenance (excluded from the paper's posting counts; kept
+    /// so the simulation can report it separately).
+    Maintenance,
+}
+
+impl MsgKind {
+    /// All categories, for iteration/reporting.
+    pub const ALL: [MsgKind; 5] = [
+        MsgKind::IndexInsert,
+        MsgKind::IndexNotify,
+        MsgKind::QueryLookup,
+        MsgKind::QueryResponse,
+        MsgKind::Maintenance,
+    ];
+
+    fn slot(self) -> usize {
+        match self {
+            MsgKind::IndexInsert => 0,
+            MsgKind::IndexNotify => 1,
+            MsgKind::QueryLookup => 2,
+            MsgKind::QueryResponse => 3,
+            MsgKind::Maintenance => 4,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct KindCounters {
+    messages: AtomicU64,
+    postings: AtomicU64,
+    bytes: AtomicU64,
+    hops: AtomicU64,
+}
+
+/// Atomic traffic counters.
+#[derive(Debug)]
+pub struct TrafficMeter {
+    kinds: [KindCounters; 5],
+    /// Postings each peer has *sent into* the global index (Figure 4).
+    inserted_by_peer: Vec<AtomicU64>,
+    /// Postings each peer has received as query responses.
+    retrieved_by_peer: Vec<AtomicU64>,
+}
+
+/// A point-in-time copy of one category's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindSnapshot {
+    /// Messages sent.
+    pub messages: u64,
+    /// Postings carried.
+    pub postings: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// Overlay hops traversed.
+    pub hops: u64,
+}
+
+/// A point-in-time copy of the whole meter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Per-kind counters, indexed like [`MsgKind::ALL`].
+    pub kinds: [KindSnapshot; 5],
+    /// Per-peer inserted postings.
+    pub inserted_by_peer: Vec<u64>,
+    /// Per-peer retrieved postings.
+    pub retrieved_by_peer: Vec<u64>,
+}
+
+impl TrafficMeter {
+    /// Meter for `num_peers` peers.
+    pub fn new(num_peers: usize) -> Self {
+        Self {
+            kinds: Default::default(),
+            inserted_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
+            retrieved_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Grows the per-peer counters when a peer joins.
+    pub fn add_peer(&mut self) {
+        self.inserted_by_peer.push(AtomicU64::new(0));
+        self.retrieved_by_peer.push(AtomicU64::new(0));
+    }
+
+    /// Records one message.
+    pub fn record(
+        &self,
+        kind: MsgKind,
+        origin_peer: usize,
+        postings: u64,
+        bytes: u64,
+        hops: u32,
+    ) {
+        let c = &self.kinds[kind.slot()];
+        c.messages.fetch_add(1, Ordering::Relaxed);
+        c.postings.fetch_add(postings, Ordering::Relaxed);
+        c.bytes.fetch_add(bytes, Ordering::Relaxed);
+        c.hops.fetch_add(u64::from(hops), Ordering::Relaxed);
+        match kind {
+            MsgKind::IndexInsert => {
+                self.inserted_by_peer[origin_peer].fetch_add(postings, Ordering::Relaxed);
+            }
+            MsgKind::QueryResponse => {
+                self.retrieved_by_peer[origin_peer].fetch_add(postings, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Copies all counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        let mut kinds = [KindSnapshot::default(); 5];
+        for (i, c) in self.kinds.iter().enumerate() {
+            kinds[i] = KindSnapshot {
+                messages: c.messages.load(Ordering::Relaxed),
+                postings: c.postings.load(Ordering::Relaxed),
+                bytes: c.bytes.load(Ordering::Relaxed),
+                hops: c.hops.load(Ordering::Relaxed),
+            };
+        }
+        TrafficSnapshot {
+            kinds,
+            inserted_by_peer: self
+                .inserted_by_peer
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            retrieved_by_peer: self
+                .retrieved_by_peer
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl TrafficSnapshot {
+    /// Counters for one category.
+    pub fn kind(&self, kind: MsgKind) -> KindSnapshot {
+        self.kinds[kind.slot()]
+    }
+
+    /// Total postings moved during indexing (inserts + notifications).
+    pub fn indexing_postings(&self) -> u64 {
+        self.kind(MsgKind::IndexInsert).postings + self.kind(MsgKind::IndexNotify).postings
+    }
+
+    /// Total postings moved during retrieval (responses; lookups carry
+    /// keys, not postings).
+    pub fn retrieval_postings(&self) -> u64 {
+        self.kind(MsgKind::QueryResponse).postings
+    }
+
+    /// Mean inserted postings per peer (Figure 4's y-axis).
+    pub fn avg_inserted_per_peer(&self) -> f64 {
+        if self.inserted_by_peer.is_empty() {
+            return 0.0;
+        }
+        self.inserted_by_peer.iter().sum::<u64>() as f64 / self.inserted_by_peer.len() as f64
+    }
+
+    /// Difference `self - earlier`, counter-wise (for per-phase costs).
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        let mut kinds = [KindSnapshot::default(); 5];
+        for (i, slot) in kinds.iter_mut().enumerate() {
+            *slot = KindSnapshot {
+                messages: self.kinds[i].messages - earlier.kinds[i].messages,
+                postings: self.kinds[i].postings - earlier.kinds[i].postings,
+                bytes: self.kinds[i].bytes - earlier.kinds[i].bytes,
+                hops: self.kinds[i].hops - earlier.kinds[i].hops,
+            };
+        }
+        // `earlier` can be shorter when peers joined in between; missing
+        // entries count as zero.
+        let diff_vec = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            a.iter()
+                .enumerate()
+                .map(|(i, x)| x - b.get(i).copied().unwrap_or(0))
+                .collect()
+        };
+        TrafficSnapshot {
+            kinds,
+            inserted_by_peer: diff_vec(&self.inserted_by_peer, &earlier.inserted_by_peer),
+            retrieved_by_peer: diff_vec(&self.retrieved_by_peer, &earlier.retrieved_by_peer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_kind() {
+        let m = TrafficMeter::new(3);
+        m.record(MsgKind::IndexInsert, 0, 10, 40, 2);
+        m.record(MsgKind::IndexInsert, 1, 5, 20, 1);
+        m.record(MsgKind::QueryResponse, 2, 7, 28, 3);
+        let s = m.snapshot();
+        assert_eq!(s.kind(MsgKind::IndexInsert).messages, 2);
+        assert_eq!(s.kind(MsgKind::IndexInsert).postings, 15);
+        assert_eq!(s.kind(MsgKind::IndexInsert).bytes, 60);
+        assert_eq!(s.kind(MsgKind::IndexInsert).hops, 3);
+        assert_eq!(s.kind(MsgKind::QueryResponse).postings, 7);
+        assert_eq!(s.indexing_postings(), 15);
+        assert_eq!(s.retrieval_postings(), 7);
+    }
+
+    #[test]
+    fn per_peer_attribution() {
+        let m = TrafficMeter::new(2);
+        m.record(MsgKind::IndexInsert, 0, 100, 0, 0);
+        m.record(MsgKind::IndexInsert, 1, 50, 0, 0);
+        m.record(MsgKind::QueryResponse, 1, 9, 0, 0);
+        let s = m.snapshot();
+        assert_eq!(s.inserted_by_peer, vec![100, 50]);
+        assert_eq!(s.retrieved_by_peer, vec![0, 9]);
+        assert!((s.avg_inserted_per_peer() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let m = TrafficMeter::new(1);
+        m.record(MsgKind::QueryLookup, 0, 0, 8, 1);
+        let before = m.snapshot();
+        m.record(MsgKind::QueryLookup, 0, 0, 8, 2);
+        let after = m.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.kind(MsgKind::QueryLookup).messages, 1);
+        assert_eq!(d.kind(MsgKind::QueryLookup).hops, 2);
+    }
+
+    #[test]
+    fn notify_counts_as_indexing() {
+        let m = TrafficMeter::new(1);
+        m.record(MsgKind::IndexNotify, 0, 3, 0, 1);
+        assert_eq!(m.snapshot().indexing_postings(), 3);
+    }
+
+    #[test]
+    fn parallel_recording_is_consistent() {
+        let m = std::sync::Arc::new(TrafficMeter::new(4));
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.record(MsgKind::IndexInsert, p, 2, 8, 1);
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.kind(MsgKind::IndexInsert).messages, 4000);
+        assert_eq!(s.kind(MsgKind::IndexInsert).postings, 8000);
+        assert_eq!(s.inserted_by_peer, vec![2000; 4]);
+    }
+}

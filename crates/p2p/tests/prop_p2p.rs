@@ -1,0 +1,92 @@
+//! Property tests for the overlays and the DHT: the Overlay contract on
+//! arbitrary peer populations, and lookup-after-insert identity under
+//! arbitrary operation sequences.
+
+use hdk_p2p::{hash_u64s, ChordRing, Dht, KeyHash, Overlay, PGrid, PeerId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn peer_ids(n: usize) -> Vec<PeerId> {
+    (0..n as u64).map(PeerId).collect()
+}
+
+proptest! {
+    #[test]
+    fn pgrid_contract(n in 1usize..40, keys in prop::collection::vec(any::<u64>(), 1..60)) {
+        let grid = PGrid::new(peer_ids(n));
+        for &k in &keys {
+            let key = KeyHash(hash_u64s(&[k]));
+            let owner = grid.responsible(key);
+            // Exactly one peer owns the key, and routing agrees from
+            // several origins.
+            for &from in grid.peers().iter().step_by((n / 5).max(1)) {
+                let r = grid.route(from, key);
+                prop_assert_eq!(r.responsible, owner);
+                if from == owner {
+                    prop_assert_eq!(r.hops, 0);
+                }
+                // Prefix routing corrects one bit per hop.
+                prop_assert!(r.hops <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn chord_contract(n in 1usize..40, keys in prop::collection::vec(any::<u64>(), 1..60)) {
+        let ring = ChordRing::new(peer_ids(n));
+        for &k in &keys {
+            let key = KeyHash(hash_u64s(&[k]));
+            let owner = ring.responsible(key);
+            for &from in ring.peers().iter().step_by((n / 5).max(1)) {
+                let r = ring.route(from, key);
+                prop_assert_eq!(r.responsible, owner);
+                if from == owner {
+                    prop_assert_eq!(r.hops, 0);
+                }
+                prop_assert!((r.hops as usize) <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn overlays_agree_on_ownership_uniqueness(
+        n in 2usize..20,
+        k in any::<u64>(),
+    ) {
+        // Both overlays assign every key to exactly one peer from the
+        // same population (not necessarily the same peer).
+        let key = KeyHash(hash_u64s(&[k]));
+        let grid = PGrid::new(peer_ids(n));
+        let ring = ChordRing::new(peer_ids(n));
+        prop_assert!(grid.peers().contains(&grid.responsible(key)));
+        prop_assert!(ring.peers().contains(&ring.responsible(key)));
+    }
+
+    #[test]
+    fn dht_matches_hashmap_model(
+        n in 1usize..12,
+        ops in prop::collection::vec((any::<u8>(), 0u64..30, 0u32..100), 1..120),
+    ) {
+        // The DHT with integer values must behave exactly like a local
+        // HashMap under an arbitrary interleaving of upserts and lookups.
+        let dht: Dht<u64> = Dht::new(Box::new(PGrid::new(peer_ids(n))));
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (op, key_seed, val) in ops {
+            let key = KeyHash(hash_u64s(&[key_seed]));
+            let from = PeerId(u64::from(val) % n as u64);
+            if op % 3 != 0 {
+                dht.upsert(from, key, 1, 8, || 0, |v| *v += u64::from(val));
+                *model.entry(key.0).or_insert(0) += u64::from(val);
+            } else {
+                let got = dht.lookup(from, key, |v| (v.copied(), 0, 0));
+                prop_assert_eq!(got, model.get(&key.0).copied());
+            }
+        }
+        // Final state matches.
+        for (k, v) in &model {
+            let got = dht.peek(KeyHash(*k), |e| e.copied());
+            prop_assert_eq!(got, Some(*v));
+        }
+        prop_assert_eq!(dht.num_keys(), model.len());
+    }
+}

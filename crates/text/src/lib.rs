@@ -1,0 +1,31 @@
+//! Text-analysis substrate for the HDK peer-to-peer retrieval engine.
+//!
+//! Reproduces the document pre-processing pipeline of Podnar et al.
+//! (ICDE 2007), Section 5: *"All documents are pre-processed: First we remove
+//! 250 common English stop words and apply the Porter stemmer, and then we
+//! removed additional very frequent terms."*
+//!
+//! The crate provides:
+//!
+//! * [`tokenizer`] — lossy lowercasing word tokenizer,
+//! * [`stopwords`] — the 250-word common-English stop list,
+//! * [`porter`] — a complete implementation of the Porter stemming algorithm,
+//! * [`vocab`] — an interning term dictionary mapping terms to dense
+//!   [`TermId`]s,
+//! * [`window`] — fixed-size sliding windows over token sequences (the
+//!   *textual context* used by proximity filtering),
+//! * [`pipeline`] — an [`pipeline::Analyzer`] combining all stages.
+
+pub mod pipeline;
+pub mod porter;
+pub mod stopwords;
+pub mod tokenizer;
+pub mod vocab;
+pub mod window;
+
+pub use pipeline::{AnalyzedDocument, Analyzer, AnalyzerConfig};
+pub use porter::stem;
+pub use stopwords::is_stopword;
+pub use tokenizer::tokenize;
+pub use vocab::{TermId, Vocabulary};
+pub use window::Windows;

@@ -1,0 +1,92 @@
+//! The 250 common English stop words removed before indexing.
+//!
+//! The paper removes "250 common English stop words" before stemming
+//! (Section 5, *Experimental setup*). This list is the classic van
+//! Rijsbergen-style common-word list trimmed to exactly 250 entries,
+//! lowercase, ASCII.
+
+/// The stop list. Sorted, so membership can be tested by binary search.
+pub static STOPWORDS: [&str; 250] = [
+    "about", "above", "across", "after", "afterwards", "again", "against",
+    "all", "almost", "alone", "along", "already", "also", "although",
+    "always", "am", "among", "amongst", "an", "and", "another", "any",
+    "anyhow", "anyone", "anything", "anyway", "anywhere", "are", "around",
+    "as", "at", "back", "be", "became", "because", "become", "becomes",
+    "becoming", "been", "before", "beforehand", "behind", "being", "below",
+    "beside", "besides", "between", "beyond", "both", "but", "by", "can",
+    "cannot", "could", "do", "down", "during", "each", "either", "else",
+    "elsewhere", "enough", "etc", "even", "ever", "every", "everyone",
+    "everything", "everywhere", "except", "few", "for", "former",
+    "formerly", "found", "from", "further", "get", "give", "had", "has",
+    "have", "he", "hence", "her", "here", "hereafter", "hereby", "herein",
+    "hereupon", "hers", "herself", "him", "himself", "his", "how",
+    "however", "if", "in", "indeed", "into", "is", "it", "its", "itself",
+    "last", "latter", "least", "less", "made", "many", "may", "me",
+    "meanwhile", "might", "more", "moreover", "most", "mostly", "much",
+    "must", "my", "myself", "namely", "neither", "never", "nevertheless",
+    "next", "no", "nobody", "none", "nor", "not", "nothing", "now",
+    "nowhere", "of", "off", "often", "on", "once", "only", "onto", "or",
+    "other", "others", "otherwise", "our", "ours", "ourselves", "out",
+    "over", "own", "per", "perhaps", "put", "rather", "same", "see",
+    "seem", "seemed", "seeming", "seems", "serious", "several", "she",
+    "should", "since", "so", "some", "somehow", "someone", "something",
+    "sometime", "sometimes", "somewhere", "still", "such", "take", "than",
+    "that", "the", "their", "them", "themselves", "then", "thence",
+    "there", "thereafter", "thereby", "therefore", "therein", "thereupon",
+    "these", "they", "this", "those", "though", "through", "throughout",
+    "thus", "to", "together", "too", "top", "toward", "towards", "under",
+    "until", "up", "upon", "us", "very", "via", "was", "we", "well",
+    "were", "what", "whatever", "when", "whence", "whenever", "where",
+    "whereafter", "whereas", "whereby", "wherein", "whereupon", "wherever",
+    "whether", "which", "while", "who", "whoever", "whole", "whom",
+    "whose", "why", "will", "with", "within", "without", "would", "yet",
+    "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// Returns `true` if `word` (already lowercase) is one of the 250 stop words.
+///
+/// ```
+/// assert!(hdk_text::is_stopword("the"));
+/// assert!(!hdk_text::is_stopword("wikipedia"));
+/// ```
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_250_entries() {
+        assert_eq!(STOPWORDS.len(), 250);
+    }
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        for pair in STOPWORDS.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} >= {:?}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn common_words_present() {
+        for w in ["the", "and", "was", "with", "that", "this", "have"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_absent() {
+        for w in ["wikipedia", "retrieval", "peer", "network", "key"] {
+            assert!(!is_stopword(w), "{w} must not be a stop word");
+        }
+    }
+
+    #[test]
+    fn all_entries_lowercase_ascii() {
+        for w in STOPWORDS {
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w:?}");
+        }
+    }
+}

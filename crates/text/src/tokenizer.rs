@@ -1,0 +1,116 @@
+//! Word tokenization.
+//!
+//! The tokenizer splits input text on any non-alphanumeric character,
+//! lowercases the result, and drops tokens that are empty, purely numeric
+//! noise longer than [`MAX_TOKEN_LEN`], or shorter than [`MIN_TOKEN_LEN`].
+//! This mirrors the conventional web-IR tokenization used by the paper's
+//! prototype (terms are stemmed *after* tokenization, see
+//! [`crate::pipeline`]).
+
+/// Tokens shorter than this are discarded (single letters carry no retrieval
+/// signal and would otherwise dominate the key vocabulary).
+pub const MIN_TOKEN_LEN: usize = 2;
+
+/// Tokens longer than this are discarded as markup/URL noise.
+pub const MAX_TOKEN_LEN: usize = 40;
+
+/// Iterator over the tokens of a text, produced by [`tokenize`].
+#[derive(Debug, Clone)]
+pub struct Tokens<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        loop {
+            // Skip separators.
+            let start = self
+                .rest
+                .char_indices()
+                .find(|(_, c)| c.is_alphanumeric())
+                .map(|(i, _)| i)?;
+            self.rest = &self.rest[start..];
+            // Take the alphanumeric run.
+            let end = self
+                .rest
+                .char_indices()
+                .find(|(_, c)| !c.is_alphanumeric())
+                .map(|(i, _)| i)
+                .unwrap_or(self.rest.len());
+            let (word, rest) = self.rest.split_at(end);
+            self.rest = rest;
+            let len = word.chars().count();
+            if (MIN_TOKEN_LEN..=MAX_TOKEN_LEN).contains(&len) {
+                return Some(word.to_lowercase());
+            }
+            // Token out of bounds: keep scanning.
+        }
+    }
+}
+
+/// Tokenizes `text` into lowercase alphanumeric words.
+///
+/// ```
+/// let toks: Vec<String> = hdk_text::tokenize("The Quick-Brown fox, v2!").collect();
+/// assert_eq!(toks, ["the", "quick", "brown", "fox", "v2"]);
+/// ```
+pub fn tokenize(text: &str) -> Tokens<'_> {
+    Tokens { rest: text }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s).collect()
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(toks("hello, world!"), ["hello", "world"]);
+        assert_eq!(toks("peer-to-peer"), ["peer", "to", "peer"]);
+        assert_eq!(toks("a.b.c ab cd"), ["ab", "cd"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(toks("Wikipedia ENCYCLOPEDIA CaMeL"), ["wikipedia", "encyclopedia", "camel"]);
+    }
+
+    #[test]
+    fn drops_single_chars_and_empty() {
+        assert_eq!(toks("a b c xy"), ["xy"]);
+        assert_eq!(toks(""), Vec::<String>::new());
+        assert_eq!(toks("...!!!"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn keeps_alphanumerics() {
+        assert_eq!(toks("bm25 top20 x86"), ["bm25", "top20", "x86"]);
+    }
+
+    #[test]
+    fn drops_overlong_tokens() {
+        let long = "x".repeat(MAX_TOKEN_LEN + 1);
+        assert_eq!(toks(&long), Vec::<String>::new());
+        let ok = "x".repeat(MAX_TOKEN_LEN);
+        assert_eq!(toks(&ok), std::slice::from_ref(&ok));
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(toks("zürich café"), ["zürich", "café"]);
+    }
+
+    #[test]
+    fn iterator_is_fused_at_end() {
+        let mut it = tokenize("one two");
+        assert_eq!(it.next().as_deref(), Some("one"));
+        assert_eq!(it.next().as_deref(), Some("two"));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
+    }
+}

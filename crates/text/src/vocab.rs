@@ -1,0 +1,148 @@
+//! Term dictionary: interns term strings into dense [`TermId`]s.
+//!
+//! Every downstream structure (posting lists, keys, Zipf fits) works on
+//! `TermId`s instead of strings; this keeps the hot paths allocation-free and
+//! keys compact (a key of size 3 is three `u32`s).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned term. Ordering follows interning order,
+/// which is deterministic for a deterministic token stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index, usable directly as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A bidirectional term dictionary.
+///
+/// ```
+/// use hdk_text::Vocabulary;
+/// let mut v = Vocabulary::new();
+/// let a = v.intern("peer");
+/// let b = v.intern("network");
+/// assert_eq!(v.intern("peer"), a);
+/// assert_eq!(v.term(b), "network");
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with room for `cap` terms.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            by_term: HashMap::with_capacity(cap),
+            terms: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("vocabulary exceeds u32 range"));
+        self.terms.push(term.to_owned());
+        self.by_term.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("alpha"), a);
+        assert_eq!(v.intern("beta"), b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        for (i, t) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(v.intern(t), TermId(i as u32));
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("wikipedia");
+        assert_eq!(v.term(id), "wikipedia");
+        assert_eq!(v.get("wikipedia"), Some(id));
+        assert_eq!(v.get("absent"), None);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let collected: Vec<_> = v.iter().map(|(id, t)| (id.0, t.to_owned())).collect();
+        assert_eq!(collected, [(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TermId(7).to_string(), "t7");
+    }
+}

@@ -1,0 +1,136 @@
+//! Fixed-size sliding windows over token sequences.
+//!
+//! Proximity filtering (paper, Section 3.1) only admits keys whose terms all
+//! occur inside one *textual context*; the paper uses "the simplest textual
+//! context, a fixed-size window [...] of size `w`" slid over the document one
+//! position at a time. [`Windows`] yields exactly those windows; the key
+//! generator in `hdk-core` consumes them incrementally (per new right-most
+//! term) so each co-occurrence is counted once, as in the proof of Theorem 3.
+
+use crate::vocab::TermId;
+
+/// Iterator over all sliding windows of width `w` (the trailing windows
+/// shorter than `w` at the start of the document are produced once the
+/// sequence is at least 1 token long; a document shorter than `w` yields a
+/// single window covering the whole document).
+#[derive(Debug, Clone)]
+pub struct Windows<'a> {
+    tokens: &'a [TermId],
+    w: usize,
+    pos: usize,
+}
+
+impl<'a> Windows<'a> {
+    /// Creates the window iterator. `w` must be at least 2 (a window of one
+    /// token admits no term pair).
+    ///
+    /// # Panics
+    /// Panics if `w < 2`.
+    pub fn new(tokens: &'a [TermId], w: usize) -> Self {
+        assert!(w >= 2, "window size must be >= 2, got {w}");
+        Self { tokens, w, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for Windows<'a> {
+    type Item = &'a [TermId];
+
+    fn next(&mut self) -> Option<&'a [TermId]> {
+        if self.tokens.is_empty() {
+            return None;
+        }
+        if self.tokens.len() <= self.w {
+            // Single window covering the short document.
+            if self.pos == 0 {
+                self.pos = 1;
+                return Some(self.tokens);
+            }
+            return None;
+        }
+        let start = self.pos;
+        if start + self.w > self.tokens.len() {
+            return None;
+        }
+        self.pos += 1;
+        Some(&self.tokens[start..start + self.w])
+    }
+}
+
+/// Visits each *incremental* co-occurrence context: for every token position
+/// `i`, calls `f(prefix, t_i)` where `prefix` are the up to `w - 1` tokens
+/// preceding `t_i`. Sliding the window one position to the right introduces
+/// exactly the pairs `(t_j, t_i)` with `j` in the prefix — the counting
+/// scheme used in the proof of Theorem 3 and by the key generator.
+pub fn for_each_context<F: FnMut(&[TermId], TermId)>(tokens: &[TermId], w: usize, mut f: F) {
+    assert!(w >= 2, "window size must be >= 2, got {w}");
+    for (i, &t) in tokens.iter().enumerate() {
+        let lo = i.saturating_sub(w - 1);
+        f(&tokens[lo..i], t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<TermId> {
+        v.iter().map(|&i| TermId(i)).collect()
+    }
+
+    #[test]
+    fn exact_windows() {
+        let toks = ids(&[0, 1, 2, 3, 4]);
+        let wins: Vec<Vec<u32>> = Windows::new(&toks, 3)
+            .map(|w| w.iter().map(|t| t.0).collect())
+            .collect();
+        assert_eq!(wins, vec![vec![0, 1, 2], vec![1, 2, 3], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn short_document_single_window() {
+        let toks = ids(&[7, 8]);
+        let wins: Vec<_> = Windows::new(&toks, 10).collect();
+        assert_eq!(wins.len(), 1);
+        assert_eq!(wins[0], &toks[..]);
+    }
+
+    #[test]
+    fn empty_document_no_windows() {
+        let toks: Vec<TermId> = vec![];
+        assert_eq!(Windows::new(&toks, 4).count(), 0);
+    }
+
+    #[test]
+    fn window_count_matches_formula() {
+        // For len > w there are len - w + 1 windows.
+        let toks = ids(&(0..20).collect::<Vec<_>>());
+        assert_eq!(Windows::new(&toks, 5).count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be >= 2")]
+    fn rejects_tiny_window() {
+        let toks = ids(&[1, 2, 3]);
+        let _ = Windows::new(&toks, 1);
+    }
+
+    #[test]
+    fn contexts_cover_every_pair_once() {
+        // With for_each_context, pair (j, i) with i - j < w appears exactly
+        // once: when t_i is the new right-most token.
+        let toks = ids(&[0, 1, 2, 3]);
+        let mut pairs = vec![];
+        for_each_context(&toks, 3, |prefix, t| {
+            for &p in prefix {
+                pairs.push((p.0, t.0));
+            }
+        });
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn context_prefix_never_exceeds_w_minus_1() {
+        let toks = ids(&(0..50).collect::<Vec<_>>());
+        for_each_context(&toks, 7, |prefix, _| assert!(prefix.len() <= 6));
+    }
+}

@@ -1,0 +1,112 @@
+//! Peer-join growth: a peer joining a live network with its own documents
+//! must leave the system indistinguishable — in index *content* and query
+//! answers — from a network built statically over the same enlarged
+//! collection. (Placement of index fractions differs; content must not.)
+
+use p2p_hdk::prelude::*;
+
+fn config() -> HdkConfig {
+    HdkConfig {
+        dfmax: 12,
+        ff: u64::MAX, // freeze exclusion differences out of the comparison
+        ..HdkConfig::default()
+    }
+}
+
+#[test]
+fn joined_peer_network_matches_static_build() {
+    let collection = CollectionGenerator::new(GeneratorConfig {
+        num_docs: 360,
+        vocab_size: 2_500,
+        avg_doc_len: 45,
+        num_topics: 25,
+        topic_vocab: 50,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+
+    // Static reference: 4 peers, whole collection.
+    let static_parts = partition_documents(collection.len(), 4, 31);
+    let reference = HdkNetwork::build(&collection, &static_parts, config(), OverlayKind::PGrid);
+
+    // Live network: 3 peers over the first 270 docs, then a 4th peer joins
+    // carrying the remaining 90.
+    let split = 270;
+    let old_parts = partition_documents(split, 3, 77);
+    let mut live = HdkNetwork::build(
+        &collection.prefix(split),
+        &old_parts,
+        config(),
+        OverlayKind::PGrid,
+    );
+    let new_docs: Vec<Document> = (split..collection.len())
+        .map(|i| collection.docs()[i].clone())
+        .collect();
+    let migration = live.join_peer(PeerId(900), new_docs);
+    assert!(migration.keys_moved > 0, "join must take over index keys");
+    assert_eq!(live.num_peers(), 4);
+    assert_eq!(live.num_docs(), reference.num_docs());
+
+    // Index content identical despite different document placement and
+    // overlay shape.
+    assert_eq!(
+        live.index().index_counts(),
+        reference.index().index_counts()
+    );
+
+    // Query answers identical.
+    let log = QueryLog::generate(&collection, &QueryLogConfig {
+        num_queries: 40,
+        ..QueryLogConfig::default()
+    });
+    for q in &log.queries {
+        let a = live.query(PeerId(900), &q.terms, 20);
+        let b = reference.query(PeerId(0), &q.terms, 20);
+        assert_eq!(a.results, b.results, "diverged for {:?}", q.terms);
+        assert_eq!(a.postings_fetched, b.postings_fetched);
+    }
+
+    // Migration is maintenance, not indexing cost: inserted postings per
+    // peer reflect only real indexing work.
+    let snap = live.snapshot();
+    assert_eq!(
+        snap.kind(MsgKind::Maintenance).postings,
+        migration.postings_moved
+    );
+}
+
+#[test]
+fn several_peers_join_in_sequence() {
+    let collection = CollectionGenerator::new(GeneratorConfig {
+        num_docs: 240,
+        vocab_size: 2_000,
+        avg_doc_len: 40,
+        num_topics: 20,
+        topic_vocab: 40,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let reference = HdkNetwork::build(
+        &collection,
+        &partition_documents(collection.len(), 5, 3),
+        config(),
+        OverlayKind::Chord,
+    );
+
+    // Start with 2 peers on 120 docs, then 3 joins of 40 docs each.
+    let mut live = HdkNetwork::build(
+        &collection.prefix(120),
+        &partition_documents(120, 2, 3),
+        config(),
+        OverlayKind::Chord,
+    );
+    for (j, lo) in [(0u64, 120usize), (1, 160), (2, 200)] {
+        let docs: Vec<Document> = (lo..lo + 40).map(|i| collection.docs()[i].clone()).collect();
+        live.join_peer(PeerId(1000 + j), docs);
+    }
+    assert_eq!(live.num_peers(), 5);
+    assert_eq!(
+        live.index().index_counts(),
+        reference.index().index_counts()
+    );
+}
