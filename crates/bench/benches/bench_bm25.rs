@@ -30,10 +30,13 @@ fn bench_build(c: &mut Criterion) {
 fn bench_query(c: &mut Criterion) {
     let coll = collection();
     let engine = CentralizedEngine::build(&coll);
-    let log = QueryLog::generate(&coll, &QueryLogConfig {
-        num_queries: 100,
-        ..QueryLogConfig::default()
-    });
+    let log = QueryLog::generate(
+        &coll,
+        &QueryLogConfig {
+            num_queries: 100,
+            ..QueryLogConfig::default()
+        },
+    );
     let mut g = c.benchmark_group("bm25/query");
     g.throughput(Throughput::Elements(log.len() as u64));
     g.bench_function("top20_batch", |b| {

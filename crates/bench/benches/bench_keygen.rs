@@ -19,12 +19,10 @@ fn setup() -> KeygenSetup {
         ..GeneratorConfig::default()
     })
     .generate();
-    let docs: Vec<(DocId, Vec<TermId>)> =
-        coll.iter().map(|(d, t)| (d, t.to_vec())).collect();
+    let docs: Vec<(DocId, Vec<TermId>)> = coll.iter().map(|(d, t)| (d, t.to_vec())).collect();
     // Treat the 200 most frequent terms as NDK singles (realistic shape).
     let stats = hdk_corpus::FrequencyStats::compute(&coll);
-    let mut by_freq: Vec<(u64, TermId)> =
-        stats.iter().map(|(t, cf, _)| (cf, t)).collect();
+    let mut by_freq: Vec<(u64, TermId)> = stats.iter().map(|(t, cf, _)| (cf, t)).collect();
     by_freq.sort_unstable_by_key(|&(cf, _)| std::cmp::Reverse(cf));
     let ndk1: HashSet<TermId> = by_freq.iter().take(200).map(|&(_, t)| t).collect();
     let ndk_prev: HashSet<Key> = ndk1.iter().map(|&t| Key::single(t)).collect();

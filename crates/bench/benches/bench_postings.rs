@@ -23,8 +23,12 @@ fn bench_codec(c: &mut Criterion) {
     let sparse = list(10_000, 97);
     let mut g = c.benchmark_group("postings/codec");
     g.throughput(Throughput::Elements(10_000));
-    g.bench_function("encode_dense", |b| b.iter(|| codec::encode(black_box(&dense))));
-    g.bench_function("encode_sparse", |b| b.iter(|| codec::encode(black_box(&sparse))));
+    g.bench_function("encode_dense", |b| {
+        b.iter(|| codec::encode(black_box(&dense)))
+    });
+    g.bench_function("encode_sparse", |b| {
+        b.iter(|| codec::encode(black_box(&sparse)))
+    });
     let enc = codec::encode(&dense);
     g.bench_function("decode_dense", |b| {
         b.iter(|| codec::decode(black_box(enc.clone())).unwrap())

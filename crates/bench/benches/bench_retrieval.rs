@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hdk_core::{HdkConfig, HdkNetwork, OverlayKind, SingleTermNetwork};
 use hdk_corpus::{
-    partition_documents, Collection, CollectionGenerator, GeneratorConfig, QueryLog,
-    QueryLogConfig,
+    partition_documents, Collection, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig,
 };
 use hdk_p2p::PeerId;
 use std::hint::black_box;
@@ -49,10 +48,13 @@ fn bench_query(c: &mut Criterion) {
     let (coll, parts) = setup();
     let st = SingleTermNetwork::build(&coll, &parts, OverlayKind::PGrid);
     let hdk = HdkNetwork::build(&coll, &parts, hdk_config(), OverlayKind::PGrid);
-    let log = QueryLog::generate(&coll, &QueryLogConfig {
-        num_queries: 100,
-        ..QueryLogConfig::default()
-    });
+    let log = QueryLog::generate(
+        &coll,
+        &QueryLogConfig {
+            num_queries: 100,
+            ..QueryLogConfig::default()
+        },
+    );
     let mut g = c.benchmark_group("e2e/query");
     g.throughput(Throughput::Elements(log.len() as u64));
     g.bench_function("st_top20_batch", |b| {

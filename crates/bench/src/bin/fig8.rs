@@ -22,8 +22,14 @@ fn main() {
     let (table, model) = figures::fig8(&points, 1.5e6);
     table.emit();
     println!("calibrated coefficients (measured on this run):");
-    println!("  ST postings/doc            = {:.1} (paper: ~130)", model.st_postings_per_doc);
-    println!("  HDK postings/doc           = {:.1} (paper: ~5290)", model.hdk_postings_per_doc);
+    println!(
+        "  ST postings/doc            = {:.1} (paper: ~130)",
+        model.st_postings_per_doc
+    );
+    println!(
+        "  HDK postings/doc           = {:.1} (paper: ~5290)",
+        model.hdk_postings_per_doc
+    );
     println!(
         "  ST retrieval/query/doc     = {:.5}",
         model.st_retrieval_per_query_per_doc
@@ -36,7 +42,5 @@ fn main() {
         "  crossover (HDK wins above) = {:.0} documents",
         model.crossover_docs()
     );
-    println!(
-        "\npaper reference points: ratio ~20 at 653,546 docs; ~42 at 1e9 docs"
-    );
+    println!("\npaper reference points: ratio ~20 at 653,546 docs; ~42 at 1e9 docs");
 }

@@ -11,8 +11,8 @@ use hdk_core::window_keys::candidate_postings;
 use hdk_core::Key;
 use hdk_corpus::{CollectionGenerator, FrequencyStats};
 use hdk_model::{
-    expected_keys_for_avg_size, fit_rank_frequency, index_size_ratio, keys_for_query,
-    p_frequent, p_very_frequent, retrieval_traffic_bound, FitOptions,
+    expected_keys_for_avg_size, fit_rank_frequency, index_size_ratio, keys_for_query, p_frequent,
+    p_very_frequent, retrieval_traffic_bound, FitOptions,
 };
 use hdk_text::TermId;
 use std::collections::HashSet;
@@ -41,7 +41,11 @@ fn fit_pair_skew(
         .map(|pl| pl.postings().iter().map(|p| u64::from(p.tf)).sum())
         .collect();
     freqs.sort_unstable_by(|a, b| b.cmp(a));
-    let rf: Vec<(usize, u64)> = freqs.into_iter().enumerate().map(|(i, f)| (i + 1, f)).collect();
+    let rf: Vec<(usize, u64)> = freqs
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| (i + 1, f))
+        .collect();
     fit_rank_frequency(&rf, FitOptions::until_hapax(&rf))
 }
 
@@ -56,7 +60,10 @@ fn main() {
     println!("Section 4.1 — Zipf fit and occurrence probabilities\n");
     let fit_full = fit_rank_frequency(&rf, FitOptions::default());
     let fit_hapax = fit_rank_frequency(&rf, FitOptions::until_hapax(&rf));
-    let mut t = Table::new("theory_zipf_fit", &["fit", "skew_a", "scale_C", "r2", "points"]);
+    let mut t = Table::new(
+        "theory_zipf_fit",
+        &["fit", "skew_a", "scale_C", "r2", "points"],
+    );
     t.row(&[
         "all ranks".to_owned(),
         format!("{:.3}", fit_full.skew),
@@ -86,10 +93,15 @@ fn main() {
     println!("with a = {a:.3}, Fr = {fr}, Ff = {ff}:\n");
     let pvf = p_very_frequent(ff, scale, a);
     let pf1 = p_frequent(fr, ff, a);
-    println!("  Theorem 1: P_vf = {pvf:.4}   (grows with collection size; these terms are dropped)");
+    println!(
+        "  Theorem 1: P_vf = {pvf:.4}   (grows with collection size; these terms are dropped)"
+    );
     println!("  Theorem 2: P_f,1 = {pf1:.4}  (constant in collection size; paper example: 0.8)");
 
-    println!("\nTheorem 3 — index-size bounds IS_s/D (w = {}):\n", profile.window);
+    println!(
+        "\nTheorem 3 — index-size bounds IS_s/D (w = {}):\n",
+        profile.window
+    );
     let mut t3 = Table::new(
         "theory_theorem3",
         &["s", "P_f_used", "IS_s/D_bound", "IS_s_bound_postings"],
@@ -120,7 +132,10 @@ fn main() {
         0.257
     };
     t3.row(&[
-        format!("3 (measured a2={:.3}, r2={:.2})", pair_fit.skew, pair_fit.r_squared),
+        format!(
+            "3 (measured a2={:.3}, r2={:.2})",
+            pair_fit.skew, pair_fit.r_squared
+        ),
         format!("{pf2:.4}"),
         format!("{:.3}", index_size_ratio(pf2, profile.window, 3)),
         format!("{:.3e}", index_size_ratio(pf2, profile.window, 3) * d),

@@ -57,7 +57,11 @@ pub fn table2(profile: &ExperimentProfile) -> Table {
         .map(ToString::to_string)
         .collect::<Vec<_>>()
         .join(" and ");
-    t.row(&["number of peers N".to_owned(), peers, "4, 8, ..., 28".to_owned()]);
+    t.row(&[
+        "number of peers N".to_owned(),
+        peers,
+        "4, 8, ..., 28".to_owned(),
+    ]);
     t.row(&[
         "documents per peer".to_owned(),
         profile.docs_per_peer.to_string(),
@@ -69,7 +73,11 @@ pub fn table2(profile: &ExperimentProfile) -> Table {
         "1,123,000".to_owned(),
     ]);
     t.row(&["DFmax".to_owned(), dfmax, "400 and 500".to_owned()]);
-    t.row(&["Ff".to_owned(), profile.ff.to_string(), "100,000".to_owned()]);
+    t.row(&[
+        "Ff".to_owned(),
+        profile.ff.to_string(),
+        "100,000".to_owned(),
+    ]);
     t.row(&["w".to_owned(), profile.window.to_string(), "20".to_owned()]);
     t.row(&["smax".to_owned(), profile.smax.to_string(), "3".to_owned()]);
     t.row(&[
@@ -189,7 +197,10 @@ pub fn fig7(points: &[PointMeasurement]) -> Table {
 /// Figure 8 — estimated total (indexing + retrieval) traffic per month vs
 /// collection size, using a [`hdk_model::TrafficModel`] calibrated from
 /// the sweep's largest point, alongside the paper-calibrated model.
-pub fn fig8(points: &[PointMeasurement], queries_per_period: f64) -> (Table, hdk_model::TrafficModel) {
+pub fn fig8(
+    points: &[PointMeasurement],
+    queries_per_period: f64,
+) -> (Table, hdk_model::TrafficModel) {
     let last = points.last().expect("sweep has points");
     let (_, hdk) = &last.hdk[0];
     let measured = hdk_model::TrafficModel {

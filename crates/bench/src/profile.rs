@@ -92,8 +92,7 @@ impl ExperimentProfile {
                 "--peers" => profile.peers_sweep = parse_list(value),
                 "--docs-per-peer" => profile.docs_per_peer = value.parse().expect("number"),
                 "--dfmax" => {
-                    profile.dfmax_values =
-                        parse_list(value).into_iter().map(|v| v as u32).collect()
+                    profile.dfmax_values = parse_list(value).into_iter().map(|v| v as u32).collect()
                 }
                 "--queries" => profile.num_queries = value.parse().expect("number"),
                 "--seed" => profile.seed = value.parse().expect("number"),

@@ -29,7 +29,8 @@ impl Table {
     /// Panics if the arity differs from the header.
     pub fn row<D: Display>(&mut self, cells: &[D]) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Number of data rows.

@@ -106,19 +106,30 @@ pub fn run_growth_sweep(profile: &ExperimentProfile) -> Vec<PointMeasurement> {
     points
 }
 
-/// Builds the per-system measurement: build statistics plus a query batch.
+/// Builds the per-system measurement: build statistics plus a query batch
+/// (evaluated in parallel via [`HdkNetwork::query_batch`]; outcomes are
+/// identical to the sequential loop and come back in log order).
 pub fn measure_system(
     network: &HdkNetwork,
     central: &CentralizedEngine,
     log: &QueryLog,
 ) -> SystemMeasurement {
     let report = network.build_report();
+    let batch: Vec<(PeerId, &[hdk_text::TermId])> = log
+        .queries
+        .iter()
+        .map(|q| {
+            (
+                PeerId(u64::from(q.id) % report.num_peers as u64),
+                q.terms.as_slice(),
+            )
+        })
+        .collect();
+    let outcomes = network.query_batch(&batch, 20);
     let mut postings = 0u64;
     let mut lookups = 0u64;
     let mut overlap = 0.0f64;
-    for q in &log.queries {
-        let from = PeerId(u64::from(q.id) % report.num_peers as u64);
-        let out = network.query(from, &q.terms, 20);
+    for (q, out) in log.queries.iter().zip(&outcomes) {
         let reference = central.search(&q.terms, 20);
         overlap += top_k_overlap(&out.results, &reference, 20);
         postings += out.postings_fetched;
@@ -176,15 +187,26 @@ mod tests {
             // ...and inserted >= stored for HDK (NDK truncation).
             assert!(hdk.inserted_per_peer >= hdk.stored_per_peer - 1e-9);
             // ST is exact BM25: overlap 100%.
-            assert!(p.st.overlap_top20 > 99.9, "ST overlap {}", p.st.overlap_top20);
+            assert!(
+                p.st.overlap_top20 > 99.9,
+                "ST overlap {}",
+                p.st.overlap_top20
+            );
             // HDK overlap is meaningful.
-            assert!(hdk.overlap_top20 > 20.0, "HDK overlap {}", hdk.overlap_top20);
+            assert!(
+                hdk.overlap_top20 > 20.0,
+                "HDK overlap {}",
+                hdk.overlap_top20
+            );
             // IS1/D <= 1 (Section 4.1).
             assert!(hdk.is_ratios[0] <= 1.0 + 1e-9);
         }
         // ST retrieval traffic grows with the collection; HDK's stays
         // bounded by nk*DFmax per query (and thus grows much slower).
-        let (st0, st1) = (points[0].st.retrieval_per_query, points[1].st.retrieval_per_query);
+        let (st0, st1) = (
+            points[0].st.retrieval_per_query,
+            points[1].st.retrieval_per_query,
+        );
         assert!(st1 > st0, "ST retrieval must grow: {st0} -> {st1}");
     }
 }

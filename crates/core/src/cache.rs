@@ -79,8 +79,7 @@ impl QueryCache {
             *stamp = clock;
             let result = cached.clone();
             inner.stats.hits += 1;
-            inner.stats.postings_saved +=
-                result.as_ref().map_or(0, |l| l.postings.len() as u64);
+            inner.stats.postings_saved += result.as_ref().map_or(0, |l| l.postings.len() as u64);
             return result;
         }
         inner.stats.misses += 1;

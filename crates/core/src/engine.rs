@@ -10,11 +10,14 @@
 
 use crate::config::HdkConfig;
 use crate::global_index::GlobalIndex;
+use crate::key::Key;
 use crate::local_indexer::LocalPeer;
 use crate::stats::BuildReport;
 use hdk_corpus::{Collection, DocId, FrequencyStats};
+use hdk_ir::PostingList;
 use hdk_p2p::{ChordRing, Overlay, PGrid, PeerId, TrafficSnapshot};
 use hdk_text::TermId;
+use rayon::prelude::*;
 use std::collections::HashSet;
 
 /// Which routing substrate to instantiate.
@@ -123,8 +126,11 @@ impl HdkNetwork {
         if additions.is_empty() {
             return;
         }
-        let mut grouped: std::collections::HashMap<PeerId, Vec<(DocId, Vec<TermId>)>> =
-            std::collections::HashMap::new();
+        // Group in a BTreeMap so dispatch happens in ascending PeerId order:
+        // with a HashMap the iteration order — and with it per-peer insert
+        // order and traffic attribution — varied run to run.
+        let mut grouped: std::collections::BTreeMap<PeerId, Vec<(DocId, Vec<TermId>)>> =
+            std::collections::BTreeMap::new();
         for (peer, doc) in additions {
             assert!(!doc.is_empty(), "cannot index an empty document {}", doc.id);
             self.num_docs += 1;
@@ -147,67 +153,75 @@ impl HdkNetwork {
     /// Runs rounds 1..=smax of the protocol over the peers' pending
     /// documents (the whole collection on the first call; additions on
     /// later calls).
+    ///
+    /// Each round is bulk-synchronous and data-parallel in three phases,
+    /// and deterministic by construction — the outcome (index contents,
+    /// `BuildReport`, traffic counters) is bit-identical whatever
+    /// `RAYON_NUM_THREADS` says:
+    ///
+    /// 1. **compute** — every peer derives its candidate key postings from
+    ///    purely local state, fanned out over the rayon pool; results come
+    ///    back in `PeerId` order with each batch sorted by key;
+    /// 2. **apply** — [`GlobalIndex::insert_round`] partitions the batches
+    ///    by DHT stripe and applies each stripe's inserts in `(PeerId,
+    ///    Key)` order, stripes in parallel;
+    /// 3. **sweep** — [`GlobalIndex::classify_round`] runs the end-of-round
+    ///    NDK classification stripe-parallel and the merged notifications
+    ///    are delivered sorted.
     fn run_session(&mut self) {
+        // `insert_round` applies per-stripe inserts in peer order; keep the
+        // fan-out order canonical even after out-of-order `join_peer` ids.
+        self.peers.sort_unstable_by_key(|p| p.id);
         for round in 1..=self.config.smax {
             let config = &self.config;
             let excluded = &self.excluded;
-            let index = &self.index;
             let collect_keys = !config.redundancy_filtering;
-            // Peers compute and insert in parallel; the DHT is thread-safe
-            // and posting-list merging is order-independent, so the final
-            // index state is deterministic. Each thread returns the keys it
-            // inserted (for the no-redundancy ablation) and the keys whose
-            // insert acknowledgement reported "already non-discriminative"
-            // (late-joiner feedback in incremental sessions).
-            type RoundResult = (Vec<crate::key::Key>, Vec<crate::key::Key>);
-            let per_peer: Vec<RoundResult> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .peers
+            // Phase 1: parallel local candidate generation (pure).
+            let batches: Vec<(PeerId, Vec<(Key, PostingList)>)> = self
+                .peers
+                .par_iter()
+                .map(|peer| {
+                    let mut batch: Vec<(Key, PostingList)> = peer
+                        .compute_round(round, config, excluded)
+                        .into_iter()
+                        .filter(|(_, postings)| !postings.is_empty())
+                        .collect();
+                    batch.sort_unstable_by_key(|(key, _)| *key);
+                    (peer.id, batch)
+                })
+                .collect();
+            // The no-redundancy ablation expands *every* inserted key next
+            // round (indexing all discriminative keys instead of only
+            // intrinsic ones — the configuration Definition 5 exists to
+            // avoid), so remember them before the batches move.
+            let inserted: Vec<Vec<Key>> = if collect_keys {
+                batches
                     .iter()
-                    .map(|peer| {
-                        scope.spawn(move || {
-                            let batch = peer.compute_round(round, config, excluded);
-                            let mut inserted =
-                                Vec::with_capacity(if collect_keys { batch.len() } else { 0 });
-                            let mut already_ndk = Vec::new();
-                            for (key, postings) in batch {
-                                if !postings.is_empty() {
-                                    if collect_keys {
-                                        inserted.push(key);
-                                    }
-                                    if index.insert(peer.id, key, postings) {
-                                        already_ndk.push(key);
-                                    }
-                                }
-                            }
-                            (inserted, already_ndk)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("indexing thread panicked"))
+                    .map(|(_, batch)| batch.iter().map(|(key, _)| *key).collect())
                     .collect()
-            });
+            } else {
+                Vec::new()
+            };
+            // Phase 2: stripe-parallel apply. Feedback = keys whose insert
+            // acknowledgement reported "already non-discriminative"
+            // (late-joiner feedback in incremental sessions).
+            let mut already_ndk = self.index.insert_round(batches);
             self.rounds_run = round;
-            // End-of-round sweep + notification delivery.
+            // Phase 3: stripe-parallel sweep + notification delivery.
             let mut notifications = self.index.classify_round(round);
             if round == self.config.smax {
                 // Final round: NDKs of size smax stay truncated; nothing to
                 // expand (size filtering, Definition 6).
                 break;
             }
-            for (peer, (inserted, already_ndk)) in self.peers.iter_mut().zip(per_peer) {
+            for (peer_index, peer) in self.peers.iter_mut().enumerate() {
                 let mut keys = notifications.remove(&peer.id).unwrap_or_default();
-                if self.config.redundancy_filtering {
+                if collect_keys {
+                    keys.extend(inserted[peer_index].iter().copied());
+                } else {
                     // Only NDKs are expanded (redundancy filtering,
                     // Definition 5): keys containing a DK are derivable.
-                    keys.extend(already_ndk);
-                } else {
-                    // Ablation mode: expand *every* inserted key, indexing
-                    // all discriminative keys instead of only intrinsic
-                    // ones — the configuration Definition 5 exists to avoid.
-                    keys.extend(inserted);
+                    keys.extend(already_ndk.remove(&peer.id).unwrap_or_default());
                 }
                 keys.sort_unstable();
                 keys.dedup();
@@ -215,11 +229,7 @@ impl HdkNetwork {
             }
             // Stop early when no peer has anything to expand at the next
             // size (cumulative frontier empty everywhere).
-            if self
-                .peers
-                .iter()
-                .all(|p| p.ndk_keys(round).is_empty())
-            {
+            if self.peers.iter().all(|p| p.ndk_keys(round).is_empty()) {
                 break;
             }
         }

@@ -16,7 +16,8 @@
 use crate::classify::{classify, KeyClass};
 use crate::key::{Key, MAX_KEY_SIZE};
 use hdk_ir::{Posting, PostingList};
-use hdk_p2p::{Dht, Overlay, PeerId, TrafficSnapshot};
+use hdk_p2p::{stripe_of, Dht, Overlay, PeerId, TrafficSnapshot};
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -94,8 +95,14 @@ impl GlobalIndex {
     /// peer for free, so late joiners learn NDK status without an extra
     /// notification round-trip.
     pub fn insert(&self, from: PeerId, key: Key, postings: PostingList) -> bool {
+        self.insert_ref(from, key, &postings)
+    }
+
+    /// [`GlobalIndex::insert`] without consuming the posting list (the
+    /// batched round path inserts from shared buckets).
+    pub fn insert_ref(&self, from: PeerId, key: Key, postings: &PostingList) -> bool {
         let n = postings.len() as u64;
-        let bytes = hdk_ir::codec::encoded_len(&postings) as u64;
+        let bytes = hdk_ir::codec::encoded_len(postings) as u64;
         self.inserted_by_size[key.size() - 1].fetch_add(n, Ordering::Relaxed);
         let dfmax = self.dfmax as usize;
         self.dht.upsert(
@@ -121,7 +128,7 @@ impl GlobalIndex {
                         .count(),
                 };
                 entry.df += new_docs as u32;
-                entry.postings = entry.postings.union(&postings);
+                entry.postings = entry.postings.union(postings);
                 if entry.is_ndk {
                     entry.postings = entry.postings.truncate_top_k(dfmax, posting_quality);
                 }
@@ -133,33 +140,102 @@ impl GlobalIndex {
         )
     }
 
+    /// Applies one bulk-synchronous round of per-peer insert batches,
+    /// in parallel, with a deterministic outcome.
+    ///
+    /// `batches` holds `(peer, sorted key batch)` pairs in ascending
+    /// [`PeerId`] order. Work is partitioned by *stripe* (the lock shards of
+    /// the underlying [`Dht`]): each stripe's inserts apply in `(PeerId,
+    /// Key)` order, and distinct stripes never touch the same entry, so
+    /// every [`KeyEntry`] — including its `contributors` order — comes out
+    /// identical whatever the thread count. Traffic counters are sums of
+    /// per-insert contributions and are therefore order-independent too.
+    ///
+    /// Returns, per inserting peer, the sorted keys whose insert
+    /// acknowledgement reported "already non-discriminative" (late-joiner
+    /// feedback in incremental sessions).
+    pub fn insert_round(
+        &self,
+        batches: Vec<(PeerId, Vec<(Key, PostingList)>)>,
+    ) -> HashMap<PeerId, Vec<Key>> {
+        debug_assert!(
+            batches.windows(2).all(|w| w[0].0 < w[1].0),
+            "insert_round batches must arrive in ascending PeerId order"
+        );
+        // Bucket by stripe, preserving (PeerId, Key) order within each
+        // bucket: batches arrive peer-ascending and each batch key-sorted.
+        let mut buckets: Vec<Vec<(PeerId, Key, PostingList)>> =
+            (0..self.dht.num_stripes()).map(|_| Vec::new()).collect();
+        for (peer, batch) in batches {
+            for (key, postings) in batch {
+                buckets[stripe_of(key.dht_hash())].push((peer, key, postings));
+            }
+        }
+        // Apply stripe-parallel; collect (peer, key) acks flagged NDK.
+        let acks: Vec<Vec<(PeerId, Key)>> = buckets
+            .par_iter()
+            .map(|bucket| {
+                let mut already_ndk = Vec::new();
+                for (peer, key, postings) in bucket {
+                    if self.insert_ref(*peer, *key, postings) {
+                        already_ndk.push((*peer, *key));
+                    }
+                }
+                already_ndk
+            })
+            .collect();
+        let mut feedback: HashMap<PeerId, Vec<Key>> = HashMap::new();
+        for (peer, key) in acks.into_iter().flatten() {
+            feedback.entry(peer).or_default().push(key);
+        }
+        for keys in feedback.values_mut() {
+            keys.sort_unstable();
+        }
+        feedback
+    }
+
     /// End-of-round classification sweep over all keys of `size`: marks
     /// NDKs, truncates their lists, meters one notification per
     /// contributor, and returns the keys-to-expand per peer.
+    ///
+    /// The sweep runs stripe-parallel over the DHT's lock shards — each
+    /// hosting peer sweeping its own index fraction concurrently, as in the
+    /// paper's protocol. Notifications are merged and sorted afterwards, so
+    /// the result is independent of thread count and sweep order.
     ///
     /// Keys already swept in a previous call keep their state (inserts only
     /// happen for the round's size, so re-sweeping is idempotent).
     pub fn classify_round(&self, size: usize) -> HashMap<PeerId, Vec<Key>> {
         let dfmax = self.dfmax;
-        let mut notifications: HashMap<PeerId, Vec<Key>> = HashMap::new();
-        for peer_index in 0..self.dht.overlay().len() {
-            self.dht.for_each_local_mut(peer_index, |_, entry| {
-                if entry.key.size() != size || entry.is_ndk {
-                    return;
-                }
-                if classify(entry.df, dfmax) == KeyClass::NonDiscriminative {
-                    entry.is_ndk = true;
-                    // The stored list is still complete at transition time;
-                    // remember its documents so later (incremental) inserts
-                    // keep `df` exact after truncation.
-                    entry.seen_docs = Some(entry.postings.docs().map(|d| d.0).collect());
-                    entry.postings =
-                        entry.postings.truncate_top_k(dfmax as usize, posting_quality);
-                    for &peer in &entry.contributors {
-                        notifications.entry(peer).or_default().push(entry.key);
+        let per_stripe: Vec<Vec<(PeerId, Key)>> = (0..self.dht.num_stripes())
+            .into_par_iter()
+            .map(|stripe| {
+                let mut notes = Vec::new();
+                self.dht.for_each_stripe_mut(stripe, |_, entry| {
+                    if entry.key.size() != size || entry.is_ndk {
+                        return;
                     }
-                }
-            });
+                    if classify(entry.df, dfmax) == KeyClass::NonDiscriminative {
+                        entry.is_ndk = true;
+                        // The stored list is still complete at transition
+                        // time; remember its documents so later
+                        // (incremental) inserts keep `df` exact after
+                        // truncation.
+                        entry.seen_docs = Some(entry.postings.docs().map(|d| d.0).collect());
+                        entry.postings = entry
+                            .postings
+                            .truncate_top_k(dfmax as usize, posting_quality);
+                        for &peer in &entry.contributors {
+                            notes.push((peer, entry.key));
+                        }
+                    }
+                });
+                notes
+            })
+            .collect();
+        let mut notifications: HashMap<PeerId, Vec<Key>> = HashMap::new();
+        for (peer, key) in per_stripe.into_iter().flatten() {
+            notifications.entry(peer).or_default().push(key);
         }
         // Meter the notification messages (key-sized payload, no postings).
         for (&peer, keys) in &notifications {
@@ -203,16 +279,28 @@ impl GlobalIndex {
         self.dht.peek(key.dht_hash(), |e| e.cloned())
     }
 
-    /// Stored postings per hosting peer — Figure 3's quantity.
+    /// Stored postings per hosting peer — Figure 3's quantity. Swept
+    /// stripe-parallel; per-peer sums are order-independent.
     pub fn stored_postings_per_peer(&self) -> Vec<u64> {
-        (0..self.dht.overlay().len())
-            .map(|p| {
-                let mut total = 0u64;
-                self.dht
-                    .for_each_local(p, |_, e| total += e.postings.len() as u64);
-                total
+        let peers = self.dht.overlay().len();
+        let per_stripe: Vec<Vec<u64>> = (0..self.dht.num_stripes())
+            .into_par_iter()
+            .map(|stripe| {
+                let mut totals = vec![0u64; peers];
+                self.dht.for_each_stripe_owned(stripe, |owner, _, e| {
+                    totals[owner] += e.postings.len() as u64;
+                });
+                totals
             })
-            .collect()
+            .collect();
+        per_stripe
+            .into_iter()
+            .fold(vec![0u64; peers], |mut acc, totals| {
+                for (a, t) in acc.iter_mut().zip(totals) {
+                    *a += t;
+                }
+                acc
+            })
     }
 
     /// Inserted postings per key size (`IS_s`, Figure 5). Slot `s-1`.
@@ -225,21 +313,27 @@ impl GlobalIndex {
     }
 
     /// Counts of stored keys and postings, split HDK/NDK and by size.
+    /// Swept stripe-parallel; the merged counts are order-independent sums.
     pub fn index_counts(&self) -> IndexCounts {
-        let mut counts = IndexCounts::default();
-        for p in 0..self.dht.overlay().len() {
-            self.dht.for_each_local(p, |_, e| {
-                let s = e.key.size() - 1;
-                if e.is_ndk {
-                    counts.ndk_keys[s] += 1;
-                    counts.ndk_postings[s] += e.postings.len() as u64;
-                } else {
-                    counts.hdk_keys[s] += 1;
-                    counts.hdk_postings[s] += e.postings.len() as u64;
-                }
-            });
-        }
-        counts
+        (0..self.dht.num_stripes())
+            .into_par_iter()
+            .map(|stripe| {
+                let mut counts = IndexCounts::default();
+                self.dht.for_each_stripe(stripe, |_, e| {
+                    let s = e.key.size() - 1;
+                    if e.is_ndk {
+                        counts.ndk_keys[s] += 1;
+                        counts.ndk_postings[s] += e.postings.len() as u64;
+                    } else {
+                        counts.hdk_keys[s] += 1;
+                        counts.hdk_postings[s] += e.postings.len() as u64;
+                    }
+                });
+                counts
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .fold(IndexCounts::default(), IndexCounts::merged)
     }
 
     /// Traffic so far.
@@ -282,6 +376,17 @@ pub struct IndexCounts {
 }
 
 impl IndexCounts {
+    /// Element-wise sum (merging per-stripe partial counts).
+    fn merged(mut self, other: IndexCounts) -> IndexCounts {
+        for s in 0..MAX_KEY_SIZE {
+            self.hdk_keys[s] += other.hdk_keys[s];
+            self.hdk_postings[s] += other.hdk_postings[s];
+            self.ndk_keys[s] += other.ndk_keys[s];
+            self.ndk_postings[s] += other.ndk_postings[s];
+        }
+        self
+    }
+
     /// Total stored postings.
     pub fn total_postings(&self) -> u64 {
         self.hdk_postings.iter().sum::<u64>() + self.ndk_postings.iter().sum::<u64>()
@@ -487,9 +592,21 @@ mod tests {
     fn truncation_keeps_highest_tf() {
         let idx = index(2, 2);
         let pl = PostingList::from_unsorted(vec![
-            Posting { doc: DocId(0), tf: 1, doc_len: 10 },
-            Posting { doc: DocId(1), tf: 9, doc_len: 10 },
-            Posting { doc: DocId(2), tf: 5, doc_len: 10 },
+            Posting {
+                doc: DocId(0),
+                tf: 1,
+                doc_len: 10,
+            },
+            Posting {
+                doc: DocId(1),
+                tf: 9,
+                doc_len: 10,
+            },
+            Posting {
+                doc: DocId(2),
+                tf: 5,
+                doc_len: 10,
+            },
         ]);
         idx.insert(PeerId(0), key(&[4]), pl);
         idx.classify_round(1);

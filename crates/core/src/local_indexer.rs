@@ -250,11 +250,10 @@ mod tests {
     #[test]
     fn round3_uses_cumulative_knowledge() {
         let mut p = peer(vec![(0, vec![1, 2, 3])]);
-        p.receive_notifications(1, &[
-            Key::single(t(1)),
-            Key::single(t(2)),
-            Key::single(t(3)),
-        ]);
+        p.receive_notifications(
+            1,
+            &[Key::single(t(1)), Key::single(t(2)), Key::single(t(3))],
+        );
         let pair = Key::from_terms(&[t(1), t(2)]).unwrap();
         p.receive_notifications(2, &[pair]);
         assert_eq!(p.ndk_singles().len(), 3);
@@ -289,10 +288,7 @@ mod tests {
         // Only the new document's terms are (re)inserted.
         assert_eq!(batch.len(), 2);
         assert_eq!(batch[&Key::single(t(1))].len(), 1);
-        assert_eq!(
-            batch[&Key::single(t(1))].docs().next().unwrap(),
-            DocId(1)
-        );
+        assert_eq!(batch[&Key::single(t(1))].docs().next().unwrap(), DocId(1));
     }
 
     #[test]

@@ -35,8 +35,8 @@ impl SingleTermNetwork {
         let config = HdkConfig {
             dfmax: u32::MAX,
             smax: 1,
-            window: 2,       // irrelevant at smax = 1
-            ff: u64::MAX,    // no very-frequent exclusion: full vocabulary
+            window: 2,    // irrelevant at smax = 1
+            ff: u64::MAX, // no very-frequent exclusion: full vocabulary
             exact_intrinsic: false,
             redundancy_filtering: true,
         };
@@ -75,7 +75,9 @@ impl SingleTermNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hdk_corpus::{partition_documents, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig};
+    use hdk_corpus::{
+        partition_documents, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig,
+    };
     use hdk_ir::CentralizedEngine;
 
     fn collection() -> Collection {
@@ -96,10 +98,13 @@ mod tests {
         let parts = partition_documents(c.len(), 4, 7);
         let st = SingleTermNetwork::build(&c, &parts, OverlayKind::PGrid);
         let central = CentralizedEngine::build(&c);
-        let log = QueryLog::generate(&c, &QueryLogConfig {
-            num_queries: 30,
-            ..QueryLogConfig::default()
-        });
+        let log = QueryLog::generate(
+            &c,
+            &QueryLogConfig {
+                num_queries: 30,
+                ..QueryLogConfig::default()
+            },
+        );
         for q in &log.queries {
             let dist = st.query(PeerId(0), &q.terms, 20);
             let cent = central.search(&q.terms, 20);
@@ -118,10 +123,13 @@ mod tests {
         let parts = partition_documents(c.len(), 4, 7);
         let st = SingleTermNetwork::build(&c, &parts, OverlayKind::PGrid);
         let central = CentralizedEngine::build(&c);
-        let log = QueryLog::generate(&c, &QueryLogConfig {
-            num_queries: 20,
-            ..QueryLogConfig::default()
-        });
+        let log = QueryLog::generate(
+            &c,
+            &QueryLogConfig {
+                num_queries: 20,
+                ..QueryLogConfig::default()
+            },
+        );
         for q in &log.queries {
             let out = st.query(PeerId(1), &q.terms, 20);
             assert_eq!(

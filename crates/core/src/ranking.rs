@@ -42,7 +42,8 @@ pub fn rank_union(
         }
     }
     top_k(
-        acc.into_iter().map(|(doc, score)| SearchResult { doc, score }),
+        acc.into_iter()
+            .map(|(doc, score)| SearchResult { doc, score }),
         k,
     )
 }

@@ -24,6 +24,7 @@ use crate::ranking::rank_union;
 use hdk_ir::SearchResult;
 use hdk_p2p::PeerId;
 use hdk_text::TermId;
+use rayon::prelude::*;
 use std::collections::HashSet;
 
 /// Outcome of one query: ranked results plus the traffic it cost.
@@ -49,6 +50,30 @@ impl HdkNetwork {
             }
             result
         })
+    }
+
+    /// Evaluates a batch of independent queries in parallel over the rayon
+    /// pool — the workhorse of the experiment harness, where thousands of
+    /// log queries hit a built network back to back.
+    ///
+    /// Each query is the exact computation [`HdkNetwork::query`] performs
+    /// (queries never mutate the index, and lookups route over the
+    /// thread-safe metered DHT), so results are identical to the sequential
+    /// loop and independent of thread count; the traffic meters advance by
+    /// the same totals because counters are sums of per-lookup
+    /// contributions. Outcomes come back in input order.
+    ///
+    /// Terms are generic over `AsRef<[TermId]>` so call sites can pass
+    /// borrowed slices (`&q.terms`) without cloning every query.
+    pub fn query_batch<Q: AsRef<[TermId]> + Sync>(
+        &self,
+        queries: &[(PeerId, Q)],
+        k: usize,
+    ) -> Vec<QueryOutcome> {
+        queries
+            .par_iter()
+            .map(|(from, terms)| self.query(*from, terms.as_ref(), k))
+            .collect()
     }
 
     /// Like [`HdkNetwork::query`] but consults a per-peer
@@ -178,7 +203,9 @@ mod tests {
     use super::*;
     use crate::config::HdkConfig;
     use crate::engine::OverlayKind;
-    use hdk_corpus::{partition_documents, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig};
+    use hdk_corpus::{
+        partition_documents, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig,
+    };
 
     fn network(dfmax: u32) -> (hdk_corpus::Collection, HdkNetwork) {
         let c = CollectionGenerator::new(GeneratorConfig {
@@ -207,10 +234,13 @@ mod tests {
     #[test]
     fn queries_return_ranked_results() {
         let (c, n) = network(25);
-        let log = QueryLog::generate(&c, &QueryLogConfig {
-            num_queries: 40,
-            ..QueryLogConfig::default()
-        });
+        let log = QueryLog::generate(
+            &c,
+            &QueryLogConfig {
+                num_queries: 40,
+                ..QueryLogConfig::default()
+            },
+        );
         let mut nonempty = 0;
         for q in &log.queries {
             let out = n.query(PeerId(0), &q.terms, 20);
@@ -228,10 +258,13 @@ mod tests {
     #[test]
     fn lookups_bounded_by_lattice_size() {
         let (c, n) = network(25);
-        let log = QueryLog::generate(&c, &QueryLogConfig {
-            num_queries: 60,
-            ..QueryLogConfig::default()
-        });
+        let log = QueryLog::generate(
+            &c,
+            &QueryLogConfig {
+                num_queries: 60,
+                ..QueryLogConfig::default()
+            },
+        );
         for q in &log.queries {
             let out = n.query(PeerId(1), &q.terms, 20);
             assert!(
@@ -250,10 +283,13 @@ mod tests {
         // every HDK list is also <= DFmax by definition, the bound is
         // lookups * DFmax (Section 4.2's nk * DFmax).
         let (c, n) = network(25);
-        let log = QueryLog::generate(&c, &QueryLogConfig {
-            num_queries: 60,
-            ..QueryLogConfig::default()
-        });
+        let log = QueryLog::generate(
+            &c,
+            &QueryLogConfig {
+                num_queries: 60,
+                ..QueryLogConfig::default()
+            },
+        );
         for q in &log.queries {
             let out = n.query(PeerId(2), &q.terms, 20);
             assert!(
@@ -276,10 +312,13 @@ mod tests {
     #[test]
     fn duplicate_query_terms_collapse() {
         let (c, n) = network(25);
-        let log = QueryLog::generate(&c, &QueryLogConfig {
-            num_queries: 5,
-            ..QueryLogConfig::default()
-        });
+        let log = QueryLog::generate(
+            &c,
+            &QueryLogConfig {
+                num_queries: 5,
+                ..QueryLogConfig::default()
+            },
+        );
         let q = &log.queries[0].terms;
         let mut doubled = q.clone();
         doubled.extend(q.iter().copied());

@@ -22,10 +22,7 @@ use std::collections::{HashMap, HashSet};
 ///
 /// `excluded` is the very-frequent-term set (`f_D(t) > Ff`), which never
 /// enters the key vocabulary (Section 4.1).
-pub fn single_term_postings<'a, I>(
-    docs: I,
-    excluded: &HashSet<TermId>,
-) -> HashMap<Key, PostingList>
+pub fn single_term_postings<'a, I>(docs: I, excluded: &HashSet<TermId>) -> HashMap<Key, PostingList>
 where
     I: IntoIterator<Item = (DocId, &'a [TermId])>,
 {
@@ -224,10 +221,7 @@ mod tests {
         (DocId(id), tokens.iter().map(|&x| TermId(x)).collect())
     }
 
-    fn run_singles(
-        docs: &[(DocId, Vec<TermId>)],
-        excluded: &[u32],
-    ) -> HashMap<Key, PostingList> {
+    fn run_singles(docs: &[(DocId, Vec<TermId>)], excluded: &[u32]) -> HashMap<Key, PostingList> {
         let ex: HashSet<TermId> = excluded.iter().map(|&x| TermId(x)).collect();
         single_term_postings(docs.iter().map(|(d, v)| (*d, v.as_slice())), &ex)
     }

@@ -14,8 +14,8 @@ use hdk_corpus::{
     QueryLogConfig,
 };
 use hdk_p2p::PeerId;
-use proptest::prelude::*;
 use hdk_text::{TermId, Vocabulary};
+use proptest::prelude::*;
 
 fn config(dfmax: u32) -> HdkConfig {
     HdkConfig {
@@ -44,8 +44,7 @@ fn build_both(
         .map(|p| p.iter().copied().filter(|d| d.index() < split_at).collect())
         .collect();
     let prefix = collection.prefix(split_at);
-    let mut incremental =
-        HdkNetwork::build(&prefix, &old_parts, config(dfmax), OverlayKind::PGrid);
+    let mut incremental = HdkNetwork::build(&prefix, &old_parts, config(dfmax), OverlayKind::PGrid);
     let mut additions = Vec::new();
     for (peer_idx, part) in partitions.iter().enumerate() {
         for &d in part.iter().filter(|d| d.index() >= split_at) {
@@ -88,10 +87,13 @@ fn assert_networks_equal(full: &HdkNetwork, incremental: &HdkNetwork, collection
     }
 
     // Queries agree bit-for-bit.
-    let log = QueryLog::generate(collection, &QueryLogConfig {
-        num_queries: 40,
-        ..QueryLogConfig::default()
-    });
+    let log = QueryLog::generate(
+        collection,
+        &QueryLogConfig {
+            num_queries: 40,
+            ..QueryLogConfig::default()
+        },
+    );
     for q in &log.queries {
         let a = full.query(PeerId(0), &q.terms, 20);
         let b = incremental.query(PeerId(0), &q.terms, 20);

@@ -79,10 +79,7 @@ fn make_collection(token_docs: &[Vec<u32>]) -> Collection {
 }
 
 fn arb_docs() -> impl Strategy<Value = Vec<Vec<u32>>> {
-    prop::collection::vec(
-        prop::collection::vec(0..VOCAB, 3..24),
-        4..16,
-    )
+    prop::collection::vec(prop::collection::vec(0..VOCAB, 3..24), 4..16)
 }
 
 proptest! {

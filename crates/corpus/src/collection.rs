@@ -103,8 +103,14 @@ mod tests {
         let a = vocab.intern("alpha");
         let b = vocab.intern("beta");
         let docs = vec![
-            Document { id: DocId(0), tokens: vec![a, b, a] },
-            Document { id: DocId(1), tokens: vec![b] },
+            Document {
+                id: DocId(0),
+                tokens: vec![a, b, a],
+            },
+            Document {
+                id: DocId(1),
+                tokens: vec![b],
+            },
         ];
         Collection::new(docs, vocab)
     }
@@ -132,7 +138,10 @@ mod tests {
     fn non_dense_ids_rejected() {
         let mut vocab = Vocabulary::new();
         let a = vocab.intern("x");
-        let docs = vec![Document { id: DocId(5), tokens: vec![a] }];
+        let docs = vec![Document {
+            id: DocId(5),
+            tokens: vec![a],
+        }];
         let _ = Collection::new(docs, vocab);
     }
 

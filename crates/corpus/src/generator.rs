@@ -176,8 +176,8 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 
 /// Syllable alphabet for pseudo-words: 20 onsets x 5 vowels = 100 syllables.
 const ONSETS: [char; 20] = [
-    'b', 'c', 'd', 'f', 'g', 'h', 'j', 'k', 'l', 'm', 'n', 'p', 'q', 'r',
-    's', 't', 'v', 'w', 'x', 'z',
+    'b', 'c', 'd', 'f', 'g', 'h', 'j', 'k', 'l', 'm', 'n', 'p', 'q', 'r', 's', 't', 'v', 'w', 'x',
+    'z',
 ];
 const VOWELS: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
 

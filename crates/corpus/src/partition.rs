@@ -60,7 +60,10 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(partition_documents(50, 3, 9), partition_documents(50, 3, 9));
-        assert_ne!(partition_documents(50, 3, 9), partition_documents(50, 3, 10));
+        assert_ne!(
+            partition_documents(50, 3, 9),
+            partition_documents(50, 3, 10)
+        );
     }
 
     #[test]

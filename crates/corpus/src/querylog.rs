@@ -100,7 +100,10 @@ impl QueryLog {
     {
         assert!(config.min_terms >= 2, "paper excludes single-term queries");
         assert!(config.max_terms >= config.min_terms);
-        assert!(!collection.is_empty(), "cannot sample queries from an empty collection");
+        assert!(
+            !collection.is_empty(),
+            "cannot sample queries from an empty collection"
+        );
         let stats = FrequencyStats::compute(collection);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut queries = Vec::with_capacity(config.num_queries);
@@ -171,7 +174,7 @@ fn sample_terms(
     window: usize,
 ) -> Option<Vec<TermId>> {
     let doc = collection.doc(crate::document::DocId(
-        rng.gen_range(0..collection.len()) as u32,
+        rng.gen_range(0..collection.len()) as u32
     ));
     if doc.is_empty() {
         return None;
@@ -221,10 +224,13 @@ mod tests {
     #[test]
     fn sizes_within_bounds_and_mean_near_three() {
         let c = coll();
-        let log = QueryLog::generate(&c, &QueryLogConfig {
-            num_queries: 500,
-            ..QueryLogConfig::default()
-        });
+        let log = QueryLog::generate(
+            &c,
+            &QueryLogConfig {
+                num_queries: 500,
+                ..QueryLogConfig::default()
+            },
+        );
         assert_eq!(log.len(), 500);
         for q in &log.queries {
             assert!((2..=8).contains(&q.len()), "size {}", q.len());

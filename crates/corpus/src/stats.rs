@@ -123,9 +123,18 @@ mod tests {
         let b = v.intern("bb");
         let c = v.intern("cc");
         let docs = vec![
-            Document { id: DocId(0), tokens: vec![a, a, b] },
-            Document { id: DocId(1), tokens: vec![a, c] },
-            Document { id: DocId(2), tokens: vec![b, b, b] },
+            Document {
+                id: DocId(0),
+                tokens: vec![a, a, b],
+            },
+            Document {
+                id: DocId(1),
+                tokens: vec![a, c],
+            },
+            Document {
+                id: DocId(2),
+                tokens: vec![b, b, b],
+            },
         ];
         Collection::new(docs, v)
     }

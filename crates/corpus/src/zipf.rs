@@ -26,7 +26,10 @@ impl Zipf {
     /// Panics if `n == 0` or `a` is not finite and positive.
     pub fn new(n: usize, a: f64) -> Self {
         assert!(n > 0, "Zipf needs a non-empty vocabulary");
-        assert!(a.is_finite() && a > 0.0, "Zipf skew must be positive, got {a}");
+        assert!(
+            a.is_finite() && a > 0.0,
+            "Zipf skew must be positive, got {a}"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for r in 1..=n {

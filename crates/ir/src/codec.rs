@@ -59,7 +59,8 @@ pub fn encoded_len(list: &PostingList) -> usize {
     let mut prev: i64 = -1;
     for p in list.postings() {
         let gap = i64::from(p.doc.0) - prev;
-        n += varint_len(gap as u64) + varint_len(u64::from(p.tf)) + varint_len(u64::from(p.doc_len));
+        n +=
+            varint_len(gap as u64) + varint_len(u64::from(p.tf)) + varint_len(u64::from(p.doc_len));
         prev = i64::from(p.doc.0);
     }
     n
@@ -149,10 +150,7 @@ mod tests {
         let l = list(&[(1, 1), (2, 2), (3, 3)]);
         let full = encode(&l);
         for cut in 1..full.len() {
-            assert!(
-                decode(full.slice(..cut)).is_none(),
-                "cut at {cut} decoded"
-            );
+            assert!(decode(full.slice(..cut)).is_none(), "cut at {cut} decoded");
         }
     }
 

@@ -56,12 +56,12 @@ impl CentralizedEngine {
             };
             let df = list.len();
             for p in list.postings() {
-                *acc.entry(p.doc).or_insert(0.0) +=
-                    self.bm25.score(p.tf, p.doc_len, avgdl, df, n);
+                *acc.entry(p.doc).or_insert(0.0) += self.bm25.score(p.tf, p.doc_len, avgdl, df, n);
             }
         }
         top_k(
-            acc.into_iter().map(|(doc, score)| SearchResult { doc, score }),
+            acc.into_iter()
+                .map(|(doc, score)| SearchResult { doc, score }),
             k,
         )
     }
@@ -100,10 +100,22 @@ mod tests {
         let dog = v.intern("dog");
         let fish = v.intern("fish");
         let docs = vec![
-            Document { id: DocId(0), tokens: vec![cat, cat, dog] },
-            Document { id: DocId(1), tokens: vec![dog] },
-            Document { id: DocId(2), tokens: vec![fish, cat] },
-            Document { id: DocId(3), tokens: vec![fish, fish, fish] },
+            Document {
+                id: DocId(0),
+                tokens: vec![cat, cat, dog],
+            },
+            Document {
+                id: DocId(1),
+                tokens: vec![dog],
+            },
+            Document {
+                id: DocId(2),
+                tokens: vec![fish, cat],
+            },
+            Document {
+                id: DocId(3),
+                tokens: vec![fish, fish, fish],
+            },
         ];
         let c = Collection::new(docs, v);
         CentralizedEngine::build(&c)

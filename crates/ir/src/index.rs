@@ -181,7 +181,12 @@ mod tests {
         let mut idx = InvertedIndex::new();
         idx.add_document(DocId(5), &[TermId(1)]);
         idx.add_document(DocId(2), &[TermId(1)]);
-        let docs: Vec<u32> = idx.postings(TermId(1)).unwrap().docs().map(|d| d.0).collect();
+        let docs: Vec<u32> = idx
+            .postings(TermId(1))
+            .unwrap()
+            .docs()
+            .map(|d| d.0)
+            .collect();
         assert_eq!(docs, [2, 5]);
     }
 }

@@ -56,8 +56,7 @@ pub fn top_k<I: IntoIterator<Item = SearchResult>>(scores: I, k: usize) -> Vec<S
         if heap.len() < k {
             heap.push(HeapEntry(r));
         } else if let Some(root) = heap.peek() {
-            let beats = r.score > root.0.score
-                || (r.score == root.0.score && r.doc < root.0.doc);
+            let beats = r.score > root.0.score || (r.score == root.0.score && r.doc < root.0.doc);
             if beats {
                 heap.pop();
                 heap.push(HeapEntry(r));

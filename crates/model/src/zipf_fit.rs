@@ -70,7 +70,11 @@ pub fn fit_rank_frequency(rank_freq: &[(usize, u64)], options: FitOptions) -> Zi
         .filter(|&&(r, f)| r >= options.min_rank && r <= options.max_rank && f > 0)
         .map(|&(r, f)| ((r as f64).ln(), (f as f64).ln()))
         .collect();
-    assert!(pts.len() >= 2, "need at least two points to fit, got {}", pts.len());
+    assert!(
+        pts.len() >= 2,
+        "need at least two points to fit, got {}",
+        pts.len()
+    );
     let n = pts.len() as f64;
     let sx: f64 = pts.iter().map(|p| p.0).sum();
     let sy: f64 = pts.iter().map(|p| p.1).sum();
@@ -87,7 +91,11 @@ pub fn fit_rank_frequency(rank_freq: &[(usize, u64)], options: FitOptions) -> Zi
         .iter()
         .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     ZipfFit {
         skew: -slope,
         scale: intercept.exp(),

@@ -1,15 +1,21 @@
-//! The DHT storage layer: metered, sharded key-value storage on top of an
-//! [`Overlay`].
+//! The DHT storage layer: metered, lock-striped key-value storage on top of
+//! an [`Overlay`].
 //!
-//! Each peer hosts the fraction of the global index the overlay assigns to
-//! it (paper, Section 3: "the fraction of the global index under the
-//! responsibility of `P_i` consists of all the keys and associated posting
-//! lists that are allocated to `P_i` by the DHT"). Values are generic; the
-//! global HDK index in `hdk-core` stores its per-key state here.
+//! Each peer *logically* hosts the fraction of the global index the overlay
+//! assigns to it (paper, Section 3: "the fraction of the global index under
+//! the responsibility of `P_i` consists of all the keys and associated
+//! posting lists that are allocated to `P_i` by the DHT"). Physically the
+//! key→value map is split into [`NUM_STRIPES`] lock-striped shards keyed by
+//! key-hash bits — independent of the peer population — so concurrent
+//! inserts from many indexing threads contend only when they hash to the
+//! same stripe, and whole-index sweeps can run stripe-parallel. Ownership
+//! (which peer a key belongs to) is a pure function of the overlay, so peer
+//! joins re-assign keys without physically moving them between stripes.
 //!
-//! Every operation is routed (hop-counted) and metered. Mutation happens
-//! under a per-peer lock, so many peers can index concurrently — matching
-//! the paper's collaborative indexing ("peers share the indexing load").
+//! Every operation is routed (hop-counted) and metered through the
+//! `AtomicU64` counters of [`TrafficMeter`], so the layer is thread-safe
+//! end to end: many peers can index concurrently — matching the paper's
+//! collaborative indexing ("peers share the indexing load").
 
 use crate::id::{KeyHash, PeerId};
 use crate::overlay::Overlay;
@@ -17,14 +23,24 @@ use crate::transport::{MsgKind, TrafficMeter, TrafficSnapshot};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
+/// Number of lock stripes. A power of two so stripe selection is a mask;
+/// large enough that dozens of indexing threads rarely collide, small
+/// enough that stripe-parallel sweeps stay coarse-grained.
+pub const NUM_STRIPES: usize = 128;
+
 /// A metered DHT storing values of type `V` under [`KeyHash`]es.
+///
+/// Stripes are `RwLock`s: mutation (upserts, sweeps) takes the write lock,
+/// while the retrieval path (`lookup`/`peek`) takes read locks so a batch
+/// of parallel queries hammering the same popular stripe still proceeds
+/// concurrently.
 pub struct Dht<V> {
     overlay: Box<dyn Overlay>,
-    shards: Vec<RwLock<HashMap<u64, V>>>,
+    stripes: Vec<RwLock<HashMap<u64, V>>>,
     meter: TrafficMeter,
 }
 
-/// What a peer join moved around (metered under [`MsgKind::Maintenance`]).
+/// What a peer join re-assigned (metered under [`MsgKind::Maintenance`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MigrationStats {
     /// Keys handed over to the new peer.
@@ -35,13 +51,21 @@ pub struct MigrationStats {
     pub bytes_moved: u64,
 }
 
+/// The stripe a key lives in: low bits of the (well-mixed) key hash.
+#[inline]
+pub fn stripe_of(key: KeyHash) -> usize {
+    (key.0 as usize) & (NUM_STRIPES - 1)
+}
+
 impl<V> Dht<V> {
     /// Builds an empty DHT over the overlay.
     pub fn new(overlay: Box<dyn Overlay>) -> Self {
         let n = overlay.len();
         Self {
             overlay,
-            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            stripes: (0..NUM_STRIPES)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             meter: TrafficMeter::new(n),
         }
     }
@@ -56,11 +80,21 @@ impl<V> Dht<V> {
         self.meter.snapshot()
     }
 
+    /// Number of lock stripes (see [`NUM_STRIPES`]).
+    pub fn num_stripes(&self) -> usize {
+        NUM_STRIPES
+    }
+
+    /// Peer index of the peer responsible for `key`.
+    #[inline]
+    fn owner_index(&self, key: KeyHash) -> usize {
+        self.overlay.peer_index(self.overlay.responsible(key))
+    }
+
     /// Routes an *insert/update* from `from` carrying `postings` postings
     /// (`bytes` payload bytes) for `key`, then applies `update` to the value
-    /// under the responsible peer's lock. `update` receives `None`-like
-    /// default handling through the entry API: it gets `&mut V` after
-    /// `default` fills a missing slot.
+    /// under the stripe's lock. `update` receives `&mut V` after `default`
+    /// fills a missing slot.
     ///
     /// Returns whatever `update` returns — e.g. feedback the global index
     /// sends back to the inserting peer (a "became non-discriminative"
@@ -78,8 +112,7 @@ impl<V> Dht<V> {
         let origin = self.overlay.peer_index(from);
         self.meter
             .record(MsgKind::IndexInsert, origin, postings, bytes, route.hops);
-        let shard = self.overlay.peer_index(route.responsible);
-        let mut map = self.shards[shard].write();
+        let mut map = self.stripes[stripe_of(key)].write();
         update(map.entry(key.0).or_insert_with(default))
     }
 
@@ -98,9 +131,9 @@ impl<V> Dht<V> {
         // The request itself: one message, no postings, key-sized payload.
         self.meter
             .record(MsgKind::QueryLookup, origin, 0, 8, route.hops);
-        let shard = self.overlay.peer_index(route.responsible);
-        let map = self.shards[shard].read();
+        let map = self.stripes[stripe_of(key)].read();
         let (result, postings, bytes) = read(map.get(&key.0));
+        drop(map);
         // The response travels back over the same number of hops.
         self.meter
             .record(MsgKind::QueryResponse, origin, postings, bytes, route.hops);
@@ -117,77 +150,88 @@ impl<V> Dht<V> {
         // A notification routes like any message: O(log N) hops; we charge
         // the average path measured for this overlay size, approximated by
         // routing to the peer's own id-derived key.
-        self.meter.record(MsgKind::IndexNotify, origin, postings, bytes, 1);
+        self.meter
+            .record(MsgKind::IndexNotify, origin, postings, bytes, 1);
     }
 
     /// Reads a stored value without metering (used by *local* consumers:
-    /// the peer that hosts a shard reads it for free, and the experiment
+    /// the peer that hosts a key reads it for free, and the experiment
     /// harness uses this to measure index sizes, which are storage — not
     /// traffic — quantities).
     pub fn peek<R>(&self, key: KeyHash, read: impl FnOnce(Option<&V>) -> R) -> R {
-        let shard = self
-            .overlay
-            .peer_index(self.overlay.responsible(key));
-        let map = self.shards[shard].read();
+        let map = self.stripes[stripe_of(key)].read();
         read(map.get(&key.0))
     }
 
-    /// Iterates one peer's shard under its read lock, without metering
-    /// (local storage inspection, e.g. Figure 3's stored-postings count).
+    /// Iterates one peer's logical index fraction under stripe locks,
+    /// without metering (local storage inspection, e.g. Figure 3's
+    /// stored-postings count). Scans every stripe and filters by ownership;
+    /// prefer [`Dht::for_each_stripe`] for whole-index sweeps.
     pub fn for_each_local<F: FnMut(&u64, &V)>(&self, peer_index: usize, mut f: F) {
-        let map = self.shards[peer_index].read();
+        for stripe in &self.stripes {
+            let map = stripe.read();
+            for (k, v) in map.iter() {
+                if self.owner_index(KeyHash(*k)) == peer_index {
+                    f(k, v);
+                }
+            }
+        }
+    }
+
+    /// Iterates one stripe under its read lock. The backbone of
+    /// stripe-parallel sweeps: disjoint stripes can be swept from different
+    /// threads with zero lock contention, covering the whole index exactly
+    /// once. Use [`Dht::for_each_stripe_owned`] when the callback needs to
+    /// know which peer hosts each entry — resolving ownership costs an
+    /// overlay lookup per entry, so this variant skips it.
+    pub fn for_each_stripe<F: FnMut(&u64, &V)>(&self, stripe: usize, mut f: F) {
+        let map = self.stripes[stripe].read();
         for (k, v) in map.iter() {
             f(k, v);
         }
     }
 
-    /// Mutable local iteration over one peer's shard, without metering.
-    /// This models work the *hosting* peer performs on its own fraction of
-    /// the global index (e.g. the end-of-round NDK classification sweep in
-    /// `hdk-core`): local computation is free, only messages are traffic.
-    pub fn for_each_local_mut<F: FnMut(&u64, &mut V)>(&self, peer_index: usize, mut f: F) {
-        let mut map = self.shards[peer_index].write();
+    /// Mutable variant of [`Dht::for_each_stripe`] (the hosting peers'
+    /// end-of-round sweep work, stripe-parallel).
+    pub fn for_each_stripe_mut<F: FnMut(&u64, &mut V)>(&self, stripe: usize, mut f: F) {
+        let mut map = self.stripes[stripe].write();
         for (k, v) in map.iter_mut() {
             f(k, v);
         }
     }
 
+    /// Like [`Dht::for_each_stripe`] but also resolves each entry's owner
+    /// peer index (one overlay lookup per entry) — for per-peer storage
+    /// measurements and join accounting.
+    pub fn for_each_stripe_owned<F: FnMut(usize, &u64, &V)>(&self, stripe: usize, mut f: F) {
+        let map = self.stripes[stripe].read();
+        for (k, v) in map.iter() {
+            f(self.owner_index(KeyHash(*k)), k, v);
+        }
+    }
+
     /// Admits a new peer: the overlay assigns it a region of the key space
-    /// and every key now owned by it migrates from its previous host.
-    /// `volume` reports `(postings, bytes)` per stored value so the
-    /// handover is metered (as [`MsgKind::Maintenance`] — the paper
-    /// excludes maintenance from its posting counts, and so do our
-    /// indexing/retrieval figures, but the simulation reports it).
+    /// and every key in that region is re-assigned (ownership is computed
+    /// from the overlay, so nothing physically moves between stripes — but
+    /// the handover still crosses the simulated network and is metered as
+    /// [`MsgKind::Maintenance`]; the paper excludes maintenance from its
+    /// posting counts, and so do our indexing/retrieval figures, but the
+    /// simulation reports it). `volume` reports `(postings, bytes)` per
+    /// re-assigned value.
     pub fn add_peer(&mut self, peer: PeerId, volume: impl Fn(&V) -> (u64, u64)) -> MigrationStats {
         self.overlay.join(peer);
-        self.shards.push(RwLock::new(HashMap::new()));
         self.meter.add_peer();
-        let new_index = self.shards.len() - 1;
+        let new_index = self.overlay.len() - 1;
         let mut stats = MigrationStats::default();
-        // Only keys owned by the new peer move (both overlays split one
-        // existing region); scan all shards for robustness.
-        let mut moved: Vec<(u64, V)> = Vec::new();
-        for (shard_index, shard) in self.shards.iter().enumerate() {
-            if shard_index == new_index {
-                continue;
-            }
-            let mut map = shard.write();
-            let migrate: Vec<u64> = map
-                .keys()
-                .copied()
-                .filter(|&k| {
-                    self.overlay
-                        .peer_index(self.overlay.responsible(KeyHash(k)))
-                        == new_index
-                })
-                .collect();
-            for k in migrate {
-                let v = map.remove(&k).expect("key listed above");
-                let (postings, bytes) = volume(&v);
-                stats.keys_moved += 1;
-                stats.postings_moved += postings;
-                stats.bytes_moved += bytes;
-                moved.push((k, v));
+        for stripe in &self.stripes {
+            let map = stripe.read();
+            for (k, v) in map.iter() {
+                if self.owner_index(KeyHash(*k)) == new_index {
+                    let (postings, bytes) = volume(v);
+                    stats.keys_moved += 1;
+                    stats.postings_moved += postings;
+                    stats.bytes_moved += bytes;
+                }
             }
         }
         self.meter.record(
@@ -197,21 +241,21 @@ impl<V> Dht<V> {
             stats.bytes_moved,
             1,
         );
-        let mut target = self.shards[new_index].write();
-        for (k, v) in moved {
-            target.insert(k, v);
-        }
         stats
     }
 
-    /// Number of keys stored at each peer.
+    /// Number of keys stored at each peer (ownership-resolved).
     pub fn keys_per_peer(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.read().len()).collect()
+        let mut counts = vec![0usize; self.overlay.len()];
+        for stripe in 0..NUM_STRIPES {
+            self.for_each_stripe_owned(stripe, |owner, _, _| counts[owner] += 1);
+        }
+        counts
     }
 
     /// Total number of stored keys.
     pub fn num_keys(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.stripes.iter().map(|s| s.read().len()).sum()
     }
 }
 
@@ -219,6 +263,7 @@ impl<V> std::fmt::Debug for Dht<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dht")
             .field("peers", &self.overlay.len())
+            .field("stripes", &NUM_STRIPES)
             .field("keys", &self.num_keys())
             .finish()
     }
@@ -275,7 +320,7 @@ mod tests {
     }
 
     #[test]
-    fn values_land_on_responsible_shard() {
+    fn values_land_on_responsible_peer() {
         let dht = dht_pgrid(16);
         for i in 0..200u64 {
             let key = KeyHash(hash_u64s(&[i, 77]));
@@ -289,6 +334,27 @@ mod tests {
     }
 
     #[test]
+    fn local_and_stripe_iteration_agree() {
+        let dht = dht_pgrid(8);
+        for i in 0..300u64 {
+            let key = KeyHash(hash_u64s(&[i, 3]));
+            dht.upsert(PeerId(i % 8), key, 1, 4, Vec::new, |v| v.push(i as u32));
+        }
+        // Per-peer iteration covers exactly the keys stripe iteration
+        // attributes to that peer.
+        let mut by_local = vec![0usize; 8];
+        for (p, count) in by_local.iter_mut().enumerate() {
+            dht.for_each_local(p, |_, _| *count += 1);
+        }
+        let mut by_stripe = vec![0usize; 8];
+        for s in 0..dht.num_stripes() {
+            dht.for_each_stripe_owned(s, |owner, _, _| by_stripe[owner] += 1);
+        }
+        assert_eq!(by_local, by_stripe);
+        assert_eq!(by_local.iter().sum::<usize>(), 300);
+    }
+
+    #[test]
     fn peek_and_for_each_local_do_not_meter() {
         let dht = dht_pgrid(4);
         let key = KeyHash(hash_u64s(&[3]));
@@ -297,6 +363,10 @@ mod tests {
         dht.peek(key, |v| assert!(v.is_some()));
         for p in 0..4 {
             dht.for_each_local(p, |_, _| {});
+        }
+        for s in 0..dht.num_stripes() {
+            dht.for_each_stripe(s, |_, _| {});
+            dht.for_each_stripe_owned(s, |_, _, _| {});
         }
         let after = dht.snapshot();
         assert_eq!(before, after);
@@ -329,5 +399,30 @@ mod tests {
         let s = dht.snapshot();
         assert_eq!(s.kind(MsgKind::IndexInsert).messages, 4000);
         assert_eq!(dht.num_keys(), 50);
+    }
+
+    #[test]
+    fn stripe_parallel_sweep_covers_every_key_once() {
+        let dht = std::sync::Arc::new(dht_pgrid(4));
+        for i in 0..1000u64 {
+            let key = KeyHash(hash_u64s(&[i, 11]));
+            dht.upsert(PeerId(i % 4), key, 1, 4, Vec::new, |v| v.push(i as u32));
+        }
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        std::thread::scope(|scope| {
+            for chunk in 0..4usize {
+                let dht = &dht;
+                let seen = &seen;
+                scope.spawn(move || {
+                    for s in (chunk..NUM_STRIPES).step_by(4) {
+                        dht.for_each_stripe_mut(s, |k, v| {
+                            v.push(0); // mutation while swept
+                            assert!(seen.lock().unwrap().insert(*k), "key visited twice");
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 1000);
     }
 }

@@ -24,7 +24,7 @@ pub mod pgrid;
 pub mod ring;
 pub mod transport;
 
-pub use dht::{Dht, MigrationStats};
+pub use dht::{stripe_of, Dht, MigrationStats, NUM_STRIPES};
 pub use id::{hash_bytes, hash_u64s, KeyHash, PeerId};
 pub use overlay::{Overlay, RouteResult};
 pub use pgrid::PGrid;

@@ -77,10 +77,7 @@ impl PGrid {
     /// Panics on an empty peer set.
     pub fn new(peers: Vec<PeerId>) -> Self {
         assert!(!peers.is_empty(), "trie needs at least one peer");
-        let mut paths = vec![
-            Path { bits: 0, len: 0 };
-            peers.len()
-        ];
+        let mut paths = vec![Path { bits: 0, len: 0 }; peers.len()];
         let indices: Vec<usize> = (0..peers.len()).collect();
         let root = Self::split(&indices, 0, 0, &mut paths);
         Self { peers, paths, root }

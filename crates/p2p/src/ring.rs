@@ -106,10 +106,7 @@ impl Overlay for ChordRing {
     }
 
     fn join(&mut self, peer: PeerId) {
-        assert!(
-            !self.peers.contains(&peer),
-            "{peer} is already on the ring"
-        );
+        assert!(!self.peers.contains(&peer), "{peer} is already on the ring");
         self.peers.push(peer);
         // A join moves the new peer's arc from its successor; fingers are
         // rebuilt (the simulation equivalent of Chord's stabilization).

@@ -110,14 +110,7 @@ impl TrafficMeter {
     }
 
     /// Records one message.
-    pub fn record(
-        &self,
-        kind: MsgKind,
-        origin_peer: usize,
-        postings: u64,
-        bytes: u64,
-        hops: u32,
-    ) {
+    pub fn record(&self, kind: MsgKind, origin_peer: usize, postings: u64, bytes: u64, hops: u32) {
         let c = &self.kinds[kind.slot()];
         c.messages.fetch_add(1, Ordering::Relaxed);
         c.postings.fetch_add(postings, Ordering::Relaxed);

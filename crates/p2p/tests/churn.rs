@@ -29,10 +29,7 @@ fn pgrid_join_preserves_contract_and_balance() {
     assert_eq!(grid.len(), 13);
     // Splitting the shallowest leaf keeps paths within one bit of balance.
     let lens: Vec<u32> = (0..13).map(|i| grid.path(i).len()).collect();
-    let (min, max) = (
-        *lens.iter().min().unwrap(),
-        *lens.iter().max().unwrap(),
-    );
+    let (min, max) = (*lens.iter().min().unwrap(), *lens.iter().max().unwrap());
     assert!(max - min <= 1, "paths unbalanced after joins: {lens:?}");
 }
 
@@ -66,6 +63,7 @@ fn dht_migration_moves_exactly_new_peers_keys() {
     assert_eq!(dht.num_keys(), before_total, "keys must not be lost");
     assert!(stats.keys_moved > 0, "the new peer must take over keys");
     assert_eq!(stats.postings_moved, stats.keys_moved); // one entry each here
+
     // The new peer's shard holds exactly the keys it is responsible for,
     // and every key is still reachable with its value intact.
     let per_peer = dht.keys_per_peer();
@@ -87,7 +85,14 @@ fn dht_migration_moves_exactly_new_peers_keys() {
 fn repeated_joins_keep_dht_consistent() {
     let mut dht: Dht<u64> = Dht::new(Box::new(ChordRing::new(peers(2))));
     for k in 0..200u64 {
-        dht.upsert(PeerId(k % 2), KeyHash(hash_u64s(&[k])), 1, 8, || 0, |v| *v += k);
+        dht.upsert(
+            PeerId(k % 2),
+            KeyHash(hash_u64s(&[k])),
+            1,
+            8,
+            || 0,
+            |v| *v += k,
+        );
     }
     for new in 2..8u64 {
         dht.add_peer(PeerId(new), |_| (1, 8));

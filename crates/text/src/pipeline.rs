@@ -85,11 +85,11 @@ impl Analyzer {
 
     /// Interns a sequence of pre-tokenized terms (used by the synthetic
     /// corpus generator, which emits terms directly).
-    pub fn intern_terms<'a, I: IntoIterator<Item = &'a str>>(&mut self, terms: I) -> AnalyzedDocument {
-        let tokens = terms
-            .into_iter()
-            .map(|t| self.vocab.intern(t))
-            .collect();
+    pub fn intern_terms<'a, I: IntoIterator<Item = &'a str>>(
+        &mut self,
+        terms: I,
+    ) -> AnalyzedDocument {
+        let tokens = terms.into_iter().map(|t| self.vocab.intern(t)).collect();
         AnalyzedDocument { tokens }
     }
 

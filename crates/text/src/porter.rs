@@ -316,16 +316,9 @@ impl Stemmer {
             b'e' => self.ends("er"),
             b'i' => self.ends("ic"),
             b'l' => self.ends("able") || self.ends("ible"),
-            b'n' => {
-                self.ends("ant")
-                    || self.ends("ement")
-                    || self.ends("ment")
-                    || self.ends("ent")
-            }
+            b'n' => self.ends("ant") || self.ends("ement") || self.ends("ment") || self.ends("ent"),
             b'o' => {
-                (self.ends("ion")
-                    && self.j > 0
-                    && matches!(self.b[self.j], b's' | b't'))
+                (self.ends("ion") && self.j > 0 && matches!(self.b[self.j], b's' | b't'))
                     || self.ends("ou")
             }
             b's' => self.ends("ism"),

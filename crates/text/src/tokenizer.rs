@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn lowercases() {
-        assert_eq!(toks("Wikipedia ENCYCLOPEDIA CaMeL"), ["wikipedia", "encyclopedia", "camel"]);
+        assert_eq!(
+            toks("Wikipedia ENCYCLOPEDIA CaMeL"),
+            ["wikipedia", "encyclopedia", "camel"]
+        );
     }
 
     #[test]

@@ -44,10 +44,13 @@ fn main() {
         "peers", "docs", "keys", "stored/peer", "moved_keys", "retr/query"
     );
 
-    let probe = QueryLog::generate(&collection, &QueryLogConfig {
-        num_queries: 40,
-        ..QueryLogConfig::default()
-    });
+    let probe = QueryLog::generate(
+        &collection,
+        &QueryLogConfig {
+            num_queries: 40,
+            ..QueryLogConfig::default()
+        },
+    );
     let report_line = |net: &HdkNetwork, moved: u64| {
         let r = net.build_report();
         let mut fetched = 0u64;

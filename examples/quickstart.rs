@@ -62,7 +62,11 @@ fn main() {
         let outcome = network.query(from, &q.terms, 20);
         let reference = central.search(&q.terms, 20);
         let overlap = top_k_overlap(&outcome.results, &reference, 20);
-        let words: Vec<&str> = q.terms.iter().map(|&t| collection.vocab().term(t)).collect();
+        let words: Vec<&str> = q
+            .terms
+            .iter()
+            .map(|&t| collection.vocab().term(t))
+            .collect();
         println!(
             "query {:<30} -> {:>2} results, {:>3} lookups, {:>5} postings fetched, {:>5.1}% top-20 overlap",
             words.join(" "),

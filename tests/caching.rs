@@ -25,10 +25,13 @@ fn setup() -> (Collection, HdkNetwork, QueryLog) {
         },
         OverlayKind::PGrid,
     );
-    let log = QueryLog::generate(&collection, &QueryLogConfig {
-        num_queries: 30,
-        ..QueryLogConfig::default()
-    });
+    let log = QueryLog::generate(
+        &collection,
+        &QueryLogConfig {
+            num_queries: 30,
+            ..QueryLogConfig::default()
+        },
+    );
     (collection, network, log)
 }
 
@@ -76,7 +79,9 @@ fn cache_invalidates_on_index_update() {
     let out = network.query_cached(PeerId(0), &q.terms, collection.len() + 1, &cache);
     assert!(out.lookups > 0, "stale cache served after index update");
     assert!(
-        out.results.iter().any(|r| r.doc.0 == collection.len() as u32),
+        out.results
+            .iter()
+            .any(|r| r.doc.0 == collection.len() as u32),
         "new document missing from post-update results"
     );
 }

@@ -55,10 +55,13 @@ fn joined_peer_network_matches_static_build() {
     );
 
     // Query answers identical.
-    let log = QueryLog::generate(&collection, &QueryLogConfig {
-        num_queries: 40,
-        ..QueryLogConfig::default()
-    });
+    let log = QueryLog::generate(
+        &collection,
+        &QueryLogConfig {
+            num_queries: 40,
+            ..QueryLogConfig::default()
+        },
+    );
     for q in &log.queries {
         let a = live.query(PeerId(900), &q.terms, 20);
         let b = reference.query(PeerId(0), &q.terms, 20);
@@ -101,7 +104,9 @@ fn several_peers_join_in_sequence() {
         OverlayKind::Chord,
     );
     for (j, lo) in [(0u64, 120usize), (1, 160), (2, 200)] {
-        let docs: Vec<Document> = (lo..lo + 40).map(|i| collection.docs()[i].clone()).collect();
+        let docs: Vec<Document> = (lo..lo + 40)
+            .map(|i| collection.docs()[i].clone())
+            .collect();
         live.join_peer(PeerId(1000 + j), docs);
     }
     assert_eq!(live.num_peers(), 5);

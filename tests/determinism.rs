@@ -40,10 +40,13 @@ fn identical_seeds_identical_networks() {
     assert_eq!(r1.counts, r2.counts);
 
     // Queries agree bit-for-bit.
-    let log = QueryLog::generate(&c1, &QueryLogConfig {
-        num_queries: 25,
-        ..QueryLogConfig::default()
-    });
+    let log = QueryLog::generate(
+        &c1,
+        &QueryLogConfig {
+            num_queries: 25,
+            ..QueryLogConfig::default()
+        },
+    );
     for q in &log.queries {
         let a = n1.query(PeerId(1), &q.terms, 20);
         let b = n2.query(PeerId(1), &q.terms, 20);
@@ -74,10 +77,13 @@ fn overlay_choice_does_not_change_posting_results() {
     assert_eq!(rp.inserted_by_size, rc.inserted_by_size);
     assert_eq!(rp.counts, rc.counts);
 
-    let log = QueryLog::generate(&c, &QueryLogConfig {
-        num_queries: 25,
-        ..QueryLogConfig::default()
-    });
+    let log = QueryLog::generate(
+        &c,
+        &QueryLogConfig {
+            num_queries: 25,
+            ..QueryLogConfig::default()
+        },
+    );
     for q in &log.queries {
         let a = pgrid.query(PeerId(0), &q.terms, 20);
         let b = chord.query(PeerId(0), &q.terms, 20);

@@ -9,10 +9,17 @@ use p2p_hdk::prelude::*;
 /// so this test exercises the whole stack the way a real deployment would.
 fn analyzed_collection() -> (Analyzer, Collection) {
     let subjects = [
-        "peer", "network", "index", "query", "document", "ranking", "key",
-        "posting", "window", "term", "overlay", "routing",
+        "peer", "network", "index", "query", "document", "ranking", "key", "posting", "window",
+        "term", "overlay", "routing",
     ];
-    let verbs = ["stores", "retrieves", "ranks", "distributes", "maintains", "builds"];
+    let verbs = [
+        "stores",
+        "retrieves",
+        "ranks",
+        "distributes",
+        "maintains",
+        "builds",
+    ];
     let mut analyzer = Analyzer::new();
     let mut docs = Vec::new();
     for i in 0..240usize {
@@ -62,10 +69,7 @@ fn full_stack_text_to_results() {
         assert!(!terms.is_empty(), "query {query_text:?} lost all terms");
         let outcome = network.query(PeerId(1), &terms, 20);
         let reference = central.search(&terms, 20);
-        assert!(
-            !outcome.results.is_empty(),
-            "no results for {query_text:?}"
-        );
+        assert!(!outcome.results.is_empty(), "no results for {query_text:?}");
         assert!(!reference.is_empty());
         // Traffic bound: nk * DFmax.
         assert!(
@@ -199,7 +203,10 @@ fn traffic_accounting_is_complete() {
     assert!(after_build.kind(MsgKind::IndexNotify).messages > 0);
     assert_eq!(after_build.kind(MsgKind::QueryLookup).messages, 0);
 
-    let q = vec![collection.docs()[0].tokens[0], collection.docs()[0].tokens[1]];
+    let q = vec![
+        collection.docs()[0].tokens[0],
+        collection.docs()[0].tokens[1],
+    ];
     let _ = network.query(PeerId(2), &q, 10);
     let after_query = network.snapshot().since(&after_build);
     assert!(after_query.kind(MsgKind::QueryLookup).messages > 0);

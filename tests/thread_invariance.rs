@@ -1,0 +1,153 @@
+//! The parallel indexing engine must be a pure optimization: thread count
+//! changes wall-clock time, never results.
+//!
+//! The first test flips `RAYON_NUM_THREADS` (which the rayon pool re-reads
+//! per fan-out) — process-global state — so every test in this binary
+//! serializes on [`ENV_LOCK`] and the flipper restores the variable before
+//! releasing it.
+
+use p2p_hdk::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that touch (or must not observe changes to)
+/// `RAYON_NUM_THREADS`.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn collection(seed: u64) -> Collection {
+    CollectionGenerator::new(GeneratorConfig {
+        num_docs: 640,
+        vocab_size: 4_000,
+        avg_doc_len: 50,
+        num_topics: 32,
+        topic_vocab: 50,
+        seed,
+        ..GeneratorConfig::default()
+    })
+    .generate()
+}
+
+struct BuildArtifacts {
+    report: p2p_hdk::core::BuildReport,
+    traffic: TrafficSnapshot,
+    topk: Vec<Vec<SearchResult>>,
+    fetched: Vec<u64>,
+}
+
+/// Builds a 32-peer network and evaluates a query batch, capturing
+/// everything the acceptance criteria call out: `BuildReport`, traffic
+/// snapshot, and query top-k.
+fn build_and_query(c: &Collection) -> BuildArtifacts {
+    let partitions = partition_documents(c.len(), 32, 13);
+    let network = HdkNetwork::build(
+        c,
+        &partitions,
+        HdkConfig {
+            dfmax: 15,
+            ff: 3_000,
+            ..HdkConfig::default()
+        },
+        OverlayKind::PGrid,
+    );
+    let log = QueryLog::generate(
+        c,
+        &QueryLogConfig {
+            num_queries: 40,
+            ..QueryLogConfig::default()
+        },
+    );
+    let batch: Vec<(PeerId, &[TermId])> = log
+        .queries
+        .iter()
+        .map(|q| (PeerId(u64::from(q.id) % 32), q.terms.as_slice()))
+        .collect();
+    let outcomes = network.query_batch(&batch, 20);
+    BuildArtifacts {
+        report: network.build_report(),
+        traffic: network.snapshot(),
+        topk: outcomes.iter().map(|o| o.results.clone()).collect(),
+        fetched: outcomes.iter().map(|o| o.postings_fetched).collect(),
+    }
+}
+
+#[test]
+fn one_thread_and_many_threads_are_bit_identical() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = collection(2026);
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = build_and_query(&c);
+
+    std::env::set_var("RAYON_NUM_THREADS", "8");
+    let parallel = build_and_query(&c);
+
+    match prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+
+    // BuildReport, field by field.
+    assert_eq!(serial.report.num_peers, parallel.report.num_peers);
+    assert_eq!(serial.report.num_docs, parallel.report.num_docs);
+    assert_eq!(serial.report.sample_size, parallel.report.sample_size);
+    assert_eq!(serial.report.rounds, parallel.report.rounds);
+    assert_eq!(
+        serial.report.inserted_by_size,
+        parallel.report.inserted_by_size
+    );
+    assert_eq!(
+        serial.report.stored_per_peer,
+        parallel.report.stored_per_peer
+    );
+    assert_eq!(serial.report.counts, parallel.report.counts);
+    // Full traffic snapshot: message/posting/byte/hop counters, per-kind
+    // and per-peer.
+    assert_eq!(serial.traffic, parallel.traffic);
+    assert_eq!(serial.report.traffic, parallel.report.traffic);
+    // Query top-k: same documents, same scores, same costs.
+    assert_eq!(serial.topk, parallel.topk);
+    assert_eq!(serial.fetched, parallel.fetched);
+}
+
+#[test]
+fn incremental_additions_are_deterministic_run_to_run() {
+    // Regression test for the nondeterministic `add_documents` dispatch:
+    // grouped additions used to hop through a HashMap, so per-peer insert
+    // order (and with it traffic attribution) varied run to run.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = collection(4711);
+    let build = || {
+        let partitions = partition_documents(500, 6, 3);
+        let prefix = c.prefix(500);
+        let mut network = HdkNetwork::build(
+            &prefix,
+            &partitions,
+            HdkConfig {
+                dfmax: 12,
+                ff: u64::MAX,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        // Late documents arrive interleaved over peers in "arrival" order —
+        // deliberately not grouped, exercising the dispatch path.
+        let additions: Vec<(PeerId, Document)> = (500..c.len())
+            .map(|i| {
+                let doc = c.doc(DocId(i as u32)).clone();
+                (PeerId((i as u64 * 7 + 3) % 6), doc)
+            })
+            .collect();
+        network.add_documents(additions);
+        network
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.build_report().counts, b.build_report().counts);
+    assert_eq!(
+        a.build_report().stored_per_peer,
+        b.build_report().stored_per_peer
+    );
+    // The strong property: *traffic* (including per-peer attribution and
+    // message counts) is identical, not just the final index.
+    assert_eq!(a.snapshot(), b.snapshot());
+}

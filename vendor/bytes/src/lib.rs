@@ -1,0 +1,236 @@
+//! Minimal `bytes` shim (see `vendor/README.md`): contiguous `Arc`-backed
+//! immutable buffers with cheap cloning/slicing, plus a growable `BytesMut`
+//! that freezes into `Bytes`. Covers the cursor-style `Buf`/`BufMut` subset
+//! the workspace's posting-list codec uses.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Advances the cursor past `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// A view of the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Cheaply cloneable immutable byte buffer; reading via [`Buf`] consumes a
+/// cursor (advances `start`) without copying.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::from(Vec::new())
+    }
+
+    /// Number of (unread) bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-slice sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds"
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_ref())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`] without copying.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.0.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read() {
+        let mut m = BytesMut::with_capacity(4);
+        m.put_u8(1);
+        m.put_slice(&[2, 3]);
+        let mut b = m.freeze();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.get_u8(), 2);
+        assert_eq!(b.get_u8(), 3);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[1, 2, 3]);
+        let s2 = s.slice(..2);
+        assert_eq!(s2.as_ref(), &[1, 2]);
+        assert_eq!(b.len(), 5, "parent untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn overread_panics() {
+        Bytes::new().get_u8();
+    }
+}

@@ -1,0 +1,263 @@
+//! Minimal `criterion` shim (see `vendor/README.md`).
+//!
+//! Same macro/builder surface as the real crate for the subset the
+//! workspace's benches use; measurement is plain wall-clock (warmup, then
+//! timed batches) reporting mean and best iteration time. No statistical
+//! analysis, no HTML reports, no baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry/driver, handed to every `criterion_group!` function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free CLI arg (as passed by `cargo bench -- <filter>`) filters
+        // benchmark ids by substring; harness flags are accepted and ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (setup runs per batch of iterations).
+    SmallInput,
+    /// Large per-iteration inputs (setup runs per iteration).
+    LargeInput,
+}
+
+/// A benchmark id with a parameter, for `bench_with_input`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (the shim uses it to bound timed iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API parity; the shim sizes runs by `sample_size` only.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.run(full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.run(full, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&self, id: String, mut f: F) {
+        if !self.criterion.matches(&id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            total: Duration::ZERO,
+            best: Duration::MAX,
+            performed: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.performed > 0 {
+            bencher.total / bencher.performed as u32
+        } else {
+            Duration::ZERO
+        };
+        let rate = self.throughput.and_then(|t| {
+            if mean.is_zero() {
+                return None;
+            }
+            Some(match t {
+                Throughput::Elements(n) => {
+                    format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+                }
+                Throughput::Bytes(n) => {
+                    format!(
+                        "  {:.0} MiB/s",
+                        n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                    )
+                }
+            })
+        });
+        println!(
+            "{id:<50} mean {mean:>12.3?}  best {:>12.3?}{}",
+            bencher.best,
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Finishes the group (API parity; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    best: Duration,
+    performed: u64,
+}
+
+impl Bencher {
+    /// Times `f`, called repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup (not timed).
+        black_box(f());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.best = self.best.min(dt);
+            self.performed += 1;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    /// Deprecated alias of `iter_batched` in real criterion; kept callable.
+    pub fn iter_with_setup<I, R, S, F>(&mut self, setup: S, routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        self.iter_batched(setup, routine, BatchSize::SmallInput);
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            self.total += dt;
+            self.best = self.best.min(dt);
+            self.performed += 1;
+        }
+    }
+}
+
+/// Declares a group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 10],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+    }
+}

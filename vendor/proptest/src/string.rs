@@ -1,0 +1,198 @@
+//! String strategy over a small regex subset.
+//!
+//! Supported pattern grammar (everything the workspace's tests use):
+//!
+//! * `.` — any printable character (mostly ASCII, occasionally a
+//!   multi-byte alphabetic so Unicode handling gets exercised),
+//! * `[a-z0-9_]`-style character classes (literal chars and ranges),
+//! * `{m,n}` / `{m}` quantifiers after an atom (default: exactly once),
+//! * any other character — itself, literally.
+
+use crate::{Strategy, TestRng};
+
+/// One parsed atom plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.`
+    AnyChar,
+    /// `[...]` — concrete choices, pre-expanded.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+/// A compiled pattern strategy; build with [`pattern`].
+#[derive(Debug, Clone)]
+pub struct PatternStrategy {
+    pieces: Vec<Piece>,
+}
+
+/// Sprinkle of non-ASCII alphabetics so `.` exercises multi-byte paths.
+const WIDE_CHARS: &[char] = &['é', 'ß', 'λ', 'Ω', '中', '文', 'ü', 'ñ', '☃'];
+
+/// Compiles `pat` into a strategy.
+///
+/// # Panics
+/// Panics on malformed patterns (unclosed `[` or `{`) — patterns are
+/// compile-time constants in tests, so loud failure beats silent garbage.
+pub fn pattern(pat: &str) -> PatternStrategy {
+    let mut chars = pat.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => {
+                let mut choices = Vec::new();
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unclosed [ in {pat:?}"));
+                    if c == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling range in {pat:?}"));
+                        assert!(hi != ']', "dangling range in {pat:?}");
+                        for v in c as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                choices.push(ch);
+                            }
+                        }
+                    } else {
+                        choices.push(c);
+                    }
+                }
+                assert!(!choices.is_empty(), "empty class in {pat:?}");
+                Atom::Class(choices)
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                let c = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unclosed {{ in {pat:?}"));
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad bound in {pat:?}")),
+                    hi.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad bound in {pat:?}")),
+                ),
+                None => {
+                    let n = spec
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad bound in {pat:?}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted bounds in {pat:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    PatternStrategy { pieces }
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::AnyChar => {
+                // 1-in-8 draws leave printable ASCII.
+                if rng.below(8) == 0 {
+                    WIDE_CHARS[rng.below(WIDE_CHARS.len())]
+                } else {
+                    char::from_u32(0x20 + rng.below(0x5f) as u32).expect("printable ASCII")
+                }
+            }
+            Atom::Class(choices) => choices[rng.below(choices.len())],
+            Atom::Literal(c) => *c,
+        }
+    }
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = piece.min
+                + rng
+                    .below(piece.max - piece.min + 1)
+                    .min(piece.max - piece.min);
+            for _ in 0..n {
+                out.push(piece.atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string_tests", 0)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let s = pattern("[a-z]{1,12}");
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((1..=12).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| c.is_ascii_lowercase()), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn dot_with_zero_min() {
+        let s = pattern(".{0,40}");
+        let mut r = rng();
+        let mut empties = 0;
+        for _ in 0..300 {
+            let v = s.generate(&mut r);
+            assert!(v.chars().count() <= 40);
+            if v.is_empty() {
+                empties += 1;
+            }
+        }
+        assert!(empties > 0, "min bound never hit");
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let s = pattern("ab[01]{3}");
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert_eq!(v.len(), 5);
+            assert!(v.starts_with("ab"));
+            assert!(v[2..].chars().all(|c| c == '0' || c == '1'));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Minimal `rayon` shim (see `vendor/README.md`).
+//!
+//! Genuinely parallel: work is split into contiguous chunks executed on
+//! `std::thread::scope` threads, one per available core (capped by the
+//! `RAYON_NUM_THREADS` environment variable, like real rayon). Results of
+//! `map().collect()` preserve input order, so parallel collects are
+//! deterministic regardless of thread count or scheduling.
+//!
+//! Covered subset: `par_iter()` on slices/`Vec`s, `into_par_iter()` on
+//! `Range<usize>`, `map` + `collect`, `for_each`, [`join`], and
+//! [`current_num_threads`]. Unlike real rayon there is no work stealing and
+//! no persistent pool — each call spawns scoped threads, which is right for
+//! the coarse-grained fan-out this workspace does (hundreds of microseconds
+//! to seconds per chunk) and wrong for fine-grained nested parallelism.
+
+use std::ops::Range;
+
+/// Number of threads parallel operations will use: `RAYON_NUM_THREADS` if
+/// set to a positive integer, otherwise `std::thread::available_parallelism`.
+///
+/// Read per call (not cached) so tests can flip the variable between runs.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Order-preserving parallel map over `0..len`: the chunked backbone of
+/// every iterator below.
+fn parallel_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    std::thread::scope(|scope| {
+        for (ci, slot) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let base = ci * chunk;
+            scope.spawn(move || {
+                for (off, s) in slot.iter_mut().enumerate() {
+                    *s = Some(f(base + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("parallel worker panicked"))
+        .collect()
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element (lazily; evaluated in parallel at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_indexed(self.items.len(), |i| f(&self.items[i]));
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Lazily mapped parallel iterator over `&[T]`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluates in parallel, collecting results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_indexed(self.items.len(), |i| (self.f)(&self.items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index (lazily; evaluated in parallel at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Runs `f` on every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let base = self.range.start;
+        parallel_indexed(self.range.len(), |i| f(base + i));
+    }
+}
+
+/// Lazily mapped parallel range.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<R, F> ParRangeMap<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Evaluates in parallel, collecting results in index order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let base = self.range.start;
+        parallel_indexed(self.range.len(), |i| (self.f)(base + i))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// `par_iter()` on slice-likes (`[T]`, `Vec<T>` via deref).
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `into_par_iter()` on owned collections / ranges.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let sum = AtomicU64::new(0);
+        let v: Vec<u64> = (1..=1000).collect();
+        v.par_iter().for_each(|x| {
+            sum.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn range_for_each_and_collect() {
+        let sum = AtomicU64::new(0);
+        (0..100usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+        let squares: Vec<usize> = (0..50usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[49], 49 * 49);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn really_uses_threads() {
+        if super::current_num_threads() < 2 {
+            return; // single-core runner: nothing to assert
+        }
+        let main_id = std::thread::current().id();
+        let v: Vec<u32> = (0..64).collect();
+        let ids: Vec<std::thread::ThreadId> =
+            v.par_iter().map(|_| std::thread::current().id()).collect();
+        assert!(
+            ids.iter().any(|id| *id != main_id),
+            "no work left the calling thread"
+        );
+    }
+}
