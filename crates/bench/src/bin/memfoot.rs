@@ -1,0 +1,44 @@
+//! Memory-footprint report: resident posting-storage bytes per peer,
+//! compressed blocks vs the decoded `Vec<Posting>` baseline.
+//!
+//! One table per sweep point and `DFmax`. CI's bench-smoke job runs
+//! `--peers 4 --docs-per-peer 150 --queries 0` as a fast regression check;
+//! defaults reproduce the full growth sweep.
+
+use hdk_bench::memory::MemoryFootprint;
+use hdk_bench::ExperimentProfile;
+use hdk_core::HdkNetwork;
+use hdk_corpus::{partition_documents, CollectionGenerator};
+
+fn main() {
+    let profile = ExperimentProfile::from_args();
+    let full = CollectionGenerator::new(profile.generator_config(profile.max_docs())).generate();
+    for &peers in &profile.peers_sweep {
+        let docs = peers * profile.docs_per_peer;
+        let collection = full.prefix(docs);
+        let partitions = partition_documents(docs, peers, profile.seed ^ peers as u64);
+        for &dfmax in &profile.dfmax_values {
+            let network = HdkNetwork::build(
+                &collection,
+                &partitions,
+                profile.hdk_config(dfmax),
+                profile.overlay,
+            );
+            let footprint = MemoryFootprint::measure(&network);
+            eprintln!(
+                "[memfoot] peers={peers} docs={docs} dfmax={dfmax}: resident {} B vs decoded {} B ({:.2}x)",
+                footprint.resident_total(),
+                footprint.baseline_total(),
+                footprint.improvement()
+            );
+            footprint
+                .table(&format!("memfoot_p{peers}_df{dfmax}"))
+                .emit();
+            assert!(
+                footprint.improvement() >= 3.0,
+                "resident storage regression: only {:.2}x better than decoded baseline",
+                footprint.improvement()
+            );
+        }
+    }
+}

@@ -8,14 +8,17 @@
 //!   CLI overrides; `--help` on any binary prints the knobs),
 //! * [`report`] — aligned-TSV table output (stdout + `target/experiments/`),
 //! * [`runner`] — the shared network-growth sweep that measures everything
-//!   Figures 3–7 plot.
+//!   Figures 3–7 plot,
+//! * [`memory`] — the resident posting-storage footprint report
+//!   (compressed blocks vs the decoded baseline).
 //!
 //! Binaries (`cargo run -p hdk-bench --release --bin <name>`): `table1`,
 //! `table2`, `fig3`–`fig8`, `theory`, `experiments` (all of the above in
-//! one run), `ablate_window`, `ablate_redundancy`, `ablate_dfmax`,
-//! `ablate_overlay`.
+//! one run), `memfoot`, `ablate_window`, `ablate_redundancy`,
+//! `ablate_dfmax`, `ablate_overlay`.
 
 pub mod figures;
+pub mod memory;
 pub mod profile;
 pub mod report;
 pub mod runner;

@@ -8,8 +8,11 @@
 //!
 //! [`QueryCache`] is an LRU map from [`Key`] to its [`KeyLookup`] response,
 //! owned by the *querying* peer. Hits skip the DHT round-trip entirely — no
-//! messages, no postings on the wire. The cache is invalidated wholesale
-//! when the index changes: it remembers the network's *epoch* (bumped by
+//! messages, no postings on the wire. Cached postings are the same encoded
+//! block the index stores and the wire carried (the underlying `Bytes`
+//! buffer is refcounted), so a hit is zero-copy and the cache's memory cost
+//! is the block, not a decoded list. The cache is invalidated wholesale when the
+//! index changes: it remembers the network's *epoch* (bumped by
 //! `add_documents` / `join_peer`) and self-clears on mismatch, so stale
 //! postings can never be served.
 
@@ -27,6 +30,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Postings that did *not* travel thanks to hits.
     pub postings_saved: u64,
+    /// Payload bytes that did *not* travel thanks to hits (the cached
+    /// blocks' exact wire sizes).
+    pub bytes_saved: u64,
 }
 
 #[derive(Debug, Default)]
@@ -80,6 +86,9 @@ impl QueryCache {
             let result = cached.clone();
             inner.stats.hits += 1;
             inner.stats.postings_saved += result.as_ref().map_or(0, |l| l.postings.len() as u64);
+            inner.stats.bytes_saved += result
+                .as_ref()
+                .map_or(0, |l| l.postings.encoded_len() as u64);
             return result;
         }
         inner.stats.misses += 1;
@@ -122,11 +131,13 @@ mod tests {
 
     fn lookup(df: u32) -> KeyLookup {
         KeyLookup {
-            postings: PostingList::from_sorted(vec![Posting {
-                doc: DocId(df),
-                tf: 1,
-                doc_len: 10,
-            }]),
+            postings: hdk_ir::CompressedPostings::from_list(&PostingList::from_sorted(vec![
+                Posting {
+                    doc: DocId(df),
+                    tf: 1,
+                    doc_len: 10,
+                },
+            ])),
             df,
             is_ndk: false,
         }
@@ -152,6 +163,11 @@ mod tests {
         assert_eq!(s.hits, 2);
         assert_eq!(s.misses, 1);
         assert_eq!(s.postings_saved, 2);
+        assert_eq!(
+            s.bytes_saved,
+            2 * lookup(5).postings.encoded_len() as u64,
+            "hits save the blocks' exact wire bytes"
+        );
     }
 
     #[test]

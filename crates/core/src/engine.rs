@@ -14,7 +14,7 @@ use crate::key::Key;
 use crate::local_indexer::LocalPeer;
 use crate::stats::BuildReport;
 use hdk_corpus::{Collection, DocId, FrequencyStats};
-use hdk_ir::PostingList;
+use hdk_ir::CompressedPostings;
 use hdk_p2p::{ChordRing, Overlay, PGrid, PeerId, TrafficSnapshot};
 use hdk_text::TermId;
 use rayon::prelude::*;
@@ -160,8 +160,9 @@ impl HdkNetwork {
     /// `RAYON_NUM_THREADS` says:
     ///
     /// 1. **compute** — every peer derives its candidate key postings from
-    ///    purely local state, fanned out over the rayon pool; results come
-    ///    back in `PeerId` order with each batch sorted by key;
+    ///    purely local state and encodes each list into its wire/storage
+    ///    block, fanned out over the rayon pool; results come back in
+    ///    `PeerId` order with each batch sorted by key;
     /// 2. **apply** — [`GlobalIndex::insert_round`] partitions the batches
     ///    by DHT stripe and applies each stripe's inserts in `(PeerId,
     ///    Key)` order, stripes in parallel;
@@ -176,15 +177,19 @@ impl HdkNetwork {
             let config = &self.config;
             let excluded = &self.excluded;
             let collect_keys = !config.redundancy_filtering;
-            // Phase 1: parallel local candidate generation (pure).
-            let batches: Vec<(PeerId, Vec<(Key, PostingList)>)> = self
+            // Phase 1: parallel local candidate generation (pure). Each
+            // list is encoded into its compressed block right here at the
+            // "sending" peer — from this point on the block is the only
+            // representation that exists (wire, storage, cache).
+            let batches: Vec<(PeerId, Vec<(Key, CompressedPostings)>)> = self
                 .peers
                 .par_iter()
                 .map(|peer| {
-                    let mut batch: Vec<(Key, PostingList)> = peer
+                    let mut batch: Vec<(Key, CompressedPostings)> = peer
                         .compute_round(round, config, excluded)
                         .into_iter()
                         .filter(|(_, postings)| !postings.is_empty())
+                        .map(|(key, postings)| (key, CompressedPostings::from_list(&postings)))
                         .collect();
                     batch.sort_unstable_by_key(|(key, _)| *key);
                     (peer.id, batch)

@@ -12,10 +12,21 @@
 //!
 //! The sweep runs locally at each hosting peer (free), while inserts,
 //! lookups and notifications travel over the metered DHT.
+//!
+//! ## One posting format everywhere
+//!
+//! Postings live as [`CompressedPostings`] — the framed varint block —
+//! from the moment a peer encodes its local batch until a querying peer
+//! streams it through the ranker. Inserts merge block-to-block
+//! (sorted streaming merge, never materializing a `Vec<Posting>`), the
+//! byte meters report the *actual* block sizes that were stored or
+//! transmitted, lookups hand back a refcounted clone of the resident
+//! block, and exact `df` bookkeeping past truncation uses a
+//! [`CompressedDocSet`] in place of the former `HashSet<u32>`.
 
 use crate::classify::{classify, KeyClass};
 use crate::key::{Key, MAX_KEY_SIZE};
-use hdk_ir::{Posting, PostingList};
+use hdk_ir::{CompressedDocSet, CompressedPostings, Posting, PostingList};
 use hdk_p2p::{stripe_of, Dht, Overlay, PeerId, TrafficSnapshot};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -27,8 +38,9 @@ pub struct KeyEntry {
     /// The key itself (guards against 64-bit hash collisions and lets local
     /// sweeps know key sizes).
     pub key: Key,
-    /// Merged posting list: full for DKs, top-`DFmax` for NDKs.
-    pub postings: PostingList,
+    /// Merged postings, resident in encoded form: full for DKs,
+    /// top-`DFmax` for NDKs.
+    pub postings: CompressedPostings,
     /// True global document frequency (keeps counting past truncation).
     pub df: u32,
     /// Peers that inserted postings for this key (notification targets).
@@ -38,14 +50,16 @@ pub struct KeyEntry {
     /// Documents already counted in `df`, kept only once the stored list
     /// is truncated (while the list is complete it *is* the doc set).
     /// Needed so incremental sessions never double-count a document.
-    pub seen_docs: Option<std::collections::HashSet<u32>>,
+    pub seen_docs: Option<CompressedDocSet>,
 }
 
 /// Result of a retrieval-time key lookup.
 #[derive(Debug, Clone)]
 pub struct KeyLookup {
-    /// Stored postings (full for HDK, truncated for NDK).
-    pub postings: PostingList,
+    /// Stored postings (full for HDK, truncated for NDK) — a refcounted
+    /// clone of the resident block, so lookups (and cache hits) copy no
+    /// posting data.
+    pub postings: CompressedPostings,
     /// Global document frequency.
     pub df: u32,
     /// Whether the key is non-discriminative.
@@ -87,22 +101,24 @@ impl GlobalIndex {
         self.dht.overlay()
     }
 
-    /// Peer `from` inserts its local postings for `key`. Posting and byte
-    /// volumes are metered; the merged entry accumulates global `df`
-    /// (counting distinct documents exactly, even across incremental
-    /// sessions). Returns whether the key is currently non-discriminative
-    /// — the insert acknowledgement carries this back to the inserting
-    /// peer for free, so late joiners learn NDK status without an extra
-    /// notification round-trip.
+    /// Peer `from` inserts its local postings for `key` (convenience
+    /// wrapper encoding on the way in; the round path transmits
+    /// pre-encoded blocks via [`GlobalIndex::insert_block`]).
     pub fn insert(&self, from: PeerId, key: Key, postings: PostingList) -> bool {
-        self.insert_ref(from, key, &postings)
+        self.insert_block(from, key, &CompressedPostings::from_list(&postings))
     }
 
-    /// [`GlobalIndex::insert`] without consuming the posting list (the
-    /// batched round path inserts from shared buckets).
-    pub fn insert_ref(&self, from: PeerId, key: Key, postings: &PostingList) -> bool {
-        let n = postings.len() as u64;
-        let bytes = hdk_ir::codec::encoded_len(postings) as u64;
+    /// Peer `from` inserts an encoded posting block for `key` — the block
+    /// *is* the wire payload, so the byte meter records its exact size.
+    /// The merged entry accumulates global `df` (counting distinct
+    /// documents exactly, even across incremental sessions). Returns
+    /// whether the key is currently non-discriminative — the insert
+    /// acknowledgement carries this back to the inserting peer for free,
+    /// so late joiners learn NDK status without an extra notification
+    /// round-trip.
+    pub fn insert_block(&self, from: PeerId, key: Key, block: &CompressedPostings) -> bool {
+        let n = block.len() as u64;
+        let bytes = block.encoded_len() as u64;
         self.inserted_by_size[key.size() - 1].fetch_add(n, Ordering::Relaxed);
         let dfmax = self.dfmax as usize;
         self.dht.upsert(
@@ -112,7 +128,7 @@ impl GlobalIndex {
             bytes,
             || KeyEntry {
                 key,
-                postings: PostingList::new(),
+                postings: CompressedPostings::new(),
                 df: 0,
                 contributors: Vec::new(),
                 is_ndk: false,
@@ -120,15 +136,17 @@ impl GlobalIndex {
             },
             |entry| {
                 debug_assert_eq!(entry.key, key, "DHT hash collision");
+                // One streaming merge yields both the merged block and the
+                // count of genuinely new documents; while the stored list
+                // is complete that count is the exact df increment,
+                // afterwards the doc-set keeps counting exactly.
+                let (merged, new_in_list) = entry.postings.merge_counting(block);
                 let new_docs = match &mut entry.seen_docs {
-                    Some(seen) => postings.docs().filter(|d| seen.insert(d.0)).count(),
-                    None => postings
-                        .docs()
-                        .filter(|&d| !entry.postings.contains_doc(d))
-                        .count(),
+                    Some(seen) => seen.merge_count_new(block.docs()),
+                    None => new_in_list,
                 };
-                entry.df += new_docs as u32;
-                entry.postings = entry.postings.union(postings);
+                entry.df += new_docs;
+                entry.postings = merged;
                 if entry.is_ndk {
                     entry.postings = entry.postings.truncate_top_k(dfmax, posting_quality);
                 }
@@ -156,7 +174,7 @@ impl GlobalIndex {
     /// feedback in incremental sessions).
     pub fn insert_round(
         &self,
-        batches: Vec<(PeerId, Vec<(Key, PostingList)>)>,
+        batches: Vec<(PeerId, Vec<(Key, CompressedPostings)>)>,
     ) -> HashMap<PeerId, Vec<Key>> {
         debug_assert!(
             batches.windows(2).all(|w| w[0].0 < w[1].0),
@@ -164,11 +182,11 @@ impl GlobalIndex {
         );
         // Bucket by stripe, preserving (PeerId, Key) order within each
         // bucket: batches arrive peer-ascending and each batch key-sorted.
-        let mut buckets: Vec<Vec<(PeerId, Key, PostingList)>> =
+        let mut buckets: Vec<Vec<(PeerId, Key, CompressedPostings)>> =
             (0..self.dht.num_stripes()).map(|_| Vec::new()).collect();
         for (peer, batch) in batches {
-            for (key, postings) in batch {
-                buckets[stripe_of(key.dht_hash())].push((peer, key, postings));
+            for (key, block) in batch {
+                buckets[stripe_of(key.dht_hash())].push((peer, key, block));
             }
         }
         // Apply stripe-parallel; collect (peer, key) acks flagged NDK.
@@ -176,8 +194,8 @@ impl GlobalIndex {
             .par_iter()
             .map(|bucket| {
                 let mut already_ndk = Vec::new();
-                for (peer, key, postings) in bucket {
-                    if self.insert_ref(*peer, *key, postings) {
+                for (peer, key, block) in bucket {
+                    if self.insert_block(*peer, *key, block) {
                         already_ndk.push((*peer, *key));
                     }
                 }
@@ -218,10 +236,10 @@ impl GlobalIndex {
                     if classify(entry.df, dfmax) == KeyClass::NonDiscriminative {
                         entry.is_ndk = true;
                         // The stored list is still complete at transition
-                        // time; remember its documents so later
-                        // (incremental) inserts keep `df` exact after
-                        // truncation.
-                        entry.seen_docs = Some(entry.postings.docs().map(|d| d.0).collect());
+                        // time; remember its documents (as a compact
+                        // sorted-delta set) so later (incremental) inserts
+                        // keep `df` exact after truncation.
+                        entry.seen_docs = Some(CompressedDocSet::from_postings(&entry.postings));
                         entry.postings = entry
                             .postings
                             .truncate_top_k(dfmax as usize, posting_quality);
@@ -252,14 +270,15 @@ impl GlobalIndex {
 
     /// Retrieval-time lookup of one key by peer `from`. Metered: the
     /// request routes to the responsible peer; the response carries the
-    /// stored postings back.
+    /// stored block back — the byte counter is its exact resident size,
+    /// and the "copy" is a refcount bump on the shared block.
     pub fn lookup(&self, from: PeerId, key: Key) -> Option<KeyLookup> {
         self.dht.lookup(from, key.dht_hash(), |entry| match entry {
             Some(e) => {
                 debug_assert_eq!(e.key, key, "DHT hash collision");
                 let postings = e.postings.clone();
                 let n = postings.len() as u64;
-                let bytes = hdk_ir::codec::encoded_len(&postings) as u64;
+                let bytes = postings.encoded_len() as u64;
                 (
                     Some(KeyLookup {
                         postings,
@@ -342,14 +361,59 @@ impl GlobalIndex {
     }
 
     /// Admits a new peer to the overlay, migrating the index entries it
-    /// becomes responsible for (metered as maintenance).
+    /// becomes responsible for (metered as maintenance, at the blocks'
+    /// actual stored sizes).
     pub fn add_peer(&mut self, peer: PeerId) -> hdk_p2p::MigrationStats {
         self.dht.add_peer(peer, |entry| {
             (
                 entry.postings.len() as u64,
-                hdk_ir::codec::encoded_len(&entry.postings) as u64,
+                entry.postings.encoded_len() as u64,
             )
         })
+    }
+
+    /// Total resident posting-storage bytes across the index: every
+    /// stored block plus every `df` doc-set, at their exact encoded
+    /// sizes (via the DHT's per-stripe accounting hook).
+    pub fn resident_posting_bytes(&self) -> u64 {
+        self.dht.resident_bytes(|e| {
+            e.postings.encoded_len() as u64
+                + e.seen_docs.as_ref().map_or(0, |s| s.encoded_len() as u64)
+        })
+    }
+
+    /// Per-peer resident storage composition — the memory-footprint
+    /// analogue of Figure 3's per-peer posting volumes. Swept
+    /// stripe-parallel; per-peer sums are order-independent.
+    pub fn storage_per_peer(&self) -> Vec<PeerStorage> {
+        let peers = self.dht.overlay().len();
+        let per_stripe: Vec<Vec<PeerStorage>> = (0..self.dht.num_stripes())
+            .into_par_iter()
+            .map(|stripe| {
+                let mut totals = vec![PeerStorage::default(); peers];
+                self.dht.for_each_stripe_owned(stripe, |owner, _, e| {
+                    let t = &mut totals[owner];
+                    t.postings += e.postings.len() as u64;
+                    t.posting_bytes += e.postings.encoded_len() as u64;
+                    if let Some(s) = &e.seen_docs {
+                        t.docset_docs += s.len() as u64;
+                        t.docset_bytes += s.encoded_len() as u64;
+                    }
+                });
+                totals
+            })
+            .collect();
+        per_stripe
+            .into_iter()
+            .fold(vec![PeerStorage::default(); peers], |mut acc, totals| {
+                for (a, t) in acc.iter_mut().zip(totals) {
+                    a.postings += t.postings;
+                    a.posting_bytes += t.posting_bytes;
+                    a.docset_docs += t.docset_docs;
+                    a.docset_bytes += t.docset_bytes;
+                }
+                acc
+            })
     }
 }
 
@@ -359,6 +423,35 @@ impl std::fmt::Debug for GlobalIndex {
             .field("dfmax", &self.dfmax)
             .field("dht", &self.dht)
             .finish()
+    }
+}
+
+/// One peer's resident index storage, in exact encoded bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStorage {
+    /// Stored postings (post-truncation), Figure 3's count.
+    pub postings: u64,
+    /// Bytes of the resident posting blocks.
+    pub posting_bytes: u64,
+    /// Documents tracked in `df` doc-sets (NDK entries only).
+    pub docset_docs: u64,
+    /// Bytes of the resident doc-sets.
+    pub docset_bytes: u64,
+}
+
+impl PeerStorage {
+    /// Everything this peer keeps resident for posting storage.
+    pub fn resident_bytes(&self) -> u64 {
+        self.posting_bytes + self.docset_bytes
+    }
+
+    /// What the same state would occupy decoded: a `Vec<Posting>` at
+    /// 12 B/posting plus 4 B per tracked document id — the representation
+    /// this refactor retired (hash-table overhead not even counted, so the
+    /// comparison is conservative).
+    pub fn decoded_baseline_bytes(&self) -> u64 {
+        self.postings * std::mem::size_of::<Posting>() as u64
+            + self.docset_docs * std::mem::size_of::<u32>() as u64
     }
 }
 

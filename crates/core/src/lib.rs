@@ -57,7 +57,7 @@ pub use cache::{CacheStats, QueryCache};
 pub use classify::{classify, KeyClass};
 pub use config::HdkConfig;
 pub use engine::{HdkNetwork, OverlayKind};
-pub use global_index::{GlobalIndex, IndexCounts, KeyEntry, KeyLookup};
+pub use global_index::{GlobalIndex, IndexCounts, KeyEntry, KeyLookup, PeerStorage};
 pub use key::{Key, MAX_KEY_SIZE};
 pub use local_indexer::LocalPeer;
 pub use naive::SingleTermNetwork;

@@ -26,6 +26,9 @@ use std::collections::HashMap;
 /// global average document length, both known to every peer (coarse
 /// collection statistics are cheap to disseminate and the paper assumes
 /// global df knowledge for ranking).
+///
+/// Each retrieved block is *streamed* through the scorer — the compressed
+/// form is decoded posting by posting, never materialized into a list.
 pub fn rank_union(
     fetched: &[(Key, KeyLookup)],
     num_docs: usize,
@@ -36,7 +39,7 @@ pub fn rank_union(
     let mut acc: HashMap<DocId, f64> = HashMap::new();
     for (_, lookup) in fetched {
         let df = lookup.df as usize;
-        for p in lookup.postings.postings() {
+        for p in lookup.postings.iter() {
             *acc.entry(p.doc).or_insert(0.0) +=
                 bm25.score(p.tf, p.doc_len, avg_doc_len, df, num_docs);
         }
@@ -56,7 +59,7 @@ mod tests {
 
     fn lookup(df: u32, docs: &[(u32, u32)]) -> KeyLookup {
         KeyLookup {
-            postings: PostingList::from_unsorted(
+            postings: hdk_ir::CompressedPostings::from_list(&PostingList::from_unsorted(
                 docs.iter()
                     .map(|&(d, tf)| Posting {
                         doc: DocId(d),
@@ -64,7 +67,7 @@ mod tests {
                         doc_len: 100,
                     })
                     .collect(),
-            ),
+            )),
             df,
             is_ndk: false,
         }

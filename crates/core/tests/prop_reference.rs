@@ -121,7 +121,7 @@ proptest! {
                     e.df <= true_df,
                     "{key:?}: engine df {} > true df {}", e.df, true_df
                 );
-                for p in e.postings.postings() {
+                for p in e.postings.iter() {
                     prop_assert!(
                         true_docs.contains(&p.doc.0),
                         "{key:?} stores doc {} that has no window co-occurrence",

@@ -1,56 +1,32 @@
-//! Posting-list wire format: delta + LEB128 varint encoding.
+//! Posting-list block format: delta + LEB128 varint encoding.
 //!
-//! The traffic meters in `hdk-p2p` count *postings* (the unit of the paper's
-//! analysis) and *bytes*. Bytes come from this codec: doc ids are
-//! gap-encoded (strictly ascending, so gaps are positive) and every integer
-//! is LEB128-varint encoded, the standard compression for document-ordered
-//! posting lists.
+//! One layout serves storage, wire and cache (see [`crate::compressed`],
+//! which owns the block type): `varint(count)` then, per posting,
+//! `varint(doc_gap) varint(tf) varint(doc_len)`; doc ids are gap-encoded
+//! (strictly ascending, so gaps are positive — the first gap is `doc_id +
+//! 1` so the encoding never emits a zero gap) and every integer is LEB128
+//! varint encoded, the standard compression for document-ordered posting
+//! lists.
+//!
+//! This module keeps the varint primitives plus the [`PostingList`]-level
+//! convenience wrappers; [`CompressedPostings`] is the resident form.
 
-use crate::posting::{Posting, PostingList};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use hdk_corpus::DocId;
+use crate::compressed::CompressedPostings;
+use crate::posting::PostingList;
+use bytes::Bytes;
 
-/// Encodes a posting list. Layout: `varint(len)` then, per posting,
-/// `varint(doc_gap) varint(tf) varint(doc_len)`; the first gap is
-/// `doc_id + 1` so the encoding never emits a zero gap.
+/// Encodes a posting list into its framed block.
 pub fn encode(list: &PostingList) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + list.len() * 5);
-    put_varint(&mut buf, list.len() as u64);
-    let mut prev: i64 = -1;
-    for p in list.postings() {
-        let gap = i64::from(p.doc.0) - prev;
-        debug_assert!(gap > 0);
-        put_varint(&mut buf, gap as u64);
-        put_varint(&mut buf, u64::from(p.tf));
-        put_varint(&mut buf, u64::from(p.doc_len));
-        prev = i64::from(p.doc.0);
-    }
-    buf.freeze()
+    CompressedPostings::from_list(list).into_bytes()
 }
 
 /// Decodes a posting list produced by [`encode`].
 ///
-/// Returns `None` on truncated or malformed input.
-pub fn decode(mut bytes: Bytes) -> Option<PostingList> {
-    let len = get_varint(&mut bytes)? as usize;
-    let mut postings = Vec::with_capacity(len.min(1 << 20));
-    let mut prev: i64 = -1;
-    for _ in 0..len {
-        let gap = get_varint(&mut bytes)? as i64;
-        if gap <= 0 {
-            return None;
-        }
-        let doc = prev + gap;
-        let tf = get_varint(&mut bytes)? as u32;
-        let doc_len = get_varint(&mut bytes)? as u32;
-        postings.push(Posting {
-            doc: DocId(u32::try_from(doc).ok()?),
-            tf,
-            doc_len,
-        });
-        prev = doc;
-    }
-    Some(PostingList::from_sorted(postings))
+/// Returns `None` on truncated or malformed input, *including* a
+/// well-formed block followed by trailing garbage: the buffer must be
+/// fully consumed.
+pub fn decode(bytes: Bytes) -> Option<PostingList> {
+    CompressedPostings::from_bytes(bytes).map(|c| c.decode())
 }
 
 /// Size in bytes of the encoded form without materializing it.
@@ -66,26 +42,30 @@ pub fn encoded_len(list: &PostingList) -> usize {
     n
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// Appends a LEB128 varint to `buf`.
+pub(crate) fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(bytes: &mut Bytes) -> Option<u64> {
+/// Reads a LEB128 varint from `buf` at `pos`, advancing it. Returns `None`
+/// on overrun or a shift past 64 bits.
+pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        if !bytes.has_remaining() || shift >= 64 {
+        if *pos >= buf.len() || shift >= 64 {
             return None;
         }
-        let byte = bytes.get_u8();
+        let byte = buf[*pos];
+        *pos += 1;
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return Some(v);
@@ -94,13 +74,16 @@ fn get_varint(bytes: &mut Bytes) -> Option<u64> {
     }
 }
 
-fn varint_len(v: u64) -> usize {
+/// Encoded size of one varint.
+pub(crate) fn varint_len(v: u64) -> usize {
     (64 - v.max(1).leading_zeros() as usize).div_ceil(7)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::posting::Posting;
+    use hdk_corpus::DocId;
 
     fn list(docs: &[(u32, u32)]) -> PostingList {
         PostingList::from_unsorted(
@@ -155,11 +138,24 @@ mod tests {
     }
 
     #[test]
+    fn trailing_garbage_is_rejected() {
+        // A well-formed block followed by junk must not decode: accepting
+        // it would let a corrupted or maliciously padded wire payload pass
+        // as valid.
+        let full = encode(&list(&[(1, 1), (2, 2)]));
+        for junk in [&[0x00][..], &[0x7f], &[0x80, 0x01], &[1, 2, 3]] {
+            let mut raw = full.as_ref().to_vec();
+            raw.extend_from_slice(junk);
+            assert!(decode(Bytes::from(raw)).is_none(), "junk {junk:?} passed");
+        }
+    }
+
+    #[test]
     fn garbage_length_is_rejected() {
         // Claims 1M postings but contains none.
-        let mut buf = BytesMut::new();
-        put_varint(&mut buf, 1_000_000);
-        assert!(decode(buf.freeze()).is_none());
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1_000_000);
+        assert!(decode(Bytes::from(buf)).is_none());
     }
 
     #[test]
@@ -170,5 +166,19 @@ mod tests {
         assert_eq!(varint_len(16383), 2);
         assert_eq!(varint_len(16384), 3);
         assert_eq!(varint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn varint_slice_roundtrip() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+        assert_eq!(read_varint(&buf, &mut pos), None);
     }
 }

@@ -1,0 +1,812 @@
+//! Compressed posting blocks — the *resident* posting format.
+//!
+//! [`CompressedPostings`] keeps a posting list as the delta + LEB128 varint
+//! block that also travels over the wire (`varint(count)` then per posting
+//! `varint(doc_gap) varint(tf) varint(doc_len)`, first gap `doc + 1`), plus
+//! a small skip header (count, max doc, byte length) held in struct fields
+//! so the common questions — `len()`, `max_doc()`, `encoded_len()` — never
+//! touch the block. The same bytes therefore serve storage, wire transfer
+//! and the query cache: cloning is an `Arc` bump on the underlying
+//! [`Bytes`], and a cache hit shares the block instead of copying postings.
+//!
+//! Mutation happens by *sorted streaming merge*: an incoming batch is
+//! merged gap-stream to gap-stream into a fresh block without ever
+//! materializing a `Vec<Posting>` ([`CompressedPostings::merge_counting`]),
+//! and NDK truncation re-encodes the surviving top-`k`
+//! ([`CompressedPostings::truncate_top_k`]). Both reproduce the semantics
+//! of [`PostingList::union`] / [`PostingList::truncate_top_k`] bit for bit.
+//!
+//! [`CompressedDocSet`] is the companion document-id set (same gap
+//! encoding, no payloads) that replaces hash-set bookkeeping where only
+//! membership matters — e.g. exact `df` counting after truncation.
+
+use crate::codec::{read_varint, varint_len, write_varint};
+use crate::posting::{Posting, PostingList};
+use bytes::Bytes;
+use hdk_corpus::DocId;
+
+/// A posting list stored as its framed varint-encoded block.
+///
+/// Invariants: the block is well-formed (validated on every untrusted
+/// construction path), documents are strictly ascending, and `count` /
+/// `max_doc` mirror the block contents.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CompressedPostings {
+    /// The framed block: `varint(count)` + per-posting triples. This is
+    /// byte-identical to what [`crate::codec::encode`] produces, so wire
+    /// payload size and resident size are the same number.
+    block: Bytes,
+    /// Number of postings (skip header).
+    count: u32,
+    /// Largest document id in the block; meaningful when `count > 0`.
+    max_doc: u32,
+}
+
+impl CompressedPostings {
+    /// An empty block (`varint(0)` only). All empties share one allocation
+    /// — this is the default value of every fresh DHT entry, so the insert
+    /// path creates no transient garbage per new key.
+    pub fn new() -> Self {
+        static EMPTY: std::sync::OnceLock<Bytes> = std::sync::OnceLock::new();
+        Self {
+            block: EMPTY
+                .get_or_init(|| BlockEncoder::new().finish().block)
+                .clone(),
+            count: 0,
+            max_doc: 0,
+        }
+    }
+
+    /// Encodes a decoded posting list.
+    pub fn from_list(list: &PostingList) -> Self {
+        let mut enc = BlockEncoder::with_capacity(list.len());
+        for &p in list.postings() {
+            enc.push(p);
+        }
+        enc.finish()
+    }
+
+    /// Validates and adopts an encoded block (e.g. received off the wire).
+    ///
+    /// Returns `None` unless the *entire* buffer is one well-formed block:
+    /// a decodable prefix followed by trailing garbage is rejected.
+    pub fn from_bytes(block: Bytes) -> Option<Self> {
+        let buf: &[u8] = &block;
+        let mut pos = 0usize;
+        let count = read_varint(buf, &mut pos)?;
+        let count = u32::try_from(count).ok()?;
+        let mut prev: i64 = -1;
+        for _ in 0..count {
+            let gap = read_varint(buf, &mut pos)?;
+            // Anything that cannot land on a u32 doc id is malformed; the
+            // bound check also keeps `prev + gap` inside i64 (a crafted
+            // near-u64::MAX gap must reject, not overflow).
+            if gap == 0 || gap > u64::from(u32::MAX) + 1 {
+                return None;
+            }
+            let doc = prev + gap as i64;
+            u32::try_from(doc).ok()?;
+            let _tf = u32::try_from(read_varint(buf, &mut pos)?).ok()?;
+            let _doc_len = u32::try_from(read_varint(buf, &mut pos)?).ok()?;
+            prev = doc;
+        }
+        if pos != buf.len() {
+            return None; // trailing garbage
+        }
+        Some(Self {
+            block,
+            count,
+            max_doc: if count > 0 { prev as u32 } else { 0 },
+        })
+    }
+
+    /// Number of postings — the stored document frequency. O(1).
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True when no document is listed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Largest document id, without decoding. O(1).
+    pub fn max_doc(&self) -> Option<DocId> {
+        (self.count > 0).then_some(DocId(self.max_doc))
+    }
+
+    /// Size of the block in bytes — simultaneously the resident storage
+    /// footprint and the wire payload size. O(1).
+    pub fn encoded_len(&self) -> usize {
+        self.block.len()
+    }
+
+    /// The encoded block (the exact wire payload; cloning is zero-copy).
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.block
+    }
+
+    /// Consumes into the encoded block.
+    pub fn into_bytes(self) -> Bytes {
+        self.block
+    }
+
+    /// Streaming decode: yields postings in ascending-doc order without
+    /// materializing the list.
+    pub fn iter(&self) -> BlockIter<'_> {
+        let buf: &[u8] = &self.block;
+        let mut pos = 0usize;
+        // The count varint was validated at construction.
+        let _ = read_varint(buf, &mut pos);
+        BlockIter {
+            buf,
+            pos,
+            remaining: self.count,
+            prev: -1,
+        }
+    }
+
+    /// Document ids only, ascending.
+    pub fn docs(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.iter().map(|p| p.doc)
+    }
+
+    /// Streaming membership scan with an O(1) `max_doc` early-out.
+    pub fn contains_doc(&self, doc: DocId) -> bool {
+        if self.count == 0 || doc.0 > self.max_doc {
+            return false;
+        }
+        for p in self.iter() {
+            if p.doc >= doc {
+                return p.doc == doc;
+            }
+        }
+        false
+    }
+
+    /// Fully materializes the block (tests, reference comparisons).
+    pub fn decode(&self) -> PostingList {
+        PostingList::from_sorted(self.iter().collect())
+    }
+
+    /// Sorted streaming merge of an incoming batch into a fresh block.
+    ///
+    /// Semantics match [`PostingList::union`]: on a common document the
+    /// `tf`s add (saturating) and the resident (left) `doc_len` wins. Also
+    /// returns how
+    /// many of `incoming`'s documents were *not* already present — exactly
+    /// the `df` increment when the resident list is complete.
+    pub fn merge_counting(&self, incoming: &CompressedPostings) -> (CompressedPostings, u32) {
+        if incoming.is_empty() {
+            return (self.clone(), 0);
+        }
+        if self.is_empty() {
+            return (incoming.clone(), incoming.count);
+        }
+        let mut enc = BlockEncoder::with_capacity(self.len() + incoming.len());
+        let mut new_docs = 0u32;
+        let mut a = self.iter().peekable();
+        let mut b = incoming.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&pa), Some(&pb)) => match pa.doc.cmp(&pb.doc) {
+                    std::cmp::Ordering::Less => {
+                        enc.push(pa);
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        enc.push(pb);
+                        new_docs += 1;
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        enc.push(Posting {
+                            doc: pa.doc,
+                            tf: pa.tf.saturating_add(pb.tf),
+                            doc_len: pa.doc_len,
+                        });
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(&pa), None) => {
+                    enc.push(pa);
+                    a.next();
+                }
+                (None, Some(&pb)) => {
+                    enc.push(pb);
+                    new_docs += 1;
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        (enc.finish(), new_docs)
+    }
+
+    /// Keeps the `k` highest-`quality` postings, re-encoded in doc order —
+    /// the semantics of [`PostingList::truncate_top_k`] (ties break towards
+    /// smaller doc ids; result re-sorted by doc).
+    pub fn truncate_top_k<F: Fn(&Posting) -> f64>(&self, k: usize, quality: F) -> Self {
+        if self.len() <= k {
+            return self.clone();
+        }
+        let mut scored: Vec<(f64, Posting)> = self.iter().map(|p| (quality(&p), p)).collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("quality scores are finite")
+                .then(a.1.doc.cmp(&b.1.doc))
+        });
+        scored.truncate(k);
+        let mut kept: Vec<Posting> = scored.into_iter().map(|(_, p)| p).collect();
+        kept.sort_unstable_by_key(|p| p.doc);
+        let mut enc = BlockEncoder::with_capacity(kept.len());
+        for p in kept {
+            enc.push(p);
+        }
+        enc.finish()
+    }
+}
+
+impl Default for CompressedPostings {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CompressedPostings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressedPostings")
+            .field("count", &self.count)
+            .field("bytes", &self.block.len())
+            .finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a CompressedPostings {
+    type Item = Posting;
+    type IntoIter = BlockIter<'a>;
+    fn into_iter(self) -> BlockIter<'a> {
+        self.iter()
+    }
+}
+
+/// Streaming decoder over a validated block.
+pub struct BlockIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    prev: i64,
+}
+
+impl Iterator for BlockIter<'_> {
+    type Item = Posting;
+
+    fn next(&mut self) -> Option<Posting> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // The block was validated when constructed, so the reads succeed.
+        let gap = read_varint(self.buf, &mut self.pos)? as i64;
+        let doc = self.prev + gap;
+        self.prev = doc;
+        let tf = read_varint(self.buf, &mut self.pos)? as u32;
+        let doc_len = read_varint(self.buf, &mut self.pos)? as u32;
+        Some(Posting {
+            doc: DocId(doc as u32),
+            tf,
+            doc_len,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for BlockIter<'_> {}
+
+/// Frames a finished body into a block: `varint(count)` then the body
+/// bytes — the one place that knows the header layout.
+fn frame_block(count: u32, body: &[u8]) -> Bytes {
+    let mut block = Vec::with_capacity(varint_len(u64::from(count)) + body.len());
+    write_varint(&mut block, u64::from(count));
+    block.extend_from_slice(body);
+    Bytes::from(block)
+}
+
+/// Incremental block writer (body buffered, header prepended on finish).
+struct BlockEncoder {
+    body: Vec<u8>,
+    count: u32,
+    prev: i64,
+}
+
+impl BlockEncoder {
+    fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    fn with_capacity(postings: usize) -> Self {
+        Self {
+            body: Vec::with_capacity(postings * 4),
+            count: 0,
+            prev: -1,
+        }
+    }
+
+    fn push(&mut self, p: Posting) {
+        let gap = i64::from(p.doc.0) - self.prev;
+        debug_assert!(gap > 0, "postings must arrive strictly doc-ascending");
+        write_varint(&mut self.body, gap as u64);
+        write_varint(&mut self.body, u64::from(p.tf));
+        write_varint(&mut self.body, u64::from(p.doc_len));
+        self.prev = i64::from(p.doc.0);
+        self.count += 1;
+    }
+
+    fn finish(self) -> CompressedPostings {
+        CompressedPostings {
+            block: frame_block(self.count, &self.body),
+            count: self.count,
+            max_doc: if self.count > 0 { self.prev as u32 } else { 0 },
+        }
+    }
+}
+
+/// A compressed set of document ids: `varint(count)` then ascending gaps
+/// (first gap `doc + 1`). The storage-side replacement for per-key
+/// `HashSet<u32>` bookkeeping — ~1–2 bytes per document instead of 4 plus
+/// hash-table overhead — supporting exact incremental `df` counting via
+/// [`CompressedDocSet::merge_count_new`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct CompressedDocSet {
+    block: Bytes,
+    count: u32,
+    max_doc: u32,
+}
+
+/// Incremental gap writer for doc-sets — the one place that encodes the
+/// set's gap stream, shared by every construction/merge path.
+struct GapEncoder {
+    body: Vec<u8>,
+    count: u32,
+    prev: i64,
+}
+
+impl GapEncoder {
+    fn with_capacity(bytes: usize) -> Self {
+        Self {
+            body: Vec::with_capacity(bytes),
+            count: 0,
+            prev: -1,
+        }
+    }
+
+    /// Resumes a gap stream after `count` docs ending at `max_doc` (the
+    /// append fast path: `body` already holds their encoded gaps).
+    fn resume(body: Vec<u8>, count: u32, max_doc: u32) -> Self {
+        Self {
+            body,
+            count,
+            prev: if count > 0 { i64::from(max_doc) } else { -1 },
+        }
+    }
+
+    fn push(&mut self, doc: DocId) {
+        let gap = i64::from(doc.0) - self.prev;
+        debug_assert!(gap > 0, "doc ids must arrive strictly ascending");
+        write_varint(&mut self.body, gap as u64);
+        self.prev = i64::from(doc.0);
+        self.count += 1;
+    }
+
+    fn finish(self) -> CompressedDocSet {
+        CompressedDocSet {
+            block: frame_block(self.count, &self.body),
+            count: self.count,
+            max_doc: if self.count > 0 { self.prev as u32 } else { 0 },
+        }
+    }
+}
+
+impl CompressedDocSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        GapEncoder::with_capacity(0).finish()
+    }
+
+    /// Builds from strictly-ascending document ids.
+    pub fn from_sorted_docs<I: IntoIterator<Item = DocId>>(docs: I) -> Self {
+        let mut enc = GapEncoder::with_capacity(0);
+        for d in docs {
+            enc.push(d);
+        }
+        enc.finish()
+    }
+
+    /// The documents of a posting block (streaming, no materialization).
+    pub fn from_postings(postings: &CompressedPostings) -> Self {
+        let mut enc = GapEncoder::with_capacity(postings.len() * 2);
+        for d in postings.docs() {
+            enc.push(d);
+        }
+        enc.finish()
+    }
+
+    /// Number of documents in the set. O(1).
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Resident bytes of the set. O(1).
+    pub fn encoded_len(&self) -> usize {
+        self.block.len()
+    }
+
+    /// Streaming iteration, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = DocId> + '_ {
+        let buf: &[u8] = &self.block;
+        let mut pos = 0usize;
+        let _ = read_varint(buf, &mut pos);
+        DocSetIter {
+            buf,
+            pos,
+            remaining: self.count,
+            prev: -1,
+        }
+    }
+
+    /// Streaming membership with `max_doc` early-out.
+    pub fn contains(&self, doc: DocId) -> bool {
+        if self.count == 0 || doc.0 > self.max_doc {
+            return false;
+        }
+        for d in self.iter() {
+            if d >= doc {
+                return d == doc;
+            }
+        }
+        false
+    }
+
+    /// Merges a strictly-ascending batch of document ids into the set and
+    /// returns how many were new — the exact `df` increment.
+    ///
+    /// Cost is kept proportional to the work actually required: a batch of
+    /// re-announced documents (nothing new) costs one counting scan that
+    /// stops as soon as the batch is classified; a batch strictly beyond
+    /// `max_doc` appends by copying the body bytes (no varint re-coding);
+    /// only an interleaved batch pays the full merge re-encode.
+    pub fn merge_count_new<I: IntoIterator<Item = DocId>>(&mut self, batch: I) -> u32 {
+        let batch: Vec<DocId> = batch.into_iter().collect();
+        debug_assert!(
+            batch.windows(2).all(|w| w[0] < w[1]),
+            "batch doc ids must be strictly ascending"
+        );
+        let Some(&batch_min) = batch.first() else {
+            return 0;
+        };
+        // Append fast path: everything in the batch is beyond the block,
+        // so the existing gap stream is reusable as-is (byte copy, no
+        // re-coding).
+        if self.count == 0 || batch_min.0 > self.max_doc {
+            let header = varint_len(u64::from(self.count));
+            let mut enc =
+                GapEncoder::resume(self.block[header..].to_vec(), self.count, self.max_doc);
+            for &d in &batch {
+                enc.push(d);
+            }
+            *self = enc.finish();
+            return batch.len() as u32;
+        }
+        // Counting scan, terminating once every batch doc is classified.
+        let mut new_docs = 0u32;
+        let mut bi = 0usize;
+        for d in self.iter() {
+            while bi < batch.len() && batch[bi] < d {
+                new_docs += 1;
+                bi += 1;
+            }
+            if bi == batch.len() {
+                break;
+            }
+            if batch[bi] == d {
+                bi += 1;
+            }
+        }
+        new_docs += (batch.len() - bi) as u32;
+        if new_docs == 0 {
+            return 0; // pure re-announcement: the block already covers it
+        }
+        // Full merge re-encode.
+        let mut enc = GapEncoder::with_capacity(self.block.len() + batch.len() * 2);
+        {
+            let mut a = self.iter().peekable();
+            let mut b = batch.iter().copied().peekable();
+            loop {
+                match (a.peek(), b.peek()) {
+                    (Some(&da), Some(&db)) => match da.cmp(&db) {
+                        std::cmp::Ordering::Less => {
+                            enc.push(da);
+                            a.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            enc.push(db);
+                            b.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            enc.push(da);
+                            a.next();
+                            b.next();
+                        }
+                    },
+                    (Some(&da), None) => {
+                        enc.push(da);
+                        a.next();
+                    }
+                    (None, Some(&db)) => {
+                        enc.push(db);
+                        b.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        *self = enc.finish();
+        new_docs
+    }
+}
+
+impl Default for CompressedDocSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CompressedDocSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressedDocSet")
+            .field("count", &self.count)
+            .field("bytes", &self.block.len())
+            .finish()
+    }
+}
+
+struct DocSetIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    prev: i64,
+}
+
+impl Iterator for DocSetIter<'_> {
+    type Item = DocId;
+
+    fn next(&mut self) -> Option<DocId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let gap = read_varint(self.buf, &mut self.pos)? as i64;
+        self.prev += gap;
+        Some(DocId(self.prev as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(doc: u32, tf: u32) -> Posting {
+        Posting {
+            doc: DocId(doc),
+            tf,
+            doc_len: 100 + doc % 50,
+        }
+    }
+
+    fn list(docs: &[(u32, u32)]) -> PostingList {
+        PostingList::from_unsorted(docs.iter().map(|&(d, tf)| p(d, tf)).collect())
+    }
+
+    #[test]
+    fn roundtrip_matches_reference() {
+        let l = list(&[(0, 1), (7, 3), (128, 2), (70_000, 9)]);
+        let c = CompressedPostings::from_list(&l);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.max_doc(), Some(DocId(70_000)));
+        assert_eq!(c.decode(), l);
+        assert_eq!(c.iter().collect::<Vec<_>>(), l.postings());
+    }
+
+    #[test]
+    fn block_matches_codec_wire_format() {
+        let l = list(&[(3, 1), (90, 5), (4_000, 2)]);
+        let c = CompressedPostings::from_list(&l);
+        assert_eq!(c.as_bytes().as_ref(), crate::codec::encode(&l).as_ref());
+        assert_eq!(c.encoded_len(), crate::codec::encoded_len(&l));
+    }
+
+    #[test]
+    fn empty_block() {
+        let c = CompressedPostings::new();
+        assert!(c.is_empty());
+        assert_eq!(c.max_doc(), None);
+        assert_eq!(c.encoded_len(), 1);
+        assert_eq!(c.decode(), PostingList::new());
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing_garbage() {
+        let c = CompressedPostings::from_list(&list(&[(1, 1), (2, 2)]));
+        let mut raw = c.as_bytes().as_ref().to_vec();
+        assert!(CompressedPostings::from_bytes(Bytes::from(raw.clone())).is_some());
+        raw.push(0x7f);
+        assert!(CompressedPostings::from_bytes(Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let c = CompressedPostings::from_list(&list(&[(1, 1), (300, 2), (500, 3)]));
+        let raw = c.as_bytes().clone();
+        for cut in 0..raw.len() {
+            assert!(
+                CompressedPostings::from_bytes(raw.slice(..cut)).is_none(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_counting_matches_union() {
+        let a = list(&[(1, 2), (5, 1), (9, 4)]);
+        let b = list(&[(2, 1), (5, 3), (11, 2)]);
+        let (merged, new_docs) =
+            CompressedPostings::from_list(&a).merge_counting(&CompressedPostings::from_list(&b));
+        assert_eq!(merged.decode(), a.union(&b));
+        assert_eq!(new_docs, 2, "docs 2 and 11 are new");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_counts() {
+        let a = CompressedPostings::from_list(&list(&[(3, 1), (8, 2)]));
+        let (m1, n1) = a.merge_counting(&CompressedPostings::new());
+        assert_eq!(m1, a);
+        assert_eq!(n1, 0);
+        let (m2, n2) = CompressedPostings::new().merge_counting(&a);
+        assert_eq!(m2, a);
+        assert_eq!(n2, 2);
+    }
+
+    #[test]
+    fn truncate_matches_postinglist_reference() {
+        let l = list(&[(1, 1), (2, 9), (3, 5), (4, 9), (5, 2)]);
+        let q = |p: &Posting| f64::from(p.tf) / (f64::from(p.tf) + 1.2);
+        let c = CompressedPostings::from_list(&l).truncate_top_k(3, q);
+        assert_eq!(c.decode(), l.truncate_top_k(3, q));
+    }
+
+    #[test]
+    fn truncate_noop_when_short_shares_block() {
+        let c = CompressedPostings::from_list(&list(&[(1, 1)]));
+        let t = c.truncate_top_k(5, |p| f64::from(p.tf));
+        assert_eq!(t, c);
+    }
+
+    #[test]
+    fn contains_doc_scans_with_early_out() {
+        let c = CompressedPostings::from_list(&list(&[(2, 1), (40, 1), (900, 1)]));
+        assert!(c.contains_doc(DocId(2)));
+        assert!(c.contains_doc(DocId(900)));
+        assert!(!c.contains_doc(DocId(3)));
+        assert!(!c.contains_doc(DocId(901)), "beyond max_doc");
+    }
+
+    #[test]
+    fn u32_max_doc_roundtrips() {
+        let l = PostingList::from_sorted(vec![
+            Posting {
+                doc: DocId(0),
+                tf: u32::MAX,
+                doc_len: u32::MAX,
+            },
+            Posting {
+                doc: DocId(u32::MAX),
+                tf: 1,
+                doc_len: 1,
+            },
+        ]);
+        let c = CompressedPostings::from_list(&l);
+        assert_eq!(c.decode(), l);
+        assert_eq!(c.max_doc(), Some(DocId(u32::MAX)));
+        assert_eq!(
+            CompressedPostings::from_bytes(c.as_bytes().clone()).unwrap(),
+            c
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_overflowing_gap() {
+        // count=2; first posting valid (doc 1); second gap = i64::MAX —
+        // `prev + gap` must reject via the bound check, not overflow.
+        let raw: Vec<u8> = vec![
+            0x02, // count
+            0x02, 0x01, 0x01, // doc 1, tf 1, doc_len 1
+            0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, // gap 2^63-1
+            0x01, 0x01, // tf, doc_len
+        ];
+        assert!(CompressedPostings::from_bytes(Bytes::from(raw)).is_none());
+        // Largest legitimate gap: doc 0 -> doc u32::MAX is u32::MAX exactly;
+        // a single posting at u32::MAX uses gap u32::MAX + 1.
+        let l = PostingList::from_sorted(vec![p(u32::MAX, 1)]);
+        let c = CompressedPostings::from_list(&l);
+        assert_eq!(
+            CompressedPostings::from_bytes(c.as_bytes().clone()).unwrap(),
+            c
+        );
+    }
+
+    #[test]
+    fn docset_merge_counts_new_docs_exactly() {
+        let mut s = CompressedDocSet::from_sorted_docs([1, 4, 9].map(DocId));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.merge_count_new([0, 4, 10].map(DocId)), 2);
+        assert_eq!(s.len(), 5);
+        assert_eq!(
+            s.iter().map(|d| d.0).collect::<Vec<_>>(),
+            vec![0, 1, 4, 9, 10]
+        );
+        // Re-announcing known docs adds nothing.
+        assert_eq!(s.merge_count_new([0, 1, 9].map(DocId)), 0);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn docset_append_fast_path_matches_full_merge() {
+        // A batch strictly beyond max_doc takes the byte-copy append path;
+        // the resulting encoding must equal the canonical full re-encode.
+        let mut fast = CompressedDocSet::from_sorted_docs([1, 4, 9].map(DocId));
+        assert_eq!(fast.merge_count_new([10, 300].map(DocId)), 2);
+        let canonical = CompressedDocSet::from_sorted_docs([1, 4, 9, 10, 300].map(DocId));
+        assert_eq!(fast, canonical);
+        assert_eq!(fast.encoded_len(), canonical.encoded_len());
+        // Appending into an empty set works too.
+        let mut empty = CompressedDocSet::new();
+        assert_eq!(empty.merge_count_new([0, 7].map(DocId)), 2);
+        assert_eq!(empty, CompressedDocSet::from_sorted_docs([0, 7].map(DocId)));
+    }
+
+    #[test]
+    fn docset_pure_reannouncement_skips_reencode() {
+        let mut s = CompressedDocSet::from_sorted_docs([2, 5, 8, 11].map(DocId));
+        let before = s.clone();
+        assert_eq!(s.merge_count_new([2, 8].map(DocId)), 0);
+        assert_eq!(s, before, "no-new merge must leave the set unchanged");
+        assert_eq!(s.merge_count_new(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn docset_contains() {
+        let s = CompressedDocSet::from_sorted_docs([5, 6, 1000].map(DocId));
+        assert!(s.contains(DocId(5)));
+        assert!(s.contains(DocId(1000)));
+        assert!(!s.contains(DocId(7)));
+        assert!(!s.contains(DocId(1001)));
+        assert!(!CompressedDocSet::new().contains(DocId(0)));
+    }
+
+    #[test]
+    fn docset_from_postings_matches_docs() {
+        let c = CompressedPostings::from_list(&list(&[(3, 2), (77, 1), (300, 4)]));
+        let s = CompressedDocSet::from_postings(&c);
+        assert_eq!(s.iter().collect::<Vec<_>>(), c.docs().collect::<Vec<_>>());
+        assert!(s.encoded_len() < c.encoded_len());
+    }
+}

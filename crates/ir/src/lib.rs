@@ -6,8 +6,11 @@
 //! that comparator, built from scratch:
 //!
 //! * [`posting`] — postings and sorted posting lists,
-//! * [`codec`] — delta + varint posting-list compression (what travels over
-//!   the simulated wire in `hdk-p2p`),
+//! * [`codec`] — delta + varint block primitives (one layout for wire *and*
+//!   storage),
+//! * [`compressed`] — [`CompressedPostings`]/[`CompressedDocSet`], the
+//!   resident posting format: the encoded block plus a skip header, decoded
+//!   lazily by streaming iteration and never duplicated,
 //! * [`index`] — a single-term inverted index with document statistics,
 //! * [`bm25`] — the Okapi BM25 weighting scheme,
 //! * [`ranker`] — deterministic top-k selection,
@@ -16,6 +19,7 @@
 
 pub mod bm25;
 pub mod codec;
+pub mod compressed;
 pub mod engine;
 pub mod index;
 pub mod overlap;
@@ -23,6 +27,7 @@ pub mod posting;
 pub mod ranker;
 
 pub use bm25::Bm25;
+pub use compressed::{CompressedDocSet, CompressedPostings};
 pub use engine::CentralizedEngine;
 pub use index::InvertedIndex;
 pub use overlap::top_k_overlap;

@@ -34,13 +34,13 @@ impl PostingList {
     }
 
     /// Builds from possibly unsorted postings; duplicates (same doc) merge
-    /// by summing `tf` and keeping the first `doc_len`.
+    /// by summing `tf` (saturating) and keeping the first `doc_len`.
     pub fn from_unsorted(mut postings: Vec<Posting>) -> Self {
         postings.sort_unstable_by_key(|p| p.doc);
         let mut out: Vec<Posting> = Vec::with_capacity(postings.len());
         for p in postings {
             match out.last_mut() {
-                Some(last) if last.doc == p.doc => last.tf += p.tf,
+                Some(last) if last.doc == p.doc => last.tf = last.tf.saturating_add(p.tf),
                 _ => out.push(p),
             }
         }
@@ -82,10 +82,10 @@ impl PostingList {
         &self.postings
     }
 
-    /// Set-union with another list; on common documents, `tf`s add (the
-    /// lists describe the same feature observed on different peers, whose
-    /// document sets are disjoint in the paper's setting, but the merge is
-    /// total anyway).
+    /// Set-union with another list; on common documents, `tf`s add,
+    /// saturating (the lists describe the same feature observed on
+    /// different peers, whose document sets are disjoint in the paper's
+    /// setting, but the merge is total anyway).
     pub fn union(&self, other: &PostingList) -> PostingList {
         let (a, b) = (&self.postings, &other.postings);
         let mut out = Vec::with_capacity(a.len() + b.len());
@@ -103,7 +103,7 @@ impl PostingList {
                 std::cmp::Ordering::Equal => {
                     out.push(Posting {
                         doc: a[i].doc,
-                        tf: a[i].tf + b[j].tf,
+                        tf: a[i].tf.saturating_add(b[j].tf),
                         doc_len: a[i].doc_len,
                     });
                     i += 1;

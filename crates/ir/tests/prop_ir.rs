@@ -1,9 +1,13 @@
-//! Property tests for the IR substrate: codec round-trips, posting-list
+//! Property tests for the IR substrate: codec round-trips, compressed
+//! block algebra vs the `PostingList` reference model, posting-list
 //! algebra, and top-k selection.
 
 use hdk_corpus::DocId;
-use hdk_ir::{codec, top_k, Posting, PostingList, SearchResult};
+use hdk_ir::{
+    codec, top_k, CompressedDocSet, CompressedPostings, Posting, PostingList, SearchResult,
+};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn arb_posting_list() -> impl Strategy<Value = PostingList> {
     prop::collection::btree_map(0u32..5_000, (1u32..100, 1u32..2_000), 0..200).prop_map(|m| {
@@ -19,6 +23,22 @@ fn arb_posting_list() -> impl Strategy<Value = PostingList> {
     })
 }
 
+/// Like [`arb_posting_list`] but sometimes appends a posting at
+/// `doc = u32::MAX` with saturated `tf`/`doc_len` — the integer extremes
+/// the varint block must carry losslessly.
+fn arb_extreme_posting_list() -> impl Strategy<Value = PostingList> {
+    (arb_posting_list(), any::<bool>()).prop_map(|(mut list, extreme)| {
+        if extreme {
+            list.push(Posting {
+                doc: DocId(u32::MAX),
+                tf: u32::MAX,
+                doc_len: u32::MAX,
+            });
+        }
+        list
+    })
+}
+
 proptest! {
     #[test]
     fn codec_roundtrip(list in arb_posting_list()) {
@@ -26,6 +46,90 @@ proptest! {
         prop_assert_eq!(encoded.len(), codec::encoded_len(&list));
         let decoded = codec::decode(encoded).expect("well-formed");
         prop_assert_eq!(decoded, list);
+    }
+
+    #[test]
+    fn compressed_roundtrip_with_extremes(list in arb_extreme_posting_list()) {
+        let c = CompressedPostings::from_list(&list);
+        prop_assert_eq!(c.len(), list.len());
+        prop_assert_eq!(c.decode(), list.clone());
+        prop_assert_eq!(c.encoded_len(), codec::encoded_len(&list));
+        prop_assert_eq!(c.max_doc(), list.postings().last().map(|p| p.doc));
+        // The block survives a wire trip through the validating path.
+        let revived = CompressedPostings::from_bytes(c.as_bytes().clone())
+            .expect("own block must validate");
+        prop_assert_eq!(revived, c);
+    }
+
+    #[test]
+    fn merge_sequence_with_truncation_matches_reference(
+        batches in prop::collection::vec(arb_extreme_posting_list(), 0..6),
+        k in 1usize..40,
+    ) {
+        // Fold a random insert sequence through the compressed path and
+        // the decoded reference model side by side, truncating after each
+        // merge like an NDK entry does; state and df increments must agree
+        // at every step.
+        let quality = |p: &Posting| f64::from(p.tf) / (f64::from(p.tf) + 1.2);
+        let mut block = CompressedPostings::new();
+        let mut reference = PostingList::new();
+        for batch in &batches {
+            let incoming = CompressedPostings::from_list(batch);
+            let (merged, new_docs) = block.merge_counting(&incoming);
+            let expected_new = batch
+                .docs()
+                .filter(|&d| !reference.contains_doc(d))
+                .count() as u32;
+            prop_assert_eq!(new_docs, expected_new);
+            block = merged.truncate_top_k(k, quality);
+            reference = reference.union(batch).truncate_top_k(k, quality);
+            prop_assert_eq!(block.decode(), reference.clone());
+        }
+    }
+
+    #[test]
+    fn docset_counts_like_a_set(
+        batches in prop::collection::vec(
+            prop::collection::btree_map(0u32..2_000, Just(()), 0..60),
+            0..6,
+        ),
+    ) {
+        let mut set = CompressedDocSet::new();
+        let mut reference: BTreeSet<u32> = BTreeSet::new();
+        for batch in &batches {
+            let docs: Vec<DocId> = batch.keys().map(|&d| DocId(d)).collect();
+            let new = set.merge_count_new(docs.iter().copied());
+            let expected = docs.iter().filter(|d| reference.insert(d.0)).count() as u32;
+            prop_assert_eq!(new, expected);
+            prop_assert_eq!(set.len(), reference.len());
+        }
+        let all: Vec<u32> = set.iter().map(|d| d.0).collect();
+        let expected: Vec<u32> = reference.iter().copied().collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn malformed_blocks_never_panic(raw in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Arbitrary bytes either fail validation or yield a block whose
+        // header agrees with a full decode; nothing panics either way.
+        if let Some(c) = CompressedPostings::from_bytes(bytes::Bytes::from(raw.clone())) {
+            prop_assert_eq!(c.decode().len(), c.len());
+        }
+        let _ = codec::decode(bytes::Bytes::from(raw));
+    }
+
+    #[test]
+    fn prefix_plus_garbage_is_rejected(
+        list in arb_posting_list(),
+        junk in prop::collection::vec(any::<u8>(), 1..20),
+    ) {
+        let mut raw = codec::encode(&list).as_ref().to_vec();
+        raw.extend_from_slice(&junk);
+        prop_assert!(
+            CompressedPostings::from_bytes(bytes::Bytes::from(raw.clone())).is_none(),
+            "trailing garbage accepted"
+        );
+        prop_assert!(codec::decode(bytes::Bytes::from(raw)).is_none());
     }
 
     #[test]

@@ -163,19 +163,21 @@ impl<V> Dht<V> {
         read(map.get(&key.0))
     }
 
-    /// Iterates one peer's logical index fraction under stripe locks,
-    /// without metering (local storage inspection, e.g. Figure 3's
-    /// stored-postings count). Scans every stripe and filters by ownership;
-    /// prefer [`Dht::for_each_stripe`] for whole-index sweeps.
-    pub fn for_each_local<F: FnMut(&u64, &V)>(&self, peer_index: usize, mut f: F) {
-        for stripe in &self.stripes {
-            let map = stripe.read();
-            for (k, v) in map.iter() {
-                if self.owner_index(KeyHash(*k)) == peer_index {
-                    f(k, v);
-                }
-            }
-        }
+    /// Resident bytes of one stripe's values, under its read lock.
+    /// `measure` reports each value's storage footprint — for compressed
+    /// posting blocks that is the encoded size, so storage accounting and
+    /// the wire byte meters speak the same unit.
+    pub fn stripe_resident_bytes(&self, stripe: usize, measure: impl Fn(&V) -> u64) -> u64 {
+        let map = self.stripes[stripe].read();
+        map.values().map(measure).sum()
+    }
+
+    /// Total resident bytes across all stripes (storage accounting, not
+    /// traffic — nothing is metered).
+    pub fn resident_bytes(&self, measure: impl Fn(&V) -> u64) -> u64 {
+        (0..NUM_STRIPES)
+            .map(|s| self.stripe_resident_bytes(s, &measure))
+            .sum()
     }
 
     /// Iterates one stripe under its read lock. The backbone of
@@ -334,36 +336,30 @@ mod tests {
     }
 
     #[test]
-    fn local_and_stripe_iteration_agree() {
+    fn resident_bytes_sums_measure_over_all_values() {
         let dht = dht_pgrid(8);
         for i in 0..300u64 {
             let key = KeyHash(hash_u64s(&[i, 3]));
             dht.upsert(PeerId(i % 8), key, 1, 4, Vec::new, |v| v.push(i as u32));
         }
-        // Per-peer iteration covers exactly the keys stripe iteration
-        // attributes to that peer.
-        let mut by_local = vec![0usize; 8];
-        for (p, count) in by_local.iter_mut().enumerate() {
-            dht.for_each_local(p, |_, _| *count += 1);
-        }
-        let mut by_stripe = vec![0usize; 8];
-        for s in 0..dht.num_stripes() {
-            dht.for_each_stripe_owned(s, |owner, _, _| by_stripe[owner] += 1);
-        }
-        assert_eq!(by_local, by_stripe);
-        assert_eq!(by_local.iter().sum::<usize>(), 300);
+        // Each value is a Vec with one element; measure 4 bytes per entry.
+        let total = dht.resident_bytes(|v| 4 * v.len() as u64);
+        assert_eq!(total, 4 * 300);
+        // Per-stripe accounting covers every stripe exactly once.
+        let by_stripe: u64 = (0..dht.num_stripes())
+            .map(|s| dht.stripe_resident_bytes(s, |v| 4 * v.len() as u64))
+            .sum();
+        assert_eq!(by_stripe, total);
     }
 
     #[test]
-    fn peek_and_for_each_local_do_not_meter() {
+    fn peek_and_storage_accounting_do_not_meter() {
         let dht = dht_pgrid(4);
         let key = KeyHash(hash_u64s(&[3]));
         dht.upsert(PeerId(0), key, 1, 4, Vec::new, |v| v.push(5));
         let before = dht.snapshot();
         dht.peek(key, |v| assert!(v.is_some()));
-        for p in 0..4 {
-            dht.for_each_local(p, |_, _| {});
-        }
+        dht.resident_bytes(|v| v.len() as u64);
         for s in 0..dht.num_stripes() {
             dht.for_each_stripe(s, |_, _| {});
             dht.for_each_stripe_owned(s, |_, _, _| {});

@@ -1,0 +1,8 @@
+//! Regenerates the golden snapshot: `cargo run --release --example
+//! golden_dump > tests/golden/report.txt`. See [`p2p_hdk::golden`].
+
+fn main() {
+    for line in p2p_hdk::golden::golden_report_lines() {
+        println!("{line}");
+    }
+}

@@ -42,6 +42,8 @@
 //! assert!(overlap >= 0.0);
 //! ```
 
+pub mod golden;
+
 pub use hdk_core as core;
 pub use hdk_corpus as corpus;
 pub use hdk_ir as ir;

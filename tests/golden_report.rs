@@ -1,0 +1,52 @@
+//! Behavior-preservation golden test for the compressed-posting storage
+//! refactor, plus the memory-footprint acceptance bound.
+//!
+//! The snapshot in `tests/golden/report.txt` was produced by the
+//! *pre-refactor* implementation (decoded `Vec<Posting>` storage, side
+//! re-encoding for byte meters). The storage rework must reproduce every
+//! line — `BuildReport` fields, full traffic counters including payload
+//! bytes, and per-query top-k down to the f64 score bits.
+
+use p2p_hdk::golden::{golden_collection, golden_network, golden_report_lines};
+
+#[test]
+fn report_matches_pre_refactor_snapshot() {
+    let expected: Vec<&str> = include_str!("golden/report.txt").lines().collect();
+    let actual = golden_report_lines();
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "line count diverged from golden snapshot"
+    );
+    for (i, (a, e)) in actual.iter().zip(&expected).enumerate() {
+        assert_eq!(a, e, "golden line {} diverged", i + 1);
+    }
+}
+
+#[test]
+fn resident_storage_beats_decoded_baseline_3x() {
+    let network = golden_network(&golden_collection());
+    let storage = network.index().storage_per_peer();
+    assert_eq!(storage.len(), 8);
+    let mut resident = 0u64;
+    let mut baseline = 0u64;
+    for (peer, s) in storage.iter().enumerate() {
+        assert!(s.postings > 0, "peer {peer} stores nothing");
+        assert!(
+            s.resident_bytes() * 3 <= s.decoded_baseline_bytes(),
+            "peer {peer}: resident {} bytes vs decoded baseline {} — ratio below 3x",
+            s.resident_bytes(),
+            s.decoded_baseline_bytes()
+        );
+        resident += s.resident_bytes();
+        baseline += s.decoded_baseline_bytes();
+    }
+    let ratio = baseline as f64 / resident as f64;
+    assert!(ratio >= 3.0, "aggregate improvement {ratio:.2}x < 3x");
+    // The DHT-level accounting hook agrees with the per-peer sweep.
+    assert_eq!(network.index().resident_posting_bytes(), resident);
+    // Stored posting counts are unchanged by the accounting path.
+    let per_peer: u64 = network.index().stored_postings_per_peer().iter().sum();
+    let counted: u64 = storage.iter().map(|s| s.postings).sum();
+    assert_eq!(per_peer, counted);
+}

@@ -110,6 +110,76 @@ fn one_thread_and_many_threads_are_bit_identical() {
 }
 
 #[test]
+fn churn_interleaved_with_queries_is_thread_invariant() {
+    // Peer joins interleaved with (internally parallel) query batches must
+    // produce bit-identical reports, traffic and top-k whatever
+    // `RAYON_NUM_THREADS` says — the churn-determinism contract from the
+    // ROADMAP. Queries run between every join so the lattice walks observe
+    // each intermediate index state.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = collection(909);
+    let log = QueryLog::generate(
+        &c,
+        &QueryLogConfig {
+            num_queries: 24,
+            ..QueryLogConfig::default()
+        },
+    );
+    let run = || {
+        let mut network = HdkNetwork::build(
+            &c.prefix(400),
+            &partition_documents(400, 6, 13),
+            HdkConfig {
+                dfmax: 14,
+                ff: u64::MAX,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        let mut topk: Vec<Vec<SearchResult>> = Vec::new();
+        let mut migrations = Vec::new();
+        for (round, join_at) in [(0u64, 400usize), (1, 520), (2, 640)] {
+            let ids: Vec<PeerId> = network.peers().iter().map(|p| p.id).collect();
+            let batch: Vec<(PeerId, &[TermId])> = log
+                .queries
+                .iter()
+                .map(|q| (ids[q.id as usize % ids.len()], q.terms.as_slice()))
+                .collect();
+            topk.extend(
+                network
+                    .query_batch(&batch, 20)
+                    .into_iter()
+                    .map(|o| o.results),
+            );
+            if join_at < c.len() {
+                let docs: Vec<Document> = (join_at..join_at + 120)
+                    .map(|i| c.docs()[i].clone())
+                    .collect();
+                migrations.push(network.join_peer(PeerId(500 + round), docs));
+            }
+        }
+        (network.build_report(), network.snapshot(), topk, migrations)
+    };
+
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run();
+    std::env::remove_var("RAYON_NUM_THREADS"); // default pool size
+    let parallel = run();
+    if let Some(v) = prev {
+        std::env::set_var("RAYON_NUM_THREADS", v);
+    }
+
+    assert_eq!(serial.0.inserted_by_size, parallel.0.inserted_by_size);
+    assert_eq!(serial.0.stored_per_peer, parallel.0.stored_per_peer);
+    assert_eq!(serial.0.counts, parallel.0.counts);
+    assert_eq!(serial.0.traffic, parallel.0.traffic);
+    assert_eq!(serial.1, parallel.1, "traffic snapshot diverged");
+    assert_eq!(serial.2, parallel.2, "query top-k diverged");
+    assert_eq!(serial.3, parallel.3, "migration stats diverged");
+}
+
+#[test]
 fn incremental_additions_are_deterministic_run_to_run() {
     // Regression test for the nondeterministic `add_documents` dispatch:
     // grouped additions used to hop through a HashMap, so per-peer insert

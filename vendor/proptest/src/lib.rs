@@ -257,7 +257,7 @@ pub mod collection {
         }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -331,7 +331,7 @@ where
     }
 }
 
-/// String strategies from a regex subset; see [`string::pattern`].
+/// String strategies from a regex subset; see `string::pattern`.
 /// (`&str` gets this through the blanket `&S` impl.)
 impl Strategy for str {
     type Value = String;

@@ -28,7 +28,7 @@ enum Atom {
     Literal(char),
 }
 
-/// A compiled pattern strategy; build with [`pattern`].
+/// A compiled pattern strategy; build with `pattern`.
 #[derive(Debug, Clone)]
 pub struct PatternStrategy {
     pieces: Vec<Piece>,
