@@ -263,6 +263,7 @@ mod tests {
             postings_per_doc: 130.0,
             retrieval_per_query: docs as f64 * 0.15,
             lookups_per_query: 3.9,
+            fanout_per_level: [2.8, 1.1, 0.2, 0.0],
             overlap_top20: 80.0,
             queries: 10,
         };

@@ -33,6 +33,10 @@ pub struct SystemMeasurement {
     pub retrieval_per_query: f64,
     /// Mean key lookups per query (`nk`).
     pub lookups_per_query: f64,
+    /// Mean per-level fan-out width: candidate keys the query planner
+    /// enumerated at lattice level `s` (slot `s-1`), averaged over the
+    /// query batch — the width the executor resolves in parallel.
+    pub fanout_per_level: [f64; MAX_KEY_SIZE],
     /// Mean top-20 overlap with centralized BM25, percent (Figure 7).
     pub overlap_top20: f64,
     /// Queries evaluated.
@@ -90,8 +94,15 @@ pub fn run_growth_sweep(profile: &ExperimentProfile) -> Vec<PointMeasurement> {
             );
             let m = measure_system(&net, &central, &log);
             eprintln!(
-                "[sweep]   HDK(DFmax={dfmax}): stored/peer={:.0} retr/query={:.0} overlap={:.1}%",
-                m.stored_per_peer, m.retrieval_per_query, m.overlap_top20
+                "[sweep]   HDK(DFmax={dfmax}): stored/peer={:.0} retr/query={:.0} overlap={:.1}% \
+                 fan-out/level={:?}",
+                m.stored_per_peer,
+                m.retrieval_per_query,
+                m.overlap_top20,
+                m.fanout_per_level
+                    .iter()
+                    .map(|w| (w * 10.0).round() / 10.0)
+                    .collect::<Vec<_>>()
             );
             hdk.push((dfmax, m));
         }
@@ -107,8 +118,9 @@ pub fn run_growth_sweep(profile: &ExperimentProfile) -> Vec<PointMeasurement> {
 }
 
 /// Builds the per-system measurement: build statistics plus a query batch
-/// (evaluated in parallel via [`HdkNetwork::query_batch`]; outcomes are
-/// identical to the sequential loop and come back in log order).
+/// (evaluated in parallel via [`HdkNetwork::query_batch_profiled`];
+/// outcomes are identical to the sequential loop and come back in log
+/// order, with each query's per-level execution profile alongside).
 pub fn measure_system(
     network: &HdkNetwork,
     central: &CentralizedEngine,
@@ -125,20 +137,28 @@ pub fn measure_system(
             )
         })
         .collect();
-    let outcomes = network.query_batch(&batch, 20);
+    let outcomes = network.query_batch_profiled(&batch, 20);
     let mut postings = 0u64;
     let mut lookups = 0u64;
     let mut overlap = 0.0f64;
-    for (q, out) in log.queries.iter().zip(&outcomes) {
+    let mut fanout = [0u64; MAX_KEY_SIZE];
+    for (q, (out, profile)) in log.queries.iter().zip(&outcomes) {
         let reference = central.search(&q.terms, 20);
         overlap += top_k_overlap(&out.results, &reference, 20);
         postings += out.postings_fetched;
         lookups += u64::from(out.lookups);
+        for level in &profile.levels {
+            fanout[level.level - 1] += u64::from(level.planned);
+        }
     }
     let nq = log.len().max(1) as f64;
     let mut is_ratios = [0.0; MAX_KEY_SIZE];
     for (s, slot) in is_ratios.iter_mut().enumerate() {
         *slot = report.is_ratio(s + 1);
+    }
+    let mut fanout_per_level = [0.0; MAX_KEY_SIZE];
+    for (slot, &total) in fanout_per_level.iter_mut().zip(&fanout) {
+        *slot = total as f64 / nq;
     }
     SystemMeasurement {
         stored_per_peer: report.avg_stored_per_peer(),
@@ -148,6 +168,7 @@ pub fn measure_system(
         postings_per_doc: report.postings_per_doc(),
         retrieval_per_query: postings as f64 / nq,
         lookups_per_query: lookups as f64 / nq,
+        fanout_per_level,
         overlap_top20: if log.is_empty() { 0.0 } else { overlap / nq },
         queries: log.len(),
     }

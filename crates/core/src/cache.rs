@@ -15,6 +15,21 @@
 //! index changes: it remembers the network's *epoch* (bumped by
 //! `add_documents` / `join_peer`) and self-clears on mismatch, so stale
 //! postings can never be served.
+//!
+//! ## Level-batched access
+//!
+//! The plan/execute query pipeline resolves one lattice level at a time,
+//! so the cache exposes a two-phase per-level API keyed by the plan's
+//! nodes: [`QueryCache::peek_level`] classifies a whole level's candidate
+//! keys into hits and misses (read-only — the executor then probes only
+//! the misses, in parallel), and [`QueryCache::commit_level`] applies LRU
+//! stamps, insertions, evictions and statistics for the level in canonical
+//! key order. With capacity covering the level's width (the practical
+//! case) the committed end state is identical to running the classic
+//! [`QueryCache::get_or_fetch`] loop key by key; under intra-level
+//! capacity pressure the batch keeps peeked hits as hits (strictly fewer
+//! probes than the sequential loop — see
+//! [`QueryCache::commit_level`]).
 
 use crate::global_index::KeyLookup;
 use crate::key::Key;
@@ -35,6 +50,22 @@ pub struct CacheStats {
     pub bytes_saved: u64,
 }
 
+/// Result of peeking one plan node in [`QueryCache::peek_level`].
+#[derive(Debug, Clone)]
+pub enum CachePeek {
+    /// The key is cached (possibly as a negative entry): no probe needed.
+    Hit(Option<KeyLookup>),
+    /// Not cached: the executor must probe the DHT.
+    Miss,
+}
+
+impl CachePeek {
+    /// True for [`CachePeek::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CachePeek::Hit(_))
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     /// `None` values cache *absence* — sound because any index change
@@ -43,6 +74,27 @@ struct Inner {
     clock: u64,
     epoch: u64,
     stats: CacheStats,
+}
+
+impl Inner {
+    /// Drops every entry when the observed index epoch moved.
+    fn sync_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.map.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Inserts under the capacity bound, evicting the LRU entry first when
+    /// full.
+    fn insert_bounded(&mut self, capacity: usize, key: Key, value: Option<KeyLookup>, clock: u64) {
+        if self.map.len() >= capacity {
+            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, (_, s))| *s) {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, (value, clock));
+    }
 }
 
 /// A bounded LRU cache of key-lookup responses.
@@ -75,10 +127,7 @@ impl QueryCache {
         fetch: impl FnOnce() -> Option<KeyLookup>,
     ) -> Option<KeyLookup> {
         let mut inner = self.inner.lock();
-        if inner.epoch != epoch {
-            inner.map.clear();
-            inner.epoch = epoch;
-        }
+        inner.sync_epoch(epoch);
         inner.clock += 1;
         let clock = inner.clock;
         if let Some((cached, stamp)) = inner.map.get_mut(&key) {
@@ -96,14 +145,80 @@ impl QueryCache {
         // lookups of the same key from one peer are serialized, which is
         // what a real per-peer cache does.
         let fetched = fetch();
-        if inner.map.len() >= self.capacity {
-            // Evict the least recently used entry.
-            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, s))| *s) {
-                inner.map.remove(&victim);
-            }
-        }
-        inner.map.insert(key, (fetched.clone(), clock));
+        inner.insert_bounded(self.capacity, key, fetched.clone(), clock);
         fetched
+    }
+
+    /// Phase one of a level-batched lookup: classifies every candidate key
+    /// of one plan level as a hit (returning the cached response) or a
+    /// miss. Read-only with respect to LRU stamps and statistics — those
+    /// are applied by [`QueryCache::commit_level`] once the misses have
+    /// been resolved, so bookkeeping happens in canonical key order rather
+    /// than probe-completion order.
+    ///
+    /// Unlike [`QueryCache::get_or_fetch`] (which holds the cache lock
+    /// across its fetch, serializing concurrent lookups of one key), the
+    /// lock is released between peek and commit. A [`QueryCache`] is a
+    /// *per-peer* structure queried by one caller at a time — the
+    /// executor's contract; two threads running `query_cached` against the
+    /// same cache concurrently would both miss on a cold key and probe it
+    /// twice (correct results, but duplicated probes and
+    /// interleaving-dependent stats, which would also break thread-count
+    /// invariance for traffic counters).
+    pub fn peek_level(&self, epoch: u64, keys: &[Key]) -> Vec<CachePeek> {
+        let mut inner = self.inner.lock();
+        inner.sync_epoch(epoch);
+        keys.iter()
+            .map(|key| match inner.map.get(key) {
+                Some((cached, _)) => CachePeek::Hit(cached.clone()),
+                None => CachePeek::Miss,
+            })
+            .collect()
+    }
+
+    /// Phase two of a level-batched lookup: applies the level's bookkeeping
+    /// in the order given (the executor passes canonical key order). For
+    /// each `(key, resolved, was_hit)` triple: hits advance the entry's LRU
+    /// stamp and the hit/savings counters; misses count, evict the LRU
+    /// victim when at capacity, and insert the freshly fetched response.
+    ///
+    /// Whenever the capacity covers a level's candidate set (the common
+    /// case — levels are at most a few dozen keys wide), peek + commit
+    /// leaves the cache in exactly the state the sequential
+    /// [`QueryCache::get_or_fetch`] loop would have produced: same entries,
+    /// same stamps, same eviction victims, same statistics. Under capacity
+    /// pressure *within one level* the batched form is strictly better than
+    /// the sequential loop, not identical to it: a key peeked as a hit
+    /// stays a hit even if an earlier miss in the same level evicts it
+    /// before commit (the sequential loop would have re-probed it), and
+    /// commit re-inserts such an entry so its LRU state stays coherent.
+    pub fn commit_level(&self, epoch: u64, entries: &[(Key, Option<KeyLookup>, bool)]) {
+        let mut inner = self.inner.lock();
+        inner.sync_epoch(epoch);
+        for (key, resolved, was_hit) in entries {
+            inner.clock += 1;
+            let clock = inner.clock;
+            if *was_hit {
+                inner.stats.hits += 1;
+                inner.stats.postings_saved +=
+                    resolved.as_ref().map_or(0, |l| l.postings.len() as u64);
+                inner.stats.bytes_saved += resolved
+                    .as_ref()
+                    .map_or(0, |l| l.postings.encoded_len() as u64);
+                match inner.map.get_mut(key) {
+                    Some((_, stamp)) => *stamp = clock,
+                    // Evicted between peek and commit (an earlier miss in
+                    // this level filled the cache): the response was still
+                    // served locally, so restore the entry at the fresh
+                    // stamp — under the capacity bound — rather than
+                    // leaving the hit untracked.
+                    None => inner.insert_bounded(self.capacity, *key, resolved.clone(), clock),
+                }
+                continue;
+            }
+            inner.stats.misses += 1;
+            inner.insert_bounded(self.capacity, *key, resolved.clone(), clock);
+        }
     }
 
     /// Current counters.
@@ -231,5 +346,99 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = QueryCache::new(0);
+    }
+
+    /// Replays one access trace through both APIs; `None` entries are keys
+    /// that miss and fetch a response, `Some` hits must already be cached.
+    fn replay_level(cache: &QueryCache, epoch: u64, keys: &[u32]) {
+        let level: Vec<Key> = keys.iter().map(|&t| key(t)).collect();
+        let peeks = cache.peek_level(epoch, &level);
+        let entries: Vec<(Key, Option<KeyLookup>, bool)> = level
+            .iter()
+            .zip(&peeks)
+            .map(|(&k, peek)| match peek {
+                CachePeek::Hit(cached) => (k, cached.clone(), true),
+                CachePeek::Miss => (k, Some(lookup(k.terms().next().unwrap().0)), false),
+            })
+            .collect();
+        cache.commit_level(epoch, &entries);
+    }
+
+    #[test]
+    fn level_batched_api_matches_sequential_loop() {
+        // The same access pattern through get_or_fetch and through
+        // peek/commit must produce identical stats, contents and eviction
+        // victims (the stamps advance in the same canonical order).
+        let levels: [&[u32]; 4] = [&[1, 2], &[1, 3], &[4, 5], &[1, 4]];
+        let seq = QueryCache::new(3);
+        for level in levels {
+            for &t in level {
+                seq.get_or_fetch(7, key(t), || Some(lookup(t)));
+            }
+        }
+        let bat = QueryCache::new(3);
+        for level in levels {
+            replay_level(&bat, 7, level);
+        }
+        assert_eq!(seq.stats(), bat.stats());
+        assert_eq!(seq.len(), bat.len());
+        // Same survivors: probing each key as a fresh single-level peek
+        // (read-only) classifies identically.
+        for t in [1u32, 2, 3, 4, 5] {
+            let s = seq.peek_level(7, &[key(t)])[0].is_hit();
+            let b = bat.peek_level(7, &[key(t)])[0].is_hit();
+            assert_eq!(s, b, "survivor set diverged at key {t}");
+        }
+    }
+
+    #[test]
+    fn intra_level_eviction_keeps_peeked_hits() {
+        // Capacity 1, pre-seeded with key 2; the level probes [1, 2] (key
+        // order). Key 1's miss-insert evicts key 2 mid-level, but key 2
+        // was already peeked as a hit and its response served locally —
+        // commit must count the hit and restore the entry (bounded), not
+        // leave it untracked. (The sequential get_or_fetch loop would have
+        // re-probed key 2 here; the batch is strictly better.)
+        let cache = QueryCache::new(1);
+        cache.get_or_fetch(0, key(2), || Some(lookup(2)));
+        let level = [key(1), key(2)];
+        let peeks = cache.peek_level(0, &level);
+        assert!(!peeks[0].is_hit());
+        assert!(peeks[1].is_hit());
+        cache.commit_level(
+            0,
+            &[
+                (key(1), Some(lookup(1)), false),
+                (key(2), Some(lookup(2)), true),
+            ],
+        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert_eq!(s.postings_saved, 1, "the peeked hit still saved traffic");
+        assert_eq!(cache.len(), 1, "capacity bound holds after re-insert");
+        // The most recently used key (2, restored at commit) survived.
+        assert!(cache.peek_level(0, &[key(2)])[0].is_hit());
+    }
+
+    #[test]
+    fn peek_level_is_read_only() {
+        let cache = QueryCache::new(4);
+        cache.get_or_fetch(0, key(1), || Some(lookup(1)));
+        let stats = cache.stats();
+        let peeks = cache.peek_level(0, &[key(1), key(2)]);
+        assert!(peeks[0].is_hit());
+        assert!(!peeks[1].is_hit());
+        assert_eq!(cache.stats(), stats, "peek must not touch counters");
+    }
+
+    #[test]
+    fn commit_level_syncs_epoch() {
+        let cache = QueryCache::new(4);
+        cache.get_or_fetch(0, key(1), || Some(lookup(1)));
+        // A new epoch clears before committing the level.
+        cache.commit_level(1, &[(key(2), Some(lookup(2)), false)]);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.peek_level(1, &[key(1)])[0].is_hit());
+        assert!(cache.peek_level(1, &[key(2)])[0].is_hit());
     }
 }

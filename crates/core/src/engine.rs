@@ -298,6 +298,12 @@ impl HdkNetwork {
         self.sample_size
     }
 
+    /// Global average document length (every peer knows the coarse
+    /// collection statistics used for ranking).
+    pub fn avg_doc_len(&self) -> f64 {
+        self.avg_doc_len
+    }
+
     /// Indexing rounds actually executed (can stop early when every key is
     /// discriminative).
     pub fn rounds_run(&self) -> usize {

@@ -268,12 +268,15 @@ impl GlobalIndex {
         notifications
     }
 
-    /// Retrieval-time lookup of one key by peer `from`. Metered: the
-    /// request routes to the responsible peer; the response carries the
-    /// stored block back — the byte counter is its exact resident size,
-    /// and the "copy" is a refcount bump on the shared block.
-    pub fn lookup(&self, from: PeerId, key: Key) -> Option<KeyLookup> {
-        self.dht.lookup(from, key.dht_hash(), |entry| match entry {
+    /// Builds one lookup response from a stored entry: the refcounted
+    /// block clone plus the `(postings, bytes)` payload accounting for the
+    /// response meter (a miss answers with an 8-byte "not found").
+    ///
+    /// Both [`GlobalIndex::lookup`] and [`GlobalIndex::lookup_many`] route
+    /// through this single helper, so the batched path meters *exactly*
+    /// like the key-at-a-time path by construction.
+    fn read_entry(key: Key, entry: Option<&KeyEntry>) -> (Option<KeyLookup>, u64, u64) {
+        match entry {
             Some(e) => {
                 debug_assert_eq!(e.key, key, "DHT hash collision");
                 let postings = e.postings.clone();
@@ -290,7 +293,29 @@ impl GlobalIndex {
                 )
             }
             None => (None, 0, 8),
-        })
+        }
+    }
+
+    /// Retrieval-time lookup of one key by peer `from`. Metered: the
+    /// request routes to the responsible peer; the response carries the
+    /// stored block back — the byte counter is its exact resident size,
+    /// and the "copy" is a refcount bump on the shared block.
+    pub fn lookup(&self, from: PeerId, key: Key) -> Option<KeyLookup> {
+        self.dht
+            .lookup(from, key.dht_hash(), |entry| Self::read_entry(key, entry))
+    }
+
+    /// Batched retrieval-time lookup of one query-plan level by peer
+    /// `from`: all `keys` resolve against the DHT with one read-lock
+    /// acquisition per stripe (stripes in parallel) instead of one per key.
+    /// Results come back in input order; each key is metered exactly like a
+    /// [`GlobalIndex::lookup`] of its own (both paths share the private
+    /// `read_entry` helper), so traffic is bit-identical to the sequential
+    /// loop.
+    pub fn lookup_many(&self, from: PeerId, keys: &[Key]) -> Vec<Option<KeyLookup>> {
+        let hashes: Vec<_> = keys.iter().map(Key::dht_hash).collect();
+        self.dht
+            .lookup_many(from, &hashes, |i, entry| Self::read_entry(keys[i], entry))
     }
 
     /// Unmetered inspection (tests, ablations, stored-size measurements).
@@ -618,6 +643,39 @@ mod tests {
         assert_eq!(d.kind(hdk_p2p::MsgKind::QueryLookup).messages, 1);
         assert_eq!(d.kind(hdk_p2p::MsgKind::QueryResponse).postings, 2);
         assert!(idx.lookup(PeerId(2), key(&[99])).is_none());
+    }
+
+    #[test]
+    fn lookup_many_matches_sequential_lookups() {
+        let build = || {
+            let idx = index(4, 2);
+            idx.insert(PeerId(0), key(&[1]), list(&[0, 1, 2, 3]));
+            idx.insert(PeerId(1), key(&[2]), list(&[4]));
+            idx.insert(PeerId(0), key(&[1, 2]), list(&[0, 4]));
+            idx.classify_round(1);
+            idx.classify_round(2);
+            idx
+        };
+        let probes = [key(&[1]), key(&[2]), key(&[1, 2]), key(&[99])];
+
+        let a = build();
+        let sequential: Vec<_> = probes.iter().map(|&k| a.lookup(PeerId(3), k)).collect();
+        let b = build();
+        let batched = b.lookup_many(PeerId(3), &probes);
+
+        assert_eq!(sequential.len(), batched.len());
+        for (s, m) in sequential.iter().zip(&batched) {
+            match (s, m) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.df, y.df);
+                    assert_eq!(x.is_ndk, y.is_ndk);
+                    assert_eq!(x.postings, y.postings);
+                }
+                (None, None) => {}
+                _ => panic!("batched lookup diverged from sequential"),
+            }
+        }
+        assert_eq!(a.snapshot(), b.snapshot(), "traffic diverged");
     }
 
     #[test]

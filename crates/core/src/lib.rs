@@ -44,22 +44,24 @@ pub mod cache;
 pub mod classify;
 pub mod config;
 pub mod engine;
+pub mod exec;
 pub mod global_index;
 pub mod key;
 pub mod local_indexer;
 pub mod naive;
+pub mod plan;
 pub mod ranking;
-pub mod retrieval;
 pub mod stats;
 pub mod window_keys;
 
-pub use cache::{CacheStats, QueryCache};
+pub use cache::{CachePeek, CacheStats, QueryCache};
 pub use classify::{classify, KeyClass};
 pub use config::HdkConfig;
 pub use engine::{HdkNetwork, OverlayKind};
+pub use exec::{QueryExecutor, QueryOutcome};
 pub use global_index::{GlobalIndex, IndexCounts, KeyEntry, KeyLookup, PeerStorage};
 pub use key::{Key, MAX_KEY_SIZE};
 pub use local_indexer::LocalPeer;
 pub use naive::SingleTermNetwork;
-pub use retrieval::QueryOutcome;
-pub use stats::BuildReport;
+pub use plan::{max_lookups, NodeOutcome, QueryPlan};
+pub use stats::{BuildReport, LevelProfile, QueryProfile};

@@ -16,7 +16,7 @@
 
 use crate::config::HdkConfig;
 use crate::engine::{HdkNetwork, OverlayKind};
-use crate::retrieval::QueryOutcome;
+use crate::exec::QueryOutcome;
 use crate::stats::BuildReport;
 use hdk_corpus::{Collection, DocId};
 use hdk_p2p::{PeerId, TrafficSnapshot};

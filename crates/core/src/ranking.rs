@@ -16,9 +16,7 @@
 
 use crate::global_index::KeyLookup;
 use crate::key::Key;
-use hdk_corpus::DocId;
-use hdk_ir::{top_k, Bm25, SearchResult};
-use std::collections::HashMap;
+use hdk_ir::{ScoreAccumulator, SearchResult};
 
 /// Ranks the union of the retrieved posting lists.
 ///
@@ -27,34 +25,31 @@ use std::collections::HashMap;
 /// collection statistics are cheap to disseminate and the paper assumes
 /// global df knowledge for ranking).
 ///
-/// Each retrieved block is *streamed* through the scorer — the compressed
-/// form is decoded posting by posting, never materialized into a list.
+/// Each retrieved block is *streamed* through an
+/// [`ScoreAccumulator`] in input order — the compressed form is decoded
+/// posting by posting, never materialized into a list. The query executor
+/// streams blocks through the same accumulator level by level instead of
+/// collecting a `fetched` slice; this function remains for reference
+/// implementations (the ST baseline's tests and the proptest comparing
+/// the pipeline against the naive sequential walk).
 pub fn rank_union(
     fetched: &[(Key, KeyLookup)],
     num_docs: usize,
     avg_doc_len: f64,
     k: usize,
 ) -> Vec<SearchResult> {
-    let bm25 = Bm25::default();
-    let mut acc: HashMap<DocId, f64> = HashMap::new();
+    let mut acc = ScoreAccumulator::new(num_docs, avg_doc_len);
     for (_, lookup) in fetched {
-        let df = lookup.df as usize;
-        for p in lookup.postings.iter() {
-            *acc.entry(p.doc).or_insert(0.0) +=
-                bm25.score(p.tf, p.doc_len, avg_doc_len, df, num_docs);
-        }
+        acc.accumulate(lookup.df, lookup.postings.iter());
     }
-    top_k(
-        acc.into_iter()
-            .map(|(doc, score)| SearchResult { doc, score }),
-        k,
-    )
+    acc.into_top_k(k)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hdk_ir::{Posting, PostingList};
+    use hdk_corpus::DocId;
+    use hdk_ir::{Bm25, Posting, PostingList};
     use hdk_text::TermId;
 
     fn lookup(df: u32, docs: &[(u32, u32)]) -> KeyLookup {

@@ -1,4 +1,6 @@
-//! Build-time statistics consumed by the experiment harness.
+//! Build-time and query-time statistics consumed by the experiment
+//! harness: the [`BuildReport`] of one indexing session and the per-level
+//! [`QueryProfile`] the plan/execute retrieval pipeline emits.
 
 use crate::global_index::IndexCounts;
 use crate::key::MAX_KEY_SIZE;
@@ -57,6 +59,92 @@ impl BuildReport {
     }
 }
 
+/// Execution counters of one lattice level of one query — what the
+/// executor resolved, how wide the fan-out was, and how long the level's
+/// (parallel) resolution took.
+///
+/// Everything except `nanos` is deterministic (a pure function of the
+/// query and the index state); `nanos` is wall-clock and excluded from
+/// equality so profiles can be compared in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LevelProfile {
+    /// Lattice level (key size), 1-based.
+    pub level: usize,
+    /// Candidate keys the plan enumerated for this level (fan-out width).
+    pub planned: u32,
+    /// Candidates answered from the query cache (no probe issued).
+    pub cache_hits: u32,
+    /// DHT lookups actually issued (`planned - cache_hits`).
+    pub probes: u32,
+    /// Probed or cached keys that were present in the index.
+    pub found: u32,
+    /// Found keys that resolved non-discriminative and feed the next
+    /// level's expansion.
+    pub expanded: u32,
+    /// Postings fetched over the network at this level (cache hits
+    /// excluded, like the traffic meters).
+    pub postings: u64,
+    /// Wall-clock nanoseconds spent resolving this level (plan expansion +
+    /// parallel probe fan-out + deterministic accounting).
+    pub nanos: u64,
+}
+
+impl PartialEq for LevelProfile {
+    fn eq(&self, other: &Self) -> bool {
+        // Wall-clock is incidental; two profiles are "equal" when the
+        // deterministic execution shape matches.
+        (
+            self.level,
+            self.planned,
+            self.cache_hits,
+            self.probes,
+            self.found,
+            self.expanded,
+            self.postings,
+        ) == (
+            other.level,
+            other.planned,
+            other.cache_hits,
+            other.probes,
+            other.found,
+            other.expanded,
+            other.postings,
+        )
+    }
+}
+
+impl Eq for LevelProfile {}
+
+/// Per-level execution profile of one query through the plan/execute
+/// pipeline. Levels appear in execution order (1, 2, ...); levels the walk
+/// never reached (frontier went empty) are absent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// One entry per executed lattice level.
+    pub levels: Vec<LevelProfile>,
+}
+
+impl QueryProfile {
+    /// Total DHT probes across all levels (`nk` of Section 4.2).
+    pub fn total_probes(&self) -> u32 {
+        self.levels.iter().map(|l| l.probes).sum()
+    }
+
+    /// Total wall-clock nanoseconds across all levels.
+    pub fn total_nanos(&self) -> u64 {
+        self.levels.iter().map(|l| l.nanos).sum()
+    }
+
+    /// Fan-out width (planned candidates) of level `s` (1-based), 0 when
+    /// the walk never reached it.
+    pub fn fanout_at(&self, s: usize) -> u32 {
+        self.levels
+            .iter()
+            .find(|l| l.level == s)
+            .map_or(0, |l| l.planned)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +183,40 @@ mod tests {
     #[should_panic]
     fn ratio_rejects_zero_size() {
         let _ = report().is_ratio(0);
+    }
+
+    #[test]
+    fn profile_aggregates_and_ignores_wall_clock() {
+        let a = QueryProfile {
+            levels: vec![
+                LevelProfile {
+                    level: 1,
+                    planned: 3,
+                    probes: 3,
+                    found: 2,
+                    expanded: 2,
+                    postings: 40,
+                    nanos: 1_000,
+                    ..LevelProfile::default()
+                },
+                LevelProfile {
+                    level: 2,
+                    planned: 1,
+                    probes: 1,
+                    found: 1,
+                    postings: 5,
+                    nanos: 2_000,
+                    ..LevelProfile::default()
+                },
+            ],
+        };
+        let mut b = a.clone();
+        b.levels[0].nanos = 999_999;
+        assert_eq!(a, b, "wall-clock must not affect equality");
+        assert_eq!(a.total_probes(), 4);
+        assert_eq!(a.total_nanos(), 3_000);
+        assert_eq!(a.fanout_at(1), 3);
+        assert_eq!(a.fanout_at(2), 1);
+        assert_eq!(a.fanout_at(3), 0);
     }
 }

@@ -92,6 +92,28 @@ impl Collection {
     pub fn iter(&self) -> impl Iterator<Item = (DocId, &[TermId])> {
         self.docs.iter().map(|d| (d.id, d.tokens.as_slice()))
     }
+
+    /// Samples a long query from document `doc_index` (modulo the
+    /// collection size): the first `want` *distinct* terms in token order.
+    /// Because the terms are a document prefix they genuinely co-occur, so
+    /// querying them walks deep, wide key lattices — the shape the
+    /// intra-query parallelism tests and `bench_query` both need (sharing
+    /// this sampler keeps what the test asserts and what the bench
+    /// measures in lockstep). Returns fewer terms when the document has
+    /// fewer distinct ones.
+    pub fn long_query(&self, doc_index: usize, want: usize) -> Vec<TermId> {
+        let doc = &self.docs[doc_index % self.docs.len()];
+        let mut terms: Vec<TermId> = Vec::with_capacity(want);
+        for &t in &doc.tokens {
+            if !terms.contains(&t) {
+                terms.push(t);
+            }
+            if terms.len() == want {
+                break;
+            }
+        }
+        terms
+    }
 }
 
 #[cfg(test)]

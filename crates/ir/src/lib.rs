@@ -32,4 +32,4 @@ pub use engine::CentralizedEngine;
 pub use index::InvertedIndex;
 pub use overlap::top_k_overlap;
 pub use posting::{Posting, PostingList};
-pub use ranker::{top_k, SearchResult};
+pub use ranker::{top_k, ScoreAccumulator, SearchResult};

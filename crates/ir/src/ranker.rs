@@ -5,9 +5,11 @@
 //! between two engines is only meaningful when each engine's own ranking is
 //! deterministic, so ties break by ascending document id everywhere.
 
+use crate::bm25::Bm25;
+use crate::posting::Posting;
 use hdk_corpus::DocId;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// One ranked search result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +75,75 @@ pub fn top_k<I: IntoIterator<Item = SearchResult>>(scores: I, k: usize) -> Vec<S
     out
 }
 
+/// Streaming BM25 score accumulator: posting blocks are fed in one at a
+/// time (each with its key's global `df`) and scores accumulate per
+/// document; [`ScoreAccumulator::into_top_k`] finishes the ranking.
+///
+/// This is the ranker-side half of a plan/execute query pipeline: an
+/// executor resolves posting blocks level by level and streams each block
+/// through `accumulate` without ever materializing the union. Because f64
+/// addition is not associative, callers that need bit-reproducible scores
+/// must feed blocks in a canonical order (the query executor uses
+/// `(level, key)` order); the final [`top_k`] selection itself is
+/// insensitive to accumulation order once per-document sums are fixed.
+#[derive(Debug, Clone)]
+pub struct ScoreAccumulator {
+    bm25: Bm25,
+    num_docs: usize,
+    avg_doc_len: f64,
+    scores: HashMap<DocId, f64>,
+}
+
+impl ScoreAccumulator {
+    /// Accumulator over a collection of `num_docs` documents with average
+    /// document length `avg_doc_len`, using default BM25 parameters.
+    pub fn new(num_docs: usize, avg_doc_len: f64) -> Self {
+        Self::with_bm25(Bm25::default(), num_docs, avg_doc_len)
+    }
+
+    /// Accumulator with explicit BM25 parameters.
+    pub fn with_bm25(bm25: Bm25, num_docs: usize, avg_doc_len: f64) -> Self {
+        Self {
+            bm25,
+            num_docs,
+            avg_doc_len,
+            scores: HashMap::new(),
+        }
+    }
+
+    /// Streams one posting block through the scorer: every posting
+    /// contributes `idf(df) · tf_sat(tf, dl)` to its document's score.
+    pub fn accumulate<I: IntoIterator<Item = Posting>>(&mut self, df: u32, postings: I) {
+        let df = df as usize;
+        for p in postings {
+            *self.scores.entry(p.doc).or_insert(0.0) +=
+                self.bm25
+                    .score(p.tf, p.doc_len, self.avg_doc_len, df, self.num_docs);
+        }
+    }
+
+    /// Number of distinct documents scored so far.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when no posting has been accumulated yet.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Finishes the ranking: the `k` highest-scoring documents, descending
+    /// score, ties broken by ascending doc id.
+    pub fn into_top_k(self, k: usize) -> Vec<SearchResult> {
+        top_k(
+            self.scores
+                .into_iter()
+                .map(|(doc, score)| SearchResult { doc, score }),
+            k,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +202,41 @@ mod tests {
         });
         slow.truncate(20);
         assert_eq!(fast, slow);
+    }
+
+    fn p(doc: u32, tf: u32) -> Posting {
+        Posting {
+            doc: DocId(doc),
+            tf,
+            doc_len: 100,
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_direct_scoring() {
+        let bm25 = Bm25::default();
+        let mut acc = ScoreAccumulator::new(5_000, 120.0);
+        acc.accumulate(30, vec![p(3, 4)]);
+        let out = acc.into_top_k(1);
+        let expected = bm25.score(4, 100, 120.0, 30, 5_000);
+        assert!((out[0].score - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accumulator_sums_across_blocks() {
+        let mut acc = ScoreAccumulator::new(1_000, 80.0);
+        acc.accumulate(50, vec![p(1, 2), p(2, 2)]);
+        acc.accumulate(50, vec![p(2, 2)]);
+        assert_eq!(acc.len(), 2);
+        let out = acc.into_top_k(10);
+        assert_eq!(out[0].doc, DocId(2));
+        assert!(out[0].score > out[1].score);
+    }
+
+    #[test]
+    fn empty_accumulator_yields_nothing() {
+        let acc = ScoreAccumulator::new(100, 10.0);
+        assert!(acc.is_empty());
+        assert!(acc.into_top_k(5).is_empty());
     }
 }

@@ -14,7 +14,7 @@
 //! | [`corpus`] | `hdk-corpus` | synthetic Wikipedia-like collections, query logs, Zipf |
 //! | [`ir`] | `hdk-ir` | inverted index, postings codec, BM25, centralized engine |
 //! | [`p2p`] | `hdk-p2p` | P-Grid trie & Chord ring overlays, metered DHT |
-//! | [`core`] | `hdk-core` | the HDK model: keys, filtering, global index, retrieval |
+//! | [`core`] | `hdk-core` | the HDK model: keys, filtering, global index, query plan/executor |
 //! | [`model`] | `hdk-model` | Zipf fits, Theorems 1–3, traffic extrapolation |
 //!
 //! ## Example
@@ -54,7 +54,8 @@ pub use hdk_text as text;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use hdk_core::{
-        HdkConfig, HdkNetwork, Key, KeyClass, OverlayKind, QueryOutcome, SingleTermNetwork,
+        HdkConfig, HdkNetwork, Key, KeyClass, OverlayKind, QueryOutcome, QueryPlan, QueryProfile,
+        SingleTermNetwork,
     };
     pub use hdk_corpus::{
         partition_documents, Collection, CollectionGenerator, DocId, Document, GeneratorConfig,

@@ -180,6 +180,78 @@ fn churn_interleaved_with_queries_is_thread_invariant() {
 }
 
 #[test]
+fn long_queries_with_deep_lattice_are_thread_invariant() {
+    // The intra-query parallel fan-out (plan/execute pipeline): long
+    // queries (>= 6 distinct terms) at the deepest legal smax produce wide
+    // multi-level lattices, so each level's probe batch genuinely fans out
+    // over the pool. Outcomes — top-k score bits, lookup counts, postings
+    // fetched, per-level profiles and the traffic meters — must be
+    // bit-identical under RAYON_NUM_THREADS ∈ {1, default}.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = collection(31337);
+    // Long queries sampled from document prefixes: 6-8 distinct terms that
+    // genuinely co-occur, so the walk reaches deep lattice levels instead
+    // of dying at absent singles (same sampler as `bench_query`, so the
+    // fan-out this test guards is the shape the bench measures).
+    let queries: Vec<Vec<TermId>> = (0..24).map(|i| c.long_query(i * 23, 6 + i % 3)).collect();
+    let run = || {
+        let network = HdkNetwork::build(
+            &c,
+            &partition_documents(c.len(), 16, 5),
+            HdkConfig {
+                dfmax: 12,
+                smax: 4, // deepest legal lattice (MAX_KEY_SIZE)
+                ff: u64::MAX,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        let mut outcomes = Vec::new();
+        let mut profiles = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let (out, profile) = network.query_profiled(PeerId(i as u64 % 16), q, 20);
+            assert!(
+                u64::from(out.lookups) <= network.max_lookups(q.len()),
+                "lookups exceed the lattice bound"
+            );
+            outcomes.push((
+                out.results
+                    .iter()
+                    .map(|r| (r.doc, r.score.to_bits()))
+                    .collect::<Vec<_>>(),
+                out.lookups,
+                out.postings_fetched,
+            ));
+            profiles.push(profile);
+        }
+        (outcomes, profiles, network.snapshot())
+    };
+
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run();
+    std::env::remove_var("RAYON_NUM_THREADS"); // default pool size
+    let parallel = run();
+    if let Some(v) = prev {
+        std::env::set_var("RAYON_NUM_THREADS", v);
+    }
+
+    // At least one query must actually exercise a deep multi-level walk,
+    // otherwise this test is vacuous.
+    assert!(
+        serial.1.iter().any(|p| p.levels.len() >= 3),
+        "no query reached level 3 — lattice too shallow to test fan-out"
+    );
+    assert!(
+        serial.1.iter().any(|p| p.fanout_at(2) >= 8),
+        "level-2 fan-out never widened beyond 8 probes"
+    );
+    assert_eq!(serial.0, parallel.0, "query outcomes diverged (score bits)");
+    assert_eq!(serial.1, parallel.1, "per-level profiles diverged");
+    assert_eq!(serial.2, parallel.2, "traffic snapshot diverged");
+}
+
+#[test]
 fn incremental_additions_are_deterministic_run_to_run() {
     // Regression test for the nondeterministic `add_documents` dispatch:
     // grouped additions used to hop through a HashMap, so per-peer insert

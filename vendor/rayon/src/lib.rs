@@ -1,19 +1,56 @@
 //! Minimal `rayon` shim (see `vendor/README.md`).
 //!
-//! Genuinely parallel: work is split into contiguous chunks executed on
-//! `std::thread::scope` threads, one per available core (capped by the
-//! `RAYON_NUM_THREADS` environment variable, like real rayon). Results of
-//! `map().collect()` preserve input order, so parallel collects are
-//! deterministic regardless of thread count or scheduling.
+//! Genuinely parallel: work is split into contiguous chunks executed on a
+//! **persistent worker pool** (capped by the `RAYON_NUM_THREADS`
+//! environment variable, like real rayon). Results of `map().collect()`
+//! preserve input order, so parallel collects are deterministic regardless
+//! of thread count or scheduling.
 //!
 //! Covered subset: `par_iter()` on slices/`Vec`s, `into_par_iter()` on
 //! `Range<usize>`, `map` + `collect`, `for_each`, [`join`], and
-//! [`current_num_threads`]. Unlike real rayon there is no work stealing and
-//! no persistent pool — each call spawns scoped threads, which is right for
-//! the coarse-grained fan-out this workspace does (hundreds of microseconds
-//! to seconds per chunk) and wrong for fine-grained nested parallelism.
+//! [`current_num_threads`].
+//!
+//! ## Pool design
+//!
+//! Earlier revisions spawned `std::thread::scope` threads per fan-out;
+//! that was fine while parallel sections were coarse (one task per peer or
+//! stripe, hundreds of microseconds each) but became hot once the query
+//! path started fanning out *per lattice level* — thousands of short
+//! parallel sections per query batch. The pool keeps workers parked on a
+//! condvar instead:
+//!
+//! * A parallel call splits `0..len` into one contiguous chunk per
+//!   logical thread and publishes a type-erased job reference (`JobRef`)
+//!   to the shared injector queue — one copy per *helper* it invites
+//!   (threads − 1).
+//! * Work is claimed through the job's atomic chunk counter, so the
+//!   caller itself always makes progress (it drains the counter even if
+//!   every worker is busy) and a helper that arrives late simply finds the
+//!   counter exhausted. Results are written into per-index slots, so the
+//!   outcome is position-deterministic no matter which thread computed
+//!   what.
+//! * When the caller finishes claiming it withdraws its unclaimed helper
+//!   invitations from the queue (they are cheap copies), then parks until
+//!   the in-flight chunks land. A worker's final act on a job is to
+//!   unpark the owner — through a `Thread` handle cloned *before* the
+//!   completion count drops, so the job's stack frame can never be freed
+//!   while anyone still touches it.
+//! * Nested parallel calls (a worker executing a chunk that itself fans
+//!   out) cannot deadlock: every waiter first exhausts its own job's
+//!   chunk counter, so a waiter only ever waits on threads that are
+//!   actively running — the wait-for graph follows job-creation order and
+//!   stays acyclic.
+//!
+//! Panics inside parallel closures are caught per chunk, forwarded to the
+//! owning caller and re-thrown there (matching the old scoped-thread
+//! behavior where the panic propagated at join time); workers survive.
 
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::Thread;
 
 /// Number of threads parallel operations will use: `RAYON_NUM_THREADS` if
 /// set to a positive integer, otherwise `std::thread::available_parallelism`.
@@ -30,9 +67,314 @@ pub fn current_num_threads() -> usize {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    // `available_parallelism` probes sched_getaffinity and the cgroup fs
+    // on every call; with per-level query fan-out issuing thousands of
+    // parallel sections per batch that syscall traffic dominated short
+    // sections. The machine's parallelism is fixed for the process
+    // lifetime, so resolve it once.
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a stack-allocated job plus its executor
+/// function. Copies of one job's `JobRef` are interchangeable: executing
+/// any of them claims chunks from the job's shared counter.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointee is a stack-allocated job whose owner blocks until
+// every outstanding reference is either executed or withdrawn from the
+// queue; the job types themselves only expose Sync-safe state (atomics,
+// shared closures, disjoint output slots).
+unsafe impl Send for JobRef {}
+
+struct PoolState {
+    queue: VecDeque<JobRef>,
+    /// Workers spawned so far (grown on demand, never shrunk).
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+/// Hard cap on pool size; far above any sane `RAYON_NUM_THREADS` while
+/// still bounding a misconfigured environment.
+const MAX_WORKERS: usize = 256;
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                workers: 0,
+            }),
+            available: Condvar::new(),
+        })
+    }
+
+    /// Publishes `copies` invitations for `job` and makes sure enough
+    /// workers exist to honor them (growing the pool up to `copies`).
+    ///
+    /// Worker spawning happens *outside* the pool lock and tolerates
+    /// failure: if the OS refuses a thread (transient exhaustion), the
+    /// pool simply stays smaller — the caller always drains its own chunk
+    /// counter, so forward progress never depends on growth succeeding.
+    fn inject(&'static self, job: JobRef, copies: usize) {
+        if copies == 0 {
+            return;
+        }
+        let to_spawn = {
+            let mut state = self.state.lock().expect("pool poisoned");
+            for _ in 0..copies {
+                state.queue.push_back(job);
+            }
+            // Lazily grow the pool: at most `copies` helpers can run this
+            // job besides the caller, and idle workers are parked, not
+            // burning CPU. Claim the slots optimistically under the lock.
+            let want = copies.min(MAX_WORKERS).saturating_sub(state.workers);
+            state.workers += want;
+            want
+        };
+        for _ in 0..to_spawn {
+            let spawned = std::thread::Builder::new()
+                .name("rayon-shim-worker".to_string())
+                .spawn(move || self.worker_loop());
+            if spawned.is_err() {
+                // Roll back the optimistic claim; retry on a later inject.
+                self.state.lock().expect("pool poisoned").workers -= 1;
+            }
+        }
+        self.available.notify_all();
+    }
+
+    /// Withdraws still-queued invitations for `data`, returning how many
+    /// were removed (the rest are executing or already done).
+    fn withdraw(&'static self, data: *const ()) -> usize {
+        let mut state = self.state.lock().expect("pool poisoned");
+        let before = state.queue.len();
+        state.queue.retain(|j| !std::ptr::eq(j.data, data));
+        before - state.queue.len()
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("pool poisoned");
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        break job;
+                    }
+                    state = self.available.wait(state).expect("pool poisoned");
+                }
+            };
+            // SAFETY: the owner keeps the job alive until this returns
+            // (it waits for `active_refs` to drain).
+            unsafe { (job.execute)(job.data) };
+        }
+    }
+}
+
+/// Completion bookkeeping shared by the job types below.
+struct JobCore {
+    /// Chunks not yet fully executed.
+    pending_chunks: AtomicUsize,
+    /// Helper invitations outstanding (queued or executing).
+    active_refs: AtomicUsize,
+    /// First panic payload caught in any chunk's closure; the owner
+    /// re-throws it after the job completes, preserving the original
+    /// message like the old scoped-thread join did.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The owning thread, unparked whenever a helper finishes.
+    owner: Thread,
+}
+
+impl JobCore {
+    fn new(chunks: usize, helpers: usize) -> Self {
+        Self {
+            pending_chunks: AtomicUsize::new(chunks),
+            active_refs: AtomicUsize::new(helpers),
+            panic: Mutex::new(None),
+            owner: std::thread::current(),
+        }
+    }
+
+    /// Records the first panic payload observed by any chunk.
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Re-throws a recorded chunk panic on the owner, if any. Must only be
+    /// called after [`JobCore::wait`].
+    fn resume_panic(&self) {
+        let payload = self.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Parks the owner until every chunk completed and every helper
+    /// invitation was consumed or withdrawn.
+    fn wait(&self) {
+        while self.pending_chunks.load(Ordering::Acquire) != 0
+            || self.active_refs.load(Ordering::Acquire) != 0
+        {
+            std::thread::park();
+        }
+    }
+
+    /// A helper's sign-off: drop its invitation and wake the owner. The
+    /// owner handle is cloned *before* the decrement — the moment the
+    /// count hits zero the owner may free the job's stack frame, so this
+    /// must be the last access to `self`.
+    fn helper_done(&self) {
+        let owner = self.owner.clone();
+        self.active_refs.fetch_sub(1, Ordering::Release);
+        owner.unpark();
+    }
+}
+
+/// The chunked indexed job behind every `parallel_indexed` call.
+struct IndexedJob<'a, R, F> {
+    f: &'a F,
+    /// Base pointer of the `Option<R>` slot array; workers write disjoint
+    /// indices.
+    slots: *mut Option<R>,
+    len: usize,
+    chunk_size: usize,
+    num_chunks: usize,
+    next_chunk: AtomicUsize,
+    core: JobCore,
+}
+
+impl<R, F> IndexedJob<'_, R, F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Claims and executes chunks until the counter runs dry.
+    fn run_chunks(&self) {
+        loop {
+            let chunk = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.num_chunks {
+                return;
+            }
+            let start = chunk * self.chunk_size;
+            let end = (start + self.chunk_size).min(self.len);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    // SAFETY: chunks partition 0..len disjointly; nobody
+                    // else touches these slots until the owner observes
+                    // the completion count.
+                    unsafe { *self.slots.add(i) = Some((self.f)(i)) };
+                }
+            }));
+            if let Err(payload) = outcome {
+                self.core.record_panic(payload);
+            }
+            self.core.pending_chunks.fetch_sub(1, Ordering::Release);
+            self.core.owner.unpark();
+        }
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let job = &*(data as *const Self);
+        job.run_chunks();
+        job.core.helper_done();
+    }
+}
+
+/// Order-preserving parallel map over `0..len`: the chunked backbone of
+/// every iterator below, scheduled on the persistent pool.
+fn parallel_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk_size = len.div_ceil(threads);
+    let num_chunks = len.div_ceil(chunk_size);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+
+    let helpers = num_chunks - 1;
+    let job = IndexedJob {
+        f: &f,
+        slots: out.as_mut_ptr(),
+        len,
+        chunk_size,
+        num_chunks,
+        next_chunk: AtomicUsize::new(0),
+        core: JobCore::new(num_chunks, helpers),
+    };
+    let data = &job as *const IndexedJob<'_, R, F> as *const ();
+    let pool = Pool::global();
+    pool.inject(
+        JobRef {
+            data,
+            execute: IndexedJob::<R, F>::execute,
+        },
+        helpers,
+    );
+    job.run_chunks();
+    let withdrawn = pool.withdraw(data);
+    job.core.active_refs.fetch_sub(withdrawn, Ordering::AcqRel);
+    job.core.wait();
+    job.core.resume_panic();
+    out.into_iter()
+        .map(|o| o.expect("parallel worker panicked"))
+        .collect()
+}
+
+/// One-shot closure job backing [`join`]'s second arm.
+struct JoinJob<'a, B, RB> {
+    /// Consumed by whichever thread executes the arm — the `Mutex`
+    /// arbitrates between a pool worker and an owner whose withdrawal
+    /// raced the worker's pop.
+    b: &'a Mutex<Option<B>>,
+    result: &'a Mutex<Option<std::thread::Result<RB>>>,
+    core: JobCore,
+}
+
+impl<B, RB> JoinJob<'_, B, RB>
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    fn run(&self) {
+        let taken = self.b.lock().expect("join arm poisoned").take();
+        if let Some(b) = taken {
+            let outcome = catch_unwind(AssertUnwindSafe(b));
+            *self.result.lock().expect("join result poisoned") = Some(outcome);
+            self.core.pending_chunks.fetch_sub(1, Ordering::Release);
+            self.core.owner.unpark();
+        }
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let job = &*(data as *const Self);
+        job.run();
+        job.core.helper_done();
+    }
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
@@ -46,41 +388,46 @@ where
     if current_num_threads() <= 1 {
         return (a(), b());
     }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon::join closure panicked"))
-    })
-}
-
-/// Order-preserving parallel map over `0..len`: the chunked backbone of
-/// every iterator below.
-fn parallel_indexed<R, F>(len: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    let threads = current_num_threads().min(len);
-    if threads <= 1 {
-        return (0..len).map(f).collect();
+    let arm = Mutex::new(Some(b));
+    let result: Mutex<Option<std::thread::Result<RB>>> = Mutex::new(None);
+    let job = JoinJob {
+        b: &arm,
+        result: &result,
+        core: JobCore::new(1, 1),
+    };
+    let data = &job as *const JoinJob<'_, B, RB> as *const ();
+    let pool = Pool::global();
+    pool.inject(
+        JobRef {
+            data,
+            execute: JoinJob::<B, RB>::execute,
+        },
+        1,
+    );
+    // Catch a panicking first arm instead of unwinding past the protocol:
+    // the job lives on this stack frame and its invitation may still be
+    // queued (or executing), so the frame must stay alive until the
+    // handshake completes — unwinding here would hand a worker a dangling
+    // pointer.
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    // Prefer running the second arm inline if no worker picked it up yet.
+    let withdrawn = pool.withdraw(data);
+    if withdrawn > 0 {
+        job.core.active_refs.fetch_sub(withdrawn, Ordering::AcqRel);
+        job.run();
     }
-    let chunk = len.div_ceil(threads);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
-    out.resize_with(len, || None);
-    std::thread::scope(|scope| {
-        for (ci, slot) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let base = ci * chunk;
-            scope.spawn(move || {
-                for (off, s) in slot.iter_mut().enumerate() {
-                    *s = Some(f(base + off));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("parallel worker panicked"))
-        .collect()
+    job.core.wait();
+    let rb = result
+        .lock()
+        .expect("join result poisoned")
+        .take()
+        .expect("join arm never ran");
+    // Like real rayon, a panic in the first arm wins (b's result, or even
+    // b's own panic, is discarded).
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) | (Ok(_), Err(payload)) => resume_unwind(payload),
+    }
 }
 
 /// Parallel iterator over `&[T]`.
@@ -268,17 +615,142 @@ mod tests {
     }
 
     #[test]
+    fn join_with_forced_threads() {
+        // Exercise the pooled path even on a single-core runner.
+        with_env_threads("4", || {
+            let (a, b) = super::join(|| (0..1000u64).sum::<u64>(), || "pooled");
+            assert_eq!((a, b), (499_500, "pooled"));
+        });
+    }
+
+    #[test]
     fn really_uses_threads() {
-        if super::current_num_threads() < 2 {
-            return; // single-core runner: nothing to assert
+        // Two chunks that each take ~50 ms: while the caller sleeps in its
+        // own chunk, a (pre-notified) pool worker has ample time to wake
+        // and claim the other one.
+        with_env_threads("2", || {
+            let main_id = std::thread::current().id();
+            let v: Vec<u32> = vec![0, 1];
+            let ids: Vec<std::thread::ThreadId> = v
+                .par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    std::thread::current().id()
+                })
+                .collect();
+            assert!(
+                ids.iter().any(|id| *id != main_id),
+                "no work left the calling thread"
+            );
+        });
+    }
+
+    #[test]
+    fn workers_persist_across_calls() {
+        // The pool must reuse threads rather than spawn per fan-out: many
+        // rounds accumulate only a bounded set of distinct worker ids.
+        with_env_threads("3", || {
+            use std::collections::HashSet;
+            let mut seen: HashSet<std::thread::ThreadId> = HashSet::new();
+            let v: Vec<u32> = (0..1024).collect();
+            for _ in 0..20 {
+                let ids: Vec<std::thread::ThreadId> =
+                    v.par_iter().map(|_| std::thread::current().id()).collect();
+                seen.extend(ids);
+            }
+            // Per-call spawning would show ~40 distinct helper ids; the
+            // pool keeps a couple (plus this caller and any concurrently
+            // running test threads that helped).
+            assert!(
+                seen.len() <= 12,
+                "pool appears to spawn per call: {} thread ids",
+                seen.len()
+            );
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        with_env_threads("4", || {
+            let outer: Vec<u64> = (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    let inner: Vec<u64> = (0..64usize)
+                        .into_par_iter()
+                        .map(|j| (i * 64 + j) as u64)
+                        .collect();
+                    inner.iter().sum()
+                })
+                .collect();
+            let total: u64 = outer.iter().sum();
+            assert_eq!(total, (0..512u64).sum());
+        });
+    }
+
+    #[test]
+    fn panics_propagate_to_caller_with_payload() {
+        with_env_threads("4", || {
+            let result = std::panic::catch_unwind(|| {
+                let v: Vec<u32> = (0..256).collect();
+                let _: Vec<u32> = v
+                    .par_iter()
+                    .map(|&x| {
+                        assert!(x != 200, "boom at {x}");
+                        x
+                    })
+                    .collect();
+            });
+            // The original payload (not a generic wrapper message) reaches
+            // the caller, like the old scoped-thread propagation.
+            let payload = result.expect_err("worker panic must reach the caller");
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            assert!(msg.contains("boom at 200"), "payload lost: {msg:?}");
+            // The pool stays usable afterwards.
+            let v: Vec<u64> = (1..=100).collect();
+            let s: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
+            assert_eq!(s.iter().sum::<u64>(), 5050 + 100);
+        });
+    }
+
+    #[test]
+    fn join_survives_first_arm_panic() {
+        // A panicking first arm must not unwind past the handshake while
+        // the second arm's invitation is still live (that would free the
+        // stack-allocated job under a worker). The panic is re-thrown
+        // afterwards with its payload intact.
+        with_env_threads("4", || {
+            for _ in 0..32 {
+                let result = std::panic::catch_unwind(|| {
+                    super::join(|| panic!("first arm down"), || (0..512u64).sum::<u64>())
+                });
+                let payload = result.expect_err("first-arm panic must propagate");
+                let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+                assert_eq!(msg, "first arm down");
+            }
+            // Pool still healthy.
+            let (a, b) = super::join(|| 1u32, || 2u32);
+            assert_eq!((a, b), (1, 2));
+        });
+    }
+
+    /// Serializes env-flipping tests (cargo runs tests concurrently).
+    fn with_env_threads(n: &str, f: impl FnOnce()) {
+        use std::sync::Mutex;
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", n);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        match prev {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
         }
-        let main_id = std::thread::current().id();
-        let v: Vec<u32> = (0..64).collect();
-        let ids: Vec<std::thread::ThreadId> =
-            v.par_iter().map(|_| std::thread::current().id()).collect();
-        assert!(
-            ids.iter().any(|id| *id != main_id),
-            "no work left the calling thread"
-        );
+        if let Err(p) = outcome {
+            std::panic::resume_unwind(p);
+        }
     }
 }
