@@ -42,7 +42,7 @@ fn main() {
             profile.hdk_config(dfmax),
             OverlayKind::PGrid,
         );
-        let m = runner::measure_system(&net, &central, &log);
+        let m = runner::measure_system(&net.query_service(), &central, &log);
         t.row(&[
             dfmax.to_string(),
             fnum(m.stored_per_peer),

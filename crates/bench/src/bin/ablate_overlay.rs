@@ -37,7 +37,7 @@ fn main() {
             profile.hdk_config(profile.dfmax_values[0]),
             overlay,
         );
-        let m = runner::measure_system(&net, &central, &log);
+        let m = runner::measure_system(&net.query_service(), &central, &log);
         let s = net.snapshot();
         let ins = s.kind(MsgKind::IndexInsert);
         let look = s.kind(MsgKind::QueryLookup);

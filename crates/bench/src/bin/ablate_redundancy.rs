@@ -53,7 +53,7 @@ fn main() {
     );
     for (name, config) in variants {
         let net = HdkNetwork::build(&collection, &partitions, config, OverlayKind::PGrid);
-        let m = runner::measure_system(&net, &central, &log);
+        let m = runner::measure_system(&net.query_service(), &central, &log);
         let counts = net.index().index_counts();
         t.row(&[
             name.to_owned(),

@@ -33,7 +33,7 @@ fn main() {
         let mut config = profile.hdk_config(profile.dfmax_values[0]);
         config.window = w;
         let net = HdkNetwork::build(&collection, &partitions, config, OverlayKind::PGrid);
-        let m = runner::measure_system(&net, &central, &log);
+        let m = runner::measure_system(&net.query_service(), &central, &log);
         let counts = net.index().index_counts();
         t.row(&[
             w.to_string(),

@@ -1,0 +1,22 @@
+//! The simulated-network latency sweep: replay one build + query scenario
+//! over LAN / WAN / lossy-WAN `SimNet` models and tabulate per-kind
+//! delivery latencies, retransmissions and the virtual makespan.
+//!
+//! ```text
+//! cargo run -p hdk-bench --release --bin latency_sweep [peers docs queries]
+//! ```
+
+use hdk_bench::latency::{print_latency_sweep, run_latency_sweep};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric args: peers docs queries"))
+        .collect();
+    let peers = args.first().copied().unwrap_or(8);
+    let docs = args.get(1).copied().unwrap_or(600);
+    let queries = args.get(2).copied().unwrap_or(60);
+    eprintln!("[latency] peers={peers} docs={docs} queries={queries}");
+    let points = run_latency_sweep(peers, docs, queries);
+    print_latency_sweep(&points);
+}

@@ -1,0 +1,183 @@
+//! The simulated-network latency sweep: one scenario (build + query
+//! batch), replayed over `SimNet` configurations from LAN-fast to lossy
+//! WAN, reporting what the paper's message counts *cost in time* once a
+//! network model sits under them.
+//!
+//! Counts are backend-invariant (the RPC layer's contract), so every sweep
+//! point moves the identical messages — the table isolates the pure
+//! latency/queueing/loss dimension: per-kind mean / p99 / max delivery
+//! latency, retransmissions, and the virtual makespan of the whole
+//! scenario.
+
+use hdk_core::{BackendConfig, HdkConfig, HdkNetwork, OverlayKind};
+use hdk_corpus::{
+    partition_documents, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig,
+};
+use hdk_p2p::{MsgKind, PeerId, SimNetConfig};
+use hdk_text::TermId;
+
+/// One sweep point: the network model and what the scenario cost under it.
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// Label for the table (e.g. "lan", "wan", "lossy-wan").
+    pub label: &'static str,
+    /// The simulated network.
+    pub config: SimNetConfig,
+    /// Mean / p99 / max query-response latency, nanoseconds.
+    pub response_mean_ns: f64,
+    /// Coarse p99 bucket bound of the response latency.
+    pub response_p99_ns: u64,
+    /// Slowest response delivery.
+    pub response_max_ns: u64,
+    /// Mean insert delivery latency, nanoseconds.
+    pub insert_mean_ns: f64,
+    /// Retransmissions across all kinds (drop model).
+    pub retries: u64,
+    /// Total virtual network time of the scenario, nanoseconds.
+    pub virtual_ns: u64,
+}
+
+/// The sweep's network models: an in-rack LAN, a WAN, and a lossy WAN.
+pub fn sweep_configs() -> Vec<(&'static str, SimNetConfig)> {
+    vec![
+        (
+            "lan",
+            SimNetConfig {
+                seed: 7,
+                hop_ns: 50_000, // 50 µs per hop
+                jitter_ns: 10_000,
+                ns_per_byte: 1, // ~8 Gbit/s
+                drop_prob: 0.0,
+                timeout_ns: 1_000_000,
+            },
+        ),
+        (
+            "wan",
+            SimNetConfig {
+                seed: 7,
+                hop_ns: 15_000_000, // 15 ms per hop
+                jitter_ns: 5_000_000,
+                ns_per_byte: 8, // ~1 Gbit/s
+                drop_prob: 0.0,
+                timeout_ns: 50_000_000,
+            },
+        ),
+        (
+            "lossy-wan",
+            SimNetConfig {
+                seed: 7,
+                hop_ns: 15_000_000,
+                jitter_ns: 5_000_000,
+                ns_per_byte: 8,
+                drop_prob: 0.02,
+                timeout_ns: 50_000_000,
+            },
+        ),
+    ]
+}
+
+/// Builds the scenario once per configuration and measures it. `docs`
+/// documents over `peers` peers, `queries` log queries.
+pub fn run_latency_sweep(peers: usize, docs: usize, queries: usize) -> Vec<LatencyPoint> {
+    let collection = CollectionGenerator::new(GeneratorConfig {
+        num_docs: docs,
+        vocab_size: (docs * 12).max(2_000),
+        avg_doc_len: 60,
+        num_topics: (docs / 12).max(8),
+        topic_vocab: 50,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let partitions = partition_documents(docs, peers, 29);
+    let log = QueryLog::generate(
+        &collection,
+        &QueryLogConfig {
+            num_queries: queries,
+            ..QueryLogConfig::default()
+        },
+    );
+
+    sweep_configs()
+        .into_iter()
+        .map(|(label, config)| {
+            let network = HdkNetwork::build_with(
+                &collection,
+                &partitions,
+                HdkConfig {
+                    dfmax: 20,
+                    ff: 3_000,
+                    ..HdkConfig::default()
+                },
+                OverlayKind::PGrid,
+                BackendConfig::SimNet(config),
+            );
+            let service = network.query_service();
+            let batch: Vec<(PeerId, &[TermId])> = log
+                .queries
+                .iter()
+                .map(|q| (PeerId(u64::from(q.id) % peers as u64), q.terms.as_slice()))
+                .collect();
+            let _ = service.query_batch(&batch, 20);
+            let snap = service.snapshot();
+            let response = snap.latency(MsgKind::QueryResponse);
+            let insert = snap.latency(MsgKind::IndexInsert);
+            LatencyPoint {
+                label,
+                config,
+                response_mean_ns: response.mean_ns(),
+                response_p99_ns: response.quantile_ns(0.99),
+                response_max_ns: response.max_ns,
+                insert_mean_ns: insert.mean_ns(),
+                retries: MsgKind::ALL.iter().map(|&k| snap.latency(k).retries).sum(),
+                virtual_ns: service.virtual_time_ns(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as an aligned table on stdout.
+pub fn print_latency_sweep(points: &[LatencyPoint]) {
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12}",
+        "network", "resp mean", "resp p99", "resp max", "ins mean", "retries", "virtual"
+    );
+    let ms = |ns: f64| format!("{:.3}ms", ns / 1e6);
+    for p in points {
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12}",
+            p.label,
+            ms(p.response_mean_ns),
+            ms(p.response_p99_ns as f64),
+            ms(p.response_max_ns as f64),
+            ms(p.insert_mean_ns),
+            p.retries,
+            ms(p.virtual_ns as f64),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_orders_by_network_speed() {
+        let points = run_latency_sweep(4, 150, 20);
+        assert_eq!(points.len(), 3);
+        let (lan, wan, lossy) = (&points[0], &points[1], &points[2]);
+        assert!(lan.response_mean_ns > 0.0, "LAN must still take time");
+        assert!(
+            wan.response_mean_ns > lan.response_mean_ns * 10.0,
+            "WAN hops dominate: {} vs {}",
+            wan.response_mean_ns,
+            lan.response_mean_ns
+        );
+        assert_eq!(lan.retries + wan.retries, 0, "lossless configs never retry");
+        assert!(lossy.retries > 0, "2% drop must force retransmissions");
+        assert!(
+            lossy.response_mean_ns >= wan.response_mean_ns,
+            "loss can only slow the same message stream down"
+        );
+        assert!(lan.virtual_ns < wan.virtual_ns);
+    }
+}

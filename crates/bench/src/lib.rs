@@ -10,19 +10,23 @@
 //! * [`runner`] — the shared network-growth sweep that measures everything
 //!   Figures 3–7 plot,
 //! * [`memory`] — the resident posting-storage footprint report
-//!   (compressed blocks vs the decoded baseline).
+//!   (compressed blocks vs the decoded baseline),
+//! * [`latency`] — the `SimNet` latency sweep (one scenario over
+//!   LAN / WAN / lossy-WAN network models).
 //!
 //! Binaries (`cargo run -p hdk-bench --release --bin <name>`): `table1`,
 //! `table2`, `fig3`–`fig8`, `theory`, `experiments` (all of the above in
-//! one run), `memfoot`, `ablate_window`, `ablate_redundancy`,
-//! `ablate_dfmax`, `ablate_overlay`.
+//! one run), `memfoot`, `latency_sweep`, `ablate_window`,
+//! `ablate_redundancy`, `ablate_dfmax`, `ablate_overlay`.
 
 pub mod figures;
+pub mod latency;
 pub mod memory;
 pub mod profile;
 pub mod report;
 pub mod runner;
 
+pub use latency::{run_latency_sweep, LatencyPoint};
 pub use profile::ExperimentProfile;
 pub use report::Table;
 pub use runner::{run_growth_sweep, PointMeasurement, SystemMeasurement};

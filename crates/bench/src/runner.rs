@@ -11,7 +11,7 @@
 //! BM25 engine.
 
 use crate::profile::ExperimentProfile;
-use hdk_core::{HdkNetwork, SingleTermNetwork, MAX_KEY_SIZE};
+use hdk_core::{HdkNetwork, QueryService, SingleTermNetwork, MAX_KEY_SIZE};
 use hdk_corpus::{partition_documents, CollectionGenerator, QueryLog};
 use hdk_ir::{top_k_overlap, CentralizedEngine};
 use hdk_p2p::PeerId;
@@ -78,7 +78,7 @@ pub fn run_growth_sweep(profile: &ExperimentProfile) -> Vec<PointMeasurement> {
         );
 
         let st_net = SingleTermNetwork::build(&collection, &partitions, profile.overlay);
-        let st = measure_system(st_net.inner(), &central, &log);
+        let st = measure_system(&st_net.query_service(), &central, &log);
         eprintln!(
             "[sweep]   ST: stored/peer={:.0} retr/query={:.0}",
             st.stored_per_peer, st.retrieval_per_query
@@ -92,7 +92,7 @@ pub fn run_growth_sweep(profile: &ExperimentProfile) -> Vec<PointMeasurement> {
                 profile.hdk_config(dfmax),
                 profile.overlay,
             );
-            let m = measure_system(&net, &central, &log);
+            let m = measure_system(&net.query_service(), &central, &log);
             eprintln!(
                 "[sweep]   HDK(DFmax={dfmax}): stored/peer={:.0} retr/query={:.0} overlap={:.1}% \
                  fan-out/level={:?}",
@@ -117,12 +117,13 @@ pub fn run_growth_sweep(profile: &ExperimentProfile) -> Vec<PointMeasurement> {
     points
 }
 
-/// Builds the per-system measurement: build statistics plus a query batch
-/// (evaluated in parallel via [`HdkNetwork::query_batch_profiled`];
-/// outcomes are identical to the sequential loop and come back in log
-/// order, with each query's per-level execution profile alongside).
+/// Builds the per-system measurement over the system's read-path handle:
+/// build statistics plus a query batch (evaluated in parallel via
+/// [`QueryService::query_batch_profiled`]; outcomes are identical to the
+/// sequential loop and come back in log order, with each query's per-level
+/// execution profile alongside).
 pub fn measure_system(
-    network: &HdkNetwork,
+    network: &QueryService,
     central: &CentralizedEngine,
     log: &QueryLog,
 ) -> SystemMeasurement {

@@ -16,6 +16,21 @@
 //! `add_documents` / `join_peer`) and self-clears on mismatch, so stale
 //! postings can never be served.
 //!
+//! ## Lock striping
+//!
+//! Like the DHT, the cache is split into [`NUM_CACHE_STRIPES`] lock-striped
+//! shards keyed by key-hash bits, with the LRU clock and occupancy as
+//! global atomics — so a cache shared by several query threads (a
+//! multi-tenant tier) contends per stripe, not on one global mutex, while
+//! the canonical single-caller usage behaves *exactly* like the former
+//! single-map implementation: same hits, same misses, same statistics,
+//! same eviction victims (eviction still removes the globally
+//! least-recently-stamped entry, found by a cross-stripe scan that takes
+//! one stripe lock at a time and never nests locks). Under concurrent
+//! callers the LRU scan is best-effort — a racing insert can land between
+//! scan and removal — which only ever evicts a slightly-newer entry, never
+//! serves a stale one.
+//!
 //! ## Level-batched access
 //!
 //! The plan/execute query pipeline resolves one lattice level at a time,
@@ -35,6 +50,18 @@ use crate::global_index::KeyLookup;
 use crate::key::Key;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of cache lock stripes (a power of two: stripe selection is a
+/// mask over the key's well-mixed DHT hash, exactly like the DHT's own
+/// striping).
+pub const NUM_CACHE_STRIPES: usize = 16;
+
+/// The stripe a key caches in.
+#[inline]
+fn stripe_of(key: &Key) -> usize {
+    (key.dht_hash().0 as usize) & (NUM_CACHE_STRIPES - 1)
+}
 
 /// Hit/miss counters of one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,45 +94,43 @@ impl CachePeek {
 }
 
 #[derive(Debug, Default)]
-struct Inner {
+struct Stripe {
     /// `None` values cache *absence* — sound because any index change
     /// bumps the epoch and clears the cache.
     map: HashMap<Key, (Option<KeyLookup>, u64)>,
-    clock: u64,
     epoch: u64,
     stats: CacheStats,
 }
 
-impl Inner {
-    /// Drops every entry when the observed index epoch moved.
-    fn sync_epoch(&mut self, epoch: u64) {
-        if self.epoch != epoch {
-            self.map.clear();
-            self.epoch = epoch;
-        }
-    }
-
-    /// Inserts under the capacity bound, evicting the LRU entry first when
-    /// full.
-    fn insert_bounded(&mut self, capacity: usize, key: Key, value: Option<KeyLookup>, clock: u64) {
-        if self.map.len() >= capacity {
-            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, (_, s))| *s) {
-                self.map.remove(&victim);
-            }
-        }
-        self.map.insert(key, (value, clock));
+impl Stripe {
+    /// True when a caller observing `epoch` may read/write this stripe's
+    /// entries: the stripe is at that epoch. A *stale* caller (its epoch
+    /// is older — it overlapped a growth publication) must bypass the map
+    /// entirely: serving it newer entries would answer a question about an
+    /// index state it never observed, and storing its responses would
+    /// plant pre-growth data in the post-growth cache.
+    fn current(&self, epoch: u64) -> bool {
+        self.epoch == epoch
     }
 }
 
-/// A bounded LRU cache of key-lookup responses.
+/// A bounded LRU cache of key-lookup responses, lock-striped like the DHT.
 #[derive(Debug)]
 pub struct QueryCache {
     capacity: usize,
-    inner: Mutex<Inner>,
+    /// Global LRU clock: every access stamps with a fresh tick, so stamps
+    /// are unique and totally ordered across stripes.
+    clock: AtomicU64,
+    /// Global occupancy (entries across all stripes).
+    len: AtomicUsize,
+    /// Last index epoch any caller observed — the fast path that lets
+    /// every access skip the cross-stripe invalidation sweep.
+    epoch: AtomicU64,
+    stripes: Vec<Mutex<Stripe>>,
 }
 
 impl QueryCache {
-    /// Cache holding at most `capacity` keys.
+    /// Cache holding at most `capacity` keys (across all stripes).
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
@@ -113,7 +138,91 @@ impl QueryCache {
         assert!(capacity > 0, "cache needs capacity");
         Self {
             capacity,
-            inner: Mutex::new(Inner::default()),
+            clock: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            stripes: (0..NUM_CACHE_STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
+        }
+    }
+
+    /// Invalidates wholesale when the observed index epoch moved
+    /// *forward*: one atomic load on the hot path; on an advance (rare —
+    /// the index grew) every stripe is swept, one lock at a time, so the
+    /// cache empties exactly like the pre-striping single-map
+    /// implementation did.
+    ///
+    /// Epochs are monotonic (the engine's growth counter), so a straggler
+    /// still carrying an older epoch — a query that overlapped a growth
+    /// publication — must never *roll the cache back*: it skips the sweep
+    /// here, and every per-entry operation below checks
+    /// [`Stripe::current`] so the straggler neither reads newer entries
+    /// nor pollutes them with its old-epoch responses.
+    fn observe_epoch(&self, epoch: u64) {
+        if self.epoch.load(Ordering::Acquire) < epoch {
+            for stripe in 0..NUM_CACHE_STRIPES {
+                drop(self.lock_synced(stripe, epoch));
+            }
+            self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        }
+    }
+
+    /// Locks `key`'s stripe, dropping its entries if the observed index
+    /// epoch moved forward (stripes clear lazily, on first access per
+    /// epoch). A stale `epoch` leaves the stripe untouched — the caller
+    /// must consult [`Stripe::current`] before reading or writing entries.
+    fn lock_synced(&self, stripe: usize, epoch: u64) -> parking_lot::MutexGuard<'_, Stripe> {
+        let mut guard = self.stripes[stripe].lock();
+        if guard.epoch < epoch {
+            self.len.fetch_sub(guard.map.len(), Ordering::AcqRel);
+            guard.map.clear();
+            guard.epoch = epoch;
+        }
+        guard
+    }
+
+    /// Takes the next LRU clock tick.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Inserts `key` into its (already locked and synced) stripe; the
+    /// caller must follow up with [`QueryCache::enforce_capacity`] *after*
+    /// releasing the stripe lock.
+    fn insert_entry(&self, guard: &mut Stripe, key: Key, value: Option<KeyLookup>, clock: u64) {
+        if guard.map.insert(key, (value, clock)).is_none() {
+            self.len.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Evicts globally least-recently-stamped entries until the occupancy
+    /// is back under the capacity bound. Scans stripes one lock at a time
+    /// (locks never nest, so concurrent callers evicting from different
+    /// stripes cannot deadlock); the freshly inserted entry carries the
+    /// newest stamp and is therefore never its own victim.
+    fn enforce_capacity(&self, epoch: u64) {
+        while self.len.load(Ordering::Acquire) > self.capacity {
+            let mut victim: Option<(usize, Key, u64)> = None;
+            for stripe in 0..NUM_CACHE_STRIPES {
+                let guard = self.lock_synced(stripe, epoch);
+                for (key, (_, stamp)) in guard.map.iter() {
+                    if victim.as_ref().is_none_or(|(_, _, best)| stamp < best) {
+                        victim = Some((stripe, *key, *stamp));
+                    }
+                }
+            }
+            let Some((stripe, key, stamp)) = victim else {
+                return; // an epoch sweep emptied everything mid-scan
+            };
+            let mut guard = self.lock_synced(stripe, epoch);
+            // Remove only if the entry is still the one we scanned: a
+            // racing hit may have re-stamped it (then it is no longer the
+            // LRU and the loop rescans).
+            if guard.map.get(&key).is_some_and(|(_, s)| *s == stamp) {
+                guard.map.remove(&key);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+            }
         }
     }
 
@@ -126,26 +235,34 @@ impl QueryCache {
         key: Key,
         fetch: impl FnOnce() -> Option<KeyLookup>,
     ) -> Option<KeyLookup> {
-        let mut inner = self.inner.lock();
-        inner.sync_epoch(epoch);
-        inner.clock += 1;
-        let clock = inner.clock;
-        if let Some((cached, stamp)) = inner.map.get_mut(&key) {
+        self.observe_epoch(epoch);
+        let stripe = stripe_of(&key);
+        let mut guard = self.lock_synced(stripe, epoch);
+        if !guard.current(epoch) {
+            // Stale caller (raced a growth publication): serve the fetch
+            // without touching the newer cache contents.
+            guard.stats.misses += 1;
+            return fetch();
+        }
+        let clock = self.tick();
+        if let Some((cached, stamp)) = guard.map.get_mut(&key) {
             *stamp = clock;
             let result = cached.clone();
-            inner.stats.hits += 1;
-            inner.stats.postings_saved += result.as_ref().map_or(0, |l| l.postings.len() as u64);
-            inner.stats.bytes_saved += result
+            guard.stats.hits += 1;
+            guard.stats.postings_saved += result.as_ref().map_or(0, |l| l.postings.len() as u64);
+            guard.stats.bytes_saved += result
                 .as_ref()
                 .map_or(0, |l| l.postings.encoded_len() as u64);
             return result;
         }
-        inner.stats.misses += 1;
-        // Fetch outside the borrow of the map entry but inside the lock:
-        // lookups of the same key from one peer are serialized, which is
-        // what a real per-peer cache does.
+        guard.stats.misses += 1;
+        // Fetch inside the stripe lock: lookups of the same key from one
+        // peer are serialized (what a real per-peer cache does), while
+        // other stripes stay reachable for concurrent callers.
         let fetched = fetch();
-        inner.insert_bounded(self.capacity, key, fetched.clone(), clock);
+        self.insert_entry(&mut guard, key, fetched.clone(), clock);
+        drop(guard);
+        self.enforce_capacity(epoch);
         fetched
     }
 
@@ -156,9 +273,9 @@ impl QueryCache {
     /// been resolved, so bookkeeping happens in canonical key order rather
     /// than probe-completion order.
     ///
-    /// Unlike [`QueryCache::get_or_fetch`] (which holds the cache lock
-    /// across its fetch, serializing concurrent lookups of one key), the
-    /// lock is released between peek and commit. A [`QueryCache`] is a
+    /// Unlike [`QueryCache::get_or_fetch`] (which holds the key's stripe
+    /// lock across its fetch, serializing concurrent lookups of one key),
+    /// no lock is held between peek and commit. A [`QueryCache`] is a
     /// *per-peer* structure queried by one caller at a time — the
     /// executor's contract; two threads running `query_cached` against the
     /// same cache concurrently would both miss on a cold key and probe it
@@ -166,12 +283,18 @@ impl QueryCache {
     /// interleaving-dependent stats, which would also break thread-count
     /// invariance for traffic counters).
     pub fn peek_level(&self, epoch: u64, keys: &[Key]) -> Vec<CachePeek> {
-        let mut inner = self.inner.lock();
-        inner.sync_epoch(epoch);
+        self.observe_epoch(epoch);
         keys.iter()
-            .map(|key| match inner.map.get(key) {
-                Some((cached, _)) => CachePeek::Hit(cached.clone()),
-                None => CachePeek::Miss,
+            .map(|key| {
+                let guard = self.lock_synced(stripe_of(key), epoch);
+                if !guard.current(epoch) {
+                    // Stale caller: the newer entries are not its to read.
+                    return CachePeek::Miss;
+                }
+                match guard.map.get(key) {
+                    Some((cached, _)) => CachePeek::Hit(cached.clone()),
+                    None => CachePeek::Miss,
+                }
             })
             .collect()
     }
@@ -179,8 +302,9 @@ impl QueryCache {
     /// Phase two of a level-batched lookup: applies the level's bookkeeping
     /// in the order given (the executor passes canonical key order). For
     /// each `(key, resolved, was_hit)` triple: hits advance the entry's LRU
-    /// stamp and the hit/savings counters; misses count, evict the LRU
-    /// victim when at capacity, and insert the freshly fetched response.
+    /// stamp and the hit/savings counters; misses count, insert the freshly
+    /// fetched response, and evict the (globally) LRU victim when over
+    /// capacity.
     ///
     /// Whenever the capacity covers a level's candidate set (the common
     /// case — levels are at most a few dozen keys wide), peek + commit
@@ -193,42 +317,66 @@ impl QueryCache {
     /// before commit (the sequential loop would have re-probed it), and
     /// commit re-inserts such an entry so its LRU state stays coherent.
     pub fn commit_level(&self, epoch: u64, entries: &[(Key, Option<KeyLookup>, bool)]) {
-        let mut inner = self.inner.lock();
-        inner.sync_epoch(epoch);
+        self.observe_epoch(epoch);
         for (key, resolved, was_hit) in entries {
-            inner.clock += 1;
-            let clock = inner.clock;
+            let mut guard = self.lock_synced(stripe_of(key), epoch);
+            if !guard.current(epoch) {
+                // Stale caller: its responses describe a pre-growth index
+                // — count the outcome, never store it.
+                if *was_hit {
+                    guard.stats.hits += 1;
+                } else {
+                    guard.stats.misses += 1;
+                }
+                continue;
+            }
+            let clock = self.tick();
             if *was_hit {
-                inner.stats.hits += 1;
-                inner.stats.postings_saved +=
+                guard.stats.hits += 1;
+                guard.stats.postings_saved +=
                     resolved.as_ref().map_or(0, |l| l.postings.len() as u64);
-                inner.stats.bytes_saved += resolved
+                guard.stats.bytes_saved += resolved
                     .as_ref()
                     .map_or(0, |l| l.postings.encoded_len() as u64);
-                match inner.map.get_mut(key) {
+                match guard.map.get_mut(key) {
                     Some((_, stamp)) => *stamp = clock,
                     // Evicted between peek and commit (an earlier miss in
                     // this level filled the cache): the response was still
                     // served locally, so restore the entry at the fresh
                     // stamp — under the capacity bound — rather than
                     // leaving the hit untracked.
-                    None => inner.insert_bounded(self.capacity, *key, resolved.clone(), clock),
+                    None => {
+                        self.insert_entry(&mut guard, *key, resolved.clone(), clock);
+                        drop(guard);
+                        self.enforce_capacity(epoch);
+                    }
                 }
                 continue;
             }
-            inner.stats.misses += 1;
-            inner.insert_bounded(self.capacity, *key, resolved.clone(), clock);
+            guard.stats.misses += 1;
+            self.insert_entry(&mut guard, *key, resolved.clone(), clock);
+            drop(guard);
+            self.enforce_capacity(epoch);
         }
     }
 
-    /// Current counters.
+    /// Current counters, aggregated over the stripes.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        let mut total = CacheStats::default();
+        for stripe in &self.stripes {
+            let guard = stripe.lock();
+            total.hits += guard.stats.hits;
+            total.misses += guard.stats.misses;
+            total.postings_saved += guard.stats.postings_saved;
+            total.bytes_saved += guard.stats.bytes_saved;
+        }
+        total
     }
 
-    /// Number of cached keys.
+    /// Number of cached keys (entries of a stale epoch count until an
+    /// access sweeps their stripe, as before the striping).
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.len.load(Ordering::Acquire)
     }
 
     /// True when nothing is cached.
@@ -429,6 +577,102 @@ mod tests {
         assert!(peeks[0].is_hit());
         assert!(!peeks[1].is_hit());
         assert_eq!(cache.stats(), stats, "peek must not touch counters");
+    }
+
+    #[test]
+    fn stale_epoch_callers_neither_sweep_nor_pollute() {
+        // A straggler still carrying a pre-growth epoch (it overlapped the
+        // growth publication) must not roll the cache back: no sweep of
+        // the fresh entries, no reads of them, no insertion of its own
+        // pre-growth responses.
+        let cache = QueryCache::new(8);
+        cache.get_or_fetch(1, key(1), || Some(lookup(1)));
+        assert_eq!(cache.len(), 1);
+
+        // Stale get_or_fetch: forced to fetch, nothing cached, nothing
+        // swept.
+        let mut fetched = false;
+        let got = cache.get_or_fetch(0, key(1), || {
+            fetched = true;
+            Some(lookup(99))
+        });
+        assert!(fetched, "stale caller must not be served newer entries");
+        assert_eq!(got.unwrap().df, 99);
+        assert_eq!(cache.len(), 1, "stale fetch must not be cached");
+
+        // Stale peek: always a miss; stale commit: counted, not stored.
+        assert!(!cache.peek_level(0, &[key(1)])[0].is_hit());
+        cache.commit_level(0, &[(key(2), Some(lookup(2)), false)]);
+        assert_eq!(cache.len(), 1, "stale commit must not plant entries");
+
+        // The current-epoch view is untouched throughout.
+        assert!(cache.peek_level(1, &[key(1)])[0].is_hit());
+        let mut refetched = false;
+        let got = cache.get_or_fetch(1, key(1), || {
+            refetched = true;
+            None
+        });
+        assert!(!refetched, "fresh entry survived the stale traffic");
+        assert_eq!(got.unwrap().df, 1, "epoch-1 value, not the stale 99");
+        let s = cache.stats();
+        assert_eq!(
+            (s.hits, s.misses),
+            (1, 3),
+            "peeks never count, stale ops do"
+        );
+    }
+
+    #[test]
+    fn concurrent_callers_hit_disjoint_stripes_safely() {
+        // The striping exists for shared (multi-tenant) use: hammer the
+        // cache from several threads and check the global accounting.
+        // Capacity covers the working set, so every op is exactly one hit
+        // or one miss and no evictions interfere.
+        let cache = std::sync::Arc::new(QueryCache::new(256));
+        let threads = 4;
+        let per_thread = 500;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // 64 distinct keys shared across threads.
+                        let k = key((t * per_thread + i) % 64);
+                        let _ =
+                            cache.get_or_fetch(0, k, || Some(lookup(k.terms().next().unwrap().0)));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, (threads * per_thread) as u64);
+        assert_eq!(cache.len(), 64, "every distinct key cached exactly once");
+        // Each key fetched at most once per thread racing on it, at least
+        // once overall.
+        assert!(stats.misses >= 64 && stats.misses <= (threads * 64) as u64);
+    }
+
+    #[test]
+    fn eviction_under_concurrency_respects_capacity() {
+        let cache = std::sync::Arc::new(QueryCache::new(8));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let k = key(t * 1_000 + i);
+                        let _ = cache.get_or_fetch(3, k, || Some(lookup(i)));
+                    }
+                });
+            }
+        });
+        assert!(
+            cache.len() <= 8,
+            "capacity bound must hold once all callers drain ({} > 8)",
+            cache.len()
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
     }
 
     #[test]

@@ -1,24 +1,47 @@
 //! The HDK network engine: N peers collaboratively building the global
-//! index over a structured overlay.
+//! index over a structured overlay, split into service facades over a
+//! pluggable network backend.
 //!
-//! Orchestrates the iterative protocol of Section 3.1 in bulk-synchronous
-//! rounds (one per key size): peers compute and insert their local key
-//! postings in parallel, then the hosting peers sweep their index fractions
-//! and the resulting "key became globally non-discriminative" notifications
-//! are delivered before the next round. Everything that crosses peer
-//! boundaries is metered.
+//! [`HdkNetwork::build`] constructs the system and runs the iterative
+//! protocol of Section 3.1 in bulk-synchronous rounds (one per key size):
+//! peers compute and insert their local key postings in parallel, then the
+//! hosting peers sweep their index fractions and the resulting "key became
+//! globally non-discriminative" notifications are delivered before the
+//! next round. Everything that crosses peer boundaries travels as a typed
+//! message through the chosen [`BackendConfig`] backend.
+//!
+//! ## Service facades
+//!
+//! The built system is owned as two service handles over one shared core:
+//!
+//! * [`IndexService`] — the write path: incremental document additions and
+//!   peer joins (single or [bulk](IndexService::join_peers)), each running
+//!   the incremental indexing protocol;
+//! * [`QueryService`] — the read path: plan/execute retrieval, batched and
+//!   cached variants, plus every measurement accessor. The handle is
+//!   `Clone + Send + Sync` and queries take `&self`, so it can be shared
+//!   across threads — concurrent queries proceed in parallel and only a
+//!   peer join (which rewires the overlay) briefly blocks them.
+//!
+//! [`HdkNetwork`] is a thin owner of both; callers that need the split
+//! (e.g. a query pool on one thread, churn on another) take the handles
+//! via [`HdkNetwork::query_service`] / [`HdkNetwork::index_service`] or
+//! [`HdkNetwork::into_services`].
 
 use crate::config::HdkConfig;
-use crate::global_index::GlobalIndex;
+use crate::global_index::{GlobalIndex, IndexStore};
 use crate::key::Key;
 use crate::local_indexer::LocalPeer;
 use crate::stats::BuildReport;
 use hdk_corpus::{Collection, DocId, FrequencyStats};
 use hdk_ir::CompressedPostings;
-use hdk_p2p::{ChordRing, Overlay, PGrid, PeerId, TrafficSnapshot};
+use hdk_p2p::{ChordRing, InProc, Overlay, PGrid, PeerId, SimNet, SimNetConfig, TrafficSnapshot};
 use hdk_text::TermId;
+use parking_lot::{RwLock, RwLockReadGuard};
 use rayon::prelude::*;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Which routing substrate to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,77 +62,212 @@ impl OverlayKind {
     }
 }
 
-/// A fully built HDK retrieval network.
-pub struct HdkNetwork {
+/// Which network carries the engine's messages to the DHT.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BackendConfig {
+    /// Synchronous in-process dispatch into the lock-striped DHT — the
+    /// zero-cost default; golden reports, traffic counters and top-k
+    /// score bits are bit-identical to the pre-RPC engine.
+    #[default]
+    InProc,
+    /// The deterministic simulated network: per-link FIFO queues, seeded
+    /// latency/jitter/drop, per-kind latency histograms, virtual clock.
+    /// Traffic *counts* match `InProc` for the same scenario.
+    SimNet(SimNetConfig),
+}
+
+impl BackendConfig {
+    fn build(
+        self,
+        overlay: Box<dyn Overlay>,
+        dfmax: u32,
+    ) -> Box<dyn hdk_p2p::NetworkBackend<IndexStore>> {
+        match self {
+            BackendConfig::InProc => Box::new(InProc::new(overlay, IndexStore::new(dfmax))),
+            BackendConfig::SimNet(config) => {
+                Box::new(SimNet::new(overlay, IndexStore::new(dfmax), config))
+            }
+        }
+    }
+}
+
+/// The state both services share: configuration, the global index behind
+/// its backend, and the collection-level statistics queries rank with.
+///
+/// The index sits behind an `RwLock` written only by peer joins (the one
+/// operation that rewires the overlay); every query and even the indexing
+/// rounds take read access, so the read path genuinely shares.
+pub(crate) struct SystemCore {
     pub(crate) config: HdkConfig,
-    pub(crate) index: GlobalIndex,
-    peers: Vec<LocalPeer>,
-    pub(crate) num_docs: usize,
-    pub(crate) avg_doc_len: f64,
-    sample_size: u64,
-    rounds_run: usize,
+    pub(crate) index: RwLock<GlobalIndex>,
+    num_docs: AtomicUsize,
+    sample_size: AtomicU64,
+    rounds_run: AtomicUsize,
     /// Bumped whenever the index content changes (`add_documents`,
-    /// `join_peer`); query caches key their validity to this.
-    epoch: u64,
+    /// `join_peer(s)`); query caches key their validity to this.
+    epoch: AtomicU64,
     /// Very-frequent terms excluded from the key vocabulary, fixed at
     /// build time (the paper, too, derives its stop set during
     /// preprocessing; periodic full rebuilds would refresh it).
-    excluded: HashSet<TermId>,
+    pub(crate) excluded: HashSet<TermId>,
 }
 
-impl HdkNetwork {
-    /// Builds the network: distributes `collection` over the peers
-    /// according to `partitions` (one document-id set per peer), runs the
-    /// full iterative indexing protocol, and returns the ready network.
-    ///
-    /// # Panics
-    /// Panics on an invalid configuration or empty partition list.
-    pub fn build(
-        collection: &Collection,
-        partitions: &[Vec<DocId>],
-        config: HdkConfig,
-        overlay: OverlayKind,
-    ) -> Self {
-        config.validate();
-        assert!(!partitions.is_empty(), "need at least one peer");
-
-        // Very frequent terms (f_D > Ff) leave the key vocabulary entirely
-        // (Section 4.1). The paper applies this as a preprocessing step
-        // with collection-level statistics; we do the same.
-        let stats = FrequencyStats::compute(collection);
-        let excluded: HashSet<TermId> = stats.very_frequent_terms(config.ff).into_iter().collect();
-
-        let peer_ids: Vec<PeerId> = (0..partitions.len() as u64).map(PeerId).collect();
-        let peers: Vec<LocalPeer> = partitions
-            .iter()
-            .zip(&peer_ids)
-            .map(|(docs, &id)| {
-                LocalPeer::new(
-                    id,
-                    docs.iter()
-                        .map(|&d| (d, collection.doc(d).tokens.clone()))
-                        .collect(),
-                )
-            })
-            .collect();
-
-        let index = GlobalIndex::new(overlay.build(peer_ids), config.dfmax);
-        let coll_stats = collection.stats();
-        let mut network = Self {
-            config,
-            index,
-            peers,
-            num_docs: coll_stats.num_documents,
-            avg_doc_len: coll_stats.avg_doc_len,
-            sample_size: coll_stats.sample_size as u64,
-            rounds_run: 0,
-            epoch: 0,
-            excluded,
-        };
-        network.run_session();
-        network
+impl SystemCore {
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
+    /// Publishes the outcome of one completed growth operation: the
+    /// document/sample counters advance and the epoch bumps, all while
+    /// holding the index *write* lock. Queries hold the read lock for
+    /// their whole run, so no query ever observes a torn pair (new
+    /// `sample_size` with old `num_docs`) or — worse — a new epoch with a
+    /// half-indexed session: the epoch only moves once every posting of
+    /// the session is resident, which is what lets `QueryCache` entries
+    /// committed *during* the session (under the old epoch) be swept
+    /// instead of served. `rounds` is the completed session's round count
+    /// — published here, under the same lock, so a racing `build_report`
+    /// never pairs an in-flight session's rounds with pre-growth
+    /// statistics.
+    fn publish_growth(&self, new_docs: usize, new_sample: u64, rounds: usize) {
+        let _guard = self.index.write();
+        self.num_docs.fetch_add(new_docs, Ordering::AcqRel);
+        self.sample_size.fetch_add(new_sample, Ordering::AcqRel);
+        self.rounds_run.store(rounds, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn num_docs(&self) -> usize {
+        self.num_docs.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn sample_size(&self) -> u64 {
+        self.sample_size.load(Ordering::Acquire)
+    }
+
+    /// Global average document length, derived from the live counters with
+    /// the same `sample / docs` division [`Collection::stats`] uses — so
+    /// the ranking statistics are bit-identical to the former cached
+    /// field.
+    pub(crate) fn avg_doc_len(&self) -> f64 {
+        let docs = self.num_docs();
+        if docs == 0 {
+            0.0
+        } else {
+            self.sample_size() as f64 / docs as f64
+        }
+    }
+}
+
+/// The read path: retrieval and measurement over the built index.
+///
+/// A cheap clonable handle (`Arc` inside); queries take `&self` and run
+/// concurrently from any number of threads. Obtain one via
+/// [`HdkNetwork::query_service`].
+#[derive(Clone)]
+pub struct QueryService {
+    core: Arc<SystemCore>,
+}
+
+impl QueryService {
+    pub(crate) fn core(&self) -> &SystemCore {
+        &self.core
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &HdkConfig {
+        &self.core.config
+    }
+
+    /// Index epoch: increments on every content change, so query caches
+    /// can detect staleness (see [`crate::cache::QueryCache`]).
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// Read access to the global index (measurements, ablations).
+    ///
+    /// Use it as a temporary (`service.index().index_counts()`), dropped
+    /// at the end of the statement. Do **not** call other `QueryService` /
+    /// `HdkNetwork` methods while holding the guard: they re-acquire the
+    /// same lock, and a recursive read while a peer join is queued for
+    /// the write lock can deadlock (std `RwLock` makes no recursion
+    /// guarantee, and a fair lock would deadlock deterministically).
+    pub fn index(&self) -> RwLockReadGuard<'_, GlobalIndex> {
+        self.core.index.read()
+    }
+
+    /// Number of peers.
+    pub fn num_peers(&self) -> usize {
+        self.index().overlay().len()
+    }
+
+    /// Number of indexed documents (`M`).
+    pub fn num_docs(&self) -> usize {
+        self.core.num_docs()
+    }
+
+    /// Collection sample size (`D`, total term occurrences).
+    pub fn sample_size(&self) -> u64 {
+        self.core.sample_size()
+    }
+
+    /// Global average document length (every peer knows the coarse
+    /// collection statistics used for ranking).
+    pub fn avg_doc_len(&self) -> f64 {
+        self.core.avg_doc_len()
+    }
+
+    /// Indexing rounds actually executed in the latest session (can stop
+    /// early when every key is discriminative).
+    pub fn rounds_run(&self) -> usize {
+        self.core.rounds_run.load(Ordering::Acquire)
+    }
+
+    /// Current traffic counters (plus latency histograms when the backend
+    /// simulates time).
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        self.index().snapshot()
+    }
+
+    /// Virtual network nanoseconds consumed so far (0 on the in-process
+    /// backend).
+    pub fn virtual_time_ns(&self) -> u64 {
+        self.index().virtual_time_ns()
+    }
+
+    /// Aggregated build statistics for the experiment harness.
+    pub fn build_report(&self) -> BuildReport {
+        let index = self.index();
+        BuildReport {
+            num_peers: index.overlay().len(),
+            num_docs: self.core.num_docs(),
+            sample_size: self.core.sample_size(),
+            rounds: self.rounds_run(),
+            inserted_by_size: index.inserted_by_size(),
+            stored_per_peer: index.stored_postings_per_peer(),
+            counts: index.index_counts(),
+            traffic: index.snapshot(),
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("docs", &self.num_docs())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+/// The write path: incremental growth of a built network.
+pub struct IndexService {
+    core: Arc<SystemCore>,
+    peers: Vec<LocalPeer>,
+}
+
+impl IndexService {
     /// Indexes additional documents without rebuilding: the paper's growth
     /// scenario ("peers joining the network and increasing the document
     /// collection") executed incrementally. Each document is assigned to an
@@ -131,14 +289,14 @@ impl HdkNetwork {
         // order and traffic attribution — varied run to run.
         let mut grouped: std::collections::BTreeMap<PeerId, Vec<(DocId, Vec<TermId>)>> =
             std::collections::BTreeMap::new();
+        let mut new_docs = 0usize;
+        let mut new_sample = 0u64;
         for (peer, doc) in additions {
             assert!(!doc.is_empty(), "cannot index an empty document {}", doc.id);
-            self.num_docs += 1;
-            self.sample_size += doc.len() as u64;
+            new_docs += 1;
+            new_sample += doc.len() as u64;
             grouped.entry(peer).or_default().push((doc.id, doc.tokens));
         }
-        self.avg_doc_len = self.sample_size as f64 / self.num_docs as f64;
-        self.epoch += 1;
         for (peer_id, docs) in grouped {
             let peer = self
                 .peers
@@ -147,7 +305,84 @@ impl HdkNetwork {
                 .unwrap_or_else(|| panic!("unknown peer {peer_id}"));
             peer.add_documents(docs);
         }
-        self.run_session();
+        let rounds = self.run_session();
+        // Only now — with every posting of the session resident — do the
+        // collection statistics, round count and epoch become visible to
+        // queries.
+        self.core.publish_growth(new_docs, new_sample, rounds);
+    }
+
+    /// A new peer joins the running network with its own documents — the
+    /// paper's growth model in full: the overlay splits a region for the
+    /// peer, the affected index fraction migrates to it (maintenance
+    /// traffic, the `Migrate` message), and the peer's documents are
+    /// indexed incrementally. Returns the migration volume.
+    ///
+    /// # Panics
+    /// Panics if the peer already exists or a document id is taken.
+    pub fn join_peer(
+        &mut self,
+        peer: PeerId,
+        docs: Vec<hdk_corpus::Document>,
+    ) -> hdk_p2p::MigrationStats {
+        self.join_peers(vec![(peer, docs)])
+            .pop()
+            .expect("one join, one migration")
+    }
+
+    /// Bulk admission: `joins` peers enter the overlay back to back (one
+    /// `Migrate` message each, in the given order), then *one* incremental
+    /// indexing session indexes all their documents together.
+    ///
+    /// Compared with N sequential [`IndexService::join_peer`] calls this
+    /// amortizes the re-announce sweep: keys that newly become
+    /// non-discriminative trigger one re-examination of the old documents
+    /// instead of up to N, and the joiners' inserts batch into shared
+    /// bulk-synchronous rounds — strictly fewer messages for the identical
+    /// final index content (pinned by `tests/churn_growth.rs`).
+    ///
+    /// Returns one [`hdk_p2p::MigrationStats`] per join, in input order.
+    ///
+    /// # Panics
+    /// Panics if any peer already exists (or appears twice) or a document
+    /// id is taken.
+    pub fn join_peers(
+        &mut self,
+        joins: Vec<(PeerId, Vec<hdk_corpus::Document>)>,
+    ) -> Vec<hdk_p2p::MigrationStats> {
+        if joins.is_empty() {
+            return Vec::new();
+        }
+        let mut stats = Vec::with_capacity(joins.len());
+        {
+            let mut index = self.core.index.write();
+            for (peer, _) in &joins {
+                assert!(
+                    self.peers.iter().all(|p| p.id != *peer),
+                    "{peer} already in the network"
+                );
+                stats.push(index.add_peer(*peer));
+                self.peers.push(LocalPeer::new(*peer, Vec::new()));
+            }
+        }
+        let additions: Vec<(PeerId, hdk_corpus::Document)> = joins
+            .into_iter()
+            .flat_map(|(peer, docs)| docs.into_iter().map(move |d| (peer, d)))
+            .collect();
+        if additions.is_empty() {
+            // Doc-less joins still rewired the overlay; invalidate caches
+            // (the round count is unchanged — no session ran).
+            let rounds = self.core.rounds_run.load(Ordering::Acquire);
+            self.core.publish_growth(0, 0, rounds);
+        } else {
+            self.add_documents(additions);
+        }
+        stats
+    }
+
+    /// The peers (inspection).
+    pub fn peers(&self) -> &[LocalPeer] {
+        &self.peers
     }
 
     /// Runs rounds 1..=smax of the protocol over the peers' pending
@@ -163,19 +398,25 @@ impl HdkNetwork {
     ///    purely local state and encodes each list into its wire/storage
     ///    block, fanned out over the rayon pool; results come back in
     ///    `PeerId` order with each batch sorted by key;
-    /// 2. **apply** — [`GlobalIndex::insert_round`] partitions the batches
-    ///    by DHT stripe and applies each stripe's inserts in `(PeerId,
-    ///    Key)` order, stripes in parallel;
+    /// 2. **apply** — the whole round ships as one `InsertBatch` message
+    ///    set; the backend partitions it by DHT stripe and applies each
+    ///    stripe's inserts in `(PeerId, Key)` order, stripes in parallel;
     /// 3. **sweep** — [`GlobalIndex::classify_round`] runs the end-of-round
-    ///    NDK classification stripe-parallel and the merged notifications
-    ///    are delivered sorted.
-    fn run_session(&mut self) {
-        // `insert_round` applies per-stripe inserts in peer order; keep the
-        // fan-out order canonical even after out-of-order `join_peer` ids.
+    ///    NDK classification stripe-parallel (host-local, free) and the
+    ///    merged notifications are delivered sorted as `Notify` messages.
+    ///
+    /// Returns the number of rounds executed; the caller publishes it
+    /// (together with the statistics and the epoch) once the session's
+    /// postings are all resident.
+    fn run_session(&mut self) -> usize {
+        // The insert round applies per-stripe inserts in peer order; keep
+        // the fan-out order canonical even after out-of-order join ids.
         self.peers.sort_unstable_by_key(|p| p.id);
-        for round in 1..=self.config.smax {
-            let config = &self.config;
-            let excluded = &self.excluded;
+        let index = self.core.index.read();
+        let config = &self.core.config;
+        let excluded = &self.core.excluded;
+        let mut rounds = 0;
+        for round in 1..=config.smax {
             let collect_keys = !config.redundancy_filtering;
             // Phase 1: parallel local candidate generation (pure). Each
             // list is encoded into its compressed block right here at the
@@ -207,14 +448,15 @@ impl HdkNetwork {
             } else {
                 Vec::new()
             };
-            // Phase 2: stripe-parallel apply. Feedback = keys whose insert
-            // acknowledgement reported "already non-discriminative"
-            // (late-joiner feedback in incremental sessions).
-            let mut already_ndk = self.index.insert_round(batches);
-            self.rounds_run = round;
-            // Phase 3: stripe-parallel sweep + notification delivery.
-            let mut notifications = self.index.classify_round(round);
-            if round == self.config.smax {
+            // Phase 2: the round's InsertBatch message. Feedback = keys
+            // whose insert acknowledgement reported "already
+            // non-discriminative" (late-joiner feedback in incremental
+            // sessions).
+            let mut already_ndk = index.insert_round(batches);
+            rounds = round;
+            // Phase 3: stripe-parallel sweep + Notify delivery.
+            let mut notifications = index.classify_round(round);
+            if round == config.smax {
                 // Final round: NDKs of size smax stay truncated; nothing to
                 // expand (size filtering, Definition 6).
                 break;
@@ -238,110 +480,222 @@ impl HdkNetwork {
                 break;
             }
         }
+        drop(index);
         for peer in &mut self.peers {
             peer.finish_session();
         }
+        rounds
     }
+}
 
-    /// A new peer joins the running network with its own documents — the
-    /// paper's growth model in full: the overlay splits a region for the
-    /// peer, the affected index fraction migrates to it (maintenance
-    /// traffic), and the peer's documents are indexed incrementally.
-    /// Returns the migration volume.
+impl std::fmt::Debug for IndexService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexService")
+            .field("peers", &self.peers.len())
+            .field("docs", &self.core.num_docs())
+            .finish()
+    }
+}
+
+/// A fully built HDK retrieval network: a thin owner of the write-path
+/// [`IndexService`] and the read-path [`QueryService`]. Most methods are
+/// one-line delegations; take the handles apart when the two paths live on
+/// different threads.
+pub struct HdkNetwork {
+    indexer: IndexService,
+    query: QueryService,
+}
+
+impl HdkNetwork {
+    /// Builds the network over the default in-process backend: distributes
+    /// `collection` over the peers according to `partitions` (one
+    /// document-id set per peer), runs the full iterative indexing
+    /// protocol, and returns the ready network.
     ///
     /// # Panics
-    /// Panics if the peer already exists or a document id is taken.
+    /// Panics on an invalid configuration or empty partition list.
+    pub fn build(
+        collection: &Collection,
+        partitions: &[Vec<DocId>],
+        config: HdkConfig,
+        overlay: OverlayKind,
+    ) -> Self {
+        Self::build_with(
+            collection,
+            partitions,
+            config,
+            overlay,
+            BackendConfig::InProc,
+        )
+    }
+
+    /// [`HdkNetwork::build`] with an explicit network backend — the same
+    /// protocol over [`BackendConfig::InProc`] or a configured
+    /// [`BackendConfig::SimNet`].
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or empty partition list.
+    pub fn build_with(
+        collection: &Collection,
+        partitions: &[Vec<DocId>],
+        config: HdkConfig,
+        overlay: OverlayKind,
+        backend: BackendConfig,
+    ) -> Self {
+        config.validate();
+        assert!(!partitions.is_empty(), "need at least one peer");
+
+        // Very frequent terms (f_D > Ff) leave the key vocabulary entirely
+        // (Section 4.1). The paper applies this as a preprocessing step
+        // with collection-level statistics; we do the same.
+        let stats = FrequencyStats::compute(collection);
+        let excluded: HashSet<TermId> = stats.very_frequent_terms(config.ff).into_iter().collect();
+
+        let peer_ids: Vec<PeerId> = (0..partitions.len() as u64).map(PeerId).collect();
+        let peers: Vec<LocalPeer> = partitions
+            .iter()
+            .zip(&peer_ids)
+            .map(|(docs, &id)| {
+                LocalPeer::new(
+                    id,
+                    docs.iter()
+                        .map(|&d| (d, collection.doc(d).tokens.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let index = GlobalIndex::with_backend(
+            backend.build(overlay.build(peer_ids), config.dfmax),
+            config.dfmax,
+        );
+        let coll_stats = collection.stats();
+        let core = Arc::new(SystemCore {
+            config,
+            index: RwLock::new(index),
+            num_docs: AtomicUsize::new(coll_stats.num_documents),
+            sample_size: AtomicU64::new(coll_stats.sample_size as u64),
+            rounds_run: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            excluded,
+        });
+        let mut indexer = IndexService {
+            core: core.clone(),
+            peers,
+        };
+        let rounds = indexer.run_session();
+        // No service handle exists yet, so the initial round count can be
+        // stored directly (the epoch stays 0: nothing was cached before).
+        core.rounds_run.store(rounds, Ordering::Release);
+        Self {
+            indexer,
+            query: QueryService { core },
+        }
+    }
+
+    /// A clonable, thread-shareable handle to the read path.
+    pub fn query_service(&self) -> QueryService {
+        self.query.clone()
+    }
+
+    /// Borrowed read-path handle (delegation without the `Arc` clone).
+    pub(crate) fn query_service_ref(&self) -> &QueryService {
+        &self.query
+    }
+
+    /// The write path (exclusive: additions and joins mutate peer state).
+    pub fn index_service(&mut self) -> &mut IndexService {
+        &mut self.indexer
+    }
+
+    /// Consumes the owner, yielding the two service handles — the shape
+    /// for callers that run growth and retrieval on different threads.
+    pub fn into_services(self) -> (IndexService, QueryService) {
+        (self.indexer, self.query)
+    }
+
+    /// See [`IndexService::add_documents`].
+    pub fn add_documents(&mut self, additions: Vec<(PeerId, hdk_corpus::Document)>) {
+        self.indexer.add_documents(additions);
+    }
+
+    /// See [`IndexService::join_peer`].
     pub fn join_peer(
         &mut self,
         peer: PeerId,
         docs: Vec<hdk_corpus::Document>,
     ) -> hdk_p2p::MigrationStats {
-        assert!(
-            self.peers.iter().all(|p| p.id != peer),
-            "{peer} already in the network"
-        );
-        let stats = self.index.add_peer(peer);
-        self.epoch += 1;
-        self.peers.push(LocalPeer::new(peer, Vec::new()));
-        self.add_documents(docs.into_iter().map(|d| (peer, d)).collect());
-        stats
+        self.indexer.join_peer(peer, docs)
+    }
+
+    /// See [`IndexService::join_peers`].
+    pub fn join_peers(
+        &mut self,
+        joins: Vec<(PeerId, Vec<hdk_corpus::Document>)>,
+    ) -> Vec<hdk_p2p::MigrationStats> {
+        self.indexer.join_peers(joins)
     }
 
     /// The model configuration.
     pub fn config(&self) -> &HdkConfig {
-        &self.config
+        self.query.config()
     }
 
-    /// Index epoch: increments on every content change, so query caches
-    /// can detect staleness (see [`crate::cache::QueryCache`]).
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// The global index (read access for measurements/ablations).
-    pub fn index(&self) -> &GlobalIndex {
-        &self.index
+    /// See [`QueryService::index`] — in particular its warning: use the
+    /// guard as a temporary and never call other methods of this type
+    /// while holding it.
+    pub fn index(&self) -> RwLockReadGuard<'_, GlobalIndex> {
+        self.query.core.index.read()
     }
 
     /// Number of peers.
     pub fn num_peers(&self) -> usize {
-        self.peers.len()
+        self.query.num_peers()
     }
 
     /// Number of indexed documents (`M`).
     pub fn num_docs(&self) -> usize {
-        self.num_docs
+        self.query.num_docs()
     }
 
     /// Collection sample size (`D`, total term occurrences).
     pub fn sample_size(&self) -> u64 {
-        self.sample_size
+        self.query.sample_size()
     }
 
-    /// Global average document length (every peer knows the coarse
-    /// collection statistics used for ranking).
+    /// Global average document length.
     pub fn avg_doc_len(&self) -> f64 {
-        self.avg_doc_len
+        self.query.avg_doc_len()
     }
 
-    /// Indexing rounds actually executed (can stop early when every key is
-    /// discriminative).
+    /// Indexing rounds actually executed in the latest session.
     pub fn rounds_run(&self) -> usize {
-        self.rounds_run
+        self.query.rounds_run()
     }
 
     /// Current traffic counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
-        self.index.snapshot()
+        self.query.snapshot()
     }
 
     /// Aggregated build statistics for the experiment harness.
     pub fn build_report(&self) -> BuildReport {
-        BuildReport {
-            num_peers: self.num_peers(),
-            num_docs: self.num_docs,
-            sample_size: self.sample_size,
-            rounds: self.rounds_run,
-            inserted_by_size: self.index.inserted_by_size(),
-            stored_per_peer: self.index.stored_postings_per_peer(),
-            counts: self.index.index_counts(),
-            traffic: self.snapshot(),
-        }
+        self.query.build_report()
     }
 
     /// The peers (inspection).
     pub fn peers(&self) -> &[LocalPeer] {
-        &self.peers
+        self.indexer.peers()
     }
 }
 
 impl std::fmt::Debug for HdkNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HdkNetwork")
-            .field("peers", &self.peers.len())
-            .field("docs", &self.num_docs)
-            .field("dfmax", &self.config.dfmax)
-            .field("rounds", &self.rounds_run)
+            .field("peers", &self.indexer.peers.len())
+            .field("docs", &self.query.num_docs())
+            .field("dfmax", &self.query.config().dfmax)
+            .field("rounds", &self.query.rounds_run())
             .finish()
     }
 }
@@ -396,10 +750,6 @@ mod tests {
     fn hdk_posting_lists_bounded_by_dfmax_after_classification() {
         let n = build(25);
         let mut violations = 0;
-        for p in 0..n.num_peers() {
-            n.index().stored_postings_per_peer(); // touch API
-            let _ = p;
-        }
         let counts = n.index().index_counts();
         // Every NDK list is truncated to DFmax.
         for s in 0..3 {
@@ -546,5 +896,99 @@ mod tests {
         let stored: u64 = r.stored_per_peer.iter().sum();
         assert!(stored <= size_total);
         assert_eq!(stored, r.counts.total_postings());
+    }
+
+    #[test]
+    fn query_service_is_shareable_across_threads() {
+        // The read-path handle clones and queries concurrently from plain
+        // std threads; every thread sees the same answers.
+        let n = build(25);
+        let c = small_collection();
+        let service = n.query_service();
+        let query: Vec<hdk_text::TermId> = c.docs()[0].tokens[..2].to_vec();
+        let reference = service.query(PeerId(0), &query, 10);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = service.clone();
+                let query = &query;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let out = handle.query(PeerId(0), query, 10);
+                        assert_eq!(out.results, reference.results);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_cached_queries_during_growth_never_stick_stale() {
+        // The epoch publishes only after a growth session's postings are
+        // all resident (under the index write lock), so a cached query
+        // racing the session commits under the OLD epoch and is swept —
+        // whatever the interleaving, the post-growth cached answer must
+        // contain the new document.
+        let c = small_collection();
+        let network = HdkNetwork::build(
+            &c.prefix(300),
+            &partition_documents(300, 3, 11),
+            HdkConfig {
+                dfmax: 20,
+                ff: u64::MAX,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        let (mut indexer, queries) = network.into_services();
+        let probe: Vec<hdk_text::TermId> = c.docs()[0].tokens[..2].to_vec();
+        let cache = std::sync::Arc::new(crate::cache::QueryCache::new(1_024));
+        let new_doc = hdk_corpus::Document {
+            id: DocId(300),
+            tokens: probe.repeat(12),
+        };
+        std::thread::scope(|scope| {
+            let hammer = queries.clone();
+            let hammer_cache = cache.clone();
+            let probe_ref = &probe;
+            scope.spawn(move || {
+                for _ in 0..64 {
+                    let _ = hammer.query_cached(PeerId(0), probe_ref, 20, &hammer_cache);
+                }
+            });
+            indexer.add_documents(vec![(PeerId(1), new_doc)]);
+        });
+        assert_eq!(queries.epoch(), 1);
+        let after = queries.query_cached(PeerId(0), &probe, 20, &cache);
+        assert!(
+            after.results.iter().any(|r| r.doc.0 == 300),
+            "cached query served pre-growth results after the epoch moved"
+        );
+    }
+
+    #[test]
+    fn services_split_and_keep_working() {
+        let c = small_collection();
+        let parts = partition_documents(300, 3, 11);
+        let network = HdkNetwork::build(
+            &c.prefix(300),
+            &parts,
+            HdkConfig {
+                dfmax: 20,
+                ff: 2_000,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        let (mut indexer, queries) = network.into_services();
+        let before = queries.num_docs();
+        let additions: Vec<(PeerId, hdk_corpus::Document)> = (300..340)
+            .map(|i| (PeerId(i as u64 % 3), c.docs()[i].clone()))
+            .collect();
+        indexer.add_documents(additions);
+        assert_eq!(queries.num_docs(), before + 40);
+        assert_eq!(queries.epoch(), 1, "growth bumps the shared epoch");
+        let q: Vec<hdk_text::TermId> = c.docs()[310].tokens[..2].to_vec();
+        assert!(!queries.query(PeerId(1), &q, 10).results.is_empty());
     }
 }

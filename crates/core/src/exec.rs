@@ -25,8 +25,8 @@
 //! `tests/golden_report.rs` pin down.
 
 use crate::cache::{CachePeek, QueryCache};
-use crate::engine::HdkNetwork;
-use crate::global_index::KeyLookup;
+use crate::engine::{HdkNetwork, QueryService};
+use crate::global_index::{GlobalIndex, KeyLookup};
 use crate::key::Key;
 use crate::plan::{self, NodeOutcome, QueryPlan};
 use crate::stats::{LevelProfile, QueryProfile};
@@ -64,19 +64,19 @@ impl Resolved {
     }
 }
 
-/// Executes [`QueryPlan`]s for one querying peer against one network,
-/// optionally through the peer's [`QueryCache`].
+/// Executes [`QueryPlan`]s for one querying peer against one network's
+/// [`QueryService`], optionally through the peer's [`QueryCache`].
 pub struct QueryExecutor<'a> {
-    network: &'a HdkNetwork,
+    service: &'a QueryService,
     from: PeerId,
     cache: Option<&'a QueryCache>,
 }
 
 impl<'a> QueryExecutor<'a> {
     /// Executor probing the DHT directly.
-    pub fn new(network: &'a HdkNetwork, from: PeerId) -> Self {
+    pub fn new(service: &'a QueryService, from: PeerId) -> Self {
         Self {
-            network,
+            service,
             from,
             cache: None,
         }
@@ -85,9 +85,9 @@ impl<'a> QueryExecutor<'a> {
     /// Executor consulting `cache` before every probe. Hits cost no
     /// messages and no postings; only misses appear in the
     /// [`QueryOutcome`] and the traffic meters.
-    pub fn with_cache(network: &'a HdkNetwork, from: PeerId, cache: &'a QueryCache) -> Self {
+    pub fn with_cache(service: &'a QueryService, from: PeerId, cache: &'a QueryCache) -> Self {
         Self {
-            network,
+            service,
             from,
             cache: Some(cache),
         }
@@ -95,10 +95,22 @@ impl<'a> QueryExecutor<'a> {
 
     /// Runs `plan`, returning the top `k` documents, the query's cost, and
     /// its per-level execution profile.
+    ///
+    /// The index read lock is acquired first and held for the query's
+    /// duration: a concurrent peer join (write lock) waits, and since
+    /// growth publishes its statistics + epoch under the write lock *after*
+    /// its indexing session completes, the epoch and collection statistics
+    /// read below are mutually consistent — a query never ranks with
+    /// document counts ahead of the postings it can actually fetch, and a
+    /// cache commit under a pre-growth epoch is swept once the growth
+    /// publishes. (Postings of an in-flight `add_documents` session may be
+    /// transiently visible — the DHT is live — but they are never counted
+    /// in the statistics and never cacheable under the new epoch.)
     pub fn run(&self, plan: &QueryPlan, k: usize) -> (QueryOutcome, QueryProfile) {
-        let net = self.network;
-        let epoch = net.epoch();
-        let mut acc = ScoreAccumulator::new(net.num_docs, net.avg_doc_len);
+        let core = self.service.core();
+        let index = core.index.read();
+        let epoch = core.epoch();
+        let mut acc = ScoreAccumulator::new(core.num_docs(), core.avg_doc_len());
         let mut lookups = 0u32;
         let mut postings_fetched = 0u64;
         let mut profile = QueryProfile::default();
@@ -119,7 +131,7 @@ impl<'a> QueryExecutor<'a> {
             if nodes.is_empty() {
                 break;
             }
-            let resolved = self.resolve_level(epoch, &nodes);
+            let resolved = self.resolve_level(&index, epoch, &nodes);
 
             // Deterministic (level, key)-ordered accounting: parallelism
             // above only reordered the probing, never the bookkeeping.
@@ -175,13 +187,12 @@ impl<'a> QueryExecutor<'a> {
     }
 
     /// Resolves one level's candidate keys: cache hits answered locally,
-    /// misses fanned out through the batched stripe-parallel DHT lookup.
-    /// Results come back in the candidates' (canonical) order.
-    fn resolve_level(&self, epoch: u64, nodes: &[Key]) -> Vec<Resolved> {
+    /// misses fanned out through one batched `LookupMany` message set
+    /// (stripe-parallel at the DHT). Results come back in the candidates'
+    /// (canonical) order.
+    fn resolve_level(&self, index: &GlobalIndex, epoch: u64, nodes: &[Key]) -> Vec<Resolved> {
         let Some(cache) = self.cache else {
-            return self
-                .network
-                .index
+            return index
                 .lookup_many(self.from, nodes)
                 .into_iter()
                 .map(|lookup| Resolved {
@@ -200,7 +211,7 @@ impl<'a> QueryExecutor<'a> {
         let mut fetched = if miss_keys.is_empty() {
             Vec::new()
         } else {
-            self.network.index.lookup_many(self.from, &miss_keys)
+            index.lookup_many(self.from, &miss_keys)
         }
         .into_iter();
         let mut out = Vec::with_capacity(nodes.len());
@@ -229,7 +240,7 @@ impl<'a> QueryExecutor<'a> {
     }
 }
 
-impl HdkNetwork {
+impl QueryService {
     /// Executes `query` from peer `from`, returning the top `k` documents
     /// and the query's cost. Plans the lattice walk once, then resolves it
     /// level by level with parallel probe fan-out (see [`QueryExecutor`]).
@@ -237,15 +248,15 @@ impl HdkNetwork {
         self.query_profiled(from, query, k).0
     }
 
-    /// Like [`HdkNetwork::query`] but also returns the per-level execution
-    /// profile (fan-out widths, probe counts, level latencies).
+    /// Like [`QueryService::query`] but also returns the per-level
+    /// execution profile (fan-out widths, probe counts, level latencies).
     pub fn query_profiled(
         &self,
         from: PeerId,
         query: &[TermId],
         k: usize,
     ) -> (QueryOutcome, QueryProfile) {
-        let plan = QueryPlan::new(query, self.config.smax);
+        let plan = QueryPlan::new(query, self.config().smax);
         QueryExecutor::new(self, from).run(&plan, k)
     }
 
@@ -254,11 +265,12 @@ impl HdkNetwork {
     /// log queries hit a built network back to back.
     ///
     /// Each query runs the exact plan/execute pipeline of
-    /// [`HdkNetwork::query`] (queries never mutate the index, and lookups
-    /// route over the thread-safe metered DHT), so results are identical
-    /// to the sequential loop and independent of thread count; the traffic
-    /// meters advance by the same totals because counters are sums of
-    /// per-lookup contributions. Outcomes come back in input order.
+    /// [`QueryService::query`] (queries never mutate the index, and
+    /// lookups route over the thread-safe metered DHT), so results are
+    /// identical to the sequential loop and independent of thread count;
+    /// the traffic meters advance by the same totals because counters are
+    /// sums of per-lookup contributions. Outcomes come back in input
+    /// order.
     ///
     /// Terms are generic over `AsRef<[TermId]>` so call sites can pass
     /// borrowed slices (`&q.terms`) without cloning every query.
@@ -273,8 +285,8 @@ impl HdkNetwork {
             .collect()
     }
 
-    /// [`HdkNetwork::query_batch`] with per-query execution profiles — the
-    /// harness uses this to report per-level fan-out widths.
+    /// [`QueryService::query_batch`] with per-query execution profiles —
+    /// the harness uses this to report per-level fan-out widths.
     pub fn query_batch_profiled<Q: AsRef<[TermId]> + Sync>(
         &self,
         queries: &[(PeerId, Q)],
@@ -286,7 +298,7 @@ impl HdkNetwork {
             .collect()
     }
 
-    /// Like [`HdkNetwork::query`] but consults a per-peer
+    /// Like [`QueryService::query`] but consults a per-peer
     /// [`QueryCache`] first, one plan level at a
     /// time: the level's cache hits skip their probes entirely and only
     /// the misses fan out to the DHT. Cache hits cost no messages and no
@@ -305,7 +317,7 @@ impl HdkNetwork {
         k: usize,
         cache: &crate::cache::QueryCache,
     ) -> QueryOutcome {
-        let plan = QueryPlan::new(query, self.config.smax);
+        let plan = QueryPlan::new(query, self.config().smax);
         QueryExecutor::with_cache(self, from, cache).run(&plan, k).0
     }
 
@@ -314,7 +326,49 @@ impl HdkNetwork {
     /// `Σ_{s=1..smax} C(|q|, s)`. Saturates instead of overflowing for
     /// degenerate `q_len`.
     pub fn max_lookups(&self, q_len: usize) -> u64 {
-        plan::max_lookups(q_len, self.config.smax)
+        plan::max_lookups(q_len, self.config().smax)
+    }
+}
+
+impl HdkNetwork {
+    /// See [`QueryService::query`].
+    pub fn query(&self, from: PeerId, query: &[TermId], k: usize) -> QueryOutcome {
+        self.query_service_ref().query(from, query, k)
+    }
+
+    /// See [`QueryService::query_profiled`].
+    pub fn query_profiled(
+        &self,
+        from: PeerId,
+        query: &[TermId],
+        k: usize,
+    ) -> (QueryOutcome, QueryProfile) {
+        self.query_service_ref().query_profiled(from, query, k)
+    }
+
+    /// See [`QueryService::query_batch`].
+    pub fn query_batch<Q: AsRef<[TermId]> + Sync>(
+        &self,
+        queries: &[(PeerId, Q)],
+        k: usize,
+    ) -> Vec<QueryOutcome> {
+        self.query_service_ref().query_batch(queries, k)
+    }
+
+    /// See [`QueryService::query_cached`].
+    pub fn query_cached(
+        &self,
+        from: PeerId,
+        query: &[TermId],
+        k: usize,
+        cache: &crate::cache::QueryCache,
+    ) -> QueryOutcome {
+        self.query_service_ref().query_cached(from, query, k, cache)
+    }
+
+    /// See [`QueryService::max_lookups`].
+    pub fn max_lookups(&self, q_len: usize) -> u64 {
+        self.query_service_ref().max_lookups(q_len)
     }
 }
 

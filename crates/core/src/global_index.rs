@@ -11,7 +11,16 @@
 //!   is notified so it can expand the key in the next round.
 //!
 //! The sweep runs locally at each hosting peer (free), while inserts,
-//! lookups and notifications travel over the metered DHT.
+//! lookups and notifications travel as typed messages through a pluggable
+//! [`NetworkBackend`] (see `hdk_p2p::rpc`): the index constructs
+//! [`Request`] values — `InsertBatch` per bulk-synchronous round, `Notify`
+//! per NDK notification, `LookupMany` per query-plan level, `Migrate` per
+//! peer join — and never touches the DHT's mutation paths directly. The
+//! hosting-peer application logic (how an insert merges, how a lookup
+//! reads) lives in [`IndexStore`], this crate's [`StoreService`]
+//! implementation, which every backend shares — so the in-process and
+//! simulated-network backends produce identical storage state and traffic
+//! counts by construction.
 //!
 //! ## One posting format everywhere
 //!
@@ -27,7 +36,10 @@
 use crate::classify::{classify, KeyClass};
 use crate::key::{Key, MAX_KEY_SIZE};
 use hdk_ir::{CompressedDocSet, CompressedPostings, Posting, PostingList};
-use hdk_p2p::{stripe_of, Dht, Overlay, PeerId, TrafficSnapshot};
+use hdk_p2p::{
+    Addressed, Dht, InProc, NetworkBackend, Notification, Overlay, PeerId, Request, Response,
+    StoreService, TrafficSnapshot,
+};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,19 +85,142 @@ fn posting_quality(p: &Posting) -> f64 {
     f64::from(p.tf) / (f64::from(p.tf) + 1.2)
 }
 
+/// The hosting peer's application logic, plugged into any
+/// [`NetworkBackend`]: how an insert payload merges into a stored
+/// [`KeyEntry`], how a lookup reads one, and how large each payload is on
+/// the wire. One implementation shared by every backend — which is what
+/// guarantees that the in-process and simulated-network backends agree on
+/// storage state and traffic counts bit for bit.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexStore {
+    dfmax: u32,
+}
+
+impl IndexStore {
+    /// Store logic with the given `DFmax` threshold (drives NDK
+    /// re-truncation on post-classification inserts).
+    pub fn new(dfmax: u32) -> Self {
+        Self { dfmax }
+    }
+}
+
+impl StoreService for IndexStore {
+    type Value = KeyEntry;
+    /// What one key's insert carries: the key (for collision guarding and
+    /// sweep bookkeeping) plus its encoded posting block — the block *is*
+    /// the wire payload, so the byte meter records its exact size.
+    type Insert = (Key, CompressedPostings);
+    type LookupKey = Key;
+    type Lookup = KeyLookup;
+
+    fn insert_volume(&self, (_, block): &Self::Insert) -> (u64, u64) {
+        (block.len() as u64, block.encoded_len() as u64)
+    }
+
+    fn fresh(&self, &(key, _): &Self::Insert) -> KeyEntry {
+        KeyEntry {
+            key,
+            postings: CompressedPostings::new(),
+            df: 0,
+            contributors: Vec::new(),
+            is_ndk: false,
+            seen_docs: None,
+        }
+    }
+
+    /// Merges one insert into the stored entry, accumulating global `df`
+    /// (counting distinct documents exactly, even across incremental
+    /// sessions). The returned flag — "this key is already
+    /// non-discriminative" — rides back in the insert acknowledgement, so
+    /// late joiners learn NDK status without an extra notification
+    /// round-trip.
+    fn merge(&self, from: PeerId, (key, block): &Self::Insert, entry: &mut KeyEntry) -> bool {
+        debug_assert_eq!(entry.key, *key, "DHT hash collision");
+        // One streaming merge yields both the merged block and the count
+        // of genuinely new documents; while the stored list is complete
+        // that count is the exact df increment, afterwards the doc-set
+        // keeps counting exactly.
+        let (merged, new_in_list) = entry.postings.merge_counting(block);
+        let new_docs = match &mut entry.seen_docs {
+            Some(seen) => seen.merge_count_new(block.docs()),
+            None => new_in_list,
+        };
+        entry.df += new_docs;
+        entry.postings = merged;
+        if entry.is_ndk {
+            entry.postings = entry
+                .postings
+                .truncate_top_k(self.dfmax as usize, posting_quality);
+        }
+        if !entry.contributors.contains(&from) {
+            entry.contributors.push(from);
+        }
+        entry.is_ndk
+    }
+
+    /// Builds one lookup response from a stored entry: the refcounted
+    /// block clone plus the `(postings, bytes)` payload accounting for the
+    /// response meter (a miss answers with an 8-byte "not found").
+    fn read(&self, key: &Key, entry: Option<&KeyEntry>) -> (Option<KeyLookup>, u64, u64) {
+        match entry {
+            Some(e) => {
+                debug_assert_eq!(e.key, *key, "DHT hash collision");
+                let postings = e.postings.clone();
+                let n = postings.len() as u64;
+                let bytes = postings.encoded_len() as u64;
+                (
+                    Some(KeyLookup {
+                        postings,
+                        df: e.df,
+                        is_ndk: e.is_ndk,
+                    }),
+                    n,
+                    bytes,
+                )
+            }
+            None => (None, 0, 8),
+        }
+    }
+
+    fn migrate_volume(&self, entry: &KeyEntry) -> (u64, u64) {
+        (
+            entry.postings.len() as u64,
+            entry.postings.encoded_len() as u64,
+        )
+    }
+}
+
+/// The network the index speaks through, as a boxed trait object so the
+/// backend is chosen at construction time.
+pub type IndexBackend = Box<dyn NetworkBackend<IndexStore>>;
+
+/// One peer's addressed insert batch as it appears inside an
+/// [`Request::InsertBatch`] message.
+type AddressedBatch = (PeerId, Vec<Addressed<(Key, CompressedPostings)>>);
+
 /// The global index.
 pub struct GlobalIndex {
-    dht: Dht<KeyEntry>,
+    backend: IndexBackend,
     dfmax: u32,
     /// Postings inserted per key size (`IS_s` of Figure 5; slot `s-1`).
     inserted_by_size: [AtomicU64; MAX_KEY_SIZE],
 }
 
 impl GlobalIndex {
-    /// Creates an empty index over `overlay` with threshold `dfmax`.
+    /// Creates an empty index over `overlay` with threshold `dfmax`,
+    /// dispatching through the in-process backend (the default).
     pub fn new(overlay: Box<dyn Overlay>, dfmax: u32) -> Self {
+        Self::with_backend(
+            Box::new(InProc::new(overlay, IndexStore::new(dfmax))),
+            dfmax,
+        )
+    }
+
+    /// Creates an empty index speaking through an explicit backend
+    /// (construct it with an [`IndexStore::new`] of the same `dfmax`).
+    pub fn with_backend(backend: IndexBackend, dfmax: u32) -> Self {
         Self {
-            dht: Dht::new(overlay),
+            backend,
             dfmax,
             inserted_by_size: Default::default(),
         }
@@ -96,9 +231,21 @@ impl GlobalIndex {
         self.dfmax
     }
 
+    /// Host-local storage access (sweeps, peeks, accounting): free at the
+    /// hosting peer, so never a message.
+    fn dht(&self) -> &Dht<KeyEntry> {
+        self.backend.dht()
+    }
+
     /// The underlying overlay.
     pub fn overlay(&self) -> &dyn Overlay {
-        self.dht.overlay()
+        self.dht().overlay()
+    }
+
+    /// Virtual network time consumed so far (0 unless the backend
+    /// simulates time).
+    pub fn virtual_time_ns(&self) -> u64 {
+        self.backend.virtual_time_ns()
     }
 
     /// Peer `from` inserts its local postings for `key` (convenience
@@ -108,66 +255,58 @@ impl GlobalIndex {
         self.insert_block(from, key, &CompressedPostings::from_list(&postings))
     }
 
-    /// Peer `from` inserts an encoded posting block for `key` — the block
-    /// *is* the wire payload, so the byte meter records its exact size.
-    /// The merged entry accumulates global `df` (counting distinct
-    /// documents exactly, even across incremental sessions). Returns
-    /// whether the key is currently non-discriminative — the insert
-    /// acknowledgement carries this back to the inserting peer for free,
-    /// so late joiners learn NDK status without an extra notification
-    /// round-trip.
+    /// Peer `from` inserts one encoded posting block for `key`: a
+    /// single-item `InsertBatch` message. Returns the acknowledgement flag
+    /// ("key is currently non-discriminative").
     pub fn insert_block(&self, from: PeerId, key: Key, block: &CompressedPostings) -> bool {
-        let n = block.len() as u64;
-        let bytes = block.encoded_len() as u64;
-        self.inserted_by_size[key.size() - 1].fetch_add(n, Ordering::Relaxed);
-        let dfmax = self.dfmax as usize;
-        self.dht.upsert(
-            from,
-            key.dht_hash(),
-            n,
-            bytes,
-            || KeyEntry {
-                key,
-                postings: CompressedPostings::new(),
-                df: 0,
-                contributors: Vec::new(),
-                is_ndk: false,
-                seen_docs: None,
-            },
-            |entry| {
-                debug_assert_eq!(entry.key, key, "DHT hash collision");
-                // One streaming merge yields both the merged block and the
-                // count of genuinely new documents; while the stored list
-                // is complete that count is the exact df increment,
-                // afterwards the doc-set keeps counting exactly.
-                let (merged, new_in_list) = entry.postings.merge_counting(block);
-                let new_docs = match &mut entry.seen_docs {
-                    Some(seen) => seen.merge_count_new(block.docs()),
-                    None => new_in_list,
-                };
-                entry.df += new_docs;
-                entry.postings = merged;
-                if entry.is_ndk {
-                    entry.postings = entry.postings.truncate_top_k(dfmax, posting_quality);
-                }
-                if !entry.contributors.contains(&from) {
-                    entry.contributors.push(from);
-                }
-                entry.is_ndk
-            },
-        )
+        let mut acks = self.send_insert_batch(vec![(from, vec![(key, block.clone())])]);
+        acks.pop().expect("one batch").1.pop().expect("one item")
     }
 
-    /// Applies one bulk-synchronous round of per-peer insert batches,
-    /// in parallel, with a deterministic outcome.
+    /// Ships one round's batches as an [`Request::InsertBatch`] message and
+    /// returns the per-key acknowledgement flags, aligned with the input.
+    /// Also advances the engine-side `IS_s` counters (the *sending* peers
+    /// know what they inserted; no response needed for that).
+    fn send_insert_batch(
+        &self,
+        batches: Vec<(PeerId, Vec<(Key, CompressedPostings)>)>,
+    ) -> Vec<(PeerId, Vec<bool>)> {
+        let request_batches: Vec<AddressedBatch> = batches
+            .into_iter()
+            .map(|(peer, batch)| {
+                let items = batch
+                    .into_iter()
+                    .map(|(key, block)| {
+                        self.inserted_by_size[key.size() - 1]
+                            .fetch_add(block.len() as u64, Ordering::Relaxed);
+                        Addressed {
+                            route: key.dht_hash(),
+                            body: (key, block),
+                        }
+                    })
+                    .collect();
+                (peer, items)
+            })
+            .collect();
+        match self.backend.call(Request::InsertBatch {
+            batches: request_batches,
+        }) {
+            Response::Inserted { acks } => acks,
+            other => unreachable!("InsertBatch answered with {other:?}"),
+        }
+    }
+
+    /// Applies one bulk-synchronous round of per-peer insert batches —
+    /// one [`Request::InsertBatch`] message set — with a deterministic
+    /// outcome.
     ///
     /// `batches` holds `(peer, sorted key batch)` pairs in ascending
-    /// [`PeerId`] order. Work is partitioned by *stripe* (the lock shards of
-    /// the underlying [`Dht`]): each stripe's inserts apply in `(PeerId,
-    /// Key)` order, and distinct stripes never touch the same entry, so
-    /// every [`KeyEntry`] — including its `contributors` order — comes out
-    /// identical whatever the thread count. Traffic counters are sums of
-    /// per-insert contributions and are therefore order-independent too.
+    /// [`PeerId`] order. The backend partitions the round by *stripe* (the
+    /// lock shards of the underlying [`Dht`]) and applies each stripe's
+    /// inserts in `(PeerId, Key)` order, so every [`KeyEntry`] — including
+    /// its `contributors` order — comes out identical whatever the thread
+    /// count. Traffic counters are sums of per-insert contributions and
+    /// are therefore order-independent too.
     ///
     /// Returns, per inserting peer, the sorted keys whose insert
     /// acknowledgement reported "already non-discriminative" (late-joiner
@@ -180,31 +319,22 @@ impl GlobalIndex {
             batches.windows(2).all(|w| w[0].0 < w[1].0),
             "insert_round batches must arrive in ascending PeerId order"
         );
-        // Bucket by stripe, preserving (PeerId, Key) order within each
-        // bucket: batches arrive peer-ascending and each batch key-sorted.
-        let mut buckets: Vec<Vec<(PeerId, Key, CompressedPostings)>> =
-            (0..self.dht.num_stripes()).map(|_| Vec::new()).collect();
-        for (peer, batch) in batches {
-            for (key, block) in batch {
-                buckets[stripe_of(key.dht_hash())].push((peer, key, block));
-            }
-        }
-        // Apply stripe-parallel; collect (peer, key) acks flagged NDK.
-        let acks: Vec<Vec<(PeerId, Key)>> = buckets
-            .par_iter()
-            .map(|bucket| {
-                let mut already_ndk = Vec::new();
-                for (peer, key, block) in bucket {
-                    if self.insert_block(*peer, *key, block) {
-                        already_ndk.push((*peer, *key));
-                    }
-                }
-                already_ndk
-            })
+        let keys_per_batch: Vec<Vec<Key>> = batches
+            .iter()
+            .map(|(_, batch)| batch.iter().map(|(key, _)| *key).collect())
             .collect();
+        let acks = self.send_insert_batch(batches);
         let mut feedback: HashMap<PeerId, Vec<Key>> = HashMap::new();
-        for (peer, key) in acks.into_iter().flatten() {
-            feedback.entry(peer).or_default().push(key);
+        for (keys, (peer, flags)) in keys_per_batch.iter().zip(acks) {
+            let ndk: Vec<Key> = keys
+                .iter()
+                .zip(flags)
+                .filter(|(_, flag)| *flag)
+                .map(|(key, _)| *key)
+                .collect();
+            if !ndk.is_empty() {
+                feedback.entry(peer).or_default().extend(ndk);
+            }
         }
         for keys in feedback.values_mut() {
             keys.sort_unstable();
@@ -225,11 +355,12 @@ impl GlobalIndex {
     /// happen for the round's size, so re-sweeping is idempotent).
     pub fn classify_round(&self, size: usize) -> HashMap<PeerId, Vec<Key>> {
         let dfmax = self.dfmax;
-        let per_stripe: Vec<Vec<(PeerId, Key)>> = (0..self.dht.num_stripes())
+        let dht = self.dht();
+        let per_stripe: Vec<Vec<(PeerId, Key)>> = (0..dht.num_stripes())
             .into_par_iter()
             .map(|stripe| {
                 let mut notes = Vec::new();
-                self.dht.for_each_stripe_mut(stripe, |_, entry| {
+                dht.for_each_stripe_mut(stripe, |_, entry| {
                     if entry.key.size() != size || entry.is_ndk {
                         return;
                     }
@@ -255,83 +386,82 @@ impl GlobalIndex {
         for (peer, key) in per_stripe.into_iter().flatten() {
             notifications.entry(peer).or_default().push(key);
         }
-        // Meter the notification messages (key-sized payload, no postings).
-        for (&peer, keys) in &notifications {
-            for key in keys {
-                self.dht.notify(peer, 0, 4 * key.size() as u64 + 2);
-            }
-        }
-        // Canonical order for determinism downstream.
+        // Canonical order: determinism downstream, and the simulated
+        // backend's FIFO/jitter model keys off each note's position.
         for keys in notifications.values_mut() {
             keys.sort_unstable();
+        }
+        // Deliver the sweep's notifications as one Notify message set in
+        // (peer, key) order — one metered message per contributor per key
+        // (key-sized payload, no postings), same-recipient notes queueing
+        // FIFO on the simulated network.
+        let mut ordered: Vec<(&PeerId, &Vec<Key>)> = notifications.iter().collect();
+        ordered.sort_unstable_by_key(|(peer, _)| **peer);
+        let notes: Vec<Notification> = ordered
+            .into_iter()
+            .flat_map(|(&peer, keys)| {
+                keys.iter().map(move |key| Notification {
+                    to: peer,
+                    postings: 0,
+                    bytes: 4 * key.size() as u64 + 2,
+                })
+            })
+            .collect();
+        if !notes.is_empty() {
+            self.backend.call(Request::Notify { notes });
         }
         notifications
     }
 
-    /// Builds one lookup response from a stored entry: the refcounted
-    /// block clone plus the `(postings, bytes)` payload accounting for the
-    /// response meter (a miss answers with an 8-byte "not found").
-    ///
-    /// Both [`GlobalIndex::lookup`] and [`GlobalIndex::lookup_many`] route
-    /// through this single helper, so the batched path meters *exactly*
-    /// like the key-at-a-time path by construction.
-    fn read_entry(key: Key, entry: Option<&KeyEntry>) -> (Option<KeyLookup>, u64, u64) {
-        match entry {
-            Some(e) => {
-                debug_assert_eq!(e.key, key, "DHT hash collision");
-                let postings = e.postings.clone();
-                let n = postings.len() as u64;
-                let bytes = postings.encoded_len() as u64;
-                (
-                    Some(KeyLookup {
-                        postings,
-                        df: e.df,
-                        is_ndk: e.is_ndk,
-                    }),
-                    n,
-                    bytes,
-                )
-            }
-            None => (None, 0, 8),
-        }
-    }
-
-    /// Retrieval-time lookup of one key by peer `from`. Metered: the
-    /// request routes to the responsible peer; the response carries the
-    /// stored block back — the byte counter is its exact resident size,
-    /// and the "copy" is a refcount bump on the shared block.
+    /// Retrieval-time lookup of one key by peer `from`: a single-key
+    /// [`Request::LookupMany`] message. The request routes to the
+    /// responsible peer; the response carries the stored block back — the
+    /// byte counter is its exact resident size, and the "copy" is a
+    /// refcount bump on the shared block.
     pub fn lookup(&self, from: PeerId, key: Key) -> Option<KeyLookup> {
-        self.dht
-            .lookup(from, key.dht_hash(), |entry| Self::read_entry(key, entry))
+        self.lookup_many(from, &[key]).pop().expect("one response")
     }
 
     /// Batched retrieval-time lookup of one query-plan level by peer
-    /// `from`: all `keys` resolve against the DHT with one read-lock
-    /// acquisition per stripe (stripes in parallel) instead of one per key.
-    /// Results come back in input order; each key is metered exactly like a
-    /// [`GlobalIndex::lookup`] of its own (both paths share the private
-    /// `read_entry` helper), so traffic is bit-identical to the sequential
-    /// loop.
+    /// `from`, shipped as one [`Request::LookupMany`] message set: all
+    /// `keys` resolve against the DHT with one read-lock acquisition per
+    /// stripe (stripes in parallel) instead of one per key. Results come
+    /// back in input order; each key is metered exactly like a
+    /// [`GlobalIndex::lookup`] of its own (both paths share
+    /// [`IndexStore::read`]), so traffic is bit-identical to the
+    /// sequential loop.
     pub fn lookup_many(&self, from: PeerId, keys: &[Key]) -> Vec<Option<KeyLookup>> {
-        let hashes: Vec<_> = keys.iter().map(Key::dht_hash).collect();
-        self.dht
-            .lookup_many(from, &hashes, |i, entry| Self::read_entry(keys[i], entry))
+        let request = Request::LookupMany {
+            from,
+            keys: keys
+                .iter()
+                .map(|&key| Addressed {
+                    route: key.dht_hash(),
+                    body: key,
+                })
+                .collect(),
+        };
+        match self.backend.call(request) {
+            Response::Found { results } => results,
+            other => unreachable!("LookupMany answered with {other:?}"),
+        }
     }
 
     /// Unmetered inspection (tests, ablations, stored-size measurements).
     pub fn peek(&self, key: Key) -> Option<KeyEntry> {
-        self.dht.peek(key.dht_hash(), |e| e.cloned())
+        self.dht().peek(key.dht_hash(), |e| e.cloned())
     }
 
     /// Stored postings per hosting peer — Figure 3's quantity. Swept
     /// stripe-parallel; per-peer sums are order-independent.
     pub fn stored_postings_per_peer(&self) -> Vec<u64> {
-        let peers = self.dht.overlay().len();
-        let per_stripe: Vec<Vec<u64>> = (0..self.dht.num_stripes())
+        let dht = self.dht();
+        let peers = dht.overlay().len();
+        let per_stripe: Vec<Vec<u64>> = (0..dht.num_stripes())
             .into_par_iter()
             .map(|stripe| {
                 let mut totals = vec![0u64; peers];
-                self.dht.for_each_stripe_owned(stripe, |owner, _, e| {
+                dht.for_each_stripe_owned(stripe, |owner, _, e| {
                     totals[owner] += e.postings.len() as u64;
                 });
                 totals
@@ -359,11 +489,12 @@ impl GlobalIndex {
     /// Counts of stored keys and postings, split HDK/NDK and by size.
     /// Swept stripe-parallel; the merged counts are order-independent sums.
     pub fn index_counts(&self) -> IndexCounts {
-        (0..self.dht.num_stripes())
+        let dht = self.dht();
+        (0..dht.num_stripes())
             .into_par_iter()
             .map(|stripe| {
                 let mut counts = IndexCounts::default();
-                self.dht.for_each_stripe(stripe, |_, e| {
+                dht.for_each_stripe(stripe, |_, e| {
                     let s = e.key.size() - 1;
                     if e.is_ndk {
                         counts.ndk_keys[s] += 1;
@@ -382,26 +513,22 @@ impl GlobalIndex {
 
     /// Traffic so far.
     pub fn snapshot(&self) -> TrafficSnapshot {
-        self.dht.snapshot()
+        self.backend.snapshot()
     }
 
-    /// Admits a new peer to the overlay, migrating the index entries it
-    /// becomes responsible for (metered as maintenance, at the blocks'
-    /// actual stored sizes).
+    /// Admits a new peer to the overlay via the control-plane
+    /// [`Request::Migrate`] message: the index entries it becomes
+    /// responsible for are handed over (metered as maintenance, at the
+    /// blocks' actual stored sizes).
     pub fn add_peer(&mut self, peer: PeerId) -> hdk_p2p::MigrationStats {
-        self.dht.add_peer(peer, |entry| {
-            (
-                entry.postings.len() as u64,
-                entry.postings.encoded_len() as u64,
-            )
-        })
+        self.backend.migrate(peer)
     }
 
     /// Total resident posting-storage bytes across the index: every
     /// stored block plus every `df` doc-set, at their exact encoded
     /// sizes (via the DHT's per-stripe accounting hook).
     pub fn resident_posting_bytes(&self) -> u64 {
-        self.dht.resident_bytes(|e| {
+        self.dht().resident_bytes(|e| {
             e.postings.encoded_len() as u64
                 + e.seen_docs.as_ref().map_or(0, |s| s.encoded_len() as u64)
         })
@@ -411,12 +538,13 @@ impl GlobalIndex {
     /// analogue of Figure 3's per-peer posting volumes. Swept
     /// stripe-parallel; per-peer sums are order-independent.
     pub fn storage_per_peer(&self) -> Vec<PeerStorage> {
-        let peers = self.dht.overlay().len();
-        let per_stripe: Vec<Vec<PeerStorage>> = (0..self.dht.num_stripes())
+        let dht = self.dht();
+        let peers = dht.overlay().len();
+        let per_stripe: Vec<Vec<PeerStorage>> = (0..dht.num_stripes())
             .into_par_iter()
             .map(|stripe| {
                 let mut totals = vec![PeerStorage::default(); peers];
-                self.dht.for_each_stripe_owned(stripe, |owner, _, e| {
+                dht.for_each_stripe_owned(stripe, |owner, _, e| {
                     let t = &mut totals[owner];
                     t.postings += e.postings.len() as u64;
                     t.posting_bytes += e.postings.encoded_len() as u64;
@@ -446,7 +574,7 @@ impl std::fmt::Debug for GlobalIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GlobalIndex")
             .field("dfmax", &self.dfmax)
-            .field("dht", &self.dht)
+            .field("dht", self.dht())
             .finish()
     }
 }

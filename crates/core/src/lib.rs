@@ -57,9 +57,11 @@ pub mod window_keys;
 pub use cache::{CachePeek, CacheStats, QueryCache};
 pub use classify::{classify, KeyClass};
 pub use config::HdkConfig;
-pub use engine::{HdkNetwork, OverlayKind};
+pub use engine::{BackendConfig, HdkNetwork, IndexService, OverlayKind, QueryService};
 pub use exec::{QueryExecutor, QueryOutcome};
-pub use global_index::{GlobalIndex, IndexCounts, KeyEntry, KeyLookup, PeerStorage};
+pub use global_index::{
+    GlobalIndex, IndexBackend, IndexCounts, IndexStore, KeyEntry, KeyLookup, PeerStorage,
+};
 pub use key::{Key, MAX_KEY_SIZE};
 pub use local_indexer::LocalPeer;
 pub use naive::SingleTermNetwork;

@@ -15,7 +15,7 @@
 //! the ST baseline reproduces the centralized engine's ranking.
 
 use crate::config::HdkConfig;
-use crate::engine::{HdkNetwork, OverlayKind};
+use crate::engine::{HdkNetwork, OverlayKind, QueryService};
 use crate::exec::QueryOutcome;
 use crate::stats::BuildReport;
 use hdk_corpus::{Collection, DocId};
@@ -66,9 +66,10 @@ impl SingleTermNetwork {
         self.inner.num_peers()
     }
 
-    /// The wrapped network (for uniform measurement code).
-    pub fn inner(&self) -> &HdkNetwork {
-        &self.inner
+    /// Read-path handle of the wrapped network (uniform measurement code
+    /// drives every system through [`QueryService`]).
+    pub fn query_service(&self) -> QueryService {
+        self.inner.query_service()
     }
 }
 

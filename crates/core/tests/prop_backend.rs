@@ -1,0 +1,156 @@
+//! Property test: the two network backends are observationally equivalent
+//! up to time.
+//!
+//! The same scenario — random collection, random partitioning, random
+//! configuration, random query batch — built over `InProc` and over
+//! `SimNet` must produce bit-identical build reports and `QueryOutcome`s
+//! (top-k score bits, lookup counts, postings fetched) and identical
+//! traffic *counts* (messages, postings, bytes, hops, hop-weighted bytes,
+//! per-peer attribution). The simulated network only adds *time*: with the
+//! all-zero configuration even the recorded latencies are zero, and with a
+//! lossy, jittery configuration the counts still must not move — drops
+//! surface as retransmission timeouts, never as extra counted messages.
+
+use hdk_core::{BackendConfig, HdkConfig, HdkNetwork, OverlayKind, QueryService};
+use hdk_corpus::{Collection, DocId, Document};
+use hdk_p2p::{MsgKind, PeerId, SimNetConfig};
+use hdk_text::{TermId, Vocabulary};
+use proptest::prelude::*;
+
+const VOCAB: u32 = 12;
+
+fn make_collection(token_docs: &[Vec<u32>]) -> Collection {
+    let mut vocab = Vocabulary::new();
+    for t in 0..VOCAB {
+        vocab.intern(&format!("term{t:02}"));
+    }
+    let docs = token_docs
+        .iter()
+        .enumerate()
+        .map(|(i, toks)| Document {
+            id: DocId(i as u32),
+            tokens: toks.iter().map(|&t| TermId(t)).collect(),
+        })
+        .collect();
+    Collection::new(docs, vocab)
+}
+
+fn arb_docs() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0..VOCAB, 3..24), 4..16)
+}
+
+fn arb_queries() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0..VOCAB, 1..8), 1..10)
+}
+
+/// One query's digest: `(per-doc (id, score bits), lookups, postings)`.
+type QueryDigest = (Vec<(u32, u64)>, u32, u64);
+
+/// Runs the query batch and digests every observable.
+fn run_queries(service: &QueryService, queries: &[Vec<u32>], peers: usize) -> Vec<QueryDigest> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let terms: Vec<TermId> = q.iter().map(|&t| TermId(t)).collect();
+            let out = service.query(PeerId(i as u64 % peers as u64), &terms, 10);
+            (
+                out.results
+                    .iter()
+                    .map(|r| (r.doc.0, r.score.to_bits()))
+                    .collect(),
+                out.lookups,
+                out.postings_fetched,
+            )
+        })
+        .collect()
+}
+
+fn check_equivalent(
+    collection: &Collection,
+    queries: &[Vec<u32>],
+    config: &HdkConfig,
+    peers: usize,
+    sim: SimNetConfig,
+) -> Result<(), TestCaseError> {
+    let partitions = hdk_corpus::partition_documents(collection.len(), peers, 23);
+    let inproc = HdkNetwork::build(collection, &partitions, config.clone(), OverlayKind::PGrid);
+    let simnet = HdkNetwork::build_with(
+        collection,
+        &partitions,
+        config.clone(),
+        OverlayKind::PGrid,
+        BackendConfig::SimNet(sim),
+    );
+
+    // Identical build: report fields and index content.
+    let (ra, rb) = (inproc.build_report(), simnet.build_report());
+    prop_assert_eq!(ra.inserted_by_size, rb.inserted_by_size);
+    prop_assert_eq!(&ra.stored_per_peer, &rb.stored_per_peer);
+    prop_assert_eq!(ra.counts, rb.counts);
+    prop_assert_eq!(ra.rounds, rb.rounds);
+
+    // Identical query outcomes, bit for bit.
+    let qa = run_queries(&inproc.query_service(), queries, peers);
+    let qb = run_queries(&simnet.query_service(), queries, peers);
+    prop_assert_eq!(qa, qb, "query outcomes diverged across backends");
+
+    // Identical traffic counts — every kind, every counter, both per-peer
+    // attributions (the latency histograms are the one permitted
+    // difference).
+    let (sa, sb) = (inproc.snapshot(), simnet.snapshot());
+    prop_assert!(
+        sa.same_counts(&sb),
+        "traffic counts diverged: inproc {:?} vs simnet {:?}",
+        sa.kinds,
+        sb.kinds
+    );
+    // The simulated side recorded exactly one latency sample per message
+    // of every kind; the in-process side recorded none.
+    for kind in MsgKind::ALL {
+        prop_assert_eq!(
+            sb.latency(kind).samples,
+            sb.kind(kind).messages,
+            "missing latency samples for {:?}",
+            kind
+        );
+        prop_assert!(sa.latency(kind).is_empty(), "in-proc must not record time");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn backends_agree_on_everything_but_time(
+        token_docs in arb_docs(),
+        queries in arb_queries(),
+        dfmax in 1u32..5,
+        smax in 1usize..5,
+        peers in 1usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let collection = make_collection(&token_docs);
+        let config = HdkConfig {
+            dfmax,
+            smax,
+            window: 5,
+            ff: u64::MAX,
+            exact_intrinsic: false,
+            redundancy_filtering: true,
+        };
+        // The acceptance configuration: zero latency, zero drop.
+        check_equivalent(&collection, &queries, &config, peers, SimNetConfig::zero())?;
+        // And a hostile one: jitter, slow links, 20% loss — counts still
+        // must not move (loss costs time, not messages).
+        check_equivalent(&collection, &queries, &config, peers, SimNetConfig {
+            seed,
+            hop_ns: 350_000,
+            jitter_ns: 120_000,
+            ns_per_byte: 12,
+            drop_prob: 0.2,
+            timeout_ns: 5_000_000,
+        })?;
+    }
+}

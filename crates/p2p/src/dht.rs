@@ -52,6 +52,12 @@ pub struct MigrationStats {
     pub bytes_moved: u64,
 }
 
+/// Payload bytes of one lookup *request* (it carries a key, nothing
+/// else). Single source of truth for both the traffic meters below and
+/// the simulated network's timing model — change it here and counted
+/// bytes and simulated transmission times move together.
+pub const LOOKUP_REQUEST_BYTES: u64 = 8;
+
 /// The stripe a key lives in: low bits of the (well-mixed) key hash.
 #[inline]
 pub fn stripe_of(key: KeyHash) -> usize {
@@ -79,6 +85,13 @@ impl<V> Dht<V> {
     /// The meter (all traffic recorded so far).
     pub fn snapshot(&self) -> TrafficSnapshot {
         self.meter.snapshot()
+    }
+
+    /// The live meter — the simulated-network backend records per-message
+    /// delivery latencies into the same meter the storage dispatch counts
+    /// through, so one snapshot carries both.
+    pub(crate) fn meter(&self) -> &TrafficMeter {
+        &self.meter
     }
 
     /// Number of lock stripes (see [`NUM_STRIPES`]).
@@ -130,8 +143,13 @@ impl<V> Dht<V> {
         let route = self.overlay.route(from, key);
         let origin = self.overlay.peer_index(from);
         // The request itself: one message, no postings, key-sized payload.
-        self.meter
-            .record(MsgKind::QueryLookup, origin, 0, 8, route.hops);
+        self.meter.record(
+            MsgKind::QueryLookup,
+            origin,
+            0,
+            LOOKUP_REQUEST_BYTES,
+            route.hops,
+        );
         let map = self.stripes[stripe_of(key)].read();
         let (result, postings, bytes) = read(map.get(&key.0));
         drop(map);
@@ -178,8 +196,13 @@ impl<V> Dht<V> {
                     .map(|&i| {
                         let key = keys[i];
                         let route = self.overlay.route(from, key);
-                        self.meter
-                            .record(MsgKind::QueryLookup, origin, 0, 8, route.hops);
+                        self.meter.record(
+                            MsgKind::QueryLookup,
+                            origin,
+                            0,
+                            LOOKUP_REQUEST_BYTES,
+                            route.hops,
+                        );
                         let (result, postings, bytes) = read(i, map.get(&key.0));
                         self.meter.record(
                             MsgKind::QueryResponse,

@@ -16,17 +16,31 @@
 //! so experiments can show the HDK results are independent of the routing
 //! substrate. The [`dht::Dht`] storage layer runs on either and meters all
 //! traffic through [`transport::TrafficMeter`].
+//!
+//! The engine reaches the DHT through the typed message layer of [`rpc`]:
+//! request/response enums for the paper's message taxonomy plus the
+//! [`rpc::NetworkBackend`] trait with two implementations — [`rpc::InProc`]
+//! (synchronous dispatch, the zero-cost default) and [`rpc::SimNet`] (a
+//! deterministic seeded latency/jitter/drop model with per-kind latency
+//! histograms and a virtual clock).
 
 pub mod dht;
 pub mod id;
 pub mod overlay;
 pub mod pgrid;
 pub mod ring;
+pub mod rpc;
 pub mod transport;
 
-pub use dht::{stripe_of, Dht, MigrationStats, NUM_STRIPES};
+pub use dht::{stripe_of, Dht, MigrationStats, LOOKUP_REQUEST_BYTES, NUM_STRIPES};
 pub use id::{hash_bytes, hash_u64s, KeyHash, PeerId};
 pub use overlay::{Overlay, RouteResult};
 pub use pgrid::PGrid;
 pub use ring::ChordRing;
-pub use transport::{MsgKind, TrafficMeter, TrafficSnapshot};
+pub use rpc::{
+    Addressed, InProc, NetworkBackend, Notification, Request, Response, SimNet, SimNetConfig,
+    StoreService,
+};
+pub use transport::{
+    KindSnapshot, LatencyHistogram, MsgKind, TrafficMeter, TrafficSnapshot, LATENCY_BUCKETS,
+};

@@ -4,9 +4,16 @@
 //! postings* (Section 4: "we analyze the indexing and retrieval costs in
 //! terms of the number of transmitted postings [...] because these make the
 //! dominant part of the generated traffic"). [`TrafficMeter`] counts, per
-//! message category: messages, postings, payload bytes, and overlay hops —
-//! plus per-peer posting counters feeding Figures 3–4 (per-peer inserted /
-//! retrieved volumes).
+//! message category: messages, postings, payload bytes, overlay hops, and
+//! hop-weighted payload bytes (each byte counted once per hop it traverses
+//! — the quantity a link-capacity budget is written in) — plus per-peer
+//! posting counters feeding Figures 3–4 (per-peer inserted / retrieved
+//! volumes).
+//!
+//! When the messages travel over a simulated network (the `SimNet` backend
+//! of [`crate::rpc`]), each delivery additionally records its simulated
+//! latency into the per-kind [`LatencyHistogram`]s; the in-process backend
+//! leaves them empty.
 //!
 //! Counters are atomic so peers can index in parallel.
 
@@ -40,7 +47,7 @@ impl MsgKind {
         MsgKind::Maintenance,
     ];
 
-    fn slot(self) -> usize {
+    pub(crate) fn slot(self) -> usize {
         match self {
             MsgKind::IndexInsert => 0,
             MsgKind::IndexNotify => 1,
@@ -57,12 +64,39 @@ struct KindCounters {
     postings: AtomicU64,
     bytes: AtomicU64,
     hops: AtomicU64,
+    hop_bytes: AtomicU64,
+}
+
+/// Number of log₂ latency buckets (bucket `i` covers `[2^i, 2^{i+1})` ns,
+/// bucket 0 also absorbs 0-ns samples; the top bucket is open-ended).
+pub const LATENCY_BUCKETS: usize = 40;
+
+#[derive(Debug)]
+struct LatencyCounters {
+    samples: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    retries: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyCounters {
+    fn default() -> Self {
+        Self {
+            samples: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 /// Atomic traffic counters.
 #[derive(Debug)]
 pub struct TrafficMeter {
     kinds: [KindCounters; 5],
+    latency: [LatencyCounters; 5],
     /// Postings each peer has *sent into* the global index (Figure 4).
     inserted_by_peer: Vec<AtomicU64>,
     /// Postings each peer has received as query responses.
@@ -80,6 +114,99 @@ pub struct KindSnapshot {
     pub bytes: u64,
     /// Overlay hops traversed.
     pub hops: u64,
+    /// Hop-weighted payload bytes: each message contributes
+    /// `bytes × hops` — the total link-level byte volume its delivery
+    /// occupies across the overlay path.
+    pub hop_bytes: u64,
+}
+
+/// A point-in-time copy of one message kind's simulated delivery latencies.
+///
+/// Only the simulated-network backend records samples; an in-process
+/// dispatch leaves the histogram empty ([`LatencyHistogram::is_empty`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Deliveries recorded.
+    pub samples: u64,
+    /// Sum of all delivery latencies, nanoseconds.
+    pub total_ns: u64,
+    /// Slowest delivery, nanoseconds.
+    pub max_ns: u64,
+    /// Retransmissions the drop model forced (latency charged as timeouts).
+    pub retries: u64,
+    /// Log₂ buckets: slot `i` counts deliveries with latency in
+    /// `[2^i, 2^{i+1})` ns (slot 0 includes 0 ns; the last slot is
+    /// open-ended).
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            samples: 0,
+            total_ns: 0,
+            max_ns: 0,
+            retries: 0,
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// The bucket a latency sample falls into.
+    #[inline]
+    pub fn bucket_of(ns: u64) -> usize {
+        ((64 - ns.leading_zeros()).saturating_sub(1) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// True when no delivery was recorded (in-process dispatch).
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Mean delivery latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.total_ns as f64 / self.samples as f64
+    }
+
+    /// Upper bound (ns) of the bucket containing quantile `q ∈ [0, 1]`,
+    /// e.g. `quantile_ns(0.99)` — a coarse log₂-resolution percentile.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.samples == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.samples as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank.max(1) {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Element-wise difference `self - earlier` (`max_ns` is carried over
+    /// from `self`: maxima are not subtractable).
+    fn since(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (slot, (a, b)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *slot = a - b;
+        }
+        LatencyHistogram {
+            samples: self.samples - earlier.samples,
+            total_ns: self.total_ns - earlier.total_ns,
+            max_ns: self.max_ns,
+            retries: self.retries - earlier.retries,
+            buckets,
+        }
+    }
 }
 
 /// A point-in-time copy of the whole meter.
@@ -87,6 +214,9 @@ pub struct KindSnapshot {
 pub struct TrafficSnapshot {
     /// Per-kind counters, indexed like [`MsgKind::ALL`].
     pub kinds: [KindSnapshot; 5],
+    /// Per-kind simulated delivery latencies (empty for in-process
+    /// dispatch), indexed like [`MsgKind::ALL`].
+    pub latency: [LatencyHistogram; 5],
     /// Per-peer inserted postings.
     pub inserted_by_peer: Vec<u64>,
     /// Per-peer retrieved postings.
@@ -98,6 +228,7 @@ impl TrafficMeter {
     pub fn new(num_peers: usize) -> Self {
         Self {
             kinds: Default::default(),
+            latency: Default::default(),
             inserted_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
             retrieved_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -116,6 +247,8 @@ impl TrafficMeter {
         c.postings.fetch_add(postings, Ordering::Relaxed);
         c.bytes.fetch_add(bytes, Ordering::Relaxed);
         c.hops.fetch_add(u64::from(hops), Ordering::Relaxed);
+        c.hop_bytes
+            .fetch_add(bytes * u64::from(hops), Ordering::Relaxed);
         match kind {
             MsgKind::IndexInsert => {
                 self.inserted_by_peer[origin_peer].fetch_add(postings, Ordering::Relaxed);
@@ -127,6 +260,20 @@ impl TrafficMeter {
         }
     }
 
+    /// Records the simulated delivery latency of one message. Only the
+    /// simulated-network backend calls this; all inputs are deterministic
+    /// per message, and the histogram is a sum of per-message
+    /// contributions (plus a max), so it is independent of recording
+    /// order — and therefore of thread count.
+    pub fn record_latency(&self, kind: MsgKind, latency_ns: u64, retries: u32) {
+        let c = &self.latency[kind.slot()];
+        c.samples.fetch_add(1, Ordering::Relaxed);
+        c.total_ns.fetch_add(latency_ns, Ordering::Relaxed);
+        c.max_ns.fetch_max(latency_ns, Ordering::Relaxed);
+        c.retries.fetch_add(u64::from(retries), Ordering::Relaxed);
+        c.buckets[LatencyHistogram::bucket_of(latency_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies all counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
         let mut kinds = [KindSnapshot::default(); 5];
@@ -136,10 +283,26 @@ impl TrafficMeter {
                 postings: c.postings.load(Ordering::Relaxed),
                 bytes: c.bytes.load(Ordering::Relaxed),
                 hops: c.hops.load(Ordering::Relaxed),
+                hop_bytes: c.hop_bytes.load(Ordering::Relaxed),
+            };
+        }
+        let mut latency = [LatencyHistogram::default(); 5];
+        for (slot, c) in latency.iter_mut().zip(&self.latency) {
+            let mut buckets = [0u64; LATENCY_BUCKETS];
+            for (b, a) in buckets.iter_mut().zip(&c.buckets) {
+                *b = a.load(Ordering::Relaxed);
+            }
+            *slot = LatencyHistogram {
+                samples: c.samples.load(Ordering::Relaxed),
+                total_ns: c.total_ns.load(Ordering::Relaxed),
+                max_ns: c.max_ns.load(Ordering::Relaxed),
+                retries: c.retries.load(Ordering::Relaxed),
+                buckets,
             };
         }
         TrafficSnapshot {
             kinds,
+            latency,
             inserted_by_peer: self
                 .inserted_by_peer
                 .iter()
@@ -158,6 +321,24 @@ impl TrafficSnapshot {
     /// Counters for one category.
     pub fn kind(&self, kind: MsgKind) -> KindSnapshot {
         self.kinds[kind.slot()]
+    }
+
+    /// Simulated delivery latencies for one category (empty unless the
+    /// traffic went through a simulated-network backend).
+    pub fn latency(&self, kind: MsgKind) -> &LatencyHistogram {
+        &self.latency[kind.slot()]
+    }
+
+    /// True when every *count* — messages, postings, bytes, hops,
+    /// hop-weighted bytes, per-peer attributions — matches `other`,
+    /// ignoring the latency histograms. This is the backend-equivalence
+    /// relation: an in-process and a simulated-network run of the same
+    /// scenario transmit the same messages, they just take (virtual) time
+    /// doing so.
+    pub fn same_counts(&self, other: &TrafficSnapshot) -> bool {
+        self.kinds == other.kinds
+            && self.inserted_by_peer == other.inserted_by_peer
+            && self.retrieved_by_peer == other.retrieved_by_peer
     }
 
     /// Total postings moved during indexing (inserts + notifications).
@@ -188,7 +369,12 @@ impl TrafficSnapshot {
                 postings: self.kinds[i].postings - earlier.kinds[i].postings,
                 bytes: self.kinds[i].bytes - earlier.kinds[i].bytes,
                 hops: self.kinds[i].hops - earlier.kinds[i].hops,
+                hop_bytes: self.kinds[i].hop_bytes - earlier.kinds[i].hop_bytes,
             };
+        }
+        let mut latency = [LatencyHistogram::default(); 5];
+        for (i, slot) in latency.iter_mut().enumerate() {
+            *slot = self.latency[i].since(&earlier.latency[i]);
         }
         // `earlier` can be shorter when peers joined in between; missing
         // entries count as zero.
@@ -200,6 +386,7 @@ impl TrafficSnapshot {
         };
         TrafficSnapshot {
             kinds,
+            latency,
             inserted_by_peer: diff_vec(&self.inserted_by_peer, &earlier.inserted_by_peer),
             retrieved_by_peer: diff_vec(&self.retrieved_by_peer, &earlier.retrieved_by_peer),
         }
@@ -255,6 +442,67 @@ mod tests {
         let m = TrafficMeter::new(1);
         m.record(MsgKind::IndexNotify, 0, 3, 0, 1);
         assert_eq!(m.snapshot().indexing_postings(), 3);
+    }
+
+    #[test]
+    fn hop_bytes_weight_each_byte_per_hop() {
+        let m = TrafficMeter::new(1);
+        m.record(MsgKind::QueryResponse, 0, 2, 100, 3);
+        m.record(MsgKind::QueryResponse, 0, 1, 40, 0);
+        let k = m.snapshot().kind(MsgKind::QueryResponse);
+        assert_eq!(k.bytes, 140);
+        assert_eq!(k.hop_bytes, 300);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_stats() {
+        let m = TrafficMeter::new(1);
+        assert!(m.snapshot().latency(MsgKind::QueryLookup).is_empty());
+        m.record_latency(MsgKind::QueryLookup, 0, 0);
+        m.record_latency(MsgKind::QueryLookup, 1_000, 1);
+        m.record_latency(MsgKind::QueryLookup, 1_500, 0);
+        m.record_latency(MsgKind::QueryLookup, 1 << 20, 2);
+        let h = *m.snapshot().latency(MsgKind::QueryLookup);
+        assert_eq!(h.samples, 4);
+        assert_eq!(h.total_ns, 2_500 + (1 << 20));
+        assert_eq!(h.max_ns, 1 << 20);
+        assert_eq!(h.retries, 3);
+        assert_eq!(h.buckets[0], 1, "0 ns lands in the bottom bucket");
+        assert_eq!(h.buckets[9], 1, "1000 ns -> [512, 1024)");
+        assert_eq!(h.buckets[10], 1, "1500 ns -> [1024, 2048)");
+        assert_eq!(h.buckets[20], 1);
+        assert!((h.mean_ns() - (2_500.0 + f64::from(1 << 20)) / 4.0).abs() < 1e-9);
+        // The p99 bucket bound covers the slowest sample.
+        assert!(h.quantile_ns(0.99) >= h.max_ns);
+        // The untouched kind stays empty.
+        assert!(m.snapshot().latency(MsgKind::IndexInsert).is_empty());
+    }
+
+    #[test]
+    fn same_counts_ignores_latency() {
+        let a = TrafficMeter::new(2);
+        let b = TrafficMeter::new(2);
+        a.record(MsgKind::IndexInsert, 0, 5, 20, 2);
+        b.record(MsgKind::IndexInsert, 0, 5, 20, 2);
+        b.record_latency(MsgKind::IndexInsert, 777, 0);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_ne!(sa, sb, "latency differs");
+        assert!(sa.same_counts(&sb), "counts are the backend contract");
+        b.record(MsgKind::IndexNotify, 1, 0, 8, 1);
+        assert!(!sa.same_counts(&b.snapshot()));
+    }
+
+    #[test]
+    fn since_subtracts_latency_histograms() {
+        let m = TrafficMeter::new(1);
+        m.record_latency(MsgKind::Maintenance, 100, 1);
+        let before = m.snapshot();
+        m.record_latency(MsgKind::Maintenance, 300, 0);
+        let d = m.snapshot().since(&before);
+        let h = d.latency(MsgKind::Maintenance);
+        assert_eq!(h.samples, 1);
+        assert_eq!(h.total_ns, 300);
+        assert_eq!(h.retries, 0);
     }
 
     #[test]

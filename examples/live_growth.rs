@@ -4,11 +4,14 @@
 //! increase the number of available peers") executed without any rebuild.
 //!
 //! Each join (1) splits a region of the key space for the new peer and
-//! migrates the affected index fraction (maintenance traffic), then
-//! (2) indexes the new documents incrementally: previously indexed
-//! documents are only re-examined for keys that newly became
-//! non-discriminative. The resulting index is bit-identical to a from-
-//! scratch build (see `tests/churn_growth.rs`).
+//! migrates the affected index fraction (maintenance traffic, the
+//! `Migrate` message), then (2) indexes the new documents incrementally:
+//! previously indexed documents are only re-examined for keys that newly
+//! became non-discriminative. The resulting index is bit-identical to a
+//! from-scratch build (see `tests/churn_growth.rs`). The final two peers
+//! arrive as one bulk `join_peers` wave, sharing a single incremental
+//! session. Growth runs on the `IndexService` handle; the probe queries
+//! only touch the `QueryService`.
 //!
 //! ```text
 //! cargo run --release --example live_growth
@@ -27,9 +30,11 @@ fn main() {
     })
     .generate();
 
-    // Bootstrap: 2 peers with the first 2 * 250 documents.
+    // Bootstrap: 2 peers with the first 2 * 250 documents, then split the
+    // system into its service handles — churn drives the write path while
+    // the probe queries only ever touch the (thread-shareable) read path.
     let boot_docs = docs_per_peer * 2;
-    let mut network = HdkNetwork::build(
+    let (mut indexer, queries) = HdkNetwork::build(
         &collection.prefix(boot_docs),
         &partition_documents(boot_docs, 2, 1),
         HdkConfig {
@@ -38,7 +43,8 @@ fn main() {
             ..HdkConfig::default()
         },
         OverlayKind::PGrid,
-    );
+    )
+    .into_services();
     println!(
         "{:>5} {:>6}  {:>10} {:>12} {:>12} {:>14}",
         "peers", "docs", "keys", "stored/peer", "moved_keys", "retr/query"
@@ -51,11 +57,11 @@ fn main() {
             ..QueryLogConfig::default()
         },
     );
-    let report_line = |net: &HdkNetwork, moved: u64| {
-        let r = net.build_report();
+    let report_line = |queries: &QueryService, moved: u64| {
+        let r = queries.build_report();
         let mut fetched = 0u64;
         for q in &probe.queries {
-            fetched += net.query(PeerId(0), &q.terms, 20).postings_fetched;
+            fetched += queries.query(PeerId(0), &q.terms, 20).postings_fetched;
         }
         println!(
             "{:>5} {:>6}  {:>10} {:>12.0} {:>12} {:>14.1}",
@@ -67,19 +73,37 @@ fn main() {
             fetched as f64 / probe.len() as f64,
         );
     };
-    report_line(&network, 0);
+    report_line(&queries, 0);
 
-    // Six more peers join one at a time, each contributing 250 documents.
-    for j in 2..total_peers {
+    // Four more peers join one at a time, each contributing 250 documents.
+    for j in 2..total_peers - 2 {
         let lo = j * docs_per_peer;
         let docs: Vec<Document> = (lo..lo + docs_per_peer)
             .map(|i| collection.docs()[i].clone())
             .collect();
-        let migration = network.join_peer(PeerId(100 + j as u64), docs);
-        report_line(&network, migration.keys_moved);
+        let migration = indexer.join_peer(PeerId(100 + j as u64), docs);
+        report_line(&queries, migration.keys_moved);
     }
 
-    let snap = network.snapshot();
+    // The last two arrive together: one bulk `join_peers` call admits both
+    // and indexes their documents in a single shared session — the
+    // re-announce sweep is amortized across the wave.
+    let wave: Vec<(PeerId, Vec<Document>)> = (total_peers - 2..total_peers)
+        .map(|j| {
+            let lo = j * docs_per_peer;
+            let docs: Vec<Document> = (lo..lo + docs_per_peer)
+                .map(|i| collection.docs()[i].clone())
+                .collect();
+            (PeerId(100 + j as u64), docs)
+        })
+        .collect();
+    let migrations = indexer.join_peers(wave);
+    report_line(
+        &queries,
+        migrations.iter().map(|m| m.keys_moved).sum::<u64>(),
+    );
+
+    let snap = queries.snapshot();
     println!(
         "\ntotals: {} postings inserted (indexing), {} moved by joins (maintenance), \
          {} fetched by the {} probe queries run at each step",

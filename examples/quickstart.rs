@@ -34,7 +34,11 @@ fn main() {
         config.dfmax, config.smax, config.window, config.ff
     );
     let network = HdkNetwork::build(&collection, &partitions, config, OverlayKind::PGrid);
-    let report = network.build_report();
+    // The read path is a clonable service handle: share it across as many
+    // query threads as you like (to simulate network latency instead,
+    // build with `HdkNetwork::build_with(..., BackendConfig::SimNet(..))`).
+    let queries = network.query_service();
+    let report = queries.build_report();
     println!(
         "index built in {} rounds: {} keys, {:.0} postings stored per peer ({:.0} inserted)",
         report.rounds,
@@ -59,7 +63,7 @@ fn main() {
     //    centralized BM25 engine.
     for q in &log.queries {
         let from = PeerId(u64::from(q.id) % peers as u64);
-        let outcome = network.query(from, &q.terms, 20);
+        let outcome = queries.query(from, &q.terms, 20);
         let reference = central.search(&q.terms, 20);
         let overlap = top_k_overlap(&outcome.results, &reference, 20);
         let words: Vec<&str> = q
@@ -79,6 +83,6 @@ fn main() {
 
     // 5. The headline property: retrieval traffic is bounded by nk * DFmax
     //    per query, no matter how large the collection grows.
-    let bound = network.max_lookups(3) * u64::from(network.config().dfmax);
+    let bound = queries.max_lookups(3) * u64::from(queries.config().dfmax);
     println!("\nper-query traffic bound for a 3-term query: nk * DFmax = {bound} postings");
 }

@@ -50,7 +50,8 @@ fn main() {
                 ..HdkConfig::default()
             },
             OverlayKind::PGrid,
-        );
+        )
+        .query_service();
 
         let central = CentralizedEngine::build(&collection);
         let log = QueryLog::generate_filtered(

@@ -47,6 +47,7 @@ fn main() {
     })
     .generate();
     let partitions = partition_documents(collection.len(), 6, 3);
+    // Only retrieval is measured, so a bare read-path handle suffices.
     let network = HdkNetwork::build(
         &collection,
         &partitions,
@@ -57,7 +58,8 @@ fn main() {
             ..HdkConfig::default()
         },
         OverlayKind::PGrid,
-    );
+    )
+    .query_service();
     let central = CentralizedEngine::build(&collection);
     let log = QueryLog::generate_filtered(
         &collection,

@@ -59,7 +59,8 @@ fn main() {
         },
         OverlayKind::PGrid,
     );
-    let counts = network.index().index_counts();
+    let queries = network.query_service();
+    let counts = queries.index().index_counts();
     println!("global index: {counts}\n");
 
     // 3. Free-text queries go through the same analyzer.
@@ -71,7 +72,7 @@ fn main() {
         "bandwidth of web search",
     ] {
         let terms = analyzer.analyze_query(query_text);
-        let outcome = network.query(PeerId(0), &terms, 3);
+        let outcome = queries.query(PeerId(0), &terms, 3);
         println!("query: {query_text:?}");
         if outcome.results.is_empty() {
             println!("  (no matches)");

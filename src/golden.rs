@@ -7,7 +7,7 @@
 //! golden_dump` regenerates the snapshot after a change that is *meant* to
 //! alter observable behavior.
 
-use hdk_core::{HdkConfig, HdkNetwork, OverlayKind};
+use hdk_core::{BackendConfig, HdkConfig, HdkNetwork, OverlayKind};
 use hdk_corpus::{
     partition_documents, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig,
 };
@@ -17,8 +17,18 @@ use hdk_text::TermId;
 /// Builds the fixed golden network (480 docs, 8 peers, `DFmax = 18`) over
 /// `collection`, which must come from [`golden_collection`].
 pub fn golden_network(collection: &hdk_corpus::Collection) -> HdkNetwork {
+    golden_network_with(collection, BackendConfig::InProc)
+}
+
+/// [`golden_network`] over an explicit network backend: the scenario's
+/// *counts* (and therefore every golden line) are backend-independent —
+/// only the latency histograms and the virtual clock differ.
+pub fn golden_network_with(
+    collection: &hdk_corpus::Collection,
+    backend: BackendConfig,
+) -> HdkNetwork {
     let parts = partition_documents(collection.len(), 8, 19);
-    HdkNetwork::build(
+    HdkNetwork::build_with(
         collection,
         &parts,
         HdkConfig {
@@ -27,6 +37,7 @@ pub fn golden_network(collection: &hdk_corpus::Collection) -> HdkNetwork {
             ..HdkConfig::default()
         },
         OverlayKind::PGrid,
+        backend,
     )
 }
 
@@ -46,8 +57,16 @@ pub fn golden_collection() -> hdk_corpus::Collection {
 
 /// Runs the full scenario and renders every observable quantity as lines.
 pub fn golden_report_lines() -> Vec<String> {
+    golden_report_lines_with(BackendConfig::InProc)
+}
+
+/// [`golden_report_lines`] over an explicit backend. Every line must be
+/// identical whatever the backend: the snapshot in
+/// `tests/golden/report.txt` pins counts, and counts are the
+/// backend-equivalence contract.
+pub fn golden_report_lines_with(backend: BackendConfig) -> Vec<String> {
     let c = golden_collection();
-    let network = golden_network(&c);
+    let network = golden_network_with(&c, backend);
     let mut lines = Vec::new();
     let report = network.build_report();
     lines.push(format!("inserted_by_size: {:?}", report.inserted_by_size));

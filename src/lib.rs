@@ -54,8 +54,8 @@ pub use hdk_text as text;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use hdk_core::{
-        HdkConfig, HdkNetwork, Key, KeyClass, OverlayKind, QueryOutcome, QueryPlan, QueryProfile,
-        SingleTermNetwork,
+        BackendConfig, HdkConfig, HdkNetwork, IndexService, Key, KeyClass, OverlayKind,
+        QueryOutcome, QueryPlan, QueryProfile, QueryService, SingleTermNetwork,
     };
     pub use hdk_corpus::{
         partition_documents, Collection, CollectionGenerator, DocId, Document, GeneratorConfig,
@@ -63,6 +63,6 @@ pub mod prelude {
     };
     pub use hdk_ir::{top_k_overlap, Bm25, CentralizedEngine, SearchResult};
     pub use hdk_model::TrafficModel;
-    pub use hdk_p2p::{MsgKind, Overlay, PeerId, TrafficSnapshot};
+    pub use hdk_p2p::{LatencyHistogram, MsgKind, Overlay, PeerId, SimNetConfig, TrafficSnapshot};
     pub use hdk_text::{Analyzer, AnalyzerConfig, TermId, Vocabulary};
 }

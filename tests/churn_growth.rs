@@ -79,6 +79,138 @@ fn joined_peer_network_matches_static_build() {
 }
 
 #[test]
+fn bulk_join_matches_sequential_content_with_less_traffic() {
+    // `join_peers` admits N peers in one call: N overlay migrations, then
+    // ONE incremental indexing session over all their documents. The final
+    // index content must match both the static build and the sequential
+    // one-peer-at-a-time joins, while the amortized re-announce sweep
+    // moves strictly fewer indexing messages than the sequential joins.
+    let collection = CollectionGenerator::new(GeneratorConfig {
+        num_docs: 300,
+        vocab_size: 2_200,
+        avg_doc_len: 45,
+        num_topics: 22,
+        topic_vocab: 45,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let reference = HdkNetwork::build(
+        &collection,
+        &partition_documents(collection.len(), 6, 7),
+        config(),
+        OverlayKind::PGrid,
+    );
+
+    let boot = |overlay| {
+        HdkNetwork::build(
+            &collection.prefix(150),
+            &partition_documents(150, 3, 7),
+            config(),
+            overlay,
+        )
+    };
+    let joins = |base: u64| -> Vec<(PeerId, Vec<Document>)> {
+        (0..3u64)
+            .map(|j| {
+                let lo = 150 + j as usize * 50;
+                let docs: Vec<Document> = (lo..lo + 50)
+                    .map(|i| collection.docs()[i].clone())
+                    .collect();
+                (PeerId(base + j), docs)
+            })
+            .collect()
+    };
+
+    // Sequential baseline: three separate join sessions.
+    let mut sequential = boot(OverlayKind::PGrid);
+    for (peer, docs) in joins(700) {
+        sequential.index_service().join_peer(peer, docs);
+    }
+
+    // Bulk: one call, one session.
+    let mut bulk = boot(OverlayKind::PGrid);
+    let migrations = bulk.index_service().join_peers(joins(700));
+    assert_eq!(migrations.len(), 3, "one migration report per join");
+    assert!(
+        migrations.iter().any(|m| m.keys_moved > 0),
+        "joins must take over index keys"
+    );
+
+    // Identical final content, three ways.
+    assert_eq!(bulk.num_peers(), 6);
+    assert_eq!(
+        bulk.index().index_counts(),
+        reference.index().index_counts()
+    );
+    assert_eq!(
+        bulk.index().index_counts(),
+        sequential.index().index_counts()
+    );
+
+    // Query answers identical to the static build.
+    let log = QueryLog::generate(
+        &collection,
+        &QueryLogConfig {
+            num_queries: 25,
+            ..QueryLogConfig::default()
+        },
+    );
+    let bulk_queries = bulk.query_service();
+    for q in &log.queries {
+        let a = bulk_queries.query(PeerId(700), &q.terms, 20);
+        let b = reference.query(PeerId(0), &q.terms, 20);
+        assert_eq!(a.results, b.results, "diverged for {:?}", q.terms);
+    }
+
+    // The amortization claim: one shared session moves fewer indexing
+    // messages (inserts + notifications) than three separate sessions.
+    let cost = |n: &HdkNetwork| {
+        let s = n.snapshot();
+        s.kind(MsgKind::IndexInsert).messages + s.kind(MsgKind::IndexNotify).messages
+    };
+    // Subtract the query traffic-free baseline: only indexing categories
+    // are compared, and queries above only touched `bulk`.
+    assert!(
+        cost(&bulk) < cost(&sequential),
+        "bulk join must amortize: {} messages vs {} sequential",
+        cost(&bulk),
+        cost(&sequential)
+    );
+}
+
+#[test]
+fn bulk_join_of_one_equals_single_join() {
+    // The single-join path is the bulk path with one element; their
+    // observable effects must be identical.
+    let collection = CollectionGenerator::new(GeneratorConfig {
+        num_docs: 160,
+        vocab_size: 1_500,
+        avg_doc_len: 40,
+        num_topics: 15,
+        topic_vocab: 40,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let boot = || {
+        HdkNetwork::build(
+            &collection.prefix(120),
+            &partition_documents(120, 2, 5),
+            config(),
+            OverlayKind::Chord,
+        )
+    };
+    let docs: Vec<Document> = (120..160).map(|i| collection.docs()[i].clone()).collect();
+
+    let mut single = boot();
+    let m1 = single.join_peer(PeerId(42), docs.clone());
+    let mut bulk = boot();
+    let m2 = bulk.join_peers(vec![(PeerId(42), docs)]);
+    assert_eq!(vec![m1], m2);
+    assert_eq!(single.index().index_counts(), bulk.index().index_counts());
+    assert_eq!(single.snapshot(), bulk.snapshot(), "traffic must match");
+}
+
+#[test]
 fn several_peers_join_in_sequence() {
     let collection = CollectionGenerator::new(GeneratorConfig {
         num_docs: 240,

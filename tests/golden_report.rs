@@ -3,11 +3,18 @@
 //!
 //! The snapshot in `tests/golden/report.txt` was produced by the
 //! *pre-refactor* implementation (decoded `Vec<Posting>` storage, side
-//! re-encoding for byte meters). The storage rework must reproduce every
-//! line — `BuildReport` fields, full traffic counters including payload
-//! bytes, and per-query top-k down to the f64 score bits.
+//! re-encoding for byte meters). The storage rework — and every later
+//! refactor, including the typed RPC layer — must reproduce every line:
+//! `BuildReport` fields, full traffic counters including payload bytes,
+//! and per-query top-k down to the f64 score bits. A second test replays
+//! the identical scenario over the simulated-network backend: the counted
+//! lines must not move, while the latency histograms fill up.
 
-use p2p_hdk::golden::{golden_collection, golden_network, golden_report_lines};
+use p2p_hdk::golden::{
+    golden_collection, golden_network, golden_network_with, golden_report_lines,
+    golden_report_lines_with,
+};
+use p2p_hdk::prelude::*;
 
 #[test]
 fn report_matches_pre_refactor_snapshot() {
@@ -20,6 +27,71 @@ fn report_matches_pre_refactor_snapshot() {
     );
     for (i, (a, e)) in actual.iter().zip(&expected).enumerate() {
         assert_eq!(a, e, "golden line {} diverged", i + 1);
+    }
+}
+
+#[test]
+fn simnet_backend_reproduces_golden_counts_with_nonzero_latency() {
+    // The same golden scenario over SimNet with a realistically slow,
+    // jittery network: every *counted* line must still match the
+    // snapshot bit for bit (messages, postings, bytes, hops, top-k score
+    // bits), because the simulated network only adds time.
+    let sim = SimNetConfig {
+        seed: 2_026,
+        hop_ns: 400_000,
+        jitter_ns: 150_000,
+        ns_per_byte: 8,
+        drop_prob: 0.05,
+        timeout_ns: 5_000_000,
+    };
+    let expected: Vec<&str> = include_str!("golden/report.txt").lines().collect();
+    let actual = golden_report_lines_with(BackendConfig::SimNet(sim));
+    assert_eq!(actual.len(), expected.len());
+    for (i, (a, e)) in actual.iter().zip(&expected).enumerate() {
+        assert_eq!(a, e, "golden line {} diverged on SimNet", i + 1);
+    }
+
+    // And the time side: nonzero per-kind latency histograms wherever the
+    // scenario moved messages, plus an advancing virtual clock.
+    let network = golden_network_with(&golden_collection(), BackendConfig::SimNet(sim));
+    let queries = network.query_service();
+    let _ = queries.query_batch(
+        &(0..8u64)
+            .map(|p| (PeerId(p), vec![hdk_text::TermId(10), hdk_text::TermId(11)]))
+            .collect::<Vec<_>>(),
+        10,
+    );
+    let snap = queries.snapshot();
+    for kind in [
+        MsgKind::IndexInsert,
+        MsgKind::IndexNotify,
+        MsgKind::QueryLookup,
+        MsgKind::QueryResponse,
+    ] {
+        let histogram = snap.latency(kind);
+        assert_eq!(
+            histogram.samples,
+            snap.kind(kind).messages,
+            "one latency sample per {kind:?} message"
+        );
+        assert!(histogram.samples > 0, "{kind:?} never travelled");
+        assert!(histogram.total_ns > 0, "{kind:?} latencies all zero");
+        assert!(
+            histogram.max_ns >= sim.hop_ns,
+            "{kind:?} slowest delivery below one hop"
+        );
+        assert!(histogram.quantile_ns(0.99) >= histogram.mean_ns() as u64);
+    }
+    assert!(
+        queries.virtual_time_ns() > 0,
+        "virtual clock must have advanced"
+    );
+
+    // The in-process build of the same scenario records no time at all.
+    let baseline = golden_network(&golden_collection());
+    let plain = baseline.snapshot();
+    for kind in MsgKind::ALL {
+        assert!(plain.latency(kind).is_empty());
     }
 }
 

@@ -252,6 +252,80 @@ fn long_queries_with_deep_lattice_are_thread_invariant() {
 }
 
 #[test]
+fn simnet_query_batch_is_thread_invariant() {
+    // The simulated network models time from per-message attributes only —
+    // never from scheduling — so a SimNet build + parallel query batch must
+    // be bit-identical under RAYON_NUM_THREADS ∈ {1, default}: outcomes,
+    // traffic counts, *and* the full latency histograms (samples, totals,
+    // maxima, buckets, retries) plus the virtual clock.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = collection(777);
+    let sim = SimNetConfig {
+        seed: 99,
+        hop_ns: 300_000,
+        jitter_ns: 100_000,
+        ns_per_byte: 10,
+        drop_prob: 0.1,
+        timeout_ns: 2_000_000,
+    };
+    let run = || {
+        let network = HdkNetwork::build_with(
+            &c,
+            &partition_documents(c.len(), 16, 13),
+            HdkConfig {
+                dfmax: 15,
+                ff: 3_000,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+            BackendConfig::SimNet(sim),
+        );
+        let log = QueryLog::generate(
+            &c,
+            &QueryLogConfig {
+                num_queries: 40,
+                ..QueryLogConfig::default()
+            },
+        );
+        let batch: Vec<(PeerId, &[TermId])> = log
+            .queries
+            .iter()
+            .map(|q| (PeerId(u64::from(q.id) % 16), q.terms.as_slice()))
+            .collect();
+        let queries = network.query_service();
+        let outcomes: Vec<(Vec<SearchResult>, u32, u64)> = queries
+            .query_batch(&batch, 20)
+            .into_iter()
+            .map(|o| (o.results, o.lookups, o.postings_fetched))
+            .collect();
+        (outcomes, queries.snapshot(), queries.virtual_time_ns())
+    };
+
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run();
+    std::env::remove_var("RAYON_NUM_THREADS"); // default pool size
+    let parallel = run();
+    if let Some(v) = prev {
+        std::env::set_var("RAYON_NUM_THREADS", v);
+    }
+
+    assert_eq!(serial.0, parallel.0, "query outcomes diverged");
+    // Full snapshot equality covers counts AND every latency histogram.
+    assert_eq!(serial.1, parallel.1, "traffic/latency snapshot diverged");
+    assert_eq!(serial.2, parallel.2, "virtual clock diverged");
+    // Non-vacuity: the simulated network actually took time and lost
+    // packets.
+    let h = serial.1.latency(MsgKind::QueryResponse);
+    assert!(h.samples > 0 && h.total_ns > 0);
+    assert!(
+        serial.1.latency(MsgKind::IndexInsert).retries > 0,
+        "10% drop over thousands of inserts must retransmit at least once"
+    );
+    assert!(serial.2 > 0);
+}
+
+#[test]
 fn incremental_additions_are_deterministic_run_to_run() {
     // Regression test for the nondeterministic `add_documents` dispatch:
     // grouped additions used to hop through a HashMap, so per-peer insert

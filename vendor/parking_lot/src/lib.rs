@@ -5,7 +5,9 @@
 //! a panicked holder's poison flag is cleared, matching `parking_lot`
 //! semantics where a panic simply releases the lock).
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual exclusion primitive, API-compatible with `parking_lot::Mutex`.
 #[derive(Debug, Default)]
