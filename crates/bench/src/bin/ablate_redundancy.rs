@@ -34,6 +34,7 @@ fn main() {
             "no redundancy filter",
             HdkConfig {
                 redundancy_filtering: false,
+                replication: 1,
                 ..base
             },
         ),

@@ -33,6 +33,10 @@ pub struct LatencyPoint {
     pub insert_mean_ns: f64,
     /// Retransmissions across all kinds (drop model).
     pub retries: u64,
+    /// Payload bytes those retransmissions re-sent — the wire overhead of
+    /// loss, kept apart from the logical byte meters (which count each
+    /// message once at any loss rate).
+    pub retransmission_bytes: u64,
     /// Total virtual network time of the scenario, nanoseconds.
     pub virtual_ns: u64,
 }
@@ -129,6 +133,10 @@ pub fn run_latency_sweep(peers: usize, docs: usize, queries: usize) -> Vec<Laten
                 response_max_ns: response.max_ns,
                 insert_mean_ns: insert.mean_ns(),
                 retries: MsgKind::ALL.iter().map(|&k| snap.latency(k).retries).sum(),
+                retransmission_bytes: MsgKind::ALL
+                    .iter()
+                    .map(|&k| snap.latency(k).retransmission_bytes)
+                    .sum(),
                 virtual_ns: service.virtual_time_ns(),
             }
         })
@@ -138,19 +146,27 @@ pub fn run_latency_sweep(peers: usize, docs: usize, queries: usize) -> Vec<Laten
 /// Renders the sweep as an aligned table on stdout.
 pub fn print_latency_sweep(points: &[LatencyPoint]) {
     println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12}",
-        "network", "resp mean", "resp p99", "resp max", "ins mean", "retries", "virtual"
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>11} {:>12}",
+        "network",
+        "resp mean",
+        "resp p99",
+        "resp max",
+        "ins mean",
+        "retries",
+        "retx bytes",
+        "virtual"
     );
     let ms = |ns: f64| format!("{:.3}ms", ns / 1e6);
     for p in points {
         println!(
-            "{:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12}",
+            "{:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>11} {:>12}",
             p.label,
             ms(p.response_mean_ns),
             ms(p.response_p99_ns as f64),
             ms(p.response_max_ns as f64),
             ms(p.insert_mean_ns),
             p.retries,
+            p.retransmission_bytes,
             ms(p.virtual_ns as f64),
         );
     }
@@ -173,7 +189,12 @@ mod tests {
             lan.response_mean_ns
         );
         assert_eq!(lan.retries + wan.retries, 0, "lossless configs never retry");
+        assert_eq!(lan.retransmission_bytes + wan.retransmission_bytes, 0);
         assert!(lossy.retries > 0, "2% drop must force retransmissions");
+        assert!(
+            lossy.retransmission_bytes > 0,
+            "retransmitted payloads must be measurable"
+        );
         assert!(
             lossy.response_mean_ns >= wan.response_mean_ns,
             "loss can only slow the same message stream down"

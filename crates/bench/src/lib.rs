@@ -12,13 +12,17 @@
 //! * [`memory`] — the resident posting-storage footprint report
 //!   (compressed blocks vs the decoded baseline),
 //! * [`latency`] — the `SimNet` latency sweep (one scenario over
-//!   LAN / WAN / lossy-WAN network models).
+//!   LAN / WAN / lossy-WAN network models),
+//! * [`availability`] — the replication/churn study (vary `R`, kill
+//!   peers, measure content loss, repair traffic and degraded-query
+//!   latency).
 //!
 //! Binaries (`cargo run -p hdk-bench --release --bin <name>`): `table1`,
 //! `table2`, `fig3`–`fig8`, `theory`, `experiments` (all of the above in
-//! one run), `memfoot`, `latency_sweep`, `ablate_window`,
+//! one run), `memfoot`, `latency_sweep`, `availability`, `ablate_window`,
 //! `ablate_redundancy`, `ablate_dfmax`, `ablate_overlay`.
 
+pub mod availability;
 pub mod figures;
 pub mod latency;
 pub mod memory;
@@ -26,6 +30,7 @@ pub mod profile;
 pub mod report;
 pub mod runner;
 
+pub use availability::{print_availability_study, run_availability_study, AvailabilityPoint};
 pub use latency::{run_latency_sweep, LatencyPoint};
 pub use profile::ExperimentProfile;
 pub use report::Table;

@@ -154,6 +154,7 @@ impl ExperimentProfile {
             ff: self.ff,
             exact_intrinsic: false,
             redundancy_filtering: true,
+            replication: 1,
         }
     }
 

@@ -28,6 +28,13 @@ pub struct HdkConfig {
     /// key (not just intrinsic ones) — the ablation showing why
     /// Definition 5 matters for index size.
     pub redundancy_filtering: bool,
+    /// `R` — structural replication factor: every index entry is stored
+    /// on the responsible peer plus `R - 1` live successors along the
+    /// overlay's key-space order (P-Grid's robustness mechanism). `R = 1`
+    /// reproduces the unreplicated system bit for bit; `R ≥ 2` survives
+    /// up to `R - 1` simultaneous peer crashes between repair sweeps at
+    /// `R×` insert traffic and storage.
+    pub replication: usize,
 }
 
 impl HdkConfig {
@@ -41,6 +48,7 @@ impl HdkConfig {
             ff: 100_000,
             exact_intrinsic: false,
             redundancy_filtering: true,
+            replication: 1,
         }
     }
 
@@ -65,6 +73,10 @@ impl HdkConfig {
         );
         assert!(self.window >= 2, "window must admit at least a pair");
         assert!(self.ff >= 1, "Ff must be at least 1");
+        assert!(
+            self.replication >= 1,
+            "replication factor must be at least 1"
+        );
     }
 
     /// Scales the collection-dependent thresholds for a collection whose
@@ -82,6 +94,7 @@ impl HdkConfig {
             ff,
             exact_intrinsic: false,
             redundancy_filtering: true,
+            replication: 1,
         }
     }
 }
@@ -97,6 +110,7 @@ impl Default for HdkConfig {
             ff: 10_000,
             exact_intrinsic: false,
             redundancy_filtering: true,
+            replication: 1,
         }
     }
 }
@@ -135,6 +149,16 @@ mod tests {
         let c = HdkConfig::scaled_for(100, 10);
         assert!(c.dfmax >= 1);
         assert!(c.ff >= 1);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn zero_replication_rejected() {
+        let c = HdkConfig {
+            replication: 0,
+            ..HdkConfig::default()
+        };
         c.validate();
     }
 

@@ -81,12 +81,20 @@ impl BackendConfig {
         self,
         overlay: Box<dyn Overlay>,
         dfmax: u32,
+        replication: usize,
     ) -> Box<dyn hdk_p2p::NetworkBackend<IndexStore>> {
         match self {
-            BackendConfig::InProc => Box::new(InProc::new(overlay, IndexStore::new(dfmax))),
-            BackendConfig::SimNet(config) => {
-                Box::new(SimNet::new(overlay, IndexStore::new(dfmax), config))
-            }
+            BackendConfig::InProc => Box::new(InProc::replicated(
+                overlay,
+                IndexStore::new(dfmax),
+                replication,
+            )),
+            BackendConfig::SimNet(config) => Box::new(SimNet::replicated(
+                overlay,
+                IndexStore::new(dfmax),
+                config,
+                replication,
+            )),
         }
     }
 }
@@ -197,9 +205,16 @@ impl QueryService {
         self.core.index.read()
     }
 
-    /// Number of peers.
+    /// Number of peers ever admitted to the overlay (live or departed —
+    /// peer indices stay stable across churn).
     pub fn num_peers(&self) -> usize {
         self.index().overlay().len()
+    }
+
+    /// Number of currently live peers (members that neither departed nor
+    /// failed).
+    pub fn num_live_peers(&self) -> usize {
+        self.index().membership().live_count()
     }
 
     /// Number of indexed documents (`M`).
@@ -353,18 +368,20 @@ impl IndexService {
         if joins.is_empty() {
             return Vec::new();
         }
-        let mut stats = Vec::with_capacity(joins.len());
-        {
+        let stats = {
             let mut index = self.core.index.write();
             for (peer, _) in &joins {
                 assert!(
                     self.peers.iter().all(|p| p.id != *peer),
                     "{peer} already in the network"
                 );
-                stats.push(index.add_peer(*peer));
                 self.peers.push(LocalPeer::new(*peer, Vec::new()));
             }
-        }
+            // The whole wave is admitted through ONE control-plane call:
+            // N overlay joins, then a single shared stripe scan sizes and
+            // meters every handover (N joins, one scan — not N scans).
+            index.add_peers(joins.iter().map(|(peer, _)| *peer).collect())
+        };
         let additions: Vec<(PeerId, hdk_corpus::Document)> = joins
             .into_iter()
             .flat_map(|(peer, docs)| docs.into_iter().map(move |d| (peer, d)))
@@ -378,6 +395,141 @@ impl IndexService {
             self.add_documents(additions);
         }
         stats
+    }
+
+    /// A wave of peers leaves the network *gracefully* — the mirror of
+    /// [`IndexService::join_peers`]: each departing peer hands every index
+    /// copy it holds to the re-derived replica sets (one maintenance
+    /// handover wave, a single shared stripe scan), then disappears from
+    /// the replica walks. No indexed content is lost, at any replication
+    /// factor — even `R = 1` survives graceful departures.
+    ///
+    /// The departing peers' *documents* stay part of the collection (the
+    /// network indexed them; a peer leaving does not shrink the corpus):
+    /// custody of their local document state passes to the
+    /// smallest-id surviving peer, and stored `contributors` metadata is
+    /// rewritten to it, so future incremental sessions still deliver
+    /// "became non-discriminative" notifications to a peer that can act
+    /// on them. This keeps churn convergence exact: a network that grew
+    /// and shrank arbitrarily still matches a static build over the same
+    /// corpus (pinned by `crates/core/tests/prop_churn.rs`).
+    ///
+    /// Returns one [`hdk_p2p::MigrationStats`] per leaver, in input order.
+    ///
+    /// # Panics
+    /// Panics on unknown/duplicate peers or when the wave would empty the
+    /// network.
+    pub fn leave_peers(&mut self, peers: Vec<PeerId>) -> Vec<hdk_p2p::MigrationStats> {
+        if peers.is_empty() {
+            return Vec::new();
+        }
+        let custodian = self.departure_custodian(&peers);
+        let stats = {
+            let mut index = self.core.index.write();
+            let stats = index.leave_peers(&peers);
+            index.reassign_contributors(&peers, custodian);
+            stats
+        };
+        self.transfer_custody(&peers, custodian);
+        stats
+    }
+
+    /// A wave of peers *crashes*: no handover, no messages — every index
+    /// copy they held is destroyed. At `R = 1` that loses the entries
+    /// they solely held (reported in the returned [`hdk_p2p::LossStats`]);
+    /// at `R ≥ 2` a wave of fewer than `R` crashes loses nothing, and the
+    /// surviving copies serve lookups through per-key failover until a
+    /// [`IndexService::repair`] sweep restores full redundancy.
+    ///
+    /// Document custody transfers exactly as in
+    /// [`IndexService::leave_peers`] — the *collection* is an input to the
+    /// simulation (crawled documents are re-crawlable); what a crash
+    /// destroys is the peer's hosted index fraction, which is what
+    /// replication protects. The index epoch bumps because content may
+    /// have been lost, so query caches cannot serve stale hits for lost
+    /// keys.
+    ///
+    /// # Panics
+    /// Panics on unknown/duplicate peers or when the wave would empty the
+    /// network.
+    pub fn fail_peers(&mut self, peers: Vec<PeerId>) -> hdk_p2p::LossStats {
+        if peers.is_empty() {
+            return hdk_p2p::LossStats::default();
+        }
+        let custodian = self.departure_custodian(&peers);
+        let loss = {
+            let mut index = self.core.index.write();
+            let loss = index.fail_peers(&peers);
+            index.reassign_contributors(&peers, custodian);
+            loss
+        };
+        self.transfer_custody(&peers, custodian);
+        // Content may be gone: cached lookups for lost keys must not
+        // survive (the round count is unchanged — no session ran).
+        let rounds = self.core.rounds_run.load(Ordering::Acquire);
+        self.core.publish_growth(0, 0, rounds);
+        loss
+    }
+
+    /// The background repair sweep: re-materializes every copy the
+    /// re-derived replica sets are missing, from surviving replicas — one
+    /// `Repair` message per copy, in its own traffic category. Run it
+    /// after [`IndexService::fail_peers`] to restore full redundancy
+    /// before the next crash; idempotent otherwise.
+    ///
+    /// Holds the index *write* lock like every other churn operation:
+    /// the sweep rewrites holder sets stripe by stripe, and a query
+    /// racing it would resolve some keys against pre-repair replica sets
+    /// and others against post-repair ones — scheduling-dependent hop
+    /// counts and timeout charges, breaking the bit-identical metering
+    /// contract.
+    pub fn repair(&mut self) -> hdk_p2p::RepairStats {
+        self.core.index.write().repair()
+    }
+
+    /// Validates a departure wave and picks the custodian: the
+    /// smallest-id surviving peer (deterministic).
+    fn departure_custodian(&self, departing: &[PeerId]) -> PeerId {
+        for (i, peer) in departing.iter().enumerate() {
+            assert!(
+                self.peers.iter().any(|p| p.id == *peer),
+                "{peer} is not a live member of the network"
+            );
+            assert!(
+                !departing[..i].contains(peer),
+                "{peer} appears twice in the departure wave"
+            );
+        }
+        self.peers
+            .iter()
+            .map(|p| p.id)
+            .filter(|id| !departing.contains(id))
+            .min()
+            .expect("a departure wave must leave at least one peer")
+    }
+
+    /// Moves the departing peers' document custody (and NDK knowledge)
+    /// into the custodian's local state — engine-side bookkeeping, free
+    /// and message-less.
+    fn transfer_custody(&mut self, departed: &[PeerId], custodian: PeerId) {
+        let mut absorbed = Vec::new();
+        let mut remaining = Vec::with_capacity(self.peers.len());
+        for peer in self.peers.drain(..) {
+            if departed.contains(&peer.id) {
+                absorbed.push(peer);
+            } else {
+                remaining.push(peer);
+            }
+        }
+        self.peers = remaining;
+        let keeper = self
+            .peers
+            .iter_mut()
+            .find(|p| p.id == custodian)
+            .expect("custodian survives the wave");
+        for peer in absorbed {
+            keeper.absorb(peer);
+        }
     }
 
     /// The peers (inspection).
@@ -566,7 +718,7 @@ impl HdkNetwork {
             .collect();
 
         let index = GlobalIndex::with_backend(
-            backend.build(overlay.build(peer_ids), config.dfmax),
+            backend.build(overlay.build(peer_ids), config.dfmax, config.replication),
             config.dfmax,
         );
         let coll_stats = collection.stats();
@@ -634,6 +786,21 @@ impl HdkNetwork {
         joins: Vec<(PeerId, Vec<hdk_corpus::Document>)>,
     ) -> Vec<hdk_p2p::MigrationStats> {
         self.indexer.join_peers(joins)
+    }
+
+    /// See [`IndexService::leave_peers`].
+    pub fn leave_peers(&mut self, peers: Vec<PeerId>) -> Vec<hdk_p2p::MigrationStats> {
+        self.indexer.leave_peers(peers)
+    }
+
+    /// See [`IndexService::fail_peers`].
+    pub fn fail_peers(&mut self, peers: Vec<PeerId>) -> hdk_p2p::LossStats {
+        self.indexer.fail_peers(peers)
+    }
+
+    /// See [`IndexService::repair`].
+    pub fn repair(&mut self) -> hdk_p2p::RepairStats {
+        self.indexer.repair()
     }
 
     /// The model configuration.
@@ -870,6 +1037,7 @@ mod tests {
             &parts,
             HdkConfig {
                 redundancy_filtering: false,
+                replication: 1,
                 ..base
             },
             OverlayKind::PGrid,

@@ -23,6 +23,14 @@
 //! Parallelism only reorders the *probing*; every observable effect is
 //! applied in plan order, which is what `tests/thread_invariance.rs` and
 //! `tests/golden_report.rs` pin down.
+//!
+//! Under churn the plan resolution *fails over per key*, transparently:
+//! every `lookup_many` probe is served by the first live replica holding
+//! the key along the deterministic failover walk (`hdk_p2p::replica`), so
+//! a query during the degradation window between a crash and its repair
+//! sweep still returns bit-identical results as long as some replica of
+//! each probed key survives — the failure surfaces only as extra hops and
+//! (simulated) dead-peer timeouts in the traffic meters.
 
 use crate::cache::{CachePeek, QueryCache};
 use crate::engine::{HdkNetwork, QueryService};

@@ -37,8 +37,8 @@ use crate::classify::{classify, KeyClass};
 use crate::key::{Key, MAX_KEY_SIZE};
 use hdk_ir::{CompressedDocSet, CompressedPostings, Posting, PostingList};
 use hdk_p2p::{
-    Addressed, Dht, InProc, NetworkBackend, Notification, Overlay, PeerId, Request, Response,
-    StoreService, TrafficSnapshot,
+    Addressed, Dht, InProc, LossStats, Membership, NetworkBackend, Notification, Overlay, PeerId,
+    RepairStats, Request, Response, StoreService, TrafficSnapshot,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -382,8 +382,19 @@ impl GlobalIndex {
                 notes
             })
             .collect();
+        // Defensive liveness filter: contributor lists are rewritten to a
+        // live custodian when peers depart or fail (see
+        // [`GlobalIndex::reassign_contributors`]), so dead recipients
+        // should never appear here — but a notification to a dead peer
+        // would be an unanswerable message, so membership is consulted
+        // anyway.
+        let membership = self.membership();
+        let overlay = self.overlay();
         let mut notifications: HashMap<PeerId, Vec<Key>> = HashMap::new();
         for (peer, key) in per_stripe.into_iter().flatten() {
+            if !membership.is_live(overlay.peer_index(peer)) {
+                continue;
+            }
             notifications.entry(peer).or_default().push(key);
         }
         // Canonical order: determinism downstream, and the simulated
@@ -452,8 +463,12 @@ impl GlobalIndex {
         self.dht().peek(key.dht_hash(), |e| e.cloned())
     }
 
-    /// Stored postings per hosting peer — Figure 3's quantity. Swept
-    /// stripe-parallel; per-peer sums are order-independent.
+    /// Stored postings per hosting peer — Figure 3's quantity, resolved
+    /// per *holder*: an entry replicated at `R` peers is stored (and
+    /// counted) at each of them. With `R = 1` and no churn the single
+    /// holder is the responsible peer, reproducing the pre-replication
+    /// figures bit for bit. Swept stripe-parallel; per-peer sums are
+    /// order-independent.
     pub fn stored_postings_per_peer(&self) -> Vec<u64> {
         let dht = self.dht();
         let peers = dht.overlay().len();
@@ -461,8 +476,10 @@ impl GlobalIndex {
             .into_par_iter()
             .map(|stripe| {
                 let mut totals = vec![0u64; peers];
-                dht.for_each_stripe_owned(stripe, |owner, _, e| {
-                    totals[owner] += e.postings.len() as u64;
+                dht.for_each_stripe_held(stripe, |holders, _, e| {
+                    for &h in holders {
+                        totals[h as usize] += e.postings.len() as u64;
+                    }
                 });
                 totals
             })
@@ -516,12 +533,65 @@ impl GlobalIndex {
         self.backend.snapshot()
     }
 
-    /// Admits a new peer to the overlay via the control-plane
-    /// [`Request::Migrate`] message: the index entries it becomes
-    /// responsible for are handed over (metered as maintenance, at the
-    /// blocks' actual stored sizes).
-    pub fn add_peer(&mut self, peer: PeerId) -> hdk_p2p::MigrationStats {
-        self.backend.migrate(peer)
+    /// Admits a wave of peers to the overlay via the control-plane
+    /// [`Request::Migrate`] message: the index fractions they take over
+    /// are handed over in **one shared stripe scan** (N joins, one scan —
+    /// not one scan per joiner), metered as maintenance at the blocks'
+    /// actual stored sizes. One [`hdk_p2p::MigrationStats`] per peer, in
+    /// input order.
+    pub fn add_peers(&mut self, peers: Vec<PeerId>) -> Vec<hdk_p2p::MigrationStats> {
+        self.backend.migrate_many(peers)
+    }
+
+    /// Graceful departure wave ([`Request::Leave`]): the peers hand every
+    /// index copy they hold to the re-derived replica sets (metered as
+    /// maintenance, the mirror of a join), then disappear from the
+    /// replica walks. No content is lost, at any replication factor.
+    pub fn leave_peers(&mut self, peers: &[PeerId]) -> Vec<hdk_p2p::MigrationStats> {
+        self.backend.leave(peers)
+    }
+
+    /// Crash wave ([`Request::Fail`]): the peers' copies are destroyed
+    /// without handover or messages. Entries whose last copy died are
+    /// lost; the rest are degraded until [`GlobalIndex::repair`] runs.
+    pub fn fail_peers(&mut self, peers: &[PeerId]) -> LossStats {
+        self.backend.fail(peers)
+    }
+
+    /// The background repair sweep ([`Request::Repair`]): surviving
+    /// replicas re-materialize the copies the re-derived replica sets are
+    /// missing, one [`hdk_p2p::MsgKind::Repair`] message per copy.
+    /// Idempotent.
+    pub fn repair(&self) -> RepairStats {
+        match self.backend.call(Request::Repair) {
+            Response::Repaired(stats) => stats,
+            other => unreachable!("Repair answered with {other:?}"),
+        }
+    }
+
+    /// The network's peer-liveness view.
+    pub fn membership(&self) -> &Membership {
+        self.dht().membership()
+    }
+
+    /// Rewrites the `contributors` lists of every stored entry, replacing
+    /// the departed/failed peers with their document custodian, so future
+    /// "became non-discriminative" notifications reach the peer that can
+    /// actually act on them (it inherited the documents). A host-local
+    /// metadata sweep — stripe-parallel, free, never a message — mirroring
+    /// how the classification sweep itself runs locally at each hosting
+    /// peer.
+    pub fn reassign_contributors(&self, departed: &[PeerId], custodian: PeerId) {
+        let dht = self.dht();
+        (0..dht.num_stripes()).into_par_iter().for_each(|stripe| {
+            dht.for_each_stripe_mut(stripe, |_, entry| {
+                let had = entry.contributors.len();
+                entry.contributors.retain(|p| !departed.contains(p));
+                if entry.contributors.len() != had && !entry.contributors.contains(&custodian) {
+                    entry.contributors.push(custodian);
+                }
+            });
+        });
     }
 
     /// Total resident posting-storage bytes across the index: every
@@ -535,7 +605,8 @@ impl GlobalIndex {
     }
 
     /// Per-peer resident storage composition — the memory-footprint
-    /// analogue of Figure 3's per-peer posting volumes. Swept
+    /// analogue of Figure 3's per-peer posting volumes, resolved per
+    /// holder like [`GlobalIndex::stored_postings_per_peer`]. Swept
     /// stripe-parallel; per-peer sums are order-independent.
     pub fn storage_per_peer(&self) -> Vec<PeerStorage> {
         let dht = self.dht();
@@ -544,13 +615,15 @@ impl GlobalIndex {
             .into_par_iter()
             .map(|stripe| {
                 let mut totals = vec![PeerStorage::default(); peers];
-                dht.for_each_stripe_owned(stripe, |owner, _, e| {
-                    let t = &mut totals[owner];
-                    t.postings += e.postings.len() as u64;
-                    t.posting_bytes += e.postings.encoded_len() as u64;
-                    if let Some(s) = &e.seen_docs {
-                        t.docset_docs += s.len() as u64;
-                        t.docset_bytes += s.encoded_len() as u64;
+                dht.for_each_stripe_held(stripe, |holders, _, e| {
+                    for &h in holders {
+                        let t = &mut totals[h as usize];
+                        t.postings += e.postings.len() as u64;
+                        t.posting_bytes += e.postings.encoded_len() as u64;
+                        if let Some(s) = &e.seen_docs {
+                            t.docset_docs += s.len() as u64;
+                            t.docset_bytes += s.encoded_len() as u64;
+                        }
                     }
                 });
                 totals

@@ -182,6 +182,29 @@ impl LocalPeer {
         }
     }
 
+    /// Absorbs a departing (or crashed) peer's document custody: its
+    /// indexed and pending documents — and the cumulative NDK knowledge
+    /// future candidate generation over those documents depends on —
+    /// merge into this peer's state. Document sets are disjoint by the
+    /// engine's id-uniqueness invariant, and the merged NDK sets are
+    /// exactly what one peer owning both document fractions would have
+    /// accumulated, so the network keeps converging to the
+    /// partition-independent global index.
+    pub fn absorb(&mut self, other: LocalPeer) {
+        self.docs.extend(other.docs);
+        self.docs.sort_unstable_by_key(|(d, _)| *d);
+        self.pending.extend(other.pending);
+        self.pending.sort_unstable_by_key(|(d, _)| *d);
+        for (mine, theirs) in self.ndk_by_size.iter_mut().zip(other.ndk_by_size) {
+            mine.extend(theirs);
+        }
+        self.ndk1_terms.extend(other.ndk1_terms);
+        for (mine, theirs) in self.newly_by_size.iter_mut().zip(other.newly_by_size) {
+            mine.extend(theirs);
+        }
+        self.newly1_terms.extend(other.newly1_terms);
+    }
+
     /// Ends the indexing session: pending documents become indexed and the
     /// novelty sets reset.
     pub fn finish_session(&mut self) {

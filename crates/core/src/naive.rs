@@ -39,6 +39,7 @@ impl SingleTermNetwork {
             ff: u64::MAX, // no very-frequent exclusion: full vocabulary
             exact_intrinsic: false,
             redundancy_filtering: true,
+            replication: 1,
         };
         Self {
             inner: HdkNetwork::build(collection, partitions, config, overlay),

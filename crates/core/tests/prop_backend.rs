@@ -129,6 +129,7 @@ proptest! {
         dfmax in 1u32..5,
         smax in 1usize..5,
         peers in 1usize..4,
+        replication in 1usize..4,
         seed in 0u64..u64::MAX,
     ) {
         let collection = make_collection(&token_docs);
@@ -139,6 +140,9 @@ proptest! {
             ff: u64::MAX,
             exact_intrinsic: false,
             redundancy_filtering: true,
+            // R can exceed the peer count: placement caps at the live
+            // population, and the backends must still agree.
+            replication,
         };
         // The acceptance configuration: zero latency, zero drop.
         check_equivalent(&collection, &queries, &config, peers, SimNetConfig::zero())?;

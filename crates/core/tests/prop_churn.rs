@@ -1,0 +1,232 @@
+//! Property test: churn in both directions converges.
+//!
+//! Any interleaving of `join_peers` (growth), `leave_peers` (graceful
+//! departure) and `fail_peers` + repair (crash recovery) over a live
+//! `R = 2` network must end bit-identical — index content, query top-k
+//! score bits — to a static build over the surviving corpus (which, since
+//! graceful leavers hand everything over and single crashes between
+//! repairs destroy no content at `R = 2`, is the full corpus every wave
+//! contributed). Both backends run the identical churn program and must
+//! agree with each other on every traffic *count* as well.
+
+use hdk_core::{BackendConfig, HdkConfig, HdkNetwork, IndexService, OverlayKind, QueryService};
+use hdk_corpus::{Collection, DocId, Document};
+use hdk_p2p::{MsgKind, PeerId, SimNetConfig};
+use hdk_text::{TermId, Vocabulary};
+use proptest::prelude::*;
+
+const VOCAB: u32 = 14;
+
+fn make_collection(token_docs: &[Vec<u32>]) -> Collection {
+    let mut vocab = Vocabulary::new();
+    for t in 0..VOCAB {
+        vocab.intern(&format!("term{t:02}"));
+    }
+    let docs = token_docs
+        .iter()
+        .enumerate()
+        .map(|(i, toks)| Document {
+            id: DocId(i as u32),
+            tokens: toks.iter().map(|&t| TermId(t)).collect(),
+        })
+        .collect();
+    Collection::new(docs, vocab)
+}
+
+fn arb_docs() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0..VOCAB, 3..20), 18..36)
+}
+
+/// One churn step, decoded against the current network state.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// A join wave of 1–2 fresh peers, each bringing a chunk of documents.
+    Join(u8),
+    /// One live peer leaves gracefully.
+    Leave(u8),
+    /// One live peer crashes; the repair sweep runs right after.
+    FailRepair(u8),
+}
+
+/// Ops travel as `(kind, argument)` bytes (the vendored proptest shim has
+/// no `prop_oneof`); [`decode`] maps them onto [`Op`]s.
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0u8..3, 0u8..8), 2..6)
+}
+
+fn decode(raw: &[(u8, u8)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(kind, arg)| match kind {
+            0 => Op::Join(1 + arg % 2),
+            1 => Op::Leave(arg),
+            _ => Op::FailRepair(arg),
+        })
+        .collect()
+}
+
+/// Applies the churn program. Returns the number of documents indexed.
+/// Departure ops are skipped while fewer than 3 peers are live, so the
+/// network never empties and an `R = 2` single crash never loses content.
+fn run_program(
+    indexer: &mut IndexService,
+    collection: &Collection,
+    ops: &[Op],
+    chunk: usize,
+    mut next_doc: usize,
+) -> Result<usize, TestCaseError> {
+    let mut live: Vec<PeerId> = indexer.peers().iter().map(|p| p.id).collect();
+    let mut next_peer = 100u64;
+    for &op in ops {
+        match op {
+            Op::Join(n) => {
+                let mut joins = Vec::new();
+                for _ in 0..n {
+                    let hi = (next_doc + chunk).min(collection.len());
+                    let docs: Vec<Document> = (next_doc..hi)
+                        .map(|i| collection.docs()[i].clone())
+                        .collect();
+                    next_doc = hi;
+                    joins.push((PeerId(next_peer), docs));
+                    live.push(PeerId(next_peer));
+                    next_peer += 1;
+                }
+                indexer.join_peers(joins);
+            }
+            Op::Leave(pick) => {
+                if live.len() < 3 {
+                    continue;
+                }
+                let victim = live.remove(pick as usize % live.len());
+                let stats = indexer.leave_peers(vec![victim]);
+                prop_assert_eq!(stats.len(), 1);
+            }
+            Op::FailRepair(pick) => {
+                if live.len() < 3 {
+                    continue;
+                }
+                let victim = live.remove(pick as usize % live.len());
+                let loss = indexer.fail_peers(vec![victim]);
+                prop_assert_eq!(
+                    loss.keys_lost,
+                    0,
+                    "R=2 single crash between repairs lost content"
+                );
+                indexer.repair();
+            }
+        }
+    }
+    Ok(next_doc)
+}
+
+/// One query's digest: `(per-doc (id, score bits), lookups, postings)`.
+type QueryDigest = (Vec<(u32, u64)>, u32, u64);
+
+fn digest_queries(service: &QueryService, from: PeerId, queries: &[Vec<u32>]) -> Vec<QueryDigest> {
+    queries
+        .iter()
+        .map(|q| {
+            let terms: Vec<TermId> = q.iter().map(|&t| TermId(t)).collect();
+            let out = service.query(from, &terms, 10);
+            (
+                out.results
+                    .iter()
+                    .map(|r| (r.doc.0, r.score.to_bits()))
+                    .collect(),
+                out.lookups,
+                out.postings_fetched,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn churn_program_converges_to_static_build_on_both_backends(
+        token_docs in arb_docs(),
+        raw_ops in arb_ops(),
+        queries in prop::collection::vec(prop::collection::vec(0..VOCAB, 1..6), 1..8),
+        dfmax in 1u32..5,
+    ) {
+        let collection = make_collection(&token_docs);
+        let config = HdkConfig {
+            dfmax,
+            smax: 3,
+            window: 5,
+            ff: u64::MAX,
+            exact_intrinsic: false,
+            redundancy_filtering: true,
+            replication: 2,
+        };
+        let ops = decode(&raw_ops);
+        let boot = collection.len() / 3;
+        let chunk = ((collection.len() - boot) / 6).max(1);
+
+        let mut indexed = 0usize;
+        let mut digests = Vec::new();
+        let mut counts = Vec::new();
+        let mut snapshots = Vec::new();
+        for backend in [
+            BackendConfig::InProc,
+            BackendConfig::SimNet(SimNetConfig {
+                seed: 5,
+                hop_ns: 100_000,
+                jitter_ns: 30_000,
+                ns_per_byte: 6,
+                drop_prob: 0.1,
+                timeout_ns: 1_000_000,
+            }),
+        ] {
+            let network = HdkNetwork::build_with(
+                &collection.prefix(boot),
+                &hdk_corpus::partition_documents(boot, 3, 23),
+                config.clone(),
+                OverlayKind::PGrid,
+                backend,
+            );
+            let (mut indexer, query) = network.into_services();
+            indexed = run_program(&mut indexer, &collection, &ops, chunk, boot)?;
+            let from = indexer.peers()[0].id;
+            digests.push(digest_queries(&query, from, &queries));
+            counts.push(query.index().index_counts());
+            snapshots.push(query.snapshot());
+        }
+
+        // The two backends ran the identical churn program: identical
+        // content, identical query outcomes, identical traffic counts
+        // (repair and maintenance included — time is the only difference).
+        prop_assert_eq!(&digests[0], &digests[1], "backends diverged under churn");
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert!(
+            snapshots[0].same_counts(&snapshots[1]),
+            "churn traffic counts diverged across backends"
+        );
+        for kind in MsgKind::ALL {
+            prop_assert_eq!(
+                snapshots[1].latency(kind).samples,
+                snapshots[1].kind(kind).messages,
+                "SimNet must time every {:?} message",
+                kind
+            );
+        }
+
+        // And the churned network matches a static build of the surviving
+        // corpus (== everything indexed: leaves hand over, single crashes
+        // at R=2 lose nothing) — content and top-k score bits, placement
+        // and peer population be damned.
+        let reference = HdkNetwork::build(
+            &collection.prefix(indexed),
+            &hdk_corpus::partition_documents(indexed, 4, 7),
+            config.clone(),
+            OverlayKind::PGrid,
+        );
+        prop_assert_eq!(counts[0], reference.index().index_counts());
+        let expected = digest_queries(&reference.query_service(), PeerId(0), &queries);
+        let live_results: Vec<Vec<(u32, u64)>> =
+            digests[0].iter().map(|(r, _, _)| r.clone()).collect();
+        let want_results: Vec<Vec<(u32, u64)>> =
+            expected.iter().map(|(r, _, _)| r.clone()).collect();
+        prop_assert_eq!(live_results, want_results, "churned network != static build");
+    }
+}

@@ -127,6 +127,7 @@ proptest! {
             ff: u64::MAX,
             exact_intrinsic: false,
             redundancy_filtering: true,
+            replication: 1,
         };
         // Two identical builds (builds are deterministic — pinned by
         // tests/determinism.rs) so each side meters its own traffic.

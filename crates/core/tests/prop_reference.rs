@@ -104,6 +104,7 @@ proptest! {
                 ff: u64::MAX, // no very-frequent exclusion in the reference
                 exact_intrinsic: false,
                 redundancy_filtering: true,
+                replication: 1,
             },
             OverlayKind::PGrid,
         );
@@ -200,6 +201,7 @@ proptest! {
                 ff: u64::MAX,
                 exact_intrinsic: true,
                 redundancy_filtering: true,
+                replication: 1,
             },
             OverlayKind::PGrid,
         );

@@ -1,5 +1,5 @@
-//! The DHT storage layer: metered, lock-striped key-value storage on top of
-//! an [`Overlay`].
+//! The DHT storage layer: metered, lock-striped, *replicated* key-value
+//! storage on top of an [`Overlay`].
 //!
 //! Each peer *logically* hosts the fraction of the global index the overlay
 //! assigns to it (paper, Section 3: "the fraction of the global index under
@@ -8,9 +8,31 @@
 //! key→value map is split into [`NUM_STRIPES`] lock-striped shards keyed by
 //! key-hash bits — independent of the peer population — so concurrent
 //! inserts from many indexing threads contend only when they hash to the
-//! same stripe, and whole-index sweeps can run stripe-parallel. Ownership
-//! (which peer a key belongs to) is a pure function of the overlay, so peer
-//! joins re-assign keys without physically moving them between stripes.
+//! same stripe, and whole-index sweeps can run stripe-parallel.
+//!
+//! ## Replication and churn
+//!
+//! Placement is a pure function of the overlay and the
+//! [`Membership`] liveness view (see [`crate::replica`]): the *replica
+//! set* of a key is the first `R` **live** peers along the key-space
+//! successor walk starting at the responsible peer. [`Dht::upsert`] fans
+//! each insert to the full replica set (metered as `R` stored copies —
+//! the primary insert routes normally, each further copy is forwarded one
+//! neighbor hop along the walk), and lookups are served by the first live
+//! replica *holding* a copy, in deterministic failover order — skipped
+//! candidates cost extra hops (and, on the simulated network, timeouts
+//! for the dead ones).
+//!
+//! Which peers currently hold a copy of which key is the one piece of
+//! churn state the layer tracks (per-entry holder sets): a graceful
+//! [`Dht::leave_peers`] hands copies over before the peers disappear from
+//! the walks, a [`Dht::fail_peers`] crash destroys copies (an entry whose
+//! last copy dies is *lost*), and [`Dht::repair_sweep`] re-materializes
+//! the copies the re-derived replica sets are missing, from surviving
+//! holders, metered under [`MsgKind::Repair`].
+//!
+//! With `R = 1` and no churn the layer behaves — and meters —
+//! bit-identically to the unreplicated storage it replaces.
 //!
 //! Every operation is routed (hop-counted) and metered through the
 //! `AtomicU64` counters of [`TrafficMeter`], so the layer is thread-safe
@@ -19,6 +41,7 @@
 
 use crate::id::{KeyHash, PeerId};
 use crate::overlay::Overlay;
+use crate::replica::{Delivery, Membership, PeerState};
 use crate::transport::{MsgKind, TrafficMeter, TrafficSnapshot};
 use parking_lot::RwLock;
 use rayon::prelude::*;
@@ -29,6 +52,21 @@ use std::collections::HashMap;
 /// enough that stripe-parallel sweeps stay coarse-grained.
 pub const NUM_STRIPES: usize = 128;
 
+/// One stored entry: the value plus the peers currently holding a copy.
+///
+/// The value is stored once (the simulation's canonical state); the
+/// holder set models *availability* — who would survive a crash with a
+/// copy — not divergence between replicas (inserts reach every replica in
+/// the same round, so replicas never disagree).
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    /// Peer indices holding a copy, ascending. Always non-empty and
+    /// always a subset of the live peers (dead peers' copies are removed
+    /// the moment they depart or fail).
+    holders: Vec<u32>,
+}
+
 /// A metered DHT storing values of type `V` under [`KeyHash`]es.
 ///
 /// Stripes are `RwLock`s: mutation (upserts, sweeps) takes the write lock,
@@ -37,19 +75,49 @@ pub const NUM_STRIPES: usize = 128;
 /// concurrently.
 pub struct Dht<V> {
     overlay: Box<dyn Overlay>,
-    stripes: Vec<RwLock<HashMap<u64, V>>>,
+    membership: Membership,
+    replication: usize,
+    stripes: Vec<RwLock<HashMap<u64, Slot<V>>>>,
     meter: TrafficMeter,
 }
 
-/// What a peer join re-assigned (metered under [`MsgKind::Maintenance`]).
+/// What a peer join or graceful departure re-assigned (metered under
+/// [`MsgKind::Maintenance`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MigrationStats {
-    /// Keys handed over to the new peer.
+    /// Key copies handed over.
     pub keys_moved: u64,
-    /// Postings carried by those keys (per the caller's `volume`).
+    /// Postings carried by those copies (per the caller's `volume`).
     pub postings_moved: u64,
     /// Payload bytes carried.
     pub bytes_moved: u64,
+}
+
+/// What a crash destroyed ([`Dht::fail_peers`] — no messages are sent;
+/// this is the damage report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossStats {
+    /// Entries whose *last* copy died: their content is gone.
+    pub keys_lost: u64,
+    /// Postings those entries carried.
+    pub postings_lost: u64,
+    /// Payload bytes those entries carried.
+    pub bytes_lost: u64,
+    /// Entries that survived but with fewer copies than the (re-derived)
+    /// replica set wants — what a [`Dht::repair_sweep`] re-materializes.
+    pub keys_degraded: u64,
+}
+
+/// What a repair sweep re-materialized (metered under [`MsgKind::Repair`],
+/// one message per copied entry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Copies created at peers the re-derived replica sets were missing.
+    pub copies: u64,
+    /// Postings those copies carried.
+    pub postings: u64,
+    /// Payload bytes those copies carried.
+    pub bytes: u64,
 }
 
 /// Payload bytes of one lookup *request* (it carries a key, nothing
@@ -65,11 +133,23 @@ pub fn stripe_of(key: KeyHash) -> usize {
 }
 
 impl<V> Dht<V> {
-    /// Builds an empty DHT over the overlay.
+    /// Builds an empty unreplicated DHT (`R = 1`) over the overlay.
     pub fn new(overlay: Box<dyn Overlay>) -> Self {
+        Self::replicated(overlay, 1)
+    }
+
+    /// Builds an empty DHT whose keys are placed on `replication` live
+    /// peers each (primary + `R-1` walk successors).
+    ///
+    /// # Panics
+    /// Panics when `replication` is zero.
+    pub fn replicated(overlay: Box<dyn Overlay>, replication: usize) -> Self {
+        assert!(replication >= 1, "replication factor must be at least 1");
         let n = overlay.len();
         Self {
             overlay,
+            membership: Membership::new(n),
+            replication,
             stripes: (0..NUM_STRIPES)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
@@ -80,6 +160,16 @@ impl<V> Dht<V> {
     /// The overlay in use.
     pub fn overlay(&self) -> &dyn Overlay {
         &*self.overlay
+    }
+
+    /// The peer-liveness view.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// The configured replication factor `R`.
+    pub fn replication(&self) -> usize {
+        self.replication
     }
 
     /// The meter (all traffic recorded so far).
@@ -105,14 +195,87 @@ impl<V> Dht<V> {
         self.overlay.peer_index(self.overlay.responsible(key))
     }
 
+    /// The first `min(R, live)` **live** candidates of the replica walk
+    /// from `owner`, each with its walk position (hop distance along the
+    /// successor order; dead candidates occupy positions too). Position 0
+    /// is the owner itself.
+    fn replica_targets(&self, owner: usize) -> Vec<(u32, u32)> {
+        let want = self.replication.min(self.membership.live_count());
+        let mut out = Vec::with_capacity(want);
+        let mut cur = owner;
+        for pos in 0..self.overlay.len() as u32 {
+            if self.membership.is_live(cur) {
+                out.push((cur as u32, pos));
+                if out.len() == want {
+                    break;
+                }
+            }
+            cur = self.overlay.successor_index(cur);
+        }
+        out
+    }
+
+    /// Per-owner memo for the churn scans ([`Dht::add_peers`],
+    /// [`Dht::leave_peers`], [`Dht::repair_sweep`]): the replica walk is
+    /// a pure function of the owner index while overlay + membership are
+    /// fixed, so one walk per *distinct* owner serves a whole scan
+    /// instead of one walk (and allocation) per stored entry.
+    fn memoized_targets<'m>(
+        &self,
+        memo: &'m mut [Option<Vec<(u32, u32)>>],
+        owner: usize,
+    ) -> &'m [(u32, u32)] {
+        memo[owner].get_or_insert_with(|| self.replica_targets(owner))
+    }
+
+    /// Failover resolution of a lookup: the walk candidate that serves the
+    /// key — the first live *holder*, or (for keys stored nowhere) the
+    /// first live candidate, which answers "not found". Returns
+    /// `(target index, extra hops past the owner, dead candidates
+    /// skipped)`.
+    fn serve_from(&self, owner: usize, holders: Option<&[u32]>) -> (u32, u32, u32) {
+        if self.membership.all_live() {
+            // No churn ever happened: the owner holds every stored key
+            // (placement is derived, joins hand the primary copy over),
+            // so the walk is just its first element.
+            debug_assert!(holders.is_none_or(|h| h.contains(&(owner as u32))));
+            return (owner as u32, 0, 0);
+        }
+        let mut dead = 0u32;
+        let mut cur = owner;
+        for pos in 0..self.overlay.len() as u32 {
+            if !self.membership.is_live(cur) {
+                dead += 1;
+            } else {
+                match holders {
+                    Some(h) => {
+                        if h.contains(&(cur as u32)) {
+                            return (cur as u32, pos, dead);
+                        }
+                    }
+                    // A miss is answered by the acting primary.
+                    None => return (cur as u32, pos, dead),
+                }
+            }
+            cur = self.overlay.successor_index(cur);
+        }
+        unreachable!("stored entries always have at least one live holder")
+    }
+
     /// Routes an *insert/update* from `from` carrying `postings` postings
-    /// (`bytes` payload bytes) for `key`, then applies `update` to the value
-    /// under the stripe's lock. `update` receives `&mut V` after `default`
-    /// fills a missing slot.
+    /// (`bytes` payload bytes) for `key`, then applies `update` to the
+    /// value under the stripe's lock. `update` receives `&mut V` after
+    /// `default` fills a missing slot.
+    ///
+    /// The insert fans to the key's full replica set: the primary copy
+    /// routes from `from` to the first live walk candidate, each further
+    /// copy is forwarded along the walk by the previous replica — every
+    /// copy is metered as its own [`MsgKind::IndexInsert`] message.
     ///
     /// Returns whatever `update` returns — e.g. feedback the global index
     /// sends back to the inserting peer (a "became non-discriminative"
     /// notification in `hdk-core`).
+    #[allow(clippy::too_many_arguments)]
     pub fn upsert<R>(
         &self,
         from: PeerId,
@@ -122,41 +285,144 @@ impl<V> Dht<V> {
         default: impl FnOnce() -> V,
         update: impl FnOnce(&mut V) -> R,
     ) -> R {
+        self.upsert_delivered(from, key, postings, bytes, default, update, |_| {})
+    }
+
+    /// [`Dht::upsert`] that additionally reports each metered copy's
+    /// resolved [`Delivery`] (in storage order: primary first, then the
+    /// forwarded replicas). The simulated-network backend times the
+    /// message legs from these records instead of re-running
+    /// `overlay.route()` — metering and timing share one derivation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn upsert_delivered<R>(
+        &self,
+        from: PeerId,
+        key: KeyHash,
+        postings: u64,
+        bytes: u64,
+        default: impl FnOnce() -> V,
+        update: impl FnOnce(&mut V) -> R,
+        mut on_copy: impl FnMut(Delivery),
+    ) -> R {
         let route = self.overlay.route(from, key);
         let origin = self.overlay.peer_index(from);
-        self.meter
-            .record(MsgKind::IndexInsert, origin, postings, bytes, route.hops);
+        if self.replication == 1 && self.membership.all_live() {
+            // The unreplicated, churn-free fast path: metering identical
+            // to the pre-replication layer.
+            self.meter
+                .record(MsgKind::IndexInsert, origin, postings, bytes, route.hops);
+            on_copy(Delivery {
+                source: from,
+                target: route.responsible,
+                hops: route.hops,
+                dead_skips: 0,
+            });
+            let owner = self.overlay.peer_index(route.responsible) as u32;
+            let mut map = self.stripes[stripe_of(key)].write();
+            let slot = map.entry(key.0).or_insert_with(|| Slot {
+                value: default(),
+                holders: vec![owner],
+            });
+            return update(&mut slot.value);
+        }
+
+        let owner = self.overlay.peer_index(route.responsible);
+        let targets = self.replica_targets(owner);
+        let peers = self.overlay.peers();
+        // Primary leg: normal routing plus one hop (and one timeout on
+        // the simulated network) per dead candidate skipped.
+        let (primary, primary_pos) = targets[0];
+        self.meter.record(
+            MsgKind::IndexInsert,
+            origin,
+            postings,
+            bytes,
+            route.hops + primary_pos,
+        );
+        on_copy(Delivery {
+            source: from,
+            target: peers[primary as usize],
+            hops: route.hops + primary_pos,
+            dead_skips: primary_pos,
+        });
+        // Replica copies: forwarded along the walk, each from the
+        // previous replica, one hop per walk step (dead steps are skipped
+        // hops too), attributed to the forwarding peer.
+        for pair in targets.windows(2) {
+            let ((prev, prev_pos), (next, next_pos)) = (pair[0], pair[1]);
+            let hops = next_pos - prev_pos;
+            self.meter
+                .record(MsgKind::IndexInsert, prev as usize, postings, bytes, hops);
+            on_copy(Delivery {
+                source: peers[prev as usize],
+                target: peers[next as usize],
+                hops,
+                dead_skips: hops - 1,
+            });
+        }
+        let desired: Vec<u32> = targets.iter().map(|&(i, _)| i).collect();
         let mut map = self.stripes[stripe_of(key)].write();
-        update(map.entry(key.0).or_insert_with(default))
+        let slot = map.entry(key.0).or_insert_with(|| Slot {
+            value: default(),
+            holders: Vec::new(),
+        });
+        for idx in desired {
+            if !slot.holders.contains(&idx) {
+                slot.holders.push(idx);
+            }
+        }
+        slot.holders.sort_unstable();
+        update(&mut slot.value)
     }
 
     /// Routes a *lookup* from `from`; `read` inspects the stored value (if
     /// any) and returns `(result, postings, bytes)` where the latter two
     /// describe the response payload, metered as [`MsgKind::QueryResponse`]
-    /// attributed to the querying peer.
+    /// attributed to the querying peer. Served by the first live replica
+    /// holding the key, in deterministic failover order.
     pub fn lookup<R>(
         &self,
         from: PeerId,
         key: KeyHash,
         read: impl FnOnce(Option<&V>) -> (R, u64, u64),
     ) -> R {
+        self.lookup_delivered(from, key, read).0
+    }
+
+    /// [`Dht::lookup`] that additionally returns the resolved [`Delivery`]
+    /// of the request/response exchange (one record — the response leg
+    /// retraces the request's path with zero dead skips).
+    pub fn lookup_delivered<R>(
+        &self,
+        from: PeerId,
+        key: KeyHash,
+        read: impl FnOnce(Option<&V>) -> (R, u64, u64),
+    ) -> (R, Delivery) {
         let route = self.overlay.route(from, key);
         let origin = self.overlay.peer_index(from);
-        // The request itself: one message, no postings, key-sized payload.
-        self.meter.record(
-            MsgKind::QueryLookup,
-            origin,
-            0,
-            LOOKUP_REQUEST_BYTES,
-            route.hops,
-        );
+        let owner = self.overlay.peer_index(route.responsible);
         let map = self.stripes[stripe_of(key)].read();
-        let (result, postings, bytes) = read(map.get(&key.0));
+        let slot = map.get(&key.0);
+        let (target, extra, dead_skips) =
+            self.serve_from(owner, slot.map(|s| s.holders.as_slice()));
+        let hops = route.hops + extra;
+        // The request itself: one message, no postings, key-sized payload.
+        self.meter
+            .record(MsgKind::QueryLookup, origin, 0, LOOKUP_REQUEST_BYTES, hops);
+        let (result, postings, bytes) = read(slot.map(|s| &s.value));
         drop(map);
         // The response travels back over the same number of hops.
         self.meter
-            .record(MsgKind::QueryResponse, origin, postings, bytes, route.hops);
-        result
+            .record(MsgKind::QueryResponse, origin, postings, bytes, hops);
+        (
+            result,
+            Delivery {
+                source: from,
+                target: self.overlay.peers()[target as usize],
+                hops,
+                dead_skips,
+            },
+        )
     }
 
     /// Batched variant of [`Dht::lookup`]: resolves `keys` (one level of a
@@ -164,17 +430,32 @@ impl<V> Dht<V> {
     /// instead of one per key, stripes resolved rayon-parallel.
     ///
     /// Results come back in input order, and each key is metered exactly
-    /// like a [`Dht::lookup`] of its own (request + response, same route,
-    /// same payload accounting), so traffic counters are bit-identical to
-    /// the key-at-a-time loop — the meters are order-independent atomic
-    /// sums. `read` additionally receives the key's input index so callers
-    /// can consult per-key context.
+    /// like a [`Dht::lookup`] of its own (request + response, same
+    /// failover resolution, same payload accounting), so traffic counters
+    /// are bit-identical to the key-at-a-time loop — the meters are
+    /// order-independent atomic sums. `read` additionally receives the
+    /// key's input index so callers can consult per-key context.
     pub fn lookup_many<R: Send>(
         &self,
         from: PeerId,
         keys: &[KeyHash],
         read: impl Fn(usize, Option<&V>) -> (R, u64, u64) + Sync,
     ) -> Vec<R>
+    where
+        V: Send + Sync,
+    {
+        self.lookup_many_delivered(from, keys, read).0
+    }
+
+    /// [`Dht::lookup_many`] that additionally returns each key's resolved
+    /// [`Delivery`] in input order — the simulated backend's timing pass
+    /// consumes these instead of re-running `overlay.route()` per message.
+    pub fn lookup_many_delivered<R: Send>(
+        &self,
+        from: PeerId,
+        keys: &[KeyHash],
+        read: impl Fn(usize, Option<&V>) -> (R, u64, u64) + Sync,
+    ) -> (Vec<R>, Vec<Delivery>)
     where
         V: Send + Sync,
     {
@@ -187,7 +468,7 @@ impl<V> Dht<V> {
             .filter(|&s| !buckets[s].is_empty())
             .collect();
         let origin = self.overlay.peer_index(from);
-        let per_stripe: Vec<Vec<(usize, R)>> = occupied
+        let per_stripe: Vec<Vec<(usize, R, Delivery)>> = occupied
             .par_iter()
             .map(|&stripe| {
                 let map = self.stripes[stripe].read();
@@ -196,34 +477,45 @@ impl<V> Dht<V> {
                     .map(|&i| {
                         let key = keys[i];
                         let route = self.overlay.route(from, key);
+                        let owner = self.overlay.peer_index(route.responsible);
+                        let slot = map.get(&key.0);
+                        let (target, extra, dead_skips) =
+                            self.serve_from(owner, slot.map(|s| s.holders.as_slice()));
+                        let hops = route.hops + extra;
                         self.meter.record(
                             MsgKind::QueryLookup,
                             origin,
                             0,
                             LOOKUP_REQUEST_BYTES,
-                            route.hops,
+                            hops,
                         );
-                        let (result, postings, bytes) = read(i, map.get(&key.0));
-                        self.meter.record(
-                            MsgKind::QueryResponse,
-                            origin,
-                            postings,
-                            bytes,
-                            route.hops,
-                        );
-                        (i, result)
+                        let (result, postings, bytes) = read(i, slot.map(|s| &s.value));
+                        self.meter
+                            .record(MsgKind::QueryResponse, origin, postings, bytes, hops);
+                        let delivery = Delivery {
+                            source: from,
+                            target: self.overlay.peers()[target as usize],
+                            hops,
+                            dead_skips,
+                        };
+                        (i, result, delivery)
                     })
                     .collect()
             })
             .collect();
-        let mut out: Vec<Option<R>> = Vec::with_capacity(keys.len());
+        let mut out: Vec<Option<(R, Delivery)>> = Vec::with_capacity(keys.len());
         out.resize_with(keys.len(), || None);
-        for (i, r) in per_stripe.into_iter().flatten() {
-            out[i] = Some(r);
+        for (i, r, d) in per_stripe.into_iter().flatten() {
+            out[i] = Some((r, d));
         }
-        out.into_iter()
-            .map(|o| o.expect("every key resolved exactly once"))
-            .collect()
+        let mut results = Vec::with_capacity(keys.len());
+        let mut deliveries = Vec::with_capacity(keys.len());
+        for o in out {
+            let (r, d) = o.expect("every key resolved exactly once");
+            results.push(r);
+            deliveries.push(d);
+        }
+        (results, deliveries)
     }
 
     /// Sends a *notification* (global index → peer), metered under
@@ -246,16 +538,21 @@ impl<V> Dht<V> {
     /// traffic — quantities).
     pub fn peek<R>(&self, key: KeyHash, read: impl FnOnce(Option<&V>) -> R) -> R {
         let map = self.stripes[stripe_of(key)].read();
-        read(map.get(&key.0))
+        read(map.get(&key.0).map(|s| &s.value))
     }
 
-    /// Resident bytes of one stripe's values, under its read lock.
-    /// `measure` reports each value's storage footprint — for compressed
-    /// posting blocks that is the encoded size, so storage accounting and
-    /// the wire byte meters speak the same unit.
+    /// Resident bytes of one stripe's values, under its read lock —
+    /// **per stored copy**: an entry replicated at `R` peers occupies `R`
+    /// times its `measure`. `measure` reports each value's storage
+    /// footprint — for compressed posting blocks that is the encoded
+    /// size, so storage accounting and the wire byte meters speak the
+    /// same unit. (At `R = 1` every entry has exactly one holder and this
+    /// is the plain sum.)
     pub fn stripe_resident_bytes(&self, stripe: usize, measure: impl Fn(&V) -> u64) -> u64 {
         let map = self.stripes[stripe].read();
-        map.values().map(measure).sum()
+        map.values()
+            .map(|s| measure(&s.value) * s.holders.len() as u64)
+            .sum()
     }
 
     /// Total resident bytes across all stripes (storage accounting, not
@@ -269,13 +566,12 @@ impl<V> Dht<V> {
     /// Iterates one stripe under its read lock. The backbone of
     /// stripe-parallel sweeps: disjoint stripes can be swept from different
     /// threads with zero lock contention, covering the whole index exactly
-    /// once. Use [`Dht::for_each_stripe_owned`] when the callback needs to
-    /// know which peer hosts each entry — resolving ownership costs an
-    /// overlay lookup per entry, so this variant skips it.
+    /// once. Use [`Dht::for_each_stripe_held`] when the callback needs to
+    /// know which peers host each entry.
     pub fn for_each_stripe<F: FnMut(&u64, &V)>(&self, stripe: usize, mut f: F) {
         let map = self.stripes[stripe].read();
-        for (k, v) in map.iter() {
-            f(k, v);
+        for (k, s) in map.iter() {
+            f(k, &s.value);
         }
     }
 
@@ -283,65 +579,324 @@ impl<V> Dht<V> {
     /// end-of-round sweep work, stripe-parallel).
     pub fn for_each_stripe_mut<F: FnMut(&u64, &mut V)>(&self, stripe: usize, mut f: F) {
         let mut map = self.stripes[stripe].write();
-        for (k, v) in map.iter_mut() {
-            f(k, v);
+        for (k, s) in map.iter_mut() {
+            f(k, &mut s.value);
         }
     }
 
-    /// Like [`Dht::for_each_stripe`] but also resolves each entry's owner
-    /// peer index (one overlay lookup per entry) — for per-peer storage
-    /// measurements and join accounting.
+    /// Like [`Dht::for_each_stripe`] but also hands the callback the
+    /// entry's current holder set (ascending peer indices) — the basis of
+    /// per-peer storage measurements. With `R = 1` and no churn the single
+    /// holder is the responsible peer, so this degenerates to per-owner
+    /// accounting.
+    pub fn for_each_stripe_held<F: FnMut(&[u32], &u64, &V)>(&self, stripe: usize, mut f: F) {
+        let map = self.stripes[stripe].read();
+        for (k, s) in map.iter() {
+            f(&s.holders, k, &s.value);
+        }
+    }
+
+    /// Like [`Dht::for_each_stripe`] but also resolves each entry's
+    /// *responsible* peer index (one overlay lookup per entry) — for
+    /// ownership-based measurements and join accounting. Note that under
+    /// churn the responsible peer can be dead while live replicas hold
+    /// the entry; use [`Dht::for_each_stripe_held`] for storage
+    /// accounting.
     pub fn for_each_stripe_owned<F: FnMut(usize, &u64, &V)>(&self, stripe: usize, mut f: F) {
         let map = self.stripes[stripe].read();
-        for (k, v) in map.iter() {
-            f(self.owner_index(KeyHash(*k)), k, v);
+        for (k, s) in map.iter() {
+            f(self.owner_index(KeyHash(*k)), k, &s.value);
         }
     }
 
-    /// Admits a new peer: the overlay assigns it a region of the key space
-    /// and every key in that region is re-assigned (ownership is computed
-    /// from the overlay, so nothing physically moves between stripes — but
-    /// the handover still crosses the simulated network and is metered as
-    /// [`MsgKind::Maintenance`]; the paper excludes maintenance from its
-    /// posting counts, and so do our indexing/retrieval figures, but the
-    /// simulation reports it). `volume` reports `(postings, bytes)` per
-    /// re-assigned value.
+    /// Admits one peer — [`Dht::add_peers`] with a single-element wave.
     pub fn add_peer(&mut self, peer: PeerId, volume: impl Fn(&V) -> (u64, u64)) -> MigrationStats {
-        self.overlay.join(peer);
-        self.meter.add_peer();
-        let new_index = self.overlay.len() - 1;
-        let mut stats = MigrationStats::default();
+        self.add_peers(vec![peer], volume)
+            .pop()
+            .expect("one join, one migration")
+    }
+
+    /// Admits a wave of new peers: every peer joins the overlay (key-space
+    /// regions split, peer indices appended), then **one shared stripe
+    /// scan** re-derives each entry's replica set under the final overlay
+    /// and hands the new peers the copies they are now responsible for —
+    /// N joins cost one scan, not N.
+    ///
+    /// Ownership is computed from the overlay, so nothing physically
+    /// moves between stripes — but each handed-over copy still crosses
+    /// the simulated network and is metered as [`MsgKind::Maintenance`]
+    /// (one aggregate message per joining peer; the paper excludes
+    /// maintenance from its posting counts, and so do our
+    /// indexing/retrieval figures, but the simulation reports it).
+    /// Copies whose holder fell out of the re-derived replica set are
+    /// dropped for free; copies *missing* at surviving old peers are left
+    /// to the next [`Dht::repair_sweep`] — a join wave only ever moves
+    /// data onto the joiners. `volume` reports `(postings, bytes)` per
+    /// re-assigned value.
+    pub fn add_peers(
+        &mut self,
+        peers: Vec<PeerId>,
+        volume: impl Fn(&V) -> (u64, u64),
+    ) -> Vec<MigrationStats> {
+        let new_lo = self.overlay.len();
+        for peer in &peers {
+            self.overlay.join(*peer);
+            self.meter.add_peer();
+            self.membership.add_peer();
+        }
+        let mut stats = vec![MigrationStats::default(); peers.len()];
+        let mut memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
         for stripe in &self.stripes {
-            let map = stripe.read();
-            for (k, v) in map.iter() {
-                if self.owner_index(KeyHash(*k)) == new_index {
-                    let (postings, bytes) = volume(v);
-                    stats.keys_moved += 1;
-                    stats.postings_moved += postings;
-                    stats.bytes_moved += bytes;
+            let mut map = stripe.write();
+            for (k, slot) in map.iter_mut() {
+                let owner = self.owner_index(KeyHash(*k));
+                let targets = self.memoized_targets(&mut memo, owner);
+                let mut next: Vec<u32> = slot
+                    .holders
+                    .iter()
+                    .copied()
+                    .filter(|h| targets.iter().any(|&(i, _)| i == *h))
+                    .collect();
+                for &(idx, _) in targets {
+                    if idx as usize >= new_lo && !slot.holders.contains(&idx) {
+                        let (postings, bytes) = volume(&slot.value);
+                        let s = &mut stats[idx as usize - new_lo];
+                        s.keys_moved += 1;
+                        s.postings_moved += postings;
+                        s.bytes_moved += bytes;
+                        next.push(idx);
+                    }
                 }
+                if next.is_empty() {
+                    // Defensive: never drop the last copy (cannot happen —
+                    // a changed replica set always includes a joiner).
+                    next = slot.holders.clone();
+                }
+                next.sort_unstable();
+                slot.holders = next;
             }
         }
-        self.meter.record(
-            MsgKind::Maintenance,
-            new_index,
-            stats.postings_moved,
-            stats.bytes_moved,
-            1,
-        );
+        for (i, s) in stats.iter().enumerate() {
+            self.meter.record(
+                MsgKind::Maintenance,
+                new_lo + i,
+                s.postings_moved,
+                s.bytes_moved,
+                1,
+            );
+        }
         stats
     }
 
-    /// Number of keys stored at each peer (ownership-resolved).
+    /// Graceful departure wave: the peers are marked
+    /// [`PeerState::Departed`] (replica walks re-derive around them), and
+    /// **one shared stripe scan** hands every copy they held over to the
+    /// re-derived replica set — metered as [`MsgKind::Maintenance`], one
+    /// aggregate message per departing peer, mirroring [`Dht::add_peers`].
+    /// No content is ever lost by a graceful departure, at any `R`.
+    ///
+    /// Returns one [`MigrationStats`] per departing peer (input order):
+    /// the handover volume attributed to it (when several departing peers
+    /// held the same entry, the smallest-indexed one hands it over).
+    ///
+    /// # Panics
+    /// Panics when a peer is unknown or already dead, or when the wave
+    /// would leave no live peer behind.
+    pub fn leave_peers(
+        &mut self,
+        peers: &[PeerId],
+        volume: impl Fn(&V) -> (u64, u64),
+    ) -> Vec<MigrationStats> {
+        let leaving: Vec<u32> = peers
+            .iter()
+            .map(|p| self.overlay.peer_index(*p) as u32)
+            .collect();
+        for &i in &leaving {
+            self.membership.mark(i as usize, PeerState::Departed);
+        }
+        assert!(
+            self.membership.live_count() >= 1,
+            "a departure wave must leave at least one live peer"
+        );
+        let mut stats = vec![MigrationStats::default(); peers.len()];
+        let mut memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        for stripe in &self.stripes {
+            let mut map = stripe.write();
+            for (k, slot) in map.iter_mut() {
+                let departing: Vec<u32> = slot
+                    .holders
+                    .iter()
+                    .copied()
+                    .filter(|h| leaving.contains(h))
+                    .collect();
+                if departing.is_empty() {
+                    continue;
+                }
+                // The smallest-indexed departing holder does the handing
+                // over (deterministic attribution).
+                let hander = leaving
+                    .iter()
+                    .position(|&l| l == departing[0])
+                    .expect("departing holder is in the wave");
+                slot.holders.retain(|h| !departing.contains(h));
+                let owner = self.owner_index(KeyHash(*k));
+                for &(idx, _) in self.memoized_targets(&mut memo, owner) {
+                    if !slot.holders.contains(&idx) {
+                        let (postings, bytes) = volume(&slot.value);
+                        let s = &mut stats[hander];
+                        s.keys_moved += 1;
+                        s.postings_moved += postings;
+                        s.bytes_moved += bytes;
+                        slot.holders.push(idx);
+                    }
+                }
+                slot.holders.sort_unstable();
+                debug_assert!(!slot.holders.is_empty(), "handover lost the last copy");
+            }
+        }
+        for (i, s) in stats.iter().enumerate() {
+            self.meter.record(
+                MsgKind::Maintenance,
+                leaving[i] as usize,
+                s.postings_moved,
+                s.bytes_moved,
+                1,
+            );
+        }
+        stats
+    }
+
+    /// Crash wave: the peers are marked [`PeerState::Failed`] and every
+    /// copy they held is destroyed — **no handover, no messages**. An
+    /// entry whose last copy dies is removed (its content is lost; at
+    /// `R ≥ 2` that takes `R` simultaneous crashes between repairs);
+    /// surviving entries with fewer copies than the re-derived replica
+    /// set wants are *degraded* until a [`Dht::repair_sweep`] runs.
+    ///
+    /// `volume` sizes the damage report. Returns the [`LossStats`].
+    ///
+    /// # Panics
+    /// Panics when a peer is unknown or already dead, or when the wave
+    /// would leave no live peer behind.
+    pub fn fail_peers(&mut self, peers: &[PeerId], volume: impl Fn(&V) -> (u64, u64)) -> LossStats {
+        let failing: Vec<u32> = peers
+            .iter()
+            .map(|p| self.overlay.peer_index(*p) as u32)
+            .collect();
+        for &i in &failing {
+            self.membership.mark(i as usize, PeerState::Failed);
+        }
+        assert!(
+            self.membership.live_count() >= 1,
+            "a crash wave must leave at least one live peer"
+        );
+        let want = self.replication.min(self.membership.live_count());
+        let mut loss = LossStats::default();
+        for stripe in &self.stripes {
+            let mut map = stripe.write();
+            map.retain(|_, slot| {
+                slot.holders.retain(|h| !failing.contains(h));
+                if slot.holders.is_empty() {
+                    let (postings, bytes) = volume(&slot.value);
+                    loss.keys_lost += 1;
+                    loss.postings_lost += postings;
+                    loss.bytes_lost += bytes;
+                    false
+                } else {
+                    if slot.holders.len() < want {
+                        loss.keys_degraded += 1;
+                    }
+                    true
+                }
+            });
+        }
+        loss
+    }
+
+    /// The background repair sweep: re-derives every entry's replica set
+    /// under the current overlay + membership and re-materializes the
+    /// missing copies from a surviving holder. Each copied entry is one
+    /// [`MsgKind::Repair`] message (postings + bytes per `volume`, one
+    /// forwarding hop), emitted in canonical `(key, target)` order —
+    /// `on_copy` receives the key, the resolved [`Delivery`] and the
+    /// payload size so the simulated backend can time the copies without
+    /// re-deriving anything. Idempotent: a repaired network repairs to
+    /// nothing.
+    pub fn repair_sweep(
+        &self,
+        volume: impl Fn(&V) -> (u64, u64),
+        mut on_copy: impl FnMut(KeyHash, Delivery, u64),
+    ) -> RepairStats {
+        // Phase 1: scan, update holder sets, collect the planned copies.
+        // HashMap iteration order must not leak into metering/timing, so
+        // copies are emitted only after the canonical sort below.
+        let mut planned: Vec<(u64, u32, u32, u64, u64)> = Vec::new();
+        let mut memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        for stripe in &self.stripes {
+            let mut map = stripe.write();
+            for (k, slot) in map.iter_mut() {
+                let owner = self.owner_index(KeyHash(*k));
+                let targets = self.memoized_targets(&mut memo, owner);
+                // Source: the first replica-set member already holding a
+                // copy, else the smallest-indexed holder.
+                let source = targets
+                    .iter()
+                    .map(|&(i, _)| i)
+                    .find(|i| slot.holders.contains(i))
+                    .unwrap_or_else(|| slot.holders[0]);
+                let mut added = false;
+                for &(idx, _) in targets {
+                    if !slot.holders.contains(&idx) {
+                        let (postings, bytes) = volume(&slot.value);
+                        planned.push((*k, source, idx, postings, bytes));
+                        slot.holders.push(idx);
+                        added = true;
+                    }
+                }
+                if added {
+                    slot.holders.sort_unstable();
+                }
+            }
+        }
+        planned.sort_unstable_by_key(|&(k, _, target, _, _)| (k, target));
+        let peers = self.overlay.peers();
+        let mut stats = RepairStats::default();
+        for (key, source, target, postings, bytes) in planned {
+            self.meter
+                .record(MsgKind::Repair, source as usize, postings, bytes, 1);
+            stats.copies += 1;
+            stats.postings += postings;
+            stats.bytes += bytes;
+            on_copy(
+                KeyHash(key),
+                Delivery {
+                    source: peers[source as usize],
+                    target: peers[target as usize],
+                    hops: 1,
+                    dead_skips: 0,
+                },
+                bytes,
+            );
+        }
+        stats
+    }
+
+    /// Number of stored key copies at each peer (holder-resolved: an
+    /// entry replicated at `R` peers counts once per holder).
     pub fn keys_per_peer(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.overlay.len()];
         for stripe in 0..NUM_STRIPES {
-            self.for_each_stripe_owned(stripe, |owner, _, _| counts[owner] += 1);
+            self.for_each_stripe_held(stripe, |holders, _, _| {
+                for &h in holders {
+                    counts[h as usize] += 1;
+                }
+            });
         }
         counts
     }
 
-    /// Total number of stored keys.
+    /// Total number of stored keys (each counted once, however many
+    /// replicas hold it).
     pub fn num_keys(&self) -> usize {
         self.stripes.iter().map(|s| s.read().len()).sum()
     }
@@ -351,6 +906,8 @@ impl<V> std::fmt::Debug for Dht<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dht")
             .field("peers", &self.overlay.len())
+            .field("live", &self.membership.live_count())
+            .field("replication", &self.replication)
             .field("stripes", &NUM_STRIPES)
             .field("keys", &self.num_keys())
             .finish()
@@ -366,6 +923,16 @@ mod tests {
 
     fn dht_pgrid(n: u64) -> Dht<Vec<u32>> {
         Dht::new(Box::new(PGrid::new((0..n).map(PeerId).collect())))
+    }
+
+    fn dht_replicated(n: u64, r: usize) -> Dht<Vec<u32>> {
+        Dht::replicated(Box::new(PGrid::new((0..n).map(PeerId).collect())), r)
+    }
+
+    // &Vec (not &[u32]): passed as `impl Fn(&V)` with `V = Vec<u32>`.
+    #[allow(clippy::ptr_arg)]
+    fn vol(v: &Vec<u32>) -> (u64, u64) {
+        (v.len() as u64, 4 * v.len() as u64)
     }
 
     #[test]
@@ -449,6 +1016,7 @@ mod tests {
         for s in 0..dht.num_stripes() {
             dht.for_each_stripe(s, |_, _| {});
             dht.for_each_stripe_owned(s, |_, _, _| {});
+            dht.for_each_stripe_held(s, |_, _, _| {});
         }
         let after = dht.snapshot();
         assert_eq!(before, after);
@@ -547,5 +1115,219 @@ mod tests {
             }
         });
         assert_eq!(seen.lock().unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn replicated_upsert_meters_r_copies_and_r_holders() {
+        let r1 = dht_replicated(8, 1);
+        let r3 = dht_replicated(8, 3);
+        let key = KeyHash(hash_u64s(&[21]));
+        for dht in [&r1, &r3] {
+            dht.upsert(PeerId(2), key, 5, 20, Vec::new, |v| v.push(9));
+        }
+        let (s1, s3) = (r1.snapshot(), r3.snapshot());
+        assert_eq!(s1.kind(MsgKind::IndexInsert).messages, 1);
+        assert_eq!(s3.kind(MsgKind::IndexInsert).messages, 3, "R stored copies");
+        assert_eq!(s3.kind(MsgKind::IndexInsert).postings, 15);
+        // The copies land on 3 distinct peers.
+        assert_eq!(r3.keys_per_peer().iter().sum::<usize>(), 3);
+        assert_eq!(r1.keys_per_peer().iter().sum::<usize>(), 1);
+        // Replicated residency is R times the single-copy residency.
+        assert_eq!(
+            r3.resident_bytes(|v| 4 * v.len() as u64),
+            3 * r1.resident_bytes(|v| 4 * v.len() as u64)
+        );
+        // Lookups are unaffected while everyone is live: same metering.
+        r1.lookup(PeerId(5), key, |v| ((), v.map_or(0, |v| v.len() as u64), 4));
+        r3.lookup(PeerId(5), key, |v| ((), v.map_or(0, |v| v.len() as u64), 4));
+        assert_eq!(
+            r1.snapshot().kind(MsgKind::QueryLookup),
+            r3.snapshot().kind(MsgKind::QueryLookup)
+        );
+    }
+
+    #[test]
+    fn replica_copies_report_deliveries_without_extra_routing() {
+        let dht = dht_replicated(8, 2);
+        let key = KeyHash(hash_u64s(&[4, 4]));
+        let mut deliveries = Vec::new();
+        dht.upsert_delivered(
+            PeerId(1),
+            key,
+            1,
+            4,
+            Vec::new,
+            |v| v.push(1),
+            |d| deliveries.push(d),
+        );
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(deliveries[0].source, PeerId(1));
+        assert_eq!(deliveries[0].target, dht.overlay().responsible(key));
+        // The copy is forwarded by the primary, one neighbor hop.
+        assert_eq!(deliveries[1].source, deliveries[0].target);
+        assert_eq!(deliveries[1].hops, 1);
+        assert_eq!(deliveries[1].dead_skips, 0);
+        assert_ne!(deliveries[1].target, deliveries[0].target);
+    }
+
+    #[test]
+    fn fail_loses_sole_copy_at_r1_but_not_at_r2() {
+        for (r, expect_lost) in [(1usize, true), (2usize, false)] {
+            let mut dht = dht_replicated(8, r);
+            for i in 0..100u64 {
+                let key = KeyHash(hash_u64s(&[i, 13]));
+                dht.upsert(PeerId(i % 8), key, 1, 4, Vec::new, |v| v.push(i as u32));
+            }
+            let victim = PeerId(3);
+            let before = dht.snapshot();
+            let loss = dht.fail_peers(&[victim], vol);
+            if expect_lost {
+                assert!(loss.keys_lost > 0, "R=1 must lose the victim's keys");
+                assert!(loss.postings_lost > 0);
+            } else {
+                assert_eq!(loss.keys_lost, 0, "R=2 survives one crash");
+                assert!(loss.keys_degraded > 0, "survivors are degraded");
+            }
+            assert_eq!(dht.num_keys(), 100 - loss.keys_lost as usize);
+            // A crash sends no messages.
+            assert!(before.same_counts(&dht.snapshot()));
+            // Every surviving key is still readable (failover).
+            for i in 0..100u64 {
+                let key = KeyHash(hash_u64s(&[i, 13]));
+                let found = dht.lookup(PeerId(0), key, |v| (v.cloned(), 0, 0));
+                if !expect_lost {
+                    assert_eq!(found.unwrap(), vec![i as u32], "key {i} unreachable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graceful_leave_never_loses_content_even_at_r1() {
+        let mut dht = dht_replicated(8, 1);
+        for i in 0..120u64 {
+            let key = KeyHash(hash_u64s(&[i, 17]));
+            dht.upsert(PeerId(i % 8), key, 1, 4, Vec::new, |v| v.push(i as u32));
+        }
+        let stats = dht.leave_peers(&[PeerId(2), PeerId(5)], vol);
+        assert_eq!(stats.len(), 2);
+        assert!(
+            stats.iter().any(|s| s.keys_moved > 0),
+            "departing peers must hand over their copies"
+        );
+        assert_eq!(dht.num_keys(), 120, "graceful leave loses nothing");
+        let snap = dht.snapshot();
+        assert_eq!(snap.kind(MsgKind::Maintenance).messages, 2);
+        assert_eq!(
+            snap.kind(MsgKind::Maintenance).postings,
+            stats.iter().map(|s| s.postings_moved).sum::<u64>()
+        );
+        // All content is served by live peers, with failover hops charged.
+        for i in 0..120u64 {
+            let key = KeyHash(hash_u64s(&[i, 17]));
+            let found = dht.lookup(PeerId(0), key, |v| (v.cloned(), 0, 0));
+            assert_eq!(found.unwrap(), vec![i as u32], "key {i} lost after leave");
+        }
+        // Departed peers hold nothing.
+        let per = dht.keys_per_peer();
+        assert_eq!(per[2] + per[5], 0);
+    }
+
+    #[test]
+    fn repair_rematerializes_missing_copies_and_is_idempotent() {
+        let mut dht = dht_replicated(8, 2);
+        for i in 0..100u64 {
+            let key = KeyHash(hash_u64s(&[i, 19]));
+            dht.upsert(PeerId(i % 8), key, 1, 4, Vec::new, |v| v.push(i as u32));
+        }
+        let loss = dht.fail_peers(&[PeerId(1)], vol);
+        assert_eq!(loss.keys_lost, 0);
+        assert!(loss.keys_degraded > 0);
+        let mut copies = Vec::new();
+        let stats = dht.repair_sweep(vol, |k, d, b| copies.push((k, d, b)));
+        assert_eq!(stats.copies, loss.keys_degraded);
+        assert_eq!(copies.len() as u64, stats.copies);
+        // Canonical emission order and live, distinct endpoints.
+        assert!(copies.windows(2).all(|w| w[0].0 .0 <= w[1].0 .0));
+        for (_, d, _) in &copies {
+            assert_ne!(d.source, PeerId(1));
+            assert_ne!(d.target, PeerId(1));
+            assert_ne!(d.source, d.target);
+        }
+        let snap = dht.snapshot();
+        assert_eq!(snap.kind(MsgKind::Repair).messages, stats.copies);
+        assert_eq!(snap.kind(MsgKind::Repair).postings, stats.postings);
+        // Every key has two live holders again; a second sweep is a no-op.
+        let again = dht.repair_sweep(vol, |_, _, _| panic!("repaired twice"));
+        assert_eq!(again, RepairStats::default());
+        // A second crash (of a different peer) now loses nothing either.
+        let loss2 = dht.fail_peers(&[PeerId(4)], vol);
+        assert_eq!(loss2.keys_lost, 0, "repair restored the redundancy");
+    }
+
+    #[test]
+    fn failover_lookup_charges_skips_and_serves_from_live_holder() {
+        let mut dht = dht_replicated(4, 2);
+        // One key whose owner we will crash.
+        let key = KeyHash(hash_u64s(&[7, 7]));
+        dht.upsert(PeerId(0), key, 3, 12, Vec::new, |v| v.extend([1, 2, 3]));
+        let owner = dht.overlay().responsible(key);
+        let healthy = dht.lookup_delivered(PeerId(0), key, |v| (v.cloned(), 3, 12));
+        assert_eq!(healthy.1.target, owner);
+        assert_eq!(healthy.1.dead_skips, 0);
+        dht.fail_peers(&[owner], vol);
+        let before = dht.snapshot();
+        let (found, delivery) = dht.lookup_delivered(PeerId(0), key, |v| (v.cloned(), 3, 12));
+        assert_eq!(found.unwrap(), vec![1, 2, 3], "replica must serve");
+        assert_ne!(delivery.target, owner);
+        assert!(delivery.dead_skips >= 1, "the dead owner was skipped");
+        assert!(delivery.hops > healthy.1.dead_skips);
+        // The failover exchange is still exactly one lookup + one response.
+        let d = dht.snapshot().since(&before);
+        assert_eq!(d.kind(MsgKind::QueryLookup).messages, 1);
+        assert_eq!(d.kind(MsgKind::QueryResponse).messages, 1);
+        assert!(
+            d.kind(MsgKind::QueryLookup).hops >= 1,
+            "failover hops are charged"
+        );
+    }
+
+    #[test]
+    fn join_wave_shares_one_scan_and_matches_single_joins_for_one() {
+        let build = || {
+            let dht = dht_pgrid(4);
+            for k in 0..300u64 {
+                let key = KeyHash(hash_u64s(&[k, 23]));
+                dht.upsert(PeerId(k % 4), key, 2, 8, Vec::new, |v| v.push(k as u32));
+            }
+            dht
+        };
+        // Single join through both entry points: identical stats+traffic.
+        let a = &mut build();
+        let sa = a.add_peer(PeerId(50), vol);
+        let mut b = build();
+        let sb = b.add_peers(vec![PeerId(50)], vol);
+        assert_eq!(vec![sa], sb);
+        assert_eq!(a.snapshot(), b.snapshot());
+        // A wave admits several peers with one scan; every key stays
+        // reachable and each joiner took over a region.
+        let mut c = build();
+        let wave = c.add_peers(vec![PeerId(60), PeerId(61), PeerId(62)], vol);
+        assert_eq!(wave.len(), 3);
+        assert!(wave.iter().all(|s| s.keys_moved > 0));
+        assert_eq!(c.num_keys(), 300);
+        assert_eq!(c.snapshot().kind(MsgKind::Maintenance).messages, 3);
+        for k in 0..300u64 {
+            let key = KeyHash(hash_u64s(&[k, 23]));
+            let found = c.lookup(PeerId(0), key, |v| (v.cloned(), 0, 0));
+            assert_eq!(found.unwrap(), vec![k as u32], "key {k} lost in wave");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one live peer")]
+    fn failing_everyone_is_rejected() {
+        let mut dht = dht_pgrid(2);
+        dht.fail_peers(&[PeerId(0), PeerId(1)], vol);
     }
 }

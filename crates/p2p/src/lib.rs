@@ -28,14 +28,18 @@ pub mod dht;
 pub mod id;
 pub mod overlay;
 pub mod pgrid;
+pub mod replica;
 pub mod ring;
 pub mod rpc;
 pub mod transport;
 
-pub use dht::{stripe_of, Dht, MigrationStats, LOOKUP_REQUEST_BYTES, NUM_STRIPES};
+pub use dht::{
+    stripe_of, Dht, LossStats, MigrationStats, RepairStats, LOOKUP_REQUEST_BYTES, NUM_STRIPES,
+};
 pub use id::{hash_bytes, hash_u64s, KeyHash, PeerId};
 pub use overlay::{Overlay, RouteResult};
 pub use pgrid::PGrid;
+pub use replica::{Delivery, Membership, PeerState};
 pub use ring::ChordRing;
 pub use rpc::{
     Addressed, InProc, NetworkBackend, Notification, Request, Response, SimNet, SimNetConfig,
@@ -43,4 +47,5 @@ pub use rpc::{
 };
 pub use transport::{
     KindSnapshot, LatencyHistogram, MsgKind, TrafficMeter, TrafficSnapshot, LATENCY_BUCKETS,
+    NUM_KINDS,
 };

@@ -42,6 +42,16 @@ pub trait Overlay: Send + Sync {
     /// Panics if the peer is already a member.
     fn join(&mut self, peer: PeerId);
 
+    /// Peer index of the peer owning the key-space region immediately
+    /// *after* `peer_index`'s, wrapping around — the in-order successor of
+    /// the binary trie, or the clockwise neighbor on the ring.
+    ///
+    /// Iterating `successor_index` from any start visits every peer
+    /// exactly once per cycle; this is the deterministic walk replica
+    /// placement is derived from (primary = responsible peer, replicas =
+    /// the next peers along the walk — see `crate::replica`).
+    fn successor_index(&self, peer_index: usize) -> usize;
+
     /// Number of peers.
     fn len(&self) -> usize {
         self.peers().len()
@@ -79,6 +89,16 @@ pub(crate) mod test_support {
                 }
             }
         }
+        // The successor walk is a single cycle covering every peer once.
+        let mut cur = 0usize;
+        let mut seen = vec![false; peers.len()];
+        for _ in 0..peers.len() {
+            assert!(!seen[cur], "successor walk revisited peer {cur} early");
+            seen[cur] = true;
+            cur = overlay.successor_index(cur);
+        }
+        assert_eq!(cur, 0, "successor walk must wrap to its start");
+        assert!(seen.iter().all(|&s| s), "walk skipped a peer");
     }
 
     /// Checks that responsibility spreads over many peers (load balance).

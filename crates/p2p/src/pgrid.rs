@@ -68,6 +68,11 @@ pub struct PGrid {
     peers: Vec<PeerId>,
     paths: Vec<Path>,
     root: Node,
+    /// Peer indices in in-order trie traversal (ascending path bits) —
+    /// the key-space successor order replica placement walks along.
+    order: Vec<usize>,
+    /// Inverse of `order`: position of each peer index in the traversal.
+    order_pos: Vec<usize>,
 }
 
 impl PGrid {
@@ -80,7 +85,35 @@ impl PGrid {
         let mut paths = vec![Path { bits: 0, len: 0 }; peers.len()];
         let indices: Vec<usize> = (0..peers.len()).collect();
         let root = Self::split(&indices, 0, 0, &mut paths);
-        Self { peers, paths, root }
+        let mut grid = Self {
+            peers,
+            paths,
+            root,
+            order: Vec::new(),
+            order_pos: Vec::new(),
+        };
+        grid.rebuild_order();
+        grid
+    }
+
+    /// Recomputes the in-order leaf traversal (cheap; runs at build time
+    /// and after each join).
+    fn rebuild_order(&mut self) {
+        fn collect(node: &Node, out: &mut Vec<usize>) {
+            match node {
+                Node::Leaf(i) => out.push(*i),
+                Node::Inner(zero, one) => {
+                    collect(zero, out);
+                    collect(one, out);
+                }
+            }
+        }
+        self.order.clear();
+        collect(&self.root, &mut self.order);
+        self.order_pos = vec![0; self.order.len()];
+        for (pos, &i) in self.order.iter().enumerate() {
+            self.order_pos[i] = pos;
+        }
     }
 
     fn split(indices: &[usize], prefix: u64, depth: u32, paths: &mut [Path]) -> Node {
@@ -210,6 +243,11 @@ impl Overlay for PGrid {
             bits: old.bits | (1u64 << (63 - old.len)),
             len: old.len + 1,
         });
+        self.rebuild_order();
+    }
+
+    fn successor_index(&self, peer_index: usize) -> usize {
+        self.order[(self.order_pos[peer_index] + 1) % self.order.len()]
     }
 
     fn route(&self, from: PeerId, key: KeyHash) -> RouteResult {

@@ -19,6 +19,9 @@ pub struct ChordRing {
     /// `fingers[i][k]` = ring-slot index of the peer owning position
     /// `pos_i + 2^k` (deduplicated).
     fingers: Vec<Vec<usize>>,
+    /// Ring slot of each peer (inverse of `ring`'s second column) — makes
+    /// the clockwise successor walk O(1) per step.
+    slots: Vec<usize>,
 }
 
 impl ChordRing {
@@ -30,11 +33,22 @@ impl ChordRing {
     pub fn new(peers: Vec<PeerId>) -> Self {
         assert!(!peers.is_empty(), "ring needs at least one peer");
         let (ring, fingers) = Self::build_tables(&peers);
+        let slots = Self::invert(&ring);
         Self {
             peers,
             ring,
             fingers,
+            slots,
         }
+    }
+
+    /// Peer-index → ring-slot inverse of the sorted ring.
+    fn invert(ring: &[(u64, usize)]) -> Vec<usize> {
+        let mut slots = vec![0usize; ring.len()];
+        for (slot, &(_, idx)) in ring.iter().enumerate() {
+            slots[idx] = slot;
+        }
+        slots
     }
 
     fn build_tables(peers: &[PeerId]) -> (Vec<(u64, usize)>, Vec<Vec<usize>>) {
@@ -111,8 +125,13 @@ impl Overlay for ChordRing {
         // A join moves the new peer's arc from its successor; fingers are
         // rebuilt (the simulation equivalent of Chord's stabilization).
         let (ring, fingers) = Self::build_tables(&self.peers);
+        self.slots = Self::invert(&ring);
         self.ring = ring;
         self.fingers = fingers;
+    }
+
+    fn successor_index(&self, peer_index: usize) -> usize {
+        self.ring[(self.slots[peer_index] + 1) % self.ring.len()].1
     }
 
     fn route(&self, from: PeerId, key: KeyHash) -> RouteResult {

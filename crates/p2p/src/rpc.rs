@@ -27,6 +27,9 @@
 //! | [`Request::Notify`]      | [`MsgKind::IndexNotify`]   | "key became globally non-discriminative" notifications that trigger key expansion (Section 3.1) |
 //! | [`Request::LookupMany`]  | [`MsgKind::QueryLookup`] / [`MsgKind::QueryResponse`] | retrieval cost: one lookup request per key travels to the responsible peer, the stored block travels back (Figure 6) |
 //! | [`Request::Migrate`]     | [`MsgKind::Maintenance`]   | overlay maintenance: the index fraction handed to a joining peer (excluded from the paper's posting counts, reported separately) |
+//! | [`Request::Leave`]       | [`MsgKind::Maintenance`]   | overlay maintenance, mirror of `Migrate`: a gracefully departing peer hands its held copies to the re-derived replica sets before it goes |
+//! | [`Request::Fail`]        | —                          | a crash sends no messages; the destroyed copies surface as a [`LossStats`] damage report, and the degraded entries as later `Repair` traffic |
+//! | [`Request::Repair`]      | [`MsgKind::Repair`]        | replica repair: surviving replicas re-materialize the copies lost to crashes — structural-replication upkeep, counted in its own category so availability studies can separate it from join handovers |
 //!
 //! ## Who knows what
 //!
@@ -39,9 +42,10 @@
 //! storage accounting, `peek` — which is free at the hosting peer and
 //! therefore never a message.
 
-use crate::dht::{stripe_of, Dht, MigrationStats, LOOKUP_REQUEST_BYTES};
+use crate::dht::{stripe_of, Dht, LossStats, MigrationStats, RepairStats, LOOKUP_REQUEST_BYTES};
 use crate::id::{hash_u64s, splitmix64, KeyHash, PeerId};
 use crate::overlay::Overlay;
+use crate::replica::Delivery;
 use crate::transport::{MsgKind, TrafficSnapshot};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -57,6 +61,16 @@ pub struct Notification {
     /// Payload bytes carried.
     pub bytes: u64,
 }
+
+/// Per-item [`Delivery`] legs of an insert round, aligned with its
+/// batches: `deliveries[batch][item]` lists the item's metered copies
+/// (primary first, then forwarded replicas).
+type InsertDeliveries = Vec<Vec<Vec<Delivery>>>;
+
+/// One resolved lookup level: per key in input order, the response
+/// payload with its `(postings, bytes)` volume, plus the [`Delivery`]
+/// records the timing pass consumes.
+type ResolvedLookups<L> = (Vec<(Option<L>, u64, u64)>, Vec<Delivery>);
 
 /// A message body plus the DHT position it routes to.
 #[derive(Debug, Clone)]
@@ -148,14 +162,37 @@ pub enum Request<I, Q> {
         keys: Vec<Addressed<Q>>,
     },
     /// A peer joins the overlay and the index fraction it becomes
-    /// responsible for is handed over ([`MsgKind::Maintenance`]). The one
+    /// responsible for is handed over ([`MsgKind::Maintenance`]). A
     /// control-plane message: it mutates the overlay, so it dispatches
-    /// through [`NetworkBackend::migrate`] (exclusive access), not
-    /// [`NetworkBackend::call`].
+    /// through [`NetworkBackend::migrate`] / [`NetworkBackend::migrate_many`]
+    /// (exclusive access), not [`NetworkBackend::call`].
     Migrate {
         /// The joining peer.
         peer: PeerId,
     },
+    /// A wave of peers departs gracefully: each hands the copies it holds
+    /// to the re-derived replica sets ([`MsgKind::Maintenance`], one
+    /// aggregate message per leaver — the mirror of [`Request::Migrate`]),
+    /// then disappears from the replica walks. Control-plane: mutates the
+    /// membership view, dispatched through [`NetworkBackend::leave`].
+    Leave {
+        /// The departing peers.
+        peers: Vec<PeerId>,
+    },
+    /// A wave of peers crashes: their copies are destroyed, nothing is
+    /// handed over and **no messages are sent** — the damage surfaces as
+    /// a [`LossStats`] report and as degraded replica sets for the next
+    /// [`Request::Repair`]. Control-plane: dispatched through
+    /// [`NetworkBackend::fail`].
+    Fail {
+        /// The crashed peers.
+        peers: Vec<PeerId>,
+    },
+    /// The background repair sweep: surviving replicas re-materialize the
+    /// copies the re-derived replica sets are missing, one
+    /// [`MsgKind::Repair`] message per copied entry. Data-plane (`&self`):
+    /// it changes no overlay or membership state, only holder sets.
+    Repair,
 }
 
 impl<I, Q> Request<I, Q> {
@@ -167,7 +204,12 @@ impl<I, Q> Request<I, Q> {
             Request::InsertBatch { .. } => MsgKind::IndexInsert,
             Request::Notify { .. } => MsgKind::IndexNotify,
             Request::LookupMany { .. } => MsgKind::QueryLookup,
-            Request::Migrate { .. } => MsgKind::Maintenance,
+            // A crash itself sends nothing; the category covers the
+            // departure taxonomy (graceful handovers are maintenance).
+            Request::Migrate { .. } | Request::Leave { .. } | Request::Fail { .. } => {
+                MsgKind::Maintenance
+            }
+            Request::Repair => MsgKind::Repair,
         }
     }
 }
@@ -192,6 +234,12 @@ pub enum Response<L> {
     },
     /// Answers a [`Request::Migrate`] with the handover volume.
     Migrated(MigrationStats),
+    /// Answers a [`Request::Leave`] with one handover volume per leaver.
+    Left(Vec<MigrationStats>),
+    /// Answers a [`Request::Fail`] with the damage report.
+    Lost(LossStats),
+    /// Answers a [`Request::Repair`] with the re-materialized volume.
+    Repaired(RepairStats),
 }
 
 /// A pluggable network between the engine and the DHT.
@@ -216,9 +264,32 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
     fn lookup_many(&self, from: PeerId, keys: &[Addressed<S::LookupKey>])
         -> Vec<Option<S::Lookup>>;
 
-    /// The control-plane [`Request::Migrate`]: admits `peer` to the
-    /// overlay and migrates the index fraction it takes over.
-    fn migrate(&mut self, peer: PeerId) -> MigrationStats;
+    /// The control-plane [`Request::Migrate`] wave: admits `peers` to the
+    /// overlay back to back, then migrates the index fractions they take
+    /// over in **one shared stripe scan** ([`Dht::add_peers`]).
+    fn migrate_many(&mut self, peers: Vec<PeerId>) -> Vec<MigrationStats>;
+
+    /// Single-peer [`NetworkBackend::migrate_many`].
+    fn migrate(&mut self, peer: PeerId) -> MigrationStats {
+        self.migrate_many(vec![peer])
+            .pop()
+            .expect("one join, one migration")
+    }
+
+    /// The control-plane [`Request::Leave`] wave: graceful departures
+    /// with a metered handover of every held copy ([`Dht::leave_peers`]).
+    fn leave(&mut self, peers: &[PeerId]) -> Vec<MigrationStats>;
+
+    /// The control-plane [`Request::Fail`] wave: crashes destroy copies,
+    /// send nothing, and return the damage report ([`Dht::fail_peers`]).
+    fn fail(&mut self, peers: &[PeerId]) -> LossStats;
+
+    /// The [`Request::Repair`] sweep: re-materializes the copies the
+    /// re-derived replica sets are missing ([`Dht::repair_sweep`]). The
+    /// peer-liveness view itself is read through
+    /// [`Dht::membership`](crate::dht::Dht::membership) on
+    /// [`NetworkBackend::dht`].
+    fn repair(&self) -> RepairStats;
 
     /// Host-local storage access: end-of-round sweeps, `peek`, storage
     /// accounting. Local work at the hosting peer is free (the paper's
@@ -241,8 +312,10 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
     /// Dispatches a data-plane request.
     ///
     /// # Panics
-    /// Panics on [`Request::Migrate`], which mutates the overlay and must
-    /// go through [`NetworkBackend::migrate`].
+    /// Panics on the control-plane variants — [`Request::Migrate`],
+    /// [`Request::Leave`] and [`Request::Fail`] mutate the overlay or the
+    /// membership view and must go through [`NetworkBackend::migrate`] /
+    /// [`NetworkBackend::leave`] / [`NetworkBackend::fail`].
     fn call(&self, request: Request<S::Insert, S::LookupKey>) -> Response<S::Lookup> {
         match request {
             Request::InsertBatch { batches } => Response::Inserted {
@@ -255,8 +328,15 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
             Request::LookupMany { from, keys } => Response::Found {
                 results: self.lookup_many(from, &keys),
             },
+            Request::Repair => Response::Repaired(self.repair()),
             Request::Migrate { .. } => {
                 panic!("Migrate mutates the overlay; dispatch it through NetworkBackend::migrate")
+            }
+            Request::Leave { .. } => {
+                panic!("Leave mutates the membership; dispatch it through NetworkBackend::leave")
+            }
+            Request::Fail { .. } => {
+                panic!("Fail mutates the membership; dispatch it through NetworkBackend::fail")
             }
         }
     }
@@ -267,18 +347,26 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
 /// each bucket), apply stripes rayon-parallel, and scatter the acks back
 /// into request order. Both backends route through this, so their stored
 /// state and traffic counts are identical by construction.
+///
+/// With `collect_deliveries` the per-item [`Delivery`] records (primary
+/// copy first, then the forwarded replicas) come back aligned with the
+/// batches — the simulated backend times its transmission pass from them
+/// instead of re-running `overlay.route()` per message. The in-process
+/// backend passes `false` and pays nothing.
 fn dispatch_insert_batch<S: StoreService>(
     dht: &Dht<S::Value>,
     store: &S,
     batches: &[(PeerId, Vec<Addressed<S::Insert>>)],
-) -> Vec<(PeerId, Vec<bool>)> {
+    collect_deliveries: bool,
+) -> (Vec<(PeerId, Vec<bool>)>, InsertDeliveries) {
     let mut buckets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); dht.num_stripes()];
     for (bi, (_, items)) in batches.iter().enumerate() {
         for (ii, item) in items.iter().enumerate() {
             buckets[stripe_of(item.route)].push((bi, ii));
         }
     }
-    let acks: Vec<Vec<(usize, usize, bool)>> = buckets
+    type StripeAcks = Vec<(usize, usize, bool, Vec<Delivery>)>;
+    let acks: Vec<StripeAcks> = buckets
         .par_iter()
         .map(|bucket| {
             bucket
@@ -287,15 +375,21 @@ fn dispatch_insert_batch<S: StoreService>(
                     let (peer, items) = &batches[bi];
                     let item = &items[ii];
                     let (postings, bytes) = store.insert_volume(&item.body);
-                    let flag = dht.upsert(
+                    let mut legs = Vec::new();
+                    let flag = dht.upsert_delivered(
                         *peer,
                         item.route,
                         postings,
                         bytes,
                         || store.fresh(&item.body),
                         |value| store.merge(*peer, &item.body, value),
+                        |delivery| {
+                            if collect_deliveries {
+                                legs.push(delivery);
+                            }
+                        },
                     );
-                    (bi, ii, flag)
+                    (bi, ii, flag, legs)
                 })
                 .collect()
         })
@@ -304,23 +398,36 @@ fn dispatch_insert_batch<S: StoreService>(
         .iter()
         .map(|(peer, items)| (*peer, vec![false; items.len()]))
         .collect();
-    for (bi, ii, flag) in acks.into_iter().flatten() {
+    let mut deliveries: InsertDeliveries = if collect_deliveries {
+        batches
+            .iter()
+            .map(|(_, items)| vec![Vec::new(); items.len()])
+            .collect()
+    } else {
+        Vec::new()
+    };
+    for (bi, ii, flag, legs) in acks.into_iter().flatten() {
         out[bi].1[ii] = flag;
+        if collect_deliveries {
+            deliveries[bi][ii] = legs;
+        }
     }
-    out
+    (out, deliveries)
 }
 
 /// Shared storage dispatch for one lookup level. Returns, per key in
-/// input order, the response payload plus its `(postings, bytes)` volume
-/// (the simulated backend sizes the response leg's transmission from it).
+/// input order, the response payload plus its `(postings, bytes)` volume,
+/// and the resolved [`Delivery`] records — the simulated backend sizes
+/// and times both transmission legs from them without re-running
+/// `overlay.route()`.
 fn dispatch_lookup_many<S: StoreService>(
     dht: &Dht<S::Value>,
     store: &S,
     from: PeerId,
     keys: &[Addressed<S::LookupKey>],
-) -> Vec<(Option<S::Lookup>, u64, u64)> {
+) -> ResolvedLookups<S::Lookup> {
     let hashes: Vec<KeyHash> = keys.iter().map(|k| k.route).collect();
-    dht.lookup_many(from, &hashes, |i, value| {
+    dht.lookup_many_delivered(from, &hashes, |i, value| {
         let (result, postings, bytes) = store.read(&keys[i].body, value);
         ((result, postings, bytes), postings, bytes)
     })
@@ -337,10 +444,15 @@ pub struct InProc<S: StoreService> {
 
 impl<S: StoreService> InProc<S> {
     /// In-process network over `overlay`, with `store` as the hosting
-    /// peers' application logic.
+    /// peers' application logic (unreplicated, `R = 1`).
     pub fn new(overlay: Box<dyn Overlay>, store: S) -> Self {
+        Self::replicated(overlay, store, 1)
+    }
+
+    /// [`InProc::new`] with every key placed on `replication` live peers.
+    pub fn replicated(overlay: Box<dyn Overlay>, store: S, replication: usize) -> Self {
         Self {
-            dht: Dht::new(overlay),
+            dht: Dht::replicated(overlay, replication),
             store,
         }
     }
@@ -351,7 +463,7 @@ impl<S: StoreService> NetworkBackend<S> for InProc<S> {
         &self,
         batches: Vec<(PeerId, Vec<Addressed<S::Insert>>)>,
     ) -> Vec<(PeerId, Vec<bool>)> {
-        dispatch_insert_batch(&self.dht, &self.store, &batches)
+        dispatch_insert_batch(&self.dht, &self.store, &batches, false).0
     }
 
     fn notify(&self, notes: &[Notification]) {
@@ -366,14 +478,34 @@ impl<S: StoreService> NetworkBackend<S> for InProc<S> {
         keys: &[Addressed<S::LookupKey>],
     ) -> Vec<Option<S::Lookup>> {
         dispatch_lookup_many(&self.dht, &self.store, from, keys)
+            .0
             .into_iter()
             .map(|(result, _, _)| result)
             .collect()
     }
 
-    fn migrate(&mut self, peer: PeerId) -> MigrationStats {
+    fn migrate_many(&mut self, peers: Vec<PeerId>) -> Vec<MigrationStats> {
         let store = &self.store;
-        self.dht.add_peer(peer, |value| store.migrate_volume(value))
+        self.dht
+            .add_peers(peers, |value| store.migrate_volume(value))
+    }
+
+    fn leave(&mut self, peers: &[PeerId]) -> Vec<MigrationStats> {
+        let store = &self.store;
+        self.dht
+            .leave_peers(peers, |value| store.migrate_volume(value))
+    }
+
+    fn fail(&mut self, peers: &[PeerId]) -> LossStats {
+        let store = &self.store;
+        self.dht
+            .fail_peers(peers, |value| store.migrate_volume(value))
+    }
+
+    fn repair(&self) -> RepairStats {
+        let store = &self.store;
+        self.dht
+            .repair_sweep(|value| store.migrate_volume(value), |_, _, _| {})
     }
 
     fn dht(&self) -> &Dht<S::Value> {
@@ -487,15 +619,30 @@ struct Wire {
     route: KeyHash,
     bytes: u64,
     hops: u32,
+    /// Dead peers the failover walk skipped before this leg's target —
+    /// each skipped candidate is a delivery attempt that timed out
+    /// ("requests to dead peers cost a timeout, not a hang").
+    dead_skips: u32,
     /// Canonical position within the request (jitter decorrelation).
     position: u64,
 }
 
 impl<S: StoreService> SimNet<S> {
-    /// Simulated network over `overlay` with the given timing model.
+    /// Simulated network over `overlay` with the given timing model
+    /// (unreplicated, `R = 1`).
     pub fn new(overlay: Box<dyn Overlay>, store: S, config: SimNetConfig) -> Self {
+        Self::replicated(overlay, store, config, 1)
+    }
+
+    /// [`SimNet::new`] with every key placed on `replication` live peers.
+    pub fn replicated(
+        overlay: Box<dyn Overlay>,
+        store: S,
+        config: SimNetConfig,
+        replication: usize,
+    ) -> Self {
         Self {
-            dht: Dht::new(overlay),
+            dht: Dht::replicated(overlay, replication),
             store,
             config,
             clock_ns: AtomicU64::new(0),
@@ -509,8 +656,11 @@ impl<S: StoreService> SimNet<S> {
 
     /// Delivers one message leg, returning its total latency: queueing
     /// behind earlier same-link messages of this request, then
-    /// serialization, propagation, jitter, and drop/retransmission
-    /// timeouts. Records the sample into the meter's histogram.
+    /// serialization, propagation, jitter, drop/retransmission timeouts,
+    /// and one timeout per dead peer the failover walk skipped (a dead
+    /// candidate is a delivery attempt that times out — never a hang and
+    /// never an extra counted message). Records the sample — including
+    /// the retransmitted byte volume — into the meter's histogram.
     fn deliver(&self, wire: Wire, busy: &mut HashMap<(u64, u64), u64>) -> u64 {
         let Wire {
             kind,
@@ -518,6 +668,7 @@ impl<S: StoreService> SimNet<S> {
             route,
             bytes,
             hops,
+            dead_skips,
             position,
         } = wire;
         let c = &self.config;
@@ -549,12 +700,15 @@ impl<S: StoreService> SimNet<S> {
             }
             retries += 1;
         }
+        let resends = retries + dead_skips;
         let latency = wait
             + transmit
             + u64::from(hops) * c.hop_ns
             + jitter
-            + u64::from(retries) * c.timeout_ns;
-        self.dht.meter().record_latency(kind, latency, retries);
+            + u64::from(resends) * c.timeout_ns;
+        self.dht
+            .meter()
+            .record_latency(kind, latency, resends, u64::from(resends) * bytes);
         latency
     }
 
@@ -569,30 +723,33 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
         &self,
         batches: Vec<(PeerId, Vec<Addressed<S::Insert>>)>,
     ) -> Vec<(PeerId, Vec<bool>)> {
-        let acks = dispatch_insert_batch(&self.dht, &self.store, &batches);
-        // Timing pass, in canonical request order: every insert is one
-        // message from the inserting peer to the key's hosting peer.
-        let overlay = self.dht.overlay();
+        let (acks, deliveries) = dispatch_insert_batch(&self.dht, &self.store, &batches, true);
+        // Timing pass, in canonical request order, over the Delivery
+        // records the storage dispatch resolved — the trie walk is paid
+        // once, not re-run per message. Every copy (primary + forwarded
+        // replicas) is one timed message leg.
         let mut busy = HashMap::new();
         let mut makespan = 0u64;
         let mut position = 0u64;
-        for (peer, items) in &batches {
-            for item in items {
-                let r = overlay.route(*peer, item.route);
+        for ((_, items), item_legs) in batches.iter().zip(&deliveries) {
+            for (item, legs) in items.iter().zip(item_legs) {
                 let (_, bytes) = self.store.insert_volume(&item.body);
-                let latency = self.deliver(
-                    Wire {
-                        kind: MsgKind::IndexInsert,
-                        link: (peer.0, r.responsible.0),
-                        route: item.route,
-                        bytes,
-                        hops: r.hops,
-                        position,
-                    },
-                    &mut busy,
-                );
-                makespan = makespan.max(latency);
-                position += 1;
+                for leg in legs {
+                    let latency = self.deliver(
+                        Wire {
+                            kind: MsgKind::IndexInsert,
+                            link: (leg.source.0, leg.target.0),
+                            route: item.route,
+                            bytes,
+                            hops: leg.hops,
+                            dead_skips: leg.dead_skips,
+                            position,
+                        },
+                        &mut busy,
+                    );
+                    makespan = makespan.max(latency);
+                    position += 1;
+                }
             }
         }
         self.advance(makespan);
@@ -617,6 +774,7 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
                     route: KeyHash(note.to.0),
                     bytes: note.bytes,
                     hops: 1,
+                    dead_skips: 0,
                     position: position as u64,
                 },
                 &mut busy,
@@ -631,27 +789,27 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
         from: PeerId,
         keys: &[Addressed<S::LookupKey>],
     ) -> Vec<Option<S::Lookup>> {
-        let resolved = dispatch_lookup_many(&self.dht, &self.store, from, keys);
-        // Timing pass: the request leg queues on the forward link, the
-        // response leg on the reverse link; a key's exchange completes
-        // after both.
-        let overlay = self.dht.overlay();
+        let (resolved, deliveries) = dispatch_lookup_many(&self.dht, &self.store, from, keys);
+        // Timing pass over the Delivery records the metering path
+        // resolved (serving replica, failover hops, dead skips) — counted
+        // hops and simulated transmission times share one derivation, and
+        // the trie is walked once per key, not twice. The request leg
+        // queues on the forward link (and pays the dead-peer timeouts of
+        // the failover walk), the response leg on the reverse link; a
+        // key's exchange completes after both.
         let mut busy = HashMap::new();
         let mut makespan = 0u64;
-        for (position, (item, (_, _, resp_bytes))) in keys.iter().zip(&resolved).enumerate() {
-            // Deterministic re-derivation of the exact attributes the
-            // metering path recorded (`route` is a pure function of the
-            // immutable-during-dispatch overlay; the request payload size
-            // is the shared `LOOKUP_REQUEST_BYTES`), so counted bytes and
-            // simulated transmission times cannot drift apart.
-            let r = overlay.route(from, item.route);
+        for (position, ((item, (_, _, resp_bytes)), leg)) in
+            keys.iter().zip(&resolved).zip(&deliveries).enumerate()
+        {
             let request = self.deliver(
                 Wire {
                     kind: MsgKind::QueryLookup,
-                    link: (from.0, r.responsible.0),
+                    link: (leg.source.0, leg.target.0),
                     route: item.route,
                     bytes: LOOKUP_REQUEST_BYTES,
-                    hops: r.hops,
+                    hops: leg.hops,
+                    dead_skips: leg.dead_skips,
                     position: position as u64,
                 },
                 &mut busy,
@@ -659,10 +817,11 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
             let response = self.deliver(
                 Wire {
                     kind: MsgKind::QueryResponse,
-                    link: (r.responsible.0, from.0),
+                    link: (leg.target.0, leg.source.0),
                     route: item.route,
                     bytes: *resp_bytes,
-                    hops: r.hops,
+                    hops: leg.hops,
+                    dead_skips: 0,
                     position: position as u64,
                 },
                 &mut busy,
@@ -673,22 +832,98 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
         resolved.into_iter().map(|(result, _, _)| result).collect()
     }
 
-    fn migrate(&mut self, peer: PeerId) -> MigrationStats {
+    fn migrate_many(&mut self, peers: Vec<PeerId>) -> Vec<MigrationStats> {
         let store = &self.store;
-        let stats = self.dht.add_peer(peer, |value| store.migrate_volume(value));
+        let all_stats = self
+            .dht
+            .add_peers(peers.clone(), |value| store.migrate_volume(value));
+        // One aggregate handover delivery per joiner, sharing the wave's
+        // FIFO state (a single join times exactly as it always did).
         let mut busy = HashMap::new();
-        let latency = self.deliver(
-            Wire {
-                kind: MsgKind::Maintenance,
-                link: (u64::MAX, peer.0),
-                route: KeyHash(peer.0),
-                bytes: stats.bytes_moved,
-                hops: 1,
-                position: 0,
-            },
-            &mut busy,
+        let mut makespan = 0u64;
+        for (position, (peer, stats)) in peers.iter().zip(&all_stats).enumerate() {
+            let latency = self.deliver(
+                Wire {
+                    kind: MsgKind::Maintenance,
+                    link: (u64::MAX, peer.0),
+                    route: KeyHash(peer.0),
+                    bytes: stats.bytes_moved,
+                    hops: 1,
+                    dead_skips: 0,
+                    position: position as u64,
+                },
+                &mut busy,
+            );
+            makespan = makespan.max(latency);
+        }
+        self.advance(makespan);
+        all_stats
+    }
+
+    fn leave(&mut self, peers: &[PeerId]) -> Vec<MigrationStats> {
+        let store = &self.store;
+        let all_stats = self
+            .dht
+            .leave_peers(peers, |value| store.migrate_volume(value));
+        // The mirror of a join wave: one aggregate handover delivery per
+        // leaver, pushed *out* of the departing peer.
+        let mut busy = HashMap::new();
+        let mut makespan = 0u64;
+        for (position, (peer, stats)) in peers.iter().zip(&all_stats).enumerate() {
+            let latency = self.deliver(
+                Wire {
+                    kind: MsgKind::Maintenance,
+                    link: (peer.0, u64::MAX),
+                    route: KeyHash(peer.0),
+                    bytes: stats.bytes_moved,
+                    hops: 1,
+                    dead_skips: 0,
+                    position: position as u64,
+                },
+                &mut busy,
+            );
+            makespan = makespan.max(latency);
+        }
+        self.advance(makespan);
+        all_stats
+    }
+
+    fn fail(&mut self, peers: &[PeerId]) -> LossStats {
+        // A crash sends nothing and takes no (virtual) time — its cost
+        // shows up later, as failover timeouts and repair traffic.
+        let store = &self.store;
+        self.dht
+            .fail_peers(peers, |value| store.migrate_volume(value))
+    }
+
+    fn repair(&self) -> RepairStats {
+        let store = &self.store;
+        let mut copies: Vec<(KeyHash, Delivery, u64)> = Vec::new();
+        let stats = self.dht.repair_sweep(
+            |value| store.migrate_volume(value),
+            |key, delivery, bytes| copies.push((key, delivery, bytes)),
         );
-        self.advance(latency);
+        // Timing pass in the sweep's canonical (key, target) order: each
+        // re-materialized copy is one Repair message from the surviving
+        // source replica to the restored holder.
+        let mut busy = HashMap::new();
+        let mut makespan = 0u64;
+        for (position, (key, leg, bytes)) in copies.into_iter().enumerate() {
+            let latency = self.deliver(
+                Wire {
+                    kind: MsgKind::Repair,
+                    link: (leg.source.0, leg.target.0),
+                    route: key,
+                    bytes,
+                    hops: leg.hops,
+                    dead_skips: leg.dead_skips,
+                    position: position as u64,
+                },
+                &mut busy,
+            );
+            makespan = makespan.max(latency);
+        }
+        self.advance(makespan);
         stats
     }
 
@@ -1038,5 +1273,11 @@ mod tests {
         assert_eq!(lookup.kind(), MsgKind::QueryLookup);
         let migrate: Request<Vec<u32>, ()> = Request::Migrate { peer: PeerId(1) };
         assert_eq!(migrate.kind(), MsgKind::Maintenance);
+        let leave: Request<Vec<u32>, ()> = Request::Leave { peers: vec![] };
+        assert_eq!(leave.kind(), MsgKind::Maintenance);
+        let fail: Request<Vec<u32>, ()> = Request::Fail { peers: vec![] };
+        assert_eq!(fail.kind(), MsgKind::Maintenance);
+        let repair: Request<Vec<u32>, ()> = Request::Repair;
+        assert_eq!(repair.kind(), MsgKind::Repair);
     }
 }

@@ -35,16 +35,27 @@ pub enum MsgKind {
     /// Overlay maintenance (excluded from the paper's posting counts; kept
     /// so the simulation can report it separately).
     Maintenance,
+    /// Replica repair: a surviving replica re-materializes a lost copy of
+    /// an index entry after a peer crash. Like maintenance this is overlay
+    /// upkeep (excluded from the paper's indexing/retrieval posting
+    /// counts), but it is counted in its own category so availability
+    /// studies can separate churn-repair traffic from join handovers.
+    Repair,
 }
+
+/// Number of message categories (the size of every per-kind counter
+/// array, iterated via [`MsgKind::ALL`]).
+pub const NUM_KINDS: usize = 6;
 
 impl MsgKind {
     /// All categories, for iteration/reporting.
-    pub const ALL: [MsgKind; 5] = [
+    pub const ALL: [MsgKind; NUM_KINDS] = [
         MsgKind::IndexInsert,
         MsgKind::IndexNotify,
         MsgKind::QueryLookup,
         MsgKind::QueryResponse,
         MsgKind::Maintenance,
+        MsgKind::Repair,
     ];
 
     pub(crate) fn slot(self) -> usize {
@@ -54,6 +65,7 @@ impl MsgKind {
             MsgKind::QueryLookup => 2,
             MsgKind::QueryResponse => 3,
             MsgKind::Maintenance => 4,
+            MsgKind::Repair => 5,
         }
     }
 }
@@ -77,6 +89,7 @@ struct LatencyCounters {
     total_ns: AtomicU64,
     max_ns: AtomicU64,
     retries: AtomicU64,
+    retransmission_bytes: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -87,6 +100,7 @@ impl Default for LatencyCounters {
             total_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            retransmission_bytes: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -95,8 +109,8 @@ impl Default for LatencyCounters {
 /// Atomic traffic counters.
 #[derive(Debug)]
 pub struct TrafficMeter {
-    kinds: [KindCounters; 5],
-    latency: [LatencyCounters; 5],
+    kinds: [KindCounters; NUM_KINDS],
+    latency: [LatencyCounters; NUM_KINDS],
     /// Postings each peer has *sent into* the global index (Figure 4).
     inserted_by_peer: Vec<AtomicU64>,
     /// Postings each peer has received as query responses.
@@ -132,8 +146,18 @@ pub struct LatencyHistogram {
     pub total_ns: u64,
     /// Slowest delivery, nanoseconds.
     pub max_ns: u64,
-    /// Retransmissions the drop model forced (latency charged as timeouts).
+    /// Retransmissions the drop model forced (latency charged as
+    /// timeouts), plus timed-out delivery attempts to dead peers that the
+    /// failover walk then skipped.
     pub retries: u64,
+    /// Payload bytes the retransmissions above put on the wire *again*.
+    /// Kept separate from the logical byte meters of [`KindSnapshot`] —
+    /// those count each message once whatever the loss rate, which is what
+    /// keeps counts comparable across backends — so lossy-network repair
+    /// and retry traffic is measurable without skewing the
+    /// backend-equivalence contract ([`TrafficSnapshot::same_counts`]
+    /// ignores this field like every other latency-side quantity).
+    pub retransmission_bytes: u64,
     /// Log₂ buckets: slot `i` counts deliveries with latency in
     /// `[2^i, 2^{i+1})` ns (slot 0 includes 0 ns; the last slot is
     /// open-ended).
@@ -147,6 +171,7 @@ impl Default for LatencyHistogram {
             total_ns: 0,
             max_ns: 0,
             retries: 0,
+            retransmission_bytes: 0,
             buckets: [0; LATENCY_BUCKETS],
         }
     }
@@ -204,6 +229,7 @@ impl LatencyHistogram {
             total_ns: self.total_ns - earlier.total_ns,
             max_ns: self.max_ns,
             retries: self.retries - earlier.retries,
+            retransmission_bytes: self.retransmission_bytes - earlier.retransmission_bytes,
             buckets,
         }
     }
@@ -213,10 +239,10 @@ impl LatencyHistogram {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficSnapshot {
     /// Per-kind counters, indexed like [`MsgKind::ALL`].
-    pub kinds: [KindSnapshot; 5],
+    pub kinds: [KindSnapshot; NUM_KINDS],
     /// Per-kind simulated delivery latencies (empty for in-process
     /// dispatch), indexed like [`MsgKind::ALL`].
-    pub latency: [LatencyHistogram; 5],
+    pub latency: [LatencyHistogram; NUM_KINDS],
     /// Per-peer inserted postings.
     pub inserted_by_peer: Vec<u64>,
     /// Per-peer retrieved postings.
@@ -264,19 +290,29 @@ impl TrafficMeter {
     /// simulated-network backend calls this; all inputs are deterministic
     /// per message, and the histogram is a sum of per-message
     /// contributions (plus a max), so it is independent of recording
-    /// order — and therefore of thread count.
-    pub fn record_latency(&self, kind: MsgKind, latency_ns: u64, retries: u32) {
+    /// order — and therefore of thread count. `retransmission_bytes` is
+    /// the extra wire volume of the `retries` repeated attempts (the
+    /// logical byte meters never include it).
+    pub fn record_latency(
+        &self,
+        kind: MsgKind,
+        latency_ns: u64,
+        retries: u32,
+        retransmission_bytes: u64,
+    ) {
         let c = &self.latency[kind.slot()];
         c.samples.fetch_add(1, Ordering::Relaxed);
         c.total_ns.fetch_add(latency_ns, Ordering::Relaxed);
         c.max_ns.fetch_max(latency_ns, Ordering::Relaxed);
         c.retries.fetch_add(u64::from(retries), Ordering::Relaxed);
+        c.retransmission_bytes
+            .fetch_add(retransmission_bytes, Ordering::Relaxed);
         c.buckets[LatencyHistogram::bucket_of(latency_ns)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Copies all counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
-        let mut kinds = [KindSnapshot::default(); 5];
+        let mut kinds = [KindSnapshot::default(); NUM_KINDS];
         for (i, c) in self.kinds.iter().enumerate() {
             kinds[i] = KindSnapshot {
                 messages: c.messages.load(Ordering::Relaxed),
@@ -286,7 +322,7 @@ impl TrafficMeter {
                 hop_bytes: c.hop_bytes.load(Ordering::Relaxed),
             };
         }
-        let mut latency = [LatencyHistogram::default(); 5];
+        let mut latency = [LatencyHistogram::default(); NUM_KINDS];
         for (slot, c) in latency.iter_mut().zip(&self.latency) {
             let mut buckets = [0u64; LATENCY_BUCKETS];
             for (b, a) in buckets.iter_mut().zip(&c.buckets) {
@@ -297,6 +333,7 @@ impl TrafficMeter {
                 total_ns: c.total_ns.load(Ordering::Relaxed),
                 max_ns: c.max_ns.load(Ordering::Relaxed),
                 retries: c.retries.load(Ordering::Relaxed),
+                retransmission_bytes: c.retransmission_bytes.load(Ordering::Relaxed),
                 buckets,
             };
         }
@@ -362,7 +399,7 @@ impl TrafficSnapshot {
 
     /// Difference `self - earlier`, counter-wise (for per-phase costs).
     pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
-        let mut kinds = [KindSnapshot::default(); 5];
+        let mut kinds = [KindSnapshot::default(); NUM_KINDS];
         for (i, slot) in kinds.iter_mut().enumerate() {
             *slot = KindSnapshot {
                 messages: self.kinds[i].messages - earlier.kinds[i].messages,
@@ -372,7 +409,7 @@ impl TrafficSnapshot {
                 hop_bytes: self.kinds[i].hop_bytes - earlier.kinds[i].hop_bytes,
             };
         }
-        let mut latency = [LatencyHistogram::default(); 5];
+        let mut latency = [LatencyHistogram::default(); NUM_KINDS];
         for (i, slot) in latency.iter_mut().enumerate() {
             *slot = self.latency[i].since(&earlier.latency[i]);
         }
@@ -458,15 +495,16 @@ mod tests {
     fn latency_histogram_buckets_and_stats() {
         let m = TrafficMeter::new(1);
         assert!(m.snapshot().latency(MsgKind::QueryLookup).is_empty());
-        m.record_latency(MsgKind::QueryLookup, 0, 0);
-        m.record_latency(MsgKind::QueryLookup, 1_000, 1);
-        m.record_latency(MsgKind::QueryLookup, 1_500, 0);
-        m.record_latency(MsgKind::QueryLookup, 1 << 20, 2);
+        m.record_latency(MsgKind::QueryLookup, 0, 0, 0);
+        m.record_latency(MsgKind::QueryLookup, 1_000, 1, 44);
+        m.record_latency(MsgKind::QueryLookup, 1_500, 0, 0);
+        m.record_latency(MsgKind::QueryLookup, 1 << 20, 2, 88);
         let h = *m.snapshot().latency(MsgKind::QueryLookup);
         assert_eq!(h.samples, 4);
         assert_eq!(h.total_ns, 2_500 + (1 << 20));
         assert_eq!(h.max_ns, 1 << 20);
         assert_eq!(h.retries, 3);
+        assert_eq!(h.retransmission_bytes, 132, "retry bytes accumulate");
         assert_eq!(h.buckets[0], 1, "0 ns lands in the bottom bucket");
         assert_eq!(h.buckets[9], 1, "1000 ns -> [512, 1024)");
         assert_eq!(h.buckets[10], 1, "1500 ns -> [1024, 2048)");
@@ -484,7 +522,7 @@ mod tests {
         let b = TrafficMeter::new(2);
         a.record(MsgKind::IndexInsert, 0, 5, 20, 2);
         b.record(MsgKind::IndexInsert, 0, 5, 20, 2);
-        b.record_latency(MsgKind::IndexInsert, 777, 0);
+        b.record_latency(MsgKind::IndexInsert, 777, 0, 0);
         let (sa, sb) = (a.snapshot(), b.snapshot());
         assert_ne!(sa, sb, "latency differs");
         assert!(sa.same_counts(&sb), "counts are the backend contract");
@@ -495,14 +533,15 @@ mod tests {
     #[test]
     fn since_subtracts_latency_histograms() {
         let m = TrafficMeter::new(1);
-        m.record_latency(MsgKind::Maintenance, 100, 1);
+        m.record_latency(MsgKind::Maintenance, 100, 1, 64);
         let before = m.snapshot();
-        m.record_latency(MsgKind::Maintenance, 300, 0);
+        m.record_latency(MsgKind::Maintenance, 300, 0, 0);
         let d = m.snapshot().since(&before);
         let h = d.latency(MsgKind::Maintenance);
         assert_eq!(h.samples, 1);
         assert_eq!(h.total_ns, 300);
         assert_eq!(h.retries, 0);
+        assert_eq!(h.retransmission_bytes, 0, "since() subtracts retry bytes");
     }
 
     #[test]

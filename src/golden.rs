@@ -76,7 +76,18 @@ pub fn golden_report_lines_with(backend: BackendConfig) -> Vec<String> {
         report.counts.total_keys(),
         report.counts.total_postings()
     ));
-    for kind in MsgKind::ALL {
+    // The snapshot predates the replication subsystem: `MsgKind::Repair`
+    // is structurally zero in this no-churn `R = 1` scenario, so the
+    // golden file pins the five original categories and stays byte-stable
+    // (`golden_report_is_replication_clean` in `tests/golden_report.rs`
+    // asserts the exclusion is vacuous).
+    for kind in [
+        MsgKind::IndexInsert,
+        MsgKind::IndexNotify,
+        MsgKind::QueryLookup,
+        MsgKind::QueryResponse,
+        MsgKind::Maintenance,
+    ] {
         let k = report.traffic.kind(kind);
         lines.push(format!(
             "traffic {:?}: messages={} postings={} bytes={} hops={}",

@@ -96,6 +96,19 @@ fn simnet_backend_reproduces_golden_counts_with_nonzero_latency() {
 }
 
 #[test]
+fn golden_report_is_replication_clean() {
+    // The golden snapshot excludes the Repair category (it predates the
+    // replication subsystem); this guards that the exclusion is vacuous —
+    // an R=1 build without churn never produces repair traffic — so the
+    // golden file keeps pinning *all* nonzero counters.
+    let network = golden_network(&golden_collection());
+    let repair = network.snapshot().kind(MsgKind::Repair);
+    assert_eq!(repair.messages, 0);
+    assert_eq!(repair.postings, 0);
+    assert_eq!(repair.bytes, 0);
+}
+
+#[test]
 fn resident_storage_beats_decoded_baseline_3x() {
     let network = golden_network(&golden_collection());
     let storage = network.index().storage_per_peer();

@@ -180,6 +180,92 @@ fn churn_interleaved_with_queries_is_thread_invariant() {
 }
 
 #[test]
+fn churn_with_failures_is_thread_invariant() {
+    // Churn in BOTH directions interleaved with parallel query batches on
+    // a replicated (R=2) network: a join wave, a graceful departure, a
+    // crash + repair — every observable (reports, loss/repair stats,
+    // traffic counters incl. the Repair category, query top-k) must be
+    // bit-identical whatever RAYON_NUM_THREADS says.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = collection(515);
+    let log = QueryLog::generate(
+        &c,
+        &QueryLogConfig {
+            num_queries: 20,
+            ..QueryLogConfig::default()
+        },
+    );
+    let run = || {
+        let mut network = HdkNetwork::build(
+            &c.prefix(400),
+            &partition_documents(400, 6, 13),
+            HdkConfig {
+                dfmax: 14,
+                ff: u64::MAX,
+                replication: 2,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        let mut topk: Vec<Vec<SearchResult>> = Vec::new();
+        let batch_round = |network: &HdkNetwork| {
+            let ids: Vec<PeerId> = network.peers().iter().map(|p| p.id).collect();
+            let batch: Vec<(PeerId, &[TermId])> = log
+                .queries
+                .iter()
+                .map(|q| (ids[q.id as usize % ids.len()], q.terms.as_slice()))
+                .collect();
+            network
+                .query_batch(&batch, 20)
+                .into_iter()
+                .map(|o| o.results)
+                .collect::<Vec<_>>()
+        };
+        topk.extend(batch_round(&network));
+        // Grow: two peers join with the remaining documents.
+        let docs: Vec<Document> = (400..515).map(|i| c.docs()[i].clone()).collect();
+        let (a, b) = docs.split_at(60);
+        let migrations =
+            network.join_peers(vec![(PeerId(700), a.to_vec()), (PeerId(701), b.to_vec())]);
+        topk.extend(batch_round(&network));
+        // Shrink gracefully, query the degraded-placement network.
+        let handovers = network.leave_peers(vec![PeerId(1)]);
+        topk.extend(batch_round(&network));
+        // Crash + query during degradation + repair + query again.
+        let loss = network.fail_peers(vec![PeerId(3)]);
+        assert_eq!(loss.keys_lost, 0, "R=2 must survive a single crash");
+        topk.extend(batch_round(&network));
+        let repair = network.repair();
+        assert!(repair.copies > 0);
+        topk.extend(batch_round(&network));
+        (
+            network.build_report(),
+            network.snapshot(),
+            topk,
+            (migrations, handovers, loss, repair),
+        )
+    };
+
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run();
+    std::env::remove_var("RAYON_NUM_THREADS"); // default pool size
+    let parallel = run();
+    if let Some(v) = prev {
+        std::env::set_var("RAYON_NUM_THREADS", v);
+    }
+
+    assert_eq!(serial.0.inserted_by_size, parallel.0.inserted_by_size);
+    assert_eq!(serial.0.stored_per_peer, parallel.0.stored_per_peer);
+    assert_eq!(serial.0.counts, parallel.0.counts);
+    assert_eq!(serial.1, parallel.1, "traffic snapshot diverged");
+    assert_eq!(serial.2, parallel.2, "query top-k diverged");
+    assert_eq!(serial.3, parallel.3, "churn statistics diverged");
+    // Non-vacuity: repair traffic flowed in its own category.
+    assert!(serial.1.kind(MsgKind::Repair).messages > 0);
+}
+
+#[test]
 fn long_queries_with_deep_lattice_are_thread_invariant() {
     // The intra-query parallel fan-out (plan/execute pipeline): long
     // queries (>= 6 distinct terms) at the deepest legal smax produce wide
