@@ -1,13 +1,17 @@
 //! Memory-footprint report: resident posting-storage bytes per peer,
-//! compressed blocks vs the decoded `Vec<Posting>` baseline.
+//! compressed blocks vs the decoded `Vec<Posting>` baseline, plus the
+//! hot/on-disk split when the tiered segment store is selected
+//! (`HDK_STORE=segment[:<hot bytes>]`).
 //!
 //! One table per sweep point and `DFmax`. CI's bench-smoke job runs
 //! `--peers 4 --docs-per-peer 150 --queries 0` as a fast regression check;
-//! defaults reproduce the full growth sweep.
+//! defaults reproduce the full growth sweep. Under a memory-budgeted
+//! tiered build the run *asserts* the budget: resident bytes must stay
+//! under the configured hot-tier limit, with the remainder sealed to disk.
 
 use hdk_bench::memory::MemoryFootprint;
 use hdk_bench::ExperimentProfile;
-use hdk_core::HdkNetwork;
+use hdk_core::{HdkNetwork, StoreConfig};
 use hdk_corpus::{partition_documents, CollectionGenerator};
 
 fn main() {
@@ -18,16 +22,14 @@ fn main() {
         let collection = full.prefix(docs);
         let partitions = partition_documents(docs, peers, profile.seed ^ peers as u64);
         for &dfmax in &profile.dfmax_values {
-            let network = HdkNetwork::build(
-                &collection,
-                &partitions,
-                profile.hdk_config(dfmax),
-                profile.overlay,
-            );
+            let config = profile.hdk_config(dfmax);
+            let store = config.store.clone();
+            let network = HdkNetwork::build(&collection, &partitions, config, profile.overlay);
             let footprint = MemoryFootprint::measure(&network);
             eprintln!(
-                "[memfoot] peers={peers} docs={docs} dfmax={dfmax}: resident {} B vs decoded {} B ({:.2}x)",
+                "[memfoot] peers={peers} docs={docs} dfmax={dfmax}: resident {} B + sealed {} B vs decoded {} B ({:.2}x)",
                 footprint.resident_total(),
+                footprint.sealed_total(),
                 footprint.baseline_total(),
                 footprint.improvement()
             );
@@ -39,6 +41,18 @@ fn main() {
                 "resident storage regression: only {:.2}x better than decoded baseline",
                 footprint.improvement()
             );
+            match store {
+                StoreConfig::Memory => assert_eq!(
+                    footprint.sealed_total(),
+                    0,
+                    "the in-memory store sealed frames to disk?"
+                ),
+                StoreConfig::Segment { hot_bytes, .. } => assert!(
+                    footprint.resident_total() <= hot_bytes,
+                    "memory budget violated: {} resident bytes > {hot_bytes}",
+                    footprint.resident_total()
+                ),
+            }
         }
     }
 }

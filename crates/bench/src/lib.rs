@@ -10,7 +10,7 @@
 //! * [`runner`] — the shared network-growth sweep that measures everything
 //!   Figures 3–7 plot,
 //! * [`memory`] — the resident posting-storage footprint report
-//!   (compressed blocks vs the decoded baseline),
+//!   (compressed blocks vs the decoded baseline, hot vs sealed tiers),
 //! * [`latency`] — the `SimNet` latency sweep (one scenario over
 //!   LAN / WAN / lossy-WAN network models),
 //! * [`availability`] — the replication/churn study (vary `R`, kill
@@ -19,8 +19,9 @@
 //!
 //! Binaries (`cargo run -p hdk-bench --release --bin <name>`): `table1`,
 //! `table2`, `fig3`–`fig8`, `theory`, `experiments` (all of the above in
-//! one run), `memfoot`, `latency_sweep`, `availability`, `ablate_window`,
-//! `ablate_redundancy`, `ablate_dfmax`, `ablate_overlay`.
+//! one run), `memfoot`, `latency_sweep`, `availability`, `restart_study`
+//! (segment-log crash-restart recovery, asserted bit-identical),
+//! `ablate_window`, `ablate_redundancy`, `ablate_dfmax`, `ablate_overlay`.
 
 pub mod availability;
 pub mod figures;

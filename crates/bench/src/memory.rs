@@ -6,6 +6,11 @@
 //! compressed blocks plus `df` doc-sets) against what the same state would
 //! occupy decoded (`Vec<Posting>` at 12 B/posting plus 4 B per tracked doc
 //! id — the representation before the one-format-everywhere refactor).
+//!
+//! Under the tiered store the report also splits hot from cold: the
+//! `sealed_B` column counts each peer's live sealed segment frames on
+//! disk, so `resident_B + sealed_B` is the peer's full storage volume and
+//! `resident_B` alone is what the hot-tier budget bounds.
 
 use crate::report::{fnum, Table};
 use hdk_core::{HdkNetwork, PeerStorage};
@@ -30,6 +35,12 @@ impl MemoryFootprint {
         self.per_peer.iter().map(PeerStorage::resident_bytes).sum()
     }
 
+    /// Total sealed segment-frame bytes on disk across peers (0 on the
+    /// in-memory store, where every entry stays hot).
+    pub fn sealed_total(&self) -> u64 {
+        self.per_peer.iter().map(|s| s.sealed_bytes).sum()
+    }
+
     /// Total decoded-baseline bytes across peers.
     pub fn baseline_total(&self) -> u64 {
         self.per_peer
@@ -52,6 +63,7 @@ impl MemoryFootprint {
                 "postings",
                 "resident_B",
                 "docset_B",
+                "sealed_B",
                 "decoded_B",
                 "ratio",
             ],
@@ -62,6 +74,7 @@ impl MemoryFootprint {
                 s.postings.to_string(),
                 s.resident_bytes().to_string(),
                 s.docset_bytes.to_string(),
+                s.sealed_bytes.to_string(),
                 s.decoded_baseline_bytes().to_string(),
                 fnum(s.decoded_baseline_bytes() as f64 / s.resident_bytes().max(1) as f64),
             ]);
@@ -79,6 +92,7 @@ impl MemoryFootprint {
                 .map(|s| s.docset_bytes)
                 .sum::<u64>()
                 .to_string(),
+            self.sealed_total().to_string(),
             self.baseline_total().to_string(),
             fnum(self.improvement()),
         ]);
@@ -122,9 +136,44 @@ mod tests {
             "compressed residency should clearly beat 12 B/posting, got {:.2}x",
             f.improvement()
         );
-        // Matches the index's own accounting hook.
+        // Matches the index's own accounting hook; nothing is sealed on
+        // the in-memory default.
         assert_eq!(f.resident_total(), n.index().resident_posting_bytes());
+        assert_eq!(f.sealed_total(), 0);
         let table = f.table("unit_memfoot");
         assert_eq!(table.len(), 5, "4 peers + total row");
+    }
+
+    #[test]
+    fn tiered_footprint_splits_hot_from_sealed_and_obeys_the_budget() {
+        let c = CollectionGenerator::new(GeneratorConfig {
+            num_docs: 240,
+            vocab_size: 2_000,
+            avg_doc_len: 50,
+            num_topics: 20,
+            topic_vocab: 50,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let parts = partition_documents(c.len(), 4, 5);
+        let hot_bytes = 1 << 15;
+        let n = HdkNetwork::build(
+            &c,
+            &parts,
+            HdkConfig {
+                dfmax: 15,
+                ff: 2_000,
+                store: hdk_core::StoreConfig::segment(hot_bytes),
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        let f = MemoryFootprint::measure(&n);
+        assert!(f.resident_total() <= hot_bytes, "hot tier over budget");
+        assert!(
+            f.sealed_total() > 0,
+            "nothing spilled under a 32 KiB budget"
+        );
+        assert_eq!(f.sealed_total(), n.index().sealed_segment_bytes());
     }
 }

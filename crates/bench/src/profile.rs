@@ -155,6 +155,7 @@ impl ExperimentProfile {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            store: hdk_core::StoreConfig::from_env(),
         }
     }
 

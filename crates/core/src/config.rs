@@ -1,6 +1,67 @@
-//! Model parameters (paper, Table 2 and Section 3.1).
+//! Model parameters (paper, Table 2 and Section 3.1) and the storage-tier
+//! selection for the hosting peers' index fractions.
 
 use crate::key::MAX_KEY_SIZE;
+use std::path::PathBuf;
+
+/// Hot-tier budget used by `HDK_STORE=segment` when no explicit byte
+/// count is given (1 MiB across all stripes).
+pub const DEFAULT_SEGMENT_HOT_BYTES: u64 = 1 << 20;
+
+/// Which storage backend hosts the DHT's index entries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StoreConfig {
+    /// Everything resident in the in-memory stripe maps — the default,
+    /// bit-identical to the pre-tiering engine.
+    #[default]
+    Memory,
+    /// The tiered store: a hot uncompressed-budgeted tier in memory plus
+    /// sealed, checksummed frames appended to per-stripe segment files on
+    /// disk. Makes peers restartable (`IndexService::restart_peers`).
+    Segment {
+        /// Segment-log directory. `None` = a scratch directory removed
+        /// when the store drops (builds that only need the memory budget);
+        /// `Some(dir)` = durable logs that survive the process.
+        dir: Option<PathBuf>,
+        /// Total hot-tier byte budget, split evenly across the DHT's
+        /// stripes. Entries beyond it are sealed to disk, oldest first.
+        hot_bytes: u64,
+    },
+}
+
+impl StoreConfig {
+    /// An ephemeral tiered store with the given hot budget.
+    pub fn segment(hot_bytes: u64) -> Self {
+        Self::Segment {
+            dir: None,
+            hot_bytes,
+        }
+    }
+
+    /// Reads the backend selection from the `HDK_STORE` environment
+    /// variable: `memory` (or unset) for the in-memory default, `segment`
+    /// for the tiered store at [`DEFAULT_SEGMENT_HOT_BYTES`], or
+    /// `segment:<bytes>` for an explicit hot budget — how CI runs the
+    /// whole tier-1 suite against the tiered backend without touching any
+    /// test.
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value (a misspelled matrix entry must
+    /// fail loudly, not silently fall back to memory).
+    pub fn from_env() -> Self {
+        match std::env::var("HDK_STORE") {
+            Err(_) => Self::Memory,
+            Ok(v) if v.is_empty() || v == "memory" => Self::Memory,
+            Ok(v) if v == "segment" => Self::segment(DEFAULT_SEGMENT_HOT_BYTES),
+            Ok(v) => match v.strip_prefix("segment:").map(str::parse) {
+                Some(Ok(hot_bytes)) => Self::segment(hot_bytes),
+                _ => {
+                    panic!("HDK_STORE must be `memory`, `segment` or `segment:<bytes>`, got {v:?}")
+                }
+            },
+        }
+    }
+}
 
 /// Parameters of the HDK indexing/retrieval model.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +96,10 @@ pub struct HdkConfig {
     /// up to `R - 1` simultaneous peer crashes between repair sweeps at
     /// `R×` insert traffic and storage.
     pub replication: usize,
+    /// Storage backend for the hosted index fractions. The constructors
+    /// read it from the `HDK_STORE` environment variable
+    /// ([`StoreConfig::from_env`]), defaulting to the in-memory store.
+    pub store: StoreConfig,
 }
 
 impl HdkConfig {
@@ -49,6 +114,7 @@ impl HdkConfig {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            store: StoreConfig::from_env(),
         }
     }
 
@@ -95,6 +161,7 @@ impl HdkConfig {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            store: StoreConfig::from_env(),
         }
     }
 }
@@ -111,6 +178,7 @@ impl Default for HdkConfig {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            store: StoreConfig::from_env(),
         }
     }
 }
@@ -133,6 +201,18 @@ mod tests {
     #[test]
     fn default_validates() {
         HdkConfig::default().validate();
+    }
+
+    #[test]
+    fn store_config_defaults_to_memory() {
+        assert_eq!(StoreConfig::default(), StoreConfig::Memory);
+        assert_eq!(
+            StoreConfig::segment(4096),
+            StoreConfig::Segment {
+                dir: None,
+                hot_bytes: 4096
+            }
+        );
     }
 
     #[test]

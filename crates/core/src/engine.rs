@@ -28,8 +28,8 @@
 //! via [`HdkNetwork::query_service`] / [`HdkNetwork::index_service`] or
 //! [`HdkNetwork::into_services`].
 
-use crate::config::HdkConfig;
-use crate::global_index::{GlobalIndex, IndexStore};
+use crate::config::{HdkConfig, StoreConfig};
+use crate::global_index::{build_entry_store, GlobalIndex, IndexStore};
 use crate::key::Key;
 use crate::local_indexer::LocalPeer;
 use crate::stats::BuildReport;
@@ -82,18 +82,35 @@ impl BackendConfig {
         overlay: Box<dyn Overlay>,
         dfmax: u32,
         replication: usize,
+        store: &StoreConfig,
     ) -> Box<dyn hdk_p2p::NetworkBackend<IndexStore>> {
-        match self {
-            BackendConfig::InProc => Box::new(InProc::replicated(
+        // `None` = the DHT's in-memory default (bit-identical to the
+        // pre-tiering engine); `Some` = a tiered segment store.
+        let entry_store = build_entry_store(store);
+        match (self, entry_store) {
+            (BackendConfig::InProc, None) => Box::new(InProc::replicated(
                 overlay,
                 IndexStore::new(dfmax),
                 replication,
             )),
-            BackendConfig::SimNet(config) => Box::new(SimNet::replicated(
+            (BackendConfig::InProc, Some(entries)) => Box::new(InProc::with_store(
+                overlay,
+                IndexStore::new(dfmax),
+                replication,
+                entries,
+            )),
+            (BackendConfig::SimNet(config), None) => Box::new(SimNet::replicated(
                 overlay,
                 IndexStore::new(dfmax),
                 config,
                 replication,
+            )),
+            (BackendConfig::SimNet(config), Some(entries)) => Box::new(SimNet::with_store(
+                overlay,
+                IndexStore::new(dfmax),
+                config,
+                replication,
+                entries,
             )),
         }
     }
@@ -487,6 +504,51 @@ impl IndexService {
         self.core.index.write().repair()
     }
 
+    /// A wave of peers restarts in place: each loses its hot (in-memory)
+    /// tier and replays its own segment log — host-local disk I/O, never
+    /// a message — then **one** repair sweep closes whatever gap the logs
+    /// could not cover (unsealed hot entries, checksum-discarded corrupt
+    /// tails). Over a tiered store ([`StoreConfig::Segment`]) that was
+    /// synced ([`IndexService::sync_storage`]), restart + repair
+    /// reproduces the pre-restart index bit for bit; on the in-memory
+    /// default a restart degrades to a crash, and the repair restores
+    /// what surviving replicas hold.
+    ///
+    /// Both phases run under one index write lock — no query observes the
+    /// half-recovered state — and the epoch bumps afterwards so caches
+    /// drop entries the restart may have invalidated.
+    ///
+    /// # Panics
+    /// Panics when a restarting peer is not live (dead peers rejoin via
+    /// [`IndexService::join_peers`]; they do not restart in place).
+    pub fn restart_peers(
+        &mut self,
+        peers: &[PeerId],
+    ) -> (hdk_p2p::RecoveryStats, hdk_p2p::RepairStats) {
+        if peers.is_empty() {
+            return Default::default();
+        }
+        let outcome = {
+            let mut index = self.core.index.write();
+            let recovery = index.restart_peers(peers);
+            let repair = index.repair();
+            (recovery, repair)
+        };
+        // Content may have changed (hot-tier copies lost, repaired from
+        // replicas): caches must not serve pre-restart entries. No
+        // session ran, so the round count is unchanged.
+        let rounds = self.core.rounds_run.load(Ordering::Acquire);
+        self.core.publish_growth(0, 0, rounds);
+        outcome
+    }
+
+    /// Seals every hot entry to the segment logs — the graceful-shutdown
+    /// flush that makes a following [`IndexService::restart_peers`]
+    /// lossless. No-op on the in-memory store. Host-local, unmetered.
+    pub fn sync_storage(&self) {
+        self.core.index.read().sync_storage();
+    }
+
     /// Validates a departure wave and picks the custodian: the
     /// smallest-id surviving peer (deterministic).
     fn departure_custodian(&self, departing: &[PeerId]) -> PeerId {
@@ -718,7 +780,12 @@ impl HdkNetwork {
             .collect();
 
         let index = GlobalIndex::with_backend(
-            backend.build(overlay.build(peer_ids), config.dfmax, config.replication),
+            backend.build(
+                overlay.build(peer_ids),
+                config.dfmax,
+                config.replication,
+                &config.store,
+            ),
             config.dfmax,
         );
         let coll_stats = collection.stats();
@@ -801,6 +868,19 @@ impl HdkNetwork {
     /// See [`IndexService::repair`].
     pub fn repair(&mut self) -> hdk_p2p::RepairStats {
         self.indexer.repair()
+    }
+
+    /// See [`IndexService::restart_peers`].
+    pub fn restart_peers(
+        &mut self,
+        peers: &[PeerId],
+    ) -> (hdk_p2p::RecoveryStats, hdk_p2p::RepairStats) {
+        self.indexer.restart_peers(peers)
+    }
+
+    /// See [`IndexService::sync_storage`].
+    pub fn sync_storage(&self) {
+        self.indexer.sync_storage();
     }
 
     /// The model configuration.

@@ -34,11 +34,13 @@
 //! [`CompressedDocSet`] in place of the former `HashSet<u32>`.
 
 use crate::classify::{classify, KeyClass};
+use crate::config::StoreConfig;
 use crate::key::{Key, MAX_KEY_SIZE};
-use hdk_ir::{CompressedDocSet, CompressedPostings, Posting, PostingList};
+use hdk_ir::{Bytes, CompressedDocSet, CompressedPostings, Posting, PostingList};
 use hdk_p2p::{
     Addressed, Dht, InProc, LossStats, Membership, NetworkBackend, Notification, Overlay, PeerId,
-    RepairStats, Request, Response, StoreService, TrafficSnapshot,
+    RecoveryStats, RepairStats, Request, Response, SegmentStore, Store, StoreCodec, StoreService,
+    Tier, TrafficSnapshot,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -187,6 +189,132 @@ impl StoreService for IndexStore {
             entry.postings.len() as u64,
             entry.postings.encoded_len() as u64,
         )
+    }
+}
+
+/// Segment-frame codec for [`KeyEntry`]: the canonical byte encoding a
+/// sealed entry occupies in a per-stripe segment file, and the hot-tier
+/// weight budget enforcement charges it.
+///
+/// The weight is **exactly** the resident-byte measure the engine reports
+/// ([`GlobalIndex::resident_posting_bytes`]): the encoded posting block
+/// plus the encoded `df` doc-set. Budget enforcement and memory reporting
+/// therefore agree byte for byte — a build under budget *measures* under
+/// budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyEntryCodec;
+
+impl StoreCodec<KeyEntry> for KeyEntryCodec {
+    fn encode(&self, entry: &KeyEntry, out: &mut Vec<u8>) {
+        out.push(entry.key.size() as u8);
+        for term in entry.key.terms() {
+            out.extend_from_slice(&term.0.to_le_bytes());
+        }
+        let block = entry.postings.as_bytes();
+        out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+        out.extend_from_slice(block);
+        out.extend_from_slice(&entry.df.to_le_bytes());
+        out.extend_from_slice(&(entry.contributors.len() as u32).to_le_bytes());
+        for peer in &entry.contributors {
+            out.extend_from_slice(&peer.0.to_le_bytes());
+        }
+        out.push(u8::from(entry.is_ndk));
+        match &entry.seen_docs {
+            None => out.push(0),
+            Some(set) => {
+                out.push(1);
+                let block = set.as_bytes();
+                out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+                out.extend_from_slice(block);
+            }
+        }
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Option<KeyEntry> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let end = pos.checked_add(n)?;
+            let slice = bytes.get(*pos..end)?;
+            *pos = end;
+            Some(slice)
+        };
+        let read_u32 = |pos: &mut usize| -> Option<u32> {
+            take(pos, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        };
+        let size = usize::from(*take(&mut pos, 1)?.first()?);
+        if !(1..=MAX_KEY_SIZE).contains(&size) {
+            return None;
+        }
+        let mut terms = Vec::with_capacity(size);
+        for _ in 0..size {
+            terms.push(hdk_text::TermId(read_u32(&mut pos)?));
+        }
+        let key = Key::from_terms(&terms)?;
+        let block_len = read_u32(&mut pos)? as usize;
+        let postings =
+            CompressedPostings::from_bytes(Bytes::from(take(&mut pos, block_len)?.to_vec()))?;
+        let df = read_u32(&mut pos)?;
+        let n_contributors = read_u32(&mut pos)? as usize;
+        let mut contributors = Vec::with_capacity(n_contributors.min(bytes.len() / 8));
+        for _ in 0..n_contributors {
+            let raw = take(&mut pos, 8)?;
+            contributors.push(PeerId(u64::from_le_bytes(raw.try_into().expect("8 bytes"))));
+        }
+        let is_ndk = match *take(&mut pos, 1)?.first()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let seen_docs = match *take(&mut pos, 1)?.first()? {
+            0 => None,
+            1 => {
+                let set_len = read_u32(&mut pos)? as usize;
+                Some(CompressedDocSet::from_bytes(Bytes::from(
+                    take(&mut pos, set_len)?.to_vec(),
+                ))?)
+            }
+            _ => return None,
+        };
+        if pos != bytes.len() {
+            return None; // trailing garbage
+        }
+        Some(KeyEntry {
+            key,
+            postings,
+            df,
+            contributors,
+            is_ndk,
+            seen_docs,
+        })
+    }
+
+    fn weight(&self, entry: &KeyEntry) -> u64 {
+        entry.postings.encoded_len() as u64
+            + entry
+                .seen_docs
+                .as_ref()
+                .map_or(0, |s| s.encoded_len() as u64)
+    }
+}
+
+/// Builds the entry-storage backend a [`StoreConfig`] selects: `None`
+/// means the DHT's in-memory default (bit-identical to the pre-tiering
+/// engine), `Some` is a tiered [`SegmentStore`] over [`KeyEntryCodec`].
+pub fn build_entry_store(config: &StoreConfig) -> Option<Box<dyn Store<KeyEntry>>> {
+    match config {
+        StoreConfig::Memory => None,
+        StoreConfig::Segment {
+            dir: None,
+            hot_bytes,
+        } => Some(Box::new(SegmentStore::ephemeral(KeyEntryCodec, *hot_bytes))),
+        StoreConfig::Segment {
+            dir: Some(dir),
+            hot_bytes,
+        } => Some(Box::new(SegmentStore::at_dir(
+            KeyEntryCodec,
+            dir.clone(),
+            *hot_bytes,
+        ))),
     }
 }
 
@@ -569,6 +697,28 @@ impl GlobalIndex {
         }
     }
 
+    /// A restart wave ([`Request::Restart`]): each peer loses its hot
+    /// (in-memory) tier and replays its own on-disk segment log —
+    /// host-local disk I/O, never a message. Only meaningful over a
+    /// tiered store ([`StoreConfig::Segment`]); on the in-memory default
+    /// a restart simply loses the peers' copies, like a crash. Run
+    /// [`GlobalIndex::repair`] afterwards to close any recovery gap.
+    pub fn restart_peers(&mut self, peers: &[PeerId]) -> RecoveryStats {
+        self.backend.restart(peers)
+    }
+
+    /// Seals every hot entry to the segment logs (a graceful shutdown's
+    /// flush). No-op on the in-memory store. Host-local, unmetered.
+    pub fn sync_storage(&self) {
+        self.dht().sync_storage();
+    }
+
+    /// Live bytes in the on-disk segment tier, summed over every sealed
+    /// frame at every holder (0 on the in-memory store).
+    pub fn sealed_segment_bytes(&self) -> u64 {
+        self.dht().disk_bytes()
+    }
+
     /// The network's peer-liveness view.
     pub fn membership(&self) -> &Membership {
         self.dht().membership()
@@ -604,9 +754,12 @@ impl GlobalIndex {
         })
     }
 
-    /// Per-peer resident storage composition — the memory-footprint
-    /// analogue of Figure 3's per-peer posting volumes, resolved per
-    /// holder like [`GlobalIndex::stored_postings_per_peer`]. Swept
+    /// Per-peer storage composition — the memory-footprint analogue of
+    /// Figure 3's per-peer posting volumes, resolved per holder like
+    /// [`GlobalIndex::stored_postings_per_peer`] and split by tier:
+    /// posting/doc-set counts cover both tiers (the *content* a peer
+    /// hosts), resident byte fields cover only the hot tier, and sealed
+    /// frames land in [`PeerStorage::sealed_bytes`]. Swept
     /// stripe-parallel; per-peer sums are order-independent.
     pub fn storage_per_peer(&self) -> Vec<PeerStorage> {
         let dht = self.dht();
@@ -615,14 +768,23 @@ impl GlobalIndex {
             .into_par_iter()
             .map(|stripe| {
                 let mut totals = vec![PeerStorage::default(); peers];
-                dht.for_each_stripe_held(stripe, |holders, _, e| {
+                dht.for_each_stripe_tiered(stripe, |holders, _, e, tier| {
                     for &h in holders {
                         let t = &mut totals[h as usize];
                         t.postings += e.postings.len() as u64;
-                        t.posting_bytes += e.postings.encoded_len() as u64;
                         if let Some(s) = &e.seen_docs {
                             t.docset_docs += s.len() as u64;
-                            t.docset_bytes += s.encoded_len() as u64;
+                        }
+                        match tier {
+                            Tier::Hot => {
+                                t.posting_bytes += e.postings.encoded_len() as u64;
+                                if let Some(s) = &e.seen_docs {
+                                    t.docset_bytes += s.encoded_len() as u64;
+                                }
+                            }
+                            Tier::Sealed { frame_bytes } => {
+                                t.sealed_bytes += frame_bytes;
+                            }
                         }
                     }
                 });
@@ -637,6 +799,7 @@ impl GlobalIndex {
                     a.posting_bytes += t.posting_bytes;
                     a.docset_docs += t.docset_docs;
                     a.docset_bytes += t.docset_bytes;
+                    a.sealed_bytes += t.sealed_bytes;
                 }
                 acc
             })
@@ -652,21 +815,26 @@ impl std::fmt::Debug for GlobalIndex {
     }
 }
 
-/// One peer's resident index storage, in exact encoded bytes.
+/// One peer's index storage, in exact encoded bytes, split by tier:
+/// counts cover everything the peer hosts, `*_bytes` cover the hot
+/// (in-memory) tier, `sealed_bytes` the on-disk segment tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PeerStorage {
-    /// Stored postings (post-truncation), Figure 3's count.
+    /// Stored postings (post-truncation), Figure 3's count — both tiers.
     pub postings: u64,
-    /// Bytes of the resident posting blocks.
+    /// Bytes of the hot-resident posting blocks.
     pub posting_bytes: u64,
-    /// Documents tracked in `df` doc-sets (NDK entries only).
+    /// Documents tracked in `df` doc-sets (NDK entries only) — both tiers.
     pub docset_docs: u64,
-    /// Bytes of the resident doc-sets.
+    /// Bytes of the hot-resident doc-sets.
     pub docset_bytes: u64,
+    /// Bytes of this peer's live sealed segment frames on disk (0 on the
+    /// in-memory store, where everything is hot).
+    pub sealed_bytes: u64,
 }
 
 impl PeerStorage {
-    /// Everything this peer keeps resident for posting storage.
+    /// Everything this peer keeps resident in memory for posting storage.
     pub fn resident_bytes(&self) -> u64 {
         self.posting_bytes + self.docset_bytes
     }

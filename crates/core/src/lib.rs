@@ -56,11 +56,12 @@ pub mod window_keys;
 
 pub use cache::{CachePeek, CacheStats, QueryCache};
 pub use classify::{classify, KeyClass};
-pub use config::HdkConfig;
+pub use config::{HdkConfig, StoreConfig, DEFAULT_SEGMENT_HOT_BYTES};
 pub use engine::{BackendConfig, HdkNetwork, IndexService, OverlayKind, QueryService};
 pub use exec::{QueryExecutor, QueryOutcome};
 pub use global_index::{
-    GlobalIndex, IndexBackend, IndexCounts, IndexStore, KeyEntry, KeyLookup, PeerStorage,
+    build_entry_store, GlobalIndex, IndexBackend, IndexCounts, IndexStore, KeyEntry, KeyEntryCodec,
+    KeyLookup, PeerStorage,
 };
 pub use key::{Key, MAX_KEY_SIZE};
 pub use local_indexer::LocalPeer;

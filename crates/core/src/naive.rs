@@ -40,6 +40,7 @@ impl SingleTermNetwork {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            store: crate::config::StoreConfig::from_env(),
         };
         Self {
             inner: HdkNetwork::build(collection, partitions, config, overlay),

@@ -143,6 +143,7 @@ proptest! {
             // R can exceed the peer count: placement caps at the live
             // population, and the backends must still agree.
             replication,
+            store: hdk_core::StoreConfig::from_env(),
         };
         // The acceptance configuration: zero latency, zero drop.
         check_equivalent(&collection, &queries, &config, peers, SimNetConfig::zero())?;

@@ -1,13 +1,18 @@
 //! Property test: churn in both directions converges.
 //!
 //! Any interleaving of `join_peers` (growth), `leave_peers` (graceful
-//! departure) and `fail_peers` + repair (crash recovery) over a live
-//! `R = 2` network must end bit-identical — index content, query top-k
-//! score bits — to a static build over the surviving corpus (which, since
-//! graceful leavers hand everything over and single crashes between
-//! repairs destroy no content at `R = 2`, is the full corpus every wave
-//! contributed). Both backends run the identical churn program and must
-//! agree with each other on every traffic *count* as well.
+//! departure), `fail_peers` + repair (crash recovery) and `restart_peers`
+//! (in-place restart: hot state lost, segment logs replayed, one repair)
+//! over a live `R = 2` network must end bit-identical — index content,
+//! query top-k score bits — to a static build over the surviving corpus
+//! (which, since graceful leavers hand everything over and single
+//! crashes/restarts between repairs destroy no content at `R = 2`, is the
+//! full corpus every wave contributed). Both backends run the identical
+//! churn program and must agree with each other on every traffic *count*
+//! as well — including `MsgKind::Repair`, which pins the deterministic
+//! hash-spread choice of each repair copy's source replica: if source
+//! selection depended on scheduling or backend internals, the per-peer
+//! repair counts would diverge here.
 
 use hdk_core::{BackendConfig, HdkConfig, HdkNetwork, IndexService, OverlayKind, QueryService};
 use hdk_corpus::{Collection, DocId, Document};
@@ -46,12 +51,15 @@ enum Op {
     Leave(u8),
     /// One live peer crashes; the repair sweep runs right after.
     FailRepair(u8),
+    /// One live peer restarts in place: hot state gone, segment log
+    /// replayed (a plain crash on the in-memory store), one repair.
+    Restart(u8),
 }
 
 /// Ops travel as `(kind, argument)` bytes (the vendored proptest shim has
 /// no `prop_oneof`); [`decode`] maps them onto [`Op`]s.
 fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8)>> {
-    prop::collection::vec((0u8..3, 0u8..8), 2..6)
+    prop::collection::vec((0u8..4, 0u8..8), 2..6)
 }
 
 fn decode(raw: &[(u8, u8)]) -> Vec<Op> {
@@ -59,7 +67,8 @@ fn decode(raw: &[(u8, u8)]) -> Vec<Op> {
         .map(|&(kind, arg)| match kind {
             0 => Op::Join(1 + arg % 2),
             1 => Op::Leave(arg),
-            _ => Op::FailRepair(arg),
+            2 => Op::FailRepair(arg),
+            _ => Op::Restart(arg),
         })
         .collect()
 }
@@ -113,6 +122,19 @@ fn run_program(
                 );
                 indexer.repair();
             }
+            Op::Restart(pick) => {
+                if live.len() < 2 {
+                    continue;
+                }
+                // The victim stays live: it restarts *in place*. Repair
+                // first so every entry is back at full replication before
+                // the restart throws the victim's hot copies away —
+                // otherwise an unlucky Restart right after another loss
+                // could destroy the last copy.
+                indexer.repair();
+                let victim = live[pick as usize % live.len()];
+                indexer.restart_peers(&[victim]);
+            }
         }
     }
     Ok(next_doc)
@@ -158,6 +180,7 @@ proptest! {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 2,
+            store: hdk_core::StoreConfig::from_env(),
         };
         let ops = decode(&raw_ops);
         let boot = collection.len() / 3;

@@ -128,6 +128,7 @@ proptest! {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            store: hdk_core::StoreConfig::from_env(),
         };
         // Two identical builds (builds are deterministic — pinned by
         // tests/determinism.rs) so each side meters its own traffic.

@@ -105,6 +105,7 @@ proptest! {
                 exact_intrinsic: false,
                 redundancy_filtering: true,
                 replication: 1,
+                store: hdk_core::StoreConfig::from_env(),
             },
             OverlayKind::PGrid,
         );
@@ -202,6 +203,7 @@ proptest! {
                 exact_intrinsic: true,
                 redundancy_filtering: true,
                 replication: 1,
+                store: hdk_core::StoreConfig::from_env(),
             },
             OverlayKind::PGrid,
         );

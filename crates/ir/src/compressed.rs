@@ -450,6 +450,43 @@ impl CompressedDocSet {
         self.block.len()
     }
 
+    /// The encoded block (cloning is zero-copy) — what the segment log
+    /// persists for a sealed entry's doc-set.
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.block
+    }
+
+    /// Validates and adopts an encoded block (e.g. replayed from a segment
+    /// log). Mirrors [`CompressedPostings::from_bytes`]: the *entire*
+    /// buffer must be one well-formed block; a decodable prefix followed
+    /// by trailing garbage is rejected.
+    pub fn from_bytes(block: Bytes) -> Option<Self> {
+        let buf: &[u8] = &block;
+        let mut pos = 0usize;
+        let count = read_varint(buf, &mut pos)?;
+        let count = u32::try_from(count).ok()?;
+        let mut prev: i64 = -1;
+        for _ in 0..count {
+            let gap = read_varint(buf, &mut pos)?;
+            // Same bound as the postings validator: a gap that cannot land
+            // on a u32 doc id must reject, not overflow `prev + gap`.
+            if gap == 0 || gap > u64::from(u32::MAX) + 1 {
+                return None;
+            }
+            let doc = prev + gap as i64;
+            u32::try_from(doc).ok()?;
+            prev = doc;
+        }
+        if pos != buf.len() {
+            return None; // trailing garbage
+        }
+        Some(Self {
+            block,
+            count,
+            max_doc: if count > 0 { prev as u32 } else { 0 },
+        })
+    }
+
     /// Streaming iteration, ascending.
     pub fn iter(&self) -> impl Iterator<Item = DocId> + '_ {
         let buf: &[u8] = &self.block;
@@ -800,6 +837,32 @@ mod tests {
         assert!(!s.contains(DocId(7)));
         assert!(!s.contains(DocId(1001)));
         assert!(!CompressedDocSet::new().contains(DocId(0)));
+    }
+
+    #[test]
+    fn docset_bytes_roundtrip_and_reject_garbage() {
+        let s = CompressedDocSet::from_sorted_docs([0, 3, 70_000, u32::MAX].map(DocId));
+        let raw = s.as_bytes().clone();
+        assert_eq!(CompressedDocSet::from_bytes(raw.clone()).unwrap(), s);
+        // Every truncation point fails validation.
+        for cut in 0..raw.len() {
+            assert!(
+                CompressedDocSet::from_bytes(raw.slice(..cut)).is_none(),
+                "cut at {cut} decoded"
+            );
+        }
+        // Trailing garbage fails validation.
+        let mut padded = raw.as_ref().to_vec();
+        padded.push(0x01);
+        assert!(CompressedDocSet::from_bytes(Bytes::from(padded)).is_none());
+        // Zero gaps (duplicate docs) fail validation.
+        assert!(CompressedDocSet::from_bytes(Bytes::from(vec![0x02, 0x01, 0x00])).is_none());
+        // The empty set roundtrips too.
+        let empty = CompressedDocSet::new();
+        assert_eq!(
+            CompressedDocSet::from_bytes(empty.as_bytes().clone()).unwrap(),
+            empty
+        );
     }
 
     #[test]

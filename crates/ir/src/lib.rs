@@ -15,7 +15,9 @@
 //! * [`bm25`] — the Okapi BM25 weighting scheme,
 //! * [`ranker`] — deterministic top-k selection,
 //! * [`engine`] — the centralized search engine (the Figure 7 baseline),
-//! * [`overlap`] — the top-k overlap metric of Figure 7.
+//! * [`overlap`] — the top-k overlap metric of Figure 7,
+//! * [`segment`] — checksummed frames for on-disk segment logs (the
+//!   durable form of the same compressed blocks).
 
 pub mod bm25;
 pub mod codec;
@@ -25,11 +27,14 @@ pub mod index;
 pub mod overlap;
 pub mod posting;
 pub mod ranker;
+pub mod segment;
 
 pub use bm25::Bm25;
+pub use bytes::Bytes;
 pub use compressed::{CompressedDocSet, CompressedPostings};
 pub use engine::CentralizedEngine;
 pub use index::InvertedIndex;
 pub use overlap::top_k_overlap;
 pub use posting::{Posting, PostingList};
 pub use ranker::{top_k, ScoreAccumulator, SearchResult};
+pub use segment::{checksum64, read_frame, seal_frame, FrameRead, FRAME_HEADER_BYTES};

@@ -38,46 +38,43 @@
 //! `AtomicU64` counters of [`TrafficMeter`], so the layer is thread-safe
 //! end to end: many peers can index concurrently — matching the paper's
 //! collaborative indexing ("peers share the indexing load").
+//!
+//! ## Tiered storage
+//!
+//! *Where* a stripe's entries physically live is pluggable (see
+//! [`crate::store`]): this layer holds a `Box<dyn Store<V>>` and routes
+//! every entry access through it. The default [`MemStore`] keeps
+//! everything in memory and behaves (and meters) bit-identically to the
+//! historical inlined maps; [`crate::store::SegmentStore`] spills entries
+//! past a hot-tier byte budget into checksummed on-disk segment logs —
+//! which is what makes [`Dht::restart_peers`] possible: a restarting
+//! peer's copies are recovered by replaying its segment log, and one
+//! [`Dht::repair_sweep`] closes whatever gap the log could not cover.
+//! Tier movement is host-local (never metered as traffic).
 
-use crate::id::{KeyHash, PeerId};
+use crate::id::{hash_u64s, KeyHash, PeerId};
 use crate::overlay::Overlay;
 use crate::replica::{Delivery, Membership, PeerState};
+use crate::store::{MemStore, RecoveryStats, Slot, Store, Tier};
 use crate::transport::{MsgKind, TrafficMeter, TrafficSnapshot};
-use parking_lot::RwLock;
 use rayon::prelude::*;
-use std::collections::HashMap;
 
 /// Number of lock stripes. A power of two so stripe selection is a mask;
 /// large enough that dozens of indexing threads rarely collide, small
 /// enough that stripe-parallel sweeps stay coarse-grained.
 pub const NUM_STRIPES: usize = 128;
 
-/// One stored entry: the value plus the peers currently holding a copy.
-///
-/// The value is stored once (the simulation's canonical state); the
-/// holder set models *availability* — who would survive a crash with a
-/// copy — not divergence between replicas (inserts reach every replica in
-/// the same round, so replicas never disagree).
-#[derive(Debug)]
-struct Slot<V> {
-    value: V,
-    /// Peer indices holding a copy, ascending. Always non-empty and
-    /// always a subset of the live peers (dead peers' copies are removed
-    /// the moment they depart or fail).
-    holders: Vec<u32>,
-}
-
 /// A metered DHT storing values of type `V` under [`KeyHash`]es.
 ///
-/// Stripes are `RwLock`s: mutation (upserts, sweeps) takes the write lock,
-/// while the retrieval path (`lookup`/`peek`) takes read locks so a batch
-/// of parallel queries hammering the same popular stripe still proceeds
-/// concurrently.
+/// Stripes are `RwLock`s (inside the [`Store`]): mutation (upserts,
+/// sweeps) takes the write lock, while the retrieval path
+/// (`lookup`/`peek`) takes read locks so a batch of parallel queries
+/// hammering the same popular stripe still proceeds concurrently.
 pub struct Dht<V> {
     overlay: Box<dyn Overlay>,
     membership: Membership,
     replication: usize,
-    stripes: Vec<RwLock<HashMap<u64, Slot<V>>>>,
+    store: Box<dyn Store<V>>,
     meter: TrafficMeter,
 }
 
@@ -132,27 +129,40 @@ pub fn stripe_of(key: KeyHash) -> usize {
     (key.0 as usize) & (NUM_STRIPES - 1)
 }
 
-impl<V> Dht<V> {
+impl<V: Send + Sync + 'static> Dht<V> {
     /// Builds an empty unreplicated DHT (`R = 1`) over the overlay.
     pub fn new(overlay: Box<dyn Overlay>) -> Self {
         Self::replicated(overlay, 1)
     }
 
     /// Builds an empty DHT whose keys are placed on `replication` live
-    /// peers each (primary + `R-1` walk successors).
+    /// peers each (primary + `R-1` walk successors), stored in memory
+    /// (the default [`MemStore`] backend).
     ///
     /// # Panics
     /// Panics when `replication` is zero.
     pub fn replicated(overlay: Box<dyn Overlay>, replication: usize) -> Self {
+        Self::with_store(overlay, replication, Box::new(MemStore::new()))
+    }
+
+    /// Builds an empty DHT over an explicit storage backend (see
+    /// [`crate::store`] — e.g. a budgeted
+    /// [`crate::store::SegmentStore`] for tiered, restartable storage).
+    ///
+    /// # Panics
+    /// Panics when `replication` is zero.
+    pub fn with_store(
+        overlay: Box<dyn Overlay>,
+        replication: usize,
+        store: Box<dyn Store<V>>,
+    ) -> Self {
         assert!(replication >= 1, "replication factor must be at least 1");
         let n = overlay.len();
         Self {
             overlay,
             membership: Membership::new(n),
             replication,
-            stripes: (0..NUM_STRIPES)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
+            store,
             meter: TrafficMeter::new(n),
         }
     }
@@ -318,12 +328,23 @@ impl<V> Dht<V> {
                 dead_skips: 0,
             });
             let owner = self.overlay.peer_index(route.responsible) as u32;
-            let mut map = self.stripes[stripe_of(key)].write();
-            let slot = map.entry(key.0).or_insert_with(|| Slot {
-                value: default(),
-                holders: vec![owner],
-            });
-            return update(&mut slot.value);
+            // The store's callbacks are `FnMut` (object safety); thread
+            // the one-shot closures and the result through `Option`s.
+            let mut default = Some(default);
+            let mut update = Some(update);
+            let mut result = None;
+            self.store.upsert(
+                stripe_of(key),
+                key.0,
+                &mut || Slot {
+                    value: (default.take().expect("default runs at most once"))(),
+                    holders: vec![owner],
+                },
+                &mut |slot| {
+                    result = Some((update.take().expect("update runs once"))(&mut slot.value));
+                },
+            );
+            return result.expect("upsert ran the update");
         }
 
         let owner = self.overlay.peer_index(route.responsible);
@@ -361,18 +382,27 @@ impl<V> Dht<V> {
             });
         }
         let desired: Vec<u32> = targets.iter().map(|&(i, _)| i).collect();
-        let mut map = self.stripes[stripe_of(key)].write();
-        let slot = map.entry(key.0).or_insert_with(|| Slot {
-            value: default(),
-            holders: Vec::new(),
-        });
-        for idx in desired {
-            if !slot.holders.contains(&idx) {
-                slot.holders.push(idx);
-            }
-        }
-        slot.holders.sort_unstable();
-        update(&mut slot.value)
+        let mut default = Some(default);
+        let mut update = Some(update);
+        let mut result = None;
+        self.store.upsert(
+            stripe_of(key),
+            key.0,
+            &mut || Slot {
+                value: (default.take().expect("default runs at most once"))(),
+                holders: Vec::new(),
+            },
+            &mut |slot| {
+                for &idx in &desired {
+                    if !slot.holders.contains(&idx) {
+                        slot.holders.push(idx);
+                    }
+                }
+                slot.holders.sort_unstable();
+                result = Some((update.take().expect("update runs once"))(&mut slot.value));
+            },
+        );
+        result.expect("upsert ran the update")
     }
 
     /// Routes a *lookup* from `from`; `read` inspects the stored value (if
@@ -401,28 +431,32 @@ impl<V> Dht<V> {
         let route = self.overlay.route(from, key);
         let origin = self.overlay.peer_index(from);
         let owner = self.overlay.peer_index(route.responsible);
-        let map = self.stripes[stripe_of(key)].read();
-        let slot = map.get(&key.0);
-        let (target, extra, dead_skips) =
-            self.serve_from(owner, slot.map(|s| s.holders.as_slice()));
-        let hops = route.hops + extra;
-        // The request itself: one message, no postings, key-sized payload.
-        self.meter
-            .record(MsgKind::QueryLookup, origin, 0, LOOKUP_REQUEST_BYTES, hops);
-        let (result, postings, bytes) = read(slot.map(|s| &s.value));
-        drop(map);
-        // The response travels back over the same number of hops.
-        self.meter
-            .record(MsgKind::QueryResponse, origin, postings, bytes, hops);
-        (
-            result,
-            Delivery {
-                source: from,
-                target: self.overlay.peers()[target as usize],
-                hops,
-                dead_skips,
-            },
-        )
+        let mut read = Some(read);
+        let mut out = None;
+        self.store.get(stripe_of(key), key.0, &mut |slot| {
+            let (target, extra, dead_skips) =
+                self.serve_from(owner, slot.map(|s| s.holders.as_slice()));
+            let hops = route.hops + extra;
+            // The request itself: one message, no postings, key-sized
+            // payload.
+            self.meter
+                .record(MsgKind::QueryLookup, origin, 0, LOOKUP_REQUEST_BYTES, hops);
+            let (result, postings, bytes) =
+                (read.take().expect("read runs once"))(slot.map(|s| &s.value));
+            // The response travels back over the same number of hops.
+            self.meter
+                .record(MsgKind::QueryResponse, origin, postings, bytes, hops);
+            out = Some((
+                result,
+                Delivery {
+                    source: from,
+                    target: self.overlay.peers()[target as usize],
+                    hops,
+                    dead_skips,
+                },
+            ));
+        });
+        out.expect("get runs the read callback")
     }
 
     /// Batched variant of [`Dht::lookup`]: resolves `keys` (one level of a
@@ -440,10 +474,7 @@ impl<V> Dht<V> {
         from: PeerId,
         keys: &[KeyHash],
         read: impl Fn(usize, Option<&V>) -> (R, u64, u64) + Sync,
-    ) -> Vec<R>
-    where
-        V: Send + Sync,
-    {
+    ) -> Vec<R> {
         self.lookup_many_delivered(from, keys, read).0
     }
 
@@ -455,10 +486,7 @@ impl<V> Dht<V> {
         from: PeerId,
         keys: &[KeyHash],
         read: impl Fn(usize, Option<&V>) -> (R, u64, u64) + Sync,
-    ) -> (Vec<R>, Vec<Delivery>)
-    where
-        V: Send + Sync,
-    {
+    ) -> (Vec<R>, Vec<Delivery>) {
         // Bucket key indices by stripe, preserving input order per bucket.
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); NUM_STRIPES];
         for (i, key) in keys.iter().enumerate() {
@@ -471,36 +499,31 @@ impl<V> Dht<V> {
         let per_stripe: Vec<Vec<(usize, R, Delivery)>> = occupied
             .par_iter()
             .map(|&stripe| {
-                let map = self.stripes[stripe].read();
-                buckets[stripe]
-                    .iter()
-                    .map(|&i| {
-                        let key = keys[i];
-                        let route = self.overlay.route(from, key);
-                        let owner = self.overlay.peer_index(route.responsible);
-                        let slot = map.get(&key.0);
-                        let (target, extra, dead_skips) =
-                            self.serve_from(owner, slot.map(|s| s.holders.as_slice()));
-                        let hops = route.hops + extra;
-                        self.meter.record(
-                            MsgKind::QueryLookup,
-                            origin,
-                            0,
-                            LOOKUP_REQUEST_BYTES,
-                            hops,
-                        );
-                        let (result, postings, bytes) = read(i, slot.map(|s| &s.value));
-                        self.meter
-                            .record(MsgKind::QueryResponse, origin, postings, bytes, hops);
-                        let delivery = Delivery {
-                            source: from,
-                            target: self.overlay.peers()[target as usize],
-                            hops,
-                            dead_skips,
-                        };
-                        (i, result, delivery)
-                    })
-                    .collect()
+                let bucket = &buckets[stripe];
+                let stripe_keys: Vec<u64> = bucket.iter().map(|&i| keys[i].0).collect();
+                let mut items: Vec<(usize, R, Delivery)> = Vec::with_capacity(bucket.len());
+                self.store.get_many(stripe, &stripe_keys, &mut |j, slot| {
+                    let i = bucket[j];
+                    let key = keys[i];
+                    let route = self.overlay.route(from, key);
+                    let owner = self.overlay.peer_index(route.responsible);
+                    let (target, extra, dead_skips) =
+                        self.serve_from(owner, slot.map(|s| s.holders.as_slice()));
+                    let hops = route.hops + extra;
+                    self.meter
+                        .record(MsgKind::QueryLookup, origin, 0, LOOKUP_REQUEST_BYTES, hops);
+                    let (result, postings, bytes) = read(i, slot.map(|s| &s.value));
+                    self.meter
+                        .record(MsgKind::QueryResponse, origin, postings, bytes, hops);
+                    let delivery = Delivery {
+                        source: from,
+                        target: self.overlay.peers()[target as usize],
+                        hops,
+                        dead_skips,
+                    };
+                    items.push((i, result, delivery));
+                });
+                items
             })
             .collect();
         let mut out: Vec<Option<(R, Delivery)>> = Vec::with_capacity(keys.len());
@@ -537,30 +560,49 @@ impl<V> Dht<V> {
     /// harness uses this to measure index sizes, which are storage — not
     /// traffic — quantities).
     pub fn peek<R>(&self, key: KeyHash, read: impl FnOnce(Option<&V>) -> R) -> R {
-        let map = self.stripes[stripe_of(key)].read();
-        read(map.get(&key.0).map(|s| &s.value))
+        let mut read = Some(read);
+        let mut out = None;
+        self.store.get(stripe_of(key), key.0, &mut |slot| {
+            out = Some((read.take().expect("read runs once"))(
+                slot.map(|s| &s.value),
+            ));
+        });
+        out.expect("get runs the read callback")
     }
 
-    /// Resident bytes of one stripe's values, under its read lock —
-    /// **per stored copy**: an entry replicated at `R` peers occupies `R`
-    /// times its `measure`. `measure` reports each value's storage
-    /// footprint — for compressed posting blocks that is the encoded
-    /// size, so storage accounting and the wire byte meters speak the
-    /// same unit. (At `R = 1` every entry has exactly one holder and this
-    /// is the plain sum.)
+    /// Resident (hot-tier) bytes of one stripe's values, under its read
+    /// lock — **per stored copy**: an entry replicated at `R` peers
+    /// occupies `R` times its `measure`. `measure` reports each value's
+    /// storage footprint — for compressed posting blocks that is the
+    /// encoded size, so storage accounting and the wire byte meters speak
+    /// the same unit. (At `R = 1` every entry has exactly one holder and
+    /// this is the plain sum.) Entries a tiered store has sealed to disk
+    /// do not occupy memory and are excluded — see [`Dht::disk_bytes`]
+    /// for the on-disk side (with the default in-memory store everything
+    /// is hot, so this is the historical total).
     pub fn stripe_resident_bytes(&self, stripe: usize, measure: impl Fn(&V) -> u64) -> u64 {
-        let map = self.stripes[stripe].read();
-        map.values()
-            .map(|s| measure(&s.value) * s.holders.len() as u64)
-            .sum()
+        let mut total = 0u64;
+        self.store.scan(stripe, &mut |_, s, tier| {
+            if tier == Tier::Hot {
+                total += measure(&s.value) * s.holders.len() as u64;
+            }
+        });
+        total
     }
 
-    /// Total resident bytes across all stripes (storage accounting, not
-    /// traffic — nothing is metered).
+    /// Total resident (hot-tier) bytes across all stripes (storage
+    /// accounting, not traffic — nothing is metered).
     pub fn resident_bytes(&self, measure: impl Fn(&V) -> u64) -> u64 {
         (0..NUM_STRIPES)
             .map(|s| self.stripe_resident_bytes(s, &measure))
             .sum()
+    }
+
+    /// Total live on-disk segment bytes across all stripes, summed per
+    /// stored copy (0 for the in-memory store). The disk-tier counterpart
+    /// of [`Dht::resident_bytes`].
+    pub fn disk_bytes(&self) -> u64 {
+        (0..NUM_STRIPES).map(|s| self.store.disk_bytes(s)).sum()
     }
 
     /// Iterates one stripe under its read lock. The backbone of
@@ -569,31 +611,38 @@ impl<V> Dht<V> {
     /// once. Use [`Dht::for_each_stripe_held`] when the callback needs to
     /// know which peers host each entry.
     pub fn for_each_stripe<F: FnMut(&u64, &V)>(&self, stripe: usize, mut f: F) {
-        let map = self.stripes[stripe].read();
-        for (k, s) in map.iter() {
-            f(k, &s.value);
-        }
+        self.store.scan(stripe, &mut |k, s, _| f(&k, &s.value));
     }
 
     /// Mutable variant of [`Dht::for_each_stripe`] (the hosting peers'
-    /// end-of-round sweep work, stripe-parallel).
+    /// end-of-round sweep work, stripe-parallel). On a tiered store a
+    /// sweep that changes a sealed value pulls the entry back into the
+    /// hot tier.
     pub fn for_each_stripe_mut<F: FnMut(&u64, &mut V)>(&self, stripe: usize, mut f: F) {
-        let mut map = self.stripes[stripe].write();
-        for (k, s) in map.iter_mut() {
-            f(k, &mut s.value);
-        }
+        self.store.scan_mut(stripe, &mut |k, s| f(&k, &mut s.value));
     }
 
     /// Like [`Dht::for_each_stripe`] but also hands the callback the
     /// entry's current holder set (ascending peer indices) — the basis of
     /// per-peer storage measurements. With `R = 1` and no churn the single
     /// holder is the responsible peer, so this degenerates to per-owner
-    /// accounting.
+    /// accounting. Covers **both** tiers (sealed entries are decoded on
+    /// the fly) — content accounting must not depend on tier placement.
     pub fn for_each_stripe_held<F: FnMut(&[u32], &u64, &V)>(&self, stripe: usize, mut f: F) {
-        let map = self.stripes[stripe].read();
-        for (k, s) in map.iter() {
-            f(&s.holders, k, &s.value);
-        }
+        self.store
+            .scan(stripe, &mut |k, s, _| f(&s.holders, &k, &s.value));
+    }
+
+    /// [`Dht::for_each_stripe_held`] plus each entry's current [`Tier`] —
+    /// for storage accounting that needs the resident/on-disk split
+    /// (`Tier::Sealed` carries the entry's per-copy on-disk frame size).
+    pub fn for_each_stripe_tiered<F: FnMut(&[u32], &u64, &V, Tier)>(
+        &self,
+        stripe: usize,
+        mut f: F,
+    ) {
+        self.store
+            .scan(stripe, &mut |k, s, tier| f(&s.holders, &k, &s.value, tier));
     }
 
     /// Like [`Dht::for_each_stripe`] but also resolves each entry's
@@ -603,10 +652,9 @@ impl<V> Dht<V> {
     /// the entry; use [`Dht::for_each_stripe_held`] for storage
     /// accounting.
     pub fn for_each_stripe_owned<F: FnMut(usize, &u64, &V)>(&self, stripe: usize, mut f: F) {
-        let map = self.stripes[stripe].read();
-        for (k, s) in map.iter() {
-            f(self.owner_index(KeyHash(*k)), k, &s.value);
-        }
+        self.store.scan(stripe, &mut |k, s, _| {
+            f(self.owner_index(KeyHash(k)), &k, &s.value)
+        });
     }
 
     /// Admits one peer — [`Dht::add_peers`] with a single-element wave.
@@ -646,10 +694,9 @@ impl<V> Dht<V> {
         }
         let mut stats = vec![MigrationStats::default(); peers.len()];
         let mut memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
-        for stripe in &self.stripes {
-            let mut map = stripe.write();
-            for (k, slot) in map.iter_mut() {
-                let owner = self.owner_index(KeyHash(*k));
+        for stripe in 0..NUM_STRIPES {
+            self.store.scan_mut(stripe, &mut |k, slot| {
+                let owner = self.owner_index(KeyHash(k));
                 let targets = self.memoized_targets(&mut memo, owner);
                 let mut next: Vec<u32> = slot
                     .holders
@@ -674,7 +721,7 @@ impl<V> Dht<V> {
                 }
                 next.sort_unstable();
                 slot.holders = next;
-            }
+            });
         }
         for (i, s) in stats.iter().enumerate() {
             self.meter.record(
@@ -720,9 +767,8 @@ impl<V> Dht<V> {
         );
         let mut stats = vec![MigrationStats::default(); peers.len()];
         let mut memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
-        for stripe in &self.stripes {
-            let mut map = stripe.write();
-            for (k, slot) in map.iter_mut() {
+        for stripe in 0..NUM_STRIPES {
+            self.store.scan_mut(stripe, &mut |k, slot| {
                 let departing: Vec<u32> = slot
                     .holders
                     .iter()
@@ -730,7 +776,7 @@ impl<V> Dht<V> {
                     .filter(|h| leaving.contains(h))
                     .collect();
                 if departing.is_empty() {
-                    continue;
+                    return;
                 }
                 // The smallest-indexed departing holder does the handing
                 // over (deterministic attribution).
@@ -739,7 +785,7 @@ impl<V> Dht<V> {
                     .position(|&l| l == departing[0])
                     .expect("departing holder is in the wave");
                 slot.holders.retain(|h| !departing.contains(h));
-                let owner = self.owner_index(KeyHash(*k));
+                let owner = self.owner_index(KeyHash(k));
                 for &(idx, _) in self.memoized_targets(&mut memo, owner) {
                     if !slot.holders.contains(&idx) {
                         let (postings, bytes) = volume(&slot.value);
@@ -752,7 +798,7 @@ impl<V> Dht<V> {
                 }
                 slot.holders.sort_unstable();
                 debug_assert!(!slot.holders.is_empty(), "handover lost the last copy");
-            }
+            });
         }
         for (i, s) in stats.iter().enumerate() {
             self.meter.record(
@@ -792,9 +838,8 @@ impl<V> Dht<V> {
         );
         let want = self.replication.min(self.membership.live_count());
         let mut loss = LossStats::default();
-        for stripe in &self.stripes {
-            let mut map = stripe.write();
-            map.retain(|_, slot| {
+        for stripe in 0..NUM_STRIPES {
+            self.store.retain(stripe, &mut |_, slot| {
                 slot.holders.retain(|h| !failing.contains(h));
                 if slot.holders.is_empty() {
                     let (postings, bytes) = volume(&slot.value);
@@ -813,50 +858,102 @@ impl<V> Dht<V> {
         loss
     }
 
+    /// Restarts live peers *in place*: their in-memory state is assumed
+    /// gone (the process died and came back), and whatever their storage
+    /// backend persisted is recovered — for [`crate::store::SegmentStore`]
+    /// that means replaying each peer's segment logs, discarding
+    /// truncated/corrupt tails by checksum, and keeping exactly the copies
+    /// whose sealed frames are current; for the in-memory [`MemStore`]
+    /// nothing survives and every copy the peers held is dropped.
+    ///
+    /// Replay is **host-local disk I/O, not traffic** — nothing is
+    /// metered (the simulated backend charges virtual replay time from
+    /// the returned byte counts). Unlike [`Dht::fail_peers`] the peers
+    /// stay live and keep their membership slot; run a
+    /// [`Dht::repair_sweep`] afterwards to re-materialize whatever the
+    /// logs could not cover.
+    ///
+    /// # Panics
+    /// Panics when a peer is unknown or dead — a dead peer has no state
+    /// to restart; it rejoins as a new peer.
+    pub fn restart_peers(
+        &mut self,
+        peers: &[PeerId],
+        volume: impl Fn(&V) -> (u64, u64),
+    ) -> RecoveryStats {
+        let indices: Vec<u32> = peers
+            .iter()
+            .map(|p| self.overlay.peer_index(*p) as u32)
+            .collect();
+        for &i in &indices {
+            assert!(
+                self.membership.is_live(i as usize),
+                "only live peers restart in place; dead peers rejoin as new peers"
+            );
+        }
+        let mut stats = RecoveryStats::default();
+        let mut vol = |v: &V| volume(v);
+        for stripe in 0..NUM_STRIPES {
+            self.store.recover(stripe, &indices, &mut vol, &mut stats);
+        }
+        stats
+    }
+
+    /// Seals every hot entry to the storage backend's persistent tier
+    /// (no-op for the in-memory store) — after this, a restart recovers
+    /// every copy. Host-local, unmetered.
+    pub fn sync_storage(&self) {
+        self.store.sync();
+    }
+
     /// The background repair sweep: re-derives every entry's replica set
     /// under the current overlay + membership and re-materializes the
-    /// missing copies from a surviving holder. Each copied entry is one
+    /// missing copies from surviving holders. Each copied entry is one
     /// [`MsgKind::Repair`] message (postings + bytes per `volume`, one
     /// forwarding hop), emitted in canonical `(key, target)` order —
     /// `on_copy` receives the key, the resolved [`Delivery`] and the
     /// payload size so the simulated backend can time the copies without
     /// re-deriving anything. Idempotent: a repaired network repairs to
     /// nothing.
+    ///
+    /// The read *source* of each copy is picked deterministically by
+    /// hashing `(key, target)` over the entry's surviving holder set, so
+    /// a mass repair spreads its read load across the replicas instead of
+    /// hammering whichever holder sorts first.
     pub fn repair_sweep(
         &self,
         volume: impl Fn(&V) -> (u64, u64),
         mut on_copy: impl FnMut(KeyHash, Delivery, u64),
     ) -> RepairStats {
         // Phase 1: scan, update holder sets, collect the planned copies.
-        // HashMap iteration order must not leak into metering/timing, so
+        // Map iteration order must not leak into metering/timing, so
         // copies are emitted only after the canonical sort below.
         let mut planned: Vec<(u64, u32, u32, u64, u64)> = Vec::new();
         let mut memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
-        for stripe in &self.stripes {
-            let mut map = stripe.write();
-            for (k, slot) in map.iter_mut() {
-                let owner = self.owner_index(KeyHash(*k));
+        for stripe in 0..NUM_STRIPES {
+            self.store.scan_mut(stripe, &mut |k, slot| {
+                let owner = self.owner_index(KeyHash(k));
                 let targets = self.memoized_targets(&mut memo, owner);
-                // Source: the first replica-set member already holding a
-                // copy, else the smallest-indexed holder.
-                let source = targets
+                let missing: Vec<u32> = targets
                     .iter()
                     .map(|&(i, _)| i)
-                    .find(|i| slot.holders.contains(i))
-                    .unwrap_or_else(|| slot.holders[0]);
-                let mut added = false;
-                for &(idx, _) in targets {
-                    if !slot.holders.contains(&idx) {
-                        let (postings, bytes) = volume(&slot.value);
-                        planned.push((*k, source, idx, postings, bytes));
-                        slot.holders.push(idx);
-                        added = true;
-                    }
+                    .filter(|i| !slot.holders.contains(i))
+                    .collect();
+                if missing.is_empty() {
+                    return;
                 }
-                if added {
-                    slot.holders.sort_unstable();
+                // Snapshot the pre-repair holders: only peers that held
+                // the entry *before* this sweep can serve as read sources.
+                let existing = slot.holders.clone();
+                for idx in missing {
+                    let pick = hash_u64s(&[k, u64::from(idx)]) % existing.len() as u64;
+                    let source = existing[pick as usize];
+                    let (postings, bytes) = volume(&slot.value);
+                    planned.push((k, source, idx, postings, bytes));
+                    slot.holders.push(idx);
                 }
-            }
+                slot.holders.sort_unstable();
+            });
         }
         planned.sort_unstable_by_key(|&(k, _, target, _, _)| (k, target));
         let peers = self.overlay.peers();
@@ -896,13 +993,13 @@ impl<V> Dht<V> {
     }
 
     /// Total number of stored keys (each counted once, however many
-    /// replicas hold it).
+    /// replicas hold it, whichever tier it occupies).
     pub fn num_keys(&self) -> usize {
-        self.stripes.iter().map(|s| s.read().len()).sum()
+        (0..NUM_STRIPES).map(|s| self.store.len(s)).sum()
     }
 }
 
-impl<V> std::fmt::Debug for Dht<V> {
+impl<V: Send + Sync + 'static> std::fmt::Debug for Dht<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dht")
             .field("peers", &self.overlay.len())

@@ -23,6 +23,11 @@
 //! (synchronous dispatch, the zero-cost default) and [`rpc::SimNet`] (a
 //! deterministic seeded latency/jitter/drop model with per-kind latency
 //! histograms and a virtual clock).
+//!
+//! Entry bytes live behind the pluggable [`store::Store`] trait: the
+//! in-memory [`store::MemStore`] default, or the tiered
+//! [`store::SegmentStore`] (hot budgeted tier + checksummed on-disk
+//! segment logs) that makes peers restartable ([`dht::Dht::restart_peers`]).
 
 pub mod dht;
 pub mod id;
@@ -31,6 +36,7 @@ pub mod pgrid;
 pub mod replica;
 pub mod ring;
 pub mod rpc;
+pub mod store;
 pub mod transport;
 
 pub use dht::{
@@ -45,6 +51,7 @@ pub use rpc::{
     Addressed, InProc, NetworkBackend, Notification, Request, Response, SimNet, SimNetConfig,
     StoreService,
 };
+pub use store::{MemStore, RecoveryStats, SegmentStore, Slot, Store, StoreCodec, Tier};
 pub use transport::{
     KindSnapshot, LatencyHistogram, MsgKind, TrafficMeter, TrafficSnapshot, LATENCY_BUCKETS,
     NUM_KINDS,

@@ -30,6 +30,7 @@
 //! | [`Request::Leave`]       | [`MsgKind::Maintenance`]   | overlay maintenance, mirror of `Migrate`: a gracefully departing peer hands its held copies to the re-derived replica sets before it goes |
 //! | [`Request::Fail`]        | —                          | a crash sends no messages; the destroyed copies surface as a [`LossStats`] damage report, and the degraded entries as later `Repair` traffic |
 //! | [`Request::Repair`]      | [`MsgKind::Repair`]        | replica repair: surviving replicas re-materialize the copies lost to crashes — structural-replication upkeep, counted in its own category so availability studies can separate it from join handovers |
+//! | [`Request::Restart`]     | —                          | a restarting peer replays its own segment log — host-local disk I/O, never a network message; only the *gap* a restart leaves (lost hot-tier copies, corrupt tails) becomes later `Repair` traffic |
 //!
 //! ## Who knows what
 //!
@@ -46,6 +47,7 @@ use crate::dht::{stripe_of, Dht, LossStats, MigrationStats, RepairStats, LOOKUP_
 use crate::id::{hash_u64s, splitmix64, KeyHash, PeerId};
 use crate::overlay::Overlay;
 use crate::replica::Delivery;
+use crate::store::{RecoveryStats, Store};
 use crate::transport::{MsgKind, TrafficSnapshot};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -90,8 +92,9 @@ pub struct Addressed<T> {
 /// backends produce identical storage state and traffic *counts* by
 /// construction.
 pub trait StoreService: Send + Sync {
-    /// Value stored in the DHT per key.
-    type Value: Send + Sync;
+    /// Value stored in the DHT per key (`'static`: values are owned data,
+    /// storable behind a `dyn` storage backend).
+    type Value: Send + Sync + 'static;
     /// Payload of one key's insert inside an [`Request::InsertBatch`].
     type Insert: Send + Sync;
     /// Payload of one key's lookup inside a [`Request::LookupMany`].
@@ -193,6 +196,18 @@ pub enum Request<I, Q> {
     /// [`MsgKind::Repair`] message per copied entry. Data-plane (`&self`):
     /// it changes no overlay or membership state, only holder sets.
     Repair,
+    /// A wave of peers restarts in place: each loses its hot (in-memory)
+    /// tier and replays its own on-disk segment log, recovering every
+    /// copy whose sealed frame survives checksum verification. Replay is
+    /// **host-local disk I/O** — no network messages are sent and nothing
+    /// is metered; the copies the log could not restore surface as a
+    /// [`RecoveryStats`] report and as later [`Request::Repair`] traffic.
+    /// Control-plane: it rewrites the stores' holder sets, dispatched
+    /// through [`NetworkBackend::restart`].
+    Restart {
+        /// The restarting peers (must currently be live).
+        peers: Vec<PeerId>,
+    },
 }
 
 impl<I, Q> Request<I, Q> {
@@ -204,11 +219,13 @@ impl<I, Q> Request<I, Q> {
             Request::InsertBatch { .. } => MsgKind::IndexInsert,
             Request::Notify { .. } => MsgKind::IndexNotify,
             Request::LookupMany { .. } => MsgKind::QueryLookup,
-            // A crash itself sends nothing; the category covers the
-            // departure taxonomy (graceful handovers are maintenance).
-            Request::Migrate { .. } | Request::Leave { .. } | Request::Fail { .. } => {
-                MsgKind::Maintenance
-            }
+            // A crash itself sends nothing, and a restart's log replay is
+            // host-local; the category covers the churn taxonomy
+            // (graceful handovers are maintenance).
+            Request::Migrate { .. }
+            | Request::Leave { .. }
+            | Request::Fail { .. }
+            | Request::Restart { .. } => MsgKind::Maintenance,
             Request::Repair => MsgKind::Repair,
         }
     }
@@ -240,6 +257,8 @@ pub enum Response<L> {
     Lost(LossStats),
     /// Answers a [`Request::Repair`] with the re-materialized volume.
     Repaired(RepairStats),
+    /// Answers a [`Request::Restart`] with the log-replay report.
+    Recovered(RecoveryStats),
 }
 
 /// A pluggable network between the engine and the DHT.
@@ -291,6 +310,14 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
     /// [`NetworkBackend::dht`].
     fn repair(&self) -> RepairStats;
 
+    /// The control-plane [`Request::Restart`] wave: each restarting peer
+    /// loses its hot tier and replays its own segment log
+    /// ([`Dht::restart_peers`]) — host-local disk I/O, so nothing is
+    /// metered and no simulated network time passes beyond the replay
+    /// serialization itself. Run a [`NetworkBackend::repair`] sweep
+    /// afterwards to close any recovery gap.
+    fn restart(&mut self, peers: &[PeerId]) -> RecoveryStats;
+
     /// Host-local storage access: end-of-round sweeps, `peek`, storage
     /// accounting. Local work at the hosting peer is free (the paper's
     /// sweeps run "locally at each hosting peer"), so none of it is
@@ -313,9 +340,11 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
     ///
     /// # Panics
     /// Panics on the control-plane variants — [`Request::Migrate`],
-    /// [`Request::Leave`] and [`Request::Fail`] mutate the overlay or the
-    /// membership view and must go through [`NetworkBackend::migrate`] /
-    /// [`NetworkBackend::leave`] / [`NetworkBackend::fail`].
+    /// [`Request::Leave`], [`Request::Fail`] and [`Request::Restart`]
+    /// mutate the overlay, the membership view or the storage tiers and
+    /// must go through [`NetworkBackend::migrate`] /
+    /// [`NetworkBackend::leave`] / [`NetworkBackend::fail`] /
+    /// [`NetworkBackend::restart`].
     fn call(&self, request: Request<S::Insert, S::LookupKey>) -> Response<S::Lookup> {
         match request {
             Request::InsertBatch { batches } => Response::Inserted {
@@ -337,6 +366,9 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
             }
             Request::Fail { .. } => {
                 panic!("Fail mutates the membership; dispatch it through NetworkBackend::fail")
+            }
+            Request::Restart { .. } => {
+                panic!("Restart replays local segment logs; dispatch it through NetworkBackend::restart")
             }
         }
     }
@@ -456,6 +488,21 @@ impl<S: StoreService> InProc<S> {
             store,
         }
     }
+
+    /// [`InProc::replicated`] over a pluggable storage backend (e.g. a
+    /// tiered [`crate::store::SegmentStore`] whose sealed segment logs
+    /// make [`NetworkBackend::restart`] recover actual state).
+    pub fn with_store(
+        overlay: Box<dyn Overlay>,
+        store: S,
+        replication: usize,
+        backend: Box<dyn Store<S::Value>>,
+    ) -> Self {
+        Self {
+            dht: Dht::with_store(overlay, replication, backend),
+            store,
+        }
+    }
 }
 
 impl<S: StoreService> NetworkBackend<S> for InProc<S> {
@@ -506,6 +553,12 @@ impl<S: StoreService> NetworkBackend<S> for InProc<S> {
         let store = &self.store;
         self.dht
             .repair_sweep(|value| store.migrate_volume(value), |_, _, _| {})
+    }
+
+    fn restart(&mut self, peers: &[PeerId]) -> RecoveryStats {
+        let store = &self.store;
+        self.dht
+            .restart_peers(peers, |value| store.migrate_volume(value))
     }
 
     fn dht(&self) -> &Dht<S::Value> {
@@ -643,6 +696,24 @@ impl<S: StoreService> SimNet<S> {
     ) -> Self {
         Self {
             dht: Dht::replicated(overlay, replication),
+            store,
+            config,
+            clock_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// [`SimNet::replicated`] over a pluggable storage backend (e.g. a
+    /// tiered [`crate::store::SegmentStore`] whose sealed segment logs
+    /// make [`NetworkBackend::restart`] recover actual state).
+    pub fn with_store(
+        overlay: Box<dyn Overlay>,
+        store: S,
+        config: SimNetConfig,
+        replication: usize,
+        backend: Box<dyn Store<S::Value>>,
+    ) -> Self {
+        Self {
+            dht: Dht::with_store(overlay, replication, backend),
             store,
             config,
             clock_ns: AtomicU64::new(0),
@@ -924,6 +995,20 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
             makespan = makespan.max(latency);
         }
         self.advance(makespan);
+        stats
+    }
+
+    fn restart(&mut self, peers: &[PeerId]) -> RecoveryStats {
+        // Replay is host-local disk I/O: no messages, no latency samples
+        // (like `fail`, nothing travels the network) — but reading the
+        // log back is not free, so the virtual clock advances by the
+        // replayed volume at link serialization speed, a disk-as-fast-
+        // as-the-NIC stand-in until storage gets its own rate model.
+        let store = &self.store;
+        let stats = self
+            .dht
+            .restart_peers(peers, |value| store.migrate_volume(value));
+        self.advance(stats.bytes_replayed * self.config.ns_per_byte);
         stats
     }
 
@@ -1279,5 +1364,76 @@ mod tests {
         assert_eq!(fail.kind(), MsgKind::Maintenance);
         let repair: Request<Vec<u32>, ()> = Request::Repair;
         assert_eq!(repair.kind(), MsgKind::Repair);
+        let restart: Request<Vec<u32>, ()> = Request::Restart { peers: vec![] };
+        assert_eq!(restart.kind(), MsgKind::Maintenance);
+    }
+
+    #[test]
+    #[should_panic(expected = "NetworkBackend::restart")]
+    fn call_rejects_the_restart_variant() {
+        let backend = InProc::new(overlay(2), SetStore);
+        let _ = backend.call(Request::Restart {
+            peers: vec![PeerId(0)],
+        });
+    }
+
+    /// A `StoreCodec` for the toy `Vec<u32>` values, so the RPC tests can
+    /// run over a tiered store.
+    struct U32SetCodec;
+
+    impl crate::store::StoreCodec<Vec<u32>> for U32SetCodec {
+        fn encode(&self, value: &Vec<u32>, out: &mut Vec<u8>) {
+            for v in value {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+
+        fn decode(&self, bytes: &[u8]) -> Option<Vec<u32>> {
+            if !bytes.len().is_multiple_of(4) {
+                return None;
+            }
+            Some(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                    .collect(),
+            )
+        }
+
+        fn weight(&self, value: &Vec<u32>) -> u64 {
+            4 * value.len() as u64
+        }
+    }
+
+    #[test]
+    fn restart_over_segments_recovers_sealed_state_unmetered() {
+        // Build over a tiered store with a zero hot budget (everything
+        // seals to disk), restart a holder, and check the log replay
+        // restored its copies without a single metered message.
+        let seg = crate::store::SegmentStore::ephemeral(U32SetCodec, 0);
+        let mut backend = InProc::with_store(overlay(8), SetStore, 2, Box::new(seg));
+        backend.insert_batch(round());
+        backend.dht().sync_storage();
+        let before = backend.snapshot();
+        let expected = backend.lookup_many(PeerId(3), &probes());
+
+        let stats = backend.restart(&[PeerId(0), PeerId(1)]);
+        assert!(stats.frames_replayed > 0, "the logs were not empty");
+        assert_eq!(stats.copies_lost, 0, "synced state recovers fully");
+        assert_eq!(stats.frames_discarded, 0);
+
+        let after = backend.snapshot();
+        // Only the verification lookups above are new traffic.
+        assert_eq!(
+            after.kind(MsgKind::QueryLookup).messages,
+            before.kind(MsgKind::QueryLookup).messages + probes().len() as u64,
+        );
+        assert_eq!(
+            after.kind(MsgKind::Maintenance).messages,
+            before.kind(MsgKind::Maintenance).messages,
+            "log replay is host-local, never metered"
+        );
+        assert_eq!(backend.repair().copies, 0, "no gap to close");
+        assert_eq!(backend.lookup_many(PeerId(3), &probes()), expected);
     }
 }

@@ -55,7 +55,7 @@ pub use hdk_text as text;
 pub mod prelude {
     pub use hdk_core::{
         BackendConfig, HdkConfig, HdkNetwork, IndexService, Key, KeyClass, OverlayKind,
-        QueryOutcome, QueryPlan, QueryProfile, QueryService, SingleTermNetwork,
+        QueryOutcome, QueryPlan, QueryProfile, QueryService, SingleTermNetwork, StoreConfig,
     };
     pub use hdk_corpus::{
         partition_documents, Collection, CollectionGenerator, DocId, Document, GeneratorConfig,
@@ -65,7 +65,7 @@ pub mod prelude {
     pub use hdk_model::TrafficModel;
     pub use hdk_p2p::{
         LatencyHistogram, LossStats, Membership, MigrationStats, MsgKind, Overlay, PeerId,
-        PeerState, RepairStats, SimNetConfig, TrafficSnapshot,
+        PeerState, RecoveryStats, RepairStats, SimNetConfig, TrafficSnapshot,
     };
     pub use hdk_text::{Analyzer, AnalyzerConfig, TermId, Vocabulary};
 }

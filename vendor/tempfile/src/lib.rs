@@ -1,0 +1,107 @@
+//! Minimal vendored shim for the `tempfile` crate.
+//!
+//! Covers exactly the surface this workspace uses: [`tempdir`] /
+//! [`TempDir::new`] creating a unique scratch directory under the system
+//! temp dir, [`TempDir::path`] to address it, and best-effort recursive
+//! removal on drop (or explicit, fallible removal via [`TempDir::close`]).
+//!
+//! Unlike the real crate, names are not random: they combine the process id
+//! with a process-wide counter, and creation retries past collisions with
+//! leftovers from earlier runs. That is enough for unique, non-clashing
+//! test directories without pulling in a randomness dependency.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A directory in the filesystem that is recursively deleted when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: Option<PathBuf>,
+}
+
+impl TempDir {
+    /// Creates a fresh scratch directory under [`std::env::temp_dir`].
+    pub fn new() -> io::Result<TempDir> {
+        let base = std::env::temp_dir();
+        let pid = std::process::id();
+        loop {
+            let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            let candidate = base.join(format!(".tmp-hdk-{pid}-{id}"));
+            // create_dir (not create_dir_all) so an existing leftover from a
+            // recycled pid fails the attempt and the loop picks a new name
+            // instead of adopting foreign contents.
+            match std::fs::create_dir(&candidate) {
+                Ok(()) => {
+                    return Ok(TempDir {
+                        path: Some(candidate),
+                    })
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        self.path.as_deref().expect("TempDir is live until dropped")
+    }
+
+    /// Deletes the directory now, reporting any error (the drop-based
+    /// cleanup is best-effort and silent).
+    pub fn close(mut self) -> io::Result<()> {
+        match self.path.take() {
+            Some(p) => std::fs::remove_dir_all(p),
+            None => Ok(()),
+        }
+    }
+
+    /// Releases ownership: the directory is *not* deleted on drop.
+    pub fn into_path(mut self) -> PathBuf {
+        self.path.take().expect("TempDir is live until dropped")
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if let Some(p) = self.path.take() {
+            let _ = std::fs::remove_dir_all(p);
+        }
+    }
+}
+
+/// Creates a new [`TempDir`] (free-function form, as in the real crate).
+pub fn tempdir() -> io::Result<TempDir> {
+    TempDir::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_removes_on_drop() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept_a = a.path().to_path_buf();
+        std::fs::write(kept_a.join("f.txt"), b"x").unwrap();
+        drop(a);
+        assert!(!kept_a.exists(), "drop removes the tree");
+        let kept_b = b.path().to_path_buf();
+        b.close().unwrap();
+        assert!(!kept_b.exists());
+    }
+
+    #[test]
+    fn into_path_detaches_cleanup() {
+        let d = tempdir().unwrap();
+        let p = d.into_path();
+        assert!(p.is_dir());
+        std::fs::remove_dir_all(&p).unwrap();
+    }
+}
