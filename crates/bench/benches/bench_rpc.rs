@@ -130,6 +130,7 @@ fn bench_dispatch_overhead(c: &mut Criterion) {
             for (i, level) in hash_levels.iter().enumerate() {
                 black_box(dht.lookup_many(
                     PeerId(i as u64 % PEERS as u64),
+                    i as u64,
                     level,
                     |_, v| match v {
                         Some(block) => (
@@ -150,7 +151,7 @@ fn bench_dispatch_overhead(c: &mut Criterion) {
     g.bench_function("rpc/global_index_lookup_many", |b| {
         b.iter(|| {
             for (i, level) in levels.iter().enumerate() {
-                black_box(index.lookup_many(PeerId(i as u64 % PEERS as u64), level));
+                black_box(index.lookup_many(PeerId(i as u64 % PEERS as u64), i as u64, level));
             }
         })
     });

@@ -3,20 +3,43 @@
 //! delivery latencies, retransmissions and the virtual makespan.
 //!
 //! ```text
-//! cargo run -p hdk-bench --release --bin latency_sweep [peers docs queries]
+//! cargo run -p hdk-bench --release --bin latency_sweep [--json] [peers docs queries skew]
 //! ```
+//!
+//! `--json` emits the sweep as a single JSON document on stdout instead of
+//! the aligned table. `skew` (default 0) Zipf-weights the query replay via
+//! the corpus crate's shared sampler.
 
-use hdk_bench::latency::{print_latency_sweep, run_latency_sweep};
+use hdk_bench::latency::{latency_sweep_json, print_latency_sweep, run_latency_sweep};
 
 fn main() {
-    let args: Vec<usize> = std::env::args()
-        .skip(1)
-        .map(|a| a.parse().expect("numeric args: peers docs queries"))
-        .collect();
-    let peers = args.first().copied().unwrap_or(8);
-    let docs = args.get(1).copied().unwrap_or(600);
-    let queries = args.get(2).copied().unwrap_or(60);
-    eprintln!("[latency] peers={peers} docs={docs} queries={queries}");
-    let points = run_latency_sweep(peers, docs, queries);
-    print_latency_sweep(&points);
+    let mut json = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let num = |i: usize, default: usize| -> usize {
+        positional
+            .get(i)
+            .map(|a| a.parse().expect("numeric args: peers docs queries"))
+            .unwrap_or(default)
+    };
+    let peers = num(0, 8);
+    let docs = num(1, 600);
+    let queries = num(2, 60);
+    let skew: f64 = positional
+        .get(3)
+        .map(|a| a.parse().expect("skew is a number"))
+        .unwrap_or(0.0);
+    eprintln!("[latency] peers={peers} docs={docs} queries={queries} skew={skew}");
+    let points = run_latency_sweep(peers, docs, queries, skew);
+    if json {
+        println!("{}", latency_sweep_json(&points));
+    } else {
+        print_latency_sweep(&points);
+    }
 }

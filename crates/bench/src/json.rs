@@ -1,0 +1,168 @@
+//! Minimal JSON emission for machine-readable bench artifacts.
+//!
+//! The workspace vendors its dependencies, so rather than pulling in a
+//! serialization framework for two small reports this module hand-rolls
+//! the subset of JSON the bench artifacts need: finite numbers, strings,
+//! booleans, arrays and objects, rendered with stable key order so the
+//! artifacts diff cleanly run over run.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Construct with the `From` impls and [`Json::obj`] /
+/// [`Json::arr`], render with [`Json::render`].
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A number. Must be finite — JSON has no NaN/Inf encoding.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, keeping the given order.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr<I: IntoIterator<Item = Json>>(items: I) -> Self {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Renders the value as compact JSON.
+    ///
+    /// # Panics
+    /// Panics on non-finite numbers — bench metrics are always finite, and
+    /// silently emitting `null` would corrupt downstream tooling.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Num(v) => {
+                assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+                // Integers render without a fractional part so counters
+                // stay readable as counters.
+                if *v == v.trunc() && v.abs() < 9e15 {
+                    let _ = write!(out, "{}", *v as i64);
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj([
+            ("name", "read_scaling".into()),
+            ("points", Json::arr([Json::obj([("r", 3u64.into())])])),
+            ("ok", true.into()),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"read_scaling","points":[{"r":3}],"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::Num(42.0).render(), "42");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::Str("a\"b\\c\nd".into()).render(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        let _ = Json::Num(f64::NAN).render();
+    }
+}

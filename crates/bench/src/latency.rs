@@ -9,6 +9,7 @@
 //! latency, retransmissions, and the virtual makespan of the whole
 //! scenario.
 
+use crate::json::Json;
 use hdk_core::{BackendConfig, HdkConfig, HdkNetwork, OverlayKind};
 use hdk_corpus::{
     partition_documents, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig,
@@ -81,8 +82,16 @@ pub fn sweep_configs() -> Vec<(&'static str, SimNetConfig)> {
 }
 
 /// Builds the scenario once per configuration and measures it. `docs`
-/// documents over `peers` peers, `queries` log queries.
-pub fn run_latency_sweep(peers: usize, docs: usize, queries: usize) -> Vec<LatencyPoint> {
+/// documents over `peers` peers, `queries` replayed queries drawn from a
+/// log of the same size by the shared corpus-crate Zipf sampler
+/// ([`QueryLog::zipf_replay`]) — `skew == 0` replays a flat stream,
+/// higher skews concentrate the replay on the head of the log.
+pub fn run_latency_sweep(
+    peers: usize,
+    docs: usize,
+    queries: usize,
+    skew: f64,
+) -> Vec<LatencyPoint> {
     let collection = CollectionGenerator::new(GeneratorConfig {
         num_docs: docs,
         vocab_size: (docs * 12).max(2_000),
@@ -100,6 +109,7 @@ pub fn run_latency_sweep(peers: usize, docs: usize, queries: usize) -> Vec<Laten
             ..QueryLogConfig::default()
         },
     );
+    let replay = log.zipf_replay(skew, queries, 0x5EED);
 
     sweep_configs()
         .into_iter()
@@ -116,10 +126,15 @@ pub fn run_latency_sweep(peers: usize, docs: usize, queries: usize) -> Vec<Laten
                 BackendConfig::SimNet(config),
             );
             let service = network.query_service();
-            let batch: Vec<(PeerId, &[TermId])> = log
-                .queries
+            let batch: Vec<(PeerId, &[TermId])> = replay
                 .iter()
-                .map(|q| (PeerId(u64::from(q.id) % peers as u64), q.terms.as_slice()))
+                .enumerate()
+                .map(|(pos, &qi)| {
+                    (
+                        PeerId(pos as u64 % peers as u64),
+                        log.queries[qi].terms.as_slice(),
+                    )
+                })
                 .collect();
             let _ = service.query_batch(&batch, 20);
             let snap = service.snapshot();
@@ -172,13 +187,37 @@ pub fn print_latency_sweep(points: &[LatencyPoint]) {
     }
 }
 
+/// Renders the sweep as a JSON document (the `--json` path of the
+/// `latency_sweep` binary).
+pub fn latency_sweep_json(points: &[LatencyPoint]) -> String {
+    Json::obj([
+        ("bench", "latency_sweep".into()),
+        (
+            "points",
+            Json::arr(points.iter().map(|p| {
+                Json::obj([
+                    ("network", p.label.into()),
+                    ("response_mean_ns", p.response_mean_ns.into()),
+                    ("response_p99_ns", p.response_p99_ns.into()),
+                    ("response_max_ns", p.response_max_ns.into()),
+                    ("insert_mean_ns", p.insert_mean_ns.into()),
+                    ("retries", p.retries.into()),
+                    ("retransmission_bytes", p.retransmission_bytes.into()),
+                    ("virtual_ns", p.virtual_ns.into()),
+                ])
+            })),
+        ),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn sweep_orders_by_network_speed() {
-        let points = run_latency_sweep(4, 150, 20);
+        let points = run_latency_sweep(4, 150, 20, 0.0);
         assert_eq!(points.len(), 3);
         let (lan, wan, lossy) = (&points[0], &points[1], &points[2]);
         assert!(lan.response_mean_ns > 0.0, "LAN must still take time");
@@ -200,5 +239,16 @@ mod tests {
             "loss can only slow the same message stream down"
         );
         assert!(lan.virtual_ns < wan.virtual_ns);
+    }
+
+    #[test]
+    fn json_rendering_covers_every_point() {
+        let points = run_latency_sweep(4, 120, 10, 1.2);
+        let json = latency_sweep_json(&points);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for p in &points {
+            assert!(json.contains(&format!("\"network\":\"{}\"", p.label)));
+        }
+        assert!(json.contains("\"virtual_ns\":"));
     }
 }

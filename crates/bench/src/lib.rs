@@ -25,14 +25,18 @@
 
 pub mod availability;
 pub mod figures;
+pub mod json;
 pub mod latency;
 pub mod memory;
 pub mod profile;
+pub mod read_scaling;
 pub mod report;
 pub mod runner;
 
 pub use availability::{print_availability_study, run_availability_study, AvailabilityPoint};
+pub use json::Json;
 pub use latency::{run_latency_sweep, LatencyPoint};
 pub use profile::ExperimentProfile;
+pub use read_scaling::{run_read_scaling, ReadScalingReport};
 pub use report::Table;
 pub use runner::{run_growth_sweep, PointMeasurement, SystemMeasurement};

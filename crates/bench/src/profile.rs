@@ -155,6 +155,8 @@ impl ExperimentProfile {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            hot_threshold: 0,
+            hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
         }
     }

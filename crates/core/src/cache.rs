@@ -11,10 +11,21 @@
 //! messages, no postings on the wire. Cached postings are the same encoded
 //! block the index stores and the wire carried (the underlying `Bytes`
 //! buffer is refcounted), so a hit is zero-copy and the cache's memory cost
-//! is the block, not a decoded list. The cache is invalidated wholesale when the
-//! index changes: it remembers the network's *epoch* (bumped by
-//! `add_documents` / `join_peer`) and self-clears on mismatch, so stale
-//! postings can never be served.
+//! is the block, not a decoded list.
+//!
+//! ## Logical TTLs instead of wholesale clears
+//!
+//! Invalidation is per entry: every entry remembers the index *epoch*
+//! (bumped by `add_documents` / `join_peer` / churn) it was fetched under,
+//! and expires once the epoch has advanced by its logical TTL —
+//! [`QueryCache::with_ttl`] configures one TTL for positive entries and
+//! one for negative (absent-key) entries, the lattice walk's dominant
+//! probe outcome. The default ([`QueryCache::new`]) keeps both TTLs at 1,
+//! which is *exactly* the historical wholesale-clear behavior: every
+//! entry dies on the first epoch advance, so stale postings can never be
+//! served. Larger TTLs are an explicit opt-in to bounded staleness: a
+//! churn wave then expires only the entries whose TTL budget is spent,
+//! instead of nuking the whole warm set.
 //!
 //! ## Lock striping
 //!
@@ -93,11 +104,18 @@ impl CachePeek {
     }
 }
 
+/// One cached response: the value (`None` caches *absence*), its LRU
+/// stamp, and the index epoch it was fetched under (its TTL anchor).
+#[derive(Debug)]
+struct Entry {
+    value: Option<KeyLookup>,
+    stamp: u64,
+    born: u64,
+}
+
 #[derive(Debug, Default)]
 struct Stripe {
-    /// `None` values cache *absence* — sound because any index change
-    /// bumps the epoch and clears the cache.
-    map: HashMap<Key, (Option<KeyLookup>, u64)>,
+    map: HashMap<Key, Entry>,
     epoch: u64,
     stats: CacheStats,
 }
@@ -118,6 +136,12 @@ impl Stripe {
 #[derive(Debug)]
 pub struct QueryCache {
     capacity: usize,
+    /// Epoch advances a positive (found-key) entry survives.
+    positive_ttl: u64,
+    /// Epoch advances a negative (absent-key) entry survives. Typically
+    /// ≤ `positive_ttl`: an absent key is exactly what an index *gain*
+    /// changes, so absence intelligence ages faster.
+    negative_ttl: u64,
     /// Global LRU clock: every access stamps with a fresh tick, so stamps
     /// are unique and totally ordered across stripes.
     clock: AtomicU64,
@@ -130,14 +154,34 @@ pub struct QueryCache {
 }
 
 impl QueryCache {
-    /// Cache holding at most `capacity` keys (across all stripes).
+    /// Cache holding at most `capacity` keys (across all stripes), with
+    /// both TTLs at 1 epoch — entries die on the first index change,
+    /// bit-identical to the historical wholesale-clear cache.
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        Self::with_ttl(capacity, 1, 1)
+    }
+
+    /// Cache with explicit logical TTLs (in index-epoch advances) for
+    /// positive and negative entries. A TTL of 1 means "valid only under
+    /// the epoch it was fetched at"; `n > 1` serves the entry through the
+    /// next `n - 1` index changes — bounded, explicit staleness in
+    /// exchange for keeping the warm set across churn.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or either TTL is 0.
+    pub fn with_ttl(capacity: usize, positive_ttl: u64, negative_ttl: u64) -> Self {
         assert!(capacity > 0, "cache needs capacity");
+        assert!(
+            positive_ttl > 0 && negative_ttl > 0,
+            "TTLs are at least one epoch"
+        );
         Self {
             capacity,
+            positive_ttl,
+            negative_ttl,
             clock: AtomicU64::new(0),
             len: AtomicUsize::new(0),
             epoch: AtomicU64::new(0),
@@ -147,11 +191,12 @@ impl QueryCache {
         }
     }
 
-    /// Invalidates wholesale when the observed index epoch moved
-    /// *forward*: one atomic load on the hot path; on an advance (rare —
-    /// the index grew) every stripe is swept, one lock at a time, so the
-    /// cache empties exactly like the pre-striping single-map
-    /// implementation did.
+    /// Expires per-entry when the observed index epoch moved *forward*:
+    /// one atomic load on the hot path; on an advance (rare — the index
+    /// changed) every stripe drops exactly the entries whose TTL budget
+    /// the advance spent, one lock at a time. At the default TTL of 1
+    /// that is every entry — the historical wholesale clear — while
+    /// larger TTLs keep the still-fresh warm set.
     ///
     /// Epochs are monotonic (the engine's growth counter), so a straggler
     /// still carrying an older epoch — a query that overlapped a growth
@@ -168,15 +213,28 @@ impl QueryCache {
         }
     }
 
-    /// Locks `key`'s stripe, dropping its entries if the observed index
-    /// epoch moved forward (stripes clear lazily, on first access per
-    /// epoch). A stale `epoch` leaves the stripe untouched — the caller
-    /// must consult [`Stripe::current`] before reading or writing entries.
+    /// Locks `key`'s stripe, expiring the entries whose TTL lapsed if the
+    /// observed index epoch moved forward (stripes expire lazily, on
+    /// first access per epoch). Every surviving entry is fresh at
+    /// `epoch`, so readers past this point need no per-entry freshness
+    /// check. A stale `epoch` leaves the stripe untouched — the caller
+    /// must consult [`Stripe::current`] before reading or writing
+    /// entries.
     fn lock_synced(&self, stripe: usize, epoch: u64) -> parking_lot::MutexGuard<'_, Stripe> {
         let mut guard = self.stripes[stripe].lock();
         if guard.epoch < epoch {
-            self.len.fetch_sub(guard.map.len(), Ordering::AcqRel);
-            guard.map.clear();
+            let before = guard.map.len();
+            let (positive, negative) = (self.positive_ttl, self.negative_ttl);
+            guard.map.retain(|_, e| {
+                let ttl = if e.value.is_some() {
+                    positive
+                } else {
+                    negative
+                };
+                epoch.saturating_sub(e.born) < ttl
+            });
+            self.len
+                .fetch_sub(before - guard.map.len(), Ordering::AcqRel);
             guard.epoch = epoch;
         }
         guard
@@ -187,11 +245,23 @@ impl QueryCache {
         self.clock.fetch_add(1, Ordering::AcqRel) + 1
     }
 
-    /// Inserts `key` into its (already locked and synced) stripe; the
-    /// caller must follow up with [`QueryCache::enforce_capacity`] *after*
-    /// releasing the stripe lock.
-    fn insert_entry(&self, guard: &mut Stripe, key: Key, value: Option<KeyLookup>, clock: u64) {
-        if guard.map.insert(key, (value, clock)).is_none() {
+    /// Inserts `key` into its (already locked and synced) stripe, born at
+    /// `epoch`; the caller must follow up with
+    /// [`QueryCache::enforce_capacity`] *after* releasing the stripe lock.
+    fn insert_entry(
+        &self,
+        guard: &mut Stripe,
+        key: Key,
+        value: Option<KeyLookup>,
+        clock: u64,
+        epoch: u64,
+    ) {
+        let entry = Entry {
+            value,
+            stamp: clock,
+            born: epoch,
+        };
+        if guard.map.insert(key, entry).is_none() {
             self.len.fetch_add(1, Ordering::AcqRel);
         }
     }
@@ -206,9 +276,12 @@ impl QueryCache {
             let mut victim: Option<(usize, Key, u64)> = None;
             for stripe in 0..NUM_CACHE_STRIPES {
                 let guard = self.lock_synced(stripe, epoch);
-                for (key, (_, stamp)) in guard.map.iter() {
-                    if victim.as_ref().is_none_or(|(_, _, best)| stamp < best) {
-                        victim = Some((stripe, *key, *stamp));
+                for (key, entry) in guard.map.iter() {
+                    if victim
+                        .as_ref()
+                        .is_none_or(|(_, _, best)| entry.stamp < *best)
+                    {
+                        victim = Some((stripe, *key, entry.stamp));
                     }
                 }
             }
@@ -219,7 +292,7 @@ impl QueryCache {
             // Remove only if the entry is still the one we scanned: a
             // racing hit may have re-stamped it (then it is no longer the
             // LRU and the loop rescans).
-            if guard.map.get(&key).is_some_and(|(_, s)| *s == stamp) {
+            if guard.map.get(&key).is_some_and(|e| e.stamp == stamp) {
                 guard.map.remove(&key);
                 self.len.fetch_sub(1, Ordering::AcqRel);
             }
@@ -245,9 +318,9 @@ impl QueryCache {
             return fetch();
         }
         let clock = self.tick();
-        if let Some((cached, stamp)) = guard.map.get_mut(&key) {
-            *stamp = clock;
-            let result = cached.clone();
+        if let Some(entry) = guard.map.get_mut(&key) {
+            entry.stamp = clock;
+            let result = entry.value.clone();
             guard.stats.hits += 1;
             guard.stats.postings_saved += result.as_ref().map_or(0, |l| l.postings.len() as u64);
             guard.stats.bytes_saved += result
@@ -260,7 +333,7 @@ impl QueryCache {
         // peer are serialized (what a real per-peer cache does), while
         // other stripes stay reachable for concurrent callers.
         let fetched = fetch();
-        self.insert_entry(&mut guard, key, fetched.clone(), clock);
+        self.insert_entry(&mut guard, key, fetched.clone(), clock, epoch);
         drop(guard);
         self.enforce_capacity(epoch);
         fetched
@@ -292,7 +365,7 @@ impl QueryCache {
                     return CachePeek::Miss;
                 }
                 match guard.map.get(key) {
-                    Some((cached, _)) => CachePeek::Hit(cached.clone()),
+                    Some(entry) => CachePeek::Hit(entry.value.clone()),
                     None => CachePeek::Miss,
                 }
             })
@@ -339,14 +412,14 @@ impl QueryCache {
                     .as_ref()
                     .map_or(0, |l| l.postings.encoded_len() as u64);
                 match guard.map.get_mut(key) {
-                    Some((_, stamp)) => *stamp = clock,
+                    Some(entry) => entry.stamp = clock,
                     // Evicted between peek and commit (an earlier miss in
                     // this level filled the cache): the response was still
                     // served locally, so restore the entry at the fresh
                     // stamp — under the capacity bound — rather than
                     // leaving the hit untracked.
                     None => {
-                        self.insert_entry(&mut guard, *key, resolved.clone(), clock);
+                        self.insert_entry(&mut guard, *key, resolved.clone(), clock, epoch);
                         drop(guard);
                         self.enforce_capacity(epoch);
                     }
@@ -354,7 +427,7 @@ impl QueryCache {
                 continue;
             }
             guard.stats.misses += 1;
-            self.insert_entry(&mut guard, *key, resolved.clone(), clock);
+            self.insert_entry(&mut guard, *key, resolved.clone(), clock, epoch);
             drop(guard);
             self.enforce_capacity(epoch);
         }
@@ -373,8 +446,8 @@ impl QueryCache {
         total
     }
 
-    /// Number of cached keys (entries of a stale epoch count until an
-    /// access sweeps their stripe, as before the striping).
+    /// Number of cached keys (TTL-expired entries count until an access
+    /// sweeps their stripe, as before the striping).
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Acquire)
     }
@@ -435,8 +508,9 @@ mod tests {
 
     #[test]
     fn negative_results_are_cached_too() {
-        // Absence is epoch-stable (any index change clears the cache), so
-        // repeated probes of a missing key stay local.
+        // Absence is epoch-stable (at the default TTL of 1 any index
+        // change expires it), so repeated probes of a missing key stay
+        // local.
         let cache = QueryCache::new(8);
         let mut fetches = 0;
         for _ in 0..3 {
@@ -494,6 +568,114 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = QueryCache::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TTL")]
+    fn zero_ttl_rejected() {
+        let _ = QueryCache::with_ttl(8, 1, 0);
+    }
+
+    #[test]
+    fn positive_ttl_survives_epoch_bumps_until_spent() {
+        // TTL 3: an entry born at epoch 0 serves through epochs 1 and 2
+        // (two index changes!) and expires at epoch 3.
+        let cache = QueryCache::with_ttl(8, 3, 1);
+        cache.get_or_fetch(0, key(1), || Some(lookup(1)));
+        for epoch in 1..3 {
+            let got = cache.get_or_fetch(epoch, key(1), || unreachable!("hit within TTL"));
+            assert_eq!(got.unwrap().df, 1, "epoch {epoch} still within TTL");
+        }
+        let mut refetched = false;
+        cache.get_or_fetch(3, key(1), || {
+            refetched = true;
+            Some(lookup(9))
+        });
+        assert!(refetched, "TTL spent at epoch 3");
+        // The refetched entry is born at epoch 3: fresh again until 6.
+        let got = cache.get_or_fetch(5, key(1), || unreachable!("reborn entry is fresh"));
+        assert_eq!(got.unwrap().df, 9);
+    }
+
+    #[test]
+    fn negative_entries_age_faster_than_positive() {
+        // Positive TTL 3, negative TTL 1: after one epoch bump the absent
+        // key re-probes (the index may have gained it) while the found
+        // key still serves locally.
+        let cache = QueryCache::with_ttl(8, 3, 1);
+        cache.get_or_fetch(0, key(1), || Some(lookup(1)));
+        cache.get_or_fetch(0, key(2), || None);
+        let got = cache.get_or_fetch(1, key(1), || unreachable!("positive entry within TTL"));
+        assert_eq!(got.unwrap().df, 1);
+        let mut refetched = false;
+        let got = cache.get_or_fetch(1, key(2), || {
+            refetched = true;
+            Some(lookup(2))
+        });
+        assert!(refetched, "negative entry expired after one epoch");
+        assert_eq!(got.unwrap().df, 2, "the key appeared and is now served");
+    }
+
+    #[test]
+    fn ttl_expiry_spares_the_warm_set() {
+        // The precise-invalidation claim: an epoch bump expires exactly
+        // the entries whose TTL lapsed, not the whole warm set.
+        let cache = QueryCache::with_ttl(8, 2, 1);
+        cache.get_or_fetch(0, key(1), || Some(lookup(1)));
+        cache.get_or_fetch(0, key(2), || None); // negative, TTL 1
+        cache.get_or_fetch(1, key(3), || Some(lookup(3)));
+        // Epoch 2: key 1 (born 0, TTL 2) and key 2 (born 0, TTL 1) are
+        // spent; key 3 (born 1, TTL 2) survives.
+        cache.get_or_fetch(2, key(3), || unreachable!("warm entry survives the bump"));
+        assert_eq!(cache.len(), 1, "expired entries swept, warm one kept");
+        assert!(cache.peek_level(2, &[key(3)])[0].is_hit());
+        assert!(!cache.peek_level(2, &[key(1)])[0].is_hit());
+        assert!(!cache.peek_level(2, &[key(2)])[0].is_hit());
+    }
+
+    #[test]
+    fn level_batched_api_respects_ttls() {
+        // peek/commit sees the same expiry as get_or_fetch: commit under
+        // a new epoch births entries at that epoch.
+        let cache = QueryCache::with_ttl(8, 2, 2);
+        cache.commit_level(
+            0,
+            &[(key(1), Some(lookup(1)), false), (key(2), None, false)],
+        );
+        assert!(cache.peek_level(1, &[key(1)])[0].is_hit());
+        assert!(
+            cache.peek_level(1, &[key(2)])[0].is_hit(),
+            "negative entry within TTL is a (negative) hit"
+        );
+        assert!(!cache.peek_level(2, &[key(1)])[0].is_hit());
+        assert!(!cache.peek_level(2, &[key(2)])[0].is_hit());
+        assert_eq!(cache.len(), 0, "the epoch-2 peeks swept both");
+    }
+
+    #[test]
+    fn stale_epoch_stragglers_bypass_ttl_entries_too() {
+        // The straggler regression, TTL > 1 edition: a pre-growth caller
+        // must neither read the newer (still-fresh) entries nor expire
+        // them nor plant its own — even though a TTL of 3 would nominally
+        // cover its older epoch.
+        let cache = QueryCache::with_ttl(8, 3, 3);
+        cache.get_or_fetch(1, key(1), || Some(lookup(1)));
+
+        let mut fetched = false;
+        let got = cache.get_or_fetch(0, key(1), || {
+            fetched = true;
+            Some(lookup(99))
+        });
+        assert!(fetched, "stale caller must not be served newer entries");
+        assert_eq!(got.unwrap().df, 99);
+        assert_eq!(cache.len(), 1, "stale fetch must not be cached");
+        assert!(!cache.peek_level(0, &[key(1)])[0].is_hit());
+        cache.commit_level(0, &[(key(2), Some(lookup(2)), false)]);
+        assert_eq!(cache.len(), 1, "stale commit must not plant entries");
+
+        // The fresh entry is untouched and serves through its full TTL.
+        let got = cache.get_or_fetch(3, key(1), || unreachable!("TTL covers epochs 1..4"));
+        assert_eq!(got.unwrap().df, 1);
     }
 
     /// Replays one access trace through both APIs; `None` entries are keys

@@ -96,6 +96,16 @@ pub struct HdkConfig {
     /// up to `R - 1` simultaneous peer crashes between repair sweeps at
     /// `R×` insert traffic and storage.
     pub replication: usize,
+    /// Popularity-driven replication threshold: when a key's lookup hit
+    /// counter reaches this value between two `rebalance_hot` passes, the
+    /// pass materializes `hot_extra` extra replicas for it along the
+    /// successor walk (demoted again when popularity decays). `0` — the
+    /// default — disables the mechanism entirely: no counters, no extra
+    /// copies, bit-identical to the structural-replication-only engine.
+    pub hot_threshold: u64,
+    /// Extra replicas a promoted hot key gains on top of the structural
+    /// `R` (only meaningful when `hot_threshold > 0`).
+    pub hot_extra: usize,
     /// Storage backend for the hosted index fractions. The constructors
     /// read it from the `HDK_STORE` environment variable
     /// ([`StoreConfig::from_env`]), defaulting to the in-memory store.
@@ -114,6 +124,8 @@ impl HdkConfig {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            hot_threshold: 0,
+            hot_extra: 1,
             store: StoreConfig::from_env(),
         }
     }
@@ -143,6 +155,10 @@ impl HdkConfig {
             self.replication >= 1,
             "replication factor must be at least 1"
         );
+        assert!(
+            self.hot_threshold == 0 || self.hot_extra >= 1,
+            "hot_extra must be at least 1 when popularity replication is on"
+        );
     }
 
     /// Scales the collection-dependent thresholds for a collection whose
@@ -161,6 +177,8 @@ impl HdkConfig {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            hot_threshold: 0,
+            hot_extra: 1,
             store: StoreConfig::from_env(),
         }
     }
@@ -178,6 +196,8 @@ impl Default for HdkConfig {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            hot_threshold: 0,
+            hot_extra: 1,
             store: StoreConfig::from_env(),
         }
     }
@@ -237,6 +257,17 @@ mod tests {
     fn zero_replication_rejected() {
         let c = HdkConfig {
             replication: 0,
+            ..HdkConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_extra")]
+    fn hot_threshold_without_extras_rejected() {
+        let c = HdkConfig {
+            hot_threshold: 5,
+            hot_extra: 0,
             ..HdkConfig::default()
         };
         c.validate();

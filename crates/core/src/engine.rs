@@ -504,6 +504,21 @@ impl IndexService {
         self.core.index.write().repair()
     }
 
+    /// The popularity-driven replication pass: snapshots the per-key
+    /// lookup hit counters, gives keys that crossed
+    /// [`HdkConfig::hot_threshold`](crate::HdkConfig) extra replicas along
+    /// the successor walk (one `HotReplicate` message per new copy),
+    /// demotes keys whose popularity decayed, and halves every counter.
+    /// A no-op when the threshold is 0 (the default).
+    ///
+    /// Holds the index write lock like [`IndexService::repair`] (the pass
+    /// rewrites holder sets, and racing queries would observe torn replica
+    /// sets). The epoch does **not** bump: the pass copies existing
+    /// content, so every cached lookup stays valid.
+    pub fn rebalance_hot(&mut self) -> hdk_p2p::HotStats {
+        self.core.index.write().rebalance_hot()
+    }
+
     /// A wave of peers restarts in place: each loses its hot (in-memory)
     /// tier and replays its own segment log — host-local disk I/O, never
     /// a message — then **one** repair sweep closes whatever gap the logs
@@ -779,7 +794,7 @@ impl HdkNetwork {
             })
             .collect();
 
-        let index = GlobalIndex::with_backend(
+        let mut index = GlobalIndex::with_backend(
             backend.build(
                 overlay.build(peer_ids),
                 config.dfmax,
@@ -788,6 +803,10 @@ impl HdkNetwork {
             ),
             config.dfmax,
         );
+        index.set_hot_config(hdk_p2p::HotConfig {
+            threshold: config.hot_threshold,
+            extra: config.hot_extra,
+        });
         let coll_stats = collection.stats();
         let core = Arc::new(SystemCore {
             config,
@@ -868,6 +887,11 @@ impl HdkNetwork {
     /// See [`IndexService::repair`].
     pub fn repair(&mut self) -> hdk_p2p::RepairStats {
         self.indexer.repair()
+    }
+
+    /// See [`IndexService::rebalance_hot`].
+    pub fn rebalance_hot(&mut self) -> hdk_p2p::HotStats {
+        self.indexer.rebalance_hot()
     }
 
     /// See [`IndexService::restart_peers`].

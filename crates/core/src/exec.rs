@@ -39,7 +39,7 @@ use crate::key::Key;
 use crate::plan::{self, NodeOutcome, QueryPlan};
 use crate::stats::{LevelProfile, QueryProfile};
 use hdk_ir::{ScoreAccumulator, SearchResult};
-use hdk_p2p::PeerId;
+use hdk_p2p::{hash_u64s, PeerId};
 use hdk_text::TermId;
 use rayon::prelude::*;
 use std::time::Instant;
@@ -72,20 +72,37 @@ impl Resolved {
     }
 }
 
+/// Derives the replica-spread attribute of one query: a pure hash of the
+/// querying peer, the query terms, and a caller-chosen `salt` (0 for
+/// standalone queries; the batch position in [`QueryService::query_batch`],
+/// so Zipf-repeated queries in one log spread across replicas). Being a
+/// function of message attributes only, the id — and therefore every
+/// replica pick it drives — is identical at any thread count.
+pub fn derive_query_id(from: PeerId, terms: &[TermId], salt: u64) -> u64 {
+    let mut attrs: Vec<u64> = Vec::with_capacity(terms.len() + 2);
+    attrs.push(from.0);
+    attrs.push(salt);
+    attrs.extend(terms.iter().map(|t| u64::from(t.0)));
+    hash_u64s(&attrs)
+}
+
 /// Executes [`QueryPlan`]s for one querying peer against one network's
 /// [`QueryService`], optionally through the peer's [`QueryCache`].
 pub struct QueryExecutor<'a> {
     service: &'a QueryService,
     from: PeerId,
+    query_id: u64,
     cache: Option<&'a QueryCache>,
 }
 
 impl<'a> QueryExecutor<'a> {
-    /// Executor probing the DHT directly.
-    pub fn new(service: &'a QueryService, from: PeerId) -> Self {
+    /// Executor probing the DHT directly. `query_id` is the replica-spread
+    /// attribute every probe carries (see [`derive_query_id`]).
+    pub fn new(service: &'a QueryService, from: PeerId, query_id: u64) -> Self {
         Self {
             service,
             from,
+            query_id,
             cache: None,
         }
     }
@@ -93,10 +110,16 @@ impl<'a> QueryExecutor<'a> {
     /// Executor consulting `cache` before every probe. Hits cost no
     /// messages and no postings; only misses appear in the
     /// [`QueryOutcome`] and the traffic meters.
-    pub fn with_cache(service: &'a QueryService, from: PeerId, cache: &'a QueryCache) -> Self {
+    pub fn with_cache(
+        service: &'a QueryService,
+        from: PeerId,
+        query_id: u64,
+        cache: &'a QueryCache,
+    ) -> Self {
         Self {
             service,
             from,
+            query_id,
             cache: Some(cache),
         }
     }
@@ -201,7 +224,7 @@ impl<'a> QueryExecutor<'a> {
     fn resolve_level(&self, index: &GlobalIndex, epoch: u64, nodes: &[Key]) -> Vec<Resolved> {
         let Some(cache) = self.cache else {
             return index
-                .lookup_many(self.from, nodes)
+                .lookup_many(self.from, self.query_id, nodes)
                 .into_iter()
                 .map(|lookup| Resolved {
                     lookup,
@@ -219,7 +242,7 @@ impl<'a> QueryExecutor<'a> {
         let mut fetched = if miss_keys.is_empty() {
             Vec::new()
         } else {
-            index.lookup_many(self.from, &miss_keys)
+            index.lookup_many(self.from, self.query_id, &miss_keys)
         }
         .into_iter();
         let mut out = Vec::with_capacity(nodes.len());
@@ -264,8 +287,24 @@ impl QueryService {
         query: &[TermId],
         k: usize,
     ) -> (QueryOutcome, QueryProfile) {
+        self.query_salted(from, query, k, 0)
+    }
+
+    /// [`QueryService::query_profiled`] with an explicit spread salt (the
+    /// batch position in [`QueryService::query_batch`]): at `R > 1`,
+    /// distinct salts let *identical* repeated queries land on distinct
+    /// replicas. At `R = 1` the salt is unobservable, so the salted and
+    /// plain paths agree bit for bit.
+    fn query_salted(
+        &self,
+        from: PeerId,
+        query: &[TermId],
+        k: usize,
+        salt: u64,
+    ) -> (QueryOutcome, QueryProfile) {
         let plan = QueryPlan::new(query, self.config().smax);
-        QueryExecutor::new(self, from).run(&plan, k)
+        let query_id = derive_query_id(from, query, salt);
+        QueryExecutor::new(self, from, query_id).run(&plan, k)
     }
 
     /// Evaluates a batch of independent queries in parallel over the rayon
@@ -282,14 +321,22 @@ impl QueryService {
     ///
     /// Terms are generic over `AsRef<[TermId]>` so call sites can pass
     /// borrowed slices (`&q.terms`) without cloning every query.
+    ///
+    /// Each query's spread salt is its batch position — a pure positional
+    /// attribute, so the replica picks are identical at any thread count,
+    /// yet Zipf-repeated queries in one log rotate over the replica set
+    /// instead of pinning one holder.
     pub fn query_batch<Q: AsRef<[TermId]> + Sync>(
         &self,
         queries: &[(PeerId, Q)],
         k: usize,
     ) -> Vec<QueryOutcome> {
-        queries
-            .par_iter()
-            .map(|(from, terms)| self.query(*from, terms.as_ref(), k))
+        (0..queries.len())
+            .into_par_iter()
+            .map(|i| {
+                let (from, terms) = &queries[i];
+                self.query_salted(*from, terms.as_ref(), k, i as u64).0
+            })
             .collect()
     }
 
@@ -300,9 +347,12 @@ impl QueryService {
         queries: &[(PeerId, Q)],
         k: usize,
     ) -> Vec<(QueryOutcome, QueryProfile)> {
-        queries
-            .par_iter()
-            .map(|(from, terms)| self.query_profiled(*from, terms.as_ref(), k))
+        (0..queries.len())
+            .into_par_iter()
+            .map(|i| {
+                let (from, terms) = &queries[i];
+                self.query_salted(*from, terms.as_ref(), k, i as u64)
+            })
             .collect()
     }
 
@@ -326,7 +376,10 @@ impl QueryService {
         cache: &crate::cache::QueryCache,
     ) -> QueryOutcome {
         let plan = QueryPlan::new(query, self.config().smax);
-        QueryExecutor::with_cache(self, from, cache).run(&plan, k).0
+        let query_id = derive_query_id(from, query, 0);
+        QueryExecutor::with_cache(self, from, query_id, cache)
+            .run(&plan, k)
+            .0
     }
 
     /// The worst-case number of key lookups for a query of `q_len` distinct

@@ -38,9 +38,9 @@ use crate::config::StoreConfig;
 use crate::key::{Key, MAX_KEY_SIZE};
 use hdk_ir::{Bytes, CompressedDocSet, CompressedPostings, Posting, PostingList};
 use hdk_p2p::{
-    Addressed, Dht, InProc, LossStats, Membership, NetworkBackend, Notification, Overlay, PeerId,
-    RecoveryStats, RepairStats, Request, Response, SegmentStore, Store, StoreCodec, StoreService,
-    Tier, TrafficSnapshot,
+    Addressed, Dht, HotConfig, HotStats, InProc, LossStats, Membership, NetworkBackend,
+    Notification, Overlay, PeerId, RecoveryStats, RepairStats, Request, Response, SegmentStore,
+    Store, StoreCodec, StoreService, Tier, TrafficSnapshot,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -556,9 +556,13 @@ impl GlobalIndex {
     /// [`Request::LookupMany`] message. The request routes to the
     /// responsible peer; the response carries the stored block back — the
     /// byte counter is its exact resident size, and the "copy" is a
-    /// refcount bump on the shared block.
+    /// refcount bump on the shared block. The key's own hash serves as
+    /// the spread attribute, so the serving replica is a pure function of
+    /// the key (and the no-spread identity at `R = 1`).
     pub fn lookup(&self, from: PeerId, key: Key) -> Option<KeyLookup> {
-        self.lookup_many(from, &[key]).pop().expect("one response")
+        self.lookup_many(from, key.dht_hash().0, &[key])
+            .pop()
+            .expect("one response")
     }
 
     /// Batched retrieval-time lookup of one query-plan level by peer
@@ -569,9 +573,16 @@ impl GlobalIndex {
     /// [`GlobalIndex::lookup`] of its own (both paths share
     /// [`IndexStore::read`]), so traffic is bit-identical to the
     /// sequential loop.
-    pub fn lookup_many(&self, from: PeerId, keys: &[Key]) -> Vec<Option<KeyLookup>> {
+    ///
+    /// `query_id` is the replica-spread attribute: at `R > 1` each probe's
+    /// serving holder is `hash(query_id, key)` over the live holder set,
+    /// so distinct queries for the same hot key land on distinct replicas
+    /// while identical messages stay identical (determinism at any thread
+    /// count). At `R = 1` the value is irrelevant.
+    pub fn lookup_many(&self, from: PeerId, query_id: u64, keys: &[Key]) -> Vec<Option<KeyLookup>> {
         let request = Request::LookupMany {
             from,
+            query_id,
             keys: keys
                 .iter()
                 .map(|&key| Addressed {
@@ -695,6 +706,26 @@ impl GlobalIndex {
             Response::Repaired(stats) => stats,
             other => unreachable!("Repair answered with {other:?}"),
         }
+    }
+
+    /// The popularity-driven replication pass ([`Request::Rebalance`]):
+    /// snapshots the per-key hit counters, promotes keys whose count
+    /// crossed the configured threshold by materializing extra replicas
+    /// along the successor walk (one [`hdk_p2p::MsgKind::HotReplicate`]
+    /// message per new copy), demotes keys whose popularity decayed, and
+    /// halves all counters (the decay clock). Idempotent between reads;
+    /// a no-op unless [`HotConfig::threshold`] is set.
+    pub fn rebalance_hot(&self) -> HotStats {
+        match self.backend.call(Request::Rebalance) {
+            Response::Rebalanced(stats) => stats,
+            other => unreachable!("Rebalance answered with {other:?}"),
+        }
+    }
+
+    /// Installs the popularity-replication knobs on the underlying DHT
+    /// (engine construction time; not a message).
+    pub fn set_hot_config(&mut self, hot: HotConfig) {
+        self.backend.dht_mut().set_hot_config(hot);
     }
 
     /// A restart wave ([`Request::Restart`]): each peer loses its hot
@@ -1030,7 +1061,7 @@ mod tests {
         let a = build();
         let sequential: Vec<_> = probes.iter().map(|&k| a.lookup(PeerId(3), k)).collect();
         let b = build();
-        let batched = b.lookup_many(PeerId(3), &probes);
+        let batched = b.lookup_many(PeerId(3), 0, &probes);
 
         assert_eq!(sequential.len(), batched.len());
         for (s, m) in sequential.iter().zip(&batched) {

@@ -58,7 +58,7 @@ pub use cache::{CachePeek, CacheStats, QueryCache};
 pub use classify::{classify, KeyClass};
 pub use config::{HdkConfig, StoreConfig, DEFAULT_SEGMENT_HOT_BYTES};
 pub use engine::{BackendConfig, HdkNetwork, IndexService, OverlayKind, QueryService};
-pub use exec::{QueryExecutor, QueryOutcome};
+pub use exec::{derive_query_id, QueryExecutor, QueryOutcome};
 pub use global_index::{
     build_entry_store, GlobalIndex, IndexBackend, IndexCounts, IndexStore, KeyEntry, KeyEntryCodec,
     KeyLookup, PeerStorage,

@@ -40,6 +40,8 @@ impl SingleTermNetwork {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            hot_threshold: 0,
+            hot_extra: 1,
             store: crate::config::StoreConfig::from_env(),
         };
         Self {

@@ -143,6 +143,8 @@ proptest! {
             // R can exceed the peer count: placement caps at the live
             // population, and the backends must still agree.
             replication,
+            hot_threshold: 0,
+            hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
         };
         // The acceptance configuration: zero latency, zero drop.

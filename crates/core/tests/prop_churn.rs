@@ -1,18 +1,21 @@
 //! Property test: churn in both directions converges.
 //!
 //! Any interleaving of `join_peers` (growth), `leave_peers` (graceful
-//! departure), `fail_peers` + repair (crash recovery) and `restart_peers`
-//! (in-place restart: hot state lost, segment logs replayed, one repair)
-//! over a live `R = 2` network must end bit-identical — index content,
-//! query top-k score bits — to a static build over the surviving corpus
-//! (which, since graceful leavers hand everything over and single
-//! crashes/restarts between repairs destroy no content at `R = 2`, is the
-//! full corpus every wave contributed). Both backends run the identical
-//! churn program and must agree with each other on every traffic *count*
-//! as well — including `MsgKind::Repair`, which pins the deterministic
-//! hash-spread choice of each repair copy's source replica: if source
-//! selection depended on scheduling or backend internals, the per-peer
-//! repair counts would diverge here.
+//! departure), `fail_peers` + repair (crash recovery), `restart_peers`
+//! (in-place restart: hot state lost, segment logs replayed, one repair),
+//! skewed read bursts (which feed the popularity counters) and
+//! `rebalance_hot` passes (which promote hot keys to extra replicas and
+//! demote cooled ones) over a live `R = 2` network must end bit-identical
+//! — index content, query top-k score bits — to a static build over the
+//! surviving corpus (which, since graceful leavers hand everything over
+//! and single crashes/restarts between repairs destroy no content at
+//! `R = 2`, is the full corpus every wave contributed). Both backends run
+//! the identical churn program and must agree with each other on every
+//! traffic *count* as well — including `MsgKind::Repair`, which pins the
+//! deterministic hash-spread choice of each repair copy's source replica,
+//! and `MsgKind::HotReplicate`, which pins the promotion pass: if source
+//! selection, replica picks or counter snapshots depended on scheduling
+//! or backend internals, the per-peer counts would diverge here.
 
 use hdk_core::{BackendConfig, HdkConfig, HdkNetwork, IndexService, OverlayKind, QueryService};
 use hdk_corpus::{Collection, DocId, Document};
@@ -54,12 +57,19 @@ enum Op {
     /// One live peer restarts in place: hot state gone, segment log
     /// replayed (a plain crash on the in-memory store), one repair.
     Restart(u8),
+    /// A skewed read burst: one single-term query repeated as a batch, so
+    /// its keys' popularity counters climb toward the promotion threshold
+    /// (and the batch salts exercise the replica-spread pick).
+    HotRead(u8),
+    /// The popularity-driven replication pass: promote keys over the
+    /// threshold to extra replicas, demote cooled ones, halve counters.
+    Rebalance,
 }
 
 /// Ops travel as `(kind, argument)` bytes (the vendored proptest shim has
 /// no `prop_oneof`); [`decode`] maps them onto [`Op`]s.
 fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8)>> {
-    prop::collection::vec((0u8..4, 0u8..8), 2..6)
+    prop::collection::vec((0u8..6, 0u8..8), 2..6)
 }
 
 fn decode(raw: &[(u8, u8)]) -> Vec<Op> {
@@ -68,7 +78,9 @@ fn decode(raw: &[(u8, u8)]) -> Vec<Op> {
             0 => Op::Join(1 + arg % 2),
             1 => Op::Leave(arg),
             2 => Op::FailRepair(arg),
-            _ => Op::Restart(arg),
+            3 => Op::Restart(arg),
+            4 => Op::HotRead(arg),
+            _ => Op::Rebalance,
         })
         .collect()
 }
@@ -78,6 +90,7 @@ fn decode(raw: &[(u8, u8)]) -> Vec<Op> {
 /// network never empties and an `R = 2` single crash never loses content.
 fn run_program(
     indexer: &mut IndexService,
+    query: &QueryService,
     collection: &Collection,
     ops: &[Op],
     chunk: usize,
@@ -135,6 +148,18 @@ fn run_program(
                 let victim = live[pick as usize % live.len()];
                 indexer.restart_peers(&[victim]);
             }
+            Op::HotRead(pick) => {
+                // A batch of identical queries from one live peer: the
+                // batch salts rotate the replica pick while the repeated
+                // key hits climb the popularity counter.
+                let from = live[pick as usize % live.len()];
+                let terms = vec![TermId(u32::from(pick) % VOCAB)];
+                let burst = vec![(from, terms); 4];
+                query.query_batch(&burst, 5);
+            }
+            Op::Rebalance => {
+                indexer.rebalance_hot();
+            }
         }
     }
     Ok(next_doc)
@@ -180,6 +205,10 @@ proptest! {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 2,
+            // Low threshold so the HotRead bursts actually promote keys
+            // and interleaved churn must keep the extended replica sets.
+            hot_threshold: 2,
+            hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
         };
         let ops = decode(&raw_ops);
@@ -209,7 +238,7 @@ proptest! {
                 backend,
             );
             let (mut indexer, query) = network.into_services();
-            indexed = run_program(&mut indexer, &collection, &ops, chunk, boot)?;
+            indexed = run_program(&mut indexer, &query, &collection, &ops, chunk, boot)?;
             let from = indexer.peers()[0].id;
             digests.push(digest_queries(&query, from, &queries));
             counts.push(query.index().index_counts());

@@ -128,6 +128,8 @@ proptest! {
             exact_intrinsic: false,
             redundancy_filtering: true,
             replication: 1,
+            hot_threshold: 0,
+            hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
         };
         // Two identical builds (builds are deterministic — pinned by

@@ -105,6 +105,8 @@ proptest! {
                 exact_intrinsic: false,
                 redundancy_filtering: true,
                 replication: 1,
+                hot_threshold: 0,
+                hot_extra: 1,
                 store: hdk_core::StoreConfig::from_env(),
             },
             OverlayKind::PGrid,
@@ -203,6 +205,8 @@ proptest! {
                 exact_intrinsic: true,
                 redundancy_filtering: true,
                 replication: 1,
+                hot_threshold: 0,
+                hot_extra: 1,
                 store: hdk_core::StoreConfig::from_env(),
             },
             OverlayKind::PGrid,

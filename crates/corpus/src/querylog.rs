@@ -15,6 +15,7 @@
 
 use crate::collection::Collection;
 use crate::stats::FrequencyStats;
+use crate::zipf::Zipf;
 use hdk_text::TermId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,6 +137,33 @@ impl QueryLog {
     /// True if the log is empty.
     pub fn is_empty(&self) -> bool {
         self.queries.is_empty()
+    }
+
+    /// Draws a Zipf-weighted replay schedule over the log: `samples`
+    /// positions into [`QueryLog::queries`], where log position `r`
+    /// (0-based) is drawn with probability proportional to
+    /// `(r + 1)^{-skew}` — position in the log doubles as popularity rank,
+    /// matching the paper's observation that real query streams are
+    /// Zipf-distributed. `skew == 0` degenerates to the uniform stream
+    /// (every query equally popular). Deterministic per `(skew, samples,
+    /// seed)`: every bench that replays a skewed stream shares this one
+    /// sampler rather than rolling its own.
+    pub fn zipf_replay(&self, skew: f64, samples: usize, seed: u64) -> Vec<usize> {
+        assert!(!self.is_empty(), "cannot replay an empty query log");
+        assert!(
+            skew.is_finite() && skew >= 0.0,
+            "replay skew must be non-negative, got {skew}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        if skew == 0.0 {
+            // `Zipf::new` requires a strictly positive exponent; the flat
+            // stream is the uniform distribution over log positions.
+            return (0..samples)
+                .map(|_| rng.gen_range(0..self.queries.len()))
+                .collect();
+        }
+        let zipf = Zipf::new(self.queries.len(), skew);
+        (0..samples).map(|_| zipf.sample(&mut rng)).collect()
     }
 
     /// Mean query size (the paper reports 3.02 for its log).
@@ -275,6 +303,48 @@ mod tests {
         let a = QueryLog::generate(&c, &cfg);
         let b = QueryLog::generate(&c, &cfg);
         assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn zipf_replay_is_deterministic_and_in_range() {
+        let c = coll();
+        let log = QueryLog::generate(&c, &QueryLogConfig::default());
+        for skew in [0.0, 0.8, 1.2] {
+            let a = log.zipf_replay(skew, 400, 42);
+            let b = log.zipf_replay(skew, 400, 42);
+            assert_eq!(a, b, "same seed must reproduce the stream at s={skew}");
+            assert_eq!(a.len(), 400);
+            assert!(a.iter().all(|&i| i < log.len()), "indices in range");
+            let other = log.zipf_replay(skew, 400, 43);
+            assert_ne!(a, other, "different seeds must differ at s={skew}");
+        }
+    }
+
+    #[test]
+    fn zipf_replay_concentrates_with_skew() {
+        let c = coll();
+        let log = QueryLog::generate(&c, &QueryLogConfig::default());
+        let head = log.len() / 10; // top decile of ranks
+        let head_share = |stream: &[usize]| {
+            stream.iter().filter(|&&i| i < head).count() as f64 / stream.len() as f64
+        };
+        let flat = head_share(&log.zipf_replay(0.0, 4_000, 7));
+        let mild = head_share(&log.zipf_replay(0.8, 4_000, 7));
+        let steep = head_share(&log.zipf_replay(1.2, 4_000, 7));
+        assert!(
+            (0.05..=0.17).contains(&flat),
+            "uniform head share ~10%, got {flat}"
+        );
+        assert!(mild > flat * 2.0, "s=0.8 concentrates: {mild} vs {flat}");
+        assert!(steep > mild, "s=1.2 concentrates harder: {steep} vs {mild}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn zipf_replay_rejects_negative_skew() {
+        let c = coll();
+        let log = QueryLog::generate(&c, &QueryLogConfig::default());
+        let _ = log.zipf_replay(-1.0, 10, 0);
     }
 
     #[test]

@@ -34,6 +34,19 @@
 //! With `R = 1` and no churn the layer behaves — and meters —
 //! bit-identically to the unreplicated storage it replaces.
 //!
+//! ## Read scaling
+//!
+//! Batched lookups ([`Dht::lookup_many`]) *spread* their reads: each
+//! probe's serving replica is picked by `hash(query_id, key)` over the
+//! key's live holder set, so at `R > 1` a skewed query stream load-
+//! balances across the replica set instead of pinning every read on the
+//! first live holder. On top of the structural `R`, popularity-driven
+//! replication ([`Dht::rebalance_hot`]) promotes keys whose lookup hit
+//! counters cross a configured threshold, materializing extra replicas
+//! along the same successor walk (metered under
+//! [`MsgKind::HotReplicate`]) and demoting them when popularity decays —
+//! all driven by deterministic counter snapshots, never wall clock.
+//!
 //! Every operation is routed (hop-counted) and metered through the
 //! `AtomicU64` counters of [`TrafficMeter`], so the layer is thread-safe
 //! end to end: many peers can index concurrently — matching the paper's
@@ -57,7 +70,9 @@ use crate::overlay::Overlay;
 use crate::replica::{Delivery, Membership, PeerState};
 use crate::store::{MemStore, RecoveryStats, Slot, Store, Tier};
 use crate::transport::{MsgKind, TrafficMeter, TrafficSnapshot};
+use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
 
 /// Number of lock stripes. A power of two so stripe selection is a mask;
 /// large enough that dozens of indexing threads rarely collide, small
@@ -76,6 +91,53 @@ pub struct Dht<V> {
     replication: usize,
     store: Box<dyn Store<V>>,
     meter: TrafficMeter,
+    hot: HotConfig,
+    /// Per-stripe lookup hit counters (key hash → hits since the last
+    /// [`Dht::rebalance_hot`] decay). Bumped only when popularity-driven
+    /// replication is enabled; plain sums, so the counts are independent
+    /// of lookup interleaving and thread schedule.
+    hits: Vec<Mutex<HashMap<u64, u64>>>,
+    /// Keys whose extra replicas the last [`Dht::rebalance_hot`] sweep
+    /// materialized — the churn scans re-derive *their* replica sets with
+    /// `R + extra` walk targets so promotions survive joins, departures
+    /// and repairs.
+    promoted: Mutex<HashSet<u64>>,
+}
+
+/// Popularity-driven replication knobs (see [`Dht::rebalance_hot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotConfig {
+    /// Hits (since the previous sweep's decay) at which a key is *hot*
+    /// and gets extra replicas. `0` disables the mechanism entirely —
+    /// the default, bit-identical to the pre-popularity layer.
+    pub threshold: u64,
+    /// Extra copies a hot key gets beyond the structural `R`.
+    pub extra: usize,
+}
+
+impl Default for HotConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0,
+            extra: 1,
+        }
+    }
+}
+
+/// What a popularity sweep did (extra copies are metered under
+/// [`MsgKind::HotReplicate`], one message per materialized copy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotStats {
+    /// Keys hot this sweep (their counter snapshot crossed the threshold).
+    pub promoted: u64,
+    /// Previously hot keys whose extra copies were dropped this sweep.
+    pub demoted: u64,
+    /// Extra copies materialized at peers that were missing them.
+    pub copies: u64,
+    /// Postings those copies carried.
+    pub postings: u64,
+    /// Payload bytes those copies carried.
+    pub bytes: u64,
 }
 
 /// What a peer join or graceful departure re-assigned (metered under
@@ -164,7 +226,24 @@ impl<V: Send + Sync + 'static> Dht<V> {
             replication,
             store,
             meter: TrafficMeter::new(n),
+            hot: HotConfig::default(),
+            hits: (0..NUM_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            promoted: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Enables (or reconfigures) popularity-driven replication. With
+    /// `threshold == 0` (the default) lookups count nothing and
+    /// [`Dht::rebalance_hot`] is a no-op.
+    pub fn set_hot_config(&mut self, hot: HotConfig) {
+        self.hot = hot;
+    }
+
+    /// The popularity-driven replication configuration.
+    pub fn hot_config(&self) -> HotConfig {
+        self.hot
     }
 
     /// The overlay in use.
@@ -205,12 +284,13 @@ impl<V: Send + Sync + 'static> Dht<V> {
         self.overlay.peer_index(self.overlay.responsible(key))
     }
 
-    /// The first `min(R, live)` **live** candidates of the replica walk
-    /// from `owner`, each with its walk position (hop distance along the
-    /// successor order; dead candidates occupy positions too). Position 0
-    /// is the owner itself.
-    fn replica_targets(&self, owner: usize) -> Vec<(u32, u32)> {
-        let want = self.replication.min(self.membership.live_count());
+    /// The first `min(want, live)` **live** candidates of the replica
+    /// walk from `owner`, each with its walk position (hop distance along
+    /// the successor order; dead candidates occupy positions too).
+    /// Position 0 is the owner itself. `want` is `R` for ordinary keys
+    /// and `R + extra` for keys the popularity sweep promoted.
+    fn walk_targets(&self, owner: usize, want: usize) -> Vec<(u32, u32)> {
+        let want = want.min(self.membership.live_count());
         let mut out = Vec::with_capacity(want);
         let mut cur = owner;
         for pos in 0..self.overlay.len() as u32 {
@@ -225,17 +305,38 @@ impl<V: Send + Sync + 'static> Dht<V> {
         out
     }
 
+    /// The structural replica walk (`want = R`).
+    fn replica_targets(&self, owner: usize) -> Vec<(u32, u32)> {
+        self.walk_targets(owner, self.replication)
+    }
+
     /// Per-owner memo for the churn scans ([`Dht::add_peers`],
-    /// [`Dht::leave_peers`], [`Dht::repair_sweep`]): the replica walk is
-    /// a pure function of the owner index while overlay + membership are
-    /// fixed, so one walk per *distinct* owner serves a whole scan
-    /// instead of one walk (and allocation) per stored entry.
-    fn memoized_targets<'m>(
+    /// [`Dht::leave_peers`], [`Dht::repair_sweep`],
+    /// [`Dht::rebalance_hot`]): the replica walk is a pure function of
+    /// `(owner, want)` while overlay + membership are fixed, so one walk
+    /// per *distinct* owner serves a whole scan instead of one walk (and
+    /// allocation) per stored entry. Callers keep one memo per `want`
+    /// tier (base and hot-extended walks).
+    fn memoized_want<'m>(
         &self,
         memo: &'m mut [Option<Vec<(u32, u32)>>],
         owner: usize,
+        want: usize,
     ) -> &'m [(u32, u32)] {
-        memo[owner].get_or_insert_with(|| self.replica_targets(owner))
+        memo[owner].get_or_insert_with(|| self.walk_targets(owner, want))
+    }
+
+    /// The replica-walk length a key is entitled to: `R`, plus the hot
+    /// extras when the popularity sweep has promoted it. Keeping every
+    /// churn scan on this single definition is what makes promoted extras
+    /// *survive* joins, departures and repairs instead of being trimmed
+    /// back to the structural set by the next scan.
+    fn want_of(&self, promoted: &HashSet<u64>, key: u64) -> usize {
+        if promoted.contains(&key) {
+            self.replication + self.hot.extra
+        } else {
+            self.replication
+        }
     }
 
     /// Failover resolution of a lookup: the walk candidate that serves the
@@ -270,6 +371,67 @@ impl<V: Send + Sync + 'static> Dht<V> {
             cur = self.overlay.successor_index(cur);
         }
         unreachable!("stored entries always have at least one live holder")
+    }
+
+    /// Spread resolution of a *batched* lookup probe: among the key's live
+    /// holders (in successor-walk order from the owner) the serving
+    /// replica is picked by `hash(query_id, key)` — a pure function of
+    /// message attributes, so a Zipf-skewed query stream spreads its reads
+    /// ~uniformly across the replica set instead of pinning every probe on
+    /// the first live holder, while staying bit-identical at any thread
+    /// count. The accounting is exactly what [`Dht::serve_from`] would
+    /// charge for serving from the same candidate: `extra hops = walk
+    /// position`, one skip per dead candidate passed on the way (the
+    /// simulated network times each skip as a timed-out attempt). With a
+    /// single live holder — `R = 1`, or a degraded entry — the pick is
+    /// forced and this resolves identically to the walk-order path.
+    fn serve_spread(
+        &self,
+        query_id: u64,
+        key: KeyHash,
+        owner: usize,
+        holders: Option<&[u32]>,
+    ) -> (u32, u32, u32) {
+        let Some(h) = holders else {
+            // A miss is answered by the acting primary, as ever.
+            return self.serve_from(owner, None);
+        };
+        if h.len() == 1 {
+            return self.serve_from(owner, Some(h));
+        }
+        // Walk from the owner collecting every live holder with its walk
+        // position and the dead candidates skipped before it. Holder sets
+        // only ever contain live peers (crashes and departures prune them
+        // immediately), so the walk ends after `h.len()` live holders.
+        let mut live: Vec<(u32, u32, u32)> = Vec::with_capacity(h.len());
+        let mut dead = 0u32;
+        let mut cur = owner;
+        for pos in 0..self.overlay.len() as u32 {
+            if !self.membership.is_live(cur) {
+                dead += 1;
+            } else if h.contains(&(cur as u32)) {
+                live.push((cur as u32, pos, dead));
+                if live.len() == h.len() {
+                    break;
+                }
+            }
+            cur = self.overlay.successor_index(cur);
+        }
+        assert!(
+            !live.is_empty(),
+            "stored entries always have at least one live holder"
+        );
+        live[(hash_u64s(&[query_id, key.0]) % live.len() as u64) as usize]
+    }
+
+    /// Counts a served lookup toward the key's popularity (no-op unless
+    /// [`Dht::set_hot_config`] enabled the mechanism). Only *stored* keys
+    /// count — there is nothing to replicate for a miss.
+    #[inline]
+    fn count_hit(&self, stripe: usize, key: u64, stored: bool) {
+        if self.hot.threshold > 0 && stored {
+            *self.hits[stripe].lock().entry(key).or_insert(0) += 1;
+        }
     }
 
     /// Routes an *insert/update* from `from` carrying `postings` postings
@@ -434,6 +596,7 @@ impl<V: Send + Sync + 'static> Dht<V> {
         let mut read = Some(read);
         let mut out = None;
         self.store.get(stripe_of(key), key.0, &mut |slot| {
+            self.count_hit(stripe_of(key), key.0, slot.is_some());
             let (target, extra, dead_skips) =
                 self.serve_from(owner, slot.map(|s| s.holders.as_slice()));
             let hops = route.hops + extra;
@@ -441,6 +604,7 @@ impl<V: Send + Sync + 'static> Dht<V> {
             // payload.
             self.meter
                 .record(MsgKind::QueryLookup, origin, 0, LOOKUP_REQUEST_BYTES, hops);
+            self.meter.record_served(target as usize);
             let (result, postings, bytes) =
                 (read.take().expect("read runs once"))(slot.map(|s| &s.value));
             // The response travels back over the same number of hops.
@@ -464,18 +628,27 @@ impl<V: Send + Sync + 'static> Dht<V> {
     /// instead of one per key, stripes resolved rayon-parallel.
     ///
     /// Results come back in input order, and each key is metered exactly
-    /// like a [`Dht::lookup`] of its own (request + response, same
-    /// failover resolution, same payload accounting), so traffic counters
-    /// are bit-identical to the key-at-a-time loop — the meters are
-    /// order-independent atomic sums. `read` additionally receives the
-    /// key's input index so callers can consult per-key context.
+    /// like a [`Dht::lookup`] of its own (request + response, same hop
+    /// and dead-skip accounting, same payload accounting), so traffic
+    /// counters are bit-identical to the key-at-a-time loop — the meters
+    /// are order-independent atomic sums. `read` additionally receives
+    /// the key's input index so callers can consult per-key context.
+    ///
+    /// Unlike the single-key path, each probe's serving replica is
+    /// *spread*: picked by `hash(query_id, key)` over the key's live
+    /// holder set (`serve_spread`). `query_id` is a caller
+    /// attribute of the batch (a query hash, a stream position — anything
+    /// deterministic); at `R = 1`, or whenever a key has a single live
+    /// holder, the pick is forced and metering is bit-identical to the
+    /// walk-order failover of [`Dht::lookup`].
     pub fn lookup_many<R: Send>(
         &self,
         from: PeerId,
+        query_id: u64,
         keys: &[KeyHash],
         read: impl Fn(usize, Option<&V>) -> (R, u64, u64) + Sync,
     ) -> Vec<R> {
-        self.lookup_many_delivered(from, keys, read).0
+        self.lookup_many_delivered(from, query_id, keys, read).0
     }
 
     /// [`Dht::lookup_many`] that additionally returns each key's resolved
@@ -484,6 +657,7 @@ impl<V: Send + Sync + 'static> Dht<V> {
     pub fn lookup_many_delivered<R: Send>(
         &self,
         from: PeerId,
+        query_id: u64,
         keys: &[KeyHash],
         read: impl Fn(usize, Option<&V>) -> (R, u64, u64) + Sync,
     ) -> (Vec<R>, Vec<Delivery>) {
@@ -505,13 +679,15 @@ impl<V: Send + Sync + 'static> Dht<V> {
                 self.store.get_many(stripe, &stripe_keys, &mut |j, slot| {
                     let i = bucket[j];
                     let key = keys[i];
+                    self.count_hit(stripe, key.0, slot.is_some());
                     let route = self.overlay.route(from, key);
                     let owner = self.overlay.peer_index(route.responsible);
                     let (target, extra, dead_skips) =
-                        self.serve_from(owner, slot.map(|s| s.holders.as_slice()));
+                        self.serve_spread(query_id, key, owner, slot.map(|s| s.holders.as_slice()));
                     let hops = route.hops + extra;
                     self.meter
                         .record(MsgKind::QueryLookup, origin, 0, LOOKUP_REQUEST_BYTES, hops);
+                    self.meter.record_served(target as usize);
                     let (result, postings, bytes) = read(i, slot.map(|s| &s.value));
                     self.meter
                         .record(MsgKind::QueryResponse, origin, postings, bytes, hops);
@@ -693,11 +869,19 @@ impl<V: Send + Sync + 'static> Dht<V> {
             self.membership.add_peer();
         }
         let mut stats = vec![MigrationStats::default(); peers.len()];
-        let mut memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let mut base_memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let mut hot_memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let promoted = self.promoted.lock();
         for stripe in 0..NUM_STRIPES {
             self.store.scan_mut(stripe, &mut |k, slot| {
                 let owner = self.owner_index(KeyHash(k));
-                let targets = self.memoized_targets(&mut memo, owner);
+                let want = self.want_of(&promoted, k);
+                let memo = if want > self.replication {
+                    &mut hot_memo
+                } else {
+                    &mut base_memo
+                };
+                let targets = self.memoized_want(memo, owner, want);
                 let mut next: Vec<u32> = slot
                     .holders
                     .iter()
@@ -766,7 +950,9 @@ impl<V: Send + Sync + 'static> Dht<V> {
             "a departure wave must leave at least one live peer"
         );
         let mut stats = vec![MigrationStats::default(); peers.len()];
-        let mut memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let mut base_memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let mut hot_memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let promoted = self.promoted.lock();
         for stripe in 0..NUM_STRIPES {
             self.store.scan_mut(stripe, &mut |k, slot| {
                 let departing: Vec<u32> = slot
@@ -786,7 +972,13 @@ impl<V: Send + Sync + 'static> Dht<V> {
                     .expect("departing holder is in the wave");
                 slot.holders.retain(|h| !departing.contains(h));
                 let owner = self.owner_index(KeyHash(k));
-                for &(idx, _) in self.memoized_targets(&mut memo, owner) {
+                let want = self.want_of(&promoted, k);
+                let memo = if want > self.replication {
+                    &mut hot_memo
+                } else {
+                    &mut base_memo
+                };
+                for &(idx, _) in self.memoized_want(memo, owner, want) {
                     if !slot.holders.contains(&idx) {
                         let (postings, bytes) = volume(&slot.value);
                         let s = &mut stats[hander];
@@ -914,7 +1106,9 @@ impl<V: Send + Sync + 'static> Dht<V> {
     /// `on_copy` receives the key, the resolved [`Delivery`] and the
     /// payload size so the simulated backend can time the copies without
     /// re-deriving anything. Idempotent: a repaired network repairs to
-    /// nothing.
+    /// nothing. Keys the popularity sweep promoted are repaired to their
+    /// extended `R + extra` replica set, so a crash does not silently
+    /// shed a hot key's extra copies until its demotion.
     ///
     /// The read *source* of each copy is picked deterministically by
     /// hashing `(key, target)` over the entry's surviving holder set, so
@@ -929,11 +1123,19 @@ impl<V: Send + Sync + 'static> Dht<V> {
         // Map iteration order must not leak into metering/timing, so
         // copies are emitted only after the canonical sort below.
         let mut planned: Vec<(u64, u32, u32, u64, u64)> = Vec::new();
-        let mut memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let mut base_memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let mut hot_memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let promoted = self.promoted.lock();
         for stripe in 0..NUM_STRIPES {
             self.store.scan_mut(stripe, &mut |k, slot| {
                 let owner = self.owner_index(KeyHash(k));
-                let targets = self.memoized_targets(&mut memo, owner);
+                let want = self.want_of(&promoted, k);
+                let memo = if want > self.replication {
+                    &mut hot_memo
+                } else {
+                    &mut base_memo
+                };
+                let targets = self.memoized_want(memo, owner, want);
                 let missing: Vec<u32> = targets
                     .iter()
                     .map(|&(i, _)| i)
@@ -955,12 +1157,134 @@ impl<V: Send + Sync + 'static> Dht<V> {
                 slot.holders.sort_unstable();
             });
         }
+        drop(promoted);
         planned.sort_unstable_by_key(|&(k, _, target, _, _)| (k, target));
         let peers = self.overlay.peers();
         let mut stats = RepairStats::default();
         for (key, source, target, postings, bytes) in planned {
             self.meter
                 .record(MsgKind::Repair, source as usize, postings, bytes, 1);
+            stats.copies += 1;
+            stats.postings += postings;
+            stats.bytes += bytes;
+            on_copy(
+                KeyHash(key),
+                Delivery {
+                    source: peers[source as usize],
+                    target: peers[target as usize],
+                    hops: 1,
+                    dead_skips: 0,
+                },
+                bytes,
+            );
+        }
+        stats
+    }
+
+    /// The popularity-maintenance sweep: snapshots the per-key lookup hit
+    /// counters, *promotes* every key whose count reached the configured
+    /// threshold — materializing up to `extra` additional replicas along
+    /// the successor walk, each metered as one [`MsgKind::HotReplicate`]
+    /// message (postings + bytes per `volume`, one forwarding hop, source
+    /// picked by hashing `(key, target)` over the current holders, emitted
+    /// in canonical `(key, target)` order like [`Dht::repair_sweep`]) —
+    /// and *demotes* previously hot keys that fell below it, trimming
+    /// their holders back to the structural replica set (dropping a copy
+    /// is local and message-less, like the copies a crash destroys, only
+    /// deliberate).
+    ///
+    /// Every counter is then halved (integer division, zeros removed):
+    /// staying promoted requires *sustained* popularity, and the decay is
+    /// a deterministic function of the counter snapshot — never of wall
+    /// clock — so runs are bit-identical at any thread count. Idempotent
+    /// in the repair sense: a second sweep over an unchanged workload
+    /// whose keys still qualify plans zero copies.
+    ///
+    /// A no-op (returning all-zero [`HotStats`]) unless
+    /// [`Dht::set_hot_config`] enabled the mechanism.
+    pub fn rebalance_hot(
+        &self,
+        volume: impl Fn(&V) -> (u64, u64),
+        mut on_copy: impl FnMut(KeyHash, Delivery, u64),
+    ) -> HotStats {
+        if self.hot.threshold == 0 {
+            return HotStats::default();
+        }
+        // Phase 1: snapshot-and-decay the counters. Promotion reads the
+        // snapshot; halving makes last sweep's traffic half as loud next
+        // time.
+        let mut next: HashSet<u64> = HashSet::new();
+        for hits in &self.hits {
+            hits.lock().retain(|&k, count| {
+                if *count >= self.hot.threshold {
+                    next.insert(k);
+                }
+                *count /= 2;
+                *count > 0
+            });
+        }
+        let mut promoted = self.promoted.lock();
+        let mut stats = HotStats {
+            promoted: next.len() as u64,
+            ..HotStats::default()
+        };
+        // Phase 2: scan, extend or trim holder sets, collect the planned
+        // copies — emitted after the canonical sort, exactly like
+        // `repair_sweep`, so map iteration order never leaks into
+        // metering or timing.
+        let mut planned: Vec<(u64, u32, u32, u64, u64)> = Vec::new();
+        let mut base_memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        let mut hot_memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
+        for stripe in 0..NUM_STRIPES {
+            self.store.scan_mut(stripe, &mut |k, slot| {
+                let owner = self.owner_index(KeyHash(k));
+                if next.contains(&k) {
+                    let want = self.replication + self.hot.extra;
+                    let targets = self.memoized_want(&mut hot_memo, owner, want);
+                    let missing: Vec<u32> = targets
+                        .iter()
+                        .map(|&(i, _)| i)
+                        .filter(|i| !slot.holders.contains(i))
+                        .collect();
+                    if missing.is_empty() {
+                        return;
+                    }
+                    let existing = slot.holders.clone();
+                    for idx in missing {
+                        let pick = hash_u64s(&[k, u64::from(idx)]) % existing.len() as u64;
+                        let source = existing[pick as usize];
+                        let (postings, bytes) = volume(&slot.value);
+                        planned.push((k, source, idx, postings, bytes));
+                        slot.holders.push(idx);
+                    }
+                    slot.holders.sort_unstable();
+                } else if promoted.contains(&k) {
+                    // Demotion: trim the extras this mechanism added back
+                    // to the structural replica set.
+                    let targets = self.memoized_want(&mut base_memo, owner, self.replication);
+                    let keep: Vec<u32> = slot
+                        .holders
+                        .iter()
+                        .copied()
+                        .filter(|h| targets.iter().any(|&(i, _)| i == *h))
+                        .collect();
+                    // Never drop the last copy: a degraded entry whose
+                    // holders all sit outside the structural set is left
+                    // for the next repair sweep to sort out.
+                    if !keep.is_empty() && keep.len() < slot.holders.len() {
+                        stats.demoted += 1;
+                        slot.holders = keep;
+                    }
+                }
+            });
+        }
+        *promoted = next;
+        drop(promoted);
+        planned.sort_unstable_by_key(|&(k, _, target, _, _)| (k, target));
+        let peers = self.overlay.peers();
+        for (key, source, target, postings, bytes) in planned {
+            self.meter
+                .record(MsgKind::HotReplicate, source as usize, postings, bytes, 1);
             stats.copies += 1;
             stats.postings += postings;
             stats.bytes += bytes;
@@ -1140,7 +1464,7 @@ mod tests {
             keys.iter().map(|&k| a.lookup(PeerId(3), k, read)).collect();
 
         let b = make();
-        let batched = b.lookup_many(PeerId(3), &keys, |_, v| read(v));
+        let batched = b.lookup_many(PeerId(3), 0, &keys, |_, v| read(v));
 
         // Same results in input order (16 of the probed keys are absent).
         assert_eq!(one_by_one, batched);
@@ -1153,9 +1477,10 @@ mod tests {
     fn lookup_many_empty_keys_is_free() {
         let dht = dht_pgrid(4);
         let before = dht.snapshot();
-        let out: Vec<Option<u32>> = dht.lookup_many(PeerId(0), &[], |_, v: Option<&Vec<u32>>| {
-            (v.map(|x| x[0]), 0, 0)
-        });
+        let out: Vec<Option<u32>> =
+            dht.lookup_many(PeerId(0), 0, &[], |_, v: Option<&Vec<u32>>| {
+                (v.map(|x| x[0]), 0, 0)
+            });
         assert!(out.is_empty());
         assert_eq!(before, dht.snapshot());
     }
@@ -1426,5 +1751,201 @@ mod tests {
     fn failing_everyone_is_rejected() {
         let mut dht = dht_pgrid(2);
         dht.fail_peers(&[PeerId(0), PeerId(1)], vol);
+    }
+
+    #[test]
+    fn spread_lookups_rotate_over_replicas_at_r3() {
+        let dht = dht_replicated(8, 3);
+        let key = KeyHash(hash_u64s(&[31]));
+        dht.upsert(PeerId(0), key, 1, 4, Vec::new, |v| v.push(1));
+        let mut targets = std::collections::HashSet::new();
+        for qid in 0..32u64 {
+            let (_, deliveries) =
+                dht.lookup_many_delivered(PeerId(5), qid, &[key], |_, v| (v.cloned(), 1, 4));
+            targets.insert(deliveries[0].target);
+        }
+        // All three holders serve some of the stream, none monopolizes it.
+        assert_eq!(targets.len(), 3, "spread must reach every replica");
+        // Each pick is a pure function of (query_id, key): replaying a
+        // query id reproduces its delivery exactly.
+        let (_, a) = dht.lookup_many_delivered(PeerId(5), 7, &[key], |_, v| (v.cloned(), 1, 4));
+        let (_, b) = dht.lookup_many_delivered(PeerId(5), 7, &[key], |_, v| (v.cloned(), 1, 4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spread_accounting_matches_walk_order_when_pick_is_forced() {
+        // Crash the owner at R=2: one live holder remains, so the spread
+        // pick is forced and must charge exactly what the single-key
+        // walk-order path charges — same hops, same dead skips.
+        let mut dht = dht_replicated(4, 2);
+        let key = KeyHash(hash_u64s(&[7, 7]));
+        dht.upsert(PeerId(0), key, 3, 12, Vec::new, |v| v.extend([1, 2, 3]));
+        let owner = dht.overlay().responsible(key);
+        dht.fail_peers(&[owner], vol);
+        let before = dht.snapshot();
+        let (_, walk) = dht.lookup_delivered(PeerId(0), key, |v| (v.cloned(), 3, 12));
+        let mid = dht.snapshot();
+        let (_, spread) =
+            dht.lookup_many_delivered(PeerId(0), 99, &[key], |_, v| (v.cloned(), 3, 12));
+        assert_eq!(walk, spread[0]);
+        assert!(walk.dead_skips >= 1, "the dead owner was skipped");
+        // Bit-identical metering for the two paths.
+        assert_eq!(mid.since(&before), dht.snapshot().since(&mid));
+    }
+
+    #[test]
+    fn spread_is_a_no_op_at_r1_for_any_query_id() {
+        let a = dht_pgrid(8);
+        let b = dht_pgrid(8);
+        let keys: Vec<KeyHash> = (0..40u64).map(|i| KeyHash(hash_u64s(&[i, 29]))).collect();
+        for dht in [&a, &b] {
+            for (i, &key) in keys.iter().enumerate() {
+                dht.upsert(PeerId(i as u64 % 8), key, 1, 4, Vec::new, |v| {
+                    v.push(i as u32)
+                });
+            }
+        }
+        let ra = a.lookup_many(PeerId(2), 0, &keys, |_, v| (v.cloned(), 1, 4));
+        let rb = b.lookup_many(PeerId(2), 0xDEAD_BEEF, &keys, |_, v| (v.cloned(), 1, 4));
+        assert_eq!(ra, rb);
+        assert_eq!(
+            a.snapshot(),
+            b.snapshot(),
+            "single holder: id cannot matter"
+        );
+    }
+
+    #[test]
+    fn hot_keys_gain_extras_then_decay_demotes_them() {
+        let mut dht = dht_replicated(8, 1);
+        for i in 0..50u64 {
+            let key = KeyHash(hash_u64s(&[i, 37]));
+            dht.upsert(PeerId(i % 8), key, 1, 4, Vec::new, |v| v.push(i as u32));
+        }
+        dht.set_hot_config(HotConfig {
+            threshold: 4,
+            extra: 1,
+        });
+        let hot_key = KeyHash(hash_u64s(&[3, 37]));
+        for _ in 0..5 {
+            dht.lookup(PeerId(1), hot_key, |v| {
+                ((), v.map_or(0, |v| v.len() as u64), 4)
+            });
+        }
+        let mut copies = Vec::new();
+        let stats = dht.rebalance_hot(vol, |k, d, b| copies.push((k, d, b)));
+        assert_eq!(stats.promoted, 1);
+        assert_eq!(stats.copies, 1, "one extra copy at R=1, extra=1");
+        assert_eq!(stats.demoted, 0);
+        assert_eq!(copies.len(), 1);
+        assert_eq!(copies[0].0, hot_key);
+        let snap = dht.snapshot();
+        assert_eq!(snap.kind(MsgKind::HotReplicate).messages, 1);
+        dht.peek(hot_key, |v| assert!(v.is_some()));
+        assert_eq!(
+            dht.keys_per_peer().iter().sum::<usize>(),
+            51,
+            "50 + 1 extra"
+        );
+        // Counter decayed 5 → 2 < 4: the next sweep demotes, locally.
+        let before = dht.snapshot();
+        let stats2 = dht.rebalance_hot(vol, |_, _, _| panic!("demotion sends nothing"));
+        assert_eq!(stats2.promoted, 0);
+        assert_eq!(stats2.demoted, 1);
+        assert!(before.same_counts(&dht.snapshot()));
+        assert_eq!(dht.keys_per_peer().iter().sum::<usize>(), 50);
+        // And with no hits at all, a further sweep does nothing.
+        assert_eq!(
+            dht.rebalance_hot(vol, |_, _, _| panic!("nothing left")),
+            HotStats::default()
+        );
+    }
+
+    #[test]
+    fn sustained_popularity_keeps_extras_and_resweep_plans_nothing() {
+        let mut dht = dht_replicated(8, 2);
+        let key = KeyHash(hash_u64s(&[11, 41]));
+        dht.upsert(PeerId(0), key, 1, 4, Vec::new, |v| v.push(7));
+        dht.set_hot_config(HotConfig {
+            threshold: 2,
+            extra: 2,
+        });
+        for _ in 0..8 {
+            dht.lookup(PeerId(1), key, |v| ((), v.map_or(0, |v| v.len() as u64), 4));
+        }
+        let s1 = dht.rebalance_hot(vol, |_, _, _| {});
+        assert_eq!((s1.promoted, s1.copies), (1, 2), "R=2 grows to 4 holders");
+        // 8 → 4 ≥ 2: still hot; extras already in place, nothing planned.
+        let s2 = dht.rebalance_hot(vol, |_, _, _| panic!("idempotent while hot"));
+        assert_eq!((s2.promoted, s2.copies, s2.demoted), (1, 0, 0));
+        assert_eq!(dht.keys_per_peer().iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn promoted_extras_survive_crash_repair_and_join() {
+        let mut dht = dht_replicated(8, 1);
+        let key = KeyHash(hash_u64s(&[13, 43]));
+        dht.upsert(PeerId(0), key, 1, 4, Vec::new, |v| v.push(9));
+        dht.set_hot_config(HotConfig {
+            threshold: 1,
+            extra: 1,
+        });
+        // Keep the key hot across the whole test (threshold 1, decay
+        // floors at 1 hit per sweep via re-lookup).
+        dht.lookup(PeerId(1), key, |v| ((), v.map_or(0, |v| v.len() as u64), 4));
+        assert_eq!(dht.rebalance_hot(vol, |_, _, _| {}).copies, 1);
+        // Crash the extra's holder: repair re-materializes the *extended*
+        // set, under Repair (crash restoration), not HotReplicate.
+        let holders: Vec<u32> = {
+            let mut h = Vec::new();
+            dht.for_each_stripe_held(stripe_of(key), |hs, k, _| {
+                if *k == key.0 {
+                    h = hs.to_vec();
+                }
+            });
+            h
+        };
+        assert_eq!(holders.len(), 2);
+        let extra_holder = PeerId(dht.overlay().peers()[holders[1] as usize].0);
+        let owner = dht.overlay().responsible(key);
+        let victim = if extra_holder == owner {
+            dht.overlay().peers()[holders[0] as usize]
+        } else {
+            extra_holder
+        };
+        dht.fail_peers(&[victim], vol);
+        let before = dht.snapshot();
+        let repaired = dht.repair_sweep(vol, |_, _, _| {});
+        assert_eq!(repaired.copies, 1, "repair restores the hot extra");
+        let d = dht.snapshot().since(&before);
+        assert_eq!(d.kind(MsgKind::Repair).messages, 1);
+        assert_eq!(d.kind(MsgKind::HotReplicate).messages, 0);
+        // A join wave re-derives placement without shedding the extra.
+        dht.add_peers(vec![PeerId(90), PeerId(91)], vol);
+        dht.repair_sweep(vol, |_, _, _| {});
+        let mut held = 0;
+        dht.for_each_stripe_held(stripe_of(key), |hs, k, _| {
+            if *k == key.0 {
+                held = hs.len();
+            }
+        });
+        assert_eq!(held, 2, "extended set survives churn");
+    }
+
+    #[test]
+    fn rebalance_disabled_counts_and_does_nothing() {
+        let dht = dht_replicated(8, 2);
+        let key = KeyHash(hash_u64s(&[17, 47]));
+        dht.upsert(PeerId(0), key, 1, 4, Vec::new, |v| v.push(3));
+        for _ in 0..100 {
+            dht.lookup(PeerId(1), key, |v| ((), v.map_or(0, |v| v.len() as u64), 4));
+        }
+        let before = dht.snapshot();
+        assert_eq!(
+            dht.rebalance_hot(vol, |_, _, _| panic!("disabled")),
+            HotStats::default()
+        );
+        assert!(before.same_counts(&dht.snapshot()));
     }
 }

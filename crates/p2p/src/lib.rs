@@ -40,7 +40,8 @@ pub mod store;
 pub mod transport;
 
 pub use dht::{
-    stripe_of, Dht, LossStats, MigrationStats, RepairStats, LOOKUP_REQUEST_BYTES, NUM_STRIPES,
+    stripe_of, Dht, HotConfig, HotStats, LossStats, MigrationStats, RepairStats,
+    LOOKUP_REQUEST_BYTES, NUM_STRIPES,
 };
 pub use id::{hash_bytes, hash_u64s, KeyHash, PeerId};
 pub use overlay::{Overlay, RouteResult};

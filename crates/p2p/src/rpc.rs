@@ -30,6 +30,7 @@
 //! | [`Request::Leave`]       | [`MsgKind::Maintenance`]   | overlay maintenance, mirror of `Migrate`: a gracefully departing peer hands its held copies to the re-derived replica sets before it goes |
 //! | [`Request::Fail`]        | —                          | a crash sends no messages; the destroyed copies surface as a [`LossStats`] damage report, and the degraded entries as later `Repair` traffic |
 //! | [`Request::Repair`]      | [`MsgKind::Repair`]        | replica repair: surviving replicas re-materialize the copies lost to crashes — structural-replication upkeep, counted in its own category so availability studies can separate it from join handovers |
+//! | [`Request::Rebalance`]   | [`MsgKind::HotReplicate`]  | popularity-driven replication: the maintenance pass that materializes extra replicas of *hot* keys (and demotes cooled ones) — read-scaling upkeep, counted separately from crash repair |
 //! | [`Request::Restart`]     | —                          | a restarting peer replays its own segment log — host-local disk I/O, never a network message; only the *gap* a restart leaves (lost hot-tier copies, corrupt tails) becomes later `Repair` traffic |
 //!
 //! ## Who knows what
@@ -43,7 +44,9 @@
 //! storage accounting, `peek` — which is free at the hosting peer and
 //! therefore never a message.
 
-use crate::dht::{stripe_of, Dht, LossStats, MigrationStats, RepairStats, LOOKUP_REQUEST_BYTES};
+use crate::dht::{
+    stripe_of, Dht, HotStats, LossStats, MigrationStats, RepairStats, LOOKUP_REQUEST_BYTES,
+};
 use crate::id::{hash_u64s, splitmix64, KeyHash, PeerId};
 use crate::overlay::Overlay;
 use crate::replica::Delivery;
@@ -161,6 +164,12 @@ pub enum Request<I, Q> {
     LookupMany {
         /// The querying peer (responses are attributed to it).
         from: PeerId,
+        /// Deterministic identity of the query this level belongs to (a
+        /// query hash, a stream position — any pure message attribute).
+        /// At `R > 1` the serving replica of each probe is picked by
+        /// `hash(query_id, key)` over the key's live holders, spreading
+        /// read load across the replica set.
+        query_id: u64,
         /// The level's candidate keys, in canonical plan order.
         keys: Vec<Addressed<Q>>,
     },
@@ -196,6 +205,12 @@ pub enum Request<I, Q> {
     /// [`MsgKind::Repair`] message per copied entry. Data-plane (`&self`):
     /// it changes no overlay or membership state, only holder sets.
     Repair,
+    /// The popularity-maintenance sweep: keys whose lookup hit counters
+    /// crossed the configured threshold gain extra replicas along the
+    /// successor walk (one [`MsgKind::HotReplicate`] message per copy),
+    /// cooled keys are demoted back to the structural set (local, free).
+    /// Data-plane like [`Request::Repair`]: only holder sets change.
+    Rebalance,
     /// A wave of peers restarts in place: each loses its hot (in-memory)
     /// tier and replays its own on-disk segment log, recovering every
     /// copy whose sealed frame survives checksum verification. Replay is
@@ -227,6 +242,7 @@ impl<I, Q> Request<I, Q> {
             | Request::Fail { .. }
             | Request::Restart { .. } => MsgKind::Maintenance,
             Request::Repair => MsgKind::Repair,
+            Request::Rebalance => MsgKind::HotReplicate,
         }
     }
 }
@@ -257,6 +273,8 @@ pub enum Response<L> {
     Lost(LossStats),
     /// Answers a [`Request::Repair`] with the re-materialized volume.
     Repaired(RepairStats),
+    /// Answers a [`Request::Rebalance`] with the promotion/demotion report.
+    Rebalanced(HotStats),
     /// Answers a [`Request::Restart`] with the log-replay report.
     Recovered(RecoveryStats),
 }
@@ -280,8 +298,14 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
     fn notify(&self, notes: &[Notification]);
 
     /// Resolves one level of key lookups; results in input order.
-    fn lookup_many(&self, from: PeerId, keys: &[Addressed<S::LookupKey>])
-        -> Vec<Option<S::Lookup>>;
+    /// `query_id` spreads each probe's serving replica over the key's
+    /// live holders (see [`Request::LookupMany`]).
+    fn lookup_many(
+        &self,
+        from: PeerId,
+        query_id: u64,
+        keys: &[Addressed<S::LookupKey>],
+    ) -> Vec<Option<S::Lookup>>;
 
     /// The control-plane [`Request::Migrate`] wave: admits `peers` to the
     /// overlay back to back, then migrates the index fractions they take
@@ -310,6 +334,14 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
     /// [`NetworkBackend::dht`].
     fn repair(&self) -> RepairStats;
 
+    /// The [`Request::Rebalance`] sweep: materializes extra replicas for
+    /// keys whose popularity crossed the configured threshold and demotes
+    /// cooled ones ([`Dht::rebalance_hot`]). A no-op unless popularity-
+    /// driven replication was enabled via
+    /// [`Dht::set_hot_config`](crate::dht::Dht::set_hot_config) on
+    /// [`NetworkBackend::dht_mut`].
+    fn rebalance(&self) -> HotStats;
+
     /// The control-plane [`Request::Restart`] wave: each restarting peer
     /// loses its hot tier and replays its own segment log
     /// ([`Dht::restart_peers`]) — host-local disk I/O, so nothing is
@@ -323,6 +355,11 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
     /// sweeps run "locally at each hosting peer"), so none of it is
     /// metered or delayed.
     fn dht(&self) -> &Dht<S::Value>;
+
+    /// Exclusive storage access, for configuration that must happen
+    /// before traffic flows (e.g.
+    /// [`Dht::set_hot_config`](crate::dht::Dht::set_hot_config)).
+    fn dht_mut(&mut self) -> &mut Dht<S::Value>;
 
     /// All traffic this backend has carried (counts for every backend;
     /// latency histograms only when the backend simulates time).
@@ -354,10 +391,15 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
                 self.notify(&notes);
                 Response::Notified
             }
-            Request::LookupMany { from, keys } => Response::Found {
-                results: self.lookup_many(from, &keys),
+            Request::LookupMany {
+                from,
+                query_id,
+                keys,
+            } => Response::Found {
+                results: self.lookup_many(from, query_id, &keys),
             },
             Request::Repair => Response::Repaired(self.repair()),
+            Request::Rebalance => Response::Rebalanced(self.rebalance()),
             Request::Migrate { .. } => {
                 panic!("Migrate mutates the overlay; dispatch it through NetworkBackend::migrate")
             }
@@ -456,10 +498,11 @@ fn dispatch_lookup_many<S: StoreService>(
     dht: &Dht<S::Value>,
     store: &S,
     from: PeerId,
+    query_id: u64,
     keys: &[Addressed<S::LookupKey>],
 ) -> ResolvedLookups<S::Lookup> {
     let hashes: Vec<KeyHash> = keys.iter().map(|k| k.route).collect();
-    dht.lookup_many_delivered(from, &hashes, |i, value| {
+    dht.lookup_many_delivered(from, query_id, &hashes, |i, value| {
         let (result, postings, bytes) = store.read(&keys[i].body, value);
         ((result, postings, bytes), postings, bytes)
     })
@@ -522,9 +565,10 @@ impl<S: StoreService> NetworkBackend<S> for InProc<S> {
     fn lookup_many(
         &self,
         from: PeerId,
+        query_id: u64,
         keys: &[Addressed<S::LookupKey>],
     ) -> Vec<Option<S::Lookup>> {
-        dispatch_lookup_many(&self.dht, &self.store, from, keys)
+        dispatch_lookup_many(&self.dht, &self.store, from, query_id, keys)
             .0
             .into_iter()
             .map(|(result, _, _)| result)
@@ -555,6 +599,12 @@ impl<S: StoreService> NetworkBackend<S> for InProc<S> {
             .repair_sweep(|value| store.migrate_volume(value), |_, _, _| {})
     }
 
+    fn rebalance(&self) -> HotStats {
+        let store = &self.store;
+        self.dht
+            .rebalance_hot(|value| store.migrate_volume(value), |_, _, _| {})
+    }
+
     fn restart(&mut self, peers: &[PeerId]) -> RecoveryStats {
         let store = &self.store;
         self.dht
@@ -563,6 +613,10 @@ impl<S: StoreService> NetworkBackend<S> for InProc<S> {
 
     fn dht(&self) -> &Dht<S::Value> {
         &self.dht
+    }
+
+    fn dht_mut(&mut self) -> &mut Dht<S::Value> {
+        &mut self.dht
     }
 }
 
@@ -858,9 +912,11 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
     fn lookup_many(
         &self,
         from: PeerId,
+        query_id: u64,
         keys: &[Addressed<S::LookupKey>],
     ) -> Vec<Option<S::Lookup>> {
-        let (resolved, deliveries) = dispatch_lookup_many(&self.dht, &self.store, from, keys);
+        let (resolved, deliveries) =
+            dispatch_lookup_many(&self.dht, &self.store, from, query_id, keys);
         // Timing pass over the Delivery records the metering path
         // resolved (serving replica, failover hops, dead skips) — counted
         // hops and simulated transmission times share one derivation, and
@@ -998,6 +1054,37 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
         stats
     }
 
+    fn rebalance(&self) -> HotStats {
+        let store = &self.store;
+        let mut copies: Vec<(KeyHash, Delivery, u64)> = Vec::new();
+        let stats = self.dht.rebalance_hot(
+            |value| store.migrate_volume(value),
+            |key, delivery, bytes| copies.push((key, delivery, bytes)),
+        );
+        // Timing pass in the sweep's canonical (key, target) order: each
+        // materialized extra is one HotReplicate message from the picked
+        // source holder to the new one — the same shape as a repair copy.
+        let mut busy = HashMap::new();
+        let mut makespan = 0u64;
+        for (position, (key, leg, bytes)) in copies.into_iter().enumerate() {
+            let latency = self.deliver(
+                Wire {
+                    kind: MsgKind::HotReplicate,
+                    link: (leg.source.0, leg.target.0),
+                    route: key,
+                    bytes,
+                    hops: leg.hops,
+                    dead_skips: leg.dead_skips,
+                    position: position as u64,
+                },
+                &mut busy,
+            );
+            makespan = makespan.max(latency);
+        }
+        self.advance(makespan);
+        stats
+    }
+
     fn restart(&mut self, peers: &[PeerId]) -> RecoveryStats {
         // Replay is host-local disk I/O: no messages, no latency samples
         // (like `fail`, nothing travels the network) — but reading the
@@ -1014,6 +1101,10 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
 
     fn dht(&self) -> &Dht<S::Value> {
         &self.dht
+    }
+
+    fn dht_mut(&mut self) -> &mut Dht<S::Value> {
+        &mut self.dht
     }
 
     fn virtual_time_ns(&self) -> u64 {
@@ -1119,7 +1210,7 @@ mod tests {
             postings: 0,
             bytes: 6,
         }]);
-        let results = backend.lookup_many(PeerId(3), &probes());
+        let results = backend.lookup_many(PeerId(3), 0, &probes());
 
         let direct: Dht<Vec<u32>> = Dht::new(overlay(8));
         for (peer, items) in round() {
@@ -1137,7 +1228,7 @@ mod tests {
         }
         direct.notify(PeerId(0), 0, 6);
         let hashes: Vec<KeyHash> = probes().iter().map(|p| p.route).collect();
-        let expected = direct.lookup_many(PeerId(3), &hashes, |_, v| match v {
+        let expected = direct.lookup_many(PeerId(3), 0, &hashes, |_, v| match v {
             Some(v) => (Some(v.clone()), v.len() as u64, 4 * v.len() as u64),
             None => (None, 0, 8),
         });
@@ -1155,8 +1246,8 @@ mod tests {
         let b = sim.insert_batch(round());
         assert_eq!(a, b);
         assert_eq!(
-            inproc.lookup_many(PeerId(5), &probes()),
-            sim.lookup_many(PeerId(5), &probes())
+            inproc.lookup_many(PeerId(5), 17, &probes()),
+            sim.lookup_many(PeerId(5), 17, &probes())
         );
         assert_eq!(inproc.migrate(PeerId(100)), sim.migrate(PeerId(100)));
         let (sa, sb) = (inproc.snapshot(), sim.snapshot());
@@ -1185,7 +1276,7 @@ mod tests {
                 },
             );
             sim.insert_batch(round());
-            sim.lookup_many(PeerId(6), &probes());
+            sim.lookup_many(PeerId(6), 0, &probes());
             (sim.snapshot(), sim.virtual_time_ns())
         };
         let (s1, t1) = run();
@@ -1211,7 +1302,7 @@ mod tests {
             },
         );
         other.insert_batch(round());
-        other.lookup_many(PeerId(6), &probes());
+        other.lookup_many(PeerId(6), 0, &probes());
         assert_ne!(
             other.snapshot().latency(MsgKind::QueryResponse).total_ns,
             h.total_ns
@@ -1353,6 +1444,7 @@ mod tests {
         assert_eq!(notify.kind(), MsgKind::IndexNotify);
         let lookup: Request<Vec<u32>, ()> = Request::LookupMany {
             from: PeerId(0),
+            query_id: 0,
             keys: vec![],
         };
         assert_eq!(lookup.kind(), MsgKind::QueryLookup);
@@ -1364,6 +1456,8 @@ mod tests {
         assert_eq!(fail.kind(), MsgKind::Maintenance);
         let repair: Request<Vec<u32>, ()> = Request::Repair;
         assert_eq!(repair.kind(), MsgKind::Repair);
+        let rebalance: Request<Vec<u32>, ()> = Request::Rebalance;
+        assert_eq!(rebalance.kind(), MsgKind::HotReplicate);
         let restart: Request<Vec<u32>, ()> = Request::Restart { peers: vec![] };
         assert_eq!(restart.kind(), MsgKind::Maintenance);
     }
@@ -1415,7 +1509,7 @@ mod tests {
         backend.insert_batch(round());
         backend.dht().sync_storage();
         let before = backend.snapshot();
-        let expected = backend.lookup_many(PeerId(3), &probes());
+        let expected = backend.lookup_many(PeerId(3), 0, &probes());
 
         let stats = backend.restart(&[PeerId(0), PeerId(1)]);
         assert!(stats.frames_replayed > 0, "the logs were not empty");
@@ -1434,6 +1528,109 @@ mod tests {
             "log replay is host-local, never metered"
         );
         assert_eq!(backend.repair().copies, 0, "no gap to close");
-        assert_eq!(backend.lookup_many(PeerId(3), &probes()), expected);
+        assert_eq!(backend.lookup_many(PeerId(3), 0, &probes()), expected);
+    }
+
+    #[test]
+    fn rebalance_is_metered_and_timed_on_simnet() {
+        let mut sim = SimNet::replicated(
+            overlay(8),
+            SetStore,
+            SimNetConfig {
+                seed: 9,
+                hop_ns: 50_000,
+                ..SimNetConfig::zero()
+            },
+            1,
+        );
+        sim.dht_mut().set_hot_config(crate::dht::HotConfig {
+            threshold: 3,
+            extra: 1,
+        });
+        sim.insert_batch(round());
+        let hot = vec![Addressed {
+            route: KeyHash(hash_u64s(&[1])),
+            body: (),
+        }];
+        for qid in 0..4u64 {
+            sim.lookup_many(PeerId(5), qid, &hot);
+        }
+        let before = sim.virtual_time_ns();
+        let stats = sim.rebalance();
+        assert_eq!(stats.promoted, 1);
+        assert_eq!(stats.copies, 1);
+        let snap = sim.snapshot();
+        assert_eq!(snap.kind(MsgKind::HotReplicate).messages, 1);
+        assert_eq!(snap.latency(MsgKind::HotReplicate).samples, 1);
+        assert!(sim.virtual_time_ns() > before, "the copy took virtual time");
+        // Cross-backend equality: the same program through InProc counts
+        // the same traffic (no latency samples, same counts).
+        let mut ip = InProc::new(overlay(8), SetStore);
+        ip.dht_mut().set_hot_config(crate::dht::HotConfig {
+            threshold: 3,
+            extra: 1,
+        });
+        ip.insert_batch(round());
+        for qid in 0..4u64 {
+            ip.lookup_many(PeerId(5), qid, &hot);
+        }
+        assert_eq!(ip.rebalance(), stats);
+        assert!(ip.snapshot().same_counts(&sim.snapshot()));
+    }
+
+    #[test]
+    fn golden_simnet_spread_failover_scenario() {
+        // Pinned end-to-end numbers for the spread path's dead-candidate
+        // accounting: crash the owner at R=2, then look the key up through
+        // the batched (spread) path. The surviving holder is the forced
+        // pick, each skipped dead candidate costs one timeout, and the
+        // numbers must match the single-key walk-order path exactly.
+        let config = SimNetConfig {
+            seed: 2026,
+            hop_ns: 100_000,
+            jitter_ns: 0,
+            ns_per_byte: 0,
+            drop_prob: 0.0,
+            timeout_ns: 1_000_000,
+        };
+        let run = |batched: bool| {
+            let mut sim = SimNet::replicated(overlay(4), SetStore, config, 2);
+            sim.insert_batch(vec![(PeerId(0), vec![addressed(9, &[1, 2, 3])])]);
+            let key = KeyHash(hash_u64s(&[9]));
+            let owner = sim.dht().overlay().responsible(key);
+            sim.fail(&[owner]);
+            let probe = vec![Addressed {
+                route: key,
+                body: (),
+            }];
+            if batched {
+                sim.lookup_many(PeerId(0), 1234, &probe);
+            } else {
+                // The walk-order reference: one key at a time.
+                for p in &probe {
+                    sim.lookup_many(PeerId(0), 1234, std::slice::from_ref(p));
+                }
+            }
+            sim.snapshot()
+        };
+        let (spread, walk) = (run(true), run(false));
+        assert_eq!(spread, walk, "spread accounting must match walk order");
+        let h = spread.latency(MsgKind::QueryLookup);
+        assert_eq!(h.samples, 1);
+        // One dead owner skipped: request pays 1 timeout + (route+1) hops.
+        assert_eq!(h.retries, 1, "the dead owner cost one timed-out attempt");
+        assert_eq!(
+            h.retransmission_bytes, LOOKUP_REQUEST_BYTES,
+            "the skipped attempt resent the request payload"
+        );
+        assert!(
+            h.max_ns >= 1_000_000 + 100_000,
+            "timeout + at least one hop"
+        );
+        assert_eq!(
+            spread.latency(MsgKind::QueryResponse).retries,
+            0,
+            "the response leg retraces a live path"
+        );
     }
 }

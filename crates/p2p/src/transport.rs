@@ -41,11 +41,19 @@ pub enum MsgKind {
     /// counts), but it is counted in its own category so availability
     /// studies can separate churn-repair traffic from join handovers.
     Repair,
+    /// Popularity-driven replication: a holder of a *hot* key (one whose
+    /// hit counter crossed the configured threshold) pushes an extra copy
+    /// to the next live peer along the successor walk. Read-scaling
+    /// upkeep: like `Repair` it is overlay maintenance excluded from the
+    /// paper's posting counts, but counted separately so throughput
+    /// studies can price the hot-key replication against the lookup
+    /// traffic it absorbs.
+    HotReplicate,
 }
 
 /// Number of message categories (the size of every per-kind counter
 /// array, iterated via [`MsgKind::ALL`]).
-pub const NUM_KINDS: usize = 6;
+pub const NUM_KINDS: usize = 7;
 
 impl MsgKind {
     /// All categories, for iteration/reporting.
@@ -56,6 +64,7 @@ impl MsgKind {
         MsgKind::QueryResponse,
         MsgKind::Maintenance,
         MsgKind::Repair,
+        MsgKind::HotReplicate,
     ];
 
     pub(crate) fn slot(self) -> usize {
@@ -66,6 +75,7 @@ impl MsgKind {
             MsgKind::QueryResponse => 3,
             MsgKind::Maintenance => 4,
             MsgKind::Repair => 5,
+            MsgKind::HotReplicate => 6,
         }
     }
 }
@@ -115,6 +125,10 @@ pub struct TrafficMeter {
     inserted_by_peer: Vec<AtomicU64>,
     /// Postings each peer has received as query responses.
     retrieved_by_peer: Vec<AtomicU64>,
+    /// Lookups each peer *served* (as the replica the walk or the spread
+    /// pick resolved to) — the per-replica load the read-scaling study
+    /// reports.
+    served_by_peer: Vec<AtomicU64>,
 }
 
 /// A point-in-time copy of one category's counters.
@@ -247,6 +261,8 @@ pub struct TrafficSnapshot {
     pub inserted_by_peer: Vec<u64>,
     /// Per-peer retrieved postings.
     pub retrieved_by_peer: Vec<u64>,
+    /// Per-peer served lookups (the peer was the resolved replica).
+    pub served_by_peer: Vec<u64>,
 }
 
 impl TrafficMeter {
@@ -257,6 +273,7 @@ impl TrafficMeter {
             latency: Default::default(),
             inserted_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
             retrieved_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
+            served_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -264,6 +281,15 @@ impl TrafficMeter {
     pub fn add_peer(&mut self) {
         self.inserted_by_peer.push(AtomicU64::new(0));
         self.retrieved_by_peer.push(AtomicU64::new(0));
+        self.served_by_peer.push(AtomicU64::new(0));
+    }
+
+    /// Records which replica a key lookup resolved to. Separate from
+    /// [`TrafficMeter::record`] because `record` attributes by *origin*
+    /// (who pays the traffic) while replica load is a property of the
+    /// *target* (who does the work).
+    pub fn record_served(&self, serving_peer: usize) {
+        self.served_by_peer[serving_peer].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one message.
@@ -350,6 +376,11 @@ impl TrafficMeter {
                 .iter()
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
+            served_by_peer: self
+                .served_by_peer
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -376,6 +407,7 @@ impl TrafficSnapshot {
         self.kinds == other.kinds
             && self.inserted_by_peer == other.inserted_by_peer
             && self.retrieved_by_peer == other.retrieved_by_peer
+            && self.served_by_peer == other.served_by_peer
     }
 
     /// Total postings moved during indexing (inserts + notifications).
@@ -426,6 +458,7 @@ impl TrafficSnapshot {
             latency,
             inserted_by_peer: diff_vec(&self.inserted_by_peer, &earlier.inserted_by_peer),
             retrieved_by_peer: diff_vec(&self.retrieved_by_peer, &earlier.retrieved_by_peer),
+            served_by_peer: diff_vec(&self.served_by_peer, &earlier.served_by_peer),
         }
     }
 }
@@ -460,6 +493,24 @@ mod tests {
         assert_eq!(s.inserted_by_peer, vec![100, 50]);
         assert_eq!(s.retrieved_by_peer, vec![0, 9]);
         assert!((s.avg_inserted_per_peer() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn served_attribution_is_by_target() {
+        let m = TrafficMeter::new(3);
+        m.record_served(2);
+        m.record_served(2);
+        m.record_served(0);
+        let s = m.snapshot();
+        assert_eq!(s.served_by_peer, vec![1, 0, 2]);
+        let other = TrafficMeter::new(3);
+        assert!(
+            !s.same_counts(&other.snapshot()),
+            "served load is part of the backend-equivalence contract"
+        );
+        m.record_served(1);
+        let d = m.snapshot().since(&s);
+        assert_eq!(d.served_by_peer, vec![0, 1, 0]);
     }
 
     #[test]

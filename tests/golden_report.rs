@@ -97,15 +97,21 @@ fn simnet_backend_reproduces_golden_counts_with_nonzero_latency() {
 
 #[test]
 fn golden_report_is_replication_clean() {
-    // The golden snapshot excludes the Repair category (it predates the
-    // replication subsystem); this guards that the exclusion is vacuous —
-    // an R=1 build without churn never produces repair traffic — so the
+    // The golden snapshot excludes the Repair and HotReplicate categories
+    // (it predates the replication and read-scaling subsystems); this
+    // guards that the exclusion is vacuous — an R=1 build without churn
+    // never produces repair traffic, and with popularity replication off
+    // (the default `hot_threshold: 0`) no hot copies ever move — so the
     // golden file keeps pinning *all* nonzero counters.
     let network = golden_network(&golden_collection());
     let repair = network.snapshot().kind(MsgKind::Repair);
     assert_eq!(repair.messages, 0);
     assert_eq!(repair.postings, 0);
     assert_eq!(repair.bytes, 0);
+    let hot = network.snapshot().kind(MsgKind::HotReplicate);
+    assert_eq!(hot.messages, 0);
+    assert_eq!(hot.postings, 0);
+    assert_eq!(hot.bytes, 0);
 }
 
 #[test]

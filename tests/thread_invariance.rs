@@ -338,6 +338,89 @@ fn long_queries_with_deep_lattice_are_thread_invariant() {
 }
 
 #[test]
+fn skewed_batch_reads_with_spread_and_promotion_are_thread_invariant() {
+    // The read-scaling path: a Zipf-skewed replay batch at R=3 exercises
+    // the replica load spread (each probe's serving holder is picked by
+    // `hash(query_id, key)`, where the query id salts on *batch position*
+    // — a pure input attribute, never a scheduling artifact), then a
+    // hot-key rebalance pass promotes the stream's head keys from the
+    // deterministic hit-counter snapshot, then the identical batch runs
+    // again over the widened replica sets. Everything observable — top-k
+    // score bits, promotion stats, traffic counters including the
+    // HotReplicate category and the per-peer served-lookup loads — must
+    // be bit-identical under RAYON_NUM_THREADS ∈ {1, default}.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = collection(1212);
+    let log = QueryLog::generate(
+        &c,
+        &QueryLogConfig {
+            num_queries: 30,
+            ..QueryLogConfig::default()
+        },
+    );
+    // The corpus crate's shared Zipf sampler: a seeded, heavily skewed
+    // replay schedule, so identical queries repeat at many batch
+    // positions (each repeat salting a different replica pick).
+    let replay = log.zipf_replay(1.2, 160, 77);
+    let run = || {
+        let network = HdkNetwork::build(
+            &c,
+            &partition_documents(c.len(), 16, 13),
+            HdkConfig {
+                dfmax: 15,
+                ff: 3_000,
+                replication: 3,
+                hot_threshold: 6,
+                hot_extra: 2,
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+        );
+        let (mut indexer, queries) = network.into_services();
+        let batch: Vec<(PeerId, &[TermId])> = replay
+            .iter()
+            .enumerate()
+            .map(|(pos, &qi)| (PeerId(pos as u64 % 16), log.queries[qi].terms.as_slice()))
+            .collect();
+        let mut topk: Vec<Vec<SearchResult>> = queries
+            .query_batch(&batch, 20)
+            .into_iter()
+            .map(|o| o.results)
+            .collect();
+        let stats = indexer.rebalance_hot();
+        topk.extend(
+            queries
+                .query_batch(&batch, 20)
+                .into_iter()
+                .map(|o| o.results),
+        );
+        (topk, stats, queries.snapshot())
+    };
+
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run();
+    std::env::remove_var("RAYON_NUM_THREADS"); // default pool size
+    let parallel = run();
+    if let Some(v) = prev {
+        std::env::set_var("RAYON_NUM_THREADS", v);
+    }
+
+    assert_eq!(serial.0, parallel.0, "query top-k diverged");
+    assert_eq!(serial.1, parallel.1, "promotion stats diverged");
+    assert_eq!(serial.2, parallel.2, "traffic snapshot diverged");
+    // Non-vacuity: the skewed stream promoted hot keys, copies moved in
+    // the HotReplicate category, and the serve load genuinely spread —
+    // several peers shared each hot key's reads.
+    assert!(serial.1.promoted > 0, "no keys crossed the hot threshold");
+    assert!(serial.2.kind(MsgKind::HotReplicate).messages > 0);
+    assert!(
+        serial.2.served_by_peer.iter().filter(|&&s| s > 0).count() >= 8,
+        "served load concentrated on too few peers"
+    );
+}
+
+#[test]
 fn simnet_query_batch_is_thread_invariant() {
     // The simulated network models time from per-message attributes only —
     // never from scheduling — so a SimNet build + parallel query batch must
