@@ -24,6 +24,14 @@ fn main() {
         for &dfmax in &profile.dfmax_values {
             let config = profile.hdk_config(dfmax);
             let store = config.store.clone();
+            // The compression bound is codec-dependent: gv4 spends one tag
+            // byte per 4 values, which on this corpus's mostly-1-byte gaps
+            // is ~25% overhead over LEB128 (mixed-width blocks amortize it
+            // to parity — see BENCH_codec.json).
+            let min_improvement = match config.codec {
+                hdk_ir::Codec::Leb128 => 3.0,
+                hdk_ir::Codec::Gv4 => 2.3,
+            };
             let network = HdkNetwork::build(&collection, &partitions, config, profile.overlay);
             let footprint = MemoryFootprint::measure(&network);
             eprintln!(
@@ -37,8 +45,8 @@ fn main() {
                 .table(&format!("memfoot_p{peers}_df{dfmax}"))
                 .emit();
             assert!(
-                footprint.improvement() >= 3.0,
-                "resident storage regression: only {:.2}x better than decoded baseline",
+                footprint.improvement() >= min_improvement,
+                "resident storage regression: only {:.2}x better than decoded baseline (bound {min_improvement}x)",
                 footprint.improvement()
             );
             match store {

@@ -158,6 +158,7 @@ impl ExperimentProfile {
             hot_threshold: 0,
             hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
+            codec: hdk_core::codec_from_env(),
         }
     }
 

@@ -2,6 +2,7 @@
 //! selection for the hosting peers' index fractions.
 
 use crate::key::MAX_KEY_SIZE;
+use hdk_ir::Codec;
 use std::path::PathBuf;
 
 /// Hot-tier budget used by `HDK_STORE=segment` when no explicit byte
@@ -63,6 +64,24 @@ impl StoreConfig {
     }
 }
 
+/// Reads the block-codec selection from the `HDK_CODEC` environment
+/// variable: `leb128` (or unset) for the legacy default, `gv4` for the
+/// 4-wide group-varint codec — how CI runs the whole tier-1 suite against
+/// the alternative codec without touching any test, exactly like
+/// [`StoreConfig::from_env`] does for the storage backend.
+///
+/// # Panics
+/// Panics on an unrecognized value (a misspelled matrix entry must fail
+/// loudly, not silently fall back to the default).
+pub fn codec_from_env() -> Codec {
+    match std::env::var("HDK_CODEC") {
+        Err(_) => Codec::Leb128,
+        Ok(v) if v.is_empty() || v == "leb128" => Codec::Leb128,
+        Ok(v) if v == "gv4" => Codec::Gv4,
+        Ok(v) => panic!("HDK_CODEC must be `leb128` or `gv4`, got {v:?}"),
+    }
+}
+
 /// Parameters of the HDK indexing/retrieval model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HdkConfig {
@@ -110,6 +129,13 @@ pub struct HdkConfig {
     /// read it from the `HDK_STORE` environment variable
     /// ([`StoreConfig::from_env`]), defaulting to the in-memory store.
     pub store: StoreConfig,
+    /// Block codec for freshly encoded posting blocks (a per-block
+    /// property carried in-band, so existing blocks of the other codec
+    /// keep decoding). The constructors read it from the `HDK_CODEC`
+    /// environment variable ([`codec_from_env`]), defaulting to the
+    /// legacy LEB128 layout — the golden snapshot and all wire byte
+    /// meters are untouched unless this is flipped.
+    pub codec: Codec,
 }
 
 impl HdkConfig {
@@ -127,6 +153,7 @@ impl HdkConfig {
             hot_threshold: 0,
             hot_extra: 1,
             store: StoreConfig::from_env(),
+            codec: codec_from_env(),
         }
     }
 
@@ -180,6 +207,7 @@ impl HdkConfig {
             hot_threshold: 0,
             hot_extra: 1,
             store: StoreConfig::from_env(),
+            codec: codec_from_env(),
         }
     }
 }
@@ -199,6 +227,7 @@ impl Default for HdkConfig {
             hot_threshold: 0,
             hot_extra: 1,
             store: StoreConfig::from_env(),
+            codec: codec_from_env(),
         }
     }
 }

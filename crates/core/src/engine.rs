@@ -659,7 +659,12 @@ impl IndexService {
                         .compute_round(round, config, excluded)
                         .into_iter()
                         .filter(|(_, postings)| !postings.is_empty())
-                        .map(|(key, postings)| (key, CompressedPostings::from_list(&postings)))
+                        .map(|(key, postings)| {
+                            (
+                                key,
+                                CompressedPostings::from_list_with(&postings, config.codec),
+                            )
+                        })
                         .collect();
                     batch.sort_unstable_by_key(|(key, _)| *key);
                     (peer.id, batch)

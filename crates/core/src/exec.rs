@@ -186,7 +186,7 @@ impl<'a> QueryExecutor<'a> {
                         stats.postings += n;
                         postings_fetched += n;
                     }
-                    acc.accumulate(l.df, l.postings.iter());
+                    acc.accumulate_block(l.df, &l.postings);
                 }
                 // HDK hits and absent keys terminate their lattice branch
                 // (the plan's early-termination rule); only NDKs expand.

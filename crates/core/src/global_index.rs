@@ -785,6 +785,16 @@ impl GlobalIndex {
         })
     }
 
+    /// Visits every stored entry once (all stripes, both tiers) — a
+    /// diagnostic sweep used to assert whole-network invariants such as
+    /// "the golden scenario's blocks are all legacy-coded".
+    pub fn for_each_entry(&self, mut f: impl FnMut(&KeyEntry)) {
+        let dht = self.dht();
+        for stripe in 0..dht.num_stripes() {
+            dht.for_each_stripe_tiered(stripe, |_, _, e, _| f(e));
+        }
+    }
+
     /// Per-peer storage composition — the memory-footprint analogue of
     /// Figure 3's per-peer posting volumes, resolved per holder like
     /// [`GlobalIndex::stored_postings_per_peer`] and split by tier:
@@ -1137,6 +1147,38 @@ mod tests {
         // A later insert (e.g. a joining peer) learns the NDK state from
         // the acknowledgement.
         assert!(idx.insert(PeerId(1), key(&[6]), list(&[9])));
+    }
+
+    #[test]
+    fn entry_codec_round_trips_block_codec_tag() {
+        // The block's codec travels in-band (extended-header tag), so the
+        // store codec must preserve it: a gv4 entry sealed to disk decodes
+        // back as gv4, a legacy entry as legacy — bytes untouched.
+        use hdk_ir::Codec;
+        for codec in [Codec::Leb128, Codec::Gv4] {
+            let entry = KeyEntry {
+                key: key(&[1, 2]),
+                postings: CompressedPostings::from_list_with(&list(&[3, 9, 400]), codec),
+                df: 3,
+                contributors: vec![PeerId(0), PeerId(7)],
+                is_ndk: false,
+                seen_docs: Some(CompressedDocSet::from_sorted_docs_with(
+                    [DocId(3), DocId(9), DocId(400)],
+                    codec,
+                )),
+            };
+            let mut bytes = Vec::new();
+            KeyEntryCodec.encode(&entry, &mut bytes);
+            let back = KeyEntryCodec.decode(&bytes).expect("decodes");
+            assert_eq!(back.postings.codec(), codec);
+            assert_eq!(back.postings.as_bytes(), entry.postings.as_bytes());
+            assert_eq!(
+                back.seen_docs.as_ref().unwrap().as_bytes(),
+                entry.seen_docs.as_ref().unwrap().as_bytes()
+            );
+            assert_eq!(back.df, 3);
+            assert_eq!(back.contributors, entry.contributors);
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ impl SingleTermNetwork {
             hot_threshold: 0,
             hot_extra: 1,
             store: crate::config::StoreConfig::from_env(),
+            codec: crate::config::codec_from_env(),
         };
         Self {
             inner: HdkNetwork::build(collection, partitions, config, overlay),

@@ -40,7 +40,7 @@ pub fn rank_union(
 ) -> Vec<SearchResult> {
     let mut acc = ScoreAccumulator::new(num_docs, avg_doc_len);
     for (_, lookup) in fetched {
-        acc.accumulate(lookup.df, lookup.postings.iter());
+        acc.accumulate_block(lookup.df, &lookup.postings);
     }
     acc.into_top_k(k)
 }

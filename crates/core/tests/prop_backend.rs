@@ -146,6 +146,7 @@ proptest! {
             hot_threshold: 0,
             hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
+            codec: hdk_core::codec_from_env(),
         };
         // The acceptance configuration: zero latency, zero drop.
         check_equivalent(&collection, &queries, &config, peers, SimNetConfig::zero())?;

@@ -210,6 +210,7 @@ proptest! {
             hot_threshold: 2,
             hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
+            codec: hdk_core::codec_from_env(),
         };
         let ops = decode(&raw_ops);
         let boot = collection.len() / 3;

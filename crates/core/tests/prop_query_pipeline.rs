@@ -131,6 +131,7 @@ proptest! {
             hot_threshold: 0,
             hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
+            codec: hdk_core::codec_from_env(),
         };
         // Two identical builds (builds are deterministic — pinned by
         // tests/determinism.rs) so each side meters its own traffic.

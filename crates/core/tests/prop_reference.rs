@@ -108,6 +108,7 @@ proptest! {
                 hot_threshold: 0,
                 hot_extra: 1,
                 store: hdk_core::StoreConfig::from_env(),
+            codec: hdk_core::codec_from_env(),
             },
             OverlayKind::PGrid,
         );
@@ -208,6 +209,7 @@ proptest! {
                 hot_threshold: 0,
                 hot_extra: 1,
                 store: hdk_core::StoreConfig::from_env(),
+            codec: hdk_core::codec_from_env(),
             },
             OverlayKind::PGrid,
         );

@@ -15,6 +15,24 @@ use crate::compressed::CompressedPostings;
 use crate::posting::PostingList;
 use bytes::Bytes;
 
+/// Selects the block codec for newly encoded posting/doc-set blocks.
+///
+/// The choice is a *per-block* property carried in-band in the block
+/// header (see [`crate::compressed`] for the layout), so blocks of
+/// different codecs coexist freely in one index and decode to identical
+/// postings. The engine picks the codec for fresh blocks from
+/// `HdkConfig::codec` (`HDK_CODEC` environment variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Delta + LEB128 varints decoded one byte at a time — the original
+    /// wire/storage layout and the default (golden-snapshot-stable).
+    #[default]
+    Leb128,
+    /// 4-wide group varint: one tag byte per 4 values packs their byte
+    /// widths, decoded branch-free 4 values per step (see `crate::gv4`).
+    Gv4,
+}
+
 /// Encodes a posting list into its framed block.
 pub fn encode(list: &PostingList) -> Bytes {
     CompressedPostings::from_list(list).into_bytes()
@@ -160,12 +178,24 @@ mod tests {
 
     #[test]
     fn varint_len_boundaries() {
+        // Every length boundary of the 1..=10-byte range: a u64 varint
+        // holds 7 payload bits per byte, so length flips at each 2^(7k).
         assert_eq!(varint_len(0), 1);
-        assert_eq!(varint_len(127), 1);
-        assert_eq!(varint_len(128), 2);
-        assert_eq!(varint_len(16383), 2);
-        assert_eq!(varint_len(16384), 3);
+        for k in 1..=9u32 {
+            let boundary = 1u64 << (7 * k);
+            assert_eq!(varint_len(boundary - 1), k as usize, "below 2^{}", 7 * k);
+            assert_eq!(varint_len(boundary), k as usize + 1, "at 2^{}", 7 * k);
+        }
         assert_eq!(varint_len(u64::MAX), 10);
+        // The formula agrees with the writer at every boundary.
+        for v in (0..=9u32).flat_map(|k| {
+            let b = 1u64 << (7 * k);
+            [b - 1, b]
+        }) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len(), "len vs encode for {v}");
+        }
     }
 
     #[test]

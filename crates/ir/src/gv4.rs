@@ -1,0 +1,377 @@
+//! 4-wide group-varint (SWAR) value-stream primitives — the byte layer of
+//! the `gv4` block codec (see [`crate::compressed`] for the block framing
+//! that selects between this and the legacy LEB128 layout).
+//!
+//! Values are packed four per *group*: one tag byte whose four 2-bit
+//! fields hold `byte_width - 1` for each value, followed by the values'
+//! little-endian bytes (1–4 each). Decoding a group is branch-free on the
+//! widths: when the buffer has ≥ 16 bytes of slack past the tag, every
+//! value is read as one unaligned 4-byte load masked down to its width —
+//! no per-byte continuation-bit loop, which is what makes this codec fast.
+//! A final partial group (1–3 values) writes only the remaining values and
+//! leaves the unused tag fields zero, so the encoding of any value
+//! sequence is canonical (required: the store compares re-encoded bytes).
+
+/// Masks selecting the low 1..=4 bytes of a little-endian u32 load.
+const MASKS: [u32; 4] = [0xFF, 0xFF_FF, 0xFF_FF_FF, 0xFFFF_FFFF];
+
+/// Minimal byte width of a value, 1..=4 (zero still takes one byte).
+#[inline]
+fn width_of(v: u32) -> usize {
+    ((32 - (v | 1).leading_zeros()) as usize).div_ceil(8)
+}
+
+/// Byte length (tag included) of the *full* 4-value group behind `tag`.
+#[inline]
+pub(crate) fn group_len(tag: u8) -> usize {
+    1 + 4 + ((tag & 3) + ((tag >> 2) & 3) + ((tag >> 4) & 3) + ((tag >> 6) & 3)) as usize
+}
+
+/// Incremental group-varint stream writer.
+pub(crate) struct Writer {
+    body: Vec<u8>,
+    pending: [u32; 4],
+    npending: usize,
+}
+
+impl Writer {
+    pub(crate) fn with_capacity(values: usize) -> Self {
+        // ~1 byte per small value plus a tag per 4.
+        Self {
+            body: Vec::with_capacity(values + values / 4 + 1),
+            pending: [0; 4],
+            npending: 0,
+        }
+    }
+
+    /// Adopts an existing encoded stream of `n_values`: full groups stay
+    /// as raw bytes, a trailing partial group is re-read into the pending
+    /// buffer so subsequent pushes extend it in place — the append fast
+    /// path's way of reusing resident bytes without re-coding them.
+    pub(crate) fn resume(stream: Vec<u8>, n_values: usize) -> Self {
+        let tail = n_values % 4;
+        if tail == 0 {
+            return Self {
+                body: stream,
+                pending: [0; 4],
+                npending: 0,
+            };
+        }
+        let mut pos = 0usize;
+        for _ in 0..n_values / 4 {
+            pos += group_len(stream[pos]);
+        }
+        let mut r = Reader::new(&stream, pos, tail);
+        let mut pending = [0u32; 4];
+        for slot in pending.iter_mut().take(tail) {
+            *slot = r.next().expect("resumed stream was validated");
+        }
+        let mut body = stream;
+        body.truncate(pos);
+        Self {
+            body,
+            pending,
+            npending: tail,
+        }
+    }
+
+    /// True when the stream ends exactly on a group boundary, i.e.
+    /// [`Writer::extend_raw`] may append whole encoded groups verbatim.
+    pub(crate) fn is_aligned(&self) -> bool {
+        self.npending == 0
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, v: u32) {
+        self.pending[self.npending] = v;
+        self.npending += 1;
+        if self.npending == 4 {
+            self.flush_group();
+        }
+    }
+
+    /// Appends raw encoded groups. The caller guarantees `groups` starts
+    /// on a group boundary of the logical stream being built.
+    pub(crate) fn extend_raw(&mut self, groups: &[u8]) {
+        debug_assert!(
+            groups.is_empty() || self.npending == 0,
+            "raw extension requires group alignment"
+        );
+        self.body.extend_from_slice(groups);
+    }
+
+    fn flush_group(&mut self) {
+        let at = self.body.len();
+        self.body.push(0);
+        let mut tag = 0u8;
+        for i in 0..self.npending {
+            let v = self.pending[i];
+            let w = width_of(v);
+            tag |= ((w - 1) as u8) << (2 * i);
+            self.body.extend_from_slice(&v.to_le_bytes()[..w]);
+        }
+        self.body[at] = tag;
+        self.npending = 0;
+    }
+
+    pub(crate) fn finish(mut self) -> Vec<u8> {
+        if self.npending > 0 {
+            self.flush_group();
+        }
+        self.body
+    }
+}
+
+/// Streaming group-varint reader over `n_values` values starting at `pos`.
+///
+/// Returns `None` from [`Reader::next`] on buffer overrun, which is what
+/// block validation uses to reject truncated streams.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    vals: [u32; 4],
+    vi: usize,
+    vn: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8], pos: usize, n_values: usize) -> Self {
+        Self {
+            buf,
+            pos,
+            remaining: n_values,
+            vals: [0; 4],
+            vi: 0,
+            vn: 0,
+        }
+    }
+
+    /// Byte position just past the last fully decoded group.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    #[inline(always)]
+    pub(crate) fn next(&mut self) -> Option<u32> {
+        if self.vi == self.vn {
+            self.refill()?;
+        }
+        let v = self.vals[self.vi];
+        self.vi += 1;
+        Some(v)
+    }
+
+    #[inline(always)]
+    fn refill(&mut self) -> Option<()> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let tag = *self.buf.get(self.pos)?;
+        let p = self.pos + 1;
+        if self.remaining >= 4 && p + 16 <= self.buf.len() {
+            // Full group with ≥ 16 bytes of slack (the widest possible
+            // group): four unconditional unaligned loads + masks. The
+            // offsets are sums of tag fields — no load feeds the next
+            // one's address, so the four decodes overlap in flight.
+            let w0 = (tag & 3) as usize + 1;
+            let w1 = ((tag >> 2) & 3) as usize + 1;
+            let w2 = ((tag >> 4) & 3) as usize + 1;
+            let w3 = ((tag >> 6) & 3) as usize + 1;
+            let g: &[u8] = &self.buf[p..p + 16];
+            let load = |off: usize, w: usize| {
+                u32::from_le_bytes(g[off..off + 4].try_into().unwrap()) & MASKS[w - 1]
+            };
+            self.vals[0] = load(0, w0);
+            self.vals[1] = load(w0, w1);
+            self.vals[2] = load(w0 + w1, w2);
+            self.vals[3] = load(w0 + w1 + w2, w3);
+            self.pos = p + w0 + w1 + w2 + w3;
+            self.remaining -= 4;
+            self.vi = 0;
+            self.vn = 4;
+            return Some(());
+        }
+        // Tail: partial final group, or a full group too close to the
+        // buffer's end for the 4-byte overreads.
+        let n = self.remaining.min(4);
+        let mut p = p;
+        for i in 0..n {
+            let w = ((tag >> (2 * i)) & 3) as usize + 1;
+            let bytes = self.buf.get(p..p + w)?;
+            let mut le = [0u8; 4];
+            le[..w].copy_from_slice(bytes);
+            self.vals[i] = u32::from_le_bytes(le);
+            p += w;
+        }
+        self.pos = p;
+        self.remaining -= n;
+        self.vi = 0;
+        self.vn = n;
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32]) {
+        let mut w = Writer::with_capacity(values.len());
+        for &v in values {
+            w.push(v);
+        }
+        let body = w.finish();
+        let mut r = Reader::new(&body, 0, values.len());
+        for &v in values {
+            assert_eq!(r.next(), Some(v));
+        }
+        assert_eq!(r.next(), None);
+        assert_eq!(r.pos(), body.len());
+    }
+
+    #[test]
+    fn width_boundaries() {
+        for (v, w) in [
+            (0u32, 1),
+            (0xFF, 1),
+            (0x100, 2),
+            (0xFFFF, 2),
+            (0x1_0000, 3),
+            (0xFF_FFFF, 3),
+            (0x100_0000, 4),
+            (u32::MAX, 4),
+        ] {
+            assert_eq!(width_of(v), w, "width of {v:#x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_group_sizes() {
+        roundtrip(&[]);
+        roundtrip(&[7]);
+        roundtrip(&[1, 2]);
+        roundtrip(&[1, 300, 70_000]);
+        roundtrip(&[0, 0xFF, 0x100, u32::MAX]);
+        roundtrip(&[5, 0x1234, 0xAB_CDEF, u32::MAX, 9]);
+        let mixed: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn partial_group_tag_is_canonical() {
+        // Unused tag fields of a trailing partial group stay zero, so the
+        // same value sequence always encodes to the same bytes.
+        let mut w = Writer::with_capacity(1);
+        w.push(u32::MAX);
+        let body = w.finish();
+        assert_eq!(body, vec![0b0000_0011, 0xFF, 0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn resume_matches_fresh_encode() {
+        let values: Vec<u32> = (0..23u32).map(|i| i * 1000 + 3).collect();
+        for cut in 0..values.len() {
+            let mut head = Writer::with_capacity(cut);
+            for &v in &values[..cut] {
+                head.push(v);
+            }
+            let mut resumed = Writer::resume(head.finish(), cut);
+            assert_eq!(resumed.is_aligned(), cut % 4 == 0);
+            for &v in &values[cut..] {
+                resumed.push(v);
+            }
+            let mut fresh = Writer::with_capacity(values.len());
+            for &v in &values {
+                fresh.push(v);
+            }
+            assert_eq!(resumed.finish(), fresh.finish(), "resume at {cut}");
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let mut w = Writer::with_capacity(6);
+        for v in [1u32, 70_000, 3, 0xFFFF_0000, 12, 9] {
+            w.push(v);
+        }
+        let body = w.finish();
+        for cut in 0..body.len() {
+            let mut r = Reader::new(&body[..cut], 0, 6);
+            let mut decoded = 0;
+            while r.next().is_some() {
+                decoded += 1;
+            }
+            assert!(decoded < 6, "cut at {cut} decoded all values");
+        }
+    }
+
+    #[test]
+    fn group_len_matches_encoding() {
+        let mut w = Writer::with_capacity(8);
+        for v in [1u32, 0x100, 0x1_0000, u32::MAX, 2, 2, 2, 2] {
+            w.push(v);
+        }
+        let body = w.finish();
+        let first = group_len(body[0]);
+        assert_eq!(first, 1 + 1 + 2 + 3 + 4);
+        assert_eq!(group_len(body[first]), 1 + 4);
+        assert_eq!(first + group_len(body[first]), body.len());
+    }
+}
+
+#[cfg(test)]
+mod timing {
+    use super::*;
+    use crate::codec::{read_varint, write_varint};
+
+    #[test]
+    #[ignore]
+    fn raw_decode_speed() {
+        let mut x = 0x5EEDu64 | 1;
+        let values: Vec<u32> = (0..120_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x as u32) % 70_000
+            })
+            .collect();
+        let mut w = Writer::with_capacity(values.len());
+        for &v in &values {
+            w.push(v);
+        }
+        let gv4_body = w.finish();
+        let mut leb_body = Vec::new();
+        for &v in &values {
+            write_varint(&mut leb_body, u64::from(v) + 1);
+        }
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            let mut sum = 0u64;
+            for _ in 0..20 {
+                let mut r = Reader::new(&gv4_body, 0, values.len());
+                while let Some(v) = r.next() {
+                    sum = sum.wrapping_add(u64::from(v));
+                }
+            }
+            let gv4_t = t.elapsed().as_secs_f64();
+            let t = std::time::Instant::now();
+            let mut sum2 = 0u64;
+            for _ in 0..20 {
+                let mut pos = 0usize;
+                while pos < leb_body.len() {
+                    sum2 = sum2.wrapping_add(read_varint(&leb_body, &mut pos).unwrap());
+                }
+            }
+            let leb_t = t.elapsed().as_secs_f64();
+            eprintln!(
+                "gv4 {:.2} ns/val  leb {:.2} ns/val  (sums {sum} {sum2})",
+                gv4_t / (values.len() * 20) as f64 * 1e9,
+                leb_t / (values.len() * 20) as f64 * 1e9
+            );
+        }
+    }
+}

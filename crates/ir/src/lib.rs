@@ -7,7 +7,9 @@
 //!
 //! * [`posting`] — postings and sorted posting lists,
 //! * [`codec`] — delta + varint block primitives (one layout for wire *and*
-//!   storage),
+//!   storage) and the [`Codec`] selector,
+//! * `gv4` — 4-wide group-varint (SWAR) value-stream primitives behind the
+//!   alternative block codec,
 //! * [`compressed`] — [`CompressedPostings`]/[`CompressedDocSet`], the
 //!   resident posting format: the encoded block plus a skip header, decoded
 //!   lazily by streaming iteration and never duplicated,
@@ -23,6 +25,7 @@ pub mod bm25;
 pub mod codec;
 pub mod compressed;
 pub mod engine;
+mod gv4;
 pub mod index;
 pub mod overlap;
 pub mod posting;
@@ -31,6 +34,7 @@ pub mod segment;
 
 pub use bm25::Bm25;
 pub use bytes::Bytes;
+pub use codec::Codec;
 pub use compressed::{CompressedDocSet, CompressedPostings};
 pub use engine::CentralizedEngine;
 pub use index::InvertedIndex;

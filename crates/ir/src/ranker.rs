@@ -6,6 +6,7 @@
 //! deterministic, so ties break by ascending document id everywhere.
 
 use crate::bm25::Bm25;
+use crate::compressed::CompressedPostings;
 use crate::posting::Posting;
 use hdk_corpus::DocId;
 use std::cmp::Ordering;
@@ -115,11 +116,25 @@ impl ScoreAccumulator {
     /// contributes `idf(df) · tf_sat(tf, dl)` to its document's score.
     pub fn accumulate<I: IntoIterator<Item = Posting>>(&mut self, df: u32, postings: I) {
         let df = df as usize;
-        for p in postings {
-            *self.scores.entry(p.doc).or_insert(0.0) +=
-                self.bm25
-                    .score(p.tf, p.doc_len, self.avg_doc_len, df, self.num_docs);
-        }
+        // `for_each` (not a `for` loop) so block iterators run their
+        // internal-iteration `fold` specialization — one codec dispatch
+        // per block instead of one per posting.
+        let scores = &mut self.scores;
+        let bm25 = &self.bm25;
+        let (avg_doc_len, num_docs) = (self.avg_doc_len, self.num_docs);
+        postings.into_iter().for_each(|p| {
+            *scores.entry(p.doc).or_insert(0.0) +=
+                bm25.score(p.tf, p.doc_len, avg_doc_len, df, num_docs);
+        });
+    }
+
+    /// Streams a compressed block straight through the scorer — the
+    /// zero-copy rank path: postings decode inside the block's own codec
+    /// (4 values per step for gv4) directly into the score table, no
+    /// intermediate list. Accumulation order and f64 results are exactly
+    /// those of `accumulate(df, block.iter())`, whatever the codec.
+    pub fn accumulate_block(&mut self, df: u32, block: &CompressedPostings) {
+        self.accumulate(df, block);
     }
 
     /// Number of distinct documents scored so far.

@@ -54,7 +54,7 @@ pub use hdk_text as text;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use hdk_core::{
-        BackendConfig, HdkConfig, HdkNetwork, IndexService, Key, KeyClass, OverlayKind,
+        BackendConfig, Codec, HdkConfig, HdkNetwork, IndexService, Key, KeyClass, OverlayKind,
         QueryOutcome, QueryPlan, QueryProfile, QueryService, SingleTermNetwork, StoreConfig,
     };
     pub use hdk_corpus::{

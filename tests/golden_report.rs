@@ -96,6 +96,27 @@ fn simnet_backend_reproduces_golden_counts_with_nonzero_latency() {
 }
 
 #[test]
+fn golden_scenario_is_pinned_to_the_legacy_codec() {
+    // The snapshot predates the gv4 block codec, so the golden scenario
+    // pins `Codec::Leb128` explicitly: the default codec must stay legacy
+    // (fresh configs produce snapshot-identical bytes) and the golden
+    // network's resident blocks must all be legacy-framed even when the
+    // environment selects gv4 (the `HDK_CODEC=gv4` CI leg).
+    assert_eq!(Codec::default(), Codec::Leb128);
+    let network = golden_network(&golden_collection());
+    let mut blocks = 0u64;
+    network.index().for_each_entry(|entry| {
+        assert_eq!(
+            entry.postings.codec(),
+            Codec::Leb128,
+            "golden block left the legacy codec"
+        );
+        blocks += 1;
+    });
+    assert!(blocks > 0, "golden network stored no keys");
+}
+
+#[test]
 fn golden_report_is_replication_clean() {
     // The golden snapshot excludes the Repair and HotReplicate categories
     // (it predates the replication and read-scaling subsystems); this
