@@ -1,0 +1,74 @@
+//! The serving-tier study: spawns real `hdk-peer` processes on loopback
+//! sockets, asserts the multi-process build bit-identical to the
+//! in-process build, then drives a Zipf-skewed closed-loop HTTP load
+//! through the front-end and reports wall-clock QPS and tail latency.
+//!
+//! ```text
+//! cargo build --release                 # builds the hdk-peer binary too
+//! cargo run -p hdk-bench --release --bin serving_study \
+//!     [nprocs peers docs clients samples]
+//! ```
+//!
+//! Emits the machine-readable artifact `BENCH_serving.json` in the
+//! working directory alongside the stdout summary.
+
+use hdk_bench::serving::{print_serving, run_serving_study, serving_json, ServingParams};
+use std::path::PathBuf;
+
+/// `hdk-peer` sits next to this binary in the target directory (both
+/// profiles): `cargo run` puts bench bins and root-package bins in the
+/// same `target/<profile>/` folder.
+fn peer_binary() -> PathBuf {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("target directory");
+    let peer = dir.join(format!("hdk-peer{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        peer.is_file(),
+        "{} not found — build it first: cargo build --release",
+        peer.display()
+    );
+    peer
+}
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| {
+            a.parse()
+                .expect("numeric args: nprocs peers docs clients samples")
+        })
+        .collect();
+    let mut params = ServingParams::default();
+    if let Some(&v) = args.first() {
+        params.nprocs = v;
+    }
+    if let Some(&v) = args.get(1) {
+        params.peers = v;
+    }
+    if let Some(&v) = args.get(2) {
+        params.docs = v;
+    }
+    if let Some(&v) = args.get(3) {
+        params.clients = v;
+    }
+    if let Some(&v) = args.get(4) {
+        params.samples = v;
+    }
+    eprintln!(
+        "[serving_study] nprocs={} peers={} docs={} clients={} samples={}",
+        params.nprocs, params.peers, params.docs, params.clients, params.samples
+    );
+    let report = run_serving_study(&peer_binary(), params);
+    print_serving(&report);
+    assert_eq!(report.failed, 0, "loopback requests must not fail");
+    assert_eq!(
+        report.transport_errors, 0,
+        "loopback transport must not tick errors"
+    );
+    let json = serving_json(&report);
+    let path = "BENCH_serving.json";
+    match std::fs::write(path, format!("{}\n", json.render())) {
+        Ok(()) => eprintln!("[serving_study] wrote {path}"),
+        Err(e) => eprintln!("note: could not write {path}: {e}"),
+    }
+}

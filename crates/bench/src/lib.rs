@@ -21,6 +21,8 @@
 //! `table2`, `fig3`–`fig8`, `theory`, `experiments` (all of the above in
 //! one run), `memfoot`, `latency_sweep`, `availability`, `restart_study`
 //! (segment-log crash-restart recovery, asserted bit-identical),
+//! `serving_study` ([`serving`]: real peer processes + HTTP front-end
+//! under closed-loop load, asserted bit-identical to in-process),
 //! `ablate_window`, `ablate_redundancy`, `ablate_dfmax`, `ablate_overlay`.
 
 pub mod availability;
@@ -32,6 +34,7 @@ pub mod profile;
 pub mod read_scaling;
 pub mod report;
 pub mod runner;
+pub mod serving;
 
 pub use availability::{print_availability_study, run_availability_study, AvailabilityPoint};
 pub use json::Json;
@@ -40,3 +43,4 @@ pub use profile::ExperimentProfile;
 pub use read_scaling::{run_read_scaling, ReadScalingReport};
 pub use report::Table;
 pub use runner::{run_growth_sweep, PointMeasurement, SystemMeasurement};
+pub use serving::{run_serving_study, ServingParams, ServingReport};

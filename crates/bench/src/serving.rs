@@ -1,0 +1,406 @@
+//! The serving-tier study: real peer processes on loopback sockets, the
+//! HTTP/JSON front-end on top, and a closed-loop load generator driving
+//! a Zipf-skewed query stream through the whole stack.
+//!
+//! The run asserts the serving tier's load-bearing invariant before any
+//! load flows — the multi-process build answers bit-identically (index
+//! counts, top-k f64 score bits, traffic counts) to the in-process
+//! build — then measures what the paper's simulator cannot: wall-clock
+//! queries/second and tail latency through real sockets. Peers shut
+//! down gracefully at the end and must exit 0.
+
+use hdk_core::{
+    spawn_http, BackendConfig, HdkConfig, HdkNetwork, OverlayKind, QueryService, WireRequest,
+    WireResponse,
+};
+use hdk_corpus::{
+    partition_documents, CollectionGenerator, GeneratorConfig, QueryLog, QueryLogConfig,
+};
+use hdk_p2p::wire::{read_frame, write_frame};
+use hdk_p2p::PeerId;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Study geometry and load shape.
+#[derive(Debug, Clone)]
+pub struct ServingParams {
+    /// Peer processes hosting the DHT stripes.
+    pub nprocs: usize,
+    /// Logical peers across all processes.
+    pub peers: usize,
+    /// Documents in the synthetic collection.
+    pub docs: usize,
+    /// Vocabulary size of the synthetic collection.
+    pub vocab: usize,
+    /// The paper's `DFmax` indexing threshold.
+    pub dfmax: u32,
+    /// Concurrent closed-loop HTTP clients.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub samples: usize,
+    /// Zipf skew of the replayed query stream.
+    pub skew: f64,
+    /// Seed for the collection, partitions and replay schedule.
+    pub seed: u64,
+}
+
+impl Default for ServingParams {
+    fn default() -> Self {
+        Self {
+            nprocs: 3,
+            peers: 8,
+            docs: 400,
+            vocab: 4_000,
+            dfmax: 12,
+            clients: 4,
+            samples: 400,
+            skew: 1.2,
+            seed: 42,
+        }
+    }
+}
+
+/// What one study run measured.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// The geometry the run used.
+    pub params: ServingParams,
+    /// Total HDK keys in the (bit-identical) multi-process index.
+    pub total_keys: u64,
+    /// Requests answered 200 by the front-end.
+    pub ok: u64,
+    /// Requests answered anything else (must stay 0 on loopback).
+    pub failed: u64,
+    /// Closed-loop throughput over the wall-clock of the load phase.
+    pub qps: f64,
+    /// Latency quantiles over every successful request, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+    /// Transport errors the front-end counted (must stay 0 on loopback).
+    pub transport_errors: u64,
+}
+
+/// Kills leftover peer processes when the study panics mid-run.
+struct Fleet(Vec<Child>);
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn_peer(peer_bin: &Path, params: &ServingParams, proc_index: usize) -> (Child, String) {
+    let mut child = Command::new(peer_bin)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--nprocs",
+            &params.nprocs.to_string(),
+            "--proc",
+            &proc_index.to_string(),
+            "--peers",
+            &params.peers.to_string(),
+            "--dfmax",
+            &params.dfmax.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", peer_bin.display()));
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read LISTEN line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTEN ")
+        .unwrap_or_else(|| panic!("unexpected peer banner {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// One request on a persistent (keep-alive) connection: returns the
+/// status code and the body.
+fn http_request(stream: &mut BufReader<TcpStream>, target: &str) -> (u16, String) {
+    // One write per request: a fragmented write interacts with Nagle +
+    // delayed ACK into ~40ms stalls, which would swamp the measurement.
+    let request = format!("GET {target} HTTP/1.1\r\nHost: study\r\n\r\n");
+    stream
+        .get_mut()
+        .write_all(request.as_bytes())
+        .expect("send request");
+    let mut line = String::new();
+    stream.read_line(&mut line).expect("read status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        stream.read_line(&mut line).expect("read header");
+        let header = line.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    (status, String::from_utf8_lossy(&body).into_owned())
+}
+
+fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect HTTP front-end");
+    stream.set_nodelay(true).expect("set nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set read timeout");
+    BufReader::new(stream)
+}
+
+fn assert_bit_identical(tcp: &QueryService, inproc: &QueryService, log: &QueryLog, peers: usize) {
+    assert_eq!(
+        tcp.index().index_counts(),
+        inproc.index().index_counts(),
+        "multi-process index counts diverge from in-process"
+    );
+    for (i, query) in log.queries.iter().take(16).enumerate() {
+        let from = PeerId((i % peers) as u64);
+        let remote = tcp.query(from, &query.terms, 10);
+        let local = inproc.query(from, &query.terms, 10);
+        assert_eq!(remote.lookups, local.lookups, "query {i}: lookups diverge");
+        let remote_bits: Vec<(u32, u64)> = remote
+            .results
+            .iter()
+            .map(|r| (r.doc.0, r.score.to_bits()))
+            .collect();
+        let local_bits: Vec<(u32, u64)> = local
+            .results
+            .iter()
+            .map(|r| (r.doc.0, r.score.to_bits()))
+            .collect();
+        assert_eq!(remote_bits, local_bits, "query {i}: top-k bits diverge");
+    }
+    assert!(
+        tcp.snapshot().same_counts(&inproc.snapshot()),
+        "traffic counts diverge between the serving tier and in-process"
+    );
+}
+
+/// Runs the full study: spawn peers from `peer_bin`, build twin indexes,
+/// assert bit-identity, drive the closed-loop load, shut the fleet down
+/// gracefully.
+pub fn run_serving_study(peer_bin: &Path, params: ServingParams) -> ServingReport {
+    let mut fleet = Fleet(Vec::new());
+    let mut addrs = Vec::new();
+    for i in 0..params.nprocs {
+        let (child, addr) = spawn_peer(peer_bin, &params, i);
+        fleet.0.push(child);
+        addrs.push(addr);
+    }
+
+    let collection = CollectionGenerator::new(GeneratorConfig {
+        num_docs: params.docs,
+        vocab_size: params.vocab,
+        seed: params.seed,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let partitions = partition_documents(collection.len(), params.peers, params.seed);
+    let config = HdkConfig {
+        dfmax: params.dfmax,
+        ..HdkConfig::default()
+    };
+    let tcp_net = HdkNetwork::build_with(
+        &collection,
+        &partitions,
+        config.clone(),
+        OverlayKind::PGrid,
+        BackendConfig::Tcp {
+            addrs: addrs.clone(),
+        },
+    );
+    let inproc_net = HdkNetwork::build_with(
+        &collection,
+        &partitions,
+        config,
+        OverlayKind::PGrid,
+        BackendConfig::InProc,
+    );
+    let tcp = tcp_net.query_service();
+    let log = QueryLog::generate(&collection, &QueryLogConfig::default());
+    assert!(!log.is_empty(), "degenerate collection: empty query log");
+    assert_bit_identical(&tcp, &inproc_net.query_service(), &log, params.peers);
+    let total_keys = tcp.index().index_counts().total_keys();
+
+    // --- The closed-loop load phase. ---
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind front-end");
+    let handle = spawn_http(listener, tcp.clone()).expect("spawn HTTP front-end");
+    let http_addr = handle.addr();
+
+    let schedule = log.zipf_replay(params.skew, params.samples, params.seed);
+    let targets: Vec<String> = schedule
+        .iter()
+        .enumerate()
+        .map(|(i, &pos)| {
+            let q: Vec<String> = log.queries[pos]
+                .terms
+                .iter()
+                .map(|t| t.0.to_string())
+                .collect();
+            format!("/query?q={}&k=10&peer={}", q.join(","), i % params.peers)
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..params.clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut conn = connect(http_addr);
+                    let mut sampled = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= targets.len() {
+                            break;
+                        }
+                        let sent = Instant::now();
+                        let (status, _) = http_request(&mut conn, &targets[i]);
+                        if status == 200 {
+                            sampled.push(sent.elapsed().as_nanos() as u64);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    sampled
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("load worker panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        latencies[idx] as f64 / 1_000.0
+    };
+    assert!(!latencies.is_empty(), "the load phase produced no samples");
+
+    // Front-end health after the storm.
+    let mut conn = connect(http_addr);
+    let (status, body) = http_request(&mut conn, "/health");
+    assert_eq!(status, 200, "post-load /health failed: {body}");
+    assert!(body.contains("\"status\":\"ok\""), "unhealthy: {body}");
+    let (status, metrics) = http_request(&mut conn, "/metrics");
+    assert_eq!(status, 200, "post-load /metrics failed");
+    assert!(
+        metrics.contains("hdk_traffic_messages_total{kind=\"index_insert\"}"),
+        "metrics lost the build counters"
+    );
+    handle.stop();
+
+    // --- Graceful shutdown: ack frame, then exit status 0. ---
+    for (child, addr) in fleet.0.iter_mut().zip(&addrs) {
+        let mut stream = TcpStream::connect(addr).expect("connect for shutdown");
+        write_frame(&mut stream, &WireRequest::Shutdown.encode()).expect("send Shutdown");
+        let reply = read_frame(&mut stream).expect("read shutdown ack");
+        assert!(
+            matches!(WireResponse::decode(&reply), Ok(WireResponse::ShuttingDown)),
+            "peer at {addr} did not acknowledge shutdown"
+        );
+        let exit = child.wait().expect("reap peer");
+        assert!(exit.success(), "graceful shutdown exited {exit}");
+    }
+    fleet.0.clear();
+
+    ServingReport {
+        total_keys,
+        ok: ok.load(Ordering::Relaxed) as u64,
+        failed: failed.load(Ordering::Relaxed) as u64,
+        qps: latencies.len() as f64 / wall.as_secs_f64(),
+        p50_us: quantile(0.5),
+        p99_us: quantile(0.99),
+        mean_us: latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1_000.0,
+        transport_errors: tcp.transport_errors(),
+        params,
+    }
+}
+
+/// The stdout table.
+pub fn print_serving(report: &ServingReport) {
+    let p = &report.params;
+    println!(
+        "serving tier: {} peer processes x {} logical peers, {} docs, DFmax={}",
+        p.nprocs, p.peers, p.docs, p.dfmax
+    );
+    println!(
+        "  bit-identical to in-process: yes ({} HDK keys)",
+        report.total_keys
+    );
+    println!(
+        "  {} clients x {} requests (zipf s={}): {:.0} q/s  p50 {:.0}us  p99 {:.0}us  mean {:.0}us",
+        p.clients, p.samples, p.skew, report.qps, report.p50_us, report.p99_us, report.mean_us
+    );
+    println!(
+        "  ok={} failed={} transport_errors={}",
+        report.ok, report.failed, report.transport_errors
+    );
+}
+
+/// The machine-readable artifact (`BENCH_serving.json`).
+pub fn serving_json(report: &ServingReport) -> Json {
+    let p = &report.params;
+    Json::obj([
+        (
+            "params",
+            Json::obj([
+                ("nprocs", p.nprocs.into()),
+                ("peers", p.peers.into()),
+                ("docs", p.docs.into()),
+                ("vocab", p.vocab.into()),
+                ("dfmax", u64::from(p.dfmax).into()),
+                ("clients", p.clients.into()),
+                ("samples", p.samples.into()),
+                ("skew", p.skew.into()),
+                ("seed", p.seed.into()),
+            ]),
+        ),
+        ("bit_identical_to_inproc", true.into()),
+        ("total_keys", report.total_keys.into()),
+        ("ok", report.ok.into()),
+        ("failed", report.failed.into()),
+        ("qps", report.qps.into()),
+        ("p50_us", report.p50_us.into()),
+        ("p99_us", report.p99_us.into()),
+        ("mean_us", report.mean_us.into()),
+        ("transport_errors", report.transport_errors.into()),
+    ])
+}

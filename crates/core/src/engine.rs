@@ -54,7 +54,7 @@ pub enum OverlayKind {
 }
 
 impl OverlayKind {
-    fn build(self, peer_ids: Vec<PeerId>) -> Box<dyn Overlay> {
+    pub(crate) fn build(self, peer_ids: Vec<PeerId>) -> Box<dyn Overlay> {
         match self {
             OverlayKind::PGrid => Box::new(PGrid::new(peer_ids)),
             OverlayKind::Chord => Box::new(ChordRing::new(peer_ids)),
@@ -63,7 +63,7 @@ impl OverlayKind {
 }
 
 /// Which network carries the engine's messages to the DHT.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum BackendConfig {
     /// Synchronous in-process dispatch into the lock-striped DHT — the
     /// zero-cost default; golden reports, traffic counters and top-k
@@ -74,9 +74,41 @@ pub enum BackendConfig {
     /// latency/jitter/drop, per-kind latency histograms, virtual clock.
     /// Traffic *counts* match `InProc` for the same scenario.
     SimNet(SimNetConfig),
+    /// The real serving tier: `addrs` name already-running peer
+    /// processes (`hdk-peer` binaries) hosting the DHT stripes; every
+    /// data-plane request travels as a checksummed wire frame over
+    /// pooled TCP connections. Traffic counts and top-k score bits
+    /// match `InProc` for the same corpus (`tests/serving_multiproc.rs`).
+    Tcp {
+        /// One `host:port` per peer process, in `proc_index` order.
+        addrs: Vec<String>,
+    },
 }
 
 impl BackendConfig {
+    /// Reads `HDK_BACKEND` from the environment:
+    /// `inproc` (or unset) — the in-process default;
+    /// `tcp:host:port,host:port,...` — the serving tier over the listed
+    /// peer processes. Panics on anything else, listing the valid forms
+    /// (same discipline as `StoreConfig::from_env`).
+    pub fn from_env() -> BackendConfig {
+        match std::env::var("HDK_BACKEND") {
+            Err(_) => BackendConfig::InProc,
+            Ok(raw) => match raw.as_str() {
+                "" | "inproc" => BackendConfig::InProc,
+                spec => match spec.strip_prefix("tcp:") {
+                    Some(list) if !list.is_empty() => BackendConfig::Tcp {
+                        addrs: list.split(',').map(str::to_string).collect(),
+                    },
+                    _ => panic!(
+                        "invalid HDK_BACKEND {spec:?}: expected \"inproc\" or \
+                         \"tcp:host:port,host:port,...\""
+                    ),
+                },
+            },
+        }
+    }
+
     fn build(
         self,
         overlay: Box<dyn Overlay>,
@@ -112,6 +144,13 @@ impl BackendConfig {
                 replication,
                 entries,
             )),
+            // The serving tier: entries live in the peer processes
+            // (each honors `HDK_STORE` itself), so the local entry
+            // store — if any — is deliberately unused here.
+            (BackendConfig::Tcp { addrs }, _) => Box::new(
+                crate::serve::TcpNet::connect(&addrs, overlay, dfmax, replication)
+                    .unwrap_or_else(|e| panic!("cannot connect to peer processes {addrs:?}: {e}")),
+            ),
         }
     }
 }
@@ -266,6 +305,14 @@ impl QueryService {
     /// backend).
     pub fn virtual_time_ns(&self) -> u64 {
         self.index().virtual_time_ns()
+    }
+
+    /// Socket-level failures on the serving tier's transport (0 on
+    /// local backends). A nonzero delta across a query means its
+    /// results are degraded — some peer process was unreachable —
+    /// rather than complete.
+    pub fn transport_errors(&self) -> u64 {
+        self.index().transport_errors()
     }
 
     /// Aggregated build statistics for the experiment harness.

@@ -365,6 +365,30 @@ impl GlobalIndex {
         self.backend.dht()
     }
 
+    /// The serving-tier backend, when that's what this index speaks
+    /// through. `None` on local backends: every sweep runs over the
+    /// local stripes. `Some` reroutes the host-local operations (sweeps,
+    /// peeks, accounting) over the wire to the peer processes that
+    /// actually hold the entries.
+    fn remote(&self) -> Option<&crate::serve::TcpNet> {
+        self.backend.as_any()?.downcast_ref()
+    }
+
+    /// Executes one pre-decoded data-plane request against the backend —
+    /// the peer-process server's dispatch path ([`crate::serve::peer`]).
+    pub(crate) fn dispatch(
+        &self,
+        request: Request<(Key, CompressedPostings), Key>,
+    ) -> Response<KeyLookup> {
+        self.backend.call(request)
+    }
+
+    /// Socket-level failures on the serving tier's transport (always 0 on
+    /// local backends).
+    pub fn transport_errors(&self) -> u64 {
+        self.remote().map_or(0, |net| net.transport_errors())
+    }
+
     /// The underlying overlay.
     pub fn overlay(&self) -> &dyn Overlay {
         self.dht().overlay()
@@ -482,6 +506,9 @@ impl GlobalIndex {
     /// Keys already swept in a previous call keep their state (inserts only
     /// happen for the round's size, so re-sweeping is idempotent).
     pub fn classify_round(&self, size: usize) -> HashMap<PeerId, Vec<Key>> {
+        if let Some(net) = self.remote() {
+            return Self::merge_remote_classify(net, size);
+        }
         let dfmax = self.dfmax;
         let dht = self.dht();
         let per_stripe: Vec<Vec<(PeerId, Key)>> = (0..dht.num_stripes())
@@ -552,6 +579,30 @@ impl GlobalIndex {
         notifications
     }
 
+    /// The serving-tier classification sweep: every peer process runs
+    /// [`GlobalIndex::classify_round`] over its own (disjoint) stripes —
+    /// delivering and metering its own notifications exactly once — and
+    /// the front-end merges the returned per-peer key lists. An
+    /// unreachable process is skipped (its sweep is missed, a degraded
+    /// round, not a hang); the transport error counter records it.
+    fn merge_remote_classify(net: &crate::serve::TcpNet, size: usize) -> HashMap<PeerId, Vec<Key>> {
+        use crate::serve::{WireRequest, WireResponse};
+        let mut notifications: HashMap<PeerId, Vec<Key>> = HashMap::new();
+        for reply in net.broadcast(&WireRequest::Classify { size: size as u32 }) {
+            if let Ok(WireResponse::Classified(per_peer)) = reply {
+                for (peer, keys) in per_peer {
+                    notifications.entry(peer).or_default().extend(keys);
+                }
+            }
+        }
+        // Processes host disjoint stripes, so the concatenated lists are
+        // disjoint too; sorting restores the canonical order.
+        for keys in notifications.values_mut() {
+            keys.sort_unstable();
+        }
+        notifications
+    }
+
     /// Retrieval-time lookup of one key by peer `from`: a single-key
     /// [`Request::LookupMany`] message. The request routes to the
     /// responsible peer; the response carries the stored block back — the
@@ -598,7 +649,17 @@ impl GlobalIndex {
     }
 
     /// Unmetered inspection (tests, ablations, stored-size measurements).
+    /// On the serving tier, routes to the owning peer process (an
+    /// unreachable process reads as `None`).
     pub fn peek(&self, key: Key) -> Option<KeyEntry> {
+        use crate::serve::{WireRequest, WireResponse};
+        if let Some(net) = self.remote() {
+            let owner = net.owner_of(key.dht_hash());
+            return match net.control(owner, &WireRequest::Peek(key)) {
+                Ok(WireResponse::Peeked(entry)) => entry,
+                _ => None,
+            };
+        }
         self.dht().peek(key.dht_hash(), |e| e.cloned())
     }
 
@@ -609,6 +670,18 @@ impl GlobalIndex {
     /// figures bit for bit. Swept stripe-parallel; per-peer sums are
     /// order-independent.
     pub fn stored_postings_per_peer(&self) -> Vec<u64> {
+        use crate::serve::{WireRequest, WireResponse};
+        if let Some(net) = self.remote() {
+            let mut totals = vec![0u64; self.overlay().len()];
+            for reply in net.broadcast(&WireRequest::StoredPostings) {
+                if let Ok(WireResponse::StoredPostings(per_peer)) = reply {
+                    for (a, t) in totals.iter_mut().zip(per_peer) {
+                        *a += t;
+                    }
+                }
+            }
+            return totals;
+        }
         let dht = self.dht();
         let peers = dht.overlay().len();
         let per_stripe: Vec<Vec<u64>> = (0..dht.num_stripes())
@@ -645,6 +718,16 @@ impl GlobalIndex {
     /// Counts of stored keys and postings, split HDK/NDK and by size.
     /// Swept stripe-parallel; the merged counts are order-independent sums.
     pub fn index_counts(&self) -> IndexCounts {
+        use crate::serve::{WireRequest, WireResponse};
+        if let Some(net) = self.remote() {
+            let mut merged = IndexCounts::default();
+            for reply in net.broadcast(&WireRequest::Counts) {
+                if let Ok(WireResponse::Counts(counts)) = reply {
+                    merged = IndexCounts::merged(merged, counts);
+                }
+            }
+            return merged;
+        }
         let dht = self.dht();
         (0..dht.num_stripes())
             .into_par_iter()
@@ -723,8 +806,16 @@ impl GlobalIndex {
     }
 
     /// Installs the popularity-replication knobs on the underlying DHT
-    /// (engine construction time; not a message).
+    /// (engine construction time; not a message). On the serving tier
+    /// the knobs are also broadcast, so every peer process applies the
+    /// same promotion thresholds to its stripes.
     pub fn set_hot_config(&mut self, hot: HotConfig) {
+        if let Some(net) = self.remote() {
+            net.broadcast(&crate::serve::WireRequest::SetHotConfig {
+                threshold: hot.threshold,
+                extra: hot.extra as u64,
+            });
+        }
         self.backend.dht_mut().set_hot_config(hot);
     }
 
@@ -739,14 +830,30 @@ impl GlobalIndex {
     }
 
     /// Seals every hot entry to the segment logs (a graceful shutdown's
-    /// flush). No-op on the in-memory store. Host-local, unmetered.
+    /// flush). No-op on the in-memory store. Host-local, unmetered; on
+    /// the serving tier, every peer process seals its own stripes.
     pub fn sync_storage(&self) {
+        if let Some(net) = self.remote() {
+            net.broadcast(&crate::serve::WireRequest::SyncStorage);
+            return;
+        }
         self.dht().sync_storage();
     }
 
     /// Live bytes in the on-disk segment tier, summed over every sealed
     /// frame at every holder (0 on the in-memory store).
     pub fn sealed_segment_bytes(&self) -> u64 {
+        use crate::serve::{WireRequest, WireResponse};
+        if let Some(net) = self.remote() {
+            return net
+                .broadcast(&WireRequest::DiskBytes)
+                .into_iter()
+                .filter_map(|reply| match reply {
+                    Ok(WireResponse::Bytes(b)) => Some(b),
+                    _ => None,
+                })
+                .sum();
+        }
         self.dht().disk_bytes()
     }
 
@@ -763,6 +870,13 @@ impl GlobalIndex {
     /// how the classification sweep itself runs locally at each hosting
     /// peer.
     pub fn reassign_contributors(&self, departed: &[PeerId], custodian: PeerId) {
+        if let Some(net) = self.remote() {
+            net.broadcast(&crate::serve::WireRequest::Reassign {
+                departed: departed.to_vec(),
+                custodian,
+            });
+            return;
+        }
         let dht = self.dht();
         (0..dht.num_stripes()).into_par_iter().for_each(|stripe| {
             dht.for_each_stripe_mut(stripe, |_, entry| {
@@ -779,6 +893,17 @@ impl GlobalIndex {
     /// stored block plus every `df` doc-set, at their exact encoded
     /// sizes (via the DHT's per-stripe accounting hook).
     pub fn resident_posting_bytes(&self) -> u64 {
+        use crate::serve::{WireRequest, WireResponse};
+        if let Some(net) = self.remote() {
+            return net
+                .broadcast(&WireRequest::ResidentBytes)
+                .into_iter()
+                .filter_map(|reply| match reply {
+                    Ok(WireResponse::Bytes(b)) => Some(b),
+                    _ => None,
+                })
+                .sum();
+        }
         self.dht().resident_bytes(|e| {
             e.postings.encoded_len() as u64
                 + e.seen_docs.as_ref().map_or(0, |s| s.encoded_len() as u64)
@@ -789,6 +914,11 @@ impl GlobalIndex {
     /// diagnostic sweep used to assert whole-network invariants such as
     /// "the golden scenario's blocks are all legacy-coded".
     pub fn for_each_entry(&self, mut f: impl FnMut(&KeyEntry)) {
+        assert!(
+            self.remote().is_none(),
+            "for_each_entry sweeps local stripes; on the serving tier the entries live in \
+             the peer processes — use peek / the accounting sweeps instead"
+        );
         let dht = self.dht();
         for stripe in 0..dht.num_stripes() {
             dht.for_each_stripe_tiered(stripe, |_, _, e, _| f(e));
@@ -803,6 +933,22 @@ impl GlobalIndex {
     /// frames land in [`PeerStorage::sealed_bytes`]. Swept
     /// stripe-parallel; per-peer sums are order-independent.
     pub fn storage_per_peer(&self) -> Vec<PeerStorage> {
+        use crate::serve::{WireRequest, WireResponse};
+        if let Some(net) = self.remote() {
+            let mut totals = vec![PeerStorage::default(); self.overlay().len()];
+            for reply in net.broadcast(&WireRequest::StoragePerPeer) {
+                if let Ok(WireResponse::StoragePerPeer(per_peer)) = reply {
+                    for (a, t) in totals.iter_mut().zip(per_peer) {
+                        a.postings += t.postings;
+                        a.posting_bytes += t.posting_bytes;
+                        a.docset_docs += t.docset_docs;
+                        a.docset_bytes += t.docset_bytes;
+                        a.sealed_bytes += t.sealed_bytes;
+                    }
+                }
+            }
+            return totals;
+        }
         let dht = self.dht();
         let peers = dht.overlay().len();
         let per_stripe: Vec<Vec<PeerStorage>> = (0..dht.num_stripes())

@@ -51,6 +51,7 @@ pub mod local_indexer;
 pub mod naive;
 pub mod plan;
 pub mod ranking;
+pub mod serve;
 pub mod stats;
 pub mod window_keys;
 
@@ -68,4 +69,5 @@ pub use key::{Key, MAX_KEY_SIZE};
 pub use local_indexer::LocalPeer;
 pub use naive::SingleTermNetwork;
 pub use plan::{max_lookups, NodeOutcome, QueryPlan};
+pub use serve::{spawn_http, HttpHandle, PeerConfig, PeerHost, TcpNet, WireRequest, WireResponse};
 pub use stats::{BuildReport, LevelProfile, QueryProfile};

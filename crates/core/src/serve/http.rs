@@ -1,0 +1,480 @@
+//! Minimal HTTP/1.1 front-end over a clonable [`QueryService`].
+//!
+//! Hand-rolled on `std::net` (no registry access): thread-per-connection
+//! with keep-alive, a line parser that accepts exactly what the load
+//! generator and `curl` send, and three routes:
+//!
+//! - `GET /query?q=1,2,3&k=10&peer=0` — run a query (comma-separated
+//!   numeric term ids), JSON results with full-precision f64 scores.
+//!   Answers `502` when the probe hit transport errors (an unreachable
+//!   peer process), distinguishing "no results" from "no peers".
+//! - `GET /health` — liveness + basic network shape, JSON.
+//! - `GET /metrics` — Prometheus text format: the merged
+//!   [`TrafficSnapshot`] counters, per-kind latency histograms
+//!   (mean/p50/p99/max), transport errors, and the HTTP server's own
+//!   request counters/latencies.
+//!
+//! [`TrafficSnapshot`]: hdk_p2p::TrafficSnapshot
+
+use crate::engine::QueryService;
+use hdk_p2p::{LatencyHistogram, MsgKind, PeerId};
+use hdk_text::TermId;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on `k` (top-k size) accepted from the wire.
+const MAX_K: usize = 1_000;
+
+struct HttpMetrics {
+    query_requests: AtomicU64,
+    health_requests: AtomicU64,
+    metrics_requests: AtomicU64,
+    bad_requests: AtomicU64,
+    query_latency: Mutex<LatencyHistogram>,
+}
+
+impl HttpMetrics {
+    fn new() -> Self {
+        HttpMetrics {
+            query_requests: AtomicU64::new(0),
+            health_requests: AtomicU64::new(0),
+            metrics_requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            query_latency: Mutex::new(LatencyHistogram::default()),
+        }
+    }
+}
+
+/// A running HTTP front-end. Dropping the handle does *not* stop the
+/// server; call [`HttpHandle::stop`].
+pub struct HttpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpHandle {
+    /// The bound address (useful with an ephemeral port 0 listener).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// In-flight connection threads finish their current response.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Spawns the front-end on `listener`, serving `service`.
+pub fn spawn(listener: TcpListener, service: QueryService) -> std::io::Result<HttpHandle> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(HttpMetrics::new());
+    let accept_stop = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let service = service.clone();
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&accept_stop);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &service, &metrics, &stop);
+            });
+        }
+    });
+    Ok(HttpHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+/// One keep-alive connection loop.
+fn serve_connection(
+    stream: TcpStream,
+    service: &QueryService,
+    metrics: &HttpMetrics,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let (target, keep_alive) = match read_head(&mut reader)? {
+            Some(head) => head,
+            None => return Ok(()), // clean close between requests
+        };
+        let (status, content_type, body) = route(&target, service, metrics);
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let head = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            body.len()
+        );
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(body.as_bytes())?;
+        writer.flush()?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Reads one request head; returns the target path+query and whether to
+/// keep the connection alive. `None` = the client closed cleanly.
+fn read_head(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<(String, bool)>> {
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    // Drain headers (bounded), watching for Connection: close.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut read = request_line.len();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        read += line.len();
+        if read > MAX_HEAD_BYTES {
+            return Ok(Some(("/oversized-head".to_string(), false)));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") && value.trim().eq_ignore_ascii_case("close")
+            {
+                keep_alive = false;
+            }
+        }
+    }
+    if method != "GET" {
+        return Ok(Some(("/method-not-allowed".to_string(), false)));
+    }
+    Ok(Some((target, keep_alive)))
+}
+
+/// Dispatches one request target to its route.
+fn route(
+    target: &str,
+    service: &QueryService,
+    metrics: &HttpMetrics,
+) -> (u16, &'static str, String) {
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/health" => {
+            metrics.health_requests.fetch_add(1, Ordering::Relaxed);
+            (200, "application/json", health_json(service))
+        }
+        "/metrics" => {
+            metrics.metrics_requests.fetch_add(1, Ordering::Relaxed);
+            (
+                200,
+                "text/plain; version=0.0.4",
+                metrics_text(service, metrics),
+            )
+        }
+        "/query" => match parse_query_params(query_string) {
+            Ok((terms, k, peer)) => {
+                metrics.query_requests.fetch_add(1, Ordering::Relaxed);
+                run_query(service, metrics, &terms, k, peer)
+            }
+            Err(msg) => {
+                metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                (400, "application/json", error_json(&msg))
+            }
+        },
+        "/method-not-allowed" => {
+            metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            (405, "application/json", error_json("only GET is supported"))
+        }
+        _ => {
+            metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            (404, "application/json", error_json("unknown path"))
+        }
+    }
+}
+
+/// Parses `q=1,2,3&k=10&peer=0`.
+fn parse_query_params(query_string: &str) -> Result<(Vec<TermId>, usize, PeerId), String> {
+    let mut terms: Option<Vec<TermId>> = None;
+    let mut k = 10usize;
+    let mut peer = 0u64;
+    for pair in query_string.split('&').filter(|p| !p.is_empty()) {
+        let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match name {
+            "q" => {
+                let parsed: Result<Vec<TermId>, _> = value
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(|t| t.trim().parse::<u32>().map(TermId))
+                    .collect();
+                match parsed {
+                    Ok(list) if !list.is_empty() => terms = Some(list),
+                    Ok(_) => return Err("q must list at least one term id".to_string()),
+                    Err(_) => {
+                        return Err(format!("q must be comma-separated term ids, got {value:?}"))
+                    }
+                }
+            }
+            "k" => match value.parse::<usize>() {
+                Ok(v) if (1..=MAX_K).contains(&v) => k = v,
+                _ => return Err(format!("k must be in 1..={MAX_K}, got {value:?}")),
+            },
+            "peer" => match value.parse::<u64>() {
+                Ok(v) => peer = v,
+                Err(_) => return Err(format!("peer must be a peer id, got {value:?}")),
+            },
+            other => return Err(format!("unknown parameter {other:?}")),
+        }
+    }
+    let terms = terms.ok_or_else(|| "missing q parameter".to_string())?;
+    Ok((terms, k, PeerId(peer)))
+}
+
+fn run_query(
+    service: &QueryService,
+    metrics: &HttpMetrics,
+    terms: &[TermId],
+    k: usize,
+    peer: PeerId,
+) -> (u16, &'static str, String) {
+    if peer.0 >= service.num_peers() as u64 {
+        return (
+            400,
+            "application/json",
+            error_json(&format!("peer {} out of range", peer.0)),
+        );
+    }
+    let errors_before = service.transport_errors();
+    let started = Instant::now();
+    let outcome = service.query(peer, terms, k);
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    metrics.query_latency.lock().record_sample(elapsed_ns);
+    let transport_errors = service.transport_errors() - errors_before;
+    let mut body = String::with_capacity(128 + outcome.results.len() * 32);
+    body.push_str("{\"query\":[");
+    push_joined(&mut body, terms.iter().map(|t| t.0.to_string()));
+    body.push_str(&format!(
+        "],\"k\":{k},\"peer\":{},\"lookups\":{},\"postings_fetched\":{},\"latency_us\":{},\"transport_errors\":{transport_errors},\"results\":[",
+        peer.0, outcome.lookups, outcome.postings_fetched, elapsed_ns / 1_000
+    ));
+    push_joined(
+        &mut body,
+        outcome
+            .results
+            .iter()
+            .map(|r| format!("{{\"doc\":{},\"score\":{}}}", r.doc.0, json_f64(r.score))),
+    );
+    body.push_str("]}");
+    if transport_errors > 0 {
+        // Results are (partially) missing because a peer process was
+        // unreachable — not because the keys are absent.
+        (502, "application/json", body)
+    } else {
+        (200, "application/json", body)
+    }
+}
+
+fn health_json(service: &QueryService) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"peers\":{},\"live_peers\":{},\"docs\":{},\"rounds\":{},\"epoch\":{},\"transport_errors\":{}}}",
+        service.num_peers(),
+        service.num_live_peers(),
+        service.num_docs(),
+        service.rounds_run(),
+        service.epoch(),
+        service.transport_errors(),
+    )
+}
+
+fn kind_label(kind: MsgKind) -> &'static str {
+    match kind {
+        MsgKind::IndexInsert => "index_insert",
+        MsgKind::IndexNotify => "index_notify",
+        MsgKind::QueryLookup => "query_lookup",
+        MsgKind::QueryResponse => "query_response",
+        MsgKind::Maintenance => "maintenance",
+        MsgKind::Repair => "repair",
+        MsgKind::HotReplicate => "hot_replicate",
+    }
+}
+
+fn seconds(ns: f64) -> String {
+    format!("{:.9}", ns / 1e9)
+}
+
+/// Prometheus text exposition of the merged traffic snapshot plus the
+/// HTTP server's own counters.
+fn metrics_text(service: &QueryService, metrics: &HttpMetrics) -> String {
+    let snapshot = service.snapshot();
+    let mut out = String::with_capacity(4096);
+    out.push_str("# HELP hdk_traffic_messages_total Messages carried, by kind.\n");
+    out.push_str("# TYPE hdk_traffic_messages_total counter\n");
+    for kind in MsgKind::ALL {
+        let c = snapshot.kind(kind);
+        out.push_str(&format!(
+            "hdk_traffic_messages_total{{kind=\"{}\"}} {}\n",
+            kind_label(kind),
+            c.messages
+        ));
+    }
+    out.push_str("# HELP hdk_traffic_postings_total Postings carried, by kind.\n");
+    out.push_str("# TYPE hdk_traffic_postings_total counter\n");
+    for kind in MsgKind::ALL {
+        out.push_str(&format!(
+            "hdk_traffic_postings_total{{kind=\"{}\"}} {}\n",
+            kind_label(kind),
+            snapshot.kind(kind).postings
+        ));
+    }
+    out.push_str("# HELP hdk_traffic_bytes_total Payload bytes carried, by kind.\n");
+    out.push_str("# TYPE hdk_traffic_bytes_total counter\n");
+    for kind in MsgKind::ALL {
+        out.push_str(&format!(
+            "hdk_traffic_bytes_total{{kind=\"{}\"}} {}\n",
+            kind_label(kind),
+            snapshot.kind(kind).bytes
+        ));
+    }
+    out.push_str(
+        "# HELP hdk_rpc_latency_seconds Per-kind request latency (wall-clock on the real \
+         transport, virtual on simulated ones).\n",
+    );
+    out.push_str("# TYPE hdk_rpc_latency_seconds summary\n");
+    for kind in MsgKind::ALL {
+        let h = snapshot.latency(kind);
+        if h.is_empty() {
+            continue;
+        }
+        let label = kind_label(kind);
+        out.push_str(&format!(
+            "hdk_rpc_latency_seconds{{kind=\"{label}\",quantile=\"0.5\"}} {}\n",
+            seconds(h.quantile_ns(0.5) as f64)
+        ));
+        out.push_str(&format!(
+            "hdk_rpc_latency_seconds{{kind=\"{label}\",quantile=\"0.99\"}} {}\n",
+            seconds(h.quantile_ns(0.99) as f64)
+        ));
+        out.push_str(&format!(
+            "hdk_rpc_latency_seconds_sum{{kind=\"{label}\"}} {}\n",
+            seconds(h.total_ns as f64)
+        ));
+        out.push_str(&format!(
+            "hdk_rpc_latency_seconds_count{{kind=\"{label}\"}} {}\n",
+            h.samples
+        ));
+    }
+    out.push_str("# HELP hdk_transport_errors_total Socket-level failures on the serving path.\n");
+    out.push_str("# TYPE hdk_transport_errors_total counter\n");
+    out.push_str(&format!(
+        "hdk_transport_errors_total {}\n",
+        service.transport_errors()
+    ));
+    out.push_str("# HELP hdk_http_requests_total HTTP requests served, by route.\n");
+    out.push_str("# TYPE hdk_http_requests_total counter\n");
+    for (route, counter) in [
+        ("query", &metrics.query_requests),
+        ("health", &metrics.health_requests),
+        ("metrics", &metrics.metrics_requests),
+        ("bad", &metrics.bad_requests),
+    ] {
+        out.push_str(&format!(
+            "hdk_http_requests_total{{route=\"{route}\"}} {}\n",
+            counter.load(Ordering::Relaxed)
+        ));
+    }
+    let h = *metrics.query_latency.lock();
+    if !h.is_empty() {
+        out.push_str("# HELP hdk_http_query_latency_seconds End-to-end /query latency.\n");
+        out.push_str("# TYPE hdk_http_query_latency_seconds summary\n");
+        out.push_str(&format!(
+            "hdk_http_query_latency_seconds{{quantile=\"0.5\"}} {}\n",
+            seconds(h.quantile_ns(0.5) as f64)
+        ));
+        out.push_str(&format!(
+            "hdk_http_query_latency_seconds{{quantile=\"0.99\"}} {}\n",
+            seconds(h.quantile_ns(0.99) as f64)
+        ));
+        out.push_str(&format!(
+            "hdk_http_query_latency_seconds_sum {}\n",
+            seconds(h.total_ns as f64)
+        ));
+        out.push_str(&format!(
+            "hdk_http_query_latency_seconds_count {}\n",
+            h.samples
+        ));
+    }
+    out
+}
+
+fn error_json(msg: &str) -> String {
+    format!("{{\"error\":{}}}", json_string(msg))
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Full-precision f64: Rust's shortest round-trippable `Display` form,
+/// which is valid JSON for finite values.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_joined(out: &mut String, items: impl Iterator<Item = String>) {
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+}

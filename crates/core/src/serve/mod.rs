@@ -1,0 +1,37 @@
+//! The real serving tier: wire-protocol transport, multi-process peer
+//! hosting, and an HTTP/JSON query front-end.
+//!
+//! Three layers, bottom-up:
+//!
+//! - [`codec`] — length-framed binary encoding of the `hdk_p2p::rpc`
+//!   request/response enums plus the serving-tier control verbs
+//!   ([`WireRequest`]/[`WireResponse`]), built on `hdk_p2p::wire`'s
+//!   checksummed frames. Malformed input decodes to an error, never a
+//!   panic (`crates/core/tests/prop_wire.rs`).
+//! - [`peer`] — [`PeerHost`], the peer-process side: a
+//!   thread-per-connection server hosting this process's share of the
+//!   DHT stripes (`stripe % nprocs == proc_index`), with graceful
+//!   drain-and-sync shutdown.
+//! - [`net`] — [`TcpNet`], a `NetworkBackend` that scatters data-plane
+//!   batches to the owning peer processes over pooled persistent
+//!   connections, with per-request timeouts and bounded reconnects: a
+//!   dead peer surfaces as an error, never a hang.
+//! - [`http`] — a minimal HTTP/1.1 front-end over [`QueryService`]:
+//!   `GET /query`, `GET /health`, and Prometheus `GET /metrics`.
+//!
+//! The whole tier preserves the repo's bit-identical contract: the same
+//! corpus built through `nprocs` peer processes returns byte-identical
+//! top-k score bits and `same_counts`-equal traffic to the in-process
+//! build (`tests/serving_multiproc.rs`).
+//!
+//! [`QueryService`]: crate::engine::QueryService
+
+pub mod codec;
+pub mod http;
+pub mod net;
+pub mod peer;
+
+pub use codec::{IndexRequest, IndexResponse, WireRequest, WireResponse, WIRE_VERSION};
+pub use http::{spawn as spawn_http, HttpHandle};
+pub use net::TcpNet;
+pub use peer::{PeerConfig, PeerHost};

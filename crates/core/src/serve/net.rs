@@ -1,0 +1,579 @@
+//! `TcpNet` — the third [`NetworkBackend`]: real sockets, N peer
+//! processes.
+//!
+//! The index's 128 lock stripes are partitioned across `nprocs` peer
+//! processes by `stripe % nprocs`; the front-end process keeps a
+//! zero-entry **mirror** `InProc` backend whose only job is to hold the
+//! authoritative overlay + membership state (control-plane waves are
+//! applied to the mirror *and* broadcast to every process, so routing
+//! decisions and liveness checks stay consistent without extra round
+//! trips), and ships every data-plane request to the owning process
+//! over pooled persistent connections.
+//!
+//! Failure contract: a dead process costs a bounded timeout (or an
+//! immediate connect error), never a hang — failed inserts come back
+//! unacknowledged, failed lookups come back `None`, and the transport
+//! error counter ticks so callers can distinguish "absent key" from
+//! "absent peer".
+//!
+//! Because the stripe partition is exact and every process meters its
+//! own traffic with the full logical peer set, summing the per-process
+//! [`TrafficSnapshot`]s reproduces the single-process `InProc` counters
+//! bit for bit on the build/query path (pinned by
+//! `tests/serving_multiproc.rs`).
+
+use crate::global_index::{IndexStore, KeyLookup};
+use crate::key::Key;
+use crate::serve::codec::{IndexRequest, IndexResponse, WireRequest, WireResponse, WIRE_VERSION};
+use hdk_ir::CompressedPostings;
+use hdk_p2p::wire::{read_frame, write_frame, WireError, WireResult};
+use hdk_p2p::{
+    stripe_of, Addressed, Dht, HotStats, InProc, KeyHash, LatencyHistogram, LossStats,
+    MigrationStats, NetworkBackend, Notification, Overlay, PeerId, RecoveryStats, RepairStats,
+    TrafficSnapshot, NUM_KINDS, NUM_STRIPES,
+};
+use parking_lot::Mutex;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Default per-request deadline (connect, read and write), overridable
+/// with `HDK_NET_TIMEOUT_MS`.
+pub const DEFAULT_TIMEOUT_MS: u64 = 5_000;
+
+/// Pooled persistent connections per peer process, overridable with
+/// `HDK_NET_POOL`.
+pub const DEFAULT_POOL: usize = 4;
+
+fn env_timeout() -> Duration {
+    let ms = std::env::var("HDK_NET_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_TIMEOUT_MS);
+    Duration::from_millis(ms.max(1))
+}
+
+fn env_pool() -> usize {
+    std::env::var("HDK_NET_POOL")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_POOL)
+        .max(1)
+}
+
+/// One peer process's client half: a small pool of lazily (re)connected
+/// sockets, handed out round-robin so concurrent query threads don't
+/// serialize on one stream.
+struct PeerClient {
+    addr: String,
+    hello: Vec<u8>,
+    pool: Vec<Mutex<Option<TcpStream>>>,
+    next: AtomicUsize,
+    timeout: Duration,
+}
+
+impl PeerClient {
+    fn new(addr: String, hello: Vec<u8>, pool: usize, timeout: Duration) -> Self {
+        PeerClient {
+            addr,
+            hello,
+            pool: (0..pool).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            timeout,
+        }
+    }
+
+    /// Opens a socket, applies the deadline and runs the handshake.
+    fn open(&self) -> WireResult<TcpStream> {
+        let mut last = WireError::Closed;
+        for addr in std::net::ToSocketAddrs::to_socket_addrs(self.addr.as_str())? {
+            match TcpStream::connect_timeout(&addr, self.timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.timeout))?;
+                    stream.set_write_timeout(Some(self.timeout))?;
+                    let mut stream = stream;
+                    write_frame(&mut stream, &self.hello)?;
+                    let reply = read_frame(&mut stream)?;
+                    match WireResponse::decode(&reply)? {
+                        WireResponse::HelloOk => return Ok(stream),
+                        WireResponse::Err(msg) => return Err(WireError::Protocol(msg)),
+                        other => {
+                            return Err(WireError::Protocol(format!(
+                                "handshake answered with {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Err(e) => last = e.into(),
+            }
+        }
+        Err(last)
+    }
+
+    /// One request/response exchange on an established stream.
+    fn exchange(stream: &mut TcpStream, payload: &[u8]) -> WireResult<WireResponse> {
+        write_frame(stream, payload)?;
+        let reply = read_frame(stream)?;
+        WireResponse::decode(&reply)
+    }
+
+    /// Sends `request` over a pooled connection. A stale pooled stream
+    /// (the process restarted since the last request) is dropped and
+    /// reconnected once — but only for `idempotent` requests, because a
+    /// failure after the bytes left this host leaves the remote effect
+    /// in doubt. Non-idempotent requests surface the first error.
+    fn request(&self, request: &WireRequest, idempotent: bool) -> WireResult<WireResponse> {
+        let payload = request.encode();
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.pool.len();
+        let mut guard = self.pool[slot].lock();
+        let attempts = if idempotent && guard.is_some() { 2 } else { 1 };
+        for attempt in 0..attempts {
+            if guard.is_none() {
+                *guard = Some(self.open()?);
+            }
+            let stream = guard.as_mut().expect("just connected");
+            match Self::exchange(stream, &payload) {
+                Ok(WireResponse::Err(msg)) => return Err(WireError::Protocol(msg)),
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    *guard = None;
+                    if attempt + 1 == attempts {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("request loop always returns")
+    }
+}
+
+/// The multi-process serving backend. See the module docs for the
+/// stripe-partition and mirror design.
+pub struct TcpNet {
+    /// Zero-entry local backend holding the authoritative overlay,
+    /// membership and hot-config state. Its stripes never receive data
+    /// and its meter stays silent on the data plane.
+    mirror: InProc<IndexStore>,
+    procs: Vec<PeerClient>,
+    /// Front-end wall-clock latency per request kind (the real-network
+    /// analogue of SimNet's virtual histograms).
+    rpc_latency: Mutex<[LatencyHistogram; NUM_KINDS]>,
+    errors: AtomicU64,
+}
+
+impl TcpNet {
+    /// Connects to `addrs` (one peer process each), verifying protocol
+    /// version and index geometry with every process before any traffic
+    /// flows. The overlay must describe the *full* logical peer set —
+    /// the same construction every process ran.
+    pub fn connect(
+        addrs: &[String],
+        overlay: Box<dyn Overlay>,
+        dfmax: u32,
+        replication: usize,
+    ) -> WireResult<TcpNet> {
+        assert!(!addrs.is_empty(), "TcpNet needs at least one peer process");
+        assert!(
+            addrs.len() <= NUM_STRIPES,
+            "more processes than stripes: {} > {NUM_STRIPES}",
+            addrs.len()
+        );
+        let num_peers = overlay.len() as u32;
+        let timeout = env_timeout();
+        let pool = env_pool();
+        let procs: Vec<PeerClient> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let hello = WireRequest::Hello {
+                    version: WIRE_VERSION,
+                    nprocs: addrs.len() as u32,
+                    proc_index: i as u32,
+                    num_peers,
+                    dfmax,
+                    replication: replication as u32,
+                }
+                .encode();
+                PeerClient::new(addr.clone(), hello, pool, timeout)
+            })
+            .collect();
+        let net = TcpNet {
+            mirror: InProc::replicated(overlay, IndexStore::new(dfmax), replication),
+            procs,
+            rpc_latency: Mutex::new([LatencyHistogram::default(); NUM_KINDS]),
+            errors: AtomicU64::new(0),
+        };
+        // Fail fast on a wrong topology: handshake every process now.
+        for (i, _) in net.procs.iter().enumerate() {
+            match net.control(i, &WireRequest::Health)? {
+                WireResponse::Healthy { .. } => {}
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "process {i} answered health with {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(net)
+    }
+
+    /// How many peer processes host the stripes.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Transport failures so far (timeouts, resets, refused connects).
+    /// A nonzero delta across a query means some probes came back as
+    /// misses because a peer was unreachable, not because the key is
+    /// absent.
+    pub fn transport_errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The process hosting `route`'s stripe.
+    pub fn owner_of(&self, route: KeyHash) -> usize {
+        stripe_of(route) % self.procs.len()
+    }
+
+    fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One control-plane exchange with process `proc` (idempotent
+    /// retry on a stale pooled connection).
+    pub(crate) fn control(&self, proc: usize, request: &WireRequest) -> WireResult<WireResponse> {
+        let out = self.procs[proc].request(request, true);
+        if out.is_err() {
+            self.note_error();
+        }
+        out
+    }
+
+    /// Broadcasts a control request to every process, in process order.
+    pub(crate) fn broadcast(&self, request: &WireRequest) -> Vec<WireResult<WireResponse>> {
+        (0..self.procs.len())
+            .map(|i| self.control(i, request))
+            .collect()
+    }
+
+    /// Ships one data-plane RPC to process `proc`, recording wall-clock
+    /// latency under the request's kind.
+    fn rpc(
+        &self,
+        proc: usize,
+        request: IndexRequest,
+        idempotent: bool,
+    ) -> WireResult<IndexResponse> {
+        let slot = request.kind().slot();
+        let started = Instant::now();
+        let out = self.procs[proc].request(&WireRequest::Rpc(request), idempotent);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        self.rpc_latency.lock()[slot].record_sample(elapsed);
+        match out {
+            Ok(WireResponse::Rpc(resp)) => Ok(resp),
+            Ok(other) => {
+                self.note_error();
+                Err(WireError::Protocol(format!("rpc answered with {other:?}")))
+            }
+            Err(e) => {
+                self.note_error();
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs `work(proc)` for the listed processes, concurrently when
+    /// there is more than one — a slow (or dead) process costs its own
+    /// timeout, not the sum of everyone's.
+    fn fan_out<T: Send>(&self, procs: &[usize], work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        if procs.len() == 1 {
+            return vec![work(procs[0])];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = procs
+                .iter()
+                .map(|&p| {
+                    scope.spawn({
+                        let work = &work;
+                        move || work(p)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fan-out worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Sums a broadcast's per-process stats with `fold`, skipping (and
+    /// counting) unreachable processes.
+    fn broadcast_fold<T: Default>(
+        &self,
+        request: &IndexRequest,
+        mut fold: impl FnMut(&mut T, IndexResponse),
+    ) -> T {
+        let procs: Vec<usize> = (0..self.procs.len()).collect();
+        let replies = self.fan_out(&procs, |p| self.rpc(p, request.clone(), true));
+        let mut acc = T::default();
+        for resp in replies.into_iter().flatten() {
+            fold(&mut acc, resp);
+        }
+        acc
+    }
+}
+
+impl std::fmt::Debug for TcpNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpNet")
+            .field("nprocs", &self.procs.len())
+            .field("errors", &self.transport_errors())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetworkBackend<IndexStore> for TcpNet {
+    fn insert_batch(
+        &self,
+        batches: Vec<(PeerId, Vec<Addressed<(Key, CompressedPostings)>>)>,
+    ) -> Vec<(PeerId, Vec<bool>)> {
+        let nprocs = self.procs.len();
+        // Pre-shape the acks (all-false), then split every item to its
+        // owning process, remembering where each one came from.
+        let mut acks: Vec<(PeerId, Vec<bool>)> = batches
+            .iter()
+            .map(|(peer, items)| (*peer, vec![false; items.len()]))
+            .collect();
+        type Batches = Vec<(PeerId, Vec<Addressed<(Key, CompressedPostings)>>)>;
+        let mut split: Vec<Batches> = (0..nprocs).map(|_| Vec::new()).collect();
+        let mut origins: Vec<Vec<Vec<(usize, usize)>>> = (0..nprocs).map(|_| Vec::new()).collect();
+        for (bi, (peer, items)) in batches.into_iter().enumerate() {
+            let mut per_proc: Vec<Vec<Addressed<(Key, CompressedPostings)>>> =
+                (0..nprocs).map(|_| Vec::new()).collect();
+            let mut pos: Vec<Vec<(usize, usize)>> = (0..nprocs).map(|_| Vec::new()).collect();
+            for (ii, item) in items.into_iter().enumerate() {
+                let proc = self.owner_of(item.route);
+                per_proc[proc].push(item);
+                pos[proc].push((bi, ii));
+            }
+            for (proc, sub) in per_proc.into_iter().enumerate() {
+                if !sub.is_empty() {
+                    split[proc].push((peer, sub));
+                    origins[proc].push(std::mem::take(&mut pos[proc]));
+                }
+            }
+        }
+        let active: Vec<usize> = (0..nprocs).filter(|&p| !split[p].is_empty()).collect();
+        let requests: Vec<(usize, IndexRequest)> = active
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    IndexRequest::InsertBatch {
+                        batches: std::mem::take(&mut split[p]),
+                    },
+                )
+            })
+            .collect();
+        let mut request_by_proc: std::collections::HashMap<usize, IndexRequest> =
+            requests.into_iter().collect();
+        let replies = self.fan_out(&active, |p| {
+            // Inserts are not idempotent (merges accumulate), so no
+            // automatic retry: a transport error = unacked items.
+            self.rpc(p, request_by_proc[&p].clone(), false)
+        });
+        request_by_proc.clear();
+        for (&proc, reply) in active.iter().zip(replies) {
+            // Anything else — unexpected response or transport error —
+            // was already counted by rpc(); those acks stay false.
+            if let Ok(IndexResponse::Inserted { acks: remote }) = reply {
+                for (sub, (_, flags)) in origins[proc].iter().zip(remote) {
+                    for (&(bi, ii), flag) in sub.iter().zip(flags) {
+                        acks[bi].1[ii] = flag;
+                    }
+                }
+            }
+        }
+        acks
+    }
+
+    fn notify(&self, _notes: &[Notification]) {
+        unreachable!(
+            "classification runs inside each peer process (Classify), which delivers and \
+             meters its own notifications; the front-end never ships a bare Notify"
+        );
+    }
+
+    fn lookup_many(
+        &self,
+        from: PeerId,
+        query_id: u64,
+        keys: &[Addressed<Key>],
+    ) -> Vec<Option<KeyLookup>> {
+        let nprocs = self.procs.len();
+        let mut results: Vec<Option<KeyLookup>> = vec![None; keys.len()];
+        let mut split: Vec<Vec<Addressed<Key>>> = (0..nprocs).map(|_| Vec::new()).collect();
+        let mut origins: Vec<Vec<usize>> = (0..nprocs).map(|_| Vec::new()).collect();
+        for (i, key) in keys.iter().enumerate() {
+            let proc = self.owner_of(key.route);
+            split[proc].push(key.clone());
+            origins[proc].push(i);
+        }
+        let active: Vec<usize> = (0..nprocs).filter(|&p| !split[p].is_empty()).collect();
+        let mut keys_by_proc: Vec<Vec<Addressed<Key>>> = std::mem::take(&mut split);
+        let replies = self.fan_out(&active, |p| {
+            self.rpc(
+                p,
+                IndexRequest::LookupMany {
+                    from,
+                    query_id,
+                    keys: keys_by_proc[p].clone(),
+                },
+                true, // lookups are read-only: safe to retry once
+            )
+        });
+        keys_by_proc.clear();
+        for (&proc, reply) in active.iter().zip(replies) {
+            if let Ok(IndexResponse::Found { results: found }) = reply {
+                for (&i, result) in origins[proc].iter().zip(found) {
+                    results[i] = result;
+                }
+            }
+        }
+        results
+    }
+
+    fn migrate_many(&mut self, peers: Vec<PeerId>) -> Vec<MigrationStats> {
+        // Mirror first (routing state), then every process applies the
+        // same wave to its stripes; per-joiner stats sum across the
+        // disjoint stripe sets.
+        let mut stats = self.mirror.migrate_many(peers.clone());
+        for reply in self.broadcast(&WireRequest::Join {
+            peers: peers.clone(),
+        }) {
+            if let Ok(WireResponse::Joined(remote)) = reply {
+                for (acc, s) in stats.iter_mut().zip(remote) {
+                    acc.keys_moved += s.keys_moved;
+                    acc.postings_moved += s.postings_moved;
+                    acc.bytes_moved += s.bytes_moved;
+                }
+            }
+        }
+        stats
+    }
+
+    fn leave(&mut self, peers: &[PeerId]) -> Vec<MigrationStats> {
+        let mut stats = self.mirror.leave(peers);
+        for reply in self.broadcast(&WireRequest::Rpc(IndexRequest::Leave {
+            peers: peers.to_vec(),
+        })) {
+            if let Ok(WireResponse::Rpc(IndexResponse::Left(remote))) = reply {
+                for (acc, s) in stats.iter_mut().zip(remote) {
+                    acc.keys_moved += s.keys_moved;
+                    acc.postings_moved += s.postings_moved;
+                    acc.bytes_moved += s.bytes_moved;
+                }
+            }
+        }
+        stats
+    }
+
+    fn fail(&mut self, peers: &[PeerId]) -> LossStats {
+        let mut stats = self.mirror.fail(peers);
+        for reply in self.broadcast(&WireRequest::Rpc(IndexRequest::Fail {
+            peers: peers.to_vec(),
+        })) {
+            if let Ok(WireResponse::Rpc(IndexResponse::Lost(s))) = reply {
+                stats.keys_lost += s.keys_lost;
+                stats.postings_lost += s.postings_lost;
+                stats.bytes_lost += s.bytes_lost;
+                stats.keys_degraded += s.keys_degraded;
+            }
+        }
+        stats
+    }
+
+    fn repair(&self) -> RepairStats {
+        self.broadcast_fold(&IndexRequest::Repair, |acc: &mut RepairStats, resp| {
+            if let IndexResponse::Repaired(s) = resp {
+                acc.copies += s.copies;
+                acc.postings += s.postings;
+                acc.bytes += s.bytes;
+            }
+        })
+    }
+
+    fn rebalance(&self) -> HotStats {
+        self.broadcast_fold(&IndexRequest::Rebalance, |acc: &mut HotStats, resp| {
+            if let IndexResponse::Rebalanced(s) = resp {
+                acc.promoted += s.promoted;
+                acc.demoted += s.demoted;
+                acc.copies += s.copies;
+                acc.postings += s.postings;
+                acc.bytes += s.bytes;
+            }
+        })
+    }
+
+    fn restart(&mut self, peers: &[PeerId]) -> RecoveryStats {
+        let mut stats = self.mirror.restart(peers);
+        for reply in self.broadcast(&WireRequest::Rpc(IndexRequest::Restart {
+            peers: peers.to_vec(),
+        })) {
+            if let Ok(WireResponse::Rpc(IndexResponse::Recovered(s))) = reply {
+                stats.frames_replayed += s.frames_replayed;
+                stats.bytes_replayed += s.bytes_replayed;
+                stats.frames_discarded += s.frames_discarded;
+                stats.copies_recovered += s.copies_recovered;
+                stats.postings_recovered += s.postings_recovered;
+                stats.copies_lost += s.copies_lost;
+                stats.keys_lost += s.keys_lost;
+                stats.postings_lost += s.postings_lost;
+                stats.bytes_lost += s.bytes_lost;
+            }
+        }
+        stats
+    }
+
+    fn dht(&self) -> &Dht<<IndexStore as hdk_p2p::StoreService>::Value> {
+        self.mirror.dht()
+    }
+
+    fn dht_mut(&mut self) -> &mut Dht<<IndexStore as hdk_p2p::StoreService>::Value> {
+        self.mirror.dht_mut()
+    }
+
+    /// System-wide traffic: the sum of every process's meter (the data
+    /// plane is stripe-partitioned, so counts add exactly), plus the
+    /// front-end's wall-clock request latencies folded into the per-kind
+    /// histograms. The mirror's meter is excluded — it never carries
+    /// data-plane traffic, and its control-plane records would
+    /// double-count the broadcasts.
+    fn snapshot(&self) -> TrafficSnapshot {
+        let peers = self.mirror.dht().overlay().len();
+        let mut merged = TrafficSnapshot {
+            inserted_by_peer: vec![0; peers],
+            retrieved_by_peer: vec![0; peers],
+            served_by_peer: vec![0; peers],
+            ..TrafficSnapshot::default()
+        };
+        for reply in self.broadcast(&WireRequest::Snapshot) {
+            if let Ok(WireResponse::Snapshot(s)) = reply {
+                merged.merge(&s);
+            }
+        }
+        for (slot, h) in merged
+            .latency
+            .iter_mut()
+            .zip(self.rpc_latency.lock().iter())
+        {
+            slot.absorb(h);
+        }
+        merged
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,231 @@
+//! The peer-process side of the serving tier: a thread-per-connection
+//! server hosting this process's share of the DHT stripes.
+//!
+//! Every peer process builds the *same* logical network — full overlay,
+//! full membership, same `dfmax`/replication — but only ever receives
+//! data-plane traffic for the stripes it owns (`stripe % nprocs ==
+//! proc_index`), so the processes' stores are disjoint and their
+//! traffic meters sum to the single-process equivalent. Control-plane
+//! waves (joins, departures, restarts, hot-config) are broadcast to all
+//! processes, keeping each local overlay/membership mirror consistent.
+//!
+//! Graceful shutdown ([`WireRequest::Shutdown`]): acknowledge, take the
+//! index write lock (draining every in-flight dispatch, which runs
+//! under the read lock), seal the hot tier to the segment logs, exit.
+//! A `SegmentStore`-backed process restarted over the same directory
+//! recovers losslessly (`tests/serving_shutdown.rs`).
+
+use crate::config::StoreConfig;
+use crate::engine::OverlayKind;
+use crate::global_index::{build_entry_store, GlobalIndex, IndexStore};
+use crate::serve::codec::{IndexRequest, WireRequest, WireResponse, WIRE_VERSION};
+use hdk_p2p::wire::{read_frame, write_frame, WireError, WireResult};
+use hdk_p2p::{HotConfig, InProc, PeerId};
+use parking_lot::RwLock;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Geometry of one peer process — everything the [`WireRequest::Hello`]
+/// handshake verifies.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// Total peer processes hosting the stripes.
+    pub nprocs: usize,
+    /// This process's slot in `0..nprocs`.
+    pub proc_index: usize,
+    /// Logical peers in the overlay (across all processes).
+    pub num_peers: usize,
+    /// The paper's `DFmax`.
+    pub dfmax: u32,
+    /// Structural replication factor.
+    pub replication: usize,
+    /// Overlay flavor — must match the front-end's.
+    pub overlay: OverlayKind,
+    /// Entry storage (in-memory, or a segment store for durability).
+    pub store: StoreConfig,
+}
+
+/// One peer process: hosts its stripe share behind a listener.
+pub struct PeerHost {
+    config: PeerConfig,
+    index: Arc<RwLock<GlobalIndex>>,
+}
+
+impl PeerHost {
+    /// Builds the process-local index: the full logical overlay over an
+    /// empty store (content arrives over the wire).
+    pub fn new(config: PeerConfig) -> Self {
+        assert!(config.proc_index < config.nprocs, "proc_index out of range");
+        let peer_ids: Vec<PeerId> = (0..config.num_peers as u64).map(PeerId).collect();
+        let overlay = config.overlay.build(peer_ids);
+        let store = IndexStore::new(config.dfmax);
+        let backend: crate::global_index::IndexBackend = match build_entry_store(&config.store) {
+            None => Box::new(InProc::replicated(overlay, store, config.replication)),
+            Some(entries) => Box::new(InProc::with_store(
+                overlay,
+                store,
+                config.replication,
+                entries,
+            )),
+        };
+        let index = Arc::new(RwLock::new(GlobalIndex::with_backend(
+            backend,
+            config.dfmax,
+        )));
+        PeerHost { config, index }
+    }
+
+    /// Serves connections until a [`WireRequest::Shutdown`] arrives
+    /// (which exits the process). Each connection gets its own thread;
+    /// the shared index synchronizes through its `RwLock` (reads for
+    /// data-plane dispatch — the stripes have their own locks — writes
+    /// for overlay-mutating control waves).
+    pub fn serve(self, listener: TcpListener) -> std::io::Result<()> {
+        let config = Arc::new(self.config);
+        for stream in listener.incoming() {
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let index = Arc::clone(&self.index);
+            let config = Arc::clone(&config);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &index, &config);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Runs one connection's request loop. Returns when the peer closes,
+/// errors out, or a malformed frame arrives (the connection is dropped
+/// — a corrupt stream cannot be resynchronized).
+fn serve_connection(
+    mut stream: TcpStream,
+    index: &RwLock<GlobalIndex>,
+    config: &PeerConfig,
+) -> WireResult<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(WireError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let response = match WireRequest::decode(&payload) {
+            Ok(request) => dispatch(request, index, config, &mut stream)?,
+            Err(e) => WireResponse::Err(format!("bad request frame: {e}")),
+        };
+        write_frame(&mut stream, &response.encode())?;
+    }
+}
+
+/// Executes one request. `Shutdown` never returns.
+fn dispatch(
+    request: WireRequest,
+    index: &RwLock<GlobalIndex>,
+    config: &PeerConfig,
+    stream: &mut TcpStream,
+) -> WireResult<WireResponse> {
+    Ok(match request {
+        WireRequest::Hello {
+            version,
+            nprocs,
+            proc_index,
+            num_peers,
+            dfmax,
+            replication,
+        } => {
+            let expect = (
+                WIRE_VERSION,
+                config.nprocs as u32,
+                config.proc_index as u32,
+                config.num_peers as u32,
+                config.dfmax,
+                config.replication as u32,
+            );
+            let got = (version, nprocs, proc_index, num_peers, dfmax, replication);
+            if got == expect {
+                WireResponse::HelloOk
+            } else {
+                WireResponse::Err(format!(
+                    "handshake mismatch: front-end sent \
+                     (version, nprocs, proc, peers, dfmax, r) = {got:?}, \
+                     this process is {expect:?}"
+                ))
+            }
+        }
+        WireRequest::Rpc(rpc) => match rpc {
+            // Data plane: stripe locks synchronize; the index read lock
+            // only fences against concurrent control waves.
+            req @ (IndexRequest::InsertBatch { .. }
+            | IndexRequest::Notify { .. }
+            | IndexRequest::LookupMany { .. }
+            | IndexRequest::Repair
+            | IndexRequest::Rebalance) => WireResponse::Rpc(index.read().dispatch(req)),
+            // Control plane: overlay/membership mutations.
+            IndexRequest::Migrate { peer } => {
+                WireResponse::Joined(index.write().add_peers(vec![peer]))
+            }
+            IndexRequest::Leave { peers } => {
+                WireResponse::Rpc(hdk_p2p::Response::Left(index.write().leave_peers(&peers)))
+            }
+            IndexRequest::Fail { peers } => {
+                WireResponse::Rpc(hdk_p2p::Response::Lost(index.write().fail_peers(&peers)))
+            }
+            IndexRequest::Restart { peers } => WireResponse::Rpc(hdk_p2p::Response::Recovered(
+                index.write().restart_peers(&peers),
+            )),
+        },
+        WireRequest::Classify { size } => {
+            let notified = index.read().classify_round(size as usize);
+            let mut ordered: Vec<(PeerId, Vec<crate::key::Key>)> = notified.into_iter().collect();
+            ordered.sort_unstable_by_key(|(peer, _)| *peer);
+            WireResponse::Classified(ordered)
+        }
+        WireRequest::Peek(key) => WireResponse::Peeked(index.read().peek(key)),
+        WireRequest::Counts => WireResponse::Counts(index.read().index_counts()),
+        WireRequest::StoredPostings => {
+            WireResponse::StoredPostings(index.read().stored_postings_per_peer())
+        }
+        WireRequest::StoragePerPeer => {
+            WireResponse::StoragePerPeer(index.read().storage_per_peer())
+        }
+        WireRequest::ResidentBytes => WireResponse::Bytes(index.read().resident_posting_bytes()),
+        WireRequest::DiskBytes => WireResponse::Bytes(index.read().sealed_segment_bytes()),
+        WireRequest::Snapshot => WireResponse::Snapshot(Box::new(index.read().snapshot())),
+        WireRequest::SyncStorage => {
+            index.read().sync_storage();
+            WireResponse::Ok
+        }
+        WireRequest::SetHotConfig { threshold, extra } => {
+            index.write().set_hot_config(HotConfig {
+                threshold,
+                extra: extra as usize,
+            });
+            WireResponse::Ok
+        }
+        WireRequest::Join { peers } => WireResponse::Joined(index.write().add_peers(peers)),
+        WireRequest::Reassign {
+            departed,
+            custodian,
+        } => {
+            index.write().reassign_contributors(&departed, custodian);
+            WireResponse::Ok
+        }
+        WireRequest::Health => WireResponse::Healthy {
+            keys: index.read().index_counts().total_keys(),
+        },
+        WireRequest::Shutdown => {
+            // Acknowledge first (the front-end's request completes),
+            // then drain: the write lock waits out every in-flight
+            // dispatch. Seal the hot tier so a segment-backed process
+            // restarts losslessly, and exit.
+            write_frame(stream, &WireResponse::ShuttingDown.encode())?;
+            let guard = index.write();
+            guard.sync_storage();
+            drop(guard);
+            std::process::exit(0);
+        }
+    })
+}

@@ -1,0 +1,419 @@
+//! Property tests for the serving tier's wire codec
+//! (`hdk_core::serve::codec`).
+//!
+//! Two families, mirroring the malformed-frame fuzz style of
+//! `crates/ir/tests/prop_ir.rs`:
+//!
+//! 1. **Round-trip**: every [`WireRequest`]/[`WireResponse`] variant —
+//!    which covers every `hdk_p2p::rpc` request/response variant via
+//!    `Rpc(..)` — re-encodes bit-identically after a decode. (Byte-level
+//!    identity is stronger than value equality and needs no `PartialEq`
+//!    on posting blocks.)
+//! 2. **Robustness**: truncations, byte mutations and raw garbage either
+//!    decode (a flip can land in don't-care content, e.g. a counter
+//!    value) or fail with a typed `WireError` — never a panic, never an
+//!    attempt to allocate a huge buffer.
+//!
+//! The vendored proptest shim has no `prop_oneof`/`sample` combinators,
+//! so variant choice and payload shapes come from a small seeded
+//! generator driven by a proptest-supplied `u64` — every case is still
+//! reproducible from its seed.
+
+use hdk_core::serve::{WireRequest, WireResponse};
+use hdk_core::{IndexCounts, Key, KeyEntry, KeyLookup, PeerStorage, MAX_KEY_SIZE};
+use hdk_corpus::DocId;
+use hdk_ir::{CompressedDocSet, CompressedPostings, Posting, PostingList};
+use hdk_p2p::{
+    Addressed, HotStats, KeyHash, KindSnapshot, LatencyHistogram, LossStats, MigrationStats,
+    Notification, PeerId, RecoveryStats, RepairStats, Request, Response, TrafficSnapshot,
+};
+use hdk_text::TermId;
+use proptest::prelude::*;
+
+type IndexRequest = Request<(Key, CompressedPostings), Key>;
+type IndexResponse = Response<KeyLookup>;
+
+/// SplitMix64 — a tiny deterministic generator; every generated value is
+/// a pure function of the proptest-drawn seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn peer(&mut self) -> PeerId {
+        PeerId(self.below(1_000))
+    }
+
+    fn key(&mut self) -> Key {
+        let size = 1 + self.below(MAX_KEY_SIZE as u64) as usize;
+        // Distinct ascending terms: strictly growing offsets.
+        let mut term = 0u32;
+        let mut terms = Vec::with_capacity(size);
+        for _ in 0..size {
+            term += 1 + self.below(100_000) as u32;
+            terms.push(TermId(term));
+        }
+        Key::from_terms(&terms).expect("ascending distinct terms within the size cap")
+    }
+
+    fn block(&mut self) -> CompressedPostings {
+        let len = 1 + self.below(12) as usize;
+        let mut doc = 0u32;
+        let mut postings = Vec::with_capacity(len);
+        for _ in 0..len {
+            doc += 1 + self.below(500) as u32;
+            postings.push(Posting {
+                doc: DocId(doc),
+                tf: 1 + self.below(50) as u32,
+                doc_len: 1 + self.below(400) as u32,
+            });
+        }
+        CompressedPostings::from_list(&PostingList::from_sorted(postings))
+    }
+
+    fn peers(&mut self) -> Vec<PeerId> {
+        (0..self.below(4)).map(|_| self.peer()).collect()
+    }
+
+    fn migration(&mut self) -> MigrationStats {
+        MigrationStats {
+            keys_moved: self.next(),
+            postings_moved: self.next(),
+            bytes_moved: self.next(),
+        }
+    }
+
+    fn lookup(&mut self) -> KeyLookup {
+        KeyLookup {
+            postings: self.block(),
+            df: self.next() as u32,
+            is_ndk: self.next() & 1 == 1,
+        }
+    }
+
+    fn entry(&mut self) -> KeyEntry {
+        let postings = self.block();
+        let seen_docs = (self.next() & 1 == 1).then(|| CompressedDocSet::from_postings(&postings));
+        KeyEntry {
+            key: self.key(),
+            postings,
+            df: self.next() as u32,
+            contributors: self.peers(),
+            is_ndk: self.next() & 1 == 1,
+            seen_docs,
+        }
+    }
+
+    fn histogram(&mut self) -> LatencyHistogram {
+        let mut h = LatencyHistogram {
+            samples: self.next(),
+            total_ns: self.next(),
+            max_ns: self.next(),
+            retries: self.next(),
+            retransmission_bytes: self.next(),
+            ..LatencyHistogram::default()
+        };
+        for bucket in h.buckets.iter_mut() {
+            *bucket = self.next();
+        }
+        h
+    }
+
+    fn snapshot(&mut self) -> TrafficSnapshot {
+        let mut s = TrafficSnapshot::default();
+        for slot in s.kinds.iter_mut() {
+            *slot = KindSnapshot {
+                messages: self.next(),
+                postings: self.next(),
+                bytes: self.next(),
+                hops: self.next(),
+                hop_bytes: self.next(),
+            };
+        }
+        for slot in s.latency.iter_mut() {
+            *slot = self.histogram();
+        }
+        s.inserted_by_peer = (0..self.below(6)).map(|_| self.next()).collect();
+        s.retrieved_by_peer = (0..self.below(6)).map(|_| self.next()).collect();
+        s.served_by_peer = (0..self.below(6)).map(|_| self.next()).collect();
+        s
+    }
+
+    fn rpc_request(&mut self) -> IndexRequest {
+        match self.below(9) {
+            0 => Request::InsertBatch {
+                batches: (0..self.below(4))
+                    .map(|_| {
+                        let peer = self.peer();
+                        let items = (0..self.below(4))
+                            .map(|_| Addressed {
+                                route: KeyHash(self.next()),
+                                body: (self.key(), self.block()),
+                            })
+                            .collect();
+                        (peer, items)
+                    })
+                    .collect(),
+            },
+            1 => Request::Notify {
+                notes: (0..self.below(6))
+                    .map(|_| Notification {
+                        to: self.peer(),
+                        postings: self.next(),
+                        bytes: self.next(),
+                    })
+                    .collect(),
+            },
+            2 => Request::LookupMany {
+                from: self.peer(),
+                query_id: self.next(),
+                keys: (0..self.below(6))
+                    .map(|_| Addressed {
+                        route: KeyHash(self.next()),
+                        body: self.key(),
+                    })
+                    .collect(),
+            },
+            3 => Request::Migrate { peer: self.peer() },
+            4 => Request::Leave {
+                peers: self.peers(),
+            },
+            5 => Request::Fail {
+                peers: self.peers(),
+            },
+            6 => Request::Repair,
+            7 => Request::Rebalance,
+            _ => Request::Restart {
+                peers: self.peers(),
+            },
+        }
+    }
+
+    fn request(&mut self) -> WireRequest {
+        match self.below(16) {
+            0 => WireRequest::Rpc(self.rpc_request()),
+            1 => WireRequest::Hello {
+                version: self.next() as u32,
+                nprocs: self.next() as u32,
+                proc_index: self.next() as u32,
+                num_peers: self.next() as u32,
+                dfmax: self.next() as u32,
+                replication: self.next() as u32,
+            },
+            2 => WireRequest::Classify {
+                size: self.next() as u32,
+            },
+            3 => WireRequest::Peek(self.key()),
+            4 => WireRequest::Counts,
+            5 => WireRequest::StoredPostings,
+            6 => WireRequest::StoragePerPeer,
+            7 => WireRequest::ResidentBytes,
+            8 => WireRequest::DiskBytes,
+            9 => WireRequest::Snapshot,
+            10 => WireRequest::SyncStorage,
+            11 => WireRequest::SetHotConfig {
+                threshold: self.next(),
+                extra: self.next(),
+            },
+            12 => WireRequest::Join {
+                peers: self.peers(),
+            },
+            13 => WireRequest::Reassign {
+                departed: self.peers(),
+                custodian: self.peer(),
+            },
+            14 => WireRequest::Health,
+            _ => WireRequest::Shutdown,
+        }
+    }
+
+    fn rpc_response(&mut self) -> IndexResponse {
+        match self.below(9) {
+            0 => Response::Inserted {
+                acks: (0..self.below(4))
+                    .map(|_| {
+                        let peer = self.peer();
+                        let flags = (0..self.below(6)).map(|_| self.next() & 1 == 1).collect();
+                        (peer, flags)
+                    })
+                    .collect(),
+            },
+            1 => Response::Notified,
+            2 => Response::Found {
+                results: (0..self.below(6))
+                    .map(|_| (self.next() & 1 == 1).then(|| self.lookup()))
+                    .collect(),
+            },
+            3 => Response::Migrated(self.migration()),
+            4 => Response::Left((0..self.below(4)).map(|_| self.migration()).collect()),
+            5 => Response::Lost(LossStats {
+                keys_lost: self.next(),
+                postings_lost: self.next(),
+                bytes_lost: self.next(),
+                keys_degraded: self.next(),
+            }),
+            6 => Response::Repaired(RepairStats {
+                copies: self.next(),
+                postings: self.next(),
+                bytes: self.next(),
+            }),
+            7 => Response::Rebalanced(HotStats {
+                promoted: self.next(),
+                demoted: self.next(),
+                copies: self.next(),
+                postings: self.next(),
+                bytes: self.next(),
+            }),
+            _ => Response::Recovered(RecoveryStats {
+                frames_replayed: self.next(),
+                bytes_replayed: self.next(),
+                frames_discarded: self.next(),
+                copies_recovered: self.next(),
+                postings_recovered: self.next(),
+                copies_lost: self.next(),
+                keys_lost: self.next(),
+                postings_lost: self.next(),
+                bytes_lost: self.next(),
+            }),
+        }
+    }
+
+    fn response(&mut self) -> WireResponse {
+        match self.below(14) {
+            0 => WireResponse::Rpc(self.rpc_response()),
+            1 => WireResponse::HelloOk,
+            2 => WireResponse::Classified(
+                (0..self.below(4))
+                    .map(|_| {
+                        let peer = self.peer();
+                        let keys = (0..self.below(4)).map(|_| self.key()).collect();
+                        (peer, keys)
+                    })
+                    .collect(),
+            ),
+            3 => WireResponse::Peeked((self.next() & 1 == 1).then(|| self.entry())),
+            4 => {
+                let mut counts = IndexCounts::default();
+                for s in 0..MAX_KEY_SIZE {
+                    counts.hdk_keys[s] = self.next();
+                    counts.hdk_postings[s] = self.next();
+                    counts.ndk_keys[s] = self.next();
+                    counts.ndk_postings[s] = self.next();
+                }
+                WireResponse::Counts(counts)
+            }
+            5 => WireResponse::StoredPostings((0..self.below(6)).map(|_| self.next()).collect()),
+            6 => WireResponse::StoragePerPeer(
+                (0..self.below(4))
+                    .map(|_| PeerStorage {
+                        postings: self.next(),
+                        posting_bytes: self.next(),
+                        docset_docs: self.next(),
+                        docset_bytes: self.next(),
+                        sealed_bytes: self.next(),
+                    })
+                    .collect(),
+            ),
+            7 => WireResponse::Bytes(self.next()),
+            8 => WireResponse::Snapshot(Box::new(self.snapshot())),
+            9 => WireResponse::Ok,
+            10 => WireResponse::Joined((0..self.below(4)).map(|_| self.migration()).collect()),
+            11 => WireResponse::Healthy { keys: self.next() },
+            12 => WireResponse::ShuttingDown,
+            _ => {
+                let len = self.below(40) as usize;
+                let msg: String = (0..len)
+                    .map(|_| char::from(b' ' + self.below(95) as u8))
+                    .collect();
+                WireResponse::Err(msg)
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Decode∘encode is the identity on the byte level for requests.
+    #[test]
+    fn request_reencode_is_bit_identical(seed in any::<u64>()) {
+        let request = Gen(seed).request();
+        let bytes = request.encode();
+        let decoded = WireRequest::decode(&bytes).expect("valid payload decodes");
+        prop_assert_eq!(bytes, decoded.encode());
+    }
+
+    /// ... and for responses.
+    #[test]
+    fn response_reencode_is_bit_identical(seed in any::<u64>()) {
+        let response = Gen(seed).response();
+        let bytes = response.encode();
+        let decoded = WireResponse::decode(&bytes).expect("valid payload decodes");
+        prop_assert_eq!(bytes, decoded.encode());
+    }
+
+    /// Every truncation of a valid request payload decodes to an error —
+    /// never a panic, never a silent partial value. (The empty request
+    /// variants are 1 byte, so every strict prefix is genuinely invalid.)
+    #[test]
+    fn truncated_requests_error_cleanly(seed in any::<u64>()) {
+        let bytes = Gen(seed).request().encode();
+        for len in 0..bytes.len() {
+            prop_assert!(
+                WireRequest::decode(&bytes[..len]).is_err(),
+                "prefix of {}/{} bytes must not decode", len, bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_responses_error_cleanly(seed in any::<u64>()) {
+        let bytes = Gen(seed).response().encode();
+        for len in 0..bytes.len() {
+            prop_assert!(
+                WireResponse::decode(&bytes[..len]).is_err(),
+                "prefix of {}/{} bytes must not decode", len, bytes.len()
+            );
+        }
+    }
+
+    /// Byte mutations never panic: they decode (the flip can land in
+    /// don't-care content such as a counter value) or fail typed.
+    #[test]
+    fn mutated_requests_never_panic(seed in any::<u64>(), fuzz in any::<u64>()) {
+        let mut gen = Gen(fuzz);
+        let mut bytes = Gen(seed).request().encode();
+        for _ in 0..1 + gen.below(3) {
+            let i = gen.below(bytes.len() as u64) as usize;
+            bytes[i] ^= 1 + gen.below(255) as u8;
+        }
+        let _ = WireRequest::decode(&bytes);
+    }
+
+    #[test]
+    fn mutated_responses_never_panic(seed in any::<u64>(), fuzz in any::<u64>()) {
+        let mut gen = Gen(fuzz);
+        let mut bytes = Gen(seed).response().encode();
+        for _ in 0..1 + gen.below(3) {
+            let i = gen.below(bytes.len() as u64) as usize;
+            bytes[i] ^= 1 + gen.below(255) as u8;
+        }
+        let _ = WireResponse::decode(&bytes);
+    }
+
+    /// Arbitrary garbage never panics either.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = WireRequest::decode(&bytes);
+        let _ = WireResponse::decode(&bytes);
+    }
+}

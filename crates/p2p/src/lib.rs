@@ -38,6 +38,7 @@ pub mod ring;
 pub mod rpc;
 pub mod store;
 pub mod transport;
+pub mod wire;
 
 pub use dht::{
     stripe_of, Dht, HotConfig, HotStats, LossStats, MigrationStats, RepairStats,
@@ -56,4 +57,9 @@ pub use store::{MemStore, RecoveryStats, SegmentStore, Slot, Store, StoreCodec, 
 pub use transport::{
     KindSnapshot, LatencyHistogram, MsgKind, TrafficMeter, TrafficSnapshot, LATENCY_BUCKETS,
     NUM_KINDS,
+};
+pub use wire::{
+    put_bytes, put_u32, put_u64, put_u8, read_frame as read_wire_frame,
+    write_frame as write_wire_frame, WireError, WireReader, WireResult, MAX_FRAME_BYTES,
+    WIRE_HEADER_BYTES,
 };

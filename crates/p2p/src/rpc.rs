@@ -373,6 +373,14 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
         0
     }
 
+    /// Downcast hook for backends that extend the trait surface (the
+    /// serving tier's remote backend routes entry sweeps over the wire
+    /// instead of scanning the local stripes). `None` means "plain local
+    /// backend" — callers must fall back to the generic path.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Dispatches a data-plane request.
     ///
     /// # Panics

@@ -157,6 +157,12 @@ pub trait Store<V>: Send + Sync {
     /// from the holder sets — [`crate::Dht::repair_sweep`] re-materializes
     /// them from surviving replicas. `volume` sizes recovered/lost content
     /// for the stats.
+    ///
+    /// Keys the logs carry but the in-memory tiers have never seen are
+    /// rebuilt into the sealed tier from the latest intact frames — the
+    /// *cold* restart: a fresh process opened over a previous process's
+    /// directory starts empty and rehydrates everything the shutdown
+    /// sealed.
     fn recover(
         &self,
         stripe: usize,
@@ -754,14 +760,21 @@ impl<V: Send + Sync, C: StoreCodec<V>> Store<V> for SegmentStore<V, C> {
         let mut guard = self.stripes[stripe].write();
         let st = &mut *guard;
         // Phase 1: replay each restarting peer's log front to back,
-        // keeping the latest intact `key → version` per peer and cutting
+        // keeping the latest intact frame per key — `version` plus where
+        // the frame sits (`offset`, payload length), so the cold path
+        // below can rebuild a [`SealedEntry`] from nothing — and cutting
         // the file at the first truncated/corrupt frame (everything past
         // an unreadable frame is unreachable: boundaries cannot be
         // trusted).
-        let mut replay: HashMap<u32, HashMap<u64, u64>> = HashMap::new();
+        struct Replayed {
+            version: u64,
+            offset: u64,
+            payload_len: u32,
+        }
+        let mut replay: HashMap<u32, HashMap<u64, Replayed>> = HashMap::new();
         for &p in peers {
             let path = self.segment_path(p, stripe);
-            let mut latest: HashMap<u64, u64> = HashMap::new();
+            let mut latest: HashMap<u64, Replayed> = HashMap::new();
             let mut tail = 0u64;
             if let Ok(log) = std::fs::read(&path) {
                 let mut pos = 0usize;
@@ -778,7 +791,14 @@ impl<V: Send + Sync, C: StoreCodec<V>> Store<V> for SegmentStore<V, C> {
                                 u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
                             stats.frames_replayed += 1;
                             stats.bytes_replayed += (end - pos) as u64;
-                            latest.insert(key, version);
+                            latest.insert(
+                                key,
+                                Replayed {
+                                    version,
+                                    offset: pos as u64,
+                                    payload_len: payload.len() as u32,
+                                },
+                            );
                             pos = end;
                         }
                         FrameRead::Eof => break,
@@ -834,7 +854,7 @@ impl<V: Send + Sync, C: StoreCodec<V>> Store<V> for SegmentStore<V, C> {
                     let intact = replay
                         .get(&r.peer)
                         .and_then(|m| m.get(&key))
-                        .is_some_and(|&v| v == entry.version);
+                        .is_some_and(|f| f.version == entry.version);
                     if intact {
                         recovered += 1;
                     } else {
@@ -860,6 +880,51 @@ impl<V: Send + Sync, C: StoreCodec<V>> Store<V> for SegmentStore<V, C> {
                     stats.postings_recovered += postings * recovered;
                 }
             }
+        }
+        // Phase 3 — the cold path: keys the logs carry but this store has
+        // never seen (a fresh process re-opened over a previous process's
+        // directory, where *both* in-memory tiers start empty). Rebuild
+        // each such key's sealed entry from the replicas' latest intact
+        // frames: the highest version wins, holders whose latest frame is
+        // older held a stale copy (dropped from the holder set before the
+        // last re-seal) and contribute nothing.
+        let mut fresh: HashMap<u64, SealedEntry> = HashMap::new();
+        for (&p, latest) in &replay {
+            for (&key, frame) in latest {
+                if st.hot.contains_key(&key) || st.sealed.contains_key(&key) {
+                    continue;
+                }
+                let r = FrameRef {
+                    peer: p,
+                    offset: frame.offset,
+                };
+                let entry = fresh.entry(key).or_insert_with(|| SealedEntry {
+                    version: frame.version,
+                    payload_len: frame.payload_len,
+                    refs: Vec::new(),
+                });
+                match frame.version.cmp(&entry.version) {
+                    std::cmp::Ordering::Greater => {
+                        entry.version = frame.version;
+                        entry.payload_len = frame.payload_len;
+                        entry.refs = vec![r];
+                    }
+                    std::cmp::Ordering::Equal => entry.refs.push(r),
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        for (key, mut entry) in fresh {
+            // Ascending peer order: `refs` doubles as the holder set.
+            entry.refs.sort_unstable_by_key(|r| r.peer);
+            let replicas = entry.refs.len() as u64;
+            let payload = self.read_payload(stripe, key, &entry);
+            let value = self.decode_value(key, &payload);
+            let (postings, _) = volume(&value);
+            stats.copies_recovered += replicas;
+            stats.postings_recovered += postings * replicas;
+            st.disk_bytes += entry.frame_len() * replicas;
+            st.sealed.insert(key, entry);
         }
     }
 
@@ -1032,6 +1097,51 @@ mod tests {
         // A value-changing sweep un-seals.
         store.scan_mut(2, &mut |_, slot| slot.value.push(10));
         assert_eq!(read_value(&store, 2, 5), Some(vec![9, 10]));
+    }
+
+    #[test]
+    fn cold_reopen_recovers_sealed_entries() {
+        // A *fresh* store over a previous store's directory (the process
+        // restarted): both in-memory tiers start empty, and recover must
+        // rebuild the sealed tier from the logs alone.
+        let dir = tempfile::tempdir().expect("store dir");
+        let disk_before;
+        {
+            let store = SegmentStore::at_dir(VecCodec, dir.path().to_path_buf(), 0);
+            insert(&store, 2, 10, &[1, 2, 3], &[0, 1]);
+            insert(&store, 2, 11, &[9], &[1]);
+            // Re-seal key 10 under a bumped version: the stale frames
+            // must not resurface after the cold recovery.
+            insert(&store, 2, 10, &[4], &[0, 1]);
+            store.sync();
+            disk_before = store.disk_bytes(2);
+        }
+        let store = SegmentStore::at_dir(VecCodec, dir.path().to_path_buf(), 0);
+        assert_eq!(store.len(2), 0, "a cold store starts empty");
+        let mut stats = RecoveryStats::default();
+        store.recover(
+            2,
+            &[0, 1],
+            &mut |v| (v.len() as u64, 4 * v.len() as u64),
+            &mut stats,
+        );
+        assert_eq!(stats.copies_recovered, 3, "2 of key 10 + 1 of key 11");
+        assert_eq!(stats.postings_recovered, 2 * 4 + 1);
+        assert_eq!(stats.keys_lost, 0);
+        assert_eq!(stats.copies_lost, 0);
+        assert_eq!(read_value(&store, 2, 10), Some(vec![1, 2, 3, 4]));
+        assert_eq!(read_value(&store, 2, 11), Some(vec![9]));
+        assert_eq!(
+            store.disk_bytes(2),
+            disk_before,
+            "live-byte accounting must match the store that wrote the logs"
+        );
+        // The rebuilt refs double as holder sets, ascending.
+        let mut holders = Vec::new();
+        store.get(2, 10, &mut |slot| {
+            holders = slot.expect("recovered").holders.clone();
+        });
+        assert_eq!(holders, vec![0, 1]);
     }
 
     /// Identity codec: the value *is* its encoded bytes. Used to pin that

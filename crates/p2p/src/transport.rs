@@ -67,7 +67,10 @@ impl MsgKind {
         MsgKind::HotReplicate,
     ];
 
-    pub(crate) fn slot(self) -> usize {
+    /// This kind's index into per-kind counter arrays (the order of
+    /// [`MsgKind::ALL`]). Public so real transports outside this crate
+    /// can maintain their own per-kind meters.
+    pub fn slot(self) -> usize {
         match self {
             MsgKind::IndexInsert => 0,
             MsgKind::IndexNotify => 1,
@@ -226,6 +229,29 @@ impl LatencyHistogram {
             }
         }
         self.max_ns
+    }
+
+    /// Folds `other`'s samples into `self`: counters and buckets add,
+    /// `max_ns` takes the max. The serving tier merges each peer
+    /// process's histogram into one system-wide view with this.
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        self.samples += other.samples;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.retries += other.retries;
+        self.retransmission_bytes += other.retransmission_bytes;
+        for (slot, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot += b;
+        }
+    }
+
+    /// Records one raw sample directly (wall-clock metering on the real
+    /// serving path, where there is no simulated delivery to observe).
+    pub fn record_sample(&mut self, latency_ns: u64) {
+        self.samples += 1;
+        self.total_ns += latency_ns;
+        self.max_ns = self.max_ns.max(latency_ns);
+        self.buckets[Self::bucket_of(latency_ns)] += 1;
     }
 
     /// Element-wise difference `self - earlier` (`max_ns` is carried over
@@ -427,6 +453,38 @@ impl TrafficSnapshot {
             return 0.0;
         }
         self.inserted_by_peer.iter().sum::<u64>() as f64 / self.inserted_by_peer.len() as f64
+    }
+
+    /// Folds `other` into `self`, element-wise: per-kind counters and
+    /// histogram buckets add, `max_ns` takes the max, and per-peer
+    /// vectors sum position-wise (the longer length wins — every process
+    /// meters the same logical peer set, shorter vectors are just
+    /// earlier). The serving tier uses this to merge the per-process
+    /// meters of N peer processes into one system-wide snapshot; because
+    /// data-plane traffic is partitioned by stripe, the merged counts
+    /// equal a single-process run of the same scenario.
+    pub fn merge(&mut self, other: &TrafficSnapshot) {
+        for (i, slot) in self.kinds.iter_mut().enumerate() {
+            slot.messages += other.kinds[i].messages;
+            slot.postings += other.kinds[i].postings;
+            slot.bytes += other.kinds[i].bytes;
+            slot.hops += other.kinds[i].hops;
+            slot.hop_bytes += other.kinds[i].hop_bytes;
+        }
+        for (i, slot) in self.latency.iter_mut().enumerate() {
+            slot.absorb(&other.latency[i]);
+        }
+        let merge_vec = |a: &mut Vec<u64>, b: &[u64]| {
+            if a.len() < b.len() {
+                a.resize(b.len(), 0);
+            }
+            for (slot, x) in a.iter_mut().zip(b) {
+                *slot += x;
+            }
+        };
+        merge_vec(&mut self.inserted_by_peer, &other.inserted_by_peer);
+        merge_vec(&mut self.retrieved_by_peer, &other.retrieved_by_peer);
+        merge_vec(&mut self.served_by_peer, &other.served_by_peer);
     }
 
     /// Difference `self - earlier`, counter-wise (for per-phase costs).

@@ -1,0 +1,318 @@
+//! Length-framed wire protocol primitives for the serving tier.
+//!
+//! The multi-process backend (`hdk-core`'s `TcpNet`) ships the typed
+//! [`rpc`](crate::rpc) messages over real sockets. This module owns the
+//! *transport* half of that contract: a checksummed length-framed byte
+//! stream (the same FNV-1a + `[len][checksum][payload]` discipline as
+//! `hdk_ir::segment`'s on-disk frames) plus a small fallible
+//! reader/writer for the hand-rolled binary encodings layered on top.
+//!
+//! Design rules:
+//!
+//! - **Errors, never panics.** Truncated, corrupt or oversized frames
+//!   from the network are [`WireError`]s; a malicious or buggy peer must
+//!   not be able to bring a process down (pinned by
+//!   `crates/core/tests/prop_wire.rs`).
+//! - **std-only.** Registry access is unavailable, so there is no serde:
+//!   encodings are explicit little-endian puts/takes over `Vec<u8>`.
+//! - **Bounded frames.** A frame longer than [`MAX_FRAME_BYTES`] is
+//!   rejected before allocation, so a corrupt length prefix costs an
+//!   error, not an OOM.
+
+use hdk_ir::checksum64;
+use std::io::{Read, Write};
+
+/// Hard upper bound on a single frame's payload (256 MiB). Far above any
+/// legitimate message (a full insert round over a big corpus is a few MB)
+/// but small enough that a corrupted length prefix cannot trigger a
+/// multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+/// Frame header: `[payload len: u32 LE][FNV-1a checksum: u64 LE]` — the
+/// same 12-byte layout `hdk_ir::segment` seals to disk.
+pub const WIRE_HEADER_BYTES: usize = 12;
+
+/// Everything that can go wrong on the wire. Deliberately coarse: the
+/// serving tier's contract is that a dead or malicious peer costs an
+/// error (usually a timeout), never a hang or a panic.
+#[derive(Debug)]
+pub enum WireError {
+    /// The payload ended before the decoder was done (or a length prefix
+    /// pointed past the end of the buffer).
+    Truncated,
+    /// The frame checksum did not match, or a decoded value was out of
+    /// its domain (bad enum tag, invalid posting block, ...).
+    Corrupt,
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    Oversized { len: usize, max: usize },
+    /// The peer answered, but with something semantically wrong for the
+    /// request (protocol-level error string from the remote side).
+    Protocol(String),
+    /// A socket-level read/write failure other than timeout/close.
+    Io(std::io::Error),
+    /// The per-request deadline elapsed.
+    Timeout,
+    /// The peer closed the connection cleanly mid-protocol.
+    Closed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Corrupt => write!(f, "corrupt frame"),
+            WireError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes (max {max})")
+            }
+            WireError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Timeout => write!(f, "request timed out"),
+            WireError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Closed,
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => WireError::Timeout,
+            _ => WireError::Io(e),
+        }
+    }
+}
+
+/// Wire results.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Writes one `[len][checksum][payload]` frame and flushes. The flush
+/// matters: requests are written through buffered sockets and the peer
+/// won't answer a frame it hasn't seen.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> WireResult<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "outgoing frame exceeds MAX_FRAME_BYTES: {}",
+        payload.len()
+    );
+    let mut header = [0u8; WIRE_HEADER_BYTES];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&checksum64(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, verifying length bound and checksum. `UnexpectedEof`
+/// maps to [`WireError::Closed`] (clean shutdown between frames is how
+/// connections end), timeouts to [`WireError::Timeout`].
+pub fn read_frame(r: &mut impl Read) -> WireResult<Vec<u8>> {
+    let mut header = [0u8; WIRE_HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(header[4..].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        // A connection dying mid-frame is a truncation, not a clean close.
+        match WireError::from(e) {
+            WireError::Closed => WireError::Truncated,
+            other => other,
+        }
+    })?;
+    if checksum64(&payload) != checksum {
+        return Err(WireError::Corrupt);
+    }
+    Ok(payload)
+}
+
+/// Little-endian writer helpers over a growing `Vec<u8>`. Infallible —
+/// encoding only fails by running out of memory.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// `[len: u32][bytes]` — the standard variable-length field.
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    assert!(bytes.len() <= u32::MAX as usize, "field exceeds u32 length");
+    put_u32(buf, bytes.len() as u32);
+    buf.extend_from_slice(bytes);
+}
+
+/// A bounds-checked cursor over a received payload. Every accessor
+/// returns [`WireError::Truncated`] instead of slicing out of range, so
+/// decoders compose with `?` and malformed input can never panic.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `[len: u32][bytes]` field written by [`put_bytes`].
+    pub fn bytes(&mut self) -> WireResult<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a `[count: u32]` collection-length prefix, bounding it by
+    /// the bytes actually remaining (`min_elem_bytes` per element) so a
+    /// corrupt count cannot pre-allocate gigabytes.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> WireResult<usize> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Asserts the payload was consumed exactly — trailing garbage means
+    /// encoder and decoder disagree, which is corruption, not slack.
+    pub fn done(&self) -> WireResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Corrupt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"hello hdk serving tier".to_vec();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(buf.len(), WIRE_HEADER_BYTES + payload.len());
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[]).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncated_header_is_closed_or_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // An empty stream is a clean close; a partial header is not.
+        assert!(matches!(read_frame(&mut &buf[..0]), Err(WireError::Closed)));
+        for cut in 1..buf.len() {
+            let err = read_frame(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Closed | WireError::Truncated),
+                "cut at {cut} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes").unwrap();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            // Flipping any bit must never yield the original payload.
+            if let Ok(p) = read_frame(&mut &bad[..]) {
+                assert_ne!(p, b"payload bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        put_u64(&mut buf, 0);
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn reader_primitives_roundtrip_and_bound() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_bytes(&mut buf, b"var");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.bytes().unwrap(), b"var");
+        r.done().unwrap();
+        assert!(matches!(r.u8(), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn corrupt_seq_len_is_truncation_not_allocation() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // claims 4 billion elements...
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(r.seq_len(8), Err(WireError::Truncated)));
+    }
+}
