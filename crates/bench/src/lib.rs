@@ -15,7 +15,10 @@
 //!   LAN / WAN / lossy-WAN network models),
 //! * [`availability`] — the replication/churn study (vary `R`, kill
 //!   peers, measure content loss, repair traffic and degraded-query
-//!   latency).
+//!   latency),
+//! * [`gossip`] — the failure-detection study (sweep gossip fanout ×
+//!   suspicion window × probe loss, crash a peer, measure convergence
+//!   rounds, probe traffic and stale-view failover timeouts).
 //!
 //! Binaries (`cargo run -p hdk-bench --release --bin <name>`): `table1`,
 //! `table2`, `fig3`–`fig8`, `theory`, `experiments` (all of the above in
@@ -23,10 +26,13 @@
 //! (segment-log crash-restart recovery, asserted bit-identical),
 //! `serving_study` ([`serving`]: real peer processes + HTTP front-end
 //! under closed-loop load, asserted bit-identical to in-process),
+//! `gossip_study` ([`gossip`]: SWIM-style failure detection without the
+//! liveness oracle, asserted against the detection contract),
 //! `ablate_window`, `ablate_redundancy`, `ablate_dfmax`, `ablate_overlay`.
 
 pub mod availability;
 pub mod figures;
+pub mod gossip;
 pub mod json;
 pub mod latency;
 pub mod memory;

@@ -159,6 +159,7 @@ impl ExperimentProfile {
             hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
             codec: hdk_core::codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
         }
     }
 

@@ -136,6 +136,13 @@ pub struct HdkConfig {
     /// legacy LEB128 layout — the golden snapshot and all wire byte
     /// meters are untouched unless this is flipped.
     pub codec: Codec,
+    /// Gossip membership knobs ([`hdk_p2p::GossipConfig`]). The default
+    /// (`fanout 0`) keeps gossip off entirely: peer liveness stays on
+    /// the membership oracle and every meter is byte-identical to the
+    /// pre-gossip engine. `fanout >= 1` replaces the oracle with
+    /// per-peer views converged by deterministic SWIM-style rounds
+    /// ([`crate::engine::IndexService::gossip_round`]).
+    pub gossip: hdk_p2p::GossipConfig,
 }
 
 impl HdkConfig {
@@ -154,6 +161,7 @@ impl HdkConfig {
             hot_extra: 1,
             store: StoreConfig::from_env(),
             codec: codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
         }
     }
 
@@ -186,6 +194,7 @@ impl HdkConfig {
             self.hot_threshold == 0 || self.hot_extra >= 1,
             "hot_extra must be at least 1 when popularity replication is on"
         );
+        self.gossip.validate();
     }
 
     /// Scales the collection-dependent thresholds for a collection whose
@@ -208,6 +217,7 @@ impl HdkConfig {
             hot_extra: 1,
             store: StoreConfig::from_env(),
             codec: codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
         }
     }
 }
@@ -228,6 +238,7 @@ impl Default for HdkConfig {
             hot_extra: 1,
             store: StoreConfig::from_env(),
             codec: codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
         }
     }
 }
@@ -297,6 +308,20 @@ mod tests {
         let c = HdkConfig {
             hot_threshold: 5,
             hot_extra: 0,
+            ..HdkConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "suspicion_rounds")]
+    fn gossip_without_suspicion_window_rejected() {
+        let c = HdkConfig {
+            gossip: hdk_p2p::GossipConfig {
+                fanout: 2,
+                suspicion_rounds: 0,
+                ..hdk_p2p::GossipConfig::default()
+            },
             ..HdkConfig::default()
         };
         c.validate();

@@ -551,6 +551,37 @@ impl IndexService {
         self.core.index.write().repair()
     }
 
+    /// Advances the gossip membership layer one round: every live peer
+    /// probes its deterministic targets, merges view digests, and
+    /// promotes unrefuted suspicions to confirmed deaths at the end of
+    /// the suspicion window. A death confirmed in *every* live view this
+    /// round triggers the repair sweep the membership oracle used to
+    /// need an operator for — the triggered stats ride in the returned
+    /// [`hdk_p2p::GossipOutcome`].
+    ///
+    /// Holds the index write lock like [`IndexService::repair`]: a
+    /// round can rewrite holder sets (via the triggered repair) and
+    /// changes the views lookups route by.
+    ///
+    /// # Panics
+    /// Panics unless gossip is enabled
+    /// ([`HdkConfig::gossip`](crate::HdkConfig) with `fanout >= 1`).
+    pub fn gossip_round(&mut self) -> hdk_p2p::GossipOutcome {
+        self.core.index.write().gossip_round()
+    }
+
+    /// Whether every live peer's gossiped view currently matches
+    /// ground-truth membership (`None` while gossip is off).
+    pub fn gossip_converged(&self) -> Option<bool> {
+        self.core.index.read().gossip_converged()
+    }
+
+    /// `(observer, subject)` pairs where a live view has falsely
+    /// confirmed a live peer dead (`None` while gossip is off).
+    pub fn gossip_false_positives(&self) -> Option<Vec<(u32, u32)>> {
+        self.core.index.read().gossip_false_positives()
+    }
+
     /// The popularity-driven replication pass: snapshots the per-key
     /// lookup hit counters, gives keys that crossed
     /// [`HdkConfig::hot_threshold`](crate::HdkConfig) extra replicas along
@@ -859,6 +890,9 @@ impl HdkNetwork {
             threshold: config.hot_threshold,
             extra: config.hot_extra,
         });
+        if config.gossip.fanout > 0 {
+            index.enable_gossip(config.gossip);
+        }
         let coll_stats = collection.stats();
         let core = Arc::new(SystemCore {
             config,
@@ -939,6 +973,16 @@ impl HdkNetwork {
     /// See [`IndexService::repair`].
     pub fn repair(&mut self) -> hdk_p2p::RepairStats {
         self.indexer.repair()
+    }
+
+    /// See [`IndexService::gossip_round`].
+    pub fn gossip_round(&mut self) -> hdk_p2p::GossipOutcome {
+        self.indexer.gossip_round()
+    }
+
+    /// See [`IndexService::gossip_converged`].
+    pub fn gossip_converged(&self) -> Option<bool> {
+        self.indexer.gossip_converged()
     }
 
     /// See [`IndexService::rebalance_hot`].

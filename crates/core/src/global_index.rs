@@ -791,6 +791,67 @@ impl GlobalIndex {
         }
     }
 
+    /// Switches peer liveness from the membership oracle to gossiped
+    /// per-peer views ([`hdk_p2p::GossipState`]). On the serving tier
+    /// the config is broadcast first so every peer process runs the same
+    /// deterministic schedule (metering only its probe share), and the
+    /// front-end mirror keeps a silent authoritative replica.
+    pub fn enable_gossip(&mut self, config: hdk_p2p::GossipConfig) {
+        if let Some(net) = self.remote() {
+            net.broadcast(&crate::serve::WireRequest::EnableGossip {
+                fanout: config.fanout as u32,
+                suspicion_rounds: config.suspicion_rounds,
+                loss_prob: config.loss_prob,
+                seed: config.seed,
+            });
+            self.enable_gossip_with_metering(config, hdk_p2p::GossipMetering::Mirror);
+            return;
+        }
+        self.enable_gossip_with_metering(config, hdk_p2p::GossipMetering::All);
+    }
+
+    /// [`GlobalIndex::enable_gossip`] with an explicit metering mode —
+    /// the serving tier's peer processes each meter only the probes
+    /// their slot owns, so fleet snapshots sum exactly.
+    pub fn enable_gossip_with_metering(
+        &mut self,
+        config: hdk_p2p::GossipConfig,
+        metering: hdk_p2p::GossipMetering,
+    ) {
+        let dht = self.backend.dht_mut();
+        dht.enable_gossip(config);
+        dht.set_gossip_metering(metering);
+    }
+
+    /// Advances the gossip layer one round: deterministic probe
+    /// schedule, digest merges, suspicion/confirmation transitions, and
+    /// — when a death is universally confirmed — the triggered repair
+    /// sweep. Panics unless [`GlobalIndex::enable_gossip`] ran.
+    pub fn gossip_round(&mut self) -> hdk_p2p::GossipOutcome {
+        self.backend.gossip_round()
+    }
+
+    /// The next gossip round number, when gossip is enabled.
+    pub fn gossip_round_number(&self) -> Option<u32> {
+        self.dht().gossip().map(|g| g.round())
+    }
+
+    /// Whether every live peer's view currently matches ground-truth
+    /// membership (`None` until gossip is enabled).
+    pub fn gossip_converged(&self) -> Option<bool> {
+        let dht = self.dht();
+        dht.gossip().map(|g| g.converged(dht.membership()))
+    }
+
+    /// `(observer, subject)` pairs where a live peer's view has falsely
+    /// confirmed another live peer dead, per the ground-truth oracle
+    /// (`None` until gossip is enabled). Empty under loss-free probing;
+    /// transiently nonempty under probe loss until refutations land.
+    pub fn gossip_false_positives(&self) -> Option<Vec<(u32, u32)>> {
+        let dht = self.dht();
+        dht.gossip().map(|g| g.false_positives(dht.membership()))
+    }
+
     /// The popularity-driven replication pass ([`Request::Rebalance`]):
     /// snapshots the per-key hit counters, promotes keys whose count
     /// crossed the configured threshold by materializing extra replicas

@@ -44,6 +44,7 @@ impl SingleTermNetwork {
             hot_extra: 1,
             store: crate::config::StoreConfig::from_env(),
             codec: crate::config::codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
         };
         Self {
             inner: HdkNetwork::build(collection, partitions, config, overlay),

@@ -34,7 +34,7 @@ use hdk_text::TermId;
 
 /// Protocol version carried in the [`WireRequest::Hello`] handshake.
 /// Bumped on any incompatible encoding change.
-pub const WIRE_VERSION: u32 = 1;
+pub const WIRE_VERSION: u32 = 2;
 
 /// The data-plane request type the serving tier ships: the RPC enum at
 /// the global index's concrete types.
@@ -90,6 +90,18 @@ pub enum WireRequest {
     Health,
     /// Graceful shutdown: drain in-flight dispatches, sync storage, exit.
     Shutdown,
+    /// Advance this process's gossip layer by one round. `round` is the
+    /// round number the front-end expects the process to be at — a
+    /// mismatch means the fleet fell out of lockstep and is refused.
+    Gossip { round: u32 },
+    /// Enable gossip membership on this process (fields mirror
+    /// [`hdk_p2p::GossipConfig`]; `loss_prob` travels as IEEE-754 bits).
+    EnableGossip {
+        fanout: u32,
+        suspicion_rounds: u32,
+        loss_prob: f64,
+        seed: u64,
+    },
 }
 
 /// One serving-tier response frame, peer process → front-end.
@@ -123,6 +135,9 @@ pub enum WireResponse {
     /// The request was understood but refused (handshake mismatch,
     /// semantic error). Transported as [`WireError::Protocol`].
     Err(String),
+    /// `Gossip` applied: the repair traffic this process's stripes
+    /// contributed when the round confirmed a death (all-zero otherwise).
+    Gossiped(RepairStats),
 }
 
 // ---------------------------------------------------------------------
@@ -404,6 +419,7 @@ fn put_snapshot(buf: &mut Vec<u8>, s: &TrafficSnapshot) {
     put_u64s(buf, &s.inserted_by_peer);
     put_u64s(buf, &s.retrieved_by_peer);
     put_u64s(buf, &s.served_by_peer);
+    put_u64(buf, s.failover_timeouts);
 }
 
 fn get_snapshot(r: &mut WireReader<'_>) -> WireResult<TrafficSnapshot> {
@@ -423,6 +439,7 @@ fn get_snapshot(r: &mut WireReader<'_>) -> WireResult<TrafficSnapshot> {
     s.inserted_by_peer = get_u64s(r)?;
     s.retrieved_by_peer = get_u64s(r)?;
     s.served_by_peer = get_u64s(r)?;
+    s.failover_timeouts = r.u64()?;
     Ok(s)
 }
 
@@ -698,6 +715,22 @@ impl WireRequest {
             }
             WireRequest::Health => put_u8(&mut buf, 14),
             WireRequest::Shutdown => put_u8(&mut buf, 15),
+            WireRequest::Gossip { round } => {
+                put_u8(&mut buf, 16);
+                put_u32(&mut buf, *round);
+            }
+            WireRequest::EnableGossip {
+                fanout,
+                suspicion_rounds,
+                loss_prob,
+                seed,
+            } => {
+                put_u8(&mut buf, 17);
+                put_u32(&mut buf, *fanout);
+                put_u32(&mut buf, *suspicion_rounds);
+                put_u64(&mut buf, loss_prob.to_bits());
+                put_u64(&mut buf, *seed);
+            }
         }
         buf
     }
@@ -737,6 +770,13 @@ impl WireRequest {
             },
             14 => WireRequest::Health,
             15 => WireRequest::Shutdown,
+            16 => WireRequest::Gossip { round: r.u32()? },
+            17 => WireRequest::EnableGossip {
+                fanout: r.u32()?,
+                suspicion_rounds: r.u32()?,
+                loss_prob: f64::from_bits(r.u64()?),
+                seed: r.u64()?,
+            },
             _ => return Err(WireError::Corrupt),
         };
         r.done()?;
@@ -805,6 +845,10 @@ impl WireResponse {
                 put_u8(&mut buf, 13);
                 put_string(&mut buf, msg);
             }
+            WireResponse::Gossiped(s) => {
+                put_u8(&mut buf, 14);
+                put_repair(&mut buf, s);
+            }
         }
         buf
     }
@@ -833,6 +877,7 @@ impl WireResponse {
             11 => WireResponse::Healthy { keys: r.u64()? },
             12 => WireResponse::ShuttingDown,
             13 => WireResponse::Err(get_string(&mut r)?),
+            14 => WireResponse::Gossiped(get_repair(&mut r)?),
             _ => return Err(WireError::Corrupt),
         };
         r.done()?;
@@ -882,6 +927,13 @@ mod tests {
                     body: key(&[8]),
                 }],
             }),
+            WireRequest::Gossip { round: 9 },
+            WireRequest::EnableGossip {
+                fanout: 2,
+                suspicion_rounds: 3,
+                loss_prob: 0.125,
+                seed: 0xfeed,
+            },
         ];
         for req in requests {
             let bytes = req.encode();
@@ -905,6 +957,36 @@ mod tests {
         let bytes = resp.encode();
         let decoded = WireResponse::decode(&bytes).unwrap();
         assert_eq!(bytes, decoded.encode());
+    }
+
+    #[test]
+    fn response_roundtrip_gossiped() {
+        let resp = WireResponse::Gossiped(RepairStats {
+            copies: 4,
+            postings: 900,
+            bytes: 3600,
+        });
+        let bytes = resp.encode();
+        let decoded = WireResponse::decode(&bytes).unwrap();
+        assert_eq!(bytes, decoded.encode());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_carries_failover_timeouts() {
+        let s = TrafficSnapshot {
+            failover_timeouts: 17,
+            inserted_by_peer: vec![1, 2],
+            ..TrafficSnapshot::default()
+        };
+        let resp = WireResponse::Snapshot(Box::new(s));
+        let bytes = resp.encode();
+        match WireResponse::decode(&bytes).unwrap() {
+            WireResponse::Snapshot(d) => {
+                assert_eq!(d.failover_timeouts, 17);
+                assert_eq!(d.inserted_by_peer, vec![1, 2]);
+            }
+            other => panic!("expected Snapshot, got {other:?}"),
+        }
     }
 
     #[test]

@@ -327,6 +327,7 @@ fn kind_label(kind: MsgKind) -> &'static str {
         MsgKind::Maintenance => "maintenance",
         MsgKind::Repair => "repair",
         MsgKind::HotReplicate => "hot_replicate",
+        MsgKind::Gossip => "gossip",
     }
 }
 
@@ -395,6 +396,15 @@ fn metrics_text(service: &QueryService, metrics: &HttpMetrics) -> String {
             h.samples
         ));
     }
+    out.push_str(
+        "# HELP hdk_failover_timeouts_total Lookup probes sent to peers believed live that \
+         turned out dead (each costs a retransmission timeout).\n",
+    );
+    out.push_str("# TYPE hdk_failover_timeouts_total counter\n");
+    out.push_str(&format!(
+        "hdk_failover_timeouts_total {}\n",
+        snapshot.failover_timeouts
+    ));
     out.push_str("# HELP hdk_transport_errors_total Socket-level failures on the serving path.\n");
     out.push_str("# TYPE hdk_transport_errors_total counter\n");
     out.push_str(&format!(

@@ -536,6 +536,36 @@ impl NetworkBackend<IndexStore> for TcpNet {
         stats
     }
 
+    /// One lockstep gossip round across the fleet. The mirror holds the
+    /// authoritative [`hdk_p2p::GossipState`] and advances first with
+    /// silent metering ([`hdk_p2p::GossipMetering::Mirror`]); every peer
+    /// process then advances its *identical* deterministic replica of
+    /// the state — guarded by the round number, so a process that fell
+    /// out of lockstep refuses instead of diverging — metering only its
+    /// own probe share, so fleet snapshots sum to the single-process
+    /// counters. Repair traffic triggered by a confirmed death runs on
+    /// each process's disjoint stripes; their stats fold into the
+    /// mirror's (zero-entry, hence all-zero) outcome.
+    fn gossip_round(&mut self) -> hdk_p2p::GossipOutcome {
+        let round = self
+            .mirror
+            .dht()
+            .gossip()
+            .expect("gossip_round requires enable_gossip")
+            .round();
+        let mut outcome = self.mirror.gossip_round();
+        for reply in self.broadcast(&WireRequest::Gossip { round }) {
+            if let Ok(WireResponse::Gossiped(s)) = reply {
+                if let Some(acc) = outcome.repair.as_mut() {
+                    acc.copies += s.copies;
+                    acc.postings += s.postings;
+                    acc.bytes += s.bytes;
+                }
+            }
+        }
+        outcome
+    }
+
     fn dht(&self) -> &Dht<<IndexStore as hdk_p2p::StoreService>::Value> {
         self.mirror.dht()
     }

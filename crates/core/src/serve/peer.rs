@@ -216,6 +216,52 @@ fn dispatch(
         WireRequest::Health => WireResponse::Healthy {
             keys: index.read().index_counts().total_keys(),
         },
+        WireRequest::EnableGossip {
+            fanout,
+            suspicion_rounds,
+            loss_prob,
+            seed,
+        } => {
+            let gossip = hdk_p2p::GossipConfig {
+                fanout: fanout as usize,
+                suspicion_rounds,
+                loss_prob,
+                seed,
+            };
+            // `GossipConfig::validate` asserts; a malformed frame must
+            // answer with an error, not kill the connection thread.
+            let acceptable = gossip.fanout > 0
+                && gossip.suspicion_rounds >= 1
+                && (0.0..1.0).contains(&gossip.loss_prob);
+            if !acceptable {
+                WireResponse::Err(format!("refusing gossip config {gossip:?}"))
+            } else {
+                // Each process replicates the full deterministic gossip
+                // state but meters only its own probe share, so fleet
+                // snapshots sum to the single-process counters.
+                index.write().enable_gossip_with_metering(
+                    gossip,
+                    hdk_p2p::GossipMetering::Partition {
+                        nprocs: config.nprocs,
+                        index: config.proc_index,
+                    },
+                );
+                WireResponse::Ok
+            }
+        }
+        WireRequest::Gossip { round } => {
+            let mut guard = index.write();
+            match guard.gossip_round_number() {
+                None => WireResponse::Err("gossip is not enabled on this process".into()),
+                Some(local) if local != round => WireResponse::Err(format!(
+                    "gossip round mismatch: front-end at {round}, this process at {local}"
+                )),
+                Some(_) => {
+                    let outcome = guard.gossip_round();
+                    WireResponse::Gossiped(outcome.repair.unwrap_or_default())
+                }
+            }
+        }
         WireRequest::Shutdown => {
             // Acknowledge first (the front-end's request completes),
             // then drain: the write lock waits out every in-flight

@@ -147,6 +147,7 @@ proptest! {
             hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
             codec: hdk_core::codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
         };
         // The acceptance configuration: zero latency, zero drop.
         check_equivalent(&collection, &queries, &config, peers, SimNetConfig::zero())?;

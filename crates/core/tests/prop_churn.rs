@@ -211,6 +211,7 @@ proptest! {
             hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
             codec: hdk_core::codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
         };
         let ops = decode(&raw_ops);
         let boot = collection.len() / 3;
@@ -281,5 +282,171 @@ proptest! {
         let want_results: Vec<Vec<(u32, u64)>> =
             expected.iter().map(|(r, _, _)| r.clone()).collect();
         prop_assert_eq!(live_results, want_results, "churned network != static build");
+    }
+
+    /// Gossip-enabled churn: any interleaving of joins, graceful leaves,
+    /// crashes and background gossip rounds must (a) converge every live
+    /// view to ground truth within a bounded number of rounds after each
+    /// crash — with the repair sweep fired by universal confirmation, not
+    /// by an operator — (b) never falsely confirm a live peer dead under
+    /// loss-free probing, and (c) replay bit-identically on the simulated
+    /// network backend: same per-round gossip reports, same triggered
+    /// repair stats, same query digests, same traffic counts. Probe loss
+    /// is drawn from the gossip seed, never from the backend, so the
+    /// lossy leg must agree across backends too.
+    #[test]
+    fn gossip_churn_program_converges_on_both_backends(
+        token_docs in arb_docs(),
+        raw_ops in arb_ops(),
+        queries in prop::collection::vec(prop::collection::vec(0..VOCAB, 1..6), 1..8),
+        lossy in 0u8..2,
+    ) {
+        let collection = make_collection(&token_docs);
+        let config = HdkConfig {
+            dfmax: 4,
+            smax: 3,
+            window: 5,
+            ff: u64::MAX,
+            exact_intrinsic: false,
+            redundancy_filtering: true,
+            replication: 2,
+            hot_threshold: 0,
+            hot_extra: 1,
+            store: hdk_core::StoreConfig::from_env(),
+            codec: hdk_core::codec_from_env(),
+            gossip: hdk_p2p::GossipConfig {
+                fanout: 2,
+                suspicion_rounds: 2,
+                loss_prob: if lossy == 1 { 0.2 } else { 0.0 },
+                seed: 7,
+            },
+        };
+        let boot = collection.len() / 3;
+        let chunk = ((collection.len() - boot) / 6).max(1);
+        // Convergence budget per crash: the suspicion window plus
+        // dissemination; generous because lossy probes retry.
+        const ROUND_CAP: usize = 48;
+
+        let mut digests = Vec::new();
+        let mut counts = Vec::new();
+        let mut snapshots = Vec::new();
+        let mut trajectories = Vec::new();
+        for backend in [
+            BackendConfig::InProc,
+            BackendConfig::SimNet(SimNetConfig {
+                seed: 11,
+                hop_ns: 100_000,
+                jitter_ns: 30_000,
+                ns_per_byte: 6,
+                drop_prob: 0.1,
+                timeout_ns: 1_000_000,
+            }),
+        ] {
+            let network = HdkNetwork::build_with(
+                &collection.prefix(boot),
+                &hdk_corpus::partition_documents(boot, 4, 23),
+                config.clone(),
+                OverlayKind::PGrid,
+                backend,
+            );
+            let (mut indexer, query) = network.into_services();
+            let mut live: Vec<PeerId> = indexer.peers().iter().map(|p| p.id).collect();
+            let mut next_peer = 100u64;
+            let mut next_doc = boot;
+            let mut trajectory = Vec::new();
+            for &(kind, arg) in &raw_ops {
+                match kind % 4 {
+                    0 => {
+                        // A join wave; gossip views gain the joiners at
+                        // once (joins are announced, not detected).
+                        let mut joins = Vec::new();
+                        for _ in 0..(1 + arg % 2) {
+                            let hi = (next_doc + chunk).min(collection.len());
+                            let docs: Vec<Document> = (next_doc..hi)
+                                .map(|i| collection.docs()[i].clone())
+                                .collect();
+                            next_doc = hi;
+                            joins.push((PeerId(next_peer), docs));
+                            live.push(PeerId(next_peer));
+                            next_peer += 1;
+                        }
+                        indexer.join_peers(joins);
+                    }
+                    1 => {
+                        // Graceful leave: goodbye is broadcast, views
+                        // update without any probing.
+                        if live.len() < 3 {
+                            continue;
+                        }
+                        let victim = live.remove(arg as usize % live.len());
+                        indexer.leave_peers(vec![victim]);
+                    }
+                    2 => {
+                        // A crash. Nobody calls repair: gossip must
+                        // detect it, confirm it everywhere within the
+                        // round budget, and fire the repair itself.
+                        if live.len() < 3 {
+                            continue;
+                        }
+                        let victim = live.remove(arg as usize % live.len());
+                        let loss = indexer.fail_peers(vec![victim]);
+                        prop_assert_eq!(loss.keys_lost, 0, "R=2 crash lost content");
+                        let mut rounds = 0usize;
+                        while indexer.gossip_converged() != Some(true) {
+                            prop_assert!(
+                                rounds < ROUND_CAP,
+                                "views failed to converge within {} rounds",
+                                ROUND_CAP
+                            );
+                            trajectory.push(indexer.gossip_round());
+                            rounds += 1;
+                            if lossy == 0 {
+                                prop_assert!(
+                                    indexer.gossip_false_positives().unwrap().is_empty(),
+                                    "loss-free probing falsely killed a live peer"
+                                );
+                            }
+                        }
+                        prop_assert!(
+                            trajectory.iter().any(|o| o.repair.is_some()),
+                            "universal confirmation never fired the repair sweep"
+                        );
+                    }
+                    _ => {
+                        // Background gossip: steady-state rounds between
+                        // membership events must be cheap no-ops on the
+                        // views (and still bit-identical across backends).
+                        for _ in 0..(1 + arg % 3) {
+                            trajectory.push(indexer.gossip_round());
+                        }
+                    }
+                }
+            }
+            // Converged views never hold a false positive, lossy or not.
+            if indexer.gossip_converged() == Some(true) {
+                prop_assert!(indexer.gossip_false_positives().unwrap().is_empty());
+            }
+            let from = indexer.peers()[0].id;
+            digests.push(digest_queries(&query, from, &queries));
+            counts.push(query.index().index_counts());
+            snapshots.push(query.snapshot());
+            trajectories.push(trajectory);
+        }
+
+        prop_assert_eq!(
+            &trajectories[0], &trajectories[1],
+            "gossip trajectories diverged across backends"
+        );
+        prop_assert_eq!(&digests[0], &digests[1], "backends diverged under gossip churn");
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert!(
+            snapshots[0].same_counts(&snapshots[1]),
+            "gossip churn traffic counts diverged across backends"
+        );
+        // SimNet timed every gossip message it counted.
+        prop_assert_eq!(
+            snapshots[1].latency(MsgKind::Gossip).samples,
+            snapshots[1].kind(MsgKind::Gossip).messages
+        );
     }
 }

@@ -132,6 +132,7 @@ proptest! {
             hot_extra: 1,
             store: hdk_core::StoreConfig::from_env(),
             codec: hdk_core::codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
         };
         // Two identical builds (builds are deterministic — pinned by
         // tests/determinism.rs) so each side meters its own traffic.

@@ -109,6 +109,7 @@ proptest! {
                 hot_extra: 1,
                 store: hdk_core::StoreConfig::from_env(),
             codec: hdk_core::codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
             },
             OverlayKind::PGrid,
         );
@@ -210,6 +211,7 @@ proptest! {
                 hot_extra: 1,
                 store: hdk_core::StoreConfig::from_env(),
             codec: hdk_core::codec_from_env(),
+            gossip: hdk_p2p::GossipConfig::default(),
             },
             OverlayKind::PGrid,
         );

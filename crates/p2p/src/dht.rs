@@ -65,6 +65,7 @@
 //! [`Dht::repair_sweep`] closes whatever gap the log could not cover.
 //! Tier movement is host-local (never metered as traffic).
 
+use crate::gossip::{GossipConfig, GossipProbe, GossipRound, GossipState, PeerView};
 use crate::id::{hash_u64s, KeyHash, PeerId};
 use crate::overlay::Overlay;
 use crate::replica::{Delivery, Membership, PeerState};
@@ -102,6 +103,53 @@ pub struct Dht<V> {
     /// `R + extra` walk targets so promotions survive joins, departures
     /// and repairs.
     promoted: Mutex<HashSet<u64>>,
+    /// The gossip membership substrate ([`Dht::enable_gossip`]). `None`
+    /// (the default) keeps the [`Membership`] oracle semantics: every
+    /// lookup walk sees ground truth instantly. `Some` switches the
+    /// *serving* paths to each querier's local [`PeerView`] — placement
+    /// stays on ground truth (copies physically exist or not regardless
+    /// of who believes what).
+    gossip: Option<GossipState>,
+    /// Which probes [`Dht::gossip_round`] meters (multi-process fleets
+    /// partition the metering so their snapshots sum to one network).
+    gossip_metering: GossipMetering,
+}
+
+/// Which share of a gossip round's probes this `Dht` instance meters.
+///
+/// Every instance of a serving fleet advances the *same* deterministic
+/// gossip state in lockstep (the schedule is a pure function of the
+/// round), so without partitioning each process would meter every probe
+/// and the fleet's merged snapshot would count the network `nprocs`
+/// times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GossipMetering {
+    /// Meter every probe — the single-process backends.
+    All,
+    /// Meter only probes whose *initiator* this process owns
+    /// (`initiator % nprocs == index`), so fleet snapshots sum to the
+    /// single-process totals.
+    Partition {
+        /// Total processes in the fleet.
+        nprocs: usize,
+        /// This process's slot.
+        index: usize,
+    },
+    /// Meter nothing — the serving front-end's unmetered mirror, which
+    /// advances the state for its own view-dependent bookkeeping only.
+    Mirror,
+}
+
+/// What one [`Dht::gossip_round`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipOutcome {
+    /// The protocol-level round report (probes, suspicions,
+    /// confirmations).
+    pub report: GossipRound,
+    /// The repair the round triggered: `Some` exactly when a death
+    /// became confirmed in *every* live view this round — the gossip
+    /// replacement for the external repair call.
+    pub repair: Option<RepairStats>,
 }
 
 /// Popularity-driven replication knobs (see [`Dht::rebalance_hot`]).
@@ -231,7 +279,93 @@ impl<V: Send + Sync + 'static> Dht<V> {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             promoted: Mutex::new(HashSet::new()),
+            gossip: None,
+            gossip_metering: GossipMetering::All,
         }
+    }
+
+    /// Switches the serving paths from the membership oracle to gossip-
+    /// maintained per-peer views (see [`crate::gossip`]). Views start
+    /// *converged* on the current ground truth — deaths that predate
+    /// gossip are common knowledge; only transitions from here on must
+    /// be detected (crashes) or announced (joins, graceful departures).
+    ///
+    /// # Panics
+    /// Panics when `config.fanout == 0` (that spelling of "disabled"
+    /// belongs in the caller's config, not here) or the config is
+    /// otherwise invalid.
+    pub fn enable_gossip(&mut self, config: GossipConfig) {
+        assert!(
+            config.fanout > 0,
+            "enable_gossip needs fanout >= 1; fanout 0 means gossip stays off"
+        );
+        let mut state = GossipState::new(self.overlay.len(), config);
+        for i in 0..self.overlay.len() {
+            if !self.membership.is_live(i) {
+                state.mark_departed(i);
+            }
+        }
+        self.gossip = Some(state);
+    }
+
+    /// Selects which share of gossip probes this instance meters (see
+    /// [`GossipMetering`]).
+    pub fn set_gossip_metering(&mut self, metering: GossipMetering) {
+        self.gossip_metering = metering;
+    }
+
+    /// The gossip substrate, when [`Dht::enable_gossip`] switched it on.
+    pub fn gossip(&self) -> Option<&GossipState> {
+        self.gossip.as_ref()
+    }
+
+    /// Runs one gossip round: probes per the deterministic schedule,
+    /// meters each one under [`MsgKind::Gossip`] (a delivered exchange is
+    /// two messages — ping and ack, each attributed to its sender; a
+    /// timed-out probe is one), reports each probe to `on_probe` in
+    /// canonical order so the simulated backend can time the legs, and —
+    /// when a death became confirmed in **every** live view this round —
+    /// runs the [`Dht::repair_sweep`] right here: detection, not an
+    /// oracle, triggers repair. `volume`/`on_copy` are the sweep's usual
+    /// parameters.
+    ///
+    /// # Panics
+    /// Panics unless [`Dht::enable_gossip`] ran first.
+    pub fn gossip_round(
+        &mut self,
+        volume: impl Fn(&V) -> (u64, u64),
+        mut on_probe: impl FnMut(GossipProbe),
+        on_copy: impl FnMut(KeyHash, Delivery, u64),
+    ) -> GossipOutcome {
+        let membership = &self.membership;
+        let meter = &self.meter;
+        let metering = self.gossip_metering;
+        let state = self
+            .gossip
+            .as_mut()
+            .expect("gossip_round requires enable_gossip");
+        let report = state.run_round(membership, |probe| {
+            let metered = match metering {
+                GossipMetering::All => true,
+                GossipMetering::Partition { nprocs, index } => {
+                    probe.from as usize % nprocs == index
+                }
+                GossipMetering::Mirror => false,
+            };
+            if metered {
+                meter.record(MsgKind::Gossip, probe.from as usize, 0, probe.bytes, 1);
+                if probe.delivered {
+                    meter.record(MsgKind::Gossip, probe.to as usize, 0, probe.bytes, 1);
+                }
+            }
+            on_probe(probe);
+        });
+        let repair = if report.universally_confirmed.is_empty() {
+            None
+        } else {
+            Some(self.repair_sweep(volume, on_copy))
+        };
+        GossipOutcome { report, repair }
     }
 
     /// Enables (or reconfigures) popularity-driven replication. With
@@ -344,7 +478,32 @@ impl<V: Send + Sync + 'static> Dht<V> {
     /// first live candidate, which answers "not found". Returns
     /// `(target index, extra hops past the owner, dead candidates
     /// skipped)`.
-    fn serve_from(&self, owner: usize, holders: Option<&[u32]>) -> (u32, u32, u32) {
+    ///
+    /// `origin` is the *querying* peer: with gossip enabled the walk runs
+    /// under that peer's local [`PeerView`] — candidates it has confirmed
+    /// dead are routed around for free, while a dead candidate it still
+    /// believes in costs an attempted delivery (one hop plus one timeout,
+    /// the price of a stale view). Without gossip (or for a view with no
+    /// confirmations) this resolves exactly as the oracle walk always
+    /// did.
+    fn serve_from(&self, origin: usize, owner: usize, holders: Option<&[u32]>) -> (u32, u32, u32) {
+        if let Some(state) = &self.gossip {
+            if let Some(resolved) = self.serve_from_view(state.view(origin), owner, holders) {
+                return resolved;
+            }
+            // Pathological: every live holder is view-confirmed-dead
+            // (false positives hid them all). The querier escalates to a
+            // blind retry sweep — the oracle walk — so a wrong view can
+            // cost arbitrary extra probes but never wrong answers. Rare
+            // and self-healing (resurrection probes clear the false
+            // positives).
+        }
+        self.serve_from_oracle(owner, holders)
+    }
+
+    /// The oracle failover walk (pre-gossip semantics): every candidate
+    /// before the server costs a hop, dead ones a timeout too.
+    fn serve_from_oracle(&self, owner: usize, holders: Option<&[u32]>) -> (u32, u32, u32) {
         if self.membership.all_live() {
             // No churn ever happened: the owner holds every stored key
             // (placement is derived, joins hand the primary copy over),
@@ -373,6 +532,50 @@ impl<V: Send + Sync + 'static> Dht<V> {
         unreachable!("stored entries always have at least one live holder")
     }
 
+    /// The failover walk under one querier's gossip view. Candidates the
+    /// view confirms dead are skipped free (the querier routes around
+    /// them without attempting delivery); a ground-truth-dead candidate
+    /// the view still believes in is *attempted* — one hop and one
+    /// timeout, like the oracle walk charges for every dead candidate.
+    /// Returns `None` when the view leaves no live candidate to serve
+    /// (false positives hid them all) — the caller falls back to the
+    /// oracle walk.
+    fn serve_from_view(
+        &self,
+        view: &PeerView,
+        owner: usize,
+        holders: Option<&[u32]>,
+    ) -> Option<(u32, u32, u32)> {
+        let mut hops = 0u32;
+        let mut dead = 0u32;
+        let mut cur = owner;
+        for _ in 0..self.overlay.len() {
+            if view.is_confirmed_dead(cur) {
+                cur = self.overlay.successor_index(cur);
+                continue;
+            }
+            if !self.membership.is_live(cur) {
+                dead += 1;
+                hops += 1;
+                cur = self.overlay.successor_index(cur);
+                continue;
+            }
+            match holders {
+                Some(h) => {
+                    if h.contains(&(cur as u32)) {
+                        return Some((cur as u32, hops, dead));
+                    }
+                    hops += 1;
+                }
+                // A miss is answered by the acting primary — the first
+                // candidate the querier believes in that is really live.
+                None => return Some((cur as u32, hops, dead)),
+            }
+            cur = self.overlay.successor_index(cur);
+        }
+        None
+    }
+
     /// Spread resolution of a *batched* lookup probe: among the key's live
     /// holders (in successor-walk order from the owner) the serving
     /// replica is picked by `hash(query_id, key)` — a pure function of
@@ -387,6 +590,7 @@ impl<V: Send + Sync + 'static> Dht<V> {
     /// forced and this resolves identically to the walk-order path.
     fn serve_spread(
         &self,
+        origin: usize,
         query_id: u64,
         key: KeyHash,
         owner: usize,
@@ -394,10 +598,60 @@ impl<V: Send + Sync + 'static> Dht<V> {
     ) -> (u32, u32, u32) {
         let Some(h) = holders else {
             // A miss is answered by the acting primary, as ever.
-            return self.serve_from(owner, None);
+            return self.serve_from(origin, owner, None);
         };
         if h.len() == 1 {
-            return self.serve_from(owner, Some(h));
+            return self.serve_from(origin, owner, Some(h));
+        }
+        if let Some(state) = &self.gossip {
+            // The querier spreads over the holders its *view* still
+            // believes in, with view-walk accounting: confirmed-dead
+            // candidates (holders included — false positives shrink the
+            // spread set) skipped free, believed-in dead candidates
+            // attempted at a hop + timeout each. With no confirmations
+            // this collects exactly the oracle walk's candidates.
+            let view = state.view(origin);
+            let mut live: Vec<(u32, u32, u32)> = Vec::with_capacity(h.len());
+            let mut hops = 0u32;
+            let mut dead = 0u32;
+            let mut passed = 0usize;
+            let mut cur = owner;
+            for _ in 0..self.overlay.len() {
+                if view.is_confirmed_dead(cur) {
+                    // Holder sets only ever contain live peers, so a
+                    // confirmed-dead holder here is a false positive —
+                    // invisible to this querier, but it still bounds the
+                    // walk (all holders passed means nothing further).
+                    if h.contains(&(cur as u32)) {
+                        passed += 1;
+                        if passed == h.len() {
+                            break;
+                        }
+                    }
+                    cur = self.overlay.successor_index(cur);
+                    continue;
+                }
+                if !self.membership.is_live(cur) {
+                    dead += 1;
+                    hops += 1;
+                    cur = self.overlay.successor_index(cur);
+                    continue;
+                }
+                if h.contains(&(cur as u32)) {
+                    live.push((cur as u32, hops, dead));
+                    passed += 1;
+                    if passed == h.len() {
+                        break;
+                    }
+                }
+                hops += 1;
+                cur = self.overlay.successor_index(cur);
+            }
+            if !live.is_empty() {
+                return live[(hash_u64s(&[query_id, key.0]) % live.len() as u64) as usize];
+            }
+            // All holders view-confirmed-dead: blind oracle fallback,
+            // like `serve_from`.
         }
         // Walk from the owner collecting every live holder with its walk
         // position and the dead candidates skipped before it. Holder sets
@@ -598,8 +852,12 @@ impl<V: Send + Sync + 'static> Dht<V> {
         self.store.get(stripe_of(key), key.0, &mut |slot| {
             self.count_hit(stripe_of(key), key.0, slot.is_some());
             let (target, extra, dead_skips) =
-                self.serve_from(owner, slot.map(|s| s.holders.as_slice()));
+                self.serve_from(origin, owner, slot.map(|s| s.holders.as_slice()));
             let hops = route.hops + extra;
+            // Every dead candidate attempted on the failover walk is a
+            // timed-out delivery — the cost gossip-maintained views
+            // drive to zero once a death is confirmed.
+            self.meter.record_failover_timeouts(u64::from(dead_skips));
             // The request itself: one message, no postings, key-sized
             // payload.
             self.meter
@@ -682,9 +940,15 @@ impl<V: Send + Sync + 'static> Dht<V> {
                     self.count_hit(stripe, key.0, slot.is_some());
                     let route = self.overlay.route(from, key);
                     let owner = self.overlay.peer_index(route.responsible);
-                    let (target, extra, dead_skips) =
-                        self.serve_spread(query_id, key, owner, slot.map(|s| s.holders.as_slice()));
+                    let (target, extra, dead_skips) = self.serve_spread(
+                        origin,
+                        query_id,
+                        key,
+                        owner,
+                        slot.map(|s| s.holders.as_slice()),
+                    );
                     let hops = route.hops + extra;
+                    self.meter.record_failover_timeouts(u64::from(dead_skips));
                     self.meter
                         .record(MsgKind::QueryLookup, origin, 0, LOOKUP_REQUEST_BYTES, hops);
                     self.meter.record_served(target as usize);
@@ -867,6 +1131,10 @@ impl<V: Send + Sync + 'static> Dht<V> {
             self.overlay.join(*peer);
             self.meter.add_peer();
             self.membership.add_peer();
+            if let Some(g) = self.gossip.as_mut() {
+                // Joins are announced: every view gains an alive entry.
+                g.add_peer();
+            }
         }
         let mut stats = vec![MigrationStats::default(); peers.len()];
         let mut base_memo: Vec<Option<Vec<(u32, u32)>>> = vec![None; self.overlay.len()];
@@ -944,6 +1212,11 @@ impl<V: Send + Sync + 'static> Dht<V> {
             .collect();
         for &i in &leaving {
             self.membership.mark(i as usize, PeerState::Departed);
+            if let Some(g) = self.gossip.as_mut() {
+                // A graceful leaver says goodbye: views update at once;
+                // only *crashes* must be detected by probing.
+                g.mark_departed(i as usize);
+            }
         }
         assert!(
             self.membership.live_count() >= 1,

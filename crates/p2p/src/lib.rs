@@ -30,6 +30,7 @@
 //! segment logs) that makes peers restartable ([`dht::Dht::restart_peers`]).
 
 pub mod dht;
+pub mod gossip;
 pub mod id;
 pub mod overlay;
 pub mod pgrid;
@@ -41,13 +42,17 @@ pub mod transport;
 pub mod wire;
 
 pub use dht::{
-    stripe_of, Dht, HotConfig, HotStats, LossStats, MigrationStats, RepairStats,
-    LOOKUP_REQUEST_BYTES, NUM_STRIPES,
+    stripe_of, Dht, GossipMetering, GossipOutcome, HotConfig, HotStats, LossStats, MigrationStats,
+    RepairStats, LOOKUP_REQUEST_BYTES, NUM_STRIPES,
+};
+pub use gossip::{
+    digest_bytes as gossip_digest_bytes, GossipConfig, GossipProbe, GossipRound, GossipState,
+    Liveness, PeerView, ViewEntry,
 };
 pub use id::{hash_bytes, hash_u64s, KeyHash, PeerId};
 pub use overlay::{Overlay, RouteResult};
 pub use pgrid::PGrid;
-pub use replica::{Delivery, Membership, PeerState};
+pub use replica::{Delivery, Membership, MembershipEvent, PeerState};
 pub use ring::ChordRing;
 pub use rpc::{
     Addressed, InProc, NetworkBackend, Notification, Request, Response, SimNet, SimNetConfig,

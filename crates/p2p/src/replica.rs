@@ -42,6 +42,20 @@ pub enum PeerState {
     Failed,
 }
 
+/// One recorded liveness transition: peer `peer` entered `state` as the
+/// `seq`-th transition overall (0-based, strictly increasing). Joins are
+/// recorded as [`PeerState::Live`] transitions; deaths as
+/// [`PeerState::Departed`] / [`PeerState::Failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// 0-based position in the transition history.
+    pub seq: u64,
+    /// Peer index the transition applies to.
+    pub peer: u32,
+    /// The state the peer entered.
+    pub state: PeerState,
+}
+
 /// The peer-liveness view threaded through every network backend.
 ///
 /// Indexed by *peer index* (position in [`crate::overlay::Overlay::peers`]),
@@ -50,6 +64,10 @@ pub enum PeerState {
 pub struct Membership {
     states: Vec<PeerState>,
     dead: usize,
+    /// Ordered transition log ([`Membership::membership_events`]). The
+    /// initial all-live population is state, not a transition, so it is
+    /// not recorded; everything after construction is.
+    events: Vec<MembershipEvent>,
 }
 
 impl Membership {
@@ -58,12 +76,29 @@ impl Membership {
         Self {
             states: vec![PeerState::Live; n],
             dead: 0,
+            events: Vec::new(),
         }
     }
 
     /// Registers a freshly joined peer (always live).
     pub fn add_peer(&mut self) {
+        let peer = self.states.len() as u32;
         self.states.push(PeerState::Live);
+        self.push_event(peer, PeerState::Live);
+    }
+
+    fn push_event(&mut self, peer: u32, state: PeerState) {
+        let seq = self.events.len() as u64;
+        self.events.push(MembershipEvent { seq, peer, state });
+    }
+
+    /// The ordered liveness-transition history since construction: every
+    /// join ([`PeerState::Live`]), graceful departure and crash, in the
+    /// order they were applied. This is the *ground truth* schedule the
+    /// gossip layer's convergence is measured against — and the read-back
+    /// `fail_peers` / `leave_peers` never had.
+    pub fn membership_events(&self) -> &[MembershipEvent] {
+        &self.events
     }
 
     /// The state of peer `index`.
@@ -117,6 +152,7 @@ impl Membership {
         );
         self.states[index] = state;
         self.dead += 1;
+        self.push_event(index as u32, state);
     }
 }
 
@@ -161,6 +197,39 @@ mod tests {
         assert_eq!(m.len(), 5);
         assert!(m.is_live(4));
         assert_eq!(m.live_count(), 3);
+    }
+
+    #[test]
+    fn membership_events_record_ordered_transitions() {
+        let mut m = Membership::new(3);
+        assert!(
+            m.membership_events().is_empty(),
+            "initial population is state, not transitions"
+        );
+        m.mark(2, PeerState::Failed);
+        m.add_peer();
+        m.mark(0, PeerState::Departed);
+        let events = m.membership_events();
+        assert_eq!(
+            events,
+            &[
+                MembershipEvent {
+                    seq: 0,
+                    peer: 2,
+                    state: PeerState::Failed
+                },
+                MembershipEvent {
+                    seq: 1,
+                    peer: 3,
+                    state: PeerState::Live
+                },
+                MembershipEvent {
+                    seq: 2,
+                    peer: 0,
+                    state: PeerState::Departed
+                },
+            ]
+        );
     }
 
     #[test]

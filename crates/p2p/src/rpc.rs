@@ -45,8 +45,10 @@
 //! therefore never a message.
 
 use crate::dht::{
-    stripe_of, Dht, HotStats, LossStats, MigrationStats, RepairStats, LOOKUP_REQUEST_BYTES,
+    stripe_of, Dht, GossipOutcome, HotStats, LossStats, MigrationStats, RepairStats,
+    LOOKUP_REQUEST_BYTES,
 };
+use crate::gossip::GossipProbe;
 use crate::id::{hash_u64s, splitmix64, KeyHash, PeerId};
 use crate::overlay::Overlay;
 use crate::replica::Delivery;
@@ -350,6 +352,18 @@ pub trait NetworkBackend<S: StoreService>: Send + Sync {
     /// afterwards to close any recovery gap.
     fn restart(&mut self, peers: &[PeerId]) -> RecoveryStats;
 
+    /// Advances the gossip membership substrate by one round
+    /// ([`Dht::gossip_round`]): the deterministic probe schedule runs,
+    /// probes are metered (and, on a time-modeling backend, timed), and
+    /// a death confirmed in every live view this round triggers the
+    /// repair sweep — detection, not an oracle call.
+    ///
+    /// # Panics
+    /// Panics unless gossip was enabled
+    /// ([`Dht::enable_gossip`](crate::dht::Dht::enable_gossip) on
+    /// [`NetworkBackend::dht_mut`]).
+    fn gossip_round(&mut self) -> GossipOutcome;
+
     /// Host-local storage access: end-of-round sweeps, `peek`, storage
     /// accounting. Local work at the hosting peer is free (the paper's
     /// sweeps run "locally at each hosting peer"), so none of it is
@@ -617,6 +631,12 @@ impl<S: StoreService> NetworkBackend<S> for InProc<S> {
         let store = &self.store;
         self.dht
             .restart_peers(peers, |value| store.migrate_volume(value))
+    }
+
+    fn gossip_round(&mut self) -> GossipOutcome {
+        let store = &self.store;
+        self.dht
+            .gossip_round(|value| store.migrate_volume(value), |_| {}, |_, _, _| {})
     }
 
     fn dht(&self) -> &Dht<S::Value> {
@@ -1105,6 +1125,79 @@ impl<S: StoreService> NetworkBackend<S> for SimNet<S> {
             .restart_peers(peers, |value| store.migrate_volume(value));
         self.advance(stats.bytes_replayed * self.config.ns_per_byte);
         stats
+    }
+
+    fn gossip_round(&mut self) -> GossipOutcome {
+        let store = &self.store;
+        let mut probes: Vec<GossipProbe> = Vec::new();
+        let mut copies: Vec<(KeyHash, Delivery, u64)> = Vec::new();
+        let outcome = self.dht.gossip_round(
+            |value| store.migrate_volume(value),
+            |probe| probes.push(probe),
+            |key, delivery, bytes| copies.push((key, delivery, bytes)),
+        );
+        // Timing pass in the round's canonical probe order: a delivered
+        // exchange is a ping leg plus an ack leg back over the reverse
+        // link (the exchange completes after both); a failed probe is one
+        // leg that times out (`dead_skips = 1` — the delivery attempt to
+        // a dead or unreachable peer, exactly like a failover skip). The
+        // repair the round may have triggered rides the same wave.
+        let peers: Vec<PeerId> = self.dht.overlay().peers().to_vec();
+        let mut busy = HashMap::new();
+        let mut makespan = 0u64;
+        let mut position = 0u64;
+        for p in &probes {
+            let ping = self.deliver(
+                Wire {
+                    kind: MsgKind::Gossip,
+                    link: (peers[p.from as usize].0, peers[p.to as usize].0),
+                    route: KeyHash(p.position),
+                    bytes: p.bytes,
+                    hops: 1,
+                    dead_skips: u32::from(!p.delivered),
+                    position,
+                },
+                &mut busy,
+            );
+            position += 1;
+            let exchange = if p.delivered {
+                let ack = self.deliver(
+                    Wire {
+                        kind: MsgKind::Gossip,
+                        link: (peers[p.to as usize].0, peers[p.from as usize].0),
+                        route: KeyHash(p.position),
+                        bytes: p.bytes,
+                        hops: 1,
+                        dead_skips: 0,
+                        position,
+                    },
+                    &mut busy,
+                );
+                position += 1;
+                ping + ack
+            } else {
+                ping
+            };
+            makespan = makespan.max(exchange);
+        }
+        for (key, leg, bytes) in copies {
+            let latency = self.deliver(
+                Wire {
+                    kind: MsgKind::Repair,
+                    link: (leg.source.0, leg.target.0),
+                    route: key,
+                    bytes,
+                    hops: leg.hops,
+                    dead_skips: leg.dead_skips,
+                    position,
+                },
+                &mut busy,
+            );
+            position += 1;
+            makespan = makespan.max(latency);
+        }
+        self.advance(makespan);
+        outcome
     }
 
     fn dht(&self) -> &Dht<S::Value> {

@@ -49,11 +49,19 @@ pub enum MsgKind {
     /// studies can price the hot-key replication against the lookup
     /// traffic it absorbs.
     HotReplicate,
+    /// Membership gossip: the seeded SWIM-style liveness probes and
+    /// piggy-backed view digests peers exchange so each can maintain its
+    /// *own* picture of who is alive ([`crate::gossip`]). Like the other
+    /// maintenance categories it is excluded from the paper's posting
+    /// counts, but counted separately so the gossip study can price view
+    /// convergence (detection latency, false positives) against the
+    /// background traffic that buys it.
+    Gossip,
 }
 
 /// Number of message categories (the size of every per-kind counter
 /// array, iterated via [`MsgKind::ALL`]).
-pub const NUM_KINDS: usize = 7;
+pub const NUM_KINDS: usize = 8;
 
 impl MsgKind {
     /// All categories, for iteration/reporting.
@@ -65,6 +73,7 @@ impl MsgKind {
         MsgKind::Maintenance,
         MsgKind::Repair,
         MsgKind::HotReplicate,
+        MsgKind::Gossip,
     ];
 
     /// This kind's index into per-kind counter arrays (the order of
@@ -79,6 +88,7 @@ impl MsgKind {
             MsgKind::Maintenance => 4,
             MsgKind::Repair => 5,
             MsgKind::HotReplicate => 6,
+            MsgKind::Gossip => 7,
         }
     }
 }
@@ -132,6 +142,13 @@ pub struct TrafficMeter {
     /// pick resolved to) — the per-replica load the read-scaling study
     /// reports.
     served_by_peer: Vec<AtomicU64>,
+    /// Timed-out delivery attempts to dead peers on the *lookup* failover
+    /// path: each tick is one probe sent to a peer the querier did not
+    /// know was dead. With the instantaneous membership oracle every
+    /// lookup of a dead-primary key pays these forever (until repair);
+    /// with gossip enabled they stop once the querier's view confirms the
+    /// death — the before/after this counter exists to make observable.
+    failover_timeouts: AtomicU64,
 }
 
 /// A point-in-time copy of one category's counters.
@@ -289,6 +306,9 @@ pub struct TrafficSnapshot {
     pub retrieved_by_peer: Vec<u64>,
     /// Per-peer served lookups (the peer was the resolved replica).
     pub served_by_peer: Vec<u64>,
+    /// Timed-out lookup probes to dead peers (the failover cost a stale
+    /// liveness view pays; see [`TrafficMeter::record_failover_timeouts`]).
+    pub failover_timeouts: u64,
 }
 
 impl TrafficMeter {
@@ -300,6 +320,7 @@ impl TrafficMeter {
             inserted_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
             retrieved_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
             served_by_peer: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
+            failover_timeouts: AtomicU64::new(0),
         }
     }
 
@@ -316,6 +337,16 @@ impl TrafficMeter {
     /// *target* (who does the work).
     pub fn record_served(&self, serving_peer: usize) {
         self.served_by_peer[serving_peer].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `timeouts` dead-peer delivery attempts on a lookup's
+    /// failover walk (each one is a probe that timed out because the
+    /// querier's liveness knowledge was stale).
+    pub fn record_failover_timeouts(&self, timeouts: u64) {
+        if timeouts > 0 {
+            self.failover_timeouts
+                .fetch_add(timeouts, Ordering::Relaxed);
+        }
     }
 
     /// Records one message.
@@ -407,6 +438,7 @@ impl TrafficMeter {
                 .iter()
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
+            failover_timeouts: self.failover_timeouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -434,6 +466,7 @@ impl TrafficSnapshot {
             && self.inserted_by_peer == other.inserted_by_peer
             && self.retrieved_by_peer == other.retrieved_by_peer
             && self.served_by_peer == other.served_by_peer
+            && self.failover_timeouts == other.failover_timeouts
     }
 
     /// Total postings moved during indexing (inserts + notifications).
@@ -485,6 +518,7 @@ impl TrafficSnapshot {
         merge_vec(&mut self.inserted_by_peer, &other.inserted_by_peer);
         merge_vec(&mut self.retrieved_by_peer, &other.retrieved_by_peer);
         merge_vec(&mut self.served_by_peer, &other.served_by_peer);
+        self.failover_timeouts += other.failover_timeouts;
     }
 
     /// Difference `self - earlier`, counter-wise (for per-phase costs).
@@ -517,6 +551,7 @@ impl TrafficSnapshot {
             inserted_by_peer: diff_vec(&self.inserted_by_peer, &earlier.inserted_by_peer),
             retrieved_by_peer: diff_vec(&self.retrieved_by_peer, &earlier.retrieved_by_peer),
             served_by_peer: diff_vec(&self.served_by_peer, &earlier.served_by_peer),
+            failover_timeouts: self.failover_timeouts - earlier.failover_timeouts,
         }
     }
 }
@@ -651,6 +686,23 @@ mod tests {
         assert_eq!(h.total_ns, 300);
         assert_eq!(h.retries, 0);
         assert_eq!(h.retransmission_bytes, 0, "since() subtracts retry bytes");
+    }
+
+    #[test]
+    fn failover_timeouts_count_merge_and_subtract() {
+        let m = TrafficMeter::new(2);
+        m.record_failover_timeouts(0); // no-op
+        m.record_failover_timeouts(2);
+        let before = m.snapshot();
+        assert_eq!(before.failover_timeouts, 2);
+        m.record_failover_timeouts(1);
+        let after = m.snapshot();
+        assert_eq!(after.since(&before).failover_timeouts, 1);
+        // Part of the backend-equivalence contract.
+        assert!(!before.same_counts(&after));
+        let mut merged = before.clone();
+        merged.merge(&after);
+        assert_eq!(merged.failover_timeouts, 5);
     }
 
     #[test]

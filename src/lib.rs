@@ -65,8 +65,9 @@ pub mod prelude {
     pub use hdk_ir::{top_k_overlap, Bm25, CentralizedEngine, SearchResult};
     pub use hdk_model::TrafficModel;
     pub use hdk_p2p::{
-        LatencyHistogram, LossStats, Membership, MigrationStats, MsgKind, Overlay, PeerId,
-        PeerState, RecoveryStats, RepairStats, SimNetConfig, TrafficSnapshot,
+        GossipConfig, GossipOutcome, GossipRound, LatencyHistogram, LossStats, Membership,
+        MembershipEvent, MigrationStats, MsgKind, Overlay, PeerId, PeerState, RecoveryStats,
+        RepairStats, SimNetConfig, TrafficSnapshot,
     };
     pub use hdk_text::{Analyzer, AnalyzerConfig, TermId, Vocabulary};
 }

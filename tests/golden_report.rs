@@ -133,6 +133,14 @@ fn golden_report_is_replication_clean() {
     assert_eq!(hot.messages, 0);
     assert_eq!(hot.postings, 0);
     assert_eq!(hot.bytes, 0);
+    // Gossip defaults off (`GossipConfig::fanout == 0`): no membership
+    // probes, no failover timeouts — liveness stays on the oracle and
+    // the golden scenario's meters are untouched by the subsystem.
+    let gossip = network.snapshot().kind(MsgKind::Gossip);
+    assert_eq!(gossip.messages, 0);
+    assert_eq!(gossip.postings, 0);
+    assert_eq!(gossip.bytes, 0);
+    assert_eq!(network.snapshot().failover_timeouts, 0);
 }
 
 #[test]

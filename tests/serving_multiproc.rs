@@ -12,11 +12,16 @@
 //!    `/query` (results match the direct call), `/metrics` nonzero;
 //! 4. kill one peer process mid-stream and assert queries surface
 //!    bounded errors — degraded results plus a ticking transport-error
-//!    counter — rather than hanging.
+//!    counter — rather than hanging;
+//! 5. spawn a fresh fleet with gossip membership enabled, crash one
+//!    *logical* peer, and assert the fleet detects, confirms and
+//!    repairs it via `WireRequest::Gossip` frames bit-identically to
+//!    the in-process build — with failover timeouts ticking only while
+//!    the views are stale.
 
 use hdk_core::{spawn_http, BackendConfig, HdkConfig, HdkNetwork, OverlayKind, QueryService};
 use hdk_corpus::{partition_documents, Collection, CollectionGenerator, GeneratorConfig};
-use hdk_p2p::PeerId;
+use hdk_p2p::{GossipConfig, PeerId};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::{Child, Command, Stdio};
@@ -41,7 +46,7 @@ impl Drop for Fleet {
 
 /// Spawns one `hdk-peer` process on an ephemeral port and reads the
 /// `LISTEN <addr>` line it prints once bound.
-fn spawn_peer(proc_index: usize) -> (Child, String) {
+fn spawn_peer(proc_index: usize, replication: usize) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_hdk-peer"))
         .args([
             "--listen",
@@ -54,6 +59,8 @@ fn spawn_peer(proc_index: usize) -> (Child, String) {
             &PEERS.to_string(),
             "--dfmax",
             &DFMAX.to_string(),
+            "--replication",
+            &replication.to_string(),
         ])
         .stdout(Stdio::piped())
         .spawn()
@@ -157,7 +164,7 @@ fn multiproc_serving_matches_inproc_and_fails_bounded() {
     let mut fleet = Fleet(Vec::new());
     let mut addrs = Vec::new();
     for i in 0..NPROCS {
-        let (child, addr) = spawn_peer(i);
+        let (child, addr) = spawn_peer(i, 1);
         fleet.0.push(child);
         addrs.push(addr);
     }
@@ -279,4 +286,124 @@ fn multiproc_serving_matches_inproc_and_fails_bounded() {
     );
 
     handle.stop();
+
+    // --- Phase 5: a fresh fleet with gossip enabled. A *logical* peer
+    // crashes (every process stays up); with the liveness oracle off,
+    // detection, universal confirmation and the triggered repair all
+    // travel as `WireRequest::Gossip` frames in lockstep with the
+    // front-end mirror — and once the views converge, queries stop
+    // paying failover timeouts. The whole trajectory must be
+    // bit-identical to the in-process build. ---
+    let mut gossip_fleet = Fleet(Vec::new());
+    let mut gossip_addrs = Vec::new();
+    for i in 0..NPROCS {
+        let (child, addr) = spawn_peer(i, 2);
+        gossip_fleet.0.push(child);
+        gossip_addrs.push(addr);
+    }
+    let gossip_config = HdkConfig {
+        dfmax: DFMAX,
+        replication: 2,
+        gossip: GossipConfig {
+            fanout: 2,
+            suspicion_rounds: 2,
+            loss_prob: 0.2,
+            seed: 42,
+        },
+        ..HdkConfig::default()
+    };
+    let partitions = partition_documents(collection.len(), PEERS, 42);
+    let mut fleet_net = HdkNetwork::build_with(
+        &collection,
+        &partitions,
+        gossip_config.clone(),
+        OverlayKind::PGrid,
+        BackendConfig::Tcp {
+            addrs: gossip_addrs,
+        },
+    );
+    let mut local_net = HdkNetwork::build_with(
+        &collection,
+        &partitions,
+        gossip_config,
+        OverlayKind::PGrid,
+        BackendConfig::InProc,
+    );
+    let victim = PeerId((PEERS - 1) as u64);
+    let batch = |net: &HdkNetwork| -> Vec<Vec<(u32, u64)>> {
+        queries(&collection)
+            .iter()
+            .enumerate()
+            .map(|(i, terms)| {
+                // Queriers rotate over the survivors only.
+                let from = PeerId((i % (PEERS - 1)) as u64);
+                net.query(from, terms, 10)
+                    .results
+                    .iter()
+                    .map(|r| (r.doc.0, r.score.to_bits()))
+                    .collect()
+            })
+            .collect()
+    };
+
+    assert_eq!(
+        batch(&fleet_net),
+        batch(&local_net),
+        "healthy gossip fleet diverged"
+    );
+    assert_eq!(fleet_net.snapshot().failover_timeouts, 0);
+
+    let loss = fleet_net.fail_peers(vec![victim]);
+    assert_eq!(loss.keys_lost, 0, "R=2 single crash lost content");
+    local_net.fail_peers(vec![victim]);
+
+    assert_eq!(
+        batch(&fleet_net),
+        batch(&local_net),
+        "stale-view queries diverged"
+    );
+    let timeouts_stale = fleet_net.snapshot().failover_timeouts;
+    assert!(
+        timeouts_stale > 0,
+        "stale views must pay failover timeouts at the corpse"
+    );
+    assert_eq!(timeouts_stale, local_net.snapshot().failover_timeouts);
+
+    let mut rounds = 0;
+    let mut repaired = false;
+    while fleet_net.gossip_converged() != Some(true) {
+        assert!(rounds < 64, "fleet views failed to converge");
+        let fleet_out = fleet_net.gossip_round();
+        let local_out = local_net.gossip_round();
+        assert_eq!(
+            fleet_out, local_out,
+            "gossip round {rounds}: fleet diverged from in-process"
+        );
+        repaired |= fleet_out.repair.is_some_and(|r| r.copies > 0);
+        rounds += 1;
+    }
+    assert_eq!(local_net.gossip_converged(), Some(true));
+    assert!(
+        repaired,
+        "universal confirmation never fired the repair sweep"
+    );
+
+    assert_eq!(
+        batch(&fleet_net),
+        batch(&local_net),
+        "post-convergence queries diverged"
+    );
+    assert_eq!(
+        fleet_net.snapshot().failover_timeouts,
+        timeouts_stale,
+        "converged views must stop paying failover timeouts"
+    );
+    // The stripe-disjoint process meters (plus the silent mirror) sum to
+    // exactly the single-process counters, gossip probes included.
+    let fleet_snap = fleet_net.snapshot();
+    assert!(fleet_snap.kind(hdk_p2p::MsgKind::Gossip).messages > 0);
+    assert!(
+        fleet_snap.same_counts(&local_net.snapshot()),
+        "gossip-fleet traffic counts diverged from in-process"
+    );
 }

@@ -328,6 +328,143 @@ fn churn_with_failures_is_thread_invariant() {
 }
 
 #[test]
+fn gossip_failure_detection_is_thread_and_backend_invariant() {
+    // The gossip membership layer replaces the liveness oracle with
+    // per-peer views converged by deterministic SWIM-style rounds. The
+    // whole trajectory — probe schedules, suspicion/confirmation
+    // transitions, the triggered repair, the failover timeouts queries
+    // pay while views are stale, and the round count to convergence —
+    // must be bit-identical under RAYON_NUM_THREADS ∈ {1, default} AND
+    // across the in-process and simulated-network backends (gossip draws
+    // its own probe loss from the config seed, never from the backend's
+    // drop model).
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = collection(818);
+    let log = QueryLog::generate(
+        &c,
+        &QueryLogConfig {
+            num_queries: 48,
+            ..QueryLogConfig::default()
+        },
+    );
+    let run = |backend: BackendConfig| {
+        let mut network = HdkNetwork::build_with(
+            &c.prefix(400),
+            &partition_documents(400, 8, 13),
+            HdkConfig {
+                dfmax: 14,
+                ff: u64::MAX,
+                replication: 2,
+                gossip: GossipConfig {
+                    fanout: 2,
+                    suspicion_rounds: 2,
+                    loss_prob: 0.2,
+                    seed: 42,
+                },
+                ..HdkConfig::default()
+            },
+            OverlayKind::PGrid,
+            backend,
+        );
+        // Distinct query slices per phase so every phase genuinely runs
+        // lookups against the index state of that moment.
+        let batch_round = |network: &HdkNetwork, phase: usize| {
+            let ids: Vec<PeerId> = network.peers().iter().map(|p| p.id).collect();
+            let batch: Vec<(PeerId, &[TermId])> = log.queries[phase * 16..(phase + 1) * 16]
+                .iter()
+                .map(|q| (ids[q.id as usize % ids.len()], q.terms.as_slice()))
+                .collect();
+            network
+                .query_batch(&batch, 20)
+                .into_iter()
+                .map(|o| o.results)
+                .collect::<Vec<_>>()
+        };
+        let mut topk = batch_round(&network, 0);
+        assert_eq!(network.snapshot().failover_timeouts, 0);
+
+        // One peer crashes. Nobody calls repair: detection, confirmation
+        // and the repair trigger all have to come from gossip.
+        let loss = network.fail_peers(vec![PeerId(3)]);
+        assert_eq!(loss.keys_lost, 0, "R=2 must survive a single crash");
+        topk.extend(batch_round(&network, 1));
+        let timeouts_during = network.snapshot().failover_timeouts;
+        assert!(
+            timeouts_during > 0,
+            "queries during the detection window must pay timeouts"
+        );
+
+        let mut outcomes = Vec::new();
+        let mut triggered = None;
+        while network.gossip_converged() != Some(true) {
+            assert!(outcomes.len() < 64, "gossip failed to converge");
+            let out = network.gossip_round();
+            if let Some(r) = out.repair {
+                triggered = Some(r);
+            }
+            outcomes.push(out);
+        }
+        let repair = triggered.expect("universal confirmation must trigger the repair sweep");
+        assert!(repair.copies > 0, "triggered repair moved nothing");
+
+        // Converged views route around the corpse for free.
+        topk.extend(batch_round(&network, 2));
+        assert_eq!(
+            network.snapshot().failover_timeouts,
+            timeouts_during,
+            "post-convergence queries must pay zero failover timeouts"
+        );
+        (topk, outcomes, network.snapshot())
+    };
+
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run(BackendConfig::InProc);
+    std::env::remove_var("RAYON_NUM_THREADS"); // default pool size
+    let parallel = run(BackendConfig::InProc);
+    let sim = SimNetConfig {
+        seed: 7,
+        hop_ns: 200_000,
+        jitter_ns: 80_000,
+        ns_per_byte: 8,
+        drop_prob: 0.1,
+        timeout_ns: 2_000_000,
+    };
+    let simnet = run(BackendConfig::SimNet(sim));
+    if let Some(v) = prev {
+        std::env::set_var("RAYON_NUM_THREADS", v);
+    }
+
+    // Thread invariance: the full snapshot (counters AND per-kind
+    // histograms) plus every gossip outcome, bit for bit.
+    assert_eq!(serial.0, parallel.0, "query top-k diverged across threads");
+    assert_eq!(
+        serial.1, parallel.1,
+        "gossip outcomes diverged across threads"
+    );
+    assert_eq!(serial.2, parallel.2, "snapshot diverged across threads");
+    // Backend invariance: identical results, view trajectories and
+    // traffic counts — SimNet only adds time.
+    assert_eq!(serial.0, simnet.0, "query top-k diverged across backends");
+    assert_eq!(
+        serial.1, simnet.1,
+        "gossip outcomes diverged across backends"
+    );
+    assert!(
+        serial.2.same_counts(&simnet.2),
+        "traffic counts diverged across backends"
+    );
+    // And SimNet timed every gossip message it counted.
+    let g = simnet.2.kind(MsgKind::Gossip);
+    assert!(g.messages > 0, "no gossip traffic flowed");
+    assert_eq!(
+        simnet.2.latency(MsgKind::Gossip).samples,
+        g.messages,
+        "SimNet must time every gossip message"
+    );
+}
+
+#[test]
 fn long_queries_with_deep_lattice_are_thread_invariant() {
     // The intra-query parallel fan-out (plan/execute pipeline): long
     // queries (>= 6 distinct terms) at the deepest legal smax produce wide
